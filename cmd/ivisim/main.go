@@ -1,0 +1,169 @@
+// ivisim is the IVI emulator demo binary: it boots the full stack
+// (kernel, SACK, vehicle, IVI apps and services), replays a drive trace
+// through the situation detection service, launches KOFFEE-style
+// injection attacks at each phase, and prints a timeline of outcomes.
+//
+// Usage:
+//
+//	ivisim            run with SACK protection (independent mode)
+//	ivisim -nosack    run the unprotected baseline
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"time"
+
+	sack "repro"
+	"repro/internal/ivi"
+	"repro/internal/kernel"
+	"repro/internal/lsm"
+	"repro/internal/sds"
+	"repro/internal/trace"
+	"repro/internal/vehicle"
+)
+
+const policyText = `
+states {
+  parking = 0
+  driving = 1
+  emergency = 2
+}
+
+initial parking
+
+permissions {
+  DEVICE_READ
+  CONTROL_CAR_DOORS
+}
+
+state_per {
+  parking:   DEVICE_READ
+  driving:   DEVICE_READ
+  emergency: DEVICE_READ, CONTROL_CAR_DOORS
+}
+
+per_rules {
+  DEVICE_READ {
+    allow read /dev/vehicle/**
+  }
+  CONTROL_CAR_DOORS {
+    allow read,write,ioctl /dev/vehicle/door*
+    allow read,write,ioctl /dev/vehicle/window*
+  }
+}
+
+transitions {
+  parking -> driving on driving_started
+  driving -> parking on driving_stopped
+  driving -> emergency on crash_detected
+  emergency -> parking on all_clear
+}
+`
+
+func main() {
+	nosack := flag.Bool("nosack", false, "run without SACK (vulnerable baseline)")
+	flag.Parse()
+	if err := run(*nosack, os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// run is the testable entry point.
+func run(nosack bool, stdout io.Writer) error {
+	var (
+		k   *kernel.Kernel
+		v   *vehicle.Vehicle
+		sys *sack.System
+	)
+	if nosack {
+		k = kernel.New()
+		if err := k.RegisterLSM(lsm.NewCapability()); err != nil {
+			return err
+		}
+		v = vehicle.New(4, 4)
+		if err := v.RegisterDevices(k); err != nil {
+			return err
+		}
+		fmt.Fprintln(stdout, "== ivisim (UNPROTECTED baseline) ==")
+	} else {
+		var err error
+		sys, err = sack.NewSystem(sack.Options{Mode: sack.Independent, PolicyText: policyText})
+		if err != nil {
+			return err
+		}
+		k, v = sys.Kernel, sys.Vehicle
+		fmt.Fprintln(stdout, "== ivisim (SACK protected) ==")
+	}
+	fmt.Fprintf(stdout, "LSM stack: %s\n\n", k.LSM)
+
+	// IVI layer: door service + a radio app without door permissions.
+	iviSys := ivi.NewSystem(k, v)
+	if _, err := iviSys.NewDoorService(); err != nil {
+		return err
+	}
+	radio, err := iviSys.InstallApp("radio", ivi.PermAudioControl)
+	if err != nil {
+		return err
+	}
+	attack := ivi.KoffeeAttack{App: radio}
+
+	// SDS wiring (only meaningful with SACK; harmless without).
+	clock := sds.NewVirtualClock(time.Unix(1_700_000_000, 0))
+	var service *sds.Service
+	if sys != nil {
+		service, err = sys.NewSDS(k.Init(), clock,
+			sds.DrivingDetector(), sds.CrashDetector(8.0), sds.AllClearDetector(8.0))
+		if err != nil {
+			return err
+		}
+	} else {
+		service = sds.NewService(clock, sds.VehicleSensors(v.Dynamics),
+			[]sds.Detector{sds.DrivingDetector(), sds.CrashDetector(8.0)},
+			sds.TransmitterFunc(func([]string) error { return nil }))
+	}
+
+	stateName := func() string {
+		if sys == nil {
+			return "n/a"
+		}
+		return sys.CurrentState().Name
+	}
+
+	fmt.Fprintf(stdout, "%-10s %-24s %-12s %s\n", "time", "events", "state", "attack outcome")
+	var prev time.Duration
+	for _, p := range trace.CityDriveWithCrash().Points {
+		if p.T > prev {
+			clock.Advance(p.T - prev)
+			prev = p.T
+		}
+		trace.Apply(p, v.Dynamics)
+		events, err := service.Poll()
+		if err != nil {
+			return err
+		}
+		res := attack.Inject("/dev/vehicle/door0", vehicle.IoctlDoorUnlock, 0)
+		fmt.Fprintf(stdout, "%-10s %-24v %-12s %s\n", p.T, events, stateName(), res)
+		// Re-lock after successful injections so each row is independent.
+		if res.Err == nil {
+			v.Doors[0].Ioctl(nil, vehicle.IoctlDoorLock, 0)
+		}
+	}
+
+	fmt.Fprintf(stdout, "\ndoor0 final state: %s\n", v.Doors[0].State())
+	if sys != nil {
+		checks, denials, eventsIn, eventsHit := sys.SACK.Stats()
+		fmt.Fprintf(stdout, "SACK stats: checks=%d denials=%d events=%d/%d\n", checks, denials, eventsHit, eventsIn)
+	}
+
+	dash := ivi.Dashboard{Vehicle: v}
+	if sys != nil {
+		dash.SACK = sys.SACK
+	}
+	fmt.Fprintln(stdout)
+	fmt.Fprint(stdout, dash.Render())
+	return nil
+}

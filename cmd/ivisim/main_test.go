@@ -1,0 +1,49 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunProtected(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(false, &out); err != nil {
+		t.Fatal(err)
+	}
+	text := out.String()
+	for _, frag := range []string{
+		"SACK protected",
+		"LSM stack: sack,capability",
+		"BLOCKED",  // normal/driving injections die
+		"INJECTED", // emergency break-glass lets them through
+		"door0 final state: locked",
+		"IVI STATUS",
+	} {
+		if !strings.Contains(text, frag) {
+			t.Errorf("output missing %q:\n%s", frag, text)
+		}
+	}
+	// The pre-crash phase must contain no successful injection.
+	preCrash := text[:strings.Index(text, "crash_detected")]
+	if strings.Contains(preCrash, "INJECTED") {
+		t.Errorf("injection succeeded before the crash:\n%s", preCrash)
+	}
+}
+
+func TestRunUnprotected(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(true, &out); err != nil {
+		t.Fatal(err)
+	}
+	text := out.String()
+	if !strings.Contains(text, "UNPROTECTED") {
+		t.Errorf("banner missing:\n%s", text)
+	}
+	if strings.Contains(text, "BLOCKED") {
+		t.Errorf("unprotected run blocked something:\n%s", text)
+	}
+	if !strings.Contains(text, "(no SACK)") {
+		t.Errorf("dashboard should show no SACK:\n%s", text)
+	}
+}

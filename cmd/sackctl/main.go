@@ -1,0 +1,273 @@
+// sackctl is the policy administration tool: check (parse + validate
+// with conflict detection), compile (dump the enforcement-ready form),
+// and fmt (canonical formatting) for SACK policy files.
+//
+// Usage:
+//
+//	sackctl check  <policy-file>   validate; non-zero exit on errors
+//	sackctl compile <policy-file>  show states, rule sets, transitions
+//	sackctl fmt    <policy-file>   print canonical formatting
+//	sackctl simulate <policy-file> <event>...  dry-run the SSM over events
+//	sackctl diff <old-file> <new-file>  show what a policy reload changes
+//	sackctl pack [name]            list or print the embedded policy pack
+//	sackctl example                print a commented example policy
+package main
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+
+	"repro/internal/policy"
+	"repro/internal/ssm"
+	"repro/policies"
+)
+
+const examplePolicy = `# SACK policy: door control only in emergencies.
+states {
+  normal = 0
+  emergency = 1
+}
+
+initial normal
+
+permissions {
+  NORMAL
+  CONTROL_CAR_DOORS
+}
+
+state_per {
+  normal:    NORMAL
+  emergency: NORMAL, CONTROL_CAR_DOORS
+}
+
+per_rules {
+  NORMAL {
+    allow read /dev/vehicle/**
+  }
+  CONTROL_CAR_DOORS {
+    allow read,write,ioctl /dev/vehicle/door*
+    allow read,write,ioctl /dev/vehicle/window* subject /usr/bin/rescued
+  }
+}
+
+transitions {
+  normal -> emergency on crash_detected
+  emergency -> normal on all_clear
+}
+`
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr, os.ReadFile))
+}
+
+// run is the testable entry point; it returns the process exit code.
+func run(args []string, stdout, stderr io.Writer, readFile func(string) ([]byte, error)) int {
+	if len(args) < 1 {
+		usage(stderr)
+		return 2
+	}
+	switch args[0] {
+	case "example":
+		fmt.Fprint(stdout, examplePolicy)
+		return 0
+	case "check", "compile", "fmt":
+		if len(args) != 2 {
+			usage(stderr)
+			return 2
+		}
+		data, err := readFile(args[1])
+		if err != nil {
+			fmt.Fprintf(stderr, "sackctl: reading policy: %v\n", err)
+			return 1
+		}
+		switch args[0] {
+		case "check":
+			return check(string(data), stdout, stderr)
+		case "compile":
+			return compile(string(data), stdout, stderr)
+		case "fmt":
+			return format(string(data), stdout, stderr)
+		}
+	case "simulate":
+		if len(args) < 3 {
+			usage(stderr)
+			return 2
+		}
+		data, err := readFile(args[1])
+		if err != nil {
+			fmt.Fprintf(stderr, "sackctl: reading policy: %v\n", err)
+			return 1
+		}
+		return simulate(string(data), args[2:], stdout, stderr)
+	case "diff":
+		if len(args) != 3 {
+			usage(stderr)
+			return 2
+		}
+		oldData, err := readFile(args[1])
+		if err != nil {
+			fmt.Fprintf(stderr, "sackctl: reading old policy: %v\n", err)
+			return 1
+		}
+		newData, err := readFile(args[2])
+		if err != nil {
+			fmt.Fprintf(stderr, "sackctl: reading new policy: %v\n", err)
+			return 1
+		}
+		return diff(string(oldData), string(newData), stdout, stderr)
+	case "pack":
+		if len(args) == 1 {
+			for _, name := range policies.Names() {
+				fmt.Fprintln(stdout, name)
+			}
+			return 0
+		}
+		src, err := policies.Load(args[1])
+		if err != nil {
+			fmt.Fprintf(stderr, "sackctl: %v\n", err)
+			return 1
+		}
+		fmt.Fprint(stdout, src)
+		return 0
+	}
+	usage(stderr)
+	return 2
+}
+
+func usage(w io.Writer) {
+	fmt.Fprintln(w, "usage: sackctl {check|compile|fmt} <policy-file>")
+	fmt.Fprintln(w, "       sackctl simulate <policy-file> <event>...")
+	fmt.Fprintln(w, "       sackctl diff <old-file> <new-file>")
+	fmt.Fprintln(w, "       sackctl pack [name]")
+	fmt.Fprintln(w, "       sackctl example")
+}
+
+// diff compiles both policies and prints what a reload would change.
+func diff(oldSrc, newSrc string, stdout, stderr io.Writer) int {
+	oldC, _, err := policy.Load(oldSrc)
+	if err != nil {
+		fmt.Fprintf(stderr, "sackctl: old policy: %v\n", err)
+		return 1
+	}
+	newC, _, err := policy.Load(newSrc)
+	if err != nil {
+		fmt.Fprintf(stderr, "sackctl: new policy: %v\n", err)
+		return 1
+	}
+	changes := policy.Diff(oldC, newC)
+	if len(changes) == 0 {
+		fmt.Fprintln(stdout, "policies are equivalent")
+		return 0
+	}
+	fmt.Fprint(stdout, policy.FormatDiff(changes))
+	return 0
+}
+
+// simulate dry-runs the situation state machine over an event sequence,
+// printing each step and the permissions active afterwards.
+func simulate(src string, events []string, stdout, stderr io.Writer) int {
+	c, vr, err := policy.Load(src)
+	if err != nil {
+		fmt.Fprintf(stderr, "sackctl: %v\n", err)
+		return 1
+	}
+	for _, w := range vr.Warnings() {
+		fmt.Fprintln(stderr, w)
+	}
+	states := make([]ssm.State, len(c.States))
+	for i, st := range c.States {
+		states[i] = ssm.State{Name: st.Name, Encoding: st.Encoding}
+	}
+	transitions := make([]ssm.Transition, len(c.Transitions))
+	for i, t := range c.Transitions {
+		transitions[i] = ssm.Transition{From: t.From, Event: ssm.Event(t.Event), To: t.To}
+	}
+	m, err := ssm.New(ssm.Config{States: states, Initial: c.Initial, Transitions: transitions})
+	if err != nil {
+		fmt.Fprintf(stderr, "sackctl: %v\n", err)
+		return 1
+	}
+	printState := func() {
+		st := m.Current()
+		perms := append([]string(nil), c.StatePerms[st.Name]...)
+		sort.Strings(perms)
+		fmt.Fprintf(stdout, "  state=%s permissions=[%s] rules=%d\n",
+			st.Name, strings.Join(perms, ","), c.StateSets[st.Name].Len())
+	}
+	fmt.Fprintln(stdout, "initial:")
+	printState()
+	for _, ev := range events {
+		transitioned, from, to := m.Deliver(ssm.Event(ev))
+		if transitioned {
+			fmt.Fprintf(stdout, "event %q: %s -> %s\n", ev, from.Name, to.Name)
+		} else {
+			fmt.Fprintf(stdout, "event %q: ignored in state %s\n", ev, from.Name)
+		}
+		printState()
+	}
+	return 0
+}
+
+func check(src string, stdout, stderr io.Writer) int {
+	f, err := policy.Parse(src)
+	if err != nil {
+		fmt.Fprintf(stderr, "sackctl: %v\n", err)
+		return 1
+	}
+	vr := policy.Validate(f)
+	for _, issue := range vr.Issues {
+		fmt.Fprintln(stdout, issue)
+	}
+	if !vr.OK() {
+		return 1
+	}
+	fmt.Fprintf(stdout, "OK: %d states, %d permissions, %d transitions, %d warnings\n",
+		len(f.States), len(f.Permissions), len(f.Transitions), len(vr.Warnings()))
+	return 0
+}
+
+func compile(src string, stdout, stderr io.Writer) int {
+	c, vr, err := policy.Load(src)
+	if err != nil {
+		fmt.Fprintf(stderr, "sackctl: %v\n", err)
+		return 1
+	}
+	for _, w := range vr.Warnings() {
+		fmt.Fprintln(stderr, w)
+	}
+	fmt.Fprintf(stdout, "initial state: %s\n\n", c.Initial)
+	fmt.Fprintln(stdout, "states:")
+	for _, st := range c.States {
+		marks := ""
+		if st.Name == c.Initial {
+			marks = "  (initial)"
+		}
+		fmt.Fprintf(stdout, "  %-24s encoding=%d%s\n", st.Name, st.Encoding, marks)
+		perms := c.StatePerms[st.Name]
+		sort.Strings(perms)
+		fmt.Fprintf(stdout, "    permissions: %s\n", strings.Join(perms, ", "))
+		rs := c.StateSets[st.Name]
+		for _, r := range rs.Rules() {
+			fmt.Fprintf(stdout, "    rule: %s\n", r.String())
+		}
+	}
+	fmt.Fprintln(stdout, "\ntransitions:")
+	for _, t := range c.Transitions {
+		fmt.Fprintf(stdout, "  %s -> %s on %s\n", t.From, t.To, t.Event)
+	}
+	fmt.Fprintf(stdout, "\ncoverage: %d patterns\n", c.Coverage.NumPatterns())
+	return 0
+}
+
+func format(src string, stdout, stderr io.Writer) int {
+	f, err := policy.Parse(src)
+	if err != nil {
+		fmt.Fprintf(stderr, "sackctl: %v\n", err)
+		return 1
+	}
+	fmt.Fprint(stdout, policy.Format(f))
+	return 0
+}

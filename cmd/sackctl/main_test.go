@@ -1,0 +1,194 @@
+package main
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+)
+
+// fakeFS serves policy files from a map.
+func fakeFS(files map[string]string) func(string) ([]byte, error) {
+	return func(name string) ([]byte, error) {
+		if content, ok := files[name]; ok {
+			return []byte(content), nil
+		}
+		return nil, errors.New("no such file")
+	}
+}
+
+func runCtl(t *testing.T, files map[string]string, args ...string) (int, string, string) {
+	t.Helper()
+	var out, errOut bytes.Buffer
+	code := run(args, &out, &errOut, fakeFS(files))
+	return code, out.String(), errOut.String()
+}
+
+func TestExampleIsSelfChecking(t *testing.T) {
+	code, out, _ := runCtl(t, nil, "example")
+	if code != 0 || !strings.Contains(out, "per_rules") {
+		t.Fatalf("example: code=%d out=%q", code, out)
+	}
+	// The shipped example must validate cleanly.
+	code, out2, errOut := runCtl(t, map[string]string{"p": out}, "check", "p")
+	if code != 0 {
+		t.Fatalf("example does not validate: %s%s", out2, errOut)
+	}
+	if !strings.Contains(out2, "0 warnings") {
+		t.Fatalf("example has warnings: %s", out2)
+	}
+}
+
+func TestCheckValidPolicy(t *testing.T) {
+	files := map[string]string{"p": `
+states { a b }
+initial a
+transitions { a -> b on go }
+`}
+	code, out, _ := runCtl(t, files, "check", "p")
+	if code != 0 || !strings.Contains(out, "OK: 2 states") {
+		t.Fatalf("code=%d out=%q", code, out)
+	}
+}
+
+func TestCheckReportsErrorsNonZero(t *testing.T) {
+	files := map[string]string{"p": "states { a a }"}
+	code, out, _ := runCtl(t, files, "check", "p")
+	if code == 0 {
+		t.Fatal("invalid policy passed")
+	}
+	if !strings.Contains(out, "duplicate state") {
+		t.Fatalf("out = %q", out)
+	}
+}
+
+func TestCheckSyntaxError(t *testing.T) {
+	files := map[string]string{"p": "states {"}
+	code, _, errOut := runCtl(t, files, "check", "p")
+	if code == 0 || !strings.Contains(errOut, "sackctl:") {
+		t.Fatalf("code=%d err=%q", code, errOut)
+	}
+}
+
+func TestCompileOutput(t *testing.T) {
+	files := map[string]string{"p": `
+states { idle = 0 active = 7 }
+initial idle
+permissions { P }
+state_per { active: P }
+per_rules { P { allow read /srv/** } }
+transitions { idle -> active on go }
+`}
+	code, out, _ := runCtl(t, files, "compile", "p")
+	if code != 0 {
+		t.Fatalf("compile failed: %q", out)
+	}
+	for _, frag := range []string{
+		"initial state: idle",
+		"encoding=7",
+		"idle -> active on go",
+		"coverage: 1 patterns",
+		"allow read /srv/**",
+	} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("compile output missing %q:\n%s", frag, out)
+		}
+	}
+}
+
+func TestFmtRoundTrips(t *testing.T) {
+	files := map[string]string{"p": "states{a b}\ninitial a\ntransitions{a->b on go}"}
+	code, out, _ := runCtl(t, files, "fmt", "p")
+	if code != 0 {
+		t.Fatalf("fmt failed: %q", out)
+	}
+	// Formatted output must itself check clean.
+	code, _, errOut := runCtl(t, map[string]string{"q": out}, "check", "q")
+	if code != 0 {
+		t.Fatalf("formatted output invalid: %s", errOut)
+	}
+}
+
+func TestUsageErrors(t *testing.T) {
+	if code, _, _ := runCtl(t, nil); code != 2 {
+		t.Error("no args should be usage error")
+	}
+	if code, _, _ := runCtl(t, nil, "bogus"); code != 2 {
+		t.Error("unknown verb should be usage error")
+	}
+	if code, _, _ := runCtl(t, nil, "check"); code != 2 {
+		t.Error("missing file should be usage error")
+	}
+	if code, _, _ := runCtl(t, nil, "check", "missing"); code != 1 {
+		t.Error("unreadable file should be error")
+	}
+}
+
+func TestSimulate(t *testing.T) {
+	files := map[string]string{"p": `
+states { normal emergency }
+initial normal
+permissions { P }
+state_per { emergency: P }
+per_rules { P { allow read /x } }
+transitions {
+  normal -> emergency on crash
+  emergency -> normal on clear
+}
+`}
+	code, out, _ := runCtl(t, files, "simulate", "p", "crash", "bogus", "clear")
+	if code != 0 {
+		t.Fatalf("simulate failed: %q", out)
+	}
+	for _, frag := range []string{
+		`event "crash": normal -> emergency`,
+		`event "bogus": ignored in state emergency`,
+		`event "clear": emergency -> normal`,
+		"permissions=[P] rules=1",
+	} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("simulate output missing %q:\n%s", frag, out)
+		}
+	}
+	if code, _, _ := runCtl(t, files, "simulate", "p"); code != 2 {
+		t.Error("simulate without events should be usage error")
+	}
+}
+
+func TestDiffVerb(t *testing.T) {
+	old := "states { a b }\ninitial a\ntransitions { a -> b on go }"
+	new := "states { a b c }\ninitial a\ntransitions { a -> b on go\n b -> c on more }"
+	files := map[string]string{"old": old, "new": new}
+	code, out, _ := runCtl(t, files, "diff", "old", "new")
+	if code != 0 {
+		t.Fatalf("diff failed: %q", out)
+	}
+	for _, frag := range []string{"state added: c", "transition added: b -> c on more"} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("diff missing %q:\n%s", frag, out)
+		}
+	}
+	code, out, _ = runCtl(t, map[string]string{"a": old, "b": old}, "diff", "a", "b")
+	if code != 0 || !strings.Contains(out, "equivalent") {
+		t.Fatalf("identical diff: code=%d out=%q", code, out)
+	}
+}
+
+func TestPackVerb(t *testing.T) {
+	code, out, _ := runCtl(t, nil, "pack")
+	if code != 0 || !strings.Contains(out, "emergency-doors") {
+		t.Fatalf("pack listing: code=%d out=%q", code, out)
+	}
+	code, out, _ = runCtl(t, nil, "pack", "speed-gate")
+	if code != 0 || !strings.Contains(out, "low_speed") {
+		t.Fatalf("pack load: code=%d", code)
+	}
+	// Pack members must check clean through the same tool.
+	code, checkOut, errOut := runCtl(t, map[string]string{"p": out}, "check", "p")
+	if code != 0 {
+		t.Fatalf("pack policy fails check: %s%s", checkOut, errOut)
+	}
+	if code, _, _ := runCtl(t, nil, "pack", "bogus"); code != 1 {
+		t.Error("unknown pack name should fail")
+	}
+}

@@ -1,0 +1,151 @@
+// sackmon runs the situation detection service against a scripted drive
+// trace and prints every sensor-driven situation transition along with
+// the kernel's view of the state — a monitoring/debugging aid for SACK
+// deployments.
+//
+// Usage:
+//
+//	sackmon [-trace city-crash|highway|park] [-policy <file>]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"time"
+
+	sack "repro"
+	"repro/internal/sds"
+	"repro/internal/trace"
+)
+
+const defaultPolicy = `
+states {
+  parking_with_driver = 0
+  parking_without_driver = 1
+  driving = 2
+  emergency = 3
+}
+
+initial parking_with_driver
+
+permissions {
+  DEVICE_READ
+  CONTROL_CAR_DOORS
+}
+
+state_per {
+  parking_with_driver:    DEVICE_READ, CONTROL_CAR_DOORS
+  parking_without_driver: DEVICE_READ
+  driving:                DEVICE_READ
+  emergency:              DEVICE_READ, CONTROL_CAR_DOORS
+}
+
+per_rules {
+  DEVICE_READ {
+    allow read /dev/vehicle/**
+  }
+  CONTROL_CAR_DOORS {
+    allow read,write,ioctl /dev/vehicle/door*
+  }
+}
+
+transitions {
+  parking_with_driver -> driving on driving_started
+  driving -> parking_with_driver on driving_stopped
+  parking_with_driver -> parking_without_driver on parked_without_driver
+  parking_without_driver -> parking_with_driver on parked_with_driver
+  driving -> emergency on crash_detected
+  emergency -> parking_with_driver on all_clear
+}
+`
+
+func main() {
+	traceName := flag.String("trace", "city-crash", "drive trace: city-crash, highway, or park")
+	policyPath := flag.String("policy", "", "SACK policy file (default: built-in 4-state policy)")
+	flag.Parse()
+	os.Exit(run(*traceName, *policyPath, os.Stdout, os.ReadFile))
+}
+
+// run is the testable entry point; it returns the process exit code.
+func run(traceName, policyPath string, stdout io.Writer, readFile func(string) ([]byte, error)) int {
+	policyText := defaultPolicy
+	if policyPath != "" {
+		data, err := readFile(policyPath)
+		if err != nil {
+			log.Printf("sackmon: %v", err)
+			return 1
+		}
+		policyText = string(data)
+	}
+
+	var tr trace.Trace
+	switch traceName {
+	case "city-crash":
+		tr = trace.CityDriveWithCrash()
+	case "highway":
+		tr = trace.HighwayDrive()
+	case "park":
+		tr = trace.ParkAndLeave()
+	default:
+		log.Printf("sackmon: unknown trace %q", traceName)
+		return 2
+	}
+
+	sys, err := sack.NewSystem(sack.Options{Mode: sack.Independent, PolicyText: policyText})
+	if err != nil {
+		log.Printf("sackmon: %v", err)
+		return 1
+	}
+	root := sys.Kernel.Init()
+
+	clock := sds.NewVirtualClock(time.Unix(1_700_000_000, 0))
+	service, err := sys.NewSDS(root, clock,
+		sds.DrivingDetector(),
+		sds.CrashDetector(8.0),
+		sds.AllClearDetector(8.0),
+		sds.ParkingDetector(),
+		sds.SpeedBandDetector(100),
+	)
+	if err != nil {
+		log.Printf("sackmon: %v", err)
+		return 1
+	}
+
+	fmt.Fprintf(stdout, "== sackmon: trace %q ==\n", tr.Name)
+	fmt.Fprintf(stdout, "%-10s %-8s %-7s %-7s %-28s %s\n", "time", "speed", "accel", "drv/ign", "events", "kernel state")
+	var prev time.Duration
+	for _, p := range tr.Points {
+		if p.T > prev {
+			clock.Advance(p.T - prev)
+			prev = p.T
+		}
+		trace.Apply(p, sys.Vehicle.Dynamics)
+		events, err := service.Poll()
+		if err != nil {
+			log.Printf("sackmon: poll: %v", err)
+			return 1
+		}
+		di := fmt.Sprintf("%v/%v", b2i(p.Driver), b2i(p.Ignition))
+		stateLine, err := root.ReadFileAll("/sys/kernel/security/SACK/state")
+		if err != nil {
+			log.Printf("sackmon: state read: %v", err)
+			return 1
+		}
+		fmt.Fprintf(stdout, "%-10s %-8.1f %-7.1f %-7s %-28v %s", p.T, p.Speed, p.AccelG, di, events, stateLine)
+	}
+
+	transitions, ignored := sys.SACK.Machine().Stats()
+	fmt.Fprintf(stdout, "\nSSM: %d transitions, %d ignored events, %d polls\n",
+		transitions, ignored, service.Polls())
+	return 0
+}
+
+func b2i(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,52 @@
+package main
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+)
+
+func TestRunCityCrashTrace(t *testing.T) {
+	var out bytes.Buffer
+	if code := run("city-crash", "", &out, nil); code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	text := out.String()
+	for _, frag := range []string{
+		"city-drive-with-crash",
+		"[driving_started",
+		"[crash_detected",
+		"emergency (3)",
+		"SSM:",
+	} {
+		if !strings.Contains(text, frag) {
+			t.Errorf("output missing %q:\n%s", frag, text)
+		}
+	}
+}
+
+func TestRunParkTrace(t *testing.T) {
+	var out bytes.Buffer
+	if code := run("park", "", &out, nil); code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	if !strings.Contains(out.String(), "parking_without_driver") {
+		t.Errorf("park trace never left the driver:\n%s", out.String())
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var out bytes.Buffer
+	if code := run("no-such-trace", "", &out, nil); code != 2 {
+		t.Errorf("unknown trace exit = %d", code)
+	}
+	readFail := func(string) ([]byte, error) { return nil, errors.New("nope") }
+	if code := run("park", "/missing", &out, readFail); code != 1 {
+		t.Errorf("unreadable policy exit = %d", code)
+	}
+	badPolicy := func(string) ([]byte, error) { return []byte("states {"), nil }
+	if code := run("park", "/bad", &out, badPolicy); code != 1 {
+		t.Errorf("bad policy exit = %d", code)
+	}
+}

@@ -1,0 +1,83 @@
+package sack_test
+
+import (
+	"fmt"
+	"log"
+
+	sack "repro"
+	"repro/internal/vehicle"
+	"repro/policies"
+)
+
+// ExampleNewSystem boots the full stack and shows a situation transition
+// flipping a kernel-enforced permission.
+func ExampleNewSystem() {
+	sys, err := sack.NewSystem(sack.Options{
+		PolicyText: policies.MustLoad("emergency-doors"),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	task := sys.Kernel.Init()
+
+	fd, _ := task.Open("/dev/vehicle/door0", sack.ORdonly, 0)
+	_, err = task.Ioctl(fd, vehicle.IoctlDoorUnlock, 0)
+	fmt.Println("normal state:", sack.IsErrno(err, sack.EACCES))
+
+	sys.DeliverEvent("crash_detected")
+	_, err = task.Ioctl(fd, vehicle.IoctlDoorUnlock, 0)
+	fmt.Println("emergency state:", err)
+
+	// Output:
+	// normal state: true
+	// emergency state: <nil>
+}
+
+// ExampleParsePolicy shows the policy checker catching a conflict the
+// administrator should review.
+func ExampleParsePolicy() {
+	_, vr, err := sack.ParsePolicy(`
+states { s }
+initial s
+permissions { P }
+state_per { s: P }
+per_rules {
+  P {
+    allow read /data/**
+    deny read /data/*.txt
+  }
+}
+`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("errors:", len(vr.Errors()))
+	for _, w := range vr.Warnings() {
+		fmt.Println("warning:", w.Message)
+	}
+
+	// Output:
+	// errors: 0
+	// warning: state 's' both allows and denies overlapping paths "/data/**" and "/data/*.txt" (deny wins at runtime)
+}
+
+// ExampleSystem_DeliverEvent demonstrates the SACKfs pseudo-file route a
+// real situation detection service uses.
+func ExampleSystem_DeliverEvent() {
+	sys, err := sack.NewSystem(sack.Options{
+		PolicyText:     policies.MustLoad("speed-gate"),
+		DisableVehicle: true,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	task := sys.Kernel.Init()
+	if err := task.WriteFileAll(sack.EventsFile, []byte("speed_high\n"), 0); err != nil {
+		log.Fatal(err)
+	}
+	state, _ := task.ReadFileAll("/sys/kernel/security/SACK/state")
+	fmt.Print(string(state))
+
+	// Output:
+	// high_speed (1)
+}

@@ -1,0 +1,112 @@
+// Break-glass — optimistic access control (§II-A.2): critical
+// permissions stay locked down by default, but a watchdog or operator
+// with CAP_MAC_ADMIN can force the situation state when the sensing
+// pipeline itself has failed, leaving an indelible audit trail. The demo
+// simulates an SDS outage during a real emergency and walks through the
+// manual override and its revert.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	sack "repro"
+	"repro/internal/vehicle"
+)
+
+const policyText = `
+states {
+  normal = 0
+  emergency = 1
+}
+initial normal
+permissions {
+  DEVICE_READ
+  CONTROL_CAR_DOORS
+}
+state_per {
+  normal:    DEVICE_READ
+  emergency: DEVICE_READ, CONTROL_CAR_DOORS
+}
+per_rules {
+  DEVICE_READ {
+    allow read /dev/vehicle/**
+  }
+  CONTROL_CAR_DOORS {
+    allow read,write,ioctl /dev/vehicle/door*
+  }
+}
+transitions {
+  normal -> emergency on crash_detected
+  emergency -> normal on all_clear
+}
+`
+
+func main() {
+	sys, err := sack.NewSystem(sack.Options{PolicyText: policyText})
+	if err != nil {
+		log.Fatal(err)
+	}
+	root := sys.Kernel.Init()
+
+	fmt.Println("== Break-glass (optimistic access control) ==")
+	fmt.Printf("state: %s\n\n", sys.CurrentState().Name)
+
+	unlock := func() error {
+		fd, err := root.Open("/dev/vehicle/door0", sack.ORdonly, 0)
+		if err != nil {
+			return err
+		}
+		defer root.Close(fd)
+		_, err = root.Ioctl(fd, vehicle.IoctlDoorUnlock, 0)
+		return err
+	}
+
+	// 1. Scenario: a crash happened, but the SDS is down — no
+	// crash_detected event ever arrives, so doors stay locked.
+	if err := unlock(); sack.IsErrno(err, sack.EACCES) {
+		fmt.Println("SDS down, normal state: door unlock -> EACCES")
+	}
+
+	// 2. An unprivileged process cannot break the glass.
+	attacker, _ := root.Fork()
+	attacker.SetUID(1000, 1000)
+	err = attacker.WriteFileAll("/sys/kernel/security/SACK/break_glass",
+		[]byte("emergency gimme\n"), 0)
+	fmt.Printf("attacker break-glass attempt: %v\n", err)
+
+	// 3. The operator (root, CAP_MAC_ADMIN) breaks the glass through the
+	// SACKfs pseudo-file.
+	if err := root.WriteFileAll("/sys/kernel/security/SACK/break_glass",
+		[]byte("emergency crash scene, SDS offline, manual override\n"), 0); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("operator break-glass: state is now %q\n", sys.CurrentState().Name)
+	if err := unlock(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("door0: %s\n", sys.Vehicle.Doors[0].State())
+
+	// 4. The grant stays on the books until reverted.
+	logDump, _ := root.ReadFileAll("/sys/kernel/security/SACK/break_glass")
+	fmt.Printf("\n-- break-glass log --\n%s", logDump)
+	fmt.Printf("outstanding grant: %v\n", sys.SACK.OutstandingBreakGlass())
+
+	// 5. Revert after the incident.
+	if err := sys.SACK.RevertBreakGlass(root.Cred, "normal"); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nreverted: state %q, outstanding: %v\n",
+		sys.CurrentState().Name, sys.SACK.OutstandingBreakGlass())
+	if err := unlock(); sack.IsErrno(err, sack.EACCES) {
+		fmt.Println("door unlock -> EACCES again (POLP restored)")
+	}
+
+	// 6. Everything is in the kernel audit trail.
+	fmt.Println("\n-- audit records (break_glass ops) --")
+	for _, rec := range sys.Audit.Records() {
+		if rec.Op == "break_glass" || rec.Op == "break_glass_revert" {
+			fmt.Printf("  %s %s subject=%s %s\n", rec.Op, rec.Action, rec.Subject, rec.Detail)
+		}
+	}
+}

@@ -1,0 +1,7 @@
+// Package apparmor implements a simulated AppArmor security module:
+// path-based MAC with AppArmor-style glob patterns, enforce/complain
+// modes, exec-time profile attachment, and atomic profile replacement.
+// It serves two roles in the SACK reproduction: the baseline LSM of
+// Table II, and the enforcement substrate the "SACK-enhanced AppArmor"
+// mode rewrites at situation-state transitions.
+package apparmor

@@ -1,0 +1,151 @@
+package apparmor
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/glob"
+)
+
+// ParseProfiles parses one or more profiles in the simplified
+// apparmor.d(5) syntax this simulator supports:
+//
+//	# comment
+//	profile <name> [<attachment-glob>] [flags=(complain)] {
+//	    <path-glob> <perms>,
+//	    deny <path-glob> <perms>,
+//	}
+//
+// Permission letters are those of ParsePerms (rwaxmkicd).
+func ParseProfiles(src string) ([]*Profile, error) {
+	p := &profileParser{lines: strings.Split(src, "\n")}
+	var out []*Profile
+	for {
+		prof, err := p.nextProfile()
+		if err != nil {
+			return nil, err
+		}
+		if prof == nil {
+			break
+		}
+		out = append(out, prof)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("apparmor: no profiles in input")
+	}
+	return out, nil
+}
+
+// ParseProfile parses exactly one profile.
+func ParseProfile(src string) (*Profile, error) {
+	ps, err := ParseProfiles(src)
+	if err != nil {
+		return nil, err
+	}
+	if len(ps) != 1 {
+		return nil, fmt.Errorf("apparmor: expected 1 profile, found %d", len(ps))
+	}
+	return ps[0], nil
+}
+
+type profileParser struct {
+	lines []string
+	pos   int
+}
+
+// nextLine returns the next non-empty, non-comment line, or "" at EOF.
+func (p *profileParser) nextLine() (string, int) {
+	for p.pos < len(p.lines) {
+		line := strings.TrimSpace(p.lines[p.pos])
+		p.pos++
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = strings.TrimSpace(line[:i])
+		}
+		if line != "" {
+			return line, p.pos
+		}
+	}
+	return "", p.pos
+}
+
+func (p *profileParser) nextProfile() (*Profile, error) {
+	line, lineNo := p.nextLine()
+	if line == "" {
+		return nil, nil
+	}
+	if !strings.HasPrefix(line, "profile ") {
+		return nil, fmt.Errorf("apparmor: line %d: expected 'profile', got %q", lineNo, line)
+	}
+	header := strings.TrimSuffix(strings.TrimSpace(line[len("profile "):]), "{")
+	header = strings.TrimSpace(header)
+	if !strings.HasSuffix(line, "{") {
+		return nil, fmt.Errorf("apparmor: line %d: profile header must end with '{'", lineNo)
+	}
+
+	prof := &Profile{Mode: Enforce}
+	fields := strings.Fields(header)
+	for _, f := range fields {
+		switch {
+		case strings.HasPrefix(f, "flags=("):
+			flags := strings.TrimSuffix(strings.TrimPrefix(f, "flags=("), ")")
+			for _, fl := range strings.Split(flags, ",") {
+				switch strings.TrimSpace(fl) {
+				case "complain":
+					prof.Mode = Complain
+				case "enforce", "":
+					prof.Mode = Enforce
+				default:
+					return nil, fmt.Errorf("apparmor: line %d: unknown flag %q", lineNo, fl)
+				}
+			}
+		case prof.Name == "":
+			prof.Name = f
+		case prof.Attachment == nil:
+			g, err := glob.Compile(f)
+			if err != nil {
+				return nil, fmt.Errorf("apparmor: line %d: attachment: %v", lineNo, err)
+			}
+			prof.Attachment = g
+		default:
+			return nil, fmt.Errorf("apparmor: line %d: unexpected token %q in header", lineNo, f)
+		}
+	}
+	if prof.Name == "" {
+		return nil, fmt.Errorf("apparmor: line %d: profile needs a name", lineNo)
+	}
+	// A path-like name is its own attachment, as in real AppArmor.
+	if prof.Attachment == nil && strings.HasPrefix(prof.Name, "/") {
+		g, err := glob.Compile(prof.Name)
+		if err != nil {
+			return nil, fmt.Errorf("apparmor: line %d: %v", lineNo, err)
+		}
+		prof.Attachment = g
+	}
+
+	for {
+		line, lineNo = p.nextLine()
+		if line == "" {
+			return nil, fmt.Errorf("apparmor: unexpected EOF inside profile %q", prof.Name)
+		}
+		if line == "}" {
+			return prof, nil
+		}
+		if err := parseRuleLine(prof, line); err != nil {
+			return nil, fmt.Errorf("apparmor: line %d: %v", lineNo, err)
+		}
+	}
+}
+
+func parseRuleLine(prof *Profile, line string) error {
+	line = strings.TrimSuffix(line, ",")
+	deny := false
+	if strings.HasPrefix(line, "deny ") {
+		deny = true
+		line = strings.TrimSpace(line[len("deny "):])
+	}
+	fields := strings.Fields(line)
+	if len(fields) != 2 {
+		return fmt.Errorf("rule must be '<pattern> <perms>,': %q", line)
+	}
+	return prof.AddRule(fields[0], fields[1], deny)
+}

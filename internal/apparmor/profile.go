@@ -1,0 +1,211 @@
+package apparmor
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/glob"
+	"repro/internal/sys"
+)
+
+// ProfileMode selects whether violations are denied or only audited.
+type ProfileMode int
+
+// Profile modes.
+const (
+	Enforce ProfileMode = iota
+	Complain
+)
+
+// String names the mode like aa-status does.
+func (m ProfileMode) String() string {
+	if m == Complain {
+		return "complain"
+	}
+	return "enforce"
+}
+
+// Rule is one file rule in a profile: a path pattern, the access bits it
+// grants (or forbids when Deny is set), and the raw permission string for
+// round-tripping.
+type Rule struct {
+	Pattern *glob.Glob
+	Access  sys.Access
+	Deny    bool
+	Perms   string // original permission letters ("rwi")
+}
+
+// String renders the rule in profile syntax.
+func (r Rule) String() string {
+	prefix := ""
+	if r.Deny {
+		prefix = "deny "
+	}
+	return fmt.Sprintf("%s%s %s,", prefix, r.Pattern, r.Perms)
+}
+
+// Profile is a confinement domain: a name, an attachment pattern matched
+// against exec paths, and the rule list.
+type Profile struct {
+	Name       string
+	Attachment *glob.Glob // matches executable paths; nil means attach by Name
+	Mode       ProfileMode
+	Rules      []Rule
+}
+
+// Clone deep-copies the profile so callers can mutate rule sets safely.
+// Compiled globs are immutable and shared.
+func (p *Profile) Clone() *Profile {
+	c := &Profile{Name: p.Name, Attachment: p.Attachment, Mode: p.Mode}
+	c.Rules = make([]Rule, len(p.Rules))
+	copy(c.Rules, p.Rules)
+	return c
+}
+
+// AttachesTo reports whether the profile confines the given executable.
+func (p *Profile) AttachesTo(execPath string) bool {
+	if p.Attachment != nil {
+		return p.Attachment.Match(execPath)
+	}
+	return p.Name == execPath
+}
+
+// Evaluate computes the decision for a path access. Matching follows
+// AppArmor semantics: deny rules always win; otherwise every requested
+// bit must be granted by some allow rule. ok reports the decision and
+// matched is the rule that decided it (nil when no rule matched).
+func (p *Profile) Evaluate(path string, mask sys.Access) (ok bool, matched *Rule) {
+	var granted sys.Access
+	var lastAllow *Rule
+	for i := range p.Rules {
+		r := &p.Rules[i]
+		if !r.Pattern.Match(path) {
+			continue
+		}
+		if r.Deny {
+			if mask&r.Access != 0 {
+				return false, r
+			}
+			continue
+		}
+		if r.Access&mask != 0 {
+			granted |= r.Access
+			lastAllow = r
+		}
+	}
+	if granted.Has(mask) {
+		return true, lastAllow
+	}
+	return false, nil
+}
+
+// AddRule appends a rule built from a pattern string and permission
+// letters (see ParsePerms).
+func (p *Profile) AddRule(pattern, perms string, deny bool) error {
+	g, err := glob.Compile(pattern)
+	if err != nil {
+		return err
+	}
+	access, err := ParsePerms(perms)
+	if err != nil {
+		return err
+	}
+	p.Rules = append(p.Rules, Rule{Pattern: g, Access: access, Deny: deny, Perms: perms})
+	return nil
+}
+
+// String renders the whole profile in loadable syntax.
+func (p *Profile) String() string {
+	var b strings.Builder
+	attach := ""
+	if p.Attachment != nil {
+		attach = " " + p.Attachment.String()
+	}
+	flags := ""
+	if p.Mode == Complain {
+		flags = " flags=(complain)"
+	}
+	fmt.Fprintf(&b, "profile %s%s%s {\n", p.Name, attach, flags)
+	for _, r := range p.Rules {
+		fmt.Fprintf(&b, "  %s\n", r.String())
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
+// Permission letters, an extended superset of AppArmor file permissions:
+//
+//	r read   w write   a append   x exec   m mmap
+//	k lock   i ioctl   c create   d delete (unlink)
+var permLetters = map[byte]sys.Access{
+	'r': sys.MayRead,
+	'w': sys.MayWrite,
+	'a': sys.MayAppend,
+	'x': sys.MayExec,
+	'm': sys.MayMmap,
+	'k': sys.MayLock,
+	'i': sys.MayIoctl,
+	'c': sys.MayCreate,
+	'd': sys.MayUnlink,
+}
+
+// ParsePerms converts permission letters to an access mask.
+func ParsePerms(perms string) (sys.Access, error) {
+	if perms == "" {
+		return 0, fmt.Errorf("apparmor: empty permission string")
+	}
+	var mask sys.Access
+	for i := 0; i < len(perms); i++ {
+		bit, ok := permLetters[perms[i]]
+		if !ok {
+			return 0, fmt.Errorf("apparmor: unknown permission %q", string(perms[i]))
+		}
+		mask |= bit
+	}
+	return mask, nil
+}
+
+// FormatPerms converts an access mask back to canonical permission
+// letters (sorted in the conventional rwaxmkicd order).
+func FormatPerms(mask sys.Access) string {
+	order := "rwaxmkicd"
+	var b strings.Builder
+	for i := 0; i < len(order); i++ {
+		if mask&permLetters[order[i]] != 0 {
+			b.WriteByte(order[i])
+		}
+	}
+	return b.String()
+}
+
+// profileSet is the immutable snapshot the hook fast path reads.
+type profileSet struct {
+	byName map[string]*Profile
+	// ordered holds profiles in deterministic order for attachment
+	// scanning and introspection output.
+	ordered []*Profile
+}
+
+func newProfileSet(profiles map[string]*Profile) *profileSet {
+	ps := &profileSet{byName: profiles}
+	names := make([]string, 0, len(profiles))
+	for n := range profiles {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		ps.ordered = append(ps.ordered, profiles[n])
+	}
+	return ps
+}
+
+// attachFor returns the profile confining an exec path, or nil.
+func (ps *profileSet) attachFor(execPath string) *Profile {
+	for _, p := range ps.ordered {
+		if p.AttachesTo(execPath) {
+			return p
+		}
+	}
+	return nil
+}

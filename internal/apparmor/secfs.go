@@ -1,0 +1,65 @@
+package apparmor
+
+import (
+	"strings"
+
+	"repro/internal/securityfs"
+	"repro/internal/sys"
+	"repro/internal/vfs"
+)
+
+// RegisterSecurityFS exposes the module's control files under
+// /sys/kernel/security/apparmor, mirroring the real interface:
+//
+//	.load     write profile text to load/replace profiles
+//	.remove   write a profile name to unload it
+//	profiles  read the loaded profile list ("name (mode)" per line)
+//
+// Writes require CAP_MAC_ADMIN, per the paper's threat model.
+func (a *AppArmor) RegisterSecurityFS(secfs *securityfs.FS) error {
+	dir, err := secfs.CreateDir("apparmor")
+	if err != nil {
+		return err
+	}
+	_ = dir
+	if _, err := secfs.CreateFile("apparmor", ".load", vfs.Mode(0o600), &securityfs.FuncFile{
+		OnWrite: func(cred *sys.Cred, data []byte) error {
+			if !cred.HasCap(sys.CapMacAdmin) {
+				return sys.EPERM
+			}
+			profiles, err := ParseProfiles(string(data))
+			if err != nil {
+				return sys.EINVAL
+			}
+			return a.LoadProfiles(profiles)
+		},
+	}); err != nil {
+		return err
+	}
+	if _, err := secfs.CreateFile("apparmor", ".remove", vfs.Mode(0o600), &securityfs.FuncFile{
+		OnWrite: func(cred *sys.Cred, data []byte) error {
+			if !cred.HasCap(sys.CapMacAdmin) {
+				return sys.EPERM
+			}
+			return a.RemoveProfile(strings.TrimSpace(string(data)))
+		},
+	}); err != nil {
+		return err
+	}
+	if _, err := secfs.CreateFile("apparmor", "profiles", vfs.Mode(0o444), &securityfs.FuncFile{
+		OnRead: func(*sys.Cred) ([]byte, error) {
+			var b strings.Builder
+			ps := a.profiles.Load()
+			for _, p := range ps.ordered {
+				b.WriteString(p.Name)
+				b.WriteString(" (")
+				b.WriteString(p.Mode.String())
+				b.WriteString(")\n")
+			}
+			return []byte(b.String()), nil
+		},
+	}); err != nil {
+		return err
+	}
+	return nil
+}

@@ -1,0 +1,100 @@
+package bench
+
+import (
+	"testing"
+	"time"
+)
+
+// smallOpts keeps experiment smoke tests fast.
+var smallOpts = Options{Iterations: 40, MoveBytes: 1 << 20}
+
+func TestRunTable2Smoke(t *testing.T) {
+	tbl, err := RunTable2(smallOpts)
+	if err != nil {
+		t.Fatalf("RunTable2: %v", err)
+	}
+	if len(tbl.ConfigNames) != 3 {
+		t.Fatalf("configs = %v, want 3", tbl.ConfigNames)
+	}
+	var rows int
+	for _, sec := range tbl.Sections {
+		rows += len(sec.Rows)
+	}
+	if rows != 17 {
+		t.Fatalf("rows = %d, want 17 (Table II operation count)", rows)
+	}
+	for _, sec := range tbl.Sections {
+		for _, row := range sec.Rows {
+			if len(row.Values) != 3 {
+				t.Fatalf("row %q has %d values", row.Op, len(row.Values))
+			}
+			for i, v := range row.Values {
+				if v <= 0 {
+					t.Fatalf("row %q value[%d] = %v, want > 0", row.Op, i, v)
+				}
+			}
+		}
+	}
+	if out := tbl.Format(); len(out) == 0 {
+		t.Fatal("empty table format")
+	}
+}
+
+func TestRunTable3Smoke(t *testing.T) {
+	tbl, err := RunTable3([]int{0, 10, 100}, smallOpts)
+	if err != nil {
+		t.Fatalf("RunTable3: %v", err)
+	}
+	if len(tbl.ConfigNames) != 3 {
+		t.Fatalf("configs = %v", tbl.ConfigNames)
+	}
+	if tbl.ConfigNames[0] != "0 (baseline)" {
+		t.Fatalf("baseline name = %q", tbl.ConfigNames[0])
+	}
+}
+
+func TestRunFig3aSmoke(t *testing.T) {
+	fig, err := RunFig3a([]int{1, 10}, smallOpts)
+	if err != nil {
+		t.Fatalf("RunFig3a: %v", err)
+	}
+	if len(fig.Series) != 1 || len(fig.Series[0].Points) != 2 {
+		t.Fatalf("unexpected figure shape: %+v", fig)
+	}
+}
+
+func TestRunFig3bSmoke(t *testing.T) {
+	fig, err := RunFig3b([]time.Duration{10 * time.Millisecond}, Options{Iterations: 10, MoveBytes: 1 << 20})
+	if err != nil {
+		t.Fatalf("RunFig3b: %v", err)
+	}
+	if len(fig.Series[0].Points) != 1 {
+		t.Fatalf("points = %d", len(fig.Series[0].Points))
+	}
+}
+
+func TestRunLatencySmoke(t *testing.T) {
+	res, err := RunLatency(500)
+	if err != nil {
+		t.Fatalf("RunLatency: %v", err)
+	}
+	if res.AccuracyPct != 100 {
+		t.Fatalf("accuracy = %.1f%%, want 100%%", res.AccuracyPct)
+	}
+	if res.MeanMicros <= 0 || res.MeanMicros > 1000 {
+		t.Fatalf("mean latency = %.2fµs, want microsecond scale", res.MeanMicros)
+	}
+}
+
+func TestGenPoliciesCompile(t *testing.T) {
+	for _, n := range []int{1, 10, 100, 1000} {
+		if _, err := BootAppArmorWithSACKRules(n); err != nil {
+			t.Fatalf("rules policy n=%d: %v", n, err)
+		}
+	}
+	for _, n := range []int{1, 4, 100} {
+		if _, err := BootIndependentSACK(GenStatesPolicy(n)); err != nil {
+			t.Fatalf("states policy n=%d: %v", n, err)
+		}
+	}
+}

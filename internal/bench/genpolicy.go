@@ -1,0 +1,91 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+)
+
+// GenRulesPolicy generates the Table III workload: a two-state policy
+// carrying n MAC rules over the /srv/sack namespace. The rules cover
+// paths the LMBench workload never touches, so they measure exactly what
+// the paper measures — the cost of *having* rules loaded, not of
+// matching them.
+func GenRulesPolicy(n int) string {
+	var b strings.Builder
+	b.WriteString("states {\n  normal = 0\n  restricted = 1\n}\n\n")
+	b.WriteString("initial normal\n\n")
+	b.WriteString("permissions {\n  BULK\n}\n\n")
+	b.WriteString("state_per {\n  normal: BULK\n  restricted: BULK\n}\n\n")
+	b.WriteString("per_rules {\n  BULK {\n")
+	for i := 0; i < n; i++ {
+		fmt.Fprintf(&b, "    allow read,write /srv/sack/area%d/file%d*\n", i%16, i)
+	}
+	b.WriteString("  }\n}\n\n")
+	b.WriteString("transitions {\n  normal -> restricted on lockdown\n  restricted -> normal on release\n}\n")
+	return b.String()
+}
+
+// GenStatesPolicy generates the Fig. 3(a) workload: n situation states in
+// a ring, each granting a permission with a handful of rules, driven by
+// per-state advance events. Independent SACK enforces it.
+func GenStatesPolicy(n int) string {
+	if n < 1 {
+		n = 1
+	}
+	var b strings.Builder
+	b.WriteString("states {\n")
+	for i := 0; i < n; i++ {
+		fmt.Fprintf(&b, "  s%d = %d\n", i, i)
+	}
+	b.WriteString("}\n\ninitial s0\n\npermissions {\n")
+	for i := 0; i < n; i++ {
+		fmt.Fprintf(&b, "  P%d\n", i)
+	}
+	b.WriteString("}\n\nstate_per {\n")
+	for i := 0; i < n; i++ {
+		fmt.Fprintf(&b, "  s%d: P%d\n", i, i)
+	}
+	b.WriteString("}\n\nper_rules {\n")
+	for i := 0; i < n; i++ {
+		fmt.Fprintf(&b, "  P%d {\n", i)
+		fmt.Fprintf(&b, "    allow read,write /srv/states/zone%d/**\n", i)
+		fmt.Fprintf(&b, "    allow ioctl /dev/vehicle/dev%d*\n", i)
+		b.WriteString("  }\n")
+	}
+	b.WriteString("}\n\ntransitions {\n")
+	for i := 0; i < n; i++ {
+		fmt.Fprintf(&b, "  s%d -> s%d on advance%d\n", i, (i+1)%n, i)
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
+// SpeedGatePolicy is the Fig. 3(b) workload: a critical file readable
+// only in the low-speed state.
+const SpeedGatePolicy = `
+states {
+  low_speed = 0
+  high_speed = 1
+}
+
+initial low_speed
+
+permissions {
+  CRITICAL_FILE
+}
+
+state_per {
+  low_speed: CRITICAL_FILE
+}
+
+per_rules {
+  CRITICAL_FILE {
+    allow read,write /etc/vehicle/critical.conf
+  }
+}
+
+transitions {
+  low_speed -> high_speed on speed_high
+  high_speed -> low_speed on speed_low
+}
+`

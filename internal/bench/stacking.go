@@ -1,0 +1,86 @@
+package bench
+
+import (
+	"fmt"
+
+	"repro/internal/apparmor"
+	"repro/internal/core"
+	"repro/internal/kernel"
+	"repro/internal/lsm"
+	"repro/internal/policy"
+	"repro/internal/selinux"
+)
+
+// selinuxBenchPolicy confines nothing the benchmark touches; it exists so
+// the module has a realistic policy database loaded.
+const selinuxBenchPolicy = `
+context /etc/**          etc_t
+context /dev/vehicle/**  vehicle_dev_t
+domain doord_t /usr/bin/doord
+allow doord_t vehicle_dev_t read,write,ioctl
+allow doord_t etc_t read
+`
+
+// BootStackDepth assembles kernels with progressively deeper LSM stacks,
+// the ablation behind the "cost of one more module" question:
+//
+//	0: no LSM framework at all
+//	1: capability
+//	2: apparmor,capability
+//	3: sack,apparmor,capability            (the paper's configuration)
+//	4: sack,selinux,apparmor,capability
+func BootStackDepth(depth int) (*Testbed, error) {
+	k := kernel.New()
+	name := fmt.Sprintf("depth-%d", depth)
+	tb := &Testbed{Name: name, Kernel: k}
+	if depth <= 0 {
+		return tb, nil
+	}
+
+	var aa *apparmor.AppArmor
+	if depth >= 2 {
+		aa = apparmor.New(nil)
+		profiles, err := apparmor.ParseProfiles(defaultAppArmorProfiles)
+		if err != nil {
+			return nil, err
+		}
+		if err := aa.LoadProfiles(profiles); err != nil {
+			return nil, err
+		}
+		tb.AppArmor = aa
+	}
+
+	var modules []lsm.Module
+	if depth >= 3 {
+		compiled, vr, err := policy.Load(DefaultSACKPolicy)
+		if err != nil {
+			return nil, err
+		}
+		if !vr.OK() {
+			return nil, vr.Err()
+		}
+		s, err := core.New(core.Config{Mode: core.EnhancedAppArmor, Policy: compiled, AppArmor: aa})
+		if err != nil {
+			return nil, err
+		}
+		tb.SACK = s
+		modules = append(modules, s)
+	}
+	if depth >= 4 {
+		se := selinux.New(nil)
+		if err := se.LoadPolicy(selinuxBenchPolicy); err != nil {
+			return nil, err
+		}
+		modules = append(modules, se)
+	}
+	if aa != nil {
+		modules = append(modules, aa)
+	}
+	modules = append(modules, lsm.NewCapability())
+	for _, m := range modules {
+		if err := k.RegisterLSM(m); err != nil {
+			return nil, err
+		}
+	}
+	return tb, nil
+}

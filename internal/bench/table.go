@@ -1,0 +1,137 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/stats"
+)
+
+// Row is one operation across all measured configurations.
+type Row struct {
+	Op              string
+	Unit            string
+	SmallerIsBetter bool
+	Values          []float64 // one per configuration, baseline first
+}
+
+// Section groups rows under a Table II-style category heading.
+type Section struct {
+	Name string
+	Rows []Row
+}
+
+// Table is a rendered-comparison result: configurations as columns,
+// operations as rows, deltas against the first (baseline) column.
+type Table struct {
+	Title       string
+	ConfigNames []string
+	Sections    []Section
+}
+
+// Format renders the table in the paper's style: the baseline column
+// shows raw values, the others raw values plus the overhead arrow.
+func (t *Table) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", t.Title)
+	fmt.Fprintf(&b, "%-20s", "Configurations")
+	for _, c := range t.ConfigNames {
+		fmt.Fprintf(&b, " | %-28s", c)
+	}
+	b.WriteByte('\n')
+	b.WriteString(strings.Repeat("-", 22+31*len(t.ConfigNames)))
+	b.WriteByte('\n')
+	for _, sec := range t.Sections {
+		fmt.Fprintf(&b, "%s\n", sec.Name)
+		for _, row := range sec.Rows {
+			fmt.Fprintf(&b, "%-20s", row.Op)
+			for i, v := range row.Values {
+				cell := fmt.Sprintf("%.4f", v)
+				if i > 0 {
+					var pct float64
+					if row.SmallerIsBetter {
+						pct = stats.OverheadPct(row.Values[0], v)
+					} else {
+						pct = stats.InvertOverhead(row.Values[0], v)
+					}
+					cell += " (" + stats.FormatDelta(pct) + ")"
+				}
+				fmt.Fprintf(&b, " | %-28s", cell)
+			}
+			b.WriteByte('\n')
+		}
+	}
+	return b.String()
+}
+
+// MeanAbsOverheadPct computes the mean absolute overhead of configuration
+// col (1-based among non-baseline columns) across all rows — the "average
+// below 3%" headline number of the paper.
+func (t *Table) MeanAbsOverheadPct(col int) float64 {
+	var xs []float64
+	for _, sec := range t.Sections {
+		for _, row := range sec.Rows {
+			if col >= len(row.Values) {
+				continue
+			}
+			var pct float64
+			if row.SmallerIsBetter {
+				pct = stats.OverheadPct(row.Values[0], row.Values[col])
+			} else {
+				pct = stats.InvertOverhead(row.Values[0], row.Values[col])
+			}
+			if pct < 0 {
+				pct = -pct
+			}
+			xs = append(xs, pct)
+		}
+	}
+	return stats.Mean(xs)
+}
+
+// Point is one (x, y) sample of a figure series.
+type Point struct {
+	X float64
+	Y float64
+}
+
+// Series is a named line of a figure.
+type Series struct {
+	Name   string
+	Points []Point
+}
+
+// Figure is a reproduced paper figure: one or more series over a swept
+// parameter.
+type Figure struct {
+	Title  string
+	XLabel string
+	YLabel string
+	Series []Series
+}
+
+// Format renders the figure as an aligned text table.
+func (f *Figure) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", f.Title)
+	fmt.Fprintf(&b, "%-14s", f.XLabel)
+	for _, s := range f.Series {
+		fmt.Fprintf(&b, " | %-20s", s.Name+" ("+f.YLabel+")")
+	}
+	b.WriteByte('\n')
+	b.WriteString(strings.Repeat("-", 16+23*len(f.Series)))
+	b.WriteByte('\n')
+	if len(f.Series) == 0 {
+		return b.String()
+	}
+	for i := range f.Series[0].Points {
+		fmt.Fprintf(&b, "%-14.4g", f.Series[0].Points[i].X)
+		for _, s := range f.Series {
+			if i < len(s.Points) {
+				fmt.Fprintf(&b, " | %-20.4f", s.Points[i].Y)
+			}
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

@@ -1,0 +1,115 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+func demoTable() *Table {
+	return &Table{
+		Title:       "TABLE X: demo",
+		ConfigNames: []string{"base", "variant"},
+		Sections: []Section{
+			{
+				Name: "Latency (ms - smaller is better)",
+				Rows: []Row{
+					{Op: "op-slow", Unit: "ms", SmallerIsBetter: true, Values: []float64{1.0, 1.1}},
+					{Op: "op-fast", Unit: "ms", SmallerIsBetter: true, Values: []float64{1.0, 0.9}},
+				},
+			},
+			{
+				Name: "Bandwidth (MB/s - bigger is better)",
+				Rows: []Row{
+					{Op: "bw", Unit: "MB/s", Values: []float64{1000, 950}},
+				},
+			},
+		},
+	}
+}
+
+func TestTableFormat(t *testing.T) {
+	out := demoTable().Format()
+	for _, frag := range []string{
+		"TABLE X: demo",
+		"base", "variant",
+		"Latency (ms - smaller is better)",
+		"op-slow", "↓10.00%", // 10% slower
+		"op-fast", "↑10.00%", // 10% faster
+		"bw", "↓5.00%", // 5% less bandwidth = worse
+	} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("format missing %q:\n%s", frag, out)
+		}
+	}
+}
+
+func TestMeanAbsOverheadPct(t *testing.T) {
+	tbl := demoTable()
+	// |10| + |−10| + |5| over 3 rows = 8.33…
+	got := tbl.MeanAbsOverheadPct(1)
+	if got < 8.3 || got > 8.4 {
+		t.Fatalf("mean abs overhead = %v", got)
+	}
+	// Out-of-range column: zero rows contribute.
+	if v := tbl.MeanAbsOverheadPct(5); v != 0 {
+		t.Fatalf("missing column overhead = %v", v)
+	}
+}
+
+func TestFigureFormat(t *testing.T) {
+	fig := &Figure{
+		Title:  "Fig. demo",
+		XLabel: "states",
+		YLabel: "overhead %",
+		Series: []Series{{
+			Name:   "s1",
+			Points: []Point{{X: 1, Y: 2.5}, {X: 10, Y: 3.5}},
+		}},
+	}
+	out := fig.Format()
+	for _, frag := range []string{"Fig. demo", "states", "s1", "2.5000", "3.5000"} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("figure missing %q:\n%s", frag, out)
+		}
+	}
+	empty := &Figure{Title: "e", XLabel: "x", YLabel: "y"}
+	if out := empty.Format(); !strings.Contains(out, "e") {
+		t.Error("empty figure format")
+	}
+}
+
+func TestBootStackDepths(t *testing.T) {
+	for depth := 0; depth <= 4; depth++ {
+		tb, err := BootStackDepth(depth)
+		if err != nil {
+			t.Fatalf("depth %d: %v", depth, err)
+		}
+		got := len(tb.Kernel.LSM.Modules())
+		want := depth
+		if depth > 4 {
+			want = 4
+		}
+		if got != want {
+			t.Errorf("depth %d: %d modules registered", depth, got)
+		}
+	}
+	// Depth 3 is the paper's configuration.
+	tb, _ := BootStackDepth(3)
+	if got := tb.Kernel.LSM.String(); got != "sack,apparmor,capability" {
+		t.Errorf("depth-3 stack = %q", got)
+	}
+	tb4, _ := BootStackDepth(4)
+	if got := tb4.Kernel.LSM.String(); got != "sack,selinux,apparmor,capability" {
+		t.Errorf("depth-4 stack = %q", got)
+	}
+}
+
+func TestRunRISCVComparisonSmoke(t *testing.T) {
+	res, err := RunRISCVComparison(Options{Iterations: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.BaseReadMs <= 0 || res.SACKWriteMs <= 0 {
+		t.Fatalf("degenerate measurement: %+v", res)
+	}
+}

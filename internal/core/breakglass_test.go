@@ -1,0 +1,127 @@
+package core_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/sys"
+	"repro/internal/vfs"
+)
+
+func TestBreakGlassRequiresMACAdmin(t *testing.T) {
+	_, s := bootIndependent(t, casePolicy)
+	user := sys.NewCred(1000, 1000)
+	if err := s.BreakGlass(user, "emergency", "test"); !sys.IsErrno(err, sys.EPERM) {
+		t.Fatalf("unprivileged break-glass: %v", err)
+	}
+	if s.CurrentState().Name != "normal" {
+		t.Fatal("state moved despite denial")
+	}
+	if err := s.BreakGlass(nil, "emergency", "test"); !sys.IsErrno(err, sys.EPERM) {
+		t.Fatalf("nil cred: %v", err)
+	}
+}
+
+func TestBreakGlassForcesStateAndAudits(t *testing.T) {
+	k, s := bootIndependent(t, casePolicy)
+	root := sys.NewCred(0, 0)
+	if err := s.BreakGlass(root, "emergency", "driver unconscious, manual override"); err != nil {
+		t.Fatal(err)
+	}
+	if s.CurrentState().Name != "emergency" {
+		t.Fatal("state not forced")
+	}
+	if !s.OutstandingBreakGlass() {
+		t.Fatal("grant should be outstanding")
+	}
+	log := s.BreakGlassLog()
+	if len(log) != 1 || log[0].Reason != "driver unconscious, manual override" || log[0].Reverted {
+		t.Fatalf("log = %+v", log)
+	}
+
+	// The permission actually flips: door ioctl works now.
+	task := k.Init()
+	fd, err := task.Open("/dev/vehicle/door0", vfs.ORdonly, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := task.Ioctl(fd, 1, 0); err != nil {
+		t.Fatalf("ioctl after break-glass: %v", err)
+	}
+
+	// Revert restores lockdown and closes the record.
+	if err := s.RevertBreakGlass(root, "normal"); err != nil {
+		t.Fatal(err)
+	}
+	if s.OutstandingBreakGlass() {
+		t.Fatal("grant still outstanding after revert")
+	}
+	if _, err := task.Ioctl(fd, 1, 0); !sys.IsErrno(err, sys.EACCES) {
+		t.Fatalf("ioctl after revert: %v", err)
+	}
+
+	// Audit trail contains both actions.
+	var sawGlass, sawRevert bool
+	for _, rec := range k.Audit.Records() {
+		switch rec.Op {
+		case "break_glass":
+			sawGlass = true
+		case "break_glass_revert":
+			sawRevert = true
+		}
+	}
+	if !sawGlass || !sawRevert {
+		t.Fatal("audit records missing")
+	}
+}
+
+func TestBreakGlassUnknownState(t *testing.T) {
+	_, s := bootIndependent(t, casePolicy)
+	root := sys.NewCred(0, 0)
+	if err := s.BreakGlass(root, "nonexistent", "oops"); !sys.IsErrno(err, sys.EINVAL) {
+		t.Fatalf("unknown state: %v", err)
+	}
+	if len(s.BreakGlassLog()) != 0 {
+		t.Fatal("failed break-glass recorded")
+	}
+}
+
+func TestBreakGlassViaSACKfs(t *testing.T) {
+	k, s := bootIndependent(t, casePolicy)
+	task := k.Init()
+	if err := task.WriteFileAll(core.BreakGlassFile, []byte("emergency rescue override\n"), 0); err != nil {
+		t.Fatalf("break_glass write: %v", err)
+	}
+	if s.CurrentState().Name != "emergency" {
+		t.Fatal("state not forced via SACKfs")
+	}
+	data, err := task.ReadFileAll(core.BreakGlassFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(data)
+	if !strings.Contains(text, `reason="rescue override"`) || !strings.Contains(text, "OUTSTANDING") {
+		t.Fatalf("log dump = %q", text)
+	}
+	// Empty writes are rejected.
+	if err := task.WriteFileAll(core.BreakGlassFile, []byte("\n"), 0); !sys.IsErrno(err, sys.EINVAL) {
+		t.Fatalf("empty write: %v", err)
+	}
+}
+
+func TestBreakGlassMultipleOutstanding(t *testing.T) {
+	_, s := bootIndependent(t, casePolicy)
+	root := sys.NewCred(0, 0)
+	s.BreakGlass(root, "emergency", "first")
+	s.BreakGlass(root, "emergency", "second")
+	s.RevertBreakGlass(root, "normal")
+	// Only the most recent record is closed.
+	log := s.BreakGlassLog()
+	if !log[1].Reverted || log[0].Reverted {
+		t.Fatalf("revert order wrong: %+v", log)
+	}
+	if !s.OutstandingBreakGlass() {
+		t.Fatal("first grant should still be outstanding")
+	}
+}

@@ -1,0 +1,118 @@
+package core
+
+import (
+	"sort"
+
+	"repro/internal/apparmor"
+	"repro/internal/policy"
+	"repro/internal/ssm"
+	"repro/internal/sys"
+)
+
+// ManageProfile registers an AppArmor base profile for SACK-enhanced
+// mode. The base holds the profile's state-independent rules; on every
+// situation transition SACK regenerates the loaded profile as
+//
+//	base rules + rules granted by the current state that apply to it
+//
+// and atomically replaces it in AppArmor. A rule applies to a profile
+// when it has no subject clause, or its subject glob matches the profile
+// name or attachment pattern.
+func (s *SACK) ManageProfile(base *apparmor.Profile) error {
+	if s.mode != EnhancedAppArmor {
+		return sys.EINVAL
+	}
+	if base == nil || base.Name == "" {
+		return sys.EINVAL
+	}
+	s.managedMu.Lock()
+	s.managed[base.Name] = base.Clone()
+	s.managedMu.Unlock()
+	s.regenerateProfiles(s.machine.Load().Current())
+	return nil
+}
+
+// UnmanageProfile stops SACK from rewriting the named profile; the base
+// profile is restored.
+func (s *SACK) UnmanageProfile(name string) error {
+	s.managedMu.Lock()
+	base, ok := s.managed[name]
+	delete(s.managed, name)
+	s.managedMu.Unlock()
+	if !ok {
+		return sys.ENOENT
+	}
+	return s.aa.LoadProfile(base.Clone())
+}
+
+// ManagedProfiles lists the profiles under SACK control, sorted.
+func (s *SACK) ManagedProfiles() []string {
+	s.managedMu.Lock()
+	defer s.managedMu.Unlock()
+	out := make([]string, 0, len(s.managed))
+	for n := range s.managed {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// regenerateProfiles recomputes every managed profile for the given state
+// and swaps them into AppArmor in a single snapshot. Deny rules from the
+// policy are appended after the granted rules; AppArmor's deny-wins
+// evaluation preserves their meaning.
+func (s *SACK) regenerateProfiles(st ssm.State) {
+	if s.aa == nil {
+		return
+	}
+	c := s.pol.Load().compiled
+	rs := c.StateSets[st.Name]
+
+	s.managedMu.Lock()
+	bases := make([]*apparmor.Profile, 0, len(s.managed))
+	for _, b := range s.managed {
+		bases = append(bases, b)
+	}
+	s.managedMu.Unlock()
+	if len(bases) == 0 {
+		return
+	}
+	sort.Slice(bases, func(i, j int) bool { return bases[i].Name < bases[j].Name })
+
+	generated := make([]*apparmor.Profile, 0, len(bases))
+	for _, base := range bases {
+		p := base.Clone()
+		if rs != nil {
+			for _, r := range rs.Rules() {
+				if !ruleAppliesToProfile(&r, base) {
+					continue
+				}
+				p.Rules = append(p.Rules, apparmor.Rule{
+					Pattern: r.Pattern,
+					Access:  r.Access,
+					Deny:    r.Deny,
+					Perms:   apparmor.FormatPerms(r.Access),
+				})
+			}
+		}
+		generated = append(generated, p)
+	}
+	// Errors cannot occur here (profiles are pre-validated), but keep the
+	// module honest if AppArmor's invariants ever change.
+	_ = s.aa.LoadProfiles(generated)
+}
+
+// ruleAppliesToProfile decides whether a state-granted rule belongs in a
+// managed profile.
+func ruleAppliesToProfile(r *policy.CompiledRule, base *apparmor.Profile) bool {
+	if r.Subject == nil {
+		return true
+	}
+	if r.Subject.Match(base.Name) {
+		return true
+	}
+	if base.Attachment != nil && r.Subject.String() == base.Attachment.String() {
+		return true
+	}
+	return false
+}

@@ -1,0 +1,316 @@
+// Package core implements SACK, the situation-aware access control
+// security module of the paper: the situation state machine (SSM) holding
+// the current situation state as a new kernel security context, the
+// adaptive policy enforcer (APE) that maps states to MAC rules per
+// Algorithm 1, and the SACKfs pseudo-files used to deliver situation
+// events from user space.
+//
+// Two deployment modes are provided, matching the paper's prototypes:
+//
+//   - Independent: SACK enforces its own per-state rule sets in its LSM
+//     hooks. The active rule set is an atomic pointer swapped at
+//     transition time, so checks never observe a half-updated policy.
+//   - EnhancedAppArmor: SACK performs no checks of its own; instead it
+//     rewrites the managed AppArmor profiles whenever the situation
+//     state transitions, and AppArmor enforces as usual.
+package core
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/apparmor"
+	"repro/internal/lsm"
+	"repro/internal/policy"
+	"repro/internal/ssm"
+	"repro/internal/sys"
+	"repro/internal/vfs"
+)
+
+// ModuleName is the LSM registration name (first in CONFIG_LSM per §IV-D).
+const ModuleName = "sack"
+
+// Mode selects the deployment prototype.
+type Mode int
+
+// Deployment modes.
+const (
+	Independent Mode = iota
+	EnhancedAppArmor
+)
+
+// String names the mode as the paper does.
+func (m Mode) String() string {
+	if m == EnhancedAppArmor {
+		return "SACK-enhanced AppArmor"
+	}
+	return "independent SACK"
+}
+
+// Config assembles a SACK module.
+type Config struct {
+	Mode   Mode
+	Policy *policy.Compiled
+	Source string // original policy text, echoed back through SACKfs
+
+	// Audit may be nil to disable audit records.
+	Audit *lsm.AuditLog
+
+	// AppArmor is the enforcement substrate for EnhancedAppArmor mode;
+	// required there, ignored for Independent.
+	AppArmor *apparmor.AppArmor
+}
+
+// SACK is the security module.
+type SACK struct {
+	lsm.Base
+
+	mode  Mode
+	audit *lsm.AuditLog
+	aa    *apparmor.AppArmor
+
+	// mu serialises policy replacement and managed-profile changes.
+	mu      sync.Mutex
+	machine atomic.Pointer[ssm.Machine]
+	pol     atomic.Pointer[policyState]
+
+	// active is MR_current: the compiled rule set of the current state
+	// (independent mode fast path).
+	active atomic.Pointer[policy.RuleSet]
+
+	// managed maps AppArmor profile names to their base (state-independent)
+	// profiles for EnhancedAppArmor mode; guarded by managedMu (separate
+	// from mu: profile regeneration runs inside applyState, which policy
+	// installation calls while holding mu).
+	managedMu sync.Mutex
+	managed   map[string]*apparmor.Profile
+
+	checks    atomic.Uint64
+	denials   atomic.Uint64
+	eventsIn  atomic.Uint64 // events received through SACKfs
+	eventsHit atomic.Uint64 // events that caused a transition
+
+	// break-glass audit trail (see breakglass.go).
+	breakGlassSeq atomic.Uint64
+	breakGlassMu  sync.Mutex
+	breakGlassLog []BreakGlassRecord
+}
+
+// policyState bundles the compiled policy with its source text so both
+// swap together.
+type policyState struct {
+	compiled *policy.Compiled
+	source   string
+}
+
+// New builds the module, constructs the SSM from the policy's states and
+// transition rules, and installs the initial state's rule set.
+func New(cfg Config) (*SACK, error) {
+	if cfg.Policy == nil {
+		return nil, fmt.Errorf("sack: config needs a compiled policy")
+	}
+	if cfg.Mode == EnhancedAppArmor && cfg.AppArmor == nil {
+		return nil, fmt.Errorf("sack: EnhancedAppArmor mode needs an AppArmor module")
+	}
+	s := &SACK{
+		mode:    cfg.Mode,
+		audit:   cfg.Audit,
+		aa:      cfg.AppArmor,
+		managed: make(map[string]*apparmor.Profile),
+	}
+	if err := s.installPolicy(cfg.Policy, cfg.Source); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// Name implements lsm.Module.
+func (s *SACK) Name() string { return ModuleName }
+
+// Mode reports the deployment mode.
+func (s *SACK) Mode() Mode { return s.mode }
+
+// Machine exposes the live situation state machine.
+func (s *SACK) Machine() *ssm.Machine { return s.machine.Load() }
+
+// Policy returns the compiled policy currently installed.
+func (s *SACK) Policy() *policy.Compiled { return s.pol.Load().compiled }
+
+// CurrentState returns the current situation state.
+func (s *SACK) CurrentState() ssm.State { return s.machine.Load().Current() }
+
+// ActiveRules returns MR_current (independent mode introspection).
+func (s *SACK) ActiveRules() *policy.RuleSet { return s.active.Load() }
+
+// Stats reports (permission checks, denials, events received, events
+// that transitioned the SSM).
+func (s *SACK) Stats() (checks, denials, eventsIn, eventsHit uint64) {
+	return s.checks.Load(), s.denials.Load(), s.eventsIn.Load(), s.eventsHit.Load()
+}
+
+// installPolicy builds a fresh SSM for the compiled policy and swaps both
+// in. Used at construction and by SACKfs policy reload.
+func (s *SACK) installPolicy(c *policy.Compiled, source string) error {
+	states := make([]ssm.State, len(c.States))
+	for i, st := range c.States {
+		states[i] = ssm.State{Name: st.Name, Encoding: st.Encoding}
+	}
+	transitions := make([]ssm.Transition, len(c.Transitions))
+	for i, t := range c.Transitions {
+		transitions[i] = ssm.Transition{From: t.From, Event: ssm.Event(t.Event), To: t.To}
+	}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+
+	// Keep the current state across reloads when it still exists.
+	initial := c.Initial
+	if old := s.machine.Load(); old != nil {
+		if _, ok := c.StateSets[old.Current().Name]; ok {
+			initial = old.Current().Name
+		}
+	}
+	machine, err := ssm.New(ssm.Config{States: states, Initial: initial, Transitions: transitions})
+	if err != nil {
+		return fmt.Errorf("sack: building SSM: %w", err)
+	}
+	machine.Subscribe(s.onTransition)
+
+	s.pol.Store(&policyState{compiled: c, source: source})
+	s.machine.Store(machine)
+	s.applyState(machine.Current())
+	return nil
+}
+
+// ReplacePolicy atomically installs a new compiled policy (SACKfs write
+// path; requires CAP_MAC_ADMIN, checked by the caller).
+func (s *SACK) ReplacePolicy(c *policy.Compiled, source string) error {
+	return s.installPolicy(c, source)
+}
+
+// DeliverEvent feeds a situation event to the SSM. It is the programmatic
+// equivalent of writing to /sys/kernel/security/SACK/events.
+func (s *SACK) DeliverEvent(ev ssm.Event) (transitioned bool, from, to ssm.State) {
+	s.eventsIn.Add(1)
+	transitioned, from, to = s.machine.Load().Deliver(ev)
+	if transitioned {
+		s.eventsHit.Add(1)
+	}
+	return transitioned, from, to
+}
+
+// onTransition is the APE entry point: re-derive P = f(SS) and
+// MR = g(P) for the new state (Algorithm 1) and install it.
+func (s *SACK) onTransition(from, to ssm.State, ev ssm.Event) {
+	s.applyState(to)
+	if s.audit != nil {
+		s.audit.Append(lsm.AuditRecord{
+			Module: ModuleName, Op: "state_transition",
+			Subject: string(ev), Object: to.Name, Action: "ALLOWED",
+			Detail: fmt.Sprintf("from=%s to=%s", from.Name, to.Name),
+		})
+	}
+}
+
+// applyState installs the enforcement artifacts of a state: the atomic
+// rule-set pointer (independent) or rewritten AppArmor profiles
+// (enhanced).
+func (s *SACK) applyState(st ssm.State) {
+	c := s.pol.Load().compiled
+	rs := c.StateSets[st.Name]
+	if rs == nil {
+		rs = policy.NewRuleSet(st.Name, nil)
+	}
+	s.active.Store(rs)
+	if s.mode == EnhancedAppArmor {
+		s.regenerateProfiles(st)
+	}
+}
+
+// --- independent-mode enforcement hooks ---
+
+// subjectOf resolves the subject identity SACK rules match against: the
+// executable path recorded at exec time.
+func subjectOf(cred *sys.Cred) string {
+	if cred == nil {
+		return ""
+	}
+	if s, ok := cred.Blob(ModuleName).(string); ok {
+		return s
+	}
+	return ""
+}
+
+// BprmCheck records the task's executable path as its SACK subject label.
+func (s *SACK) BprmCheck(cred *sys.Cred, path string, _ *vfs.Inode) error {
+	cred.SetBlob(ModuleName, path)
+	return nil
+}
+
+// check is the decision fast path: objects not covered by the policy pass
+// through to the next LSM; covered objects must be allowed by MR_current.
+func (s *SACK) check(cred *sys.Cred, op, path string, mask sys.Access) error {
+	if s.mode == EnhancedAppArmor {
+		return nil // enforcement happens in AppArmor
+	}
+	pol := s.pol.Load().compiled
+	if !pol.Coverage.Covers(path) {
+		return nil
+	}
+	s.checks.Add(1)
+	rs := s.active.Load()
+	allowed, matched := rs.Decide(subjectOf(cred), path, mask)
+	if allowed {
+		return nil
+	}
+	s.denials.Add(1)
+	if s.audit != nil {
+		detail := "no allow rule in state " + rs.State
+		if matched != nil {
+			detail = fmt.Sprintf("rule %q in state %s", matched.String(), rs.State)
+		}
+		s.audit.Append(lsm.AuditRecord{
+			Module: ModuleName, Op: op,
+			Subject: subjectOf(cred), Object: path, Action: "DENIED",
+			Detail: fmt.Sprintf("mask=%s %s", mask, detail),
+		})
+	}
+	return sys.EACCES
+}
+
+// InodePermission enforces path access in the current situation state.
+func (s *SACK) InodePermission(cred *sys.Cred, path string, _ *vfs.Inode, mask sys.Access) error {
+	return s.check(cred, "inode_permission", path, mask)
+}
+
+// InodeCreate gates creation under covered paths.
+func (s *SACK) InodeCreate(cred *sys.Cred, _ *vfs.Inode, path string, _ vfs.Mode) error {
+	return s.check(cred, "inode_create", path, sys.MayCreate)
+}
+
+// InodeUnlink gates removal of covered objects.
+func (s *SACK) InodeUnlink(cred *sys.Cred, _ *vfs.Inode, path string, _ *vfs.Inode) error {
+	return s.check(cred, "inode_unlink", path, sys.MayUnlink)
+}
+
+// FilePermission re-validates every read/write, so a situation transition
+// applies to descriptors opened in an earlier state — the property the
+// Fig. 3(b) experiment (speed-gated file) depends on.
+func (s *SACK) FilePermission(cred *sys.Cred, f *vfs.File, mask sys.Access) error {
+	if strings.HasPrefix(f.Path, "pipe:") || strings.HasPrefix(f.Path, "socket:") {
+		return nil
+	}
+	return s.check(cred, "file_permission", f.Path, mask)
+}
+
+// FileIoctl gates device control — the hook behind CONTROL_CAR_DOORS.
+func (s *SACK) FileIoctl(cred *sys.Cred, f *vfs.File, _ uint64) error {
+	return s.check(cred, "file_ioctl", f.Path, sys.MayIoctl)
+}
+
+// MmapFile gates memory mapping of covered objects.
+func (s *SACK) MmapFile(cred *sys.Cred, f *vfs.File, _ sys.Access) error {
+	return s.check(cred, "mmap_file", f.Path, sys.MayMmap)
+}

@@ -1,0 +1,162 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/policy"
+	"repro/internal/securityfs"
+	"repro/internal/ssm"
+	"repro/internal/sys"
+	"repro/internal/vfs"
+)
+
+// SACKfs paths, as in the paper (§IV-C: "/sys/kernel/security/SACK/events").
+const (
+	FSDir          = "SACK"
+	EventsFile     = securityfs.MountPoint + "/" + FSDir + "/events"
+	PolicyFile     = securityfs.MountPoint + "/" + FSDir + "/policy"
+	StateFile      = securityfs.MountPoint + "/" + FSDir + "/state"
+	StatesFile     = securityfs.MountPoint + "/" + FSDir + "/states"
+	StatsFile      = securityfs.MountPoint + "/" + FSDir + "/stats"
+	BreakGlassFile = securityfs.MountPoint + "/" + FSDir + "/break_glass"
+)
+
+// RegisterSecurityFS exposes SACKfs: the securityfs-based transmission
+// interface between the user-space situation detection service and the
+// kernel SSM. Files:
+//
+//	events  write situation event names (one per line); read lists the
+//	        events the current policy reacts to. Requires CAP_MAC_ADMIN.
+//	policy  write replaces the SACK policy; read dumps the source.
+//	state   read the current situation state; write forces a state
+//	        (administrative break-glass; CAP_MAC_ADMIN).
+//	states  read the declared states and encodings.
+//	stats   read module counters.
+func (s *SACK) RegisterSecurityFS(secfs *securityfs.FS) error {
+	if _, err := secfs.CreateDir(FSDir); err != nil {
+		return err
+	}
+
+	files := []struct {
+		name string
+		perm vfs.Mode
+		h    *securityfs.FuncFile
+	}{
+		{"events", 0o600, &securityfs.FuncFile{
+			OnRead: func(*sys.Cred) ([]byte, error) {
+				var b strings.Builder
+				for _, e := range s.machine.Load().Events() {
+					b.WriteString(string(e))
+					b.WriteByte('\n')
+				}
+				return []byte(b.String()), nil
+			},
+			OnWrite: func(cred *sys.Cred, data []byte) error {
+				if !cred.HasCap(sys.CapMacAdmin) {
+					return sys.EPERM
+				}
+				for _, line := range strings.Split(string(data), "\n") {
+					ev := strings.TrimSpace(line)
+					if ev == "" {
+						continue
+					}
+					s.DeliverEvent(ssm.Event(ev))
+				}
+				return nil
+			},
+		}},
+		{"policy", 0o600, &securityfs.FuncFile{
+			OnRead: func(cred *sys.Cred) ([]byte, error) {
+				if !cred.HasCap(sys.CapMacAdmin) {
+					return nil, sys.EPERM
+				}
+				return []byte(s.pol.Load().source), nil
+			},
+			OnWrite: func(cred *sys.Cred, data []byte) error {
+				if !cred.HasCap(sys.CapMacAdmin) {
+					return sys.EPERM
+				}
+				compiled, _, err := policy.Load(string(data))
+				if err != nil {
+					return sys.EINVAL
+				}
+				return s.ReplacePolicy(compiled, string(data))
+			},
+		}},
+		{"state", 0o644, &securityfs.FuncFile{
+			OnRead: func(*sys.Cred) ([]byte, error) {
+				st := s.machine.Load().Current()
+				return []byte(fmt.Sprintf("%s (%d)\n", st.Name, st.Encoding)), nil
+			},
+			OnWrite: func(cred *sys.Cred, data []byte) error {
+				if !cred.HasCap(sys.CapMacAdmin) {
+					return sys.EPERM
+				}
+				name := strings.TrimSpace(string(data))
+				if err := s.machine.Load().ForceState(name); err != nil {
+					return sys.EINVAL
+				}
+				return nil
+			},
+		}},
+		{"states", 0o444, &securityfs.FuncFile{
+			OnRead: func(*sys.Cred) ([]byte, error) {
+				var b strings.Builder
+				for _, st := range s.machine.Load().States() {
+					fmt.Fprintf(&b, "%s = %d\n", st.Name, st.Encoding)
+				}
+				return []byte(b.String()), nil
+			},
+		}},
+		{"break_glass", 0o600, &securityfs.FuncFile{
+			// Write "<state> <reason...>" to break the glass; read shows
+			// the invocation log for post-incident review.
+			OnRead: func(cred *sys.Cred) ([]byte, error) {
+				if !cred.HasCap(sys.CapMacAdmin) {
+					return nil, sys.EPERM
+				}
+				var b strings.Builder
+				for _, r := range s.BreakGlassLog() {
+					status := "OUTSTANDING"
+					if r.Reverted {
+						status = "reverted"
+					}
+					fmt.Fprintf(&b, "%d uid=%d subject=%s to=%s reason=%q %s\n",
+						r.Seq, r.UID, r.Invoker, r.ToState, r.Reason, status)
+				}
+				return []byte(b.String()), nil
+			},
+			OnWrite: func(cred *sys.Cred, data []byte) error {
+				fields := strings.Fields(string(data))
+				if len(fields) == 0 {
+					return sys.EINVAL
+				}
+				reason := strings.Join(fields[1:], " ")
+				return s.BreakGlass(cred, fields[0], reason)
+			},
+		}},
+		{"stats", 0o444, &securityfs.FuncFile{
+			OnRead: func(*sys.Cred) ([]byte, error) {
+				checks, denials, eventsIn, eventsHit := s.Stats()
+				transitions, ignored := s.machine.Load().Stats()
+				var b strings.Builder
+				fmt.Fprintf(&b, "mode: %s\n", s.mode)
+				fmt.Fprintf(&b, "current_state: %s\n", s.machine.Load().Current().Name)
+				fmt.Fprintf(&b, "checks: %d\n", checks)
+				fmt.Fprintf(&b, "denials: %d\n", denials)
+				fmt.Fprintf(&b, "events_received: %d\n", eventsIn)
+				fmt.Fprintf(&b, "events_transitioned: %d\n", eventsHit)
+				fmt.Fprintf(&b, "ssm_transitions: %d\n", transitions)
+				fmt.Fprintf(&b, "ssm_ignored_events: %d\n", ignored)
+				return []byte(b.String()), nil
+			},
+		}},
+	}
+	for _, f := range files {
+		if _, err := secfs.CreateFile(FSDir, f.name, f.perm, f.h); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,209 @@
+// Package glob implements AppArmor-style path patterns, shared by the
+// simulated AppArmor module and the SACK policy compiler.
+package glob
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Glob is a compiled path pattern. Matching rules follow
+// apparmor.d(5):
+//
+//   - any characters within one path segment (not '/')
+//     **  any characters across segments
+//     ?   one character (not '/')
+//     [...] / [^...]  character class within a segment
+//     {a,b}  alternation (may nest, may contain other operators)
+type Glob struct {
+	source   string
+	branches []string // brace-expanded alternatives
+	literal  bool     // no metacharacters at all: compare directly
+}
+
+// Compile parses and validates a pattern.
+func Compile(pattern string) (*Glob, error) {
+	if pattern == "" {
+		return nil, fmt.Errorf("glob: empty pattern")
+	}
+	branches, err := expandBraces(pattern)
+	if err != nil {
+		return nil, fmt.Errorf("glob: pattern %q: %w", pattern, err)
+	}
+	g := &Glob{source: pattern, branches: branches}
+	g.literal = !strings.ContainsAny(pattern, "*?[{")
+	for _, b := range branches {
+		if err := validateGlob(b); err != nil {
+			return nil, fmt.Errorf("glob: pattern %q: %w", pattern, err)
+		}
+	}
+	return g, nil
+}
+
+// MustCompile is Compile for static patterns; it panics on error.
+func MustCompile(pattern string) *Glob {
+	g, err := Compile(pattern)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// String returns the original pattern text.
+func (g *Glob) String() string { return g.source }
+
+// Literal reports whether the pattern contains no metacharacters.
+func (g *Glob) Literal() bool { return g.literal }
+
+// LiteralPrefix returns the leading metacharacter-free portion of the
+// pattern (used by rule indexes to bucket patterns).
+func (g *Glob) LiteralPrefix() string {
+	i := strings.IndexAny(g.source, "*?[{")
+	if i < 0 {
+		return g.source
+	}
+	return g.source[:i]
+}
+
+// Match reports whether path matches the pattern.
+func (g *Glob) Match(path string) bool {
+	if g.literal {
+		return g.source == path
+	}
+	for _, b := range g.branches {
+		if matchGlob(b, path) {
+			return true
+		}
+	}
+	return false
+}
+
+// expandBraces rewrites {a,b{c,d}} alternations into plain glob branches.
+// The expansion is bounded to keep pathological policies from exploding.
+const maxBranches = 256
+
+func expandBraces(p string) ([]string, error) {
+	open := strings.IndexByte(p, '{')
+	if open < 0 {
+		if strings.IndexByte(p, '}') >= 0 {
+			return nil, fmt.Errorf("unbalanced '}'")
+		}
+		return []string{p}, nil
+	}
+	depth := 0
+	var alts []string
+	start := open + 1
+	for i := open; i < len(p); i++ {
+		switch p[i] {
+		case '{':
+			depth++
+		case ',':
+			if depth == 1 {
+				alts = append(alts, p[start:i])
+				start = i + 1
+			}
+		case '}':
+			depth--
+			if depth == 0 {
+				alts = append(alts, p[start:i])
+				var out []string
+				for _, a := range alts {
+					subs, err := expandBraces(p[:open] + a + p[i+1:])
+					if err != nil {
+						return nil, err
+					}
+					out = append(out, subs...)
+					if len(out) > maxBranches {
+						return nil, fmt.Errorf("alternation expands to more than %d branches", maxBranches)
+					}
+				}
+				return out, nil
+			}
+		}
+	}
+	return nil, fmt.Errorf("unbalanced '{'")
+}
+
+// validateGlob rejects malformed character classes.
+func validateGlob(p string) error {
+	for i := 0; i < len(p); i++ {
+		if p[i] == '[' {
+			j := strings.IndexByte(p[i+1:], ']')
+			if j < 0 {
+				return fmt.Errorf("unterminated character class")
+			}
+			if j == 0 || (j == 1 && p[i+1] == '^') {
+				return fmt.Errorf("empty character class")
+			}
+			i += j + 1
+		}
+	}
+	return nil
+}
+
+// matchGlob is a backtracking matcher over one brace-free branch.
+func matchGlob(p, s string) bool {
+	if p == "" {
+		return s == ""
+	}
+	switch {
+	case strings.HasPrefix(p, "**"):
+		rest := p[2:]
+		for k := 0; k <= len(s); k++ {
+			if matchGlob(rest, s[k:]) {
+				return true
+			}
+		}
+		return false
+	case p[0] == '*':
+		rest := p[1:]
+		for k := 0; ; k++ {
+			if matchGlob(rest, s[k:]) {
+				return true
+			}
+			if k >= len(s) || s[k] == '/' {
+				return false
+			}
+		}
+	case p[0] == '?':
+		return len(s) > 0 && s[0] != '/' && matchGlob(p[1:], s[1:])
+	case p[0] == '[':
+		end := strings.IndexByte(p[1:], ']')
+		if end < 0 || len(s) == 0 {
+			return false
+		}
+		class := p[1 : 1+end]
+		if !matchClass(class, s[0]) {
+			return false
+		}
+		return matchGlob(p[2+end:], s[1:])
+	default:
+		return len(s) > 0 && s[0] == p[0] && matchGlob(p[1:], s[1:])
+	}
+}
+
+// matchClass evaluates a [...] character class body against c.
+func matchClass(class string, c byte) bool {
+	if c == '/' {
+		return false // classes never span path separators
+	}
+	negate := false
+	if len(class) > 0 && class[0] == '^' {
+		negate = true
+		class = class[1:]
+	}
+	matched := false
+	for i := 0; i < len(class); i++ {
+		if i+2 < len(class) && class[i+1] == '-' {
+			if class[i] <= c && c <= class[i+2] {
+				matched = true
+			}
+			i += 2
+			continue
+		}
+		if class[i] == c {
+			matched = true
+		}
+	}
+	return matched != negate
+}

@@ -1,0 +1,211 @@
+package glob
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestMatchBasics(t *testing.T) {
+	cases := []struct {
+		pattern string
+		path    string
+		want    bool
+	}{
+		// literals
+		{"/etc/passwd", "/etc/passwd", true},
+		{"/etc/passwd", "/etc/shadow", false},
+		{"/etc/passwd", "/etc/passwd2", false},
+
+		// '*' stays within a segment
+		{"/dev/vehicle/door*", "/dev/vehicle/door0", true},
+		{"/dev/vehicle/door*", "/dev/vehicle/door12", true},
+		{"/dev/vehicle/door*", "/dev/vehicle/door", true},
+		{"/dev/vehicle/door*", "/dev/vehicle/window0", false},
+		{"/dev/vehicle/door*", "/dev/vehicle/door0/sub", false},
+		{"/etc/*.conf", "/etc/app.conf", true},
+		{"/etc/*.conf", "/etc/sub/app.conf", false},
+
+		// '**' crosses segments
+		{"/etc/**", "/etc/app.conf", true},
+		{"/etc/**", "/etc/sub/deep/app.conf", true},
+		{"/etc/**", "/etcx/app.conf", false},
+		{"/**", "/anything/at/all", true},
+		{"/srv/**/file", "/srv/a/b/file", true},
+		{"/srv/**/file", "/srv/file", false}, // '**' here must cover "a/" at least... matches empty too
+
+		// '?' single non-slash char
+		{"/dev/tty?", "/dev/tty1", true},
+		{"/dev/tty?", "/dev/tty", false},
+		{"/dev/tty?", "/dev/tty/1", false},
+
+		// classes
+		{"/dev/door[0-3]", "/dev/door2", true},
+		{"/dev/door[0-3]", "/dev/door5", false},
+		{"/dev/door[^0-3]", "/dev/door5", true},
+		{"/dev/door[^0-3]", "/dev/door1", false},
+		{"/dev/door[0-3]", "/dev/door/", false},
+
+		// alternation
+		{"/dev/vehicle/{door,window}*", "/dev/vehicle/door0", true},
+		{"/dev/vehicle/{door,window}*", "/dev/vehicle/window3", true},
+		{"/dev/vehicle/{door,window}*", "/dev/vehicle/audio0", false},
+		{"/{a,b{c,d}}/x", "/bc/x", true},
+		{"/{a,b{c,d}}/x", "/bd/x", true},
+		{"/{a,b{c,d}}/x", "/a/x", true},
+		{"/{a,b{c,d}}/x", "/b/x", false},
+	}
+	for _, c := range cases {
+		g, err := Compile(c.pattern)
+		if err != nil {
+			t.Fatalf("Compile(%q): %v", c.pattern, err)
+		}
+		if got := g.Match(c.path); got != c.want {
+			t.Errorf("Match(%q, %q) = %v, want %v", c.pattern, c.path, got, c.want)
+		}
+	}
+}
+
+func TestMatchDoubleStarEmpty(t *testing.T) {
+	// '**' may match the empty string.
+	g := MustCompile("/srv/**file")
+	if !g.Match("/srv/file") {
+		t.Error("'**' should match empty")
+	}
+	if !g.Match("/srv/a/b/file") {
+		t.Error("'**' should cross segments")
+	}
+}
+
+func TestCompileErrors(t *testing.T) {
+	for _, pattern := range []string{
+		"",
+		"/etc/[",
+		"/etc/[]x",
+		"/etc/{a,b",
+		"/etc/a}b",
+	} {
+		if _, err := Compile(pattern); err == nil {
+			t.Errorf("Compile(%q): expected error", pattern)
+		}
+	}
+}
+
+func TestLiteralAndPrefix(t *testing.T) {
+	g := MustCompile("/etc/passwd")
+	if !g.Literal() {
+		t.Error("plain path should be literal")
+	}
+	if got := g.LiteralPrefix(); got != "/etc/passwd" {
+		t.Errorf("LiteralPrefix = %q", got)
+	}
+	g = MustCompile("/dev/vehicle/door*")
+	if g.Literal() {
+		t.Error("glob should not be literal")
+	}
+	if got := g.LiteralPrefix(); got != "/dev/vehicle/door" {
+		t.Errorf("LiteralPrefix = %q", got)
+	}
+}
+
+func TestBranchExplosionBounded(t *testing.T) {
+	// 4^5 = 1024 > 256 branches must be rejected.
+	pattern := "/" + strings.Repeat("{a,b,c,d}", 5)
+	if _, err := Compile(pattern); err == nil {
+		t.Error("expected branch explosion to be rejected")
+	}
+}
+
+// sanitizePath maps arbitrary fuzz bytes into plausible path strings.
+func sanitizePath(raw string) string {
+	const alphabet = "abc012/_-."
+	var b strings.Builder
+	b.WriteByte('/')
+	for _, r := range raw {
+		b.WriteByte(alphabet[int(r)%len(alphabet)])
+		if b.Len() > 60 {
+			break
+		}
+	}
+	return b.String()
+}
+
+// Property: a literal path used as its own pattern always matches itself
+// and never matches with a single extra suffix character.
+func TestPropertyLiteralSelfMatch(t *testing.T) {
+	f := func(raw string) bool {
+		path := sanitizePath(raw)
+		if strings.ContainsAny(path, "*?[{}") {
+			return true
+		}
+		g, err := Compile(path)
+		if err != nil {
+			return false
+		}
+		return g.Match(path) && !g.Match(path+"x")
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: "<dir>/**" matches every path strictly under dir.
+func TestPropertyDoubleStarSubsumes(t *testing.T) {
+	f := func(rawDir, rawRest string) bool {
+		dir := sanitizePath(rawDir)
+		if strings.ContainsAny(dir, "*?[{}") || strings.HasSuffix(dir, "/") {
+			return true
+		}
+		rest := strings.TrimPrefix(sanitizePath(rawRest), "/")
+		if rest == "" {
+			return true
+		}
+		g, err := Compile(dir + "/**")
+		if err != nil {
+			return false
+		}
+		return g.Match(dir + "/" + rest)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: '*' never matches across '/' boundaries.
+func TestPropertyStarNoSlash(t *testing.T) {
+	f := func(raw string) bool {
+		seg := strings.ReplaceAll(sanitizePath(raw), "/", "")
+		if seg == "" || strings.ContainsAny(seg, "*?[{}") {
+			return true
+		}
+		g, err := Compile("/top/*")
+		if err != nil {
+			return false
+		}
+		return g.Match("/top/"+seg) && !g.Match("/top/"+seg+"/deeper")
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkMatchLiteral(b *testing.B) {
+	g := MustCompile("/dev/vehicle/door0")
+	for i := 0; i < b.N; i++ {
+		g.Match("/dev/vehicle/door0")
+	}
+}
+
+func BenchmarkMatchStar(b *testing.B) {
+	g := MustCompile("/dev/vehicle/door*")
+	for i := 0; i < b.N; i++ {
+		g.Match("/dev/vehicle/door12")
+	}
+}
+
+func BenchmarkMatchDoubleStar(b *testing.B) {
+	g := MustCompile("/etc/**/*.conf")
+	for i := 0; i < b.N; i++ {
+		g.Match("/etc/app/deep/nested/config.conf")
+	}
+}

@@ -1,0 +1,149 @@
+package glob
+
+import (
+	"math/rand"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// refRegexp translates one brace-free glob branch into an anchored
+// regular expression — an independent implementation of the matching
+// semantics used to cross-check the backtracking matcher.
+func refRegexp(t *testing.T, branch string) *regexp.Regexp {
+	t.Helper()
+	var b strings.Builder
+	b.WriteString(`\A`)
+	for i := 0; i < len(branch); i++ {
+		c := branch[i]
+		switch {
+		case c == '*' && i+1 < len(branch) && branch[i+1] == '*':
+			b.WriteString(`.*`)
+			i++
+		case c == '*':
+			b.WriteString(`[^/]*`)
+		case c == '?':
+			b.WriteString(`[^/]`)
+		case c == '[':
+			end := strings.IndexByte(branch[i+1:], ']')
+			if end < 0 {
+				t.Fatalf("bad class in %q", branch)
+			}
+			class := branch[i+1 : i+1+end]
+			// Classes never match '/', mirroring matchClass.
+			if strings.HasPrefix(class, "^") {
+				b.WriteString("[^/" + regexp.QuoteMeta(class[1:]) + "]")
+			} else {
+				// Keep ranges like 0-9 intact; escape other specials.
+				safe := strings.ReplaceAll(class, `\`, `\\`)
+				safe = strings.ReplaceAll(safe, `]`, `\]`)
+				b.WriteString("(?:[" + safe + "])")
+			}
+			i += end + 1
+		default:
+			b.WriteString(regexp.QuoteMeta(string(c)))
+		}
+	}
+	b.WriteString(`\z`)
+	re, err := regexp.Compile(b.String())
+	if err != nil {
+		t.Fatalf("reference regexp for %q: %v", branch, err)
+	}
+	return re
+}
+
+// genBranch builds a random brace-free pattern over a small alphabet.
+func genBranch(rng *rand.Rand) string {
+	var b strings.Builder
+	b.WriteByte('/')
+	n := 1 + rng.Intn(10)
+	for i := 0; i < n; i++ {
+		switch rng.Intn(8) {
+		case 0:
+			b.WriteString("*")
+		case 1:
+			b.WriteString("**")
+		case 2:
+			b.WriteString("?")
+		case 3:
+			b.WriteString("[ab]")
+		case 4:
+			b.WriteString("[0-3]")
+		case 5:
+			b.WriteString("/")
+		default:
+			b.WriteByte("abcd01"[rng.Intn(6)])
+		}
+	}
+	return b.String()
+}
+
+// genPath builds a random path over the same alphabet.
+func genPath(rng *rand.Rand) string {
+	var b strings.Builder
+	b.WriteByte('/')
+	n := rng.Intn(14)
+	for i := 0; i < n; i++ {
+		if rng.Intn(5) == 0 {
+			b.WriteByte('/')
+		} else {
+			b.WriteByte("abcd0123"[rng.Intn(8)])
+		}
+	}
+	return b.String()
+}
+
+// TestMatcherAgreesWithRegexpReference fuzzes pattern/path pairs and
+// requires the backtracking matcher and the regexp translation to agree.
+func TestMatcherAgreesWithRegexpReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	patterns := 0
+	for patterns < 300 {
+		branch := genBranch(rng)
+		g, err := Compile(branch)
+		if err != nil {
+			continue // generator can emit invalid classes at boundaries
+		}
+		patterns++
+		re := refRegexp(t, branch)
+		for i := 0; i < 40; i++ {
+			path := genPath(rng)
+			got := g.Match(path)
+			want := re.MatchString(path)
+			if got != want {
+				t.Fatalf("pattern %q path %q: matcher=%v regexp=%v", branch, path, got, want)
+			}
+		}
+	}
+}
+
+// TestMatcherAgreesOnNearMisses mutates matching paths slightly and
+// re-checks agreement — exercising boundaries the random sampler rarely
+// hits.
+func TestMatcherAgreesOnNearMisses(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 200; trial++ {
+		branch := genBranch(rng)
+		g, err := Compile(branch)
+		if err != nil {
+			continue
+		}
+		re := refRegexp(t, branch)
+		base := genPath(rng)
+		mutations := []string{
+			base + "x",
+			base + "/",
+			"/" + base,
+			strings.Replace(base, "a", "b", 1),
+			strings.TrimSuffix(base, string(base[len(base)-1])),
+		}
+		for _, m := range mutations {
+			if m == "" {
+				continue
+			}
+			if got, want := g.Match(m), re.MatchString(m); got != want {
+				t.Fatalf("pattern %q path %q: matcher=%v regexp=%v", branch, m, got, want)
+			}
+		}
+	}
+}

@@ -1,0 +1,70 @@
+package ivi
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/vehicle"
+)
+
+// Dashboard renders the IVI status panel of the paper's Fig. 4(a): the
+// current situation state, door and window positions, audio volume, and
+// recent CAN traffic — an ASCII stand-in for the case-study display.
+type Dashboard struct {
+	Vehicle *vehicle.Vehicle
+	SACK    *core.SACK // nil on unprotected systems
+}
+
+// Render produces the panel.
+func (d *Dashboard) Render() string {
+	var b strings.Builder
+	b.WriteString("+--------------------- IVI STATUS ---------------------+\n")
+	state := "(no SACK)"
+	if d.SACK != nil {
+		st := d.SACK.CurrentState()
+		state = fmt.Sprintf("%s (%d)", st.Name, st.Encoding)
+	}
+	fmt.Fprintf(&b, "| situation state : %-35s |\n", state)
+	fmt.Fprintf(&b, "| speed           : %-35s |\n",
+		fmt.Sprintf("%.1f km/h", d.Vehicle.Dynamics.Speed()))
+
+	var doors []string
+	for i, door := range d.Vehicle.Doors {
+		mark := "L"
+		if door.State() == vehicle.DoorUnlocked {
+			mark = "U"
+		}
+		doors = append(doors, fmt.Sprintf("d%d:%s", i, mark))
+	}
+	fmt.Fprintf(&b, "| doors           : %-35s |\n", strings.Join(doors, " "))
+
+	var windows []string
+	for i, w := range d.Vehicle.Windows {
+		windows = append(windows, fmt.Sprintf("w%d:%d%%", i, w.Position()))
+	}
+	fmt.Fprintf(&b, "| windows         : %-35s |\n", strings.Join(windows, " "))
+	fmt.Fprintf(&b, "| audio volume    : %-35s |\n",
+		fmt.Sprintf("%d/100", d.Vehicle.Audio.Volume()))
+
+	if d.SACK != nil {
+		checks, denials, eventsIn, _ := d.SACK.Stats()
+		fmt.Fprintf(&b, "| SACK            : %-35s |\n",
+			fmt.Sprintf("checks=%d denials=%d events=%d", checks, denials, eventsIn))
+	}
+
+	frames := d.Vehicle.Bus.Log()
+	if n := len(frames); n > 0 {
+		start := n - 3
+		if start < 0 {
+			start = 0
+		}
+		var last []string
+		for _, f := range frames[start:] {
+			last = append(last, f.String())
+		}
+		fmt.Fprintf(&b, "| CAN (last %d)    : %-35s |\n", len(last), strings.Join(last, " "))
+	}
+	b.WriteString("+-------------------------------------------------------+\n")
+	return b.String()
+}

@@ -1,0 +1,115 @@
+package ivi
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/kernel"
+)
+
+// Socket IPC transport: the same middleware contract as System.Call, but
+// carried over the simulated kernel's AF_UNIX stream sockets, like a
+// real IVI's binder/D-Bus hop. The permission framework check still
+// happens in the service process, and the request bytes themselves cross
+// the kernel — so LSM socket hooks see the traffic.
+
+// socketAddr returns the service's well-known socket address.
+func socketAddr(service string) string { return "unix:/run/ivi/" + service + ".sock" }
+
+// ServeIPC starts the service's request loop on its well-known socket,
+// handling one connection at a time. It returns the accept loop's
+// terminal error via the done channel (nil on Stop).
+func (s *System) ServeIPC(svc *Service) (stop func(), done <-chan error, err error) {
+	lfd, err := svc.Task.Socket(kernel.AFUnix, kernel.SockStream)
+	if err != nil {
+		return nil, nil, err
+	}
+	addr := socketAddr(svc.Name)
+	if err := svc.Task.Bind(lfd, addr); err != nil {
+		svc.Task.Close(lfd)
+		return nil, nil, err
+	}
+	if err := svc.Task.Listen(lfd, 8); err != nil {
+		svc.Task.Close(lfd)
+		return nil, nil, err
+	}
+
+	doneCh := make(chan error, 1)
+	stopCh := make(chan struct{})
+	go func() {
+		for {
+			cfd, err := svc.Task.Accept(lfd)
+			if err != nil {
+				select {
+				case <-stopCh:
+					doneCh <- nil
+				default:
+					doneCh <- err
+				}
+				return
+			}
+			s.handleIPC(svc, cfd)
+			svc.Task.Close(cfd)
+		}
+	}()
+	return func() { close(stopCh); svc.Task.Close(lfd) }, doneCh, nil
+}
+
+// handleIPC serves one request on an accepted connection. Wire format:
+// request "app method arg\n", response "ok\n" or "err <message>\n".
+func (s *System) handleIPC(svc *Service, cfd int) {
+	buf := make([]byte, 256)
+	n, err := svc.Task.Recv(cfd, buf)
+	if err != nil || n == 0 {
+		return
+	}
+	fields := strings.Fields(string(buf[:n]))
+	if len(fields) != 3 {
+		svc.Task.Send(cfd, []byte("err malformed request\n"))
+		return
+	}
+	app, ok := s.App(fields[0])
+	if !ok {
+		svc.Task.Send(cfd, []byte("err unknown app\n"))
+		return
+	}
+	arg, err := strconv.ParseUint(fields[2], 10, 64)
+	if err != nil {
+		svc.Task.Send(cfd, []byte("err bad argument\n"))
+		return
+	}
+	if err := s.Call(app, svc.Name, fields[1], arg); err != nil {
+		svc.Task.Send(cfd, []byte("err "+err.Error()+"\n"))
+		return
+	}
+	svc.Task.Send(cfd, []byte("ok\n"))
+}
+
+// CallOverSocket performs a middleware call through the kernel socket
+// transport as the app's own task: connect, send the request, read the
+// verdict. The service must be serving via ServeIPC.
+func (s *System) CallOverSocket(app *App, service, method string, arg uint64) error {
+	fd, err := app.Task.Socket(kernel.AFUnix, kernel.SockStream)
+	if err != nil {
+		return err
+	}
+	defer app.Task.Close(fd)
+	if err := app.Task.Connect(fd, socketAddr(service)); err != nil {
+		return fmt.Errorf("ivi: connecting to %s: %w", service, err)
+	}
+	req := fmt.Sprintf("%s %s %d\n", app.Name, method, arg)
+	if _, err := app.Task.Send(fd, []byte(req)); err != nil {
+		return err
+	}
+	buf := make([]byte, 256)
+	n, err := app.Task.Recv(fd, buf)
+	if err != nil {
+		return err
+	}
+	resp := strings.TrimSpace(string(buf[:n]))
+	if resp == "ok" {
+		return nil
+	}
+	return fmt.Errorf("ivi: %s", strings.TrimPrefix(resp, "err "))
+}

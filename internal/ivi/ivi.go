@@ -1,0 +1,247 @@
+// Package ivi emulates an in-vehicle infotainment system in the style of
+// the KOFFEE tooling the paper builds on (§IV-C): installed apps with a
+// user-space permission framework, middleware services that perform
+// vehicle control on the apps' behalf, and the command-injection attack
+// path that bypasses every user-space check by talking to the kernel
+// directly. It is the testbed for the paper's Q2 security experiments.
+package ivi
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/kernel"
+	"repro/internal/sys"
+	"repro/internal/vehicle"
+	"repro/internal/vfs"
+)
+
+// Permission names in the user-space permission framework. These are the
+// coarse-grained Android-style permissions the paper contrasts with MAC
+// rules.
+const (
+	PermControlDoors   = "ivi.permission.CONTROL_CAR_DOORS"
+	PermControlWindows = "ivi.permission.CONTROL_CAR_WINDOWS"
+	PermAudioControl   = "ivi.permission.AUDIO_CONTROL"
+)
+
+// App is one installed IVI application: an unprivileged task plus the
+// user-space permissions granted at install time.
+type App struct {
+	Name  string
+	UID   int
+	Task  *kernel.Task
+	perms map[string]bool
+}
+
+// HasPermission reports an install-time grant.
+func (a *App) HasPermission(perm string) bool { return a.perms[perm] }
+
+// System is the IVI emulator.
+type System struct {
+	Kernel  *kernel.Kernel
+	Vehicle *vehicle.Vehicle
+
+	mu       sync.Mutex
+	apps     map[string]*App
+	services map[string]*Service
+	nextUID  int
+}
+
+// NewSystem boots the IVI layer over an existing kernel and vehicle. The
+// vehicle devices must already be registered.
+func NewSystem(k *kernel.Kernel, v *vehicle.Vehicle) *System {
+	return &System{
+		Kernel:   k,
+		Vehicle:  v,
+		apps:     make(map[string]*App),
+		services: make(map[string]*Service),
+		nextUID:  10000, // Android-style app UID space
+	}
+}
+
+// InstallApp creates an app: a task forked from init, dropped to its own
+// UID, and execed as /usr/lib/ivi/<name> so MAC modules can label it.
+func (s *System) InstallApp(name string, perms ...string) (*App, error) {
+	s.mu.Lock()
+	if _, dup := s.apps[name]; dup {
+		s.mu.Unlock()
+		return nil, fmt.Errorf("ivi: app %q already installed", name)
+	}
+	uid := s.nextUID
+	s.nextUID++
+	s.mu.Unlock()
+
+	exe := "/usr/lib/ivi/" + name
+	if err := s.Kernel.WriteFile(exe, 0o755, []byte("#!ivi-app "+name)); err != nil {
+		return nil, fmt.Errorf("ivi: installing %q: %w", name, err)
+	}
+	task, err := s.Kernel.Init().Fork()
+	if err != nil {
+		return nil, fmt.Errorf("ivi: spawning %q: %w", name, err)
+	}
+	if err := task.Exec(exe); err != nil {
+		return nil, fmt.Errorf("ivi: exec %q: %w", name, err)
+	}
+	if err := task.SetUID(uid, uid); err != nil {
+		return nil, fmt.Errorf("ivi: setuid %q: %w", name, err)
+	}
+	app := &App{Name: name, UID: uid, Task: task, perms: make(map[string]bool)}
+	for _, p := range perms {
+		app.perms[p] = true
+	}
+	s.mu.Lock()
+	s.apps[name] = app
+	s.mu.Unlock()
+	return app, nil
+}
+
+// App returns an installed app by name.
+func (s *System) App(name string) (*App, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	a, ok := s.apps[name]
+	return a, ok
+}
+
+// Service is a privileged middleware service: it owns a root task
+// (optionally confined by an AppArmor profile via exec) and performs
+// vehicle control on behalf of permission-checked callers.
+type Service struct {
+	Name        string
+	Task        *kernel.Task
+	methods     map[string]Method
+	permFor     map[string]string
+	callsOK     int
+	callsDenied int
+	mu          sync.Mutex
+}
+
+// Method is a service operation executed by the service's own task.
+type Method func(task *kernel.Task, arg uint64) error
+
+// RegisterService creates a privileged service whose task execs the given
+// binary path (so MAC profiles attach).
+func (s *System) RegisterService(name, exePath string) (*Service, error) {
+	s.mu.Lock()
+	if _, dup := s.services[name]; dup {
+		s.mu.Unlock()
+		return nil, fmt.Errorf("ivi: service %q already registered", name)
+	}
+	s.mu.Unlock()
+	if err := s.Kernel.WriteFile(exePath, 0o755, []byte("#!ivi-service "+name)); err != nil {
+		return nil, err
+	}
+	task, err := s.Kernel.Init().Fork()
+	if err != nil {
+		return nil, err
+	}
+	if err := task.Exec(exePath); err != nil {
+		return nil, err
+	}
+	svc := &Service{
+		Name:    name,
+		Task:    task,
+		methods: make(map[string]Method),
+		permFor: make(map[string]string),
+	}
+	s.mu.Lock()
+	s.services[name] = svc
+	s.mu.Unlock()
+	return svc, nil
+}
+
+// AddMethod registers an operation guarded by a user-space permission.
+func (svc *Service) AddMethod(name, requiredPerm string, m Method) {
+	svc.mu.Lock()
+	defer svc.mu.Unlock()
+	svc.methods[name] = m
+	svc.permFor[name] = requiredPerm
+}
+
+// Stats reports (granted calls, permission-denied calls).
+func (svc *Service) Stats() (ok, denied int) {
+	svc.mu.Lock()
+	defer svc.mu.Unlock()
+	return svc.callsOK, svc.callsDenied
+}
+
+// Call is the legitimate path: the middleware checks the caller's
+// user-space permission, then the service's privileged task executes the
+// method. This is the layer attacks bypass.
+func (s *System) Call(app *App, service, method string, arg uint64) error {
+	s.mu.Lock()
+	svc, ok := s.services[service]
+	s.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("ivi: no such service %q", service)
+	}
+	svc.mu.Lock()
+	m, ok := svc.methods[method]
+	perm := svc.permFor[method]
+	svc.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("ivi: service %q has no method %q", service, method)
+	}
+	if perm != "" && !app.HasPermission(perm) {
+		svc.mu.Lock()
+		svc.callsDenied++
+		svc.mu.Unlock()
+		return fmt.Errorf("ivi: app %q lacks permission %s: %w", app.Name, perm, sys.EACCES)
+	}
+	svc.mu.Lock()
+	svc.callsOK++
+	svc.mu.Unlock()
+	return m(svc.Task, arg)
+}
+
+// NewDoorService registers the standard door-control service at
+// /usr/bin/doord with lock/unlock methods for every door.
+func (s *System) NewDoorService() (*Service, error) {
+	svc, err := s.RegisterService("door", "/usr/bin/doord")
+	if err != nil {
+		return nil, err
+	}
+	nDoors := len(s.Vehicle.Doors)
+	svc.AddMethod("unlock_all", PermControlDoors, func(task *kernel.Task, _ uint64) error {
+		return forEachDoor(task, nDoors, vehicle.IoctlDoorUnlock)
+	})
+	svc.AddMethod("lock_all", PermControlDoors, func(task *kernel.Task, _ uint64) error {
+		return forEachDoor(task, nDoors, vehicle.IoctlDoorLock)
+	})
+	return svc, nil
+}
+
+// NewAudioService registers the audio service at /usr/bin/audiod.
+func (s *System) NewAudioService() (*Service, error) {
+	svc, err := s.RegisterService("audio", "/usr/bin/audiod")
+	if err != nil {
+		return nil, err
+	}
+	svc.AddMethod("set_volume", PermAudioControl, func(task *kernel.Task, arg uint64) error {
+		fd, err := task.Open("/dev/vehicle/audio0", vfs.ORdonly, 0)
+		if err != nil {
+			return err
+		}
+		defer task.Close(fd)
+		_, err = task.Ioctl(fd, vehicle.IoctlAudioSetVolume, arg)
+		return err
+	})
+	return svc, nil
+}
+
+func forEachDoor(task *kernel.Task, n int, cmd uint64) error {
+	for i := 0; i < n; i++ {
+		path := fmt.Sprintf("/dev/vehicle/door%d", i)
+		fd, err := task.Open(path, vfs.ORdonly, 0)
+		if err != nil {
+			return err
+		}
+		_, err = task.Ioctl(fd, cmd, 0)
+		task.Close(fd)
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,111 @@
+package ivi
+
+import (
+	"fmt"
+
+	"repro/internal/sys"
+	"repro/internal/vehicle"
+	"repro/internal/vfs"
+)
+
+// KoffeeAttack reproduces the shape of CVE-2020-8539 (KOFFEE): a
+// compromised or malicious app injects vehicle-control commands without
+// ever passing the middleware's permission framework. In the real exploit
+// the attacker replays micomd CAN commands; here the equivalent kernel
+// interaction is a direct open+ioctl on the device node, which DAC
+// permits (IVI device nodes are world-accessible) and only MAC can stop.
+type KoffeeAttack struct {
+	App *App
+}
+
+// AttackResult records one injection attempt.
+type AttackResult struct {
+	Device  string
+	Cmd     uint64
+	Err     error // nil: the injection reached the device
+	Blocked bool  // true when a MAC denial (EACCES/EPERM) stopped it
+}
+
+// String summarises the attempt.
+func (r AttackResult) String() string {
+	switch {
+	case r.Err == nil:
+		return fmt.Sprintf("INJECTED %s cmd=0x%x", r.Device, r.Cmd)
+	case r.Blocked:
+		return fmt.Sprintf("BLOCKED  %s cmd=0x%x (%v)", r.Device, r.Cmd, r.Err)
+	default:
+		return fmt.Sprintf("FAILED   %s cmd=0x%x (%v)", r.Device, r.Cmd, r.Err)
+	}
+}
+
+// Inject performs the bypass: a direct ioctl on the device node from the
+// attacker's task, skipping System.Call entirely.
+func (a *KoffeeAttack) Inject(device string, cmd, arg uint64) AttackResult {
+	res := AttackResult{Device: device, Cmd: cmd}
+	fd, err := a.App.Task.Open(device, vfs.ORdonly, 0)
+	if err != nil {
+		res.Err = err
+		res.Blocked = sys.IsErrno(err, sys.EACCES) || sys.IsErrno(err, sys.EPERM)
+		return res
+	}
+	defer a.App.Task.Close(fd)
+	if _, err := a.App.Task.Ioctl(fd, cmd, arg); err != nil {
+		res.Err = err
+		res.Blocked = sys.IsErrno(err, sys.EACCES) || sys.IsErrno(err, sys.EPERM)
+		return res
+	}
+	return res
+}
+
+// InjectWrite performs the bypass through write(2) instead of ioctl.
+func (a *KoffeeAttack) InjectWrite(device string, payload []byte) AttackResult {
+	res := AttackResult{Device: device}
+	fd, err := a.App.Task.Open(device, vfs.OWronly, 0)
+	if err != nil {
+		res.Err = err
+		res.Blocked = sys.IsErrno(err, sys.EACCES) || sys.IsErrno(err, sys.EPERM)
+		return res
+	}
+	defer a.App.Task.Close(fd)
+	if _, err := a.App.Task.Write(fd, payload); err != nil {
+		res.Err = err
+		res.Blocked = sys.IsErrno(err, sys.EACCES) || sys.IsErrno(err, sys.EPERM)
+		return res
+	}
+	return res
+}
+
+// EscalateToService models the second stage of permission-redelegation
+// attacks: the malicious app tricks a privileged service into acting for
+// it (here: calling the service directly without holding the user-space
+// permission would fail, so the attack goes straight to the kernel
+// instead). Provided for completeness in demos.
+func (a *KoffeeAttack) EscalateToService(s *System, service, method string, arg uint64) error {
+	return s.Call(a.App, service, method, arg)
+}
+
+// MaxVolumeAttack reproduces CVE-2023-6073 (Volkswagen ID.3 volume
+// manipulation): set the audio unit to maximum volume directly.
+func (a *KoffeeAttack) MaxVolumeAttack() AttackResult {
+	return a.Inject("/dev/vehicle/audio0", 0x3001 /* IoctlAudioSetVolume */, 100)
+}
+
+// InjectCANFrame is the deepest bypass: a raw micomd-style command frame
+// written to /dev/vehicle/can0, skipping even the per-actuator device
+// nodes. Only MAC on the CAN endpoint stops it.
+func (a *KoffeeAttack) InjectCANFrame(frame vehicle.Frame) AttackResult {
+	res := AttackResult{Device: "/dev/vehicle/can0", Cmd: uint64(frame.ID)}
+	fd, err := a.App.Task.Open("/dev/vehicle/can0", vfs.OWronly, 0)
+	if err != nil {
+		res.Err = err
+		res.Blocked = sys.IsErrno(err, sys.EACCES) || sys.IsErrno(err, sys.EPERM)
+		return res
+	}
+	defer a.App.Task.Close(fd)
+	if _, err := a.App.Task.Write(fd, vehicle.EncodeFrame(frame)); err != nil {
+		res.Err = err
+		res.Blocked = sys.IsErrno(err, sys.EACCES) || sys.IsErrno(err, sys.EPERM)
+		return res
+	}
+	return res
+}

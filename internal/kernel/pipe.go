@@ -1,0 +1,194 @@
+package kernel
+
+import (
+	"sync"
+
+	"repro/internal/sys"
+	"repro/internal/vfs"
+)
+
+// PipeCapacity is the in-flight byte limit of a pipe, matching the Linux
+// default of 64 KiB.
+const PipeCapacity = 64 * 1024
+
+// endpoint is implemented by handlers whose objects track open-descriptor
+// reference counts (pipe ends, sockets). Fork retains, Close/Exit release.
+type endpoint interface {
+	retain()
+	release()
+}
+
+func retainEndpoint(f *vfs.File) {
+	if e, ok := f.Inode.Handler.(endpoint); ok {
+		e.retain()
+	}
+}
+
+func releaseEndpoint(f *vfs.File) {
+	if e, ok := f.Inode.Handler.(endpoint); ok {
+		e.release()
+	}
+}
+
+// pipeBuf is the shared FIFO between a pipe's two ends: a fixed-capacity
+// ring buffer with blocking reads and writes and EOF/EPIPE semantics
+// driven by the per-end descriptor reference counts. The ring allocates
+// once at creation so sustained throughput does not churn the garbage
+// collector (which would add noise to the bandwidth benchmarks).
+type pipeBuf struct {
+	mu       sync.Mutex
+	notEmpty *sync.Cond
+	notFull  *sync.Cond
+	ring     []byte
+	head     int // next read position
+	used     int // bytes in flight
+	readers  int
+	writers  int
+}
+
+func newPipeBuf() *pipeBuf {
+	b := &pipeBuf{ring: make([]byte, PipeCapacity), readers: 1, writers: 1}
+	b.notEmpty = sync.NewCond(&b.mu)
+	b.notFull = sync.NewCond(&b.mu)
+	return b
+}
+
+// read blocks until data is available or all writers are gone (EOF).
+func (b *pipeBuf) read(buf []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for b.used == 0 {
+		if b.writers == 0 {
+			return 0, nil // EOF
+		}
+		b.notEmpty.Wait()
+	}
+	n := len(buf)
+	if n > b.used {
+		n = b.used
+	}
+	first := copy(buf[:n], b.ring[b.head:min(b.head+n, len(b.ring))])
+	if first < n {
+		copy(buf[first:n], b.ring[:n-first])
+	}
+	b.head = (b.head + n) % len(b.ring)
+	b.used -= n
+	b.notFull.Broadcast()
+	return n, nil
+}
+
+// write blocks while the pipe is full; it fails with EPIPE once every
+// reader has closed.
+func (b *pipeBuf) write(data []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	written := 0
+	for written < len(data) {
+		if b.readers == 0 {
+			if written > 0 {
+				return written, nil
+			}
+			return 0, sys.EPIPE
+		}
+		space := len(b.ring) - b.used
+		if space == 0 {
+			b.notFull.Wait()
+			continue
+		}
+		chunk := data[written:]
+		if len(chunk) > space {
+			chunk = chunk[:space]
+		}
+		tail := (b.head + b.used) % len(b.ring)
+		first := copy(b.ring[tail:], chunk)
+		if first < len(chunk) {
+			copy(b.ring[:len(chunk)-first], chunk[first:])
+		}
+		b.used += len(chunk)
+		written += len(chunk)
+		b.notEmpty.Broadcast()
+	}
+	return written, nil
+}
+
+func (b *pipeBuf) addReader() {
+	b.mu.Lock()
+	b.readers++
+	b.mu.Unlock()
+}
+
+func (b *pipeBuf) dropReader() {
+	b.mu.Lock()
+	b.readers--
+	b.mu.Unlock()
+	b.notFull.Broadcast()
+}
+
+func (b *pipeBuf) addWriter() {
+	b.mu.Lock()
+	b.writers++
+	b.mu.Unlock()
+}
+
+func (b *pipeBuf) dropWriter() {
+	b.mu.Lock()
+	b.writers--
+	b.mu.Unlock()
+	b.notEmpty.Broadcast()
+}
+
+// pipeReader is the handler behind a pipe's read end.
+type pipeReader struct{ buf *pipeBuf }
+
+func (p *pipeReader) ReadAt(_ *sys.Cred, buf []byte, _ int64) (int, error) {
+	return p.buf.read(buf)
+}
+
+func (p *pipeReader) WriteAt(*sys.Cred, []byte, int64) (int, error) { return 0, sys.EBADF }
+
+func (p *pipeReader) Ioctl(*sys.Cred, uint64, uint64) (uint64, error) { return 0, sys.ENOTTY }
+
+func (p *pipeReader) retain()  { p.buf.addReader() }
+func (p *pipeReader) release() { p.buf.dropReader() }
+
+// pipeWriter is the handler behind a pipe's write end.
+type pipeWriter struct{ buf *pipeBuf }
+
+func (p *pipeWriter) ReadAt(*sys.Cred, []byte, int64) (int, error) { return 0, sys.EBADF }
+
+func (p *pipeWriter) WriteAt(_ *sys.Cred, data []byte, _ int64) (int, error) {
+	return p.buf.write(data)
+}
+
+func (p *pipeWriter) Ioctl(*sys.Cred, uint64, uint64) (uint64, error) { return 0, sys.ENOTTY }
+
+func (p *pipeWriter) retain()  { p.buf.addWriter() }
+func (p *pipeWriter) release() { p.buf.dropWriter() }
+
+// Pipe creates a unidirectional pipe and returns (readFD, writeFD). Both
+// descriptors route their I/O through FilePermission hooks like any file.
+func (t *Task) Pipe() (int, int, error) {
+	buf := newPipeBuf()
+	rNode := vfs.NewAnonInode(vfs.ModeFIFO | 0o600)
+	rNode.Handler = &pipeReader{buf: buf}
+	wNode := vfs.NewAnonInode(vfs.ModeFIFO | 0o600)
+	wNode.Handler = &pipeWriter{buf: buf}
+	rFile := vfs.NewFile(rNode, "pipe:[r]", vfs.ORdonly)
+	wFile := vfs.NewFile(wNode, "pipe:[w]", vfs.OWronly)
+	if err := t.k.LSM.FileOpen(t.Cred, rFile); err != nil {
+		return -1, -1, err
+	}
+	if err := t.k.LSM.FileOpen(t.Cred, wFile); err != nil {
+		return -1, -1, err
+	}
+	rfd, err := t.installFD(rFile)
+	if err != nil {
+		return -1, -1, err
+	}
+	wfd, err := t.installFD(wFile)
+	if err != nil {
+		t.Close(rfd)
+		return -1, -1, err
+	}
+	return rfd, wfd, nil
+}

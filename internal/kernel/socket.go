@@ -1,0 +1,381 @@
+package kernel
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/sys"
+	"repro/internal/vfs"
+)
+
+// Socket address families and types supported by the loopback stack.
+const (
+	AFUnix = 1
+	AFInet = 2
+
+	SockStream = 1
+)
+
+// netStack is the kernel's loopback-only network: a registry of listening
+// sockets keyed by address ("unix:/run/doord.sock", "tcp:127.0.0.1:80").
+type netStack struct {
+	mu        sync.Mutex
+	listeners map[string]*listener
+}
+
+func newNetStack() *netStack {
+	return &netStack{listeners: make(map[string]*listener)}
+}
+
+// closeListener tears down the listener registered at addr if owner is
+// the socket that created it: pending Accept calls return EINVAL and
+// queued connectors are refused.
+func (ns *netStack) closeListener(addr string, owner *socket) {
+	ns.mu.Lock()
+	l, ok := ns.listeners[addr]
+	if !ok || l.owner != owner {
+		ns.mu.Unlock()
+		return
+	}
+	delete(ns.listeners, addr)
+	ns.mu.Unlock()
+
+	l.mu.Lock()
+	l.closed = true
+	close(l.backlog)
+	l.mu.Unlock()
+	// Refuse everyone still queued.
+	for peer := range l.backlog {
+		peer.mu.Lock()
+		peer.connectErr = sys.ECONNREFUSED
+		ready := peer.ready
+		peer.mu.Unlock()
+		if ready != nil {
+			close(ready)
+		}
+	}
+}
+
+type listener struct {
+	addr    string
+	backlog chan *socket // peer sockets awaiting accept
+	owner   *socket      // the listening socket
+	closed  bool
+	mu      sync.Mutex
+}
+
+// socket is one endpoint of a (possibly unconnected) stream socket. Once
+// connected, rx carries inbound bytes and peer points at the other end.
+type socket struct {
+	family int
+	typ    int
+	addr   string // bound local address, if any
+	ns     *netStack
+
+	mu         sync.Mutex
+	rx         *pipeBuf
+	peer       *socket
+	connected  bool
+	connectErr error         // set when a pending connect is refused
+	ready      chan struct{} // closed when connectPair completes or fails
+	refs       int
+}
+
+// sockHandler adapts a socket to the vfs.NodeHandler interface so
+// read(2)/write(2) on a socket fd behave like recv/send.
+type sockHandler struct{ s *socket }
+
+func (h *sockHandler) ReadAt(_ *sys.Cred, buf []byte, _ int64) (int, error) {
+	return h.s.recv(buf)
+}
+
+func (h *sockHandler) WriteAt(_ *sys.Cred, data []byte, _ int64) (int, error) {
+	return h.s.send(data)
+}
+
+func (h *sockHandler) Ioctl(*sys.Cred, uint64, uint64) (uint64, error) { return 0, sys.ENOTTY }
+
+func (h *sockHandler) retain() {
+	h.s.mu.Lock()
+	h.s.refs++
+	h.s.mu.Unlock()
+}
+
+func (h *sockHandler) release() {
+	h.s.mu.Lock()
+	h.s.refs--
+	n := h.s.refs
+	peer := h.s.peer
+	rx := h.s.rx
+	addr := h.s.addr
+	ns := h.s.ns
+	h.s.mu.Unlock()
+	if n > 0 {
+		return
+	}
+	// Last descriptor gone: EOF the peer's reads and EPIPE its writes,
+	// and tear down the listener if this socket was one.
+	if rx != nil {
+		rx.dropWriter() // unblock our own pending readers with EOF
+	}
+	if peer != nil {
+		peer.mu.Lock()
+		prx := peer.rx
+		peer.mu.Unlock()
+		if prx != nil {
+			prx.dropWriter()
+		}
+	}
+	if addr != "" && ns != nil {
+		ns.closeListener(addr, h.s)
+	}
+}
+
+func (s *socket) send(data []byte) (int, error) {
+	s.mu.Lock()
+	peer := s.peer
+	connected := s.connected
+	s.mu.Unlock()
+	if !connected || peer == nil {
+		return 0, sys.EPIPE
+	}
+	return peer.rx.write(data)
+}
+
+func (s *socket) recv(buf []byte) (int, error) {
+	s.mu.Lock()
+	rx := s.rx
+	connected := s.connected
+	s.mu.Unlock()
+	if !connected || rx == nil {
+		return 0, sys.EINVAL
+	}
+	return rx.read(buf)
+}
+
+// socketFile wraps a socket in an installed descriptor.
+func (t *Task) socketFile(s *socket, name string) (int, error) {
+	node := vfs.NewAnonInode(vfs.ModeSocket | 0o600)
+	node.Handler = &sockHandler{s: s}
+	f := vfs.NewFile(node, name, vfs.ORdwr)
+	if err := t.k.LSM.FileOpen(t.Cred, f); err != nil {
+		return -1, err
+	}
+	s.mu.Lock()
+	s.refs++
+	s.mu.Unlock()
+	return t.installFD(f)
+}
+
+// Socket creates an unconnected stream socket.
+func (t *Task) Socket(family, typ int) (int, error) {
+	if family != AFUnix && family != AFInet {
+		return -1, sys.EINVAL
+	}
+	if typ != SockStream {
+		return -1, sys.EINVAL
+	}
+	if err := t.k.LSM.SocketCreate(t.Cred, family, typ); err != nil {
+		return -1, err
+	}
+	s := &socket{family: family, typ: typ, ns: t.k.net}
+	return t.socketFile(s, fmt.Sprintf("socket:[%d]", family))
+}
+
+func (t *Task) socketFromFD(fd int) (*socket, error) {
+	f, err := t.file(fd)
+	if err != nil {
+		return nil, err
+	}
+	h, ok := f.Inode.Handler.(*sockHandler)
+	if !ok {
+		return nil, sys.ENOTSOCK
+	}
+	return h.s, nil
+}
+
+// Bind attaches a local address to the socket.
+func (t *Task) Bind(fd int, addr string) error {
+	s, err := t.socketFromFD(fd)
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.addr != "" {
+		return sys.EINVAL
+	}
+	s.addr = addr
+	return nil
+}
+
+// Listen registers the bound socket as accepting connections.
+func (t *Task) Listen(fd int, backlog int) error {
+	s, err := t.socketFromFD(fd)
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	addr := s.addr
+	s.mu.Unlock()
+	if addr == "" {
+		return sys.EINVAL
+	}
+	if backlog <= 0 {
+		backlog = 16
+	}
+	ns := t.k.net
+	ns.mu.Lock()
+	defer ns.mu.Unlock()
+	if _, exists := ns.listeners[addr]; exists {
+		return sys.EADDRINUSE
+	}
+	ns.listeners[addr] = &listener{addr: addr, backlog: make(chan *socket, backlog), owner: s}
+	return nil
+}
+
+// Accept takes the next pending connection, returning a connected fd.
+// It blocks until a peer connects.
+func (t *Task) Accept(fd int) (int, error) {
+	s, err := t.socketFromFD(fd)
+	if err != nil {
+		return -1, err
+	}
+	s.mu.Lock()
+	addr := s.addr
+	s.mu.Unlock()
+	ns := t.k.net
+	ns.mu.Lock()
+	l, ok := ns.listeners[addr]
+	ns.mu.Unlock()
+	if !ok {
+		return -1, sys.EINVAL
+	}
+	peer, ok := <-l.backlog
+	if !ok {
+		return -1, sys.EINVAL
+	}
+	local := &socket{family: s.family, typ: s.typ, ns: s.ns}
+	connectPair(local, peer)
+	return t.socketFile(local, "socket:[accepted "+addr+"]")
+}
+
+// Connect attaches the socket to a listening address. The SocketConnect
+// LSM hook runs before the connection is attempted.
+func (t *Task) Connect(fd int, addr string) error {
+	s, err := t.socketFromFD(fd)
+	if err != nil {
+		return err
+	}
+	if err := t.k.LSM.SocketConnect(t.Cred, addr); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	if s.connected {
+		s.mu.Unlock()
+		return sys.EALREADY
+	}
+	s.mu.Unlock()
+	ns := t.k.net
+	ns.mu.Lock()
+	l, ok := ns.listeners[addr]
+	ns.mu.Unlock()
+	if !ok {
+		return sys.ECONNREFUSED
+	}
+	ready := make(chan struct{})
+	s.mu.Lock()
+	s.addr = addr // remembered for the per-send SocketSendmsg hook
+	s.ready = ready
+	s.mu.Unlock()
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return sys.ECONNREFUSED
+	}
+	select {
+	case l.backlog <- s:
+	default:
+		l.mu.Unlock()
+		return sys.ECONNREFUSED // backlog full
+	}
+	l.mu.Unlock()
+	<-ready // the accept side completes the pairing (or refuses)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.connectErr != nil {
+		err := s.connectErr
+		s.connectErr = nil
+		return err
+	}
+	return nil
+}
+
+// connectPair wires two sockets into a full-duplex connection.
+func connectPair(a, b *socket) {
+	abuf, bbuf := newPipeBuf(), newPipeBuf()
+	a.mu.Lock()
+	a.rx, a.peer = abuf, b
+	a.connected = true
+	a.mu.Unlock()
+	b.mu.Lock()
+	b.rx, b.peer = bbuf, a
+	b.connected = true
+	ready := b.ready
+	b.mu.Unlock()
+	if aReady := func() chan struct{} {
+		a.mu.Lock()
+		defer a.mu.Unlock()
+		return a.ready
+	}(); aReady != nil {
+		close(aReady)
+	}
+	if ready != nil {
+		close(ready)
+	}
+}
+
+// SocketPair creates a connected AF_UNIX pair, like socketpair(2) — the
+// fast path the AF_UNIX bandwidth benchmark uses.
+func (t *Task) SocketPair() (int, int, error) {
+	if err := t.k.LSM.SocketCreate(t.Cred, AFUnix, SockStream); err != nil {
+		return -1, -1, err
+	}
+	a := &socket{family: AFUnix, typ: SockStream}
+	b := &socket{family: AFUnix, typ: SockStream}
+	connectPair(a, b)
+	afd, err := t.socketFile(a, "socket:[pair-a]")
+	if err != nil {
+		return -1, -1, err
+	}
+	bfd, err := t.socketFile(b, "socket:[pair-b]")
+	if err != nil {
+		t.Close(afd)
+		return -1, -1, err
+	}
+	return afd, bfd, nil
+}
+
+// Send transmits on a connected socket after the SocketSendmsg hook.
+func (t *Task) Send(fd int, data []byte) (int, error) {
+	s, err := t.socketFromFD(fd)
+	if err != nil {
+		return 0, err
+	}
+	s.mu.Lock()
+	addr := s.addr
+	s.mu.Unlock()
+	if err := t.k.LSM.SocketSendmsg(t.Cred, addr, len(data)); err != nil {
+		return 0, err
+	}
+	return s.send(data)
+}
+
+// Recv receives from a connected socket.
+func (t *Task) Recv(fd int, buf []byte) (int, error) {
+	s, err := t.socketFromFD(fd)
+	if err != nil {
+		return 0, err
+	}
+	return s.recv(buf)
+}

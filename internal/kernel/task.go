@@ -1,0 +1,227 @@
+package kernel
+
+import (
+	"sync"
+
+	"repro/internal/sys"
+	"repro/internal/vfs"
+)
+
+// MaxFDs bounds a task's descriptor table (RLIMIT_NOFILE analogue).
+const MaxFDs = 1024
+
+// Task is a simulated process: identity, credentials, and a descriptor
+// table. All syscalls are methods on Task so the calling context is
+// always explicit, as it is inside the kernel.
+type Task struct {
+	k    *Kernel
+	PID  int
+	PPID int
+	Comm string // executable path, set by Exec
+
+	Cred *sys.Cred
+
+	mu     sync.Mutex
+	fds    map[int]*vfs.File
+	nextFD int
+	exited bool
+}
+
+// Kernel returns the owning kernel.
+func (t *Task) Kernel() *Kernel { return t.k }
+
+// Getpid returns the task's pid.
+func (t *Task) Getpid() int { return t.PID }
+
+// installFD assigns the lowest free descriptor to f.
+func (t *Task) installFD(f *vfs.File) (int, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.exited {
+		return -1, sys.ESRCH
+	}
+	if len(t.fds) >= MaxFDs {
+		return -1, sys.EMFILE
+	}
+	fd := t.nextFD
+	for {
+		if _, used := t.fds[fd]; !used {
+			break
+		}
+		fd++
+	}
+	t.fds[fd] = f
+	t.nextFD = fd + 1
+	return fd, nil
+}
+
+// file resolves a descriptor to its open-file description.
+func (t *Task) file(fd int) (*vfs.File, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	f, ok := t.fds[fd]
+	if !ok {
+		return nil, sys.EBADF
+	}
+	return f, nil
+}
+
+// Close releases a descriptor.
+func (t *Task) Close(fd int) error {
+	t.mu.Lock()
+	f, ok := t.fds[fd]
+	if !ok {
+		t.mu.Unlock()
+		return sys.EBADF
+	}
+	delete(t.fds, fd)
+	if fd < t.nextFD {
+		t.nextFD = fd
+	}
+	t.mu.Unlock()
+	releaseEndpoint(f)
+	return nil
+}
+
+// NumFDs reports how many descriptors are open.
+func (t *Task) NumFDs() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.fds)
+}
+
+// Fork creates a child task: cloned credentials, copied descriptor table
+// (sharing open-file descriptions, as on Linux). The TaskAlloc LSM hook
+// runs before the child becomes visible.
+func (t *Task) Fork() (*Task, error) {
+	childCred := t.Cred.Clone()
+	if err := t.k.LSM.TaskAlloc(t.Cred, childCred); err != nil {
+		return nil, err
+	}
+	child := &Task{
+		k:    t.k,
+		PID:  int(t.k.nextPID.Add(1)),
+		PPID: t.PID,
+		Comm: t.Comm,
+		Cred: childCred,
+		fds:  make(map[int]*vfs.File),
+	}
+	t.mu.Lock()
+	for fd, f := range t.fds {
+		child.fds[fd] = f
+		retainEndpoint(f)
+	}
+	child.nextFD = t.nextFD
+	t.mu.Unlock()
+	t.k.addTask(child)
+	return child, nil
+}
+
+// Exec replaces the task image with the program at path. The executable
+// must exist and be executable; the BprmCheck hook lets MAC modules veto
+// or relabel (AppArmor attaches its profile here).
+func (t *Task) Exec(path string) error {
+	path = vfs.Clean(path)
+	node, err := t.k.FS.Lookup(path)
+	if err != nil {
+		return err
+	}
+	if node.Mode().IsDir() {
+		return sys.EISDIR
+	}
+	if err := t.dacCheck(node, sys.MayExec); err != nil {
+		return err
+	}
+	if err := t.k.LSM.InodePermission(t.Cred, path, node, sys.MayExec); err != nil {
+		return err
+	}
+	if err := t.k.LSM.BprmCheck(t.Cred, path, node); err != nil {
+		return err
+	}
+	t.Comm = path
+	return nil
+}
+
+// Exit terminates the task, closing all descriptors.
+func (t *Task) Exit() {
+	t.mu.Lock()
+	if t.exited {
+		t.mu.Unlock()
+		return
+	}
+	t.exited = true
+	fds := t.fds
+	t.fds = make(map[int]*vfs.File)
+	t.mu.Unlock()
+	for _, f := range fds {
+		releaseEndpoint(f)
+	}
+	t.k.removeTask(t.PID)
+}
+
+// Exited reports whether Exit has run.
+func (t *Task) Exited() bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.exited
+}
+
+// Capable asks the LSM chain whether the task may use a capability.
+func (t *Task) Capable(c sys.Cap) error {
+	return t.k.LSM.Capable(t.Cred, c)
+}
+
+// SetUID changes the task identity; only root (or CAP_SETUID) may do so.
+// Dropping from root also drops the full capability set, like setuid(2).
+func (t *Task) SetUID(uid, gid int) error {
+	if t.Cred.UID != 0 {
+		if err := t.Capable(sys.CapSetUID); err != nil {
+			return sys.EPERM
+		}
+	}
+	wasRoot := t.Cred.UID == 0
+	t.Cred.UID = uid
+	t.Cred.GID = gid
+	if wasRoot && uid != 0 {
+		t.Cred.Caps = 0
+	}
+	return nil
+}
+
+// GrantCap adds a capability to the task (simulating file capabilities or
+// an orchestrator granting a service CAP_MAC_ADMIN).
+func (t *Task) GrantCap(c sys.Cap) { t.Cred.Caps = t.Cred.Caps.Add(c) }
+
+// dacCheck applies classic owner/group/other permission bits. Root with
+// CAP_DAC_OVERRIDE bypasses everything except exec of non-executable
+// files (matching Linux behaviour closely enough for the experiments).
+func (t *Task) dacCheck(node *vfs.Inode, mask sys.Access) error {
+	mode := node.Mode()
+	if t.Cred.HasCap(sys.CapDacOverride) {
+		if mask.Has(sys.MayExec) && !mode.IsDir() && mode.Perm()&0o111 == 0 {
+			return sys.EACCES
+		}
+		return nil
+	}
+	uid, gid := node.Owner()
+	var shift uint
+	switch {
+	case t.Cred.UID == uid:
+		shift = 6
+	case t.Cred.GID == gid:
+		shift = 3
+	default:
+		shift = 0
+	}
+	bits := vfs.Mode(mode.Perm()>>shift) & 0o7
+	if mask.Has(sys.MayRead) && bits&0o4 == 0 {
+		return sys.EACCES
+	}
+	if (mask.Has(sys.MayWrite) || mask.Has(sys.MayAppend)) && bits&0o2 == 0 {
+		return sys.EACCES
+	}
+	if mask.Has(sys.MayExec) && bits&0o1 == 0 {
+		return sys.EACCES
+	}
+	return nil
+}

@@ -1,0 +1,491 @@
+// Package lmbench reimplements the LMBench micro-operations the paper's
+// Tables II and III report, measured against the simulated kernel. Each
+// operation exercises the same syscall path — and therefore the same LSM
+// hook chain — as its real counterpart, so the relative overhead between
+// security-module configurations is meaningful even though absolute
+// numbers reflect the simulator rather than silicon.
+package lmbench
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/kernel"
+	"repro/internal/sys"
+	"repro/internal/vfs"
+)
+
+// Result is one measured operation.
+type Result struct {
+	Op    string
+	Unit  string  // "ms" or "MB/s"
+	Value float64 // per-operation latency or throughput
+	// SmallerIsBetter is true for latencies, false for bandwidths.
+	SmallerIsBetter bool
+}
+
+// String renders "fork: 0.0123 ms".
+func (r Result) String() string {
+	return fmt.Sprintf("%s: %.4f %s", r.Op, r.Value, r.Unit)
+}
+
+// Suite runs micro-benchmarks against one booted kernel configuration.
+type Suite struct {
+	K    *kernel.Kernel
+	Task *kernel.Task
+
+	// Iterations scales the inner loops; the defaults are tuned so the
+	// full Table II run completes in seconds. Zero means default.
+	Iterations int
+	// MoveBytes is the volume moved per bandwidth measurement.
+	MoveBytes int
+}
+
+// NewSuite prepares a suite on the kernel's init task and creates the
+// scratch fixtures the file benchmarks need.
+func NewSuite(k *kernel.Kernel) (*Suite, error) {
+	s := &Suite{K: k, Task: k.Init(), Iterations: 2000, MoveBytes: 8 << 20}
+	if err := k.WriteFile("/tmp/lmbench.dat", 0o644, make([]byte, 1<<20)); err != nil {
+		return nil, err
+	}
+	if err := k.WriteFile("/usr/bin/lmbench-exec", 0o755, []byte("#!bench")); err != nil {
+		return nil, err
+	}
+	if _, err := k.FS.MkdirAll("/tmp/lmbench", 0o1777, 0, 0); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+func (s *Suite) iters() int {
+	if s.Iterations > 0 {
+		return s.Iterations
+	}
+	return 2000
+}
+
+// msPerOp converts a total duration over n operations to milliseconds.
+func msPerOp(total time.Duration, n int) float64 {
+	return total.Seconds() * 1e3 / float64(n)
+}
+
+// mbPerSec converts bytes moved over a duration to MB/s.
+func mbPerSec(bytes int, total time.Duration) float64 {
+	if total <= 0 {
+		return 0
+	}
+	return float64(bytes) / (1 << 20) / total.Seconds()
+}
+
+// Syscall measures a null system call (getpid through the task layer,
+// plus one InodeGetattr-free fast path: we use Stat of a cached path to
+// keep an LSM hook in the loop, matching how "simple syscall" behaves
+// once an LSM is active).
+func (s *Suite) Syscall() (Result, error) {
+	n := s.iters() * 10
+	start := time.Now()
+	for i := 0; i < n; i++ {
+		s.Task.Getpid()
+	}
+	elapsed := time.Since(start)
+	return Result{Op: "syscall", Unit: "ms", Value: msPerOp(elapsed, n), SmallerIsBetter: true}, nil
+}
+
+// IO measures a 1-byte read+write round trip on an open file (Table III's
+// "I/O" row): two FilePermission hook traversals per iteration.
+func (s *Suite) IO() (Result, error) {
+	fd, err := s.Task.Open("/tmp/lmbench.dat", vfs.ORdwr, 0)
+	if err != nil {
+		return Result{}, err
+	}
+	defer s.Task.Close(fd)
+	buf := make([]byte, 1)
+	n := s.iters() * 5
+	start := time.Now()
+	for i := 0; i < n; i++ {
+		if _, err := s.Task.Pread(fd, buf, 0); err != nil {
+			return Result{}, err
+		}
+		if _, err := s.Task.Pwrite(fd, buf, 0); err != nil {
+			return Result{}, err
+		}
+	}
+	elapsed := time.Since(start)
+	return Result{Op: "I/O", Unit: "ms", Value: msPerOp(elapsed, n), SmallerIsBetter: true}, nil
+}
+
+// Fork measures process creation (fork + exit).
+func (s *Suite) Fork() (Result, error) {
+	n := s.iters() / 2
+	if n == 0 {
+		n = 1
+	}
+	start := time.Now()
+	for i := 0; i < n; i++ {
+		child, err := s.Task.Fork()
+		if err != nil {
+			return Result{}, err
+		}
+		child.Exit()
+	}
+	elapsed := time.Since(start)
+	return Result{Op: "fork", Unit: "ms", Value: msPerOp(elapsed, n), SmallerIsBetter: true}, nil
+}
+
+// Stat measures path resolution plus the InodeGetattr hook.
+func (s *Suite) Stat() (Result, error) {
+	n := s.iters() * 5
+	start := time.Now()
+	for i := 0; i < n; i++ {
+		if _, err := s.Task.Stat("/tmp/lmbench.dat"); err != nil {
+			return Result{}, err
+		}
+	}
+	elapsed := time.Since(start)
+	return Result{Op: "stat", Unit: "ms", Value: msPerOp(elapsed, n), SmallerIsBetter: true}, nil
+}
+
+// OpenClose measures open(2)+close(2): InodePermission + FileOpen hooks.
+func (s *Suite) OpenClose() (Result, error) {
+	n := s.iters() * 5
+	start := time.Now()
+	for i := 0; i < n; i++ {
+		fd, err := s.Task.Open("/tmp/lmbench.dat", vfs.ORdonly, 0)
+		if err != nil {
+			return Result{}, err
+		}
+		if err := s.Task.Close(fd); err != nil {
+			return Result{}, err
+		}
+	}
+	elapsed := time.Since(start)
+	return Result{Op: "open/close file", Unit: "ms", Value: msPerOp(elapsed, n), SmallerIsBetter: true}, nil
+}
+
+// Exec measures program execution: fork + exec + exit (BprmCheck hook).
+func (s *Suite) Exec() (Result, error) {
+	n := s.iters() / 4
+	if n == 0 {
+		n = 1
+	}
+	start := time.Now()
+	for i := 0; i < n; i++ {
+		child, err := s.Task.Fork()
+		if err != nil {
+			return Result{}, err
+		}
+		if err := child.Exec("/usr/bin/lmbench-exec"); err != nil {
+			child.Exit()
+			return Result{}, err
+		}
+		child.Exit()
+	}
+	elapsed := time.Since(start)
+	return Result{Op: "exec", Unit: "ms", Value: msPerOp(elapsed, n), SmallerIsBetter: true}, nil
+}
+
+// FileCreate measures creating size-byte files (InodeCreate + write
+// path), like lmbench's lat_fs create phase.
+func (s *Suite) FileCreate(size int) (Result, error) {
+	n := s.iters()
+	payload := make([]byte, size)
+	start := time.Now()
+	for i := 0; i < n; i++ {
+		path := fmt.Sprintf("/tmp/lmbench/c%d", i)
+		if err := s.Task.WriteFileAll(path, payload, 0o644); err != nil {
+			return Result{}, err
+		}
+	}
+	elapsed := time.Since(start)
+	// Leave the files for a paired FileDelete call.
+	return Result{
+		Op: fmt.Sprintf("file create (%dK)", size/1024), Unit: "ms",
+		Value: msPerOp(elapsed, n), SmallerIsBetter: true,
+	}, nil
+}
+
+// FileDelete measures unlinking the files FileCreate left behind.
+func (s *Suite) FileDelete(size int) (Result, error) {
+	n := s.iters()
+	start := time.Now()
+	for i := 0; i < n; i++ {
+		if err := s.Task.Unlink(fmt.Sprintf("/tmp/lmbench/c%d", i)); err != nil {
+			return Result{}, err
+		}
+	}
+	elapsed := time.Since(start)
+	return Result{
+		Op: fmt.Sprintf("file delete (%dK)", size/1024), Unit: "ms",
+		Value: msPerOp(elapsed, n), SmallerIsBetter: true,
+	}, nil
+}
+
+// MmapLatency measures mapping and touching a 64 KiB window (MmapFile
+// hook + copy), reported as total latency per map like lat_mmap.
+func (s *Suite) MmapLatency() (Result, error) {
+	fd, err := s.Task.Open("/tmp/lmbench.dat", vfs.ORdonly, 0)
+	if err != nil {
+		return Result{}, err
+	}
+	defer s.Task.Close(fd)
+	const window = 64 << 10
+	n := s.iters()
+	var sink byte
+	start := time.Now()
+	for i := 0; i < n; i++ {
+		m, err := s.Task.Mmap(fd, window, sys.MayRead)
+		if err != nil {
+			return Result{}, err
+		}
+		for off := 0; off < len(m); off += 4096 {
+			sink ^= m[off]
+		}
+	}
+	elapsed := time.Since(start)
+	_ = sink
+	return Result{Op: "mmap latency", Unit: "ms", Value: msPerOp(elapsed, n), SmallerIsBetter: true}, nil
+}
+
+// PipeBandwidth measures pipe throughput with a 64 KiB block size.
+func (s *Suite) PipeBandwidth() (Result, error) {
+	rfd, wfd, err := s.Task.Pipe()
+	if err != nil {
+		return Result{}, err
+	}
+	defer s.Task.Close(rfd)
+	defer s.Task.Close(wfd)
+	return s.streamBandwidth("pipe",
+		func(p []byte) (int, error) { return s.Task.Write(wfd, p) },
+		func(p []byte) (int, error) { return s.Task.Read(rfd, p) },
+	)
+}
+
+// UnixBandwidth measures AF_UNIX stream throughput via socketpair.
+func (s *Suite) UnixBandwidth() (Result, error) {
+	afd, bfd, err := s.Task.SocketPair()
+	if err != nil {
+		return Result{}, err
+	}
+	defer s.Task.Close(afd)
+	defer s.Task.Close(bfd)
+	return s.streamBandwidth("AF_UNIX",
+		func(p []byte) (int, error) { return s.Task.Send(afd, p) },
+		func(p []byte) (int, error) { return s.Task.Recv(bfd, p) },
+	)
+}
+
+// TCPBandwidth measures loopback TCP throughput through the full
+// listen/accept/connect path.
+func (s *Suite) TCPBandwidth() (Result, error) {
+	lfd, err := s.Task.Socket(kernel.AFInet, kernel.SockStream)
+	if err != nil {
+		return Result{}, err
+	}
+	defer s.Task.Close(lfd)
+	addr := fmt.Sprintf("tcp:127.0.0.1:%d", 40000+s.Task.Getpid())
+	if err := s.Task.Bind(lfd, addr); err != nil {
+		return Result{}, err
+	}
+	if err := s.Task.Listen(lfd, 1); err != nil {
+		return Result{}, err
+	}
+	cfd, err := s.Task.Socket(kernel.AFInet, kernel.SockStream)
+	if err != nil {
+		return Result{}, err
+	}
+	defer s.Task.Close(cfd)
+	acceptCh := make(chan int, 1)
+	errCh := make(chan error, 1)
+	go func() {
+		fd, err := s.Task.Accept(lfd)
+		if err != nil {
+			errCh <- err
+			return
+		}
+		acceptCh <- fd
+	}()
+	if err := s.Task.Connect(cfd, addr); err != nil {
+		return Result{}, err
+	}
+	var sfd int
+	select {
+	case sfd = <-acceptCh:
+	case err := <-errCh:
+		return Result{}, err
+	}
+	defer s.Task.Close(sfd)
+	return s.streamBandwidth("TCP",
+		func(p []byte) (int, error) { return s.Task.Send(cfd, p) },
+		func(p []byte) (int, error) { return s.Task.Recv(sfd, p) },
+	)
+}
+
+// streamBandwidth pumps MoveBytes through writer/reader goroutines in
+// 64 KiB blocks and reports MB/s.
+func (s *Suite) streamBandwidth(op string, write, read func([]byte) (int, error)) (Result, error) {
+	total := s.MoveBytes
+	if total <= 0 {
+		total = 8 << 20
+	}
+	const block = 64 << 10
+	errCh := make(chan error, 1)
+	start := time.Now()
+	go func() {
+		buf := make([]byte, block)
+		sent := 0
+		for sent < total {
+			n, err := write(buf)
+			if err != nil {
+				errCh <- err
+				return
+			}
+			sent += n
+		}
+		errCh <- nil
+	}()
+	buf := make([]byte, block)
+	received := 0
+	for received < total {
+		n, err := read(buf)
+		if err != nil {
+			return Result{}, err
+		}
+		if n == 0 {
+			break
+		}
+		received += n
+	}
+	if err := <-errCh; err != nil {
+		return Result{}, err
+	}
+	elapsed := time.Since(start)
+	return Result{Op: op, Unit: "MB/s", Value: mbPerSec(received, elapsed)}, nil
+}
+
+// FileReread measures re-reading a cached 1 MiB file through read(2).
+func (s *Suite) FileReread() (Result, error) {
+	fd, err := s.Task.Open("/tmp/lmbench.dat", vfs.ORdonly, 0)
+	if err != nil {
+		return Result{}, err
+	}
+	defer s.Task.Close(fd)
+	buf := make([]byte, 64<<10)
+	passes := s.MoveBytes / (1 << 20)
+	if passes <= 0 {
+		passes = 8
+	}
+	moved := 0
+	start := time.Now()
+	for p := 0; p < passes; p++ {
+		off := int64(0)
+		for {
+			n, err := s.Task.Pread(fd, buf, off)
+			if err != nil {
+				return Result{}, err
+			}
+			if n == 0 {
+				break
+			}
+			off += int64(n)
+			moved += n
+		}
+	}
+	elapsed := time.Since(start)
+	return Result{Op: "File reread", Unit: "MB/s", Value: mbPerSec(moved, elapsed)}, nil
+}
+
+// MmapReread measures scanning a mapped 1 MiB file.
+func (s *Suite) MmapReread() (Result, error) {
+	fd, err := s.Task.Open("/tmp/lmbench.dat", vfs.ORdonly, 0)
+	if err != nil {
+		return Result{}, err
+	}
+	defer s.Task.Close(fd)
+	m, err := s.Task.Mmap(fd, 1<<20, sys.MayRead)
+	if err != nil {
+		return Result{}, err
+	}
+	passes := s.MoveBytes / (1 << 20) * 4
+	if passes <= 0 {
+		passes = 32
+	}
+	var sink byte
+	start := time.Now()
+	for p := 0; p < passes; p++ {
+		for i := 0; i < len(m); i += 64 {
+			sink ^= m[i]
+		}
+	}
+	elapsed := time.Since(start)
+	_ = sink
+	return Result{Op: "Mmap reread", Unit: "MB/s", Value: mbPerSec(passes*len(m), elapsed)}, nil
+}
+
+// CtxSwitch measures 2-process context switching: two tasks pass a token
+// through a pair of pipes (lat_ctx's topology), optionally copying
+// payload bytes per switch (the 2p/16K variant).
+func (s *Suite) CtxSwitch(payload int) (Result, error) {
+	// Pipe A: task -> peer. Pipe B: peer -> task. The pipes must exist
+	// before the fork so the peer inherits the descriptors, as lat_ctx's
+	// processes do.
+	arfd, awfd, err := s.Task.Pipe()
+	if err != nil {
+		return Result{}, err
+	}
+	brfd, bwfd, err := s.Task.Pipe()
+	if err != nil {
+		return Result{}, err
+	}
+	peer, err := s.Task.Fork()
+	if err != nil {
+		return Result{}, err
+	}
+	defer peer.Exit()
+	defer func() {
+		s.Task.Close(arfd)
+		s.Task.Close(awfd)
+		s.Task.Close(brfd)
+		s.Task.Close(bwfd)
+	}()
+
+	size := payload
+	if size <= 0 {
+		size = 1
+	}
+	n := s.iters()
+	done := make(chan error, 1)
+	go func() {
+		buf := make([]byte, size)
+		for i := 0; i < n; i++ {
+			if _, err := peer.Read(arfd, buf); err != nil {
+				done <- err
+				return
+			}
+			if _, err := peer.Write(bwfd, buf); err != nil {
+				done <- err
+				return
+			}
+		}
+		done <- nil
+	}()
+	buf := make([]byte, size)
+	start := time.Now()
+	for i := 0; i < n; i++ {
+		if _, err := s.Task.Write(awfd, buf); err != nil {
+			return Result{}, err
+		}
+		if _, err := s.Task.Read(brfd, buf); err != nil {
+			return Result{}, err
+		}
+	}
+	elapsed := time.Since(start)
+	if err := <-done; err != nil {
+		return Result{}, err
+	}
+	label := "2p/0K ctxsw"
+	if payload >= 1024 {
+		label = fmt.Sprintf("2p/%dK ctxsw", payload/1024)
+	}
+	// Each iteration is two switches (there and back).
+	return Result{Op: label, Unit: "ms", Value: msPerOp(elapsed, n*2), SmallerIsBetter: true}, nil
+}

@@ -1,0 +1,135 @@
+package lmbench
+
+import (
+	"testing"
+
+	"repro/internal/kernel"
+	"repro/internal/lsm"
+)
+
+func smallSuite(t *testing.T) *Suite {
+	t.Helper()
+	k := kernel.New()
+	if err := k.RegisterLSM(lsm.NewCapability()); err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewSuite(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Iterations = 20
+	s.MoveBytes = 256 << 10
+	return s
+}
+
+func TestEveryOperationProducesPositiveResult(t *testing.T) {
+	s := smallSuite(t)
+	ops := []struct {
+		name string
+		run  func() (Result, error)
+	}{
+		{"syscall", s.Syscall},
+		{"io", s.IO},
+		{"fork", s.Fork},
+		{"stat", s.Stat},
+		{"openclose", s.OpenClose},
+		{"exec", s.Exec},
+		{"create0", func() (Result, error) { return s.FileCreate(0) }},
+		{"delete0", func() (Result, error) { return s.FileDelete(0) }},
+		{"create10k", func() (Result, error) { return s.FileCreate(10 << 10) }},
+		{"delete10k", func() (Result, error) { return s.FileDelete(10 << 10) }},
+		{"mmap", s.MmapLatency},
+		{"pipe", s.PipeBandwidth},
+		{"unix", s.UnixBandwidth},
+		{"tcp", s.TCPBandwidth},
+		{"filereread", s.FileReread},
+		{"mmapreread", s.MmapReread},
+		{"ctx0", func() (Result, error) { return s.CtxSwitch(0) }},
+		{"ctx16k", func() (Result, error) { return s.CtxSwitch(16 << 10) }},
+	}
+	for _, op := range ops {
+		r, err := op.run()
+		if err != nil {
+			t.Fatalf("%s: %v", op.name, err)
+		}
+		if r.Value <= 0 {
+			t.Errorf("%s: value = %v", op.name, r.Value)
+		}
+		if r.Op == "" || r.Unit == "" {
+			t.Errorf("%s: incomplete result %+v", op.name, r)
+		}
+	}
+}
+
+func TestRunTable2Shape(t *testing.T) {
+	s := smallSuite(t)
+	res, err := s.RunTable2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 17 {
+		t.Fatalf("results = %d, want 17", len(res))
+	}
+	cats := map[Category]int{}
+	for _, r := range res {
+		cats[r.Category]++
+	}
+	want := map[Category]int{
+		CatProcesses: 5, CatFileAccess: 5, CatBandwidth: 5, CatCtxSwitch: 2,
+	}
+	for cat, n := range want {
+		if cats[cat] != n {
+			t.Errorf("%s: %d rows, want %d", cat, cats[cat], n)
+		}
+	}
+}
+
+func TestRunTable3Shape(t *testing.T) {
+	s := smallSuite(t)
+	res, err := s.RunTable3()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 14 {
+		t.Fatalf("results = %d, want 14", len(res))
+	}
+	if res[1].Op != "I/O" {
+		t.Errorf("second row = %q, want I/O", res[1].Op)
+	}
+}
+
+func TestFileOps(t *testing.T) {
+	s := smallSuite(t)
+	res, err := s.FileOps()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 5 {
+		t.Fatalf("results = %d", len(res))
+	}
+}
+
+func TestBandwidthLabelsAndUnits(t *testing.T) {
+	s := smallSuite(t)
+	r, err := s.PipeBandwidth()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Unit != "MB/s" || r.SmallerIsBetter {
+		t.Errorf("pipe result = %+v", r)
+	}
+	r, err = s.CtxSwitch(16 << 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Op != "2p/16K ctxsw" {
+		t.Errorf("ctx label = %q", r.Op)
+	}
+}
+
+func TestResultString(t *testing.T) {
+	r := Result{Op: "fork", Unit: "ms", Value: 0.0123}
+	if got := r.String(); got != "fork: 0.0123 ms" {
+		t.Errorf("String = %q", got)
+	}
+}

@@ -1,0 +1,134 @@
+package lmbench
+
+import (
+	"fmt"
+	"runtime"
+	"runtime/debug"
+)
+
+// measure runs one operation with the garbage collector parked and a
+// clean heap, so GC pacing (which varies with the booted configuration's
+// heap size) cannot masquerade as security-module overhead. The previous
+// GOGC is restored afterwards, letting the accumulated garbage go before
+// the next operation.
+func measure(run func() (Result, error)) (Result, error) {
+	runtime.GC()
+	defer debug.SetGCPercent(debug.SetGCPercent(-1))
+	return run()
+}
+
+// Category groups results the way Table II does.
+type Category string
+
+// Table II categories.
+const (
+	CatProcesses  Category = "Processes (times in ms - smaller is better)"
+	CatFileAccess Category = "File Access (in ms - smaller is better)"
+	CatBandwidth  Category = "Local Communication Bandwidths (in MB/s - bigger is better)"
+	CatCtxSwitch  Category = "Context Switching (in ms - smaller is better)"
+)
+
+// CategorizedResult pairs a result with its table section.
+type CategorizedResult struct {
+	Category Category
+	Result
+}
+
+// RunTable2 executes the full Table II operation list in order and
+// returns the categorized results.
+func (s *Suite) RunTable2() ([]CategorizedResult, error) {
+	var out []CategorizedResult
+	add := func(cat Category, r Result, err error) error {
+		if err != nil {
+			return fmt.Errorf("lmbench: %s: %w", r.Op, err)
+		}
+		out = append(out, CategorizedResult{Category: cat, Result: r})
+		return nil
+	}
+
+	type step struct {
+		cat Category
+		run func() (Result, error)
+	}
+	steps := []step{
+		{CatProcesses, s.Syscall},
+		{CatProcesses, s.Fork},
+		{CatProcesses, s.Stat},
+		{CatProcesses, s.OpenClose},
+		{CatProcesses, s.Exec},
+		{CatFileAccess, func() (Result, error) { return s.FileCreate(0) }},
+		{CatFileAccess, func() (Result, error) { return s.FileDelete(0) }},
+		{CatFileAccess, func() (Result, error) { return s.FileCreate(10 << 10) }},
+		{CatFileAccess, func() (Result, error) { return s.FileDelete(10 << 10) }},
+		{CatFileAccess, s.MmapLatency},
+		{CatBandwidth, s.PipeBandwidth},
+		{CatBandwidth, s.UnixBandwidth},
+		{CatBandwidth, s.TCPBandwidth},
+		{CatBandwidth, s.FileReread},
+		{CatBandwidth, s.MmapReread},
+		{CatCtxSwitch, func() (Result, error) { return s.CtxSwitch(0) }},
+		{CatCtxSwitch, func() (Result, error) { return s.CtxSwitch(16 << 10) }},
+	}
+	for _, st := range steps {
+		r, err := measure(st.run)
+		if err := add(st.cat, r, err); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// RunTable3 executes the reduced operation list of Table III (syscall,
+// I/O, file access, bandwidths, context switching).
+func (s *Suite) RunTable3() ([]CategorizedResult, error) {
+	var out []CategorizedResult
+	type step struct {
+		cat Category
+		run func() (Result, error)
+	}
+	steps := []step{
+		{CatProcesses, s.Syscall},
+		{CatProcesses, s.IO},
+		{CatFileAccess, func() (Result, error) { return s.FileCreate(0) }},
+		{CatFileAccess, func() (Result, error) { return s.FileDelete(0) }},
+		{CatFileAccess, func() (Result, error) { return s.FileCreate(10 << 10) }},
+		{CatFileAccess, func() (Result, error) { return s.FileDelete(10 << 10) }},
+		{CatFileAccess, s.MmapLatency},
+		{CatBandwidth, s.PipeBandwidth},
+		{CatBandwidth, s.UnixBandwidth},
+		{CatBandwidth, s.TCPBandwidth},
+		{CatBandwidth, s.FileReread},
+		{CatBandwidth, s.MmapReread},
+		{CatCtxSwitch, func() (Result, error) { return s.CtxSwitch(0) }},
+		{CatCtxSwitch, func() (Result, error) { return s.CtxSwitch(16 << 10) }},
+	}
+	for _, st := range steps {
+		r, err := measure(st.run)
+		if err != nil {
+			return nil, fmt.Errorf("lmbench: %w", err)
+		}
+		out = append(out, CategorizedResult{Category: st.cat, Result: r})
+	}
+	return out, nil
+}
+
+// FileOps runs only the file-operation subset used by the Fig. 3
+// experiments (create/delete/open/read): the workload most sensitive to
+// SACK's path-mediation hooks.
+func (s *Suite) FileOps() ([]Result, error) {
+	var out []Result
+	for _, run := range []func() (Result, error){
+		s.OpenClose,
+		s.Stat,
+		func() (Result, error) { return s.FileCreate(0) },
+		func() (Result, error) { return s.FileDelete(0) },
+		s.FileReread,
+	} {
+		r, err := measure(run)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}

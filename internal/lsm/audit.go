@@ -1,0 +1,94 @@
+package lsm
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// AuditRecord is one security-relevant event, in the spirit of the
+// kernel's audit subsystem. Security modules append records through an
+// AuditLog they share; tests and the demo binaries read them back.
+type AuditRecord struct {
+	Seq     uint64
+	When    time.Time
+	Module  string // which LSM produced the record
+	Op      string // hook name ("file_ioctl", "inode_permission", ...)
+	Subject string // task identity (comm or profile label)
+	Object  string // target path or address
+	Action  string // "ALLOWED" or "DENIED"
+	Detail  string // free-form context (state name, matched rule, ...)
+}
+
+// String renders the record in a dmesg-like single line.
+func (r AuditRecord) String() string {
+	return fmt.Sprintf("audit[%d] %s %s op=%s subject=%q object=%q %s %s",
+		r.Seq, r.Module, r.Action, r.Op, r.Subject, r.Object, r.Detail,
+		r.When.Format(time.RFC3339Nano))
+}
+
+// AuditLog is a bounded in-memory ring of audit records.
+type AuditLog struct {
+	mu      sync.Mutex
+	seq     uint64
+	records []AuditRecord
+	max     int
+}
+
+// NewAuditLog creates a log retaining at most max records (0 means a
+// default of 4096).
+func NewAuditLog(max int) *AuditLog {
+	if max <= 0 {
+		max = 4096
+	}
+	return &AuditLog{max: max}
+}
+
+// Append records an event, trimming the oldest entries beyond the cap.
+func (l *AuditLog) Append(r AuditRecord) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.seq++
+	r.Seq = l.seq
+	if r.When.IsZero() {
+		r.When = time.Now()
+	}
+	l.records = append(l.records, r)
+	if len(l.records) > l.max {
+		l.records = l.records[len(l.records)-l.max:]
+	}
+}
+
+// Records returns a copy of the retained records, oldest first.
+func (l *AuditLog) Records() []AuditRecord {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]AuditRecord, len(l.records))
+	copy(out, l.records)
+	return out
+}
+
+// Denials returns only the DENIED records.
+func (l *AuditLog) Denials() []AuditRecord {
+	var out []AuditRecord
+	for _, r := range l.Records() {
+		if r.Action == "DENIED" {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// Len reports the number of retained records.
+func (l *AuditLog) Len() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.records)
+}
+
+// Clear discards all retained records (the sequence counter keeps going).
+func (l *AuditLog) Clear() {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.records = nil
+}

@@ -1,0 +1,26 @@
+package lsm
+
+import (
+	"repro/internal/sys"
+)
+
+// Capability is the always-present minor LSM that implements POSIX
+// capability checking, like the kernel's security/commoncap.c. It is
+// registered last in the stack so that MAC modules run first.
+type Capability struct {
+	Base
+}
+
+// NewCapability returns the capability module.
+func NewCapability() *Capability { return &Capability{} }
+
+// Name implements Module.
+func (*Capability) Name() string { return "capability" }
+
+// Capable allows a capability only when the credential holds it.
+func (*Capability) Capable(cred *sys.Cred, c sys.Cap) error {
+	if cred.HasCap(c) {
+		return nil
+	}
+	return sys.EPERM
+}

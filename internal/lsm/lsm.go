@@ -1,0 +1,115 @@
+// Package lsm implements the simulated Linux Security Module framework:
+// the hook interface security modules implement, and the ordered stack
+// that consults them. Semantics follow the kernel's whitelist stacking
+// model used by the paper (CONFIG_LSM="SACK,AppArmor,..."): modules are
+// called in registration order and the first non-nil error denies the
+// operation, so a later module is only consulted when every earlier one
+// allowed the access.
+package lsm
+
+import (
+	"repro/internal/sys"
+	"repro/internal/vfs"
+)
+
+// Module is the full hook surface a security module may implement. Embed
+// Base to get allow-everything defaults and override only the hooks the
+// module cares about, mirroring how kernel LSMs register a sparse
+// security_hook_list.
+type Module interface {
+	// Name identifies the module ("capability", "apparmor", "sack").
+	Name() string
+
+	// --- task hooks ---
+
+	// TaskAlloc runs at fork; the module may install a blob on child.
+	TaskAlloc(parent, child *sys.Cred) error
+	// BprmCheck runs at exec time, before the program image replaces the
+	// task. Path is the executable path; node its inode.
+	BprmCheck(cred *sys.Cred, path string, node *vfs.Inode) error
+	// Capable gates capability use (security_capable).
+	Capable(cred *sys.Cred, c sys.Cap) error
+
+	// --- inode hooks ---
+
+	// InodePermission checks a path-based access request.
+	InodePermission(cred *sys.Cred, path string, node *vfs.Inode, mask sys.Access) error
+	// InodeCreate gates creating a new object named path inside dir.
+	InodeCreate(cred *sys.Cred, dir *vfs.Inode, path string, mode vfs.Mode) error
+	// InodeUnlink gates removing the object at path.
+	InodeUnlink(cred *sys.Cred, dir *vfs.Inode, path string, node *vfs.Inode) error
+	// InodeGetattr gates stat(2) on the object at path.
+	InodeGetattr(cred *sys.Cred, path string, node *vfs.Inode) error
+
+	// --- file hooks ---
+
+	// FileOpen runs once per successful path resolution at open time.
+	FileOpen(cred *sys.Cred, f *vfs.File) error
+	// FilePermission runs on every read/write through an open file.
+	FilePermission(cred *sys.Cred, f *vfs.File, mask sys.Access) error
+	// FileIoctl gates device-control calls.
+	FileIoctl(cred *sys.Cred, f *vfs.File, cmd uint64) error
+	// MmapFile gates memory-mapping a file with the given protections.
+	MmapFile(cred *sys.Cred, f *vfs.File, prot sys.Access) error
+
+	// --- IPC / network hooks ---
+
+	// SocketCreate gates socket(2).
+	SocketCreate(cred *sys.Cred, family, typ int) error
+	// SocketConnect gates connect(2) to addr.
+	SocketConnect(cred *sys.Cred, addr string) error
+	// SocketSendmsg gates each send on a connected socket.
+	SocketSendmsg(cred *sys.Cred, addr string, n int) error
+}
+
+// Base provides allow-everything defaults for every hook. Security
+// modules embed it and override selectively.
+type Base struct{}
+
+// TaskAlloc allows by default.
+func (Base) TaskAlloc(parent, child *sys.Cred) error { return nil }
+
+// BprmCheck allows by default.
+func (Base) BprmCheck(cred *sys.Cred, path string, node *vfs.Inode) error { return nil }
+
+// Capable allows by default (the capability module overrides this).
+func (Base) Capable(cred *sys.Cred, c sys.Cap) error { return nil }
+
+// InodePermission allows by default.
+func (Base) InodePermission(cred *sys.Cred, path string, node *vfs.Inode, mask sys.Access) error {
+	return nil
+}
+
+// InodeCreate allows by default.
+func (Base) InodeCreate(cred *sys.Cred, dir *vfs.Inode, path string, mode vfs.Mode) error {
+	return nil
+}
+
+// InodeUnlink allows by default.
+func (Base) InodeUnlink(cred *sys.Cred, dir *vfs.Inode, path string, node *vfs.Inode) error {
+	return nil
+}
+
+// InodeGetattr allows by default.
+func (Base) InodeGetattr(cred *sys.Cred, path string, node *vfs.Inode) error { return nil }
+
+// FileOpen allows by default.
+func (Base) FileOpen(cred *sys.Cred, f *vfs.File) error { return nil }
+
+// FilePermission allows by default.
+func (Base) FilePermission(cred *sys.Cred, f *vfs.File, mask sys.Access) error { return nil }
+
+// FileIoctl allows by default.
+func (Base) FileIoctl(cred *sys.Cred, f *vfs.File, cmd uint64) error { return nil }
+
+// MmapFile allows by default.
+func (Base) MmapFile(cred *sys.Cred, f *vfs.File, prot sys.Access) error { return nil }
+
+// SocketCreate allows by default.
+func (Base) SocketCreate(cred *sys.Cred, family, typ int) error { return nil }
+
+// SocketConnect allows by default.
+func (Base) SocketConnect(cred *sys.Cred, addr string) error { return nil }
+
+// SocketSendmsg allows by default.
+func (Base) SocketSendmsg(cred *sys.Cred, addr string, n int) error { return nil }

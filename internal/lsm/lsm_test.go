@@ -1,0 +1,241 @@
+package lsm
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/sys"
+	"repro/internal/vfs"
+)
+
+// recordingModule logs hook invocations and optionally denies.
+type recordingModule struct {
+	Base
+	name  string
+	deny  error // returned from every overridden hook when non-nil
+	calls []string
+	mu    sync.Mutex
+}
+
+func (m *recordingModule) Name() string { return m.name }
+
+func (m *recordingModule) record(hook string) error {
+	m.mu.Lock()
+	m.calls = append(m.calls, hook)
+	m.mu.Unlock()
+	return m.deny
+}
+
+func (m *recordingModule) InodePermission(*sys.Cred, string, *vfs.Inode, sys.Access) error {
+	return m.record("inode_permission")
+}
+
+func (m *recordingModule) FileOpen(*sys.Cred, *vfs.File) error { return m.record("file_open") }
+
+func (m *recordingModule) FileIoctl(*sys.Cred, *vfs.File, uint64) error {
+	return m.record("file_ioctl")
+}
+
+func (m *recordingModule) callLog() []string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]string, len(m.calls))
+	copy(out, m.calls)
+	return out
+}
+
+func TestRegisterRejectsDuplicates(t *testing.T) {
+	s := NewStack()
+	if err := s.Register(&recordingModule{name: "a"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Register(&recordingModule{name: "a"}); err == nil {
+		t.Fatal("duplicate registration accepted")
+	}
+}
+
+func TestStackOrderAndString(t *testing.T) {
+	s := NewStack()
+	s.Register(&recordingModule{name: "sack"})
+	s.Register(&recordingModule{name: "apparmor"})
+	s.Register(NewCapability())
+	if got := s.String(); got != "sack,apparmor,capability" {
+		t.Fatalf("stack order = %q", got)
+	}
+}
+
+func TestFirstDenyWinsAndShortCircuits(t *testing.T) {
+	first := &recordingModule{name: "first", deny: sys.EACCES}
+	second := &recordingModule{name: "second"}
+	s := NewStack()
+	s.Register(first)
+	s.Register(second)
+
+	cred := sys.NewCred(0, 0)
+	err := s.InodePermission(cred, "/x", nil, sys.MayRead)
+	if !sys.IsErrno(err, sys.EACCES) {
+		t.Fatalf("err = %v", err)
+	}
+	if len(second.callLog()) != 0 {
+		t.Fatal("second module consulted after first denied (whitelist stacking broken)")
+	}
+	if s.Denials("first") != 1 || s.Denials("second") != 0 {
+		t.Fatalf("denial counters = %d, %d", s.Denials("first"), s.Denials("second"))
+	}
+}
+
+func TestAllModulesConsultedOnAllow(t *testing.T) {
+	a := &recordingModule{name: "a"}
+	b := &recordingModule{name: "b"}
+	s := NewStack()
+	s.Register(a)
+	s.Register(b)
+	cred := sys.NewCred(0, 0)
+	if err := s.InodePermission(cred, "/x", nil, sys.MayRead); err != nil {
+		t.Fatal(err)
+	}
+	if len(a.callLog()) != 1 || len(b.callLog()) != 1 {
+		t.Fatal("not all modules consulted on allow")
+	}
+}
+
+func TestSecondModuleDenies(t *testing.T) {
+	a := &recordingModule{name: "a"}
+	b := &recordingModule{name: "b", deny: sys.EPERM}
+	s := NewStack()
+	s.Register(a)
+	s.Register(b)
+	err := s.FileIoctl(sys.NewCred(0, 0), nil, 1)
+	if !sys.IsErrno(err, sys.EPERM) {
+		t.Fatalf("err = %v", err)
+	}
+	if s.Denials("b") != 1 {
+		t.Fatal("denial not attributed to b")
+	}
+}
+
+func TestEmptyStackAllowsEverything(t *testing.T) {
+	s := NewStack()
+	cred := sys.NewCred(1000, 1000)
+	if err := s.InodePermission(cred, "/x", nil, sys.MayWrite); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Capable(cred, sys.CapMacAdmin); err != nil {
+		t.Fatal("empty stack should not enforce capabilities")
+	}
+}
+
+func TestCapabilityModule(t *testing.T) {
+	s := NewStack()
+	s.Register(NewCapability())
+	root := sys.NewCred(0, 0)
+	user := sys.NewCred(1000, 1000)
+	if err := s.Capable(root, sys.CapMacAdmin); err != nil {
+		t.Errorf("root CAP_MAC_ADMIN: %v", err)
+	}
+	if err := s.Capable(user, sys.CapMacAdmin); !sys.IsErrno(err, sys.EPERM) {
+		t.Errorf("user CAP_MAC_ADMIN: %v", err)
+	}
+	user.Caps = user.Caps.Add(sys.CapMacAdmin)
+	if err := s.Capable(user, sys.CapMacAdmin); err != nil {
+		t.Errorf("granted cap still denied: %v", err)
+	}
+}
+
+// nopNamed is Base plus a name — the minimal valid module.
+type nopNamed struct{ Base }
+
+func (nopNamed) Name() string { return "nop" }
+
+func TestMinimalModule(t *testing.T) {
+	s := NewStack()
+	if err := s.Register(nopNamed{}); err != nil {
+		t.Fatal(err)
+	}
+	cred := sys.NewCred(0, 0)
+	hooks := []error{
+		s.TaskAlloc(cred, cred),
+		s.BprmCheck(cred, "/bin/x", nil),
+		s.Capable(cred, sys.CapChown),
+		s.InodePermission(cred, "/x", nil, sys.MayRead),
+		s.InodeCreate(cred, nil, "/x", 0),
+		s.InodeUnlink(cred, nil, "/x", nil),
+		s.InodeGetattr(cred, "/x", nil),
+		s.FileOpen(cred, nil),
+		s.FilePermission(cred, nil, sys.MayRead),
+		s.FileIoctl(cred, nil, 0),
+		s.MmapFile(cred, nil, sys.MayRead),
+		s.SocketCreate(cred, 1, 1),
+		s.SocketConnect(cred, "unix:/x"),
+		s.SocketSendmsg(cred, "unix:/x", 10),
+	}
+	for i, err := range hooks {
+		if err != nil {
+			t.Errorf("hook %d denied by Base: %v", i, err)
+		}
+	}
+}
+
+func TestConcurrentHooksWithRegistration(t *testing.T) {
+	s := NewStack()
+	s.Register(&recordingModule{name: "m0"})
+	cred := sys.NewCred(0, 0)
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				s.InodePermission(cred, "/x", nil, sys.MayRead)
+			}
+		}()
+	}
+	for i := 1; i <= 8; i++ {
+		s.Register(&recordingModule{name: fmt.Sprintf("m%d", i)})
+	}
+	wg.Wait()
+	if got := len(s.Modules()); got != 9 {
+		t.Fatalf("modules = %d", got)
+	}
+}
+
+func TestAuditLogRing(t *testing.T) {
+	l := NewAuditLog(3)
+	for i := 0; i < 5; i++ {
+		l.Append(AuditRecord{Module: "m", Op: fmt.Sprintf("op%d", i), Action: "DENIED"})
+	}
+	recs := l.Records()
+	if len(recs) != 3 {
+		t.Fatalf("retained = %d, want 3", len(recs))
+	}
+	if recs[0].Op != "op2" || recs[2].Op != "op4" {
+		t.Fatalf("wrong retention window: %v", recs)
+	}
+	if recs[2].Seq != 5 {
+		t.Fatalf("seq = %d, want 5", recs[2].Seq)
+	}
+	if len(l.Denials()) != 3 {
+		t.Fatal("denials filter wrong")
+	}
+	l.Clear()
+	if l.Len() != 0 {
+		t.Fatal("clear failed")
+	}
+	l.Append(AuditRecord{Module: "m", Op: "after", Action: "ALLOWED"})
+	if l.Records()[0].Seq != 6 {
+		t.Fatal("sequence should continue after clear")
+	}
+}
+
+func TestAuditRecordString(t *testing.T) {
+	l := NewAuditLog(0)
+	l.Append(AuditRecord{Module: "sack", Op: "file_ioctl", Subject: "radio", Object: "/dev/d", Action: "DENIED"})
+	s := l.Records()[0].String()
+	for _, frag := range []string{"sack", "file_ioctl", "radio", "/dev/d", "DENIED"} {
+		if !strings.Contains(s, frag) {
+			t.Errorf("record string %q missing %q", s, frag)
+		}
+	}
+}

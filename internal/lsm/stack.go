@@ -1,0 +1,236 @@
+package lsm
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/sys"
+	"repro/internal/vfs"
+)
+
+// Stack is the ordered list of registered security modules — the
+// simulated equivalent of the kernel's security_hook_heads populated from
+// CONFIG_LSM. Registration happens at "boot" (before syscalls run);
+// the hook fast path reads the module slice through an atomic pointer so
+// checks never contend on a lock.
+type Stack struct {
+	mu      sync.Mutex
+	modules atomic.Pointer[[]Module]
+
+	// Denials counts hook rejections per module, for audit and tests.
+	denials sync.Map // string -> *atomic.Uint64
+}
+
+// NewStack returns an empty module stack.
+func NewStack() *Stack {
+	s := &Stack{}
+	empty := []Module{}
+	s.modules.Store(&empty)
+	return s
+}
+
+// Register appends a module to the stack. The order of registration is
+// the order of consultation (whitelist stacking: first module checked
+// first, first deny wins).
+func (s *Stack) Register(m Module) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	cur := *s.modules.Load()
+	for _, existing := range cur {
+		if existing.Name() == m.Name() {
+			return fmt.Errorf("lsm: module %q already registered", m.Name())
+		}
+	}
+	next := make([]Module, len(cur)+1)
+	copy(next, cur)
+	next[len(cur)] = m
+	s.modules.Store(&next)
+	return nil
+}
+
+// Modules returns the registered module names in consultation order,
+// matching the format of /sys/kernel/security/lsm.
+func (s *Stack) Modules() []string {
+	cur := *s.modules.Load()
+	names := make([]string, len(cur))
+	for i, m := range cur {
+		names[i] = m.Name()
+	}
+	return names
+}
+
+// String renders the stack like CONFIG_LSM ("sack,apparmor,capability").
+func (s *Stack) String() string { return strings.Join(s.Modules(), ",") }
+
+// Denials reports how many hook calls the named module has denied.
+func (s *Stack) Denials(module string) uint64 {
+	if v, ok := s.denials.Load(module); ok {
+		return v.(*atomic.Uint64).Load()
+	}
+	return 0
+}
+
+func (s *Stack) countDenial(module string) {
+	v, _ := s.denials.LoadOrStore(module, new(atomic.Uint64))
+	v.(*atomic.Uint64).Add(1)
+}
+
+// Each hook method below walks the module list in order and returns the
+// first error. The loops are written out per hook (rather than through a
+// generic closure) to keep the fast path free of allocations.
+
+// TaskAlloc invokes the fork hook chain.
+func (s *Stack) TaskAlloc(parent, child *sys.Cred) error {
+	for _, m := range *s.modules.Load() {
+		if err := m.TaskAlloc(parent, child); err != nil {
+			s.countDenial(m.Name())
+			return err
+		}
+	}
+	return nil
+}
+
+// BprmCheck invokes the exec hook chain.
+func (s *Stack) BprmCheck(cred *sys.Cred, path string, node *vfs.Inode) error {
+	for _, m := range *s.modules.Load() {
+		if err := m.BprmCheck(cred, path, node); err != nil {
+			s.countDenial(m.Name())
+			return err
+		}
+	}
+	return nil
+}
+
+// Capable invokes the capability hook chain.
+func (s *Stack) Capable(cred *sys.Cred, c sys.Cap) error {
+	for _, m := range *s.modules.Load() {
+		if err := m.Capable(cred, c); err != nil {
+			s.countDenial(m.Name())
+			return err
+		}
+	}
+	return nil
+}
+
+// InodePermission invokes the path-access hook chain.
+func (s *Stack) InodePermission(cred *sys.Cred, path string, node *vfs.Inode, mask sys.Access) error {
+	for _, m := range *s.modules.Load() {
+		if err := m.InodePermission(cred, path, node, mask); err != nil {
+			s.countDenial(m.Name())
+			return err
+		}
+	}
+	return nil
+}
+
+// InodeCreate invokes the create hook chain.
+func (s *Stack) InodeCreate(cred *sys.Cred, dir *vfs.Inode, path string, mode vfs.Mode) error {
+	for _, m := range *s.modules.Load() {
+		if err := m.InodeCreate(cred, dir, path, mode); err != nil {
+			s.countDenial(m.Name())
+			return err
+		}
+	}
+	return nil
+}
+
+// InodeUnlink invokes the unlink hook chain.
+func (s *Stack) InodeUnlink(cred *sys.Cred, dir *vfs.Inode, path string, node *vfs.Inode) error {
+	for _, m := range *s.modules.Load() {
+		if err := m.InodeUnlink(cred, dir, path, node); err != nil {
+			s.countDenial(m.Name())
+			return err
+		}
+	}
+	return nil
+}
+
+// InodeGetattr invokes the stat hook chain.
+func (s *Stack) InodeGetattr(cred *sys.Cred, path string, node *vfs.Inode) error {
+	for _, m := range *s.modules.Load() {
+		if err := m.InodeGetattr(cred, path, node); err != nil {
+			s.countDenial(m.Name())
+			return err
+		}
+	}
+	return nil
+}
+
+// FileOpen invokes the open hook chain.
+func (s *Stack) FileOpen(cred *sys.Cred, f *vfs.File) error {
+	for _, m := range *s.modules.Load() {
+		if err := m.FileOpen(cred, f); err != nil {
+			s.countDenial(m.Name())
+			return err
+		}
+	}
+	return nil
+}
+
+// FilePermission invokes the per-I/O hook chain.
+func (s *Stack) FilePermission(cred *sys.Cred, f *vfs.File, mask sys.Access) error {
+	for _, m := range *s.modules.Load() {
+		if err := m.FilePermission(cred, f, mask); err != nil {
+			s.countDenial(m.Name())
+			return err
+		}
+	}
+	return nil
+}
+
+// FileIoctl invokes the ioctl hook chain.
+func (s *Stack) FileIoctl(cred *sys.Cred, f *vfs.File, cmd uint64) error {
+	for _, m := range *s.modules.Load() {
+		if err := m.FileIoctl(cred, f, cmd); err != nil {
+			s.countDenial(m.Name())
+			return err
+		}
+	}
+	return nil
+}
+
+// MmapFile invokes the mmap hook chain.
+func (s *Stack) MmapFile(cred *sys.Cred, f *vfs.File, prot sys.Access) error {
+	for _, m := range *s.modules.Load() {
+		if err := m.MmapFile(cred, f, prot); err != nil {
+			s.countDenial(m.Name())
+			return err
+		}
+	}
+	return nil
+}
+
+// SocketCreate invokes the socket-creation hook chain.
+func (s *Stack) SocketCreate(cred *sys.Cred, family, typ int) error {
+	for _, m := range *s.modules.Load() {
+		if err := m.SocketCreate(cred, family, typ); err != nil {
+			s.countDenial(m.Name())
+			return err
+		}
+	}
+	return nil
+}
+
+// SocketConnect invokes the connect hook chain.
+func (s *Stack) SocketConnect(cred *sys.Cred, addr string) error {
+	for _, m := range *s.modules.Load() {
+		if err := m.SocketConnect(cred, addr); err != nil {
+			s.countDenial(m.Name())
+			return err
+		}
+	}
+	return nil
+}
+
+// SocketSendmsg invokes the sendmsg hook chain.
+func (s *Stack) SocketSendmsg(cred *sys.Cred, addr string, n int) error {
+	for _, m := range *s.modules.Load() {
+		if err := m.SocketSendmsg(cred, addr, n); err != nil {
+			s.countDenial(m.Name())
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,122 @@
+package policy
+
+import (
+	"strings"
+	"testing"
+)
+
+func mustLoad(t *testing.T, src string) *Compiled {
+	t.Helper()
+	c, vr, err := Load(src)
+	if err != nil || !vr.OK() {
+		t.Fatalf("Load: %v %v", err, vr)
+	}
+	return c
+}
+
+const diffBase = `
+states { normal = 0 emergency = 1 }
+initial normal
+permissions { READ DOORS }
+state_per {
+  normal: READ
+  emergency: READ, DOORS
+}
+per_rules {
+  READ  { allow read /dev/vehicle/** }
+  DOORS { allow ioctl /dev/vehicle/door* }
+}
+transitions {
+  normal -> emergency on crash
+  emergency -> normal on clear
+}
+`
+
+func TestDiffIdenticalIsEmpty(t *testing.T) {
+	a := mustLoad(t, diffBase)
+	b := mustLoad(t, diffBase)
+	if changes := Diff(a, b); len(changes) != 0 {
+		t.Fatalf("identical policies differ: %v", changes)
+	}
+	if FormatDiff(nil) != "" {
+		t.Fatal("empty diff should format empty")
+	}
+}
+
+func TestDiffDetectsAdditionsAndRemovals(t *testing.T) {
+	a := mustLoad(t, diffBase)
+	b := mustLoad(t, `
+states { normal = 0 emergency = 1 lockdown = 2 }
+initial normal
+permissions { READ }
+state_per {
+  normal: READ
+  emergency: READ
+}
+per_rules {
+  READ { allow read /dev/vehicle/** }
+}
+transitions {
+  normal -> emergency on crash
+  emergency -> normal on clear
+  normal -> lockdown on threat
+}
+`)
+	text := FormatDiff(Diff(a, b))
+	for _, frag := range []string{
+		"state added: lockdown",
+		"permission removed: DOORS",
+		"rule removed: state emergency: allow ioctl /dev/vehicle/door*",
+		"transition added: normal -> lockdown on threat",
+	} {
+		if !strings.Contains(text, frag) {
+			t.Errorf("diff missing %q:\n%s", frag, text)
+		}
+	}
+}
+
+func TestDiffDetectsEncodingAndInitialChanges(t *testing.T) {
+	a := mustLoad(t, "states { x = 0 y = 1 }\ninitial x")
+	b := mustLoad(t, "states { x = 5 y = 1 }\ninitial y")
+	text := FormatDiff(Diff(a, b))
+	if !strings.Contains(text, "initial changed: x -> y") {
+		t.Errorf("missing initial change:\n%s", text)
+	}
+	if !strings.Contains(text, "x encoding 0 -> 5") {
+		t.Errorf("missing encoding change:\n%s", text)
+	}
+}
+
+func TestDiffRuleChangeWithinState(t *testing.T) {
+	a := mustLoad(t, diffBase)
+	b := mustLoad(t, strings.Replace(diffBase,
+		"allow ioctl /dev/vehicle/door*",
+		"allow ioctl,write /dev/vehicle/door*", 1))
+	text := FormatDiff(Diff(a, b))
+	if !strings.Contains(text, "rule removed: state emergency: allow ioctl /dev/vehicle/door*") {
+		t.Errorf("old rule not reported removed:\n%s", text)
+	}
+	if !strings.Contains(text, "rule added: state emergency: allow write,ioctl /dev/vehicle/door*") {
+		t.Errorf("new rule not reported added:\n%s", text)
+	}
+}
+
+// Property: Diff(a, b) and Diff(b, a) have mirrored added/removed counts.
+func TestDiffSymmetry(t *testing.T) {
+	a := mustLoad(t, diffBase)
+	b := mustLoad(t, strings.Replace(diffBase, "emergency = 1", "emergency = 1\n  valet = 2", 1))
+	ab := Diff(a, b)
+	ba := Diff(b, a)
+	count := func(changes []Change, action string) int {
+		n := 0
+		for _, c := range changes {
+			if c.Action == action {
+				n++
+			}
+		}
+		return n
+	}
+	if count(ab, "added") != count(ba, "removed") || count(ab, "removed") != count(ba, "added") {
+		t.Fatalf("asymmetric diff:\nab=%v\nba=%v", ab, ba)
+	}
+}

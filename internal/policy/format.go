@@ -1,0 +1,83 @@
+package policy
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Format renders the AST back to canonical policy text. Parsing the
+// output reproduces an equivalent AST (round-trip property covered in
+// tests).
+func Format(f *File) string {
+	var b strings.Builder
+
+	if len(f.States) > 0 {
+		b.WriteString("states {\n")
+		for _, s := range f.States {
+			if s.Encoding != nil {
+				fmt.Fprintf(&b, "  %s = %d\n", s.Name, *s.Encoding)
+			} else {
+				fmt.Fprintf(&b, "  %s\n", s.Name)
+			}
+		}
+		b.WriteString("}\n\n")
+	}
+
+	if f.Initial != "" {
+		fmt.Fprintf(&b, "initial %s\n\n", f.Initial)
+	}
+
+	if len(f.Events) > 0 {
+		b.WriteString("events {\n")
+		for _, e := range f.Events {
+			fmt.Fprintf(&b, "  %s\n", e.Name)
+		}
+		b.WriteString("}\n\n")
+	}
+
+	if len(f.Permissions) > 0 {
+		b.WriteString("permissions {\n")
+		for _, p := range f.Permissions {
+			fmt.Fprintf(&b, "  %s\n", p.Name)
+		}
+		b.WriteString("}\n\n")
+	}
+
+	if len(f.StatePer) > 0 {
+		b.WriteString("state_per {\n")
+		for _, sp := range f.StatePer {
+			fmt.Fprintf(&b, "  %s: %s\n", sp.State, strings.Join(sp.Perms, ", "))
+		}
+		b.WriteString("}\n\n")
+	}
+
+	if len(f.PerRules) > 0 {
+		b.WriteString("per_rules {\n")
+		for _, pr := range f.PerRules {
+			fmt.Fprintf(&b, "  %s {\n", pr.Perm)
+			for _, r := range pr.Rules {
+				verb := "allow"
+				if r.Deny {
+					verb = "deny"
+				}
+				fmt.Fprintf(&b, "    %s %s %s", verb, strings.Join(r.Ops, ","), r.Path)
+				if r.Subject != "" {
+					fmt.Fprintf(&b, " subject %s", r.Subject)
+				}
+				b.WriteByte('\n')
+			}
+			b.WriteString("  }\n")
+		}
+		b.WriteString("}\n\n")
+	}
+
+	if len(f.Transitions) > 0 {
+		b.WriteString("transitions {\n")
+		for _, t := range f.Transitions {
+			fmt.Fprintf(&b, "  %s -> %s on %s\n", t.From, t.To, t.Event)
+		}
+		b.WriteString("}\n")
+	}
+
+	return b.String()
+}

@@ -1,0 +1,245 @@
+// Package policy implements SACK's situation-aware policy language: the
+// four configuration interfaces of Table I (States, Permissions,
+// State_Per, Per_Rules) plus the transition rules that define the
+// situation state machine of Fig. 2. It provides a lexer, parser,
+// semantic validator with conflict detection, and a compiler producing
+// the immutable per-state rule sets the kernel module enforces.
+package policy
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// TokenKind classifies lexical tokens.
+type TokenKind int
+
+// Token kinds.
+const (
+	TokEOF TokenKind = iota
+	TokIdent
+	TokNumber
+	TokPath // begins with '/'
+	TokLBrace
+	TokRBrace
+	TokColon
+	TokComma
+	TokEquals
+	TokArrow // ->
+)
+
+func (k TokenKind) String() string {
+	switch k {
+	case TokEOF:
+		return "end of input"
+	case TokIdent:
+		return "identifier"
+	case TokNumber:
+		return "number"
+	case TokPath:
+		return "path"
+	case TokLBrace:
+		return "'{'"
+	case TokRBrace:
+		return "'}'"
+	case TokColon:
+		return "':'"
+	case TokComma:
+		return "','"
+	case TokEquals:
+		return "'='"
+	case TokArrow:
+		return "'->'"
+	}
+	return "unknown token"
+}
+
+// Pos is a source position for diagnostics.
+type Pos struct {
+	Line int
+	Col  int
+}
+
+// String renders line:col.
+func (p Pos) String() string { return fmt.Sprintf("%d:%d", p.Line, p.Col) }
+
+// Token is one lexical unit.
+type Token struct {
+	Kind TokenKind
+	Text string
+	Pos  Pos
+}
+
+// Lexer tokenises policy source. Comments start with '#' or "//" and run
+// to end of line. Newlines are insignificant (the grammar is brace- and
+// keyword-delimited).
+type Lexer struct {
+	src  string
+	off  int
+	line int
+	col  int
+}
+
+// NewLexer creates a lexer over src.
+func NewLexer(src string) *Lexer {
+	return &Lexer{src: src, line: 1, col: 1}
+}
+
+func (l *Lexer) peek() byte {
+	if l.off >= len(l.src) {
+		return 0
+	}
+	return l.src[l.off]
+}
+
+func (l *Lexer) advance() byte {
+	c := l.src[l.off]
+	l.off++
+	if c == '\n' {
+		l.line++
+		l.col = 1
+	} else {
+		l.col++
+	}
+	return c
+}
+
+func (l *Lexer) skipSpaceAndComments() {
+	for l.off < len(l.src) {
+		c := l.peek()
+		switch {
+		case c == ' ' || c == '\t' || c == '\r' || c == '\n':
+			l.advance()
+		case c == '#':
+			for l.off < len(l.src) && l.peek() != '\n' {
+				l.advance()
+			}
+		case c == '/' && l.off+1 < len(l.src) && l.src[l.off+1] == '/':
+			for l.off < len(l.src) && l.peek() != '\n' {
+				l.advance()
+			}
+		default:
+			return
+		}
+	}
+}
+
+// isPathChar reports whether c may appear in a path/glob token.
+func isPathChar(c byte) bool {
+	switch c {
+	case '/', '*', '?', '.', '-', '_', '[', ']', '^', '{', '}':
+		return true
+	}
+	return unicode.IsLetter(rune(c)) || unicode.IsDigit(rune(c))
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || unicode.IsLetter(rune(c))
+}
+
+func isIdentChar(c byte) bool {
+	return c == '_' || c == '-' || unicode.IsLetter(rune(c)) || unicode.IsDigit(rune(c))
+}
+
+// Next returns the next token. Lexical errors are reported as err.
+func (l *Lexer) Next() (Token, error) {
+	l.skipSpaceAndComments()
+	pos := Pos{Line: l.line, Col: l.col}
+	if l.off >= len(l.src) {
+		return Token{Kind: TokEOF, Pos: pos}, nil
+	}
+	c := l.peek()
+	switch {
+	case c == '{':
+		l.advance()
+		return Token{Kind: TokLBrace, Text: "{", Pos: pos}, nil
+	case c == '}':
+		l.advance()
+		return Token{Kind: TokRBrace, Text: "}", Pos: pos}, nil
+	case c == ':':
+		l.advance()
+		return Token{Kind: TokColon, Text: ":", Pos: pos}, nil
+	case c == ',':
+		l.advance()
+		return Token{Kind: TokComma, Text: ",", Pos: pos}, nil
+	case c == '=':
+		l.advance()
+		return Token{Kind: TokEquals, Text: "=", Pos: pos}, nil
+	case c == '-':
+		l.advance()
+		if l.peek() != '>' {
+			return Token{}, fmt.Errorf("policy: %s: expected '->' after '-'", pos)
+		}
+		l.advance()
+		return Token{Kind: TokArrow, Text: "->", Pos: pos}, nil
+	case c == '/':
+		start := l.off
+		depth := 0
+		for l.off < len(l.src) {
+			ch := l.peek()
+			// Braces inside a path belong to glob alternation; track
+			// nesting so a block-closing '}' is not swallowed.
+			if ch == '{' {
+				depth++
+			} else if ch == '}' {
+				if depth == 0 {
+					break
+				}
+				depth--
+			} else if ch == ',' {
+				// Commas separate alternation branches inside braces but
+				// terminate the token at depth zero (list punctuation).
+				if depth == 0 {
+					break
+				}
+			} else if !isPathChar(ch) {
+				break
+			}
+			l.advance()
+		}
+		text := l.src[start:l.off]
+		if depth != 0 {
+			return Token{}, fmt.Errorf("policy: %s: unbalanced '{' in path %q", pos, text)
+		}
+		return Token{Kind: TokPath, Text: text, Pos: pos}, nil
+	case c >= '0' && c <= '9':
+		start := l.off
+		for l.off < len(l.src) && l.peek() >= '0' && l.peek() <= '9' {
+			l.advance()
+		}
+		return Token{Kind: TokNumber, Text: l.src[start:l.off], Pos: pos}, nil
+	case isIdentStart(c):
+		start := l.off
+		for l.off < len(l.src) && isIdentChar(l.peek()) {
+			// '-' may appear inside kebab-case identifiers, but "->" is
+			// always the transition arrow: stop before it.
+			if l.peek() == '-' && l.off+1 < len(l.src) && l.src[l.off+1] == '>' {
+				break
+			}
+			l.advance()
+		}
+		return Token{Kind: TokIdent, Text: l.src[start:l.off], Pos: pos}, nil
+	default:
+		return Token{}, fmt.Errorf("policy: %s: unexpected character %q", pos, string(c))
+	}
+}
+
+// LexAll tokenises the whole input (testing convenience).
+func LexAll(src string) ([]Token, error) {
+	l := NewLexer(src)
+	var out []Token
+	for {
+		t, err := l.Next()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, t)
+		if t.Kind == TokEOF {
+			return out, nil
+		}
+	}
+}
+
+// quoteIdent formats an identifier for diagnostics.
+func quoteIdent(s string) string { return "'" + strings.TrimSpace(s) + "'" }

@@ -1,0 +1,335 @@
+package policy
+
+import (
+	"fmt"
+)
+
+// Parse converts policy source text into an AST. Syntax errors include
+// line:col positions. Semantic problems (unknown states, conflicts) are
+// reported separately by Validate.
+func Parse(src string) (*File, error) {
+	p := &parser{lex: NewLexer(src)}
+	if err := p.next(); err != nil {
+		return nil, err
+	}
+	f := &File{}
+	for p.tok.Kind != TokEOF {
+		if p.tok.Kind != TokIdent {
+			return nil, p.errf("expected a section keyword, got %s", p.tok.Kind)
+		}
+		switch p.tok.Text {
+		case "states":
+			if err := p.parseStates(f); err != nil {
+				return nil, err
+			}
+		case "initial":
+			if err := p.parseInitial(f); err != nil {
+				return nil, err
+			}
+		case "permissions":
+			if err := p.parsePermissions(f); err != nil {
+				return nil, err
+			}
+		case "events":
+			if err := p.parseEvents(f); err != nil {
+				return nil, err
+			}
+		case "state_per":
+			if err := p.parseStatePer(f); err != nil {
+				return nil, err
+			}
+		case "per_rules":
+			if err := p.parsePerRules(f); err != nil {
+				return nil, err
+			}
+		case "transitions":
+			if err := p.parseTransitions(f); err != nil {
+				return nil, err
+			}
+		default:
+			return nil, p.errf("unknown section %s (want states, initial, permissions, events, state_per, per_rules, or transitions)", quoteIdent(p.tok.Text))
+		}
+	}
+	return f, nil
+}
+
+type parser struct {
+	lex *Lexer
+	tok Token
+}
+
+func (p *parser) next() error {
+	t, err := p.lex.Next()
+	if err != nil {
+		return err
+	}
+	p.tok = t
+	return nil
+}
+
+func (p *parser) errf(format string, args ...any) error {
+	return fmt.Errorf("policy: %s: %s", p.tok.Pos, fmt.Sprintf(format, args...))
+}
+
+func (p *parser) expect(kind TokenKind) (Token, error) {
+	if p.tok.Kind != kind {
+		return Token{}, p.errf("expected %s, got %s %q", kind, p.tok.Kind, p.tok.Text)
+	}
+	t := p.tok
+	if err := p.next(); err != nil {
+		return Token{}, err
+	}
+	return t, nil
+}
+
+// parseStates handles: states { name [= number] ... }
+func (p *parser) parseStates(f *File) error {
+	if err := p.next(); err != nil { // consume 'states'
+		return err
+	}
+	if _, err := p.expect(TokLBrace); err != nil {
+		return err
+	}
+	for p.tok.Kind != TokRBrace {
+		name, err := p.expect(TokIdent)
+		if err != nil {
+			return err
+		}
+		decl := StateDecl{Name: name.Text, Pos: name.Pos}
+		if p.tok.Kind == TokEquals {
+			if err := p.next(); err != nil {
+				return err
+			}
+			num, err := p.expect(TokNumber)
+			if err != nil {
+				return err
+			}
+			var enc uint32
+			if _, err := fmt.Sscanf(num.Text, "%d", &enc); err != nil {
+				return p.errf("bad state encoding %q", num.Text)
+			}
+			decl.Encoding = &enc
+		}
+		f.States = append(f.States, decl)
+		if p.tok.Kind == TokComma {
+			if err := p.next(); err != nil {
+				return err
+			}
+		}
+	}
+	return p.next() // consume '}'
+}
+
+// parseInitial handles: initial name
+func (p *parser) parseInitial(f *File) error {
+	pos := p.tok.Pos
+	if err := p.next(); err != nil {
+		return err
+	}
+	name, err := p.expect(TokIdent)
+	if err != nil {
+		return err
+	}
+	if f.Initial != "" {
+		return fmt.Errorf("policy: %s: duplicate 'initial' declaration", pos)
+	}
+	f.Initial = name.Text
+	f.InitialPos = pos
+	return nil
+}
+
+// parsePermissions handles: permissions { NAME ... }
+func (p *parser) parsePermissions(f *File) error {
+	if err := p.next(); err != nil {
+		return err
+	}
+	if _, err := p.expect(TokLBrace); err != nil {
+		return err
+	}
+	for p.tok.Kind != TokRBrace {
+		name, err := p.expect(TokIdent)
+		if err != nil {
+			return err
+		}
+		f.Permissions = append(f.Permissions, PermDecl{Name: name.Text, Pos: name.Pos})
+		if p.tok.Kind == TokComma {
+			if err := p.next(); err != nil {
+				return err
+			}
+		}
+	}
+	return p.next()
+}
+
+// parseEvents handles: events { name ... }
+func (p *parser) parseEvents(f *File) error {
+	if err := p.next(); err != nil {
+		return err
+	}
+	if _, err := p.expect(TokLBrace); err != nil {
+		return err
+	}
+	for p.tok.Kind != TokRBrace {
+		name, err := p.expect(TokIdent)
+		if err != nil {
+			return err
+		}
+		f.Events = append(f.Events, EventDecl{Name: name.Text, Pos: name.Pos})
+		if p.tok.Kind == TokComma {
+			if err := p.next(); err != nil {
+				return err
+			}
+		}
+	}
+	return p.next()
+}
+
+// parseStatePer handles: state_per { state: PERM, PERM ... }
+func (p *parser) parseStatePer(f *File) error {
+	if err := p.next(); err != nil {
+		return err
+	}
+	if _, err := p.expect(TokLBrace); err != nil {
+		return err
+	}
+	for p.tok.Kind != TokRBrace {
+		state, err := p.expect(TokIdent)
+		if err != nil {
+			return err
+		}
+		if _, err := p.expect(TokColon); err != nil {
+			return err
+		}
+		decl := StatePerDecl{State: state.Text, Pos: state.Pos}
+		for {
+			perm, err := p.expect(TokIdent)
+			if err != nil {
+				return err
+			}
+			decl.Perms = append(decl.Perms, perm.Text)
+			if p.tok.Kind != TokComma {
+				break
+			}
+			if err := p.next(); err != nil {
+				return err
+			}
+		}
+		f.StatePer = append(f.StatePer, decl)
+	}
+	return p.next()
+}
+
+// parsePerRules handles: per_rules { PERM { rule... } ... }
+func (p *parser) parsePerRules(f *File) error {
+	if err := p.next(); err != nil {
+		return err
+	}
+	if _, err := p.expect(TokLBrace); err != nil {
+		return err
+	}
+	for p.tok.Kind != TokRBrace {
+		perm, err := p.expect(TokIdent)
+		if err != nil {
+			return err
+		}
+		if _, err := p.expect(TokLBrace); err != nil {
+			return err
+		}
+		decl := PerRulesDecl{Perm: perm.Text, Pos: perm.Pos}
+		for p.tok.Kind != TokRBrace {
+			rule, err := p.parseRule()
+			if err != nil {
+				return err
+			}
+			decl.Rules = append(decl.Rules, rule)
+		}
+		if err := p.next(); err != nil { // consume inner '}'
+			return err
+		}
+		f.PerRules = append(f.PerRules, decl)
+	}
+	return p.next()
+}
+
+// parseRule handles: (allow|deny) op[,op...] /path [subject /path]
+func (p *parser) parseRule() (RuleDecl, error) {
+	verb, err := p.expect(TokIdent)
+	if err != nil {
+		return RuleDecl{}, err
+	}
+	rule := RuleDecl{Pos: verb.Pos}
+	switch verb.Text {
+	case "allow":
+	case "deny":
+		rule.Deny = true
+	default:
+		return RuleDecl{}, fmt.Errorf("policy: %s: rule must start with 'allow' or 'deny', got %s", verb.Pos, quoteIdent(verb.Text))
+	}
+	for {
+		op, err := p.expect(TokIdent)
+		if err != nil {
+			return RuleDecl{}, err
+		}
+		rule.Ops = append(rule.Ops, op.Text)
+		if p.tok.Kind != TokComma {
+			break
+		}
+		if err := p.next(); err != nil {
+			return RuleDecl{}, err
+		}
+	}
+	path, err := p.expect(TokPath)
+	if err != nil {
+		return RuleDecl{}, err
+	}
+	rule.Path = path.Text
+	if p.tok.Kind == TokIdent && p.tok.Text == "subject" {
+		if err := p.next(); err != nil {
+			return RuleDecl{}, err
+		}
+		subj, err := p.expect(TokPath)
+		if err != nil {
+			return RuleDecl{}, err
+		}
+		rule.Subject = subj.Text
+	}
+	return rule, nil
+}
+
+// parseTransitions handles: transitions { from -> to on event ... }
+func (p *parser) parseTransitions(f *File) error {
+	if err := p.next(); err != nil {
+		return err
+	}
+	if _, err := p.expect(TokLBrace); err != nil {
+		return err
+	}
+	for p.tok.Kind != TokRBrace {
+		from, err := p.expect(TokIdent)
+		if err != nil {
+			return err
+		}
+		if _, err := p.expect(TokArrow); err != nil {
+			return err
+		}
+		to, err := p.expect(TokIdent)
+		if err != nil {
+			return err
+		}
+		on, err := p.expect(TokIdent)
+		if err != nil {
+			return err
+		}
+		if on.Text != "on" {
+			return fmt.Errorf("policy: %s: expected 'on', got %s", on.Pos, quoteIdent(on.Text))
+		}
+		ev, err := p.expect(TokIdent)
+		if err != nil {
+			return err
+		}
+		f.Transitions = append(f.Transitions, TransitionDecl{
+			From: from.Text, To: to.Text, Event: ev.Text, Pos: from.Pos,
+		})
+	}
+	return p.next()
+}

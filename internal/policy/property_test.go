@@ -1,0 +1,238 @@
+package policy
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/sys"
+)
+
+// genPolicy builds a random but always-valid policy from a seed:
+// 1-6 states in a ring of transitions, 1-4 permissions with 0-5 rules
+// each over a small path alphabet, and random state->permission grants.
+func genPolicy(rng *rand.Rand) string {
+	nStates := 1 + rng.Intn(6)
+	nPerms := 1 + rng.Intn(4)
+	ops := []string{"read", "write", "ioctl", "exec", "mmap", "create", "unlink"}
+	pathTemplates := []string{
+		"/dev/vehicle/door*",
+		"/dev/vehicle/**",
+		"/etc/app%d.conf",
+		"/srv/zone%d/**",
+		"/var/log/*.log",
+		"/usr/lib/ivi/app%d",
+	}
+
+	var b strings.Builder
+	b.WriteString("states {\n")
+	for i := 0; i < nStates; i++ {
+		fmt.Fprintf(&b, "  s%d = %d\n", i, i)
+	}
+	b.WriteString("}\n")
+	fmt.Fprintf(&b, "initial s%d\n", rng.Intn(nStates))
+
+	b.WriteString("permissions {\n")
+	for i := 0; i < nPerms; i++ {
+		fmt.Fprintf(&b, "  P%d\n", i)
+	}
+	b.WriteString("}\n")
+
+	b.WriteString("state_per {\n")
+	for i := 0; i < nStates; i++ {
+		var grants []string
+		for p := 0; p < nPerms; p++ {
+			if rng.Intn(2) == 0 {
+				grants = append(grants, fmt.Sprintf("P%d", p))
+			}
+		}
+		if len(grants) > 0 {
+			fmt.Fprintf(&b, "  s%d: %s\n", i, strings.Join(grants, ", "))
+		}
+	}
+	b.WriteString("}\n")
+
+	b.WriteString("per_rules {\n")
+	for p := 0; p < nPerms; p++ {
+		fmt.Fprintf(&b, "  P%d {\n", p)
+		nRules := 1 + rng.Intn(5)
+		for r := 0; r < nRules; r++ {
+			nOps := 1 + rng.Intn(3)
+			chosen := make([]string, 0, nOps)
+			for len(chosen) < nOps {
+				op := ops[rng.Intn(len(ops))]
+				dup := false
+				for _, c := range chosen {
+					if c == op {
+						dup = true
+					}
+				}
+				if !dup {
+					chosen = append(chosen, op)
+				}
+			}
+			path := pathTemplates[rng.Intn(len(pathTemplates))]
+			if strings.Contains(path, "%d") {
+				path = fmt.Sprintf(path, rng.Intn(4))
+			}
+			fmt.Fprintf(&b, "    allow %s %s\n", strings.Join(chosen, ","), path)
+		}
+		b.WriteString("  }\n")
+	}
+	b.WriteString("}\n")
+
+	if nStates > 1 {
+		b.WriteString("transitions {\n")
+		for i := 0; i < nStates; i++ {
+			fmt.Fprintf(&b, "  s%d -> s%d on ev%d\n", i, (i+1)%nStates, i)
+		}
+		b.WriteString("}\n")
+	}
+	return b.String()
+}
+
+// samplePaths are probe points for decision-equivalence checks.
+var samplePaths = []string{
+	"/dev/vehicle/door0", "/dev/vehicle/window3", "/dev/vehicle/audio0",
+	"/etc/app0.conf", "/etc/app3.conf", "/etc/other",
+	"/srv/zone0/deep/file", "/srv/zone2/x", "/var/log/app.log",
+	"/var/log/sub/app.log", "/usr/lib/ivi/app1", "/tmp/unrelated",
+}
+
+var sampleMasks = []sys.Access{
+	sys.MayRead, sys.MayWrite, sys.MayIoctl, sys.MayExec,
+	sys.MayRead | sys.MayWrite, sys.MayCreate, sys.MayUnlink, sys.MayMmap,
+}
+
+// TestPropertyGeneratedPoliciesCompile: every generated policy parses,
+// validates without errors, and compiles.
+func TestPropertyGeneratedPoliciesCompile(t *testing.T) {
+	for seed := int64(0); seed < 200; seed++ {
+		src := genPolicy(rand.New(rand.NewSource(seed)))
+		c, vr, err := Load(src)
+		if err != nil {
+			t.Fatalf("seed %d: %v\n%s", seed, err, src)
+		}
+		if !vr.OK() {
+			t.Fatalf("seed %d: validation errors %v\n%s", seed, vr.Errors(), src)
+		}
+		if len(c.States) == 0 || c.Coverage == nil {
+			t.Fatalf("seed %d: incomplete compile", seed)
+		}
+	}
+}
+
+// TestPropertyFormatPreservesDecisions: Format -> Parse -> Compile yields
+// a policy making identical decisions on every sampled (state, path,
+// mask) triple.
+func TestPropertyFormatPreservesDecisions(t *testing.T) {
+	for seed := int64(0); seed < 100; seed++ {
+		src := genPolicy(rand.New(rand.NewSource(seed)))
+		f1, err := Parse(src)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		c1, _, err := Compile(f1)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		f2, err := Parse(Format(f1))
+		if err != nil {
+			t.Fatalf("seed %d: reparse: %v\n%s", seed, err, Format(f1))
+		}
+		c2, _, err := Compile(f2)
+		if err != nil {
+			t.Fatalf("seed %d: recompile: %v", seed, err)
+		}
+		for _, st := range c1.StateNames() {
+			rs1, rs2 := c1.StateSets[st], c2.StateSets[st]
+			for _, path := range samplePaths {
+				for _, mask := range sampleMasks {
+					d1, _ := rs1.Decide("", path, mask)
+					d2, _ := rs2.Decide("", path, mask)
+					if d1 != d2 {
+						t.Fatalf("seed %d: state %s path %s mask %s: %v vs %v",
+							seed, st, path, mask, d1, d2)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestPropertyAllowImpliesCovered: if any state's rule set allows an
+// access, the coverage index must cover the path (otherwise enforcement
+// and pass-through would disagree).
+func TestPropertyAllowImpliesCovered(t *testing.T) {
+	for seed := int64(0); seed < 100; seed++ {
+		src := genPolicy(rand.New(rand.NewSource(seed)))
+		c, _, err := Load(src)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		for _, st := range c.StateNames() {
+			rs := c.StateSets[st]
+			for _, path := range samplePaths {
+				for _, mask := range sampleMasks {
+					if ok, _ := rs.Decide("", path, mask); ok && !c.Coverage.Covers(path) {
+						t.Fatalf("seed %d: state %s allows %s on uncovered %s", seed, st, mask, path)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestPropertyRuleSetMonotoneInMask: if a rule set allows a combined
+// mask, it allows each individual bit (allow semantics are conjunctive).
+func TestPropertyRuleSetMonotoneInMask(t *testing.T) {
+	for seed := int64(0); seed < 100; seed++ {
+		src := genPolicy(rand.New(rand.NewSource(seed)))
+		c, _, err := Load(src)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		bits := []sys.Access{sys.MayRead, sys.MayWrite, sys.MayIoctl, sys.MayExec}
+		for _, st := range c.StateNames() {
+			rs := c.StateSets[st]
+			for _, path := range samplePaths {
+				for i := 0; i < len(bits); i++ {
+					for j := i + 1; j < len(bits); j++ {
+						both, _ := rs.Decide("", path, bits[i]|bits[j])
+						if !both {
+							continue
+						}
+						a, _ := rs.Decide("", path, bits[i])
+						b, _ := rs.Decide("", path, bits[j])
+						if !a || !b {
+							t.Fatalf("seed %d: %s|%s allowed but singles not (state %s, %s)",
+								seed, bits[i], bits[j], st, path)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestPropertyStatePermsComposition: a state's rule set is exactly the
+// concatenation of its granted permissions' rules (|g(f(SS))| check).
+func TestPropertyStatePermsComposition(t *testing.T) {
+	for seed := int64(0); seed < 100; seed++ {
+		src := genPolicy(rand.New(rand.NewSource(seed)))
+		c, _, err := Load(src)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		for _, st := range c.StateNames() {
+			want := 0
+			for _, p := range c.StatePerms[st] {
+				want += len(c.PermRules[p])
+			}
+			if got := c.StateSets[st].Len(); got != want {
+				t.Fatalf("seed %d: state %s has %d rules, want %d", seed, st, got, want)
+			}
+		}
+	}
+}

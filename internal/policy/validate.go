@@ -1,0 +1,380 @@
+package policy
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/glob"
+	"repro/internal/sys"
+)
+
+// Severity grades a validation finding.
+type Severity int
+
+// Severities.
+const (
+	Warning Severity = iota
+	Error
+)
+
+func (s Severity) String() string {
+	if s == Error {
+		return "error"
+	}
+	return "warning"
+}
+
+// Issue is one validation finding, positioned in the source.
+type Issue struct {
+	Severity Severity
+	Pos      Pos
+	Message  string
+}
+
+// String renders "error 3:4: message".
+func (i Issue) String() string {
+	return fmt.Sprintf("%s %s: %s", i.Severity, i.Pos, i.Message)
+}
+
+// ValidationResult aggregates all findings for a policy file.
+type ValidationResult struct {
+	Issues []Issue
+}
+
+// Errors returns only error-severity findings.
+func (r *ValidationResult) Errors() []Issue {
+	var out []Issue
+	for _, i := range r.Issues {
+		if i.Severity == Error {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// Warnings returns only warning-severity findings.
+func (r *ValidationResult) Warnings() []Issue {
+	var out []Issue
+	for _, i := range r.Issues {
+		if i.Severity == Warning {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// OK reports whether no errors were found (warnings allowed).
+func (r *ValidationResult) OK() bool { return len(r.Errors()) == 0 }
+
+// Err folds the error findings into a single error, or nil.
+func (r *ValidationResult) Err() error {
+	errs := r.Errors()
+	if len(errs) == 0 {
+		return nil
+	}
+	msgs := make([]string, len(errs))
+	for i, e := range errs {
+		msgs[i] = e.String()
+	}
+	return fmt.Errorf("policy: validation failed:\n  %s", strings.Join(msgs, "\n  "))
+}
+
+func (r *ValidationResult) errorf(pos Pos, format string, args ...any) {
+	r.Issues = append(r.Issues, Issue{Severity: Error, Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+func (r *ValidationResult) warnf(pos Pos, format string, args ...any) {
+	r.Issues = append(r.Issues, Issue{Severity: Warning, Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// Validate performs the semantic checks the paper's "policy-checking
+// tools" provide: reference integrity across the four interfaces,
+// deterministic transitions, glob syntax, allow/deny conflicts, and
+// reachability.
+func Validate(f *File) *ValidationResult {
+	r := &ValidationResult{}
+
+	// --- states ---
+	if len(f.States) == 0 {
+		r.errorf(Pos{1, 1}, "policy declares no situation states")
+	}
+	states := make(map[string]StateDecl, len(f.States))
+	encodings := make(map[uint32]string)
+	for _, s := range f.States {
+		if _, dup := states[s.Name]; dup {
+			r.errorf(s.Pos, "duplicate state %s", quoteIdent(s.Name))
+			continue
+		}
+		states[s.Name] = s
+		if s.Encoding != nil {
+			if prev, taken := encodings[*s.Encoding]; taken {
+				r.errorf(s.Pos, "state %s reuses encoding %d already assigned to %s",
+					quoteIdent(s.Name), *s.Encoding, quoteIdent(prev))
+			} else {
+				encodings[*s.Encoding] = s.Name
+			}
+		}
+	}
+
+	// --- initial state ---
+	initial := f.Initial
+	if initial == "" && len(f.States) > 0 {
+		initial = f.States[0].Name
+	}
+	if initial != "" {
+		if _, ok := states[initial]; !ok {
+			r.errorf(f.InitialPos, "initial state %s is not declared", quoteIdent(initial))
+		}
+	}
+
+	// --- permissions ---
+	perms := make(map[string]PermDecl, len(f.Permissions))
+	for _, p := range f.Permissions {
+		if _, dup := perms[p.Name]; dup {
+			r.errorf(p.Pos, "duplicate permission %s", quoteIdent(p.Name))
+			continue
+		}
+		perms[p.Name] = p
+	}
+
+	// --- events ---
+	events := make(map[string]EventDecl, len(f.Events))
+	for _, e := range f.Events {
+		if _, dup := events[e.Name]; dup {
+			r.errorf(e.Pos, "duplicate event %s", quoteIdent(e.Name))
+			continue
+		}
+		events[e.Name] = e
+	}
+
+	// --- state_per ---
+	statePerSeen := make(map[string]bool)
+	grantedPerms := make(map[string]bool)
+	for _, sp := range f.StatePer {
+		if _, ok := states[sp.State]; !ok {
+			r.errorf(sp.Pos, "state_per references undeclared state %s", quoteIdent(sp.State))
+		}
+		if statePerSeen[sp.State] {
+			r.errorf(sp.Pos, "state %s appears twice in state_per", quoteIdent(sp.State))
+		}
+		statePerSeen[sp.State] = true
+		permSeen := make(map[string]bool)
+		for _, pm := range sp.Perms {
+			if _, ok := perms[pm]; !ok {
+				r.errorf(sp.Pos, "state_per for %s references undeclared permission %s",
+					quoteIdent(sp.State), quoteIdent(pm))
+			}
+			if permSeen[pm] {
+				r.warnf(sp.Pos, "permission %s listed twice for state %s", quoteIdent(pm), quoteIdent(sp.State))
+			}
+			permSeen[pm] = true
+			grantedPerms[pm] = true
+		}
+	}
+
+	// --- per_rules ---
+	perRulesSeen := make(map[string]bool)
+	for _, pr := range f.PerRules {
+		if _, ok := perms[pr.Perm]; !ok {
+			r.errorf(pr.Pos, "per_rules references undeclared permission %s", quoteIdent(pr.Perm))
+		}
+		if perRulesSeen[pr.Perm] {
+			r.errorf(pr.Pos, "permission %s has two per_rules blocks", quoteIdent(pr.Perm))
+		}
+		perRulesSeen[pr.Perm] = true
+		if len(pr.Rules) == 0 {
+			r.warnf(pr.Pos, "permission %s has an empty per_rules block", quoteIdent(pr.Perm))
+		}
+		for _, rule := range pr.Rules {
+			validateRule(r, rule)
+		}
+	}
+	for name, p := range perms {
+		if !perRulesSeen[name] {
+			r.warnf(p.Pos, "permission %s has no per_rules block (grants nothing)", quoteIdent(name))
+		}
+		if !grantedPerms[name] {
+			r.warnf(p.Pos, "permission %s is never granted by any state", quoteIdent(name))
+		}
+	}
+
+	// --- transitions ---
+	type transKey struct{ from, event string }
+	transSeen := make(map[transKey]string)
+	adjacency := make(map[string][]string)
+	for _, t := range f.Transitions {
+		if _, ok := states[t.From]; !ok {
+			r.errorf(t.Pos, "transition source state %s is not declared", quoteIdent(t.From))
+		}
+		if _, ok := states[t.To]; !ok {
+			r.errorf(t.Pos, "transition target state %s is not declared", quoteIdent(t.To))
+		}
+		if len(f.Events) > 0 {
+			if _, ok := events[t.Event]; !ok {
+				r.errorf(t.Pos, "transition uses undeclared event %s", quoteIdent(t.Event))
+			}
+		}
+		key := transKey{t.From, t.Event}
+		if to, dup := transSeen[key]; dup {
+			if to == t.To {
+				r.warnf(t.Pos, "duplicate transition %s -> %s on %s", quoteIdent(t.From), quoteIdent(t.To), quoteIdent(t.Event))
+			} else {
+				r.errorf(t.Pos, "nondeterministic transition: %s on %s goes to both %s and %s",
+					quoteIdent(t.From), quoteIdent(t.Event), quoteIdent(to), quoteIdent(t.To))
+			}
+		}
+		transSeen[key] = t.To
+		adjacency[t.From] = append(adjacency[t.From], t.To)
+		if t.From == t.To {
+			r.warnf(t.Pos, "self-transition %s on %s has no effect on permissions", quoteIdent(t.From), quoteIdent(t.Event))
+		}
+	}
+
+	// --- reachability ---
+	if initial != "" && len(f.Transitions) > 0 {
+		reachable := map[string]bool{initial: true}
+		queue := []string{initial}
+		for len(queue) > 0 {
+			cur := queue[0]
+			queue = queue[1:]
+			for _, next := range adjacency[cur] {
+				if !reachable[next] {
+					reachable[next] = true
+					queue = append(queue, next)
+				}
+			}
+		}
+		for _, s := range f.States {
+			if !reachable[s.Name] {
+				r.warnf(s.Pos, "state %s is unreachable from the initial state %s",
+					quoteIdent(s.Name), quoteIdent(initial))
+			}
+		}
+	}
+
+	// --- allow/deny conflicts per state ---
+	detectConflicts(r, f)
+
+	return r
+}
+
+// validateRule checks operation names, glob syntax, and intra-rule
+// consistency for one MAC rule.
+func validateRule(r *ValidationResult, rule RuleDecl) {
+	seen := make(map[string]bool)
+	for _, op := range rule.Ops {
+		if sys.ParseAccess(op) == 0 {
+			r.errorf(rule.Pos, "unknown operation %s (valid: %s)", quoteIdent(op), strings.Join(sys.AccessNames(), ", "))
+		}
+		if seen[op] {
+			r.warnf(rule.Pos, "operation %s repeated in rule", quoteIdent(op))
+		}
+		seen[op] = true
+	}
+	if _, err := glob.Compile(rule.Path); err != nil {
+		r.errorf(rule.Pos, "bad path pattern: %v", err)
+	}
+	if rule.Subject != "" {
+		if _, err := glob.Compile(rule.Subject); err != nil {
+			r.errorf(rule.Pos, "bad subject pattern: %v", err)
+		}
+	}
+}
+
+// detectConflicts finds allow/deny pairs that target overlapping paths
+// with overlapping operations within the rule set a single state
+// activates. Deny always wins at runtime; the check surfaces the
+// contradiction so administrators see it before deployment.
+func detectConflicts(r *ValidationResult, f *File) {
+	rulesByPerm := make(map[string][]RuleDecl)
+	for _, pr := range f.PerRules {
+		rulesByPerm[pr.Perm] = append(rulesByPerm[pr.Perm], pr.Rules...)
+	}
+	for _, sp := range f.StatePer {
+		var all []RuleDecl
+		for _, pm := range sp.Perms {
+			all = append(all, rulesByPerm[pm]...)
+		}
+		for i := 0; i < len(all); i++ {
+			for j := i + 1; j < len(all); j++ {
+				a, b := all[i], all[j]
+				if a.Deny == b.Deny {
+					continue
+				}
+				if !opsOverlap(a.Ops, b.Ops) {
+					continue
+				}
+				deny, allow := a, b
+				if b.Deny {
+					deny, allow = b, a
+				}
+				// A literal deny carved out of a broader allow glob is the
+				// standard exception idiom (allow /dev/firmware/*, deny
+				// /dev/firmware/bootloader) — intentional, not a conflict.
+				if isCarveOut(allow.Path, deny.Path) {
+					continue
+				}
+				if patternsOverlap(a.Path, b.Path) {
+					r.warnf(b.Pos, "state %s both allows and denies overlapping paths %q and %q (deny wins at runtime)",
+						quoteIdent(sp.State), a.Path, b.Path)
+				}
+			}
+		}
+	}
+}
+
+func opsOverlap(a, b []string) bool {
+	var ma, mb sys.Access
+	for _, op := range a {
+		ma |= sys.ParseAccess(op)
+	}
+	for _, op := range b {
+		mb |= sys.ParseAccess(op)
+	}
+	return ma&mb != 0
+}
+
+// isCarveOut reports whether denyPath is a strictly narrower exception
+// inside allowPath: the deny is literal (or narrower) and falls within
+// the allow glob, while the allow covers more than just the deny.
+func isCarveOut(allowPath, denyPath string) bool {
+	if allowPath == denyPath {
+		return false
+	}
+	ga, errA := glob.Compile(allowPath)
+	gd, errD := glob.Compile(denyPath)
+	if errA != nil || errD != nil {
+		return false
+	}
+	if !gd.Literal() || ga.Literal() {
+		return false
+	}
+	return ga.Match(denyPath)
+}
+
+// patternsOverlap approximates glob-intersection: exact equality, or one
+// pattern (as a literal path) matching the other's glob. This catches the
+// conflicts administrators actually write; full glob intersection is
+// undecidable to render usefully and not attempted.
+func patternsOverlap(a, b string) bool {
+	if a == b {
+		return true
+	}
+	ga, errA := glob.Compile(a)
+	gb, errB := glob.Compile(b)
+	if errA != nil || errB != nil {
+		return false
+	}
+	if ga.Literal() && gb.Match(a) {
+		return true
+	}
+	if gb.Literal() && ga.Match(b) {
+		return true
+	}
+	// Both globs: compare literal prefixes up to the shorter one.
+	pa, pb := ga.LiteralPrefix(), gb.LiteralPrefix()
+	if strings.HasPrefix(pa, pb) || strings.HasPrefix(pb, pa) {
+		return true
+	}
+	return false
+}

@@ -1,0 +1,48 @@
+// Package sds implements the paper's Situation Detection Service: the
+// user-space daemon that samples vehicle sensors, detects situation
+// events (vehicle crash, speed band changes, parking), and transmits them
+// to the kernel SSM through the SACKfs events file. Detection is
+// edge-triggered — the SDS "only transmits situation events when
+// detected" (§III-C) rather than streaming raw sensor data.
+package sds
+
+import (
+	"sync"
+	"time"
+)
+
+// Clock abstracts time so drive traces and tests run deterministically.
+type Clock interface {
+	Now() time.Time
+}
+
+// RealClock reads the wall clock.
+type RealClock struct{}
+
+// Now implements Clock.
+func (RealClock) Now() time.Time { return time.Now() }
+
+// VirtualClock is a manually advanced clock for deterministic simulation.
+type VirtualClock struct {
+	mu  sync.Mutex
+	now time.Time
+}
+
+// NewVirtualClock starts a virtual clock at the given instant.
+func NewVirtualClock(start time.Time) *VirtualClock {
+	return &VirtualClock{now: start}
+}
+
+// Now implements Clock.
+func (c *VirtualClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+// Advance moves the clock forward by d.
+func (c *VirtualClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.now = c.now.Add(d)
+}

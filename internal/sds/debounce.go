@@ -1,0 +1,100 @@
+package sds
+
+// Debounce wraps a detector so its events only fire after the underlying
+// detector's output has been confirmed. Automotive sensors glitch —
+// a single-sample accelerometer spike must not flip the vehicle into an
+// emergency permission state — so the wrapper holds each candidate event
+// until the same event has been produced in `confirm` consecutive polls'
+// worth of underlying evaluation windows.
+//
+// Semantics: the wrapped detector is polled every cycle. When it emits an
+// event, the event becomes a candidate. The candidate fires after the
+// condition behind it persists — which the wrapper approximates by
+// re-arming the underlying detector and counting repeats of the same
+// candidate within the window. A different event or `window` quiet polls
+// reset the candidate.
+type Debounce struct {
+	inner   Detector
+	confirm int
+
+	candidate string
+	seen      int
+	quiet     int
+	window    int
+}
+
+// NewDebounce wraps inner; the candidate event fires once it has been
+// observed confirm times without an intervening different event. confirm
+// of 0 or 1 passes events through unchanged.
+func NewDebounce(inner Detector, confirm int) *Debounce {
+	if confirm < 1 {
+		confirm = 1
+	}
+	return &Debounce{inner: inner, confirm: confirm, window: confirm * 4}
+}
+
+// Name implements Detector.
+func (d *Debounce) Name() string { return d.inner.Name() + "-debounced" }
+
+// Detect implements Detector.
+func (d *Debounce) Detect(s Snapshot) []string {
+	events := d.inner.Detect(s)
+	if d.confirm == 1 {
+		return events
+	}
+	var out []string
+	if len(events) == 0 {
+		if d.candidate != "" {
+			d.quiet++
+			if d.quiet >= d.window {
+				d.candidate = ""
+				d.seen = 0
+				d.quiet = 0
+			}
+		}
+		return nil
+	}
+	for _, ev := range events {
+		switch {
+		case d.candidate == "":
+			d.candidate = ev
+			d.seen = 1
+			d.quiet = 0
+		case ev == d.candidate:
+			d.seen++
+			d.quiet = 0
+		default:
+			// A different event preempts the candidate.
+			d.candidate = ev
+			d.seen = 1
+			d.quiet = 0
+		}
+		if d.seen >= d.confirm {
+			out = append(out, d.candidate)
+			d.candidate = ""
+			d.seen = 0
+		}
+	}
+	return out
+}
+
+// RepeatDetector re-emits the underlying condition event on every poll
+// while it holds (instead of edge-triggering), turning a level into a
+// pulse train. Paired with Debounce it implements classic k-of-n
+// confirmation for glitch-prone sensors.
+type RepeatDetector struct {
+	DetectorName string
+	Cond         func(Snapshot) bool
+	Event        string
+}
+
+// Name implements Detector.
+func (r *RepeatDetector) Name() string { return r.DetectorName }
+
+// Detect implements Detector.
+func (r *RepeatDetector) Detect(s Snapshot) []string {
+	if r.Cond(s) {
+		return []string{r.Event}
+	}
+	return nil
+}

@@ -1,0 +1,164 @@
+package sds
+
+// Detector turns sensor snapshots into situation events. Detectors are
+// stateful and edge-triggered: an event fires when its condition becomes
+// true, not on every poll while it holds, which keeps SACKfs traffic
+// proportional to situation changes rather than sensor rates.
+type Detector interface {
+	Name() string
+	// Detect inspects the snapshot and returns zero or more events.
+	Detect(s Snapshot) []string
+}
+
+// ConditionDetector fires OnRise when its condition transitions
+// false->true and OnFall on true->false. Either event may be empty to
+// suppress that edge.
+type ConditionDetector struct {
+	DetectorName string
+	Cond         func(Snapshot) bool
+	OnRise       string
+	OnFall       string
+
+	initialized bool
+	last        bool
+}
+
+// Name implements Detector.
+func (d *ConditionDetector) Name() string { return d.DetectorName }
+
+// Detect implements Detector.
+func (d *ConditionDetector) Detect(s Snapshot) []string {
+	cur := d.Cond(s)
+	if !d.initialized {
+		// The first poll establishes the baseline; an initially-true
+		// condition fires its rise event so the SSM syncs with reality.
+		d.initialized = true
+		d.last = cur
+		if cur && d.OnRise != "" {
+			return []string{d.OnRise}
+		}
+		return nil
+	}
+	if cur == d.last {
+		return nil
+	}
+	d.last = cur
+	if cur {
+		if d.OnRise != "" {
+			return []string{d.OnRise}
+		}
+		return nil
+	}
+	if d.OnFall != "" {
+		return []string{d.OnFall}
+	}
+	return nil
+}
+
+// CrashDetector fires "crash_detected" when longitudinal acceleration
+// exceeds thresholdG (commercial crash detection per the paper's
+// reference [28] triggers in the 4-8 g range) and "all_clear" when the
+// reading returns below it with the vehicle stopped.
+func CrashDetector(thresholdG float64) *ConditionDetector {
+	return &ConditionDetector{
+		DetectorName: "crash",
+		Cond: func(s Snapshot) bool {
+			return s.Value(SensorAccel) >= thresholdG
+		},
+		OnRise: "crash_detected",
+	}
+}
+
+// AllClearDetector fires "all_clear" after a crash signature only once
+// the vehicle has been through a full ignition cycle (off, then on
+// again) — a stationary car at a crash scene stays in the emergency
+// situation until someone restarts it.
+func AllClearDetector(thresholdG float64) *ConditionDetector {
+	armed := false // crash signature seen
+	sawIgnitionOff := false
+	return &ConditionDetector{
+		DetectorName: "all_clear",
+		Cond: func(s Snapshot) bool {
+			if s.Value(SensorAccel) >= thresholdG {
+				armed = true
+				sawIgnitionOff = false
+				return false
+			}
+			if !armed {
+				return false
+			}
+			if !s.Bool(SensorIgnition) {
+				sawIgnitionOff = true
+				return false
+			}
+			if sawIgnitionOff && s.Value(SensorAccel) < 0.5 {
+				armed = false
+				sawIgnitionOff = false
+				return true
+			}
+			return false
+		},
+		OnRise: "all_clear",
+	}
+}
+
+// SpeedBandDetector fires "speed_high" when speed rises above highKmh and
+// "speed_low" when it falls back.
+func SpeedBandDetector(highKmh float64) *ConditionDetector {
+	return &ConditionDetector{
+		DetectorName: "speed_band",
+		Cond: func(s Snapshot) bool {
+			return s.Value(SensorSpeed) >= highKmh
+		},
+		OnRise: "speed_high",
+		OnFall: "speed_low",
+	}
+}
+
+// DrivingDetector fires "driving_started" when the vehicle moves under
+// ignition and "driving_stopped" when it halts.
+func DrivingDetector() *ConditionDetector {
+	return &ConditionDetector{
+		DetectorName: "driving",
+		Cond: func(s Snapshot) bool {
+			return s.Bool(SensorIgnition) && s.Value(SensorSpeed) > 0
+		},
+		OnRise: "driving_started",
+		OnFall: "driving_stopped",
+	}
+}
+
+// ParkingDetector distinguishes the paper's two parking states: fires
+// "parked_with_driver" / "parked_without_driver" as occupancy changes
+// while the vehicle is stationary with ignition off.
+func ParkingDetector() Detector {
+	return &parkingDetector{}
+}
+
+type parkingDetector struct {
+	initialized bool
+	lastParked  bool
+	lastDriver  bool
+}
+
+func (p *parkingDetector) Name() string { return "parking" }
+
+func (p *parkingDetector) Detect(s Snapshot) []string {
+	parked := s.Value(SensorSpeed) == 0 && !s.Bool(SensorIgnition)
+	driver := s.Bool(SensorDriver)
+	defer func() {
+		p.initialized = true
+		p.lastParked = parked
+		p.lastDriver = driver
+	}()
+	if !parked {
+		return nil
+	}
+	if p.initialized && p.lastParked && p.lastDriver == driver {
+		return nil
+	}
+	if driver {
+		return []string{"parked_with_driver"}
+	}
+	return []string{"parked_without_driver"}
+}

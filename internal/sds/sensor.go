@@ -1,0 +1,79 @@
+package sds
+
+import (
+	"time"
+
+	"repro/internal/vehicle"
+)
+
+// Reading is one sensor sample.
+type Reading struct {
+	Sensor string
+	Value  float64
+	At     time.Time
+}
+
+// Sensor produces readings on demand (the SDS polls).
+type Sensor interface {
+	Name() string
+	Read(at time.Time) Reading
+}
+
+// Snapshot is the set of most-recent readings keyed by sensor name.
+type Snapshot map[string]Reading
+
+// Value returns a sensor's value, or 0 if absent.
+func (s Snapshot) Value(sensor string) float64 {
+	return s[sensor].Value
+}
+
+// Bool interprets a sensor value as a boolean (non-zero = true).
+func (s Snapshot) Bool(sensor string) bool {
+	return s[sensor].Value != 0
+}
+
+// Canonical sensor names.
+const (
+	SensorSpeed     = "speed_kmh"
+	SensorAccel     = "accel_g"
+	SensorDriver    = "driver_present"
+	SensorIgnition  = "ignition_on"
+	SensorLatitude  = "gps_lat"
+	SensorLongitude = "gps_lon"
+)
+
+// funcSensor adapts a closure to the Sensor interface.
+type funcSensor struct {
+	name string
+	read func() float64
+}
+
+func (f funcSensor) Name() string { return f.name }
+
+func (f funcSensor) Read(at time.Time) Reading {
+	return Reading{Sensor: f.name, Value: f.read(), At: at}
+}
+
+// NewSensor builds a sensor from a name and a sampling closure.
+func NewSensor(name string, read func() float64) Sensor {
+	return funcSensor{name: name, read: read}
+}
+
+// VehicleSensors returns the standard sensor suite over a vehicle's
+// dynamics: speedometer, accelerometer, driver occupancy, ignition, GPS.
+func VehicleSensors(dyn *vehicle.Dynamics) []Sensor {
+	boolVal := func(b bool) float64 {
+		if b {
+			return 1
+		}
+		return 0
+	}
+	return []Sensor{
+		NewSensor(SensorSpeed, dyn.Speed),
+		NewSensor(SensorAccel, dyn.AccelG),
+		NewSensor(SensorDriver, func() float64 { return boolVal(dyn.DriverPresent()) }),
+		NewSensor(SensorIgnition, func() float64 { return boolVal(dyn.IgnitionOn()) }),
+		NewSensor(SensorLatitude, func() float64 { lat, _ := dyn.Position(); return lat }),
+		NewSensor(SensorLongitude, func() float64 { _, lon := dyn.Position(); return lon }),
+	}
+}

@@ -1,0 +1,120 @@
+package sds
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/kernel"
+)
+
+// Transmitter delivers detected situation events to the kernel. The
+// production implementation writes the SACKfs events file; tests may
+// substitute a recorder.
+type Transmitter interface {
+	Transmit(events []string) error
+}
+
+// TransmitterFunc adapts a function to the Transmitter interface.
+type TransmitterFunc func(events []string) error
+
+// Transmit implements Transmitter.
+func (f TransmitterFunc) Transmit(events []string) error { return f(events) }
+
+// KernelTransmitter writes events to /sys/kernel/security/SACK/events on
+// behalf of a (privileged) task, keeping the descriptor open across
+// transmissions for low latency — the securityfs-based channel of §III-C.
+type KernelTransmitter struct {
+	task *kernel.Task
+	fd   int
+}
+
+// NewKernelTransmitter opens the SACKfs events file. The task needs DAC
+// access (root) and CAP_MAC_ADMIN for the writes to be accepted.
+func NewKernelTransmitter(task *kernel.Task) (*KernelTransmitter, error) {
+	fd, err := task.Open(core.EventsFile, 1 /* O_WRONLY */, 0)
+	if err != nil {
+		return nil, fmt.Errorf("sds: opening %s: %w", core.EventsFile, err)
+	}
+	return &KernelTransmitter{task: task, fd: fd}, nil
+}
+
+// Transmit writes one line per event.
+func (k *KernelTransmitter) Transmit(events []string) error {
+	for _, ev := range events {
+		if _, err := k.task.Write(k.fd, []byte(ev+"\n")); err != nil {
+			return fmt.Errorf("sds: transmitting %q: %w", ev, err)
+		}
+	}
+	return nil
+}
+
+// Close releases the descriptor.
+func (k *KernelTransmitter) Close() error { return k.task.Close(k.fd) }
+
+// TransmittedEvent records one event the service sent, for latency and
+// accuracy accounting.
+type TransmittedEvent struct {
+	Event string
+	At    time.Time
+}
+
+// Service is the SDS daemon: it polls sensors, runs detectors, and
+// transmits any detected events.
+type Service struct {
+	clock     Clock
+	sensors   []Sensor
+	detectors []Detector
+	tx        Transmitter
+
+	mu      sync.Mutex
+	history []TransmittedEvent
+	polls   uint64
+}
+
+// NewService assembles an SDS instance.
+func NewService(clock Clock, sensors []Sensor, detectors []Detector, tx Transmitter) *Service {
+	return &Service{clock: clock, sensors: sensors, detectors: detectors, tx: tx}
+}
+
+// Poll performs one detection cycle and returns the events transmitted.
+func (s *Service) Poll() ([]string, error) {
+	now := s.clock.Now()
+	snap := make(Snapshot, len(s.sensors))
+	for _, sensor := range s.sensors {
+		snap[sensor.Name()] = sensor.Read(now)
+	}
+	var events []string
+	for _, d := range s.detectors {
+		events = append(events, d.Detect(snap)...)
+	}
+	s.mu.Lock()
+	s.polls++
+	for _, ev := range events {
+		s.history = append(s.history, TransmittedEvent{Event: ev, At: now})
+	}
+	s.mu.Unlock()
+	if len(events) > 0 {
+		if err := s.tx.Transmit(events); err != nil {
+			return events, err
+		}
+	}
+	return events, nil
+}
+
+// History returns a copy of all transmitted events.
+func (s *Service) History() []TransmittedEvent {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]TransmittedEvent, len(s.history))
+	copy(out, s.history)
+	return out
+}
+
+// Polls reports how many detection cycles have run.
+func (s *Service) Polls() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.polls
+}

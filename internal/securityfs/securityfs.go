@@ -1,0 +1,155 @@
+// Package securityfs simulates the kernel's securityfs: a pseudo
+// filesystem mounted at /sys/kernel/security that security modules use to
+// expose policy-loading and introspection files. SACK's event channel
+// ("SACKfs", /sys/kernel/security/SACK/events in the paper) is built on
+// it, as is the simulated AppArmor profile loader.
+//
+// The mount integrates into the shared vfs tree so every access goes
+// through the ordinary open/read/write syscall paths — and therefore
+// through the LSM hook chain — exactly as in the real kernel.
+package securityfs
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/sys"
+	"repro/internal/vfs"
+)
+
+// MountPoint is where securityfs lives, as in the paper's pseudo-file
+// interface description.
+const MountPoint = "/sys/kernel/security"
+
+// FS manages the securityfs subtree within a host vfs.
+type FS struct {
+	host *vfs.FS
+
+	mu    sync.Mutex
+	dirs  map[string]bool // registered module directories
+	files map[string]*vfs.Inode
+}
+
+// Mount creates the securityfs mount point in the host filesystem. The
+// tree is owned by root with conservative permissions, so non-root tasks
+// cannot even traverse into module directories unless a module relaxes
+// the mode on a specific file.
+func Mount(host *vfs.FS) (*FS, error) {
+	if _, err := host.MkdirAll(MountPoint, 0o755, 0, 0); err != nil {
+		return nil, fmt.Errorf("securityfs: mount: %w", err)
+	}
+	return &FS{
+		host:  host,
+		dirs:  make(map[string]bool),
+		files: make(map[string]*vfs.Inode),
+	}, nil
+}
+
+// CreateDir registers a module directory (e.g. "SACK", "apparmor") and
+// returns its absolute path.
+func (s *FS) CreateDir(name string) (string, error) {
+	if name == "" {
+		return "", sys.EINVAL
+	}
+	path := MountPoint + "/" + name
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.dirs[name] {
+		return "", sys.EEXIST
+	}
+	if _, err := s.host.MkdirAll(path, 0o755, 0, 0); err != nil {
+		return "", err
+	}
+	s.dirs[name] = true
+	return path, nil
+}
+
+// CreateFile registers a handler-backed pseudo-file inside a previously
+// created module directory and returns its absolute path. perm controls
+// who may open it (DAC check happens in the kernel's open path); handlers
+// additionally see the caller's credentials for capability checks.
+func (s *FS) CreateFile(dir, name string, perm vfs.Mode, h vfs.NodeHandler) (string, error) {
+	if name == "" || h == nil {
+		return "", sys.EINVAL
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.dirs[dir] {
+		return "", sys.ENOENT
+	}
+	path := MountPoint + "/" + dir + "/" + name
+	node, err := s.host.CreateHandler(path, vfs.ModeRegular|perm.Perm(), 0, 0, h)
+	if err != nil {
+		return "", err
+	}
+	s.files[path] = node
+	return path, nil
+}
+
+// Remove unregisters a pseudo-file.
+func (s *FS) Remove(path string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.files[path]; !ok {
+		return sys.ENOENT
+	}
+	delete(s.files, path)
+	return s.host.Unlink(path)
+}
+
+// Paths lists the registered pseudo-file paths (for introspection tests).
+func (s *FS) Paths() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]string, 0, len(s.files))
+	for p := range s.files {
+		out = append(out, p)
+	}
+	return out
+}
+
+// FuncFile adapts plain functions into a NodeHandler. Nil members reject
+// the corresponding operation, so a read-only file simply leaves OnWrite
+// nil. Reads are whole-content: OnRead produces the full content and
+// ReadAt serves the requested window, which matches single-shot
+// seq_file-style securityfs reads.
+type FuncFile struct {
+	OnRead  func(cred *sys.Cred) ([]byte, error)
+	OnWrite func(cred *sys.Cred, data []byte) error
+	OnIoctl func(cred *sys.Cred, cmd, arg uint64) (uint64, error)
+}
+
+// ReadAt implements vfs.NodeHandler.
+func (f *FuncFile) ReadAt(cred *sys.Cred, buf []byte, off int64) (int, error) {
+	if f.OnRead == nil {
+		return 0, sys.EACCES
+	}
+	content, err := f.OnRead(cred)
+	if err != nil {
+		return 0, err
+	}
+	if off >= int64(len(content)) {
+		return 0, nil
+	}
+	return copy(buf, content[off:]), nil
+}
+
+// WriteAt implements vfs.NodeHandler. Offsets are ignored: each write is
+// one complete command, as with echo > pseudo-file usage.
+func (f *FuncFile) WriteAt(cred *sys.Cred, data []byte, off int64) (int, error) {
+	if f.OnWrite == nil {
+		return 0, sys.EACCES
+	}
+	if err := f.OnWrite(cred, data); err != nil {
+		return 0, err
+	}
+	return len(data), nil
+}
+
+// Ioctl implements vfs.NodeHandler.
+func (f *FuncFile) Ioctl(cred *sys.Cred, cmd, arg uint64) (uint64, error) {
+	if f.OnIoctl == nil {
+		return 0, sys.ENOTTY
+	}
+	return f.OnIoctl(cred, cmd, arg)
+}

@@ -1,0 +1,167 @@
+package securityfs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/sys"
+	"repro/internal/vfs"
+)
+
+func TestMountCreatesMountPoint(t *testing.T) {
+	host := vfs.New()
+	if _, err := Mount(host); err != nil {
+		t.Fatal(err)
+	}
+	node, err := host.Lookup(MountPoint)
+	if err != nil || !node.Mode().IsDir() {
+		t.Fatalf("mount point: %v", err)
+	}
+}
+
+func TestCreateDirAndFile(t *testing.T) {
+	host := vfs.New()
+	s, _ := Mount(host)
+	dir, err := s.CreateDir("SACK")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dir != MountPoint+"/SACK" {
+		t.Errorf("dir = %q", dir)
+	}
+	if _, err := s.CreateDir("SACK"); !sys.IsErrno(err, sys.EEXIST) {
+		t.Errorf("duplicate dir: %v", err)
+	}
+	if _, err := s.CreateDir(""); !sys.IsErrno(err, sys.EINVAL) {
+		t.Errorf("empty dir: %v", err)
+	}
+
+	var got []byte
+	path, err := s.CreateFile("SACK", "events", 0o600, &FuncFile{
+		OnWrite: func(_ *sys.Cred, data []byte) error {
+			got = append([]byte(nil), data...)
+			return nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	node, err := host.Lookup(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := vfs.NewFile(node, path, vfs.OWronly)
+	if _, err := f.Write(sys.NewCred(0, 0), []byte("crash\n")); err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "crash\n" {
+		t.Errorf("handler got %q", got)
+	}
+
+	if _, err := s.CreateFile("missing", "f", 0o600, &FuncFile{}); !sys.IsErrno(err, sys.ENOENT) {
+		t.Errorf("file in unregistered dir: %v", err)
+	}
+	if _, err := s.CreateFile("SACK", "", 0o600, &FuncFile{}); !sys.IsErrno(err, sys.EINVAL) {
+		t.Errorf("empty name: %v", err)
+	}
+	if _, err := s.CreateFile("SACK", "x", 0o600, nil); !sys.IsErrno(err, sys.EINVAL) {
+		t.Errorf("nil handler: %v", err)
+	}
+}
+
+func TestRemove(t *testing.T) {
+	host := vfs.New()
+	s, _ := Mount(host)
+	s.CreateDir("m")
+	path, _ := s.CreateFile("m", "f", 0o600, &FuncFile{OnRead: func(*sys.Cred) ([]byte, error) { return nil, nil }})
+	if err := s.Remove(path); err != nil {
+		t.Fatal(err)
+	}
+	if host.Exists(path) {
+		t.Error("file survived remove")
+	}
+	if err := s.Remove(path); !sys.IsErrno(err, sys.ENOENT) {
+		t.Errorf("double remove: %v", err)
+	}
+}
+
+func TestPaths(t *testing.T) {
+	host := vfs.New()
+	s, _ := Mount(host)
+	s.CreateDir("m")
+	s.CreateFile("m", "a", 0o600, &FuncFile{OnRead: func(*sys.Cred) ([]byte, error) { return nil, nil }})
+	s.CreateFile("m", "b", 0o600, &FuncFile{OnRead: func(*sys.Cred) ([]byte, error) { return nil, nil }})
+	if got := s.Paths(); len(got) != 2 {
+		t.Errorf("paths = %v", got)
+	}
+}
+
+func TestFuncFileDefaults(t *testing.T) {
+	cred := sys.NewCred(0, 0)
+	empty := &FuncFile{}
+	if _, err := empty.ReadAt(cred, make([]byte, 4), 0); !sys.IsErrno(err, sys.EACCES) {
+		t.Errorf("read without OnRead: %v", err)
+	}
+	if _, err := empty.WriteAt(cred, []byte("x"), 0); !sys.IsErrno(err, sys.EACCES) {
+		t.Errorf("write without OnWrite: %v", err)
+	}
+	if _, err := empty.Ioctl(cred, 1, 0); !sys.IsErrno(err, sys.ENOTTY) {
+		t.Errorf("ioctl without OnIoctl: %v", err)
+	}
+}
+
+func TestFuncFileWindowedReads(t *testing.T) {
+	cred := sys.NewCred(0, 0)
+	f := &FuncFile{OnRead: func(*sys.Cred) ([]byte, error) {
+		return []byte("0123456789"), nil
+	}}
+	buf := make([]byte, 4)
+	n, err := f.ReadAt(cred, buf, 0)
+	if err != nil || string(buf[:n]) != "0123" {
+		t.Fatalf("window 0: %q, %v", buf[:n], err)
+	}
+	n, err = f.ReadAt(cred, buf, 8)
+	if err != nil || string(buf[:n]) != "89" {
+		t.Fatalf("window 8: %q, %v", buf[:n], err)
+	}
+	n, err = f.ReadAt(cred, buf, 100)
+	if n != 0 || err != nil {
+		t.Fatalf("past EOF: %d, %v", n, err)
+	}
+}
+
+func TestFuncFileSeesCallerCred(t *testing.T) {
+	var seen int
+	f := &FuncFile{OnWrite: func(cred *sys.Cred, _ []byte) error {
+		seen = cred.UID
+		return nil
+	}}
+	f.WriteAt(sys.NewCred(42, 42), []byte("x"), 0)
+	if seen != 42 {
+		t.Errorf("handler saw uid %d", seen)
+	}
+}
+
+func TestConcurrentRegistration(t *testing.T) {
+	host := vfs.New()
+	s, _ := Mount(host)
+	s.CreateDir("m")
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			name := strings.Repeat("f", g+1)
+			if _, err := s.CreateFile("m", name, 0o600, &FuncFile{
+				OnRead: func(*sys.Cred) ([]byte, error) { return nil, nil },
+			}); err != nil {
+				t.Errorf("create %s: %v", name, err)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if len(s.Paths()) != 8 {
+		t.Errorf("paths = %d", len(s.Paths()))
+	}
+}

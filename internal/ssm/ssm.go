@@ -1,0 +1,201 @@
+// Package ssm implements SACK's situation state machine: the kernel-side
+// automaton that holds the current situation state (the new security
+// context the paper introduces) and transitions it on situation events
+// delivered from user space. The event-matching loop follows the paper's
+// Algorithm 1: on a matching transition rule the machine moves to the
+// target state and notifies listeners (the adaptive policy enforcer),
+// which re-derive P = f(SS) and MR = g(P).
+package ssm
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// State is a situation state: a name plus the numeric encoding used as a
+// compact security context value in the kernel.
+type State struct {
+	Name     string
+	Encoding uint32
+}
+
+// Event is a situation event name ("crash_detected", "ignition_on"...).
+type Event string
+
+// Transition is one rule TR_i: on Event in state From, move to state To.
+type Transition struct {
+	From  string
+	Event Event
+	To    string
+}
+
+// Listener observes committed transitions. Listeners run synchronously
+// inside Deliver, before the next event can be processed, so enforcement
+// state is never behind the machine state.
+type Listener func(from, to State, ev Event)
+
+type transKey struct {
+	from  string
+	event Event
+}
+
+// Machine is the situation state machine. The current state is read with
+// an atomic load (the enforcement fast path), while transitions serialise
+// on a mutex (the slow path, driven by situation events at sensor rates).
+type Machine struct {
+	states map[string]State
+	rules  map[transKey]string
+
+	mu        sync.Mutex
+	listeners []Listener
+
+	current atomic.Pointer[State]
+
+	transitions atomic.Uint64 // committed transitions
+	ignored     atomic.Uint64 // events with no matching rule
+}
+
+// Config assembles a Machine.
+type Config struct {
+	States      []State
+	Initial     string
+	Transitions []Transition
+}
+
+// New builds a machine, validating that states are unique, the initial
+// state exists, and transitions are deterministic and reference declared
+// states.
+func New(cfg Config) (*Machine, error) {
+	if len(cfg.States) == 0 {
+		return nil, fmt.Errorf("ssm: no states")
+	}
+	m := &Machine{
+		states: make(map[string]State, len(cfg.States)),
+		rules:  make(map[transKey]string, len(cfg.Transitions)),
+	}
+	encodings := make(map[uint32]string)
+	for _, s := range cfg.States {
+		if _, dup := m.states[s.Name]; dup {
+			return nil, fmt.Errorf("ssm: duplicate state %q", s.Name)
+		}
+		if prev, dup := encodings[s.Encoding]; dup {
+			return nil, fmt.Errorf("ssm: states %q and %q share encoding %d", prev, s.Name, s.Encoding)
+		}
+		m.states[s.Name] = s
+		encodings[s.Encoding] = s.Name
+	}
+	initial, ok := m.states[cfg.Initial]
+	if !ok {
+		return nil, fmt.Errorf("ssm: initial state %q not declared", cfg.Initial)
+	}
+	for _, t := range cfg.Transitions {
+		if _, ok := m.states[t.From]; !ok {
+			return nil, fmt.Errorf("ssm: transition from undeclared state %q", t.From)
+		}
+		if _, ok := m.states[t.To]; !ok {
+			return nil, fmt.Errorf("ssm: transition to undeclared state %q", t.To)
+		}
+		key := transKey{t.From, t.Event}
+		if to, dup := m.rules[key]; dup && to != t.To {
+			return nil, fmt.Errorf("ssm: nondeterministic transition from %q on %q", t.From, t.Event)
+		}
+		m.rules[key] = t.To
+	}
+	m.current.Store(&initial)
+	return m, nil
+}
+
+// Current returns the current situation state (lock-free).
+func (m *Machine) Current() State { return *m.current.Load() }
+
+// States lists the declared states sorted by encoding.
+func (m *Machine) States() []State {
+	out := make([]State, 0, len(m.states))
+	for _, s := range m.states {
+		out = append(out, s)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Encoding < out[j].Encoding })
+	return out
+}
+
+// NumStates reports the number of declared states.
+func (m *Machine) NumStates() int { return len(m.states) }
+
+// Subscribe registers a transition listener.
+func (m *Machine) Subscribe(l Listener) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.listeners = append(m.listeners, l)
+}
+
+// Deliver feeds one situation event to the machine — the body of
+// Algorithm 1. If (event, current) matches a transition rule the state
+// advances and listeners fire; otherwise the event is counted and
+// ignored. It returns whether a transition happened and the before/after
+// states.
+func (m *Machine) Deliver(ev Event) (transitioned bool, from, to State) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	cur := *m.current.Load()
+	target, ok := m.rules[transKey{cur.Name, ev}]
+	if !ok {
+		m.ignored.Add(1)
+		return false, cur, cur
+	}
+	next := m.states[target]
+	if next.Name != cur.Name {
+		m.current.Store(&next)
+	}
+	m.transitions.Add(1)
+	for _, l := range m.listeners {
+		l(cur, next, ev)
+	}
+	return true, cur, next
+}
+
+// ForceState moves the machine to a state directly, bypassing transition
+// rules (administrative reset through SACKfs). Listeners still fire.
+func (m *Machine) ForceState(name string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	next, ok := m.states[name]
+	if !ok {
+		return fmt.Errorf("ssm: unknown state %q", name)
+	}
+	cur := *m.current.Load()
+	m.current.Store(&next)
+	m.transitions.Add(1)
+	for _, l := range m.listeners {
+		l(cur, next, Event("force_state"))
+	}
+	return nil
+}
+
+// CanHandle reports whether ev would cause a transition from the current
+// state.
+func (m *Machine) CanHandle(ev Event) bool {
+	cur := m.Current()
+	_, ok := m.rules[transKey{cur.Name, ev}]
+	return ok
+}
+
+// Events returns the sorted set of events any rule reacts to.
+func (m *Machine) Events() []Event {
+	set := make(map[Event]bool)
+	for k := range m.rules {
+		set[k.event] = true
+	}
+	out := make([]Event, 0, len(set))
+	for e := range set {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Stats reports (committed transitions, ignored events).
+func (m *Machine) Stats() (transitions, ignored uint64) {
+	return m.transitions.Load(), m.ignored.Load()
+}

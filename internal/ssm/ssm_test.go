@@ -1,0 +1,262 @@
+package ssm
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+// fig2Machine builds the paper's Fig. 2 example: emergency, driving,
+// parking-with-driver, parking-without-driver.
+func fig2Machine(t *testing.T) *Machine {
+	t.Helper()
+	m, err := New(Config{
+		States: []State{
+			{Name: "driving", Encoding: 0},
+			{Name: "emergency", Encoding: 1},
+			{Name: "parking_with_driver", Encoding: 2},
+			{Name: "parking_without_driver", Encoding: 3},
+		},
+		Initial: "parking_with_driver",
+		Transitions: []Transition{
+			{From: "parking_with_driver", Event: "start_driving", To: "driving"},
+			{From: "driving", Event: "park", To: "parking_with_driver"},
+			{From: "parking_with_driver", Event: "driver_leaves", To: "parking_without_driver"},
+			{From: "parking_without_driver", Event: "driver_enters", To: "parking_with_driver"},
+			{From: "driving", Event: "crash_detected", To: "emergency"},
+			{From: "emergency", Event: "all_clear", To: "parking_with_driver"},
+		},
+	})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	return m
+}
+
+func TestFig2Walkthrough(t *testing.T) {
+	m := fig2Machine(t)
+	steps := []struct {
+		event Event
+		want  string
+		trans bool
+	}{
+		{"start_driving", "driving", true},
+		{"crash_detected", "emergency", true},
+		{"crash_detected", "emergency", false}, // already there; no rule
+		{"all_clear", "parking_with_driver", true},
+		{"driver_leaves", "parking_without_driver", true},
+		{"start_driving", "parking_without_driver", false}, // nobody driving
+		{"driver_enters", "parking_with_driver", true},
+	}
+	for i, s := range steps {
+		trans, _, to := m.Deliver(s.event)
+		if trans != s.trans || to.Name != s.want {
+			t.Fatalf("step %d (%s): got trans=%v state=%s, want trans=%v state=%s",
+				i, s.event, trans, to.Name, s.trans, s.want)
+		}
+	}
+	transitions, ignored := m.Stats()
+	if transitions != 5 || ignored != 2 {
+		t.Fatalf("stats = (%d,%d), want (5,2)", transitions, ignored)
+	}
+}
+
+func TestConstructionErrors(t *testing.T) {
+	base := []State{{Name: "a", Encoding: 0}, {Name: "b", Encoding: 1}}
+	cases := []struct {
+		name string
+		cfg  Config
+	}{
+		{"no states", Config{Initial: "a"}},
+		{"dup state", Config{States: []State{{Name: "a"}, {Name: "a", Encoding: 1}}, Initial: "a"}},
+		{"dup encoding", Config{States: []State{{Name: "a"}, {Name: "b"}}, Initial: "a"}},
+		{"bad initial", Config{States: base, Initial: "zz"}},
+		{"bad from", Config{States: base, Initial: "a",
+			Transitions: []Transition{{From: "zz", Event: "e", To: "a"}}}},
+		{"bad to", Config{States: base, Initial: "a",
+			Transitions: []Transition{{From: "a", Event: "e", To: "zz"}}}},
+		{"nondeterministic", Config{States: base, Initial: "a",
+			Transitions: []Transition{
+				{From: "a", Event: "e", To: "a"},
+				{From: "a", Event: "e", To: "b"},
+			}}},
+	}
+	for _, c := range cases {
+		if _, err := New(c.cfg); err == nil {
+			t.Errorf("%s: expected error", c.name)
+		}
+	}
+}
+
+func TestListenersRunSynchronously(t *testing.T) {
+	m := fig2Machine(t)
+	var seen []string
+	m.Subscribe(func(from, to State, ev Event) {
+		seen = append(seen, fmt.Sprintf("%s->%s/%s", from.Name, to.Name, ev))
+	})
+	m.Deliver("start_driving")
+	m.Deliver("crash_detected")
+	if len(seen) != 2 || seen[1] != "driving->emergency/crash_detected" {
+		t.Fatalf("listener log = %v", seen)
+	}
+}
+
+func TestForceState(t *testing.T) {
+	m := fig2Machine(t)
+	if err := m.ForceState("emergency"); err != nil {
+		t.Fatalf("ForceState: %v", err)
+	}
+	if m.Current().Name != "emergency" {
+		t.Fatal("force did not apply")
+	}
+	if err := m.ForceState("bogus"); err == nil {
+		t.Fatal("bogus state should fail")
+	}
+}
+
+func TestCanHandleAndEvents(t *testing.T) {
+	m := fig2Machine(t)
+	if !m.CanHandle("start_driving") {
+		t.Error("start_driving should be handleable in parking_with_driver")
+	}
+	if m.CanHandle("all_clear") {
+		t.Error("all_clear should not be handleable in parking_with_driver")
+	}
+	evs := m.Events()
+	if len(evs) != 6 {
+		t.Fatalf("events = %v, want 6 distinct", evs)
+	}
+}
+
+func TestConcurrentDeliverIsSerializable(t *testing.T) {
+	// Two states, a<->b on "flip": after an even number of flips delivered
+	// from racing goroutines, the machine must be back at "a", and the
+	// transition count must equal the number of flips (every flip matches
+	// in either state).
+	m, err := New(Config{
+		States:  []State{{Name: "a", Encoding: 0}, {Name: "b", Encoding: 1}},
+		Initial: "a",
+		Transitions: []Transition{
+			{From: "a", Event: "flip", To: "b"},
+			{From: "b", Event: "flip", To: "a"},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const goroutines = 8
+	const per = 250 // even total
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				m.Deliver("flip")
+			}
+		}()
+	}
+	wg.Wait()
+	transitions, ignored := m.Stats()
+	if transitions != goroutines*per || ignored != 0 {
+		t.Fatalf("stats = (%d,%d), want (%d,0)", transitions, ignored, goroutines*per)
+	}
+	if m.Current().Name != "a" {
+		t.Fatalf("state = %s after even flips, want a", m.Current().Name)
+	}
+}
+
+// Property: delivering any event sequence is deterministic — two machines
+// with identical configuration end in identical states.
+func TestPropertyDeterminism(t *testing.T) {
+	build := func() *Machine {
+		m, err := New(Config{
+			States: []State{
+				{Name: "s0", Encoding: 0}, {Name: "s1", Encoding: 1},
+				{Name: "s2", Encoding: 2}, {Name: "s3", Encoding: 3},
+			},
+			Initial: "s0",
+			Transitions: []Transition{
+				{From: "s0", Event: "e0", To: "s1"},
+				{From: "s1", Event: "e1", To: "s2"},
+				{From: "s2", Event: "e2", To: "s3"},
+				{From: "s3", Event: "e3", To: "s0"},
+				{From: "s1", Event: "e0", To: "s0"},
+				{From: "s2", Event: "e0", To: "s0"},
+			},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m
+	}
+	f := func(seq []uint8) bool {
+		a, b := build(), build()
+		for _, x := range seq {
+			ev := Event(fmt.Sprintf("e%d", x%5)) // e4 never matches
+			a.Deliver(ev)
+			b.Deliver(ev)
+		}
+		at, ai := a.Stats()
+		bt, bi := b.Stats()
+		return a.Current() == b.Current() && at == bt && ai == bi
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the transition count plus ignored count equals delivered
+// events.
+func TestPropertyEventAccounting(t *testing.T) {
+	f := func(seq []uint8) bool {
+		m, err := New(Config{
+			States:  []State{{Name: "a", Encoding: 0}, {Name: "b", Encoding: 1}},
+			Initial: "a",
+			Transitions: []Transition{
+				{From: "a", Event: "go", To: "b"},
+				{From: "b", Event: "back", To: "a"},
+			},
+		})
+		if err != nil {
+			return false
+		}
+		events := []Event{"go", "back", "noop"}
+		for _, x := range seq {
+			m.Deliver(events[int(x)%len(events)])
+		}
+		transitions, ignored := m.Stats()
+		return transitions+ignored == uint64(len(seq))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkCurrent(b *testing.B) {
+	m, _ := New(Config{
+		States:      []State{{Name: "a", Encoding: 0}},
+		Initial:     "a",
+		Transitions: nil,
+	})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = m.Current()
+	}
+}
+
+func BenchmarkDeliverTransition(b *testing.B) {
+	m, _ := New(Config{
+		States:  []State{{Name: "a", Encoding: 0}, {Name: "b", Encoding: 1}},
+		Initial: "a",
+		Transitions: []Transition{
+			{From: "a", Event: "flip", To: "b"},
+			{From: "b", Event: "flip", To: "a"},
+		},
+	})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		m.Deliver("flip")
+	}
+}

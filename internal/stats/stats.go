@@ -1,0 +1,170 @@
+// Package stats provides the summary statistics the benchmark harness
+// uses to aggregate LMBench-style samples and compute overhead
+// percentages against a baseline configuration.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Summary describes a sample set.
+type Summary struct {
+	N      int
+	Mean   float64
+	Median float64
+	Stddev float64
+	Min    float64
+	Max    float64
+}
+
+// Summarize computes the summary of xs. It returns a zero Summary for an
+// empty input.
+func Summarize(xs []float64) Summary {
+	if len(xs) == 0 {
+		return Summary{}
+	}
+	s := Summary{N: len(xs), Min: math.Inf(1), Max: math.Inf(-1)}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+		if x < s.Min {
+			s.Min = x
+		}
+		if x > s.Max {
+			s.Max = x
+		}
+	}
+	s.Mean = sum / float64(len(xs))
+	var ss float64
+	for _, x := range xs {
+		d := x - s.Mean
+		ss += d * d
+	}
+	if len(xs) > 1 {
+		s.Stddev = math.Sqrt(ss / float64(len(xs)-1))
+	}
+	s.Median = Percentile(xs, 50)
+	return s
+}
+
+// Percentile returns the p-th percentile (0-100) using linear
+// interpolation between closest ranks. It copies xs before sorting.
+func Percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	if p < 0 {
+		p = 0
+	}
+	if p > 100 {
+		p = 100
+	}
+	sorted := make([]float64, len(xs))
+	copy(sorted, xs)
+	sort.Float64s(sorted)
+	if len(sorted) == 1 {
+		return sorted[0]
+	}
+	rank := p / 100 * float64(len(sorted)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := rank - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// Mean returns the arithmetic mean (0 for empty input).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// OverheadPct computes the relative overhead of value against baseline in
+// percent, positive when value is costlier. For bandwidth-style metrics
+// (bigger is better) callers should pass InvertOverhead instead.
+func OverheadPct(baseline, value float64) float64 {
+	if baseline == 0 {
+		return 0
+	}
+	return (value - baseline) / baseline * 100
+}
+
+// InvertOverhead computes overhead for bigger-is-better metrics: positive
+// when value (e.g. bandwidth) is lower than the baseline.
+func InvertOverhead(baseline, value float64) float64 {
+	if baseline == 0 {
+		return 0
+	}
+	return (baseline - value) / baseline * 100
+}
+
+// FormatDelta renders an overhead percentage the way the paper's tables
+// do: "↓2.56%" for a slowdown, "↑0.40%" for an improvement, "0%" for
+// exactly zero. down reports whether positive means worse.
+func FormatDelta(pct float64) string {
+	switch {
+	case pct == 0:
+		return "0%"
+	case pct > 0:
+		return fmt.Sprintf("↓%.2f%%", pct) // worse
+	default:
+		return fmt.Sprintf("↑%.2f%%", -pct) // better
+	}
+}
+
+// Welford accumulates streaming mean/variance without storing samples.
+type Welford struct {
+	n    int
+	mean float64
+	m2   float64
+	min  float64
+	max  float64
+}
+
+// Add folds one sample in.
+func (w *Welford) Add(x float64) {
+	w.n++
+	if w.n == 1 {
+		w.min, w.max = x, x
+	} else {
+		if x < w.min {
+			w.min = x
+		}
+		if x > w.max {
+			w.max = x
+		}
+	}
+	d := x - w.mean
+	w.mean += d / float64(w.n)
+	w.m2 += d * (x - w.mean)
+}
+
+// N returns the sample count.
+func (w *Welford) N() int { return w.n }
+
+// Mean returns the running mean.
+func (w *Welford) Mean() float64 { return w.mean }
+
+// Stddev returns the running sample standard deviation.
+func (w *Welford) Stddev() float64 {
+	if w.n < 2 {
+		return 0
+	}
+	return math.Sqrt(w.m2 / float64(w.n-1))
+}
+
+// Min returns the smallest sample seen.
+func (w *Welford) Min() float64 { return w.min }
+
+// Max returns the largest sample seen.
+func (w *Welford) Max() float64 { return w.max }

@@ -1,0 +1,173 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func approx(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if s.N != 8 || !approx(s.Mean, 5) || s.Min != 2 || s.Max != 9 {
+		t.Fatalf("summary = %+v", s)
+	}
+	// Sample stddev of this classic set is ~2.138.
+	if math.Abs(s.Stddev-2.1380899) > 1e-6 {
+		t.Errorf("stddev = %v", s.Stddev)
+	}
+	if !approx(s.Median, 4.5) {
+		t.Errorf("median = %v", s.Median)
+	}
+	if z := Summarize(nil); z.N != 0 {
+		t.Errorf("empty summary = %+v", z)
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{10, 20, 30, 40, 50}
+	cases := []struct{ p, want float64 }{
+		{0, 10}, {25, 20}, {50, 30}, {75, 40}, {100, 50}, {-5, 10}, {150, 50},
+	}
+	for _, c := range cases {
+		if got := Percentile(xs, c.p); !approx(got, c.want) {
+			t.Errorf("P%v = %v, want %v", c.p, got, c.want)
+		}
+	}
+	if got := Percentile(xs, 10); !approx(got, 14) {
+		t.Errorf("interpolated P10 = %v, want 14", got)
+	}
+	if Percentile(nil, 50) != 0 {
+		t.Error("empty percentile")
+	}
+	if Percentile([]float64{7}, 99) != 7 {
+		t.Error("single-sample percentile")
+	}
+	// Must not mutate the input.
+	in := []float64{3, 1, 2}
+	Percentile(in, 50)
+	if in[0] != 3 || in[1] != 1 || in[2] != 2 {
+		t.Error("Percentile mutated input")
+	}
+}
+
+func TestOverheads(t *testing.T) {
+	if got := OverheadPct(100, 103); !approx(got, 3) {
+		t.Errorf("OverheadPct = %v", got)
+	}
+	if got := OverheadPct(100, 97); !approx(got, -3) {
+		t.Errorf("negative = %v", got)
+	}
+	if OverheadPct(0, 5) != 0 {
+		t.Error("zero baseline")
+	}
+	// Bandwidth: lower value = positive overhead.
+	if got := InvertOverhead(1000, 950); !approx(got, 5) {
+		t.Errorf("InvertOverhead = %v", got)
+	}
+	if got := InvertOverhead(1000, 1050); !approx(got, -5) {
+		t.Errorf("faster bandwidth = %v", got)
+	}
+}
+
+func TestFormatDelta(t *testing.T) {
+	if got := FormatDelta(2.56); got != "↓2.56%" {
+		t.Errorf("slowdown = %q", got)
+	}
+	if got := FormatDelta(-0.40); got != "↑0.40%" {
+		t.Errorf("speedup = %q", got)
+	}
+	if got := FormatDelta(0); got != "0%" {
+		t.Errorf("zero = %q", got)
+	}
+}
+
+func TestMean(t *testing.T) {
+	if Mean(nil) != 0 {
+		t.Error("empty mean")
+	}
+	if !approx(Mean([]float64{1, 2, 3}), 2) {
+		t.Error("mean wrong")
+	}
+}
+
+func TestWelfordMatchesBatch(t *testing.T) {
+	xs := []float64{3.1, 4.1, 5.9, 2.6, 5.3, 5.8, 9.7, 9.3}
+	var w Welford
+	for _, x := range xs {
+		w.Add(x)
+	}
+	batch := Summarize(xs)
+	if w.N() != batch.N {
+		t.Fatal("N mismatch")
+	}
+	if math.Abs(w.Mean()-batch.Mean) > 1e-9 {
+		t.Errorf("mean: %v vs %v", w.Mean(), batch.Mean)
+	}
+	if math.Abs(w.Stddev()-batch.Stddev) > 1e-9 {
+		t.Errorf("stddev: %v vs %v", w.Stddev(), batch.Stddev)
+	}
+	if w.Min() != batch.Min || w.Max() != batch.Max {
+		t.Error("min/max mismatch")
+	}
+}
+
+func TestWelfordSmallN(t *testing.T) {
+	var w Welford
+	if w.Stddev() != 0 {
+		t.Error("stddev of empty")
+	}
+	w.Add(5)
+	if w.Stddev() != 0 || w.Mean() != 5 || w.Min() != 5 || w.Max() != 5 {
+		t.Error("single sample stats")
+	}
+}
+
+// Property: Welford streaming statistics agree with the batch formulas
+// for arbitrary sample sets.
+func TestPropertyWelfordEquivalence(t *testing.T) {
+	f := func(raw []int16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		xs := make([]float64, len(raw))
+		for i, r := range raw {
+			xs[i] = float64(r) / 16
+		}
+		var w Welford
+		for _, x := range xs {
+			w.Add(x)
+		}
+		b := Summarize(xs)
+		return math.Abs(w.Mean()-b.Mean) < 1e-6 &&
+			math.Abs(w.Stddev()-b.Stddev) < 1e-6 &&
+			w.Min() == b.Min && w.Max() == b.Max
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: percentiles are monotonic in p and bounded by min/max.
+func TestPropertyPercentileMonotonic(t *testing.T) {
+	f := func(raw []int16, pa, pb uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		xs := make([]float64, len(raw))
+		for i, r := range raw {
+			xs[i] = float64(r)
+		}
+		lo, hi := float64(pa%101), float64(pb%101)
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		s := Summarize(xs)
+		plo, phi := Percentile(xs, lo), Percentile(xs, hi)
+		return plo <= phi+1e-9 && plo >= s.Min-1e-9 && phi <= s.Max+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

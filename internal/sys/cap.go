@@ -1,0 +1,97 @@
+package sys
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Cap is a Linux capability number. Only the capabilities the SACK
+// reproduction exercises are defined, with values matching
+// include/uapi/linux/capability.h.
+type Cap uint8
+
+// Capabilities used by the simulated kernel and its security modules.
+const (
+	CapChown         Cap = 0
+	CapDacOverride   Cap = 1
+	CapDacReadSearch Cap = 2
+	CapFowner        Cap = 3
+	CapKill          Cap = 5
+	CapSetUID        Cap = 7
+	CapNetAdmin      Cap = 12
+	CapSysModule     Cap = 16
+	CapSysAdmin      Cap = 21
+	CapSysBoot       Cap = 22
+	CapAudit         Cap = 29
+	CapMacOverride   Cap = 32 // override MAC policy (denied to all in threat model)
+	CapMacAdmin      Cap = 33 // administer MAC policy (load policies, send events)
+
+	capMax = 40
+)
+
+var capNames = map[Cap]string{
+	CapChown:         "CAP_CHOWN",
+	CapDacOverride:   "CAP_DAC_OVERRIDE",
+	CapDacReadSearch: "CAP_DAC_READ_SEARCH",
+	CapFowner:        "CAP_FOWNER",
+	CapKill:          "CAP_KILL",
+	CapSetUID:        "CAP_SETUID",
+	CapNetAdmin:      "CAP_NET_ADMIN",
+	CapSysModule:     "CAP_SYS_MODULE",
+	CapSysAdmin:      "CAP_SYS_ADMIN",
+	CapSysBoot:       "CAP_SYS_BOOT",
+	CapAudit:         "CAP_AUDIT",
+	CapMacOverride:   "CAP_MAC_OVERRIDE",
+	CapMacAdmin:      "CAP_MAC_ADMIN",
+}
+
+// String returns the CAP_* constant name.
+func (c Cap) String() string {
+	if s, ok := capNames[c]; ok {
+		return s
+	}
+	return fmt.Sprintf("CAP_%d", uint8(c))
+}
+
+// CapSet is a bitmask of capabilities.
+type CapSet uint64
+
+// NewCapSet builds a set from the listed capabilities.
+func NewCapSet(caps ...Cap) CapSet {
+	var s CapSet
+	for _, c := range caps {
+		s = s.Add(c)
+	}
+	return s
+}
+
+// FullCapSet returns a set holding every defined capability (root's set).
+func FullCapSet() CapSet {
+	return CapSet(1<<capMax - 1)
+}
+
+// Has reports whether c is in the set.
+func (s CapSet) Has(c Cap) bool { return s&(1<<uint(c)) != 0 }
+
+// Add returns the set with c added.
+func (s CapSet) Add(c Cap) CapSet { return s | 1<<uint(c) }
+
+// Drop returns the set with c removed.
+func (s CapSet) Drop(c Cap) CapSet { return s &^ (1 << uint(c)) }
+
+// Empty reports whether no capabilities are held.
+func (s CapSet) Empty() bool { return s == 0 }
+
+// String lists the held capabilities, comma-separated.
+func (s CapSet) String() string {
+	if s == 0 {
+		return "(none)"
+	}
+	var parts []string
+	for c := Cap(0); c < capMax; c++ {
+		if s.Has(c) {
+			parts = append(parts, c.String())
+		}
+	}
+	return strings.Join(parts, ",")
+}

@@ -1,0 +1,63 @@
+package sys
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Cred is a task credential: user/group identity, capability set, and the
+// per-LSM security blobs (the simulated equivalent of cred->security).
+// A Cred is owned by exactly one task; Fork copies it.
+type Cred struct {
+	UID  int
+	GID  int
+	Caps CapSet
+
+	mu    sync.RWMutex
+	blobs map[string]any // keyed by LSM name
+}
+
+// NewCred builds a credential for the given identity. UID 0 receives the
+// full capability set, matching Linux defaults.
+func NewCred(uid, gid int) *Cred {
+	c := &Cred{UID: uid, GID: gid, blobs: make(map[string]any)}
+	if uid == 0 {
+		c.Caps = FullCapSet()
+	}
+	return c
+}
+
+// Clone returns a deep copy, used by fork. Security blobs are copied
+// shallowly by value; LSMs that need copy-on-fork semantics implement the
+// TaskAlloc hook and replace their blob on the child.
+func (c *Cred) Clone() *Cred {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	n := &Cred{UID: c.UID, GID: c.GID, Caps: c.Caps, blobs: make(map[string]any, len(c.blobs))}
+	for k, v := range c.blobs {
+		n.blobs[k] = v
+	}
+	return n
+}
+
+// Blob returns the security blob stored by the named LSM, or nil.
+func (c *Cred) Blob(lsm string) any {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.blobs[lsm]
+}
+
+// SetBlob stores the security blob for the named LSM.
+func (c *Cred) SetBlob(lsm string, blob any) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.blobs[lsm] = blob
+}
+
+// HasCap reports whether the credential holds the capability.
+func (c *Cred) HasCap(cap Cap) bool { return c.Caps.Has(cap) }
+
+// String summarises the identity for audit messages.
+func (c *Cred) String() string {
+	return fmt.Sprintf("uid=%d gid=%d", c.UID, c.GID)
+}

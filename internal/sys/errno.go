@@ -1,0 +1,160 @@
+// Package sys provides the shared low-level kernel types used across the
+// simulated Linux substrate: error numbers, capability sets, credentials,
+// and access-request masks. It mirrors the subset of include/uapi/linux
+// definitions that the SACK reproduction needs, so that higher layers
+// (vfs, lsm, kernel, apparmor, core) can agree on vocabulary without
+// import cycles.
+package sys
+
+import "fmt"
+
+// Errno is a simulated kernel error number. The zero value means success
+// and must never be returned as an error; use the named constants.
+type Errno int
+
+// Error numbers used by the simulated kernel. Values match Linux x86-64 so
+// that traces read naturally next to real strace output.
+const (
+	EPERM        Errno = 1   // operation not permitted
+	ENOENT       Errno = 2   // no such file or directory
+	ESRCH        Errno = 3   // no such process
+	EINTR        Errno = 4   // interrupted system call
+	EIO          Errno = 5   // I/O error
+	ENXIO        Errno = 6   // no such device or address
+	EBADF        Errno = 9   // bad file descriptor
+	EAGAIN       Errno = 11  // resource temporarily unavailable
+	ENOMEM       Errno = 12  // out of memory
+	EACCES       Errno = 13  // permission denied
+	EFAULT       Errno = 14  // bad address
+	EBUSY        Errno = 16  // device or resource busy
+	EEXIST       Errno = 17  // file exists
+	ENODEV       Errno = 19  // no such device
+	ENOTDIR      Errno = 20  // not a directory
+	EISDIR       Errno = 21  // is a directory
+	EINVAL       Errno = 22  // invalid argument
+	ENFILE       Errno = 23  // file table overflow
+	EMFILE       Errno = 24  // too many open files
+	ENOTTY       Errno = 25  // not a typewriter / bad ioctl
+	EFBIG        Errno = 27  // file too large
+	ENOSPC       Errno = 28  // no space left on device
+	ESPIPE       Errno = 29  // illegal seek
+	EROFS        Errno = 30  // read-only file system
+	EPIPE        Errno = 32  // broken pipe
+	ENAMETOOLONG Errno = 36  // file name too long
+	ENOSYS       Errno = 38  // function not implemented
+	ENOTEMPTY    Errno = 39  // directory not empty
+	ELOOP        Errno = 40  // too many levels of symbolic links
+	ENODATA      Errno = 61  // no data available
+	EPROTO       Errno = 71  // protocol error
+	ENOTSOCK     Errno = 88  // socket operation on non-socket
+	EADDRINUSE   Errno = 98  // address already in use
+	ECONNREFUSED Errno = 111 // connection refused
+	EALREADY     Errno = 114 // operation already in progress
+)
+
+var errnoNames = map[Errno]string{
+	EPERM:        "EPERM",
+	ENOENT:       "ENOENT",
+	ESRCH:        "ESRCH",
+	EINTR:        "EINTR",
+	EIO:          "EIO",
+	ENXIO:        "ENXIO",
+	EBADF:        "EBADF",
+	EAGAIN:       "EAGAIN",
+	ENOMEM:       "ENOMEM",
+	EACCES:       "EACCES",
+	EFAULT:       "EFAULT",
+	EBUSY:        "EBUSY",
+	EEXIST:       "EEXIST",
+	ENODEV:       "ENODEV",
+	ENOTDIR:      "ENOTDIR",
+	EISDIR:       "EISDIR",
+	EINVAL:       "EINVAL",
+	ENFILE:       "ENFILE",
+	EMFILE:       "EMFILE",
+	ENOTTY:       "ENOTTY",
+	EFBIG:        "EFBIG",
+	ENOSPC:       "ENOSPC",
+	ESPIPE:       "ESPIPE",
+	EROFS:        "EROFS",
+	EPIPE:        "EPIPE",
+	ENAMETOOLONG: "ENAMETOOLONG",
+	ENOSYS:       "ENOSYS",
+	ENOTEMPTY:    "ENOTEMPTY",
+	ELOOP:        "ELOOP",
+	ENODATA:      "ENODATA",
+	EPROTO:       "EPROTO",
+	ENOTSOCK:     "ENOTSOCK",
+	EADDRINUSE:   "EADDRINUSE",
+	ECONNREFUSED: "ECONNREFUSED",
+	EALREADY:     "EALREADY",
+}
+
+var errnoText = map[Errno]string{
+	EPERM:        "operation not permitted",
+	ENOENT:       "no such file or directory",
+	ESRCH:        "no such process",
+	EINTR:        "interrupted system call",
+	EIO:          "input/output error",
+	ENXIO:        "no such device or address",
+	EBADF:        "bad file descriptor",
+	EAGAIN:       "resource temporarily unavailable",
+	ENOMEM:       "cannot allocate memory",
+	EACCES:       "permission denied",
+	EFAULT:       "bad address",
+	EBUSY:        "device or resource busy",
+	EEXIST:       "file exists",
+	ENODEV:       "no such device",
+	ENOTDIR:      "not a directory",
+	EISDIR:       "is a directory",
+	EINVAL:       "invalid argument",
+	ENFILE:       "too many open files in system",
+	EMFILE:       "too many open files",
+	ENOTTY:       "inappropriate ioctl for device",
+	EFBIG:        "file too large",
+	ENOSPC:       "no space left on device",
+	ESPIPE:       "illegal seek",
+	EROFS:        "read-only file system",
+	EPIPE:        "broken pipe",
+	ENAMETOOLONG: "file name too long",
+	ENOSYS:       "function not implemented",
+	ENOTEMPTY:    "directory not empty",
+	ELOOP:        "too many levels of symbolic links",
+	ENODATA:      "no data available",
+	EPROTO:       "protocol error",
+	ENOTSOCK:     "socket operation on non-socket",
+	EADDRINUSE:   "address already in use",
+	ECONNREFUSED: "connection refused",
+	EALREADY:     "operation already in progress",
+}
+
+// Error implements the error interface.
+func (e Errno) Error() string {
+	if s, ok := errnoText[e]; ok {
+		return s
+	}
+	return fmt.Sprintf("errno %d", int(e))
+}
+
+// Name returns the symbolic constant name (e.g. "EACCES").
+func (e Errno) Name() string {
+	if s, ok := errnoNames[e]; ok {
+		return s
+	}
+	return fmt.Sprintf("E%d", int(e))
+}
+
+// IsErrno reports whether err is (or wraps) the given Errno.
+func IsErrno(err error, e Errno) bool {
+	if err == nil {
+		return false
+	}
+	if got, ok := err.(Errno); ok {
+		return got == e
+	}
+	type unwrapper interface{ Unwrap() error }
+	if u, ok := err.(unwrapper); ok {
+		return IsErrno(u.Unwrap(), e)
+	}
+	return false
+}

@@ -1,0 +1,107 @@
+package trace
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Generator produces random but physically plausible drive traces from a
+// seed: speed follows a bounded random walk, ignition and occupancy
+// change at stop phases, and crashes occur with a configurable
+// probability per minute of driving. Deterministic per seed, so failing
+// fuzz cases replay exactly.
+type Generator struct {
+	rng *rand.Rand
+
+	// CrashPerMinute is the probability of a crash event per simulated
+	// minute while moving (default 0.05).
+	CrashPerMinute float64
+	// MaxSpeed bounds the random walk (default 130 km/h).
+	MaxSpeed float64
+	// Step is the simulated time between points (default 1s).
+	Step time.Duration
+}
+
+// NewGenerator creates a generator for the seed.
+func NewGenerator(seed int64) *Generator {
+	return &Generator{
+		rng:            rand.New(rand.NewSource(seed)),
+		CrashPerMinute: 0.05,
+		MaxSpeed:       130,
+		Step:           time.Second,
+	}
+}
+
+// Generate produces a trace with n points.
+func (g *Generator) Generate(n int) Trace {
+	tr := Trace{Name: "generated"}
+	speed := 0.0
+	driver := true
+	ignition := false
+	crashed := false
+	cooldown := 0 // points remaining at rest after a crash
+
+	for i := 0; i < n; i++ {
+		t := time.Duration(i) * g.Step
+		accel := 0.0
+
+		switch {
+		case cooldown > 0:
+			cooldown--
+			speed = 0
+			if cooldown == 0 {
+				// Recovery: ignition cycles, vehicle restarts.
+				ignition = false
+				crashed = false
+			}
+		case crashed:
+			speed = 0
+			accel = 0
+		case !ignition:
+			// Parked. Occasionally the driver leaves/returns or starts.
+			switch g.rng.Intn(6) {
+			case 0:
+				driver = !driver
+			case 1, 2:
+				if driver {
+					ignition = true
+				}
+			}
+		default:
+			// Driving: bounded random walk.
+			delta := (g.rng.Float64() - 0.45) * 15
+			speed += delta
+			if speed < 0 {
+				speed = 0
+			}
+			if speed > g.MaxSpeed {
+				speed = g.MaxSpeed
+			}
+			accel = delta / 9.8
+			if accel < 0 {
+				accel = -accel
+			}
+			// Crash chance while moving.
+			perPoint := g.CrashPerMinute * g.Step.Minutes()
+			if speed > 10 && g.rng.Float64() < perPoint {
+				accel = 8 + g.rng.Float64()*4
+				crashed = true
+				cooldown = 3 + g.rng.Intn(5)
+			}
+			// Occasionally stop and park.
+			if speed < 2 && g.rng.Intn(4) == 0 {
+				speed = 0
+				ignition = false
+			}
+		}
+
+		tr.Points = append(tr.Points, Point{
+			T:        t,
+			Speed:    speed,
+			AccelG:   accel,
+			Driver:   driver,
+			Ignition: ignition,
+		})
+	}
+	return tr
+}

@@ -1,0 +1,111 @@
+// Package vehicle simulates the CAV hardware substrate: a CAN bus, the
+// actuator devices exposed as /dev/vehicle nodes (doors, windows, audio,
+// engine), and the vehicle dynamics state (speed, acceleration, occupant
+// presence) that the situation detection service observes.
+package vehicle
+
+import (
+	"fmt"
+	"sync"
+)
+
+// CAN arbitration IDs used by the simulated actuators. The *Cmd IDs
+// carry inbound commands (the micomd-style surface KOFFEE replays);
+// the plain IDs carry status broadcasts emitted by the actuators.
+const (
+	CANIDEngine    uint32 = 0x100
+	CANIDDoor      uint32 = 0x120
+	CANIDDoorCmd   uint32 = 0x121
+	CANIDWindow    uint32 = 0x130
+	CANIDWindowCmd uint32 = 0x131
+	CANIDAudio     uint32 = 0x140
+	CANIDAudioCmd  uint32 = 0x141
+)
+
+// Door command codes carried in CANIDDoorCmd frames (Data[1]).
+const (
+	CANDoorLock   byte = 0
+	CANDoorUnlock byte = 1
+)
+
+// Frame is one CAN 2.0 data frame.
+type Frame struct {
+	ID   uint32
+	Len  uint8
+	Data [8]byte
+}
+
+// String renders the frame candump-style: "120#0201".
+func (f Frame) String() string {
+	s := fmt.Sprintf("%03X#", f.ID)
+	for i := uint8(0); i < f.Len; i++ {
+		s += fmt.Sprintf("%02X", f.Data[i])
+	}
+	return s
+}
+
+// Bus is a broadcast CAN bus: every sent frame is delivered synchronously
+// to all subscribers in subscription order.
+type Bus struct {
+	mu   sync.RWMutex
+	subs []func(Frame)
+	log  []Frame
+	max  int
+}
+
+// NewBus creates a bus retaining the last max frames (default 1024).
+func NewBus(max int) *Bus {
+	if max <= 0 {
+		max = 1024
+	}
+	return &Bus{max: max}
+}
+
+// Subscribe registers a frame listener.
+func (b *Bus) Subscribe(fn func(Frame)) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.subs = append(b.subs, fn)
+}
+
+// Send broadcasts a frame.
+func (b *Bus) Send(f Frame) {
+	b.mu.Lock()
+	b.log = append(b.log, f)
+	if len(b.log) > b.max {
+		b.log = b.log[len(b.log)-b.max:]
+	}
+	subs := make([]func(Frame), len(b.subs))
+	copy(subs, b.subs)
+	b.mu.Unlock()
+	for _, fn := range subs {
+		fn(f)
+	}
+}
+
+// Log returns a copy of the retained frame history.
+func (b *Bus) Log() []Frame {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	out := make([]Frame, len(b.log))
+	copy(out, b.log)
+	return out
+}
+
+// FramesWithID filters the log by arbitration ID.
+func (b *Bus) FramesWithID(id uint32) []Frame {
+	var out []Frame
+	for _, f := range b.Log() {
+		if f.ID == id {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// ClearLog discards the retained history.
+func (b *Bus) ClearLog() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.log = nil
+}

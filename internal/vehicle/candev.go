@@ -1,0 +1,108 @@
+package vehicle
+
+import (
+	"encoding/binary"
+	"sync"
+
+	"repro/internal/sys"
+)
+
+// CANDevice exposes the raw bus as /dev/vehicle/can0, the deeper
+// injection surface the original KOFFEE exploit used (replaying micomd
+// CAN commands). Writes inject frames onto the bus; reads drain a
+// per-open capture queue of frames seen since the device was created.
+//
+// Frame wire format (12 bytes): ID uint32 big-endian, Len uint8,
+// 3 padding bytes, Data [8]byte truncated to Len on display.
+type CANDevice struct {
+	bus *Bus
+
+	mu      sync.Mutex
+	capture []Frame
+	max     int
+}
+
+// FrameWireSize is the encoded size of one frame.
+const FrameWireSize = 16
+
+// NewCANDevice creates the raw CAN endpoint and starts capturing bus
+// traffic (up to max frames, default 256).
+func NewCANDevice(bus *Bus, max int) *CANDevice {
+	if max <= 0 {
+		max = 256
+	}
+	d := &CANDevice{bus: bus, max: max}
+	bus.Subscribe(func(f Frame) {
+		d.mu.Lock()
+		defer d.mu.Unlock()
+		d.capture = append(d.capture, f)
+		if len(d.capture) > d.max {
+			d.capture = d.capture[len(d.capture)-d.max:]
+		}
+	})
+	return d
+}
+
+// EncodeFrame serialises a frame into the wire format.
+func EncodeFrame(f Frame) []byte {
+	buf := make([]byte, FrameWireSize)
+	binary.BigEndian.PutUint32(buf[0:4], f.ID)
+	buf[4] = f.Len
+	copy(buf[8:16], f.Data[:])
+	return buf
+}
+
+// DecodeFrame parses one wire-format frame.
+func DecodeFrame(buf []byte) (Frame, error) {
+	if len(buf) < FrameWireSize {
+		return Frame{}, sys.EINVAL
+	}
+	var f Frame
+	f.ID = binary.BigEndian.Uint32(buf[0:4])
+	f.Len = buf[4]
+	if f.Len > 8 {
+		return Frame{}, sys.EINVAL
+	}
+	copy(f.Data[:], buf[8:16])
+	return f, nil
+}
+
+// ReadAt drains captured frames into buf (whole frames only).
+func (d *CANDevice) ReadAt(_ *sys.Cred, buf []byte, _ int64) (int, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	n := 0
+	for len(d.capture) > 0 && n+FrameWireSize <= len(buf) {
+		copy(buf[n:], EncodeFrame(d.capture[0]))
+		d.capture = d.capture[1:]
+		n += FrameWireSize
+	}
+	return n, nil
+}
+
+// WriteAt injects one or more frames onto the bus.
+func (d *CANDevice) WriteAt(_ *sys.Cred, data []byte, _ int64) (int, error) {
+	if len(data) == 0 || len(data)%FrameWireSize != 0 {
+		return 0, sys.EINVAL
+	}
+	for off := 0; off < len(data); off += FrameWireSize {
+		f, err := DecodeFrame(data[off : off+FrameWireSize])
+		if err != nil {
+			return off, err
+		}
+		d.bus.Send(f)
+	}
+	return len(data), nil
+}
+
+// Ioctl is not supported on the raw CAN endpoint.
+func (d *CANDevice) Ioctl(*sys.Cred, uint64, uint64) (uint64, error) {
+	return 0, sys.ENOTTY
+}
+
+// Pending reports the captured-but-unread frame count.
+func (d *CANDevice) Pending() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return len(d.capture)
+}

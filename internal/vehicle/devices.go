@@ -1,0 +1,309 @@
+package vehicle
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/sys"
+)
+
+// Ioctl commands understood by the vehicle devices. Values are arbitrary
+// but stable; they play the role of the "specific ioctl system call" in
+// the paper's case study.
+const (
+	IoctlDoorLock   uint64 = 0x1001
+	IoctlDoorUnlock uint64 = 0x1002
+	IoctlDoorStatus uint64 = 0x1003
+
+	IoctlWindowUp   uint64 = 0x2001
+	IoctlWindowDown uint64 = 0x2002
+	IoctlWindowSet  uint64 = 0x2003 // arg: position 0..100
+	IoctlWindowGet  uint64 = 0x2004
+
+	IoctlAudioSetVolume uint64 = 0x3001 // arg: volume 0..100
+	IoctlAudioGetVolume uint64 = 0x3002
+	IoctlAudioMute      uint64 = 0x3003
+
+	IoctlEngineGetSpeed uint64 = 0x4001 // returns km/h
+)
+
+// DoorState enumerates lock states.
+type DoorState int
+
+// Door states.
+const (
+	DoorLocked DoorState = iota
+	DoorUnlocked
+)
+
+func (d DoorState) String() string {
+	if d == DoorUnlocked {
+		return "unlocked"
+	}
+	return "locked"
+}
+
+// Door is one door actuator exposed as /dev/vehicle/doorN. Lock changes
+// emit CAN frames so tests and the IVI display can observe them.
+type Door struct {
+	Index int
+	bus   *Bus
+
+	mu    sync.Mutex
+	state DoorState
+}
+
+// NewDoor creates a locked door on the bus.
+func NewDoor(index int, bus *Bus) *Door {
+	return &Door{Index: index, bus: bus, state: DoorLocked}
+}
+
+// State returns the current lock state.
+func (d *Door) State() DoorState {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.state
+}
+
+func (d *Door) setState(s DoorState) {
+	d.mu.Lock()
+	d.state = s
+	d.mu.Unlock()
+	if d.bus != nil {
+		var f Frame
+		f.ID = CANIDDoor
+		f.Len = 2
+		f.Data[0] = byte(d.Index)
+		f.Data[1] = byte(s)
+		d.bus.Send(f)
+	}
+}
+
+// ReadAt reports the state ("locked\n"/"unlocked\n").
+func (d *Door) ReadAt(_ *sys.Cred, buf []byte, off int64) (int, error) {
+	content := []byte(d.State().String() + "\n")
+	if off >= int64(len(content)) {
+		return 0, nil
+	}
+	return copy(buf, content[off:]), nil
+}
+
+// WriteAt accepts ASCII commands "lock"/"unlock".
+func (d *Door) WriteAt(_ *sys.Cred, data []byte, _ int64) (int, error) {
+	switch string(trimNL(data)) {
+	case "lock":
+		d.setState(DoorLocked)
+	case "unlock":
+		d.setState(DoorUnlocked)
+	default:
+		return 0, sys.EINVAL
+	}
+	return len(data), nil
+}
+
+// Ioctl performs lock control.
+func (d *Door) Ioctl(_ *sys.Cred, cmd, _ uint64) (uint64, error) {
+	switch cmd {
+	case IoctlDoorLock:
+		d.setState(DoorLocked)
+		return 0, nil
+	case IoctlDoorUnlock:
+		d.setState(DoorUnlocked)
+		return 0, nil
+	case IoctlDoorStatus:
+		return uint64(d.State()), nil
+	default:
+		return 0, sys.ENOTTY
+	}
+}
+
+// Window is one window actuator (/dev/vehicle/windowN), position 0
+// (closed) to 100 (fully open).
+type Window struct {
+	Index int
+	bus   *Bus
+
+	mu  sync.Mutex
+	pos int
+}
+
+// NewWindow creates a closed window.
+func NewWindow(index int, bus *Bus) *Window {
+	return &Window{Index: index, bus: bus}
+}
+
+// Position returns the opening percentage.
+func (w *Window) Position() int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.pos
+}
+
+func (w *Window) setPos(p int) {
+	if p < 0 {
+		p = 0
+	}
+	if p > 100 {
+		p = 100
+	}
+	w.mu.Lock()
+	w.pos = p
+	w.mu.Unlock()
+	if w.bus != nil {
+		var f Frame
+		f.ID = CANIDWindow
+		f.Len = 2
+		f.Data[0] = byte(w.Index)
+		f.Data[1] = byte(p)
+		w.bus.Send(f)
+	}
+}
+
+// ReadAt reports the position as decimal text.
+func (w *Window) ReadAt(_ *sys.Cred, buf []byte, off int64) (int, error) {
+	content := []byte(fmt.Sprintf("%d\n", w.Position()))
+	if off >= int64(len(content)) {
+		return 0, nil
+	}
+	return copy(buf, content[off:]), nil
+}
+
+// WriteAt accepts a decimal position.
+func (w *Window) WriteAt(_ *sys.Cred, data []byte, _ int64) (int, error) {
+	var p int
+	if _, err := fmt.Sscanf(string(trimNL(data)), "%d", &p); err != nil {
+		return 0, sys.EINVAL
+	}
+	w.setPos(p)
+	return len(data), nil
+}
+
+// Ioctl performs window control.
+func (w *Window) Ioctl(_ *sys.Cred, cmd, arg uint64) (uint64, error) {
+	switch cmd {
+	case IoctlWindowUp:
+		w.setPos(0)
+		return 0, nil
+	case IoctlWindowDown:
+		w.setPos(100)
+		return 0, nil
+	case IoctlWindowSet:
+		w.setPos(int(arg))
+		return 0, nil
+	case IoctlWindowGet:
+		return uint64(w.Position()), nil
+	default:
+		return 0, sys.ENOTTY
+	}
+}
+
+// Audio is the IVI audio unit (/dev/vehicle/audio0). CVE-2023-6073's
+// max-volume attack targets exactly this surface.
+type Audio struct {
+	bus *Bus
+
+	mu     sync.Mutex
+	volume int
+}
+
+// NewAudio creates the unit at a comfortable volume.
+func NewAudio(bus *Bus) *Audio {
+	return &Audio{bus: bus, volume: 30}
+}
+
+// Volume returns the current volume (0..100).
+func (a *Audio) Volume() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.volume
+}
+
+func (a *Audio) setVolume(v int) {
+	if v < 0 {
+		v = 0
+	}
+	if v > 100 {
+		v = 100
+	}
+	a.mu.Lock()
+	a.volume = v
+	a.mu.Unlock()
+	if a.bus != nil {
+		var f Frame
+		f.ID = CANIDAudio
+		f.Len = 1
+		f.Data[0] = byte(v)
+		a.bus.Send(f)
+	}
+}
+
+// ReadAt reports the volume as decimal text.
+func (a *Audio) ReadAt(_ *sys.Cred, buf []byte, off int64) (int, error) {
+	content := []byte(fmt.Sprintf("%d\n", a.Volume()))
+	if off >= int64(len(content)) {
+		return 0, nil
+	}
+	return copy(buf, content[off:]), nil
+}
+
+// WriteAt accepts a decimal volume.
+func (a *Audio) WriteAt(_ *sys.Cred, data []byte, _ int64) (int, error) {
+	var v int
+	if _, err := fmt.Sscanf(string(trimNL(data)), "%d", &v); err != nil {
+		return 0, sys.EINVAL
+	}
+	a.setVolume(v)
+	return len(data), nil
+}
+
+// Ioctl performs volume control.
+func (a *Audio) Ioctl(_ *sys.Cred, cmd, arg uint64) (uint64, error) {
+	switch cmd {
+	case IoctlAudioSetVolume:
+		a.setVolume(int(arg))
+		return 0, nil
+	case IoctlAudioGetVolume:
+		return uint64(a.Volume()), nil
+	case IoctlAudioMute:
+		a.setVolume(0)
+		return 0, nil
+	default:
+		return 0, sys.ENOTTY
+	}
+}
+
+// Engine exposes read-only vehicle speed (/dev/vehicle/engine0), backed
+// by the Dynamics state.
+type Engine struct {
+	dyn *Dynamics
+}
+
+// NewEngine creates the engine readout.
+func NewEngine(dyn *Dynamics) *Engine { return &Engine{dyn: dyn} }
+
+// ReadAt reports speed in km/h as decimal text.
+func (e *Engine) ReadAt(_ *sys.Cred, buf []byte, off int64) (int, error) {
+	content := []byte(fmt.Sprintf("%.1f\n", e.dyn.Speed()))
+	if off >= int64(len(content)) {
+		return 0, nil
+	}
+	return copy(buf, content[off:]), nil
+}
+
+// WriteAt rejects writes (read-only sensor).
+func (e *Engine) WriteAt(*sys.Cred, []byte, int64) (int, error) { return 0, sys.EACCES }
+
+// Ioctl serves speed queries.
+func (e *Engine) Ioctl(_ *sys.Cred, cmd, _ uint64) (uint64, error) {
+	if cmd == IoctlEngineGetSpeed {
+		return uint64(e.dyn.Speed()), nil
+	}
+	return 0, sys.ENOTTY
+}
+
+func trimNL(b []byte) []byte {
+	for len(b) > 0 && (b[len(b)-1] == '\n' || b[len(b)-1] == '\r' || b[len(b)-1] == ' ') {
+		b = b[:len(b)-1]
+	}
+	return b
+}

@@ -1,0 +1,194 @@
+package vehicle
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/kernel"
+)
+
+// Dynamics is the physical state of the vehicle the sensors sample:
+// speed, longitudinal acceleration, occupancy, ignition, and position.
+// Drive traces mutate it; the SDS reads it.
+type Dynamics struct {
+	mu            sync.RWMutex
+	speedKmh      float64
+	accelG        float64 // longitudinal acceleration magnitude in g
+	driverPresent bool
+	ignitionOn    bool
+	lat, lon      float64
+}
+
+// Speed returns the vehicle speed in km/h.
+func (d *Dynamics) Speed() float64 {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return d.speedKmh
+}
+
+// SetSpeed updates the vehicle speed.
+func (d *Dynamics) SetSpeed(kmh float64) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if kmh < 0 {
+		kmh = 0
+	}
+	d.speedKmh = kmh
+}
+
+// AccelG returns the longitudinal acceleration magnitude in g.
+func (d *Dynamics) AccelG() float64 {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return d.accelG
+}
+
+// SetAccelG updates the acceleration reading.
+func (d *Dynamics) SetAccelG(g float64) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.accelG = g
+}
+
+// DriverPresent reports seat-occupancy for the driver seat.
+func (d *Dynamics) DriverPresent() bool {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return d.driverPresent
+}
+
+// SetDriverPresent updates driver-seat occupancy.
+func (d *Dynamics) SetDriverPresent(present bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.driverPresent = present
+}
+
+// IgnitionOn reports ignition state.
+func (d *Dynamics) IgnitionOn() bool {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return d.ignitionOn
+}
+
+// SetIgnition updates ignition state.
+func (d *Dynamics) SetIgnition(on bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.ignitionOn = on
+}
+
+// Position returns the GPS coordinates.
+func (d *Dynamics) Position() (lat, lon float64) {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return d.lat, d.lon
+}
+
+// SetPosition updates the GPS coordinates.
+func (d *Dynamics) SetPosition(lat, lon float64) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.lat, d.lon = lat, lon
+}
+
+// Vehicle bundles the bus, dynamics, and actuators of one simulated CAV.
+type Vehicle struct {
+	Bus      *Bus
+	Dynamics *Dynamics
+	Doors    []*Door
+	Windows  []*Window
+	Audio    *Audio
+	Engine   *Engine
+	CAN      *CANDevice
+}
+
+// New assembles a vehicle with the given number of doors and windows.
+// Actuators both emit status frames and obey command frames on the bus,
+// so a raw injection through /dev/vehicle/can0 really moves hardware.
+func New(doors, windows int) *Vehicle {
+	v := &Vehicle{Bus: NewBus(0), Dynamics: &Dynamics{}}
+	for i := 0; i < doors; i++ {
+		v.Doors = append(v.Doors, NewDoor(i, v.Bus))
+	}
+	for i := 0; i < windows; i++ {
+		v.Windows = append(v.Windows, NewWindow(i, v.Bus))
+	}
+	v.Audio = NewAudio(v.Bus)
+	v.Engine = NewEngine(v.Dynamics)
+	v.CAN = NewCANDevice(v.Bus, 0)
+	v.Bus.Subscribe(v.dispatchCommand)
+	return v
+}
+
+// dispatchCommand routes inbound command frames to actuators.
+func (v *Vehicle) dispatchCommand(f Frame) {
+	switch f.ID {
+	case CANIDDoorCmd:
+		idx := int(f.Data[0])
+		if idx < 0 || idx >= len(v.Doors) {
+			return
+		}
+		if f.Data[1] == CANDoorUnlock {
+			v.Doors[idx].setState(DoorUnlocked)
+		} else {
+			v.Doors[idx].setState(DoorLocked)
+		}
+	case CANIDWindowCmd:
+		idx := int(f.Data[0])
+		if idx < 0 || idx >= len(v.Windows) {
+			return
+		}
+		v.Windows[idx].setPos(int(f.Data[1]))
+	case CANIDAudioCmd:
+		v.Audio.setVolume(int(f.Data[0]))
+	}
+}
+
+// RegisterDevices creates the /dev/vehicle device nodes in the kernel.
+// Device nodes are world-accessible (0666) to mirror the permissive IVI
+// configurations the paper's motivation attacks exploit — MAC, not DAC,
+// is the intended line of defence.
+func (v *Vehicle) RegisterDevices(k *kernel.Kernel) error {
+	for i, d := range v.Doors {
+		if _, err := k.RegisterDevice(fmt.Sprintf("/dev/vehicle/door%d", i), 0o666, d); err != nil {
+			return fmt.Errorf("vehicle: register door%d: %w", i, err)
+		}
+	}
+	for i, w := range v.Windows {
+		if _, err := k.RegisterDevice(fmt.Sprintf("/dev/vehicle/window%d", i), 0o666, w); err != nil {
+			return fmt.Errorf("vehicle: register window%d: %w", i, err)
+		}
+	}
+	if _, err := k.RegisterDevice("/dev/vehicle/audio0", 0o666, v.Audio); err != nil {
+		return fmt.Errorf("vehicle: register audio0: %w", err)
+	}
+	if _, err := k.RegisterDevice("/dev/vehicle/engine0", 0o444, v.Engine); err != nil {
+		return fmt.Errorf("vehicle: register engine0: %w", err)
+	}
+	if _, err := k.RegisterDevice("/dev/vehicle/can0", 0o666, v.CAN); err != nil {
+		return fmt.Errorf("vehicle: register can0: %w", err)
+	}
+	return nil
+}
+
+// AllDoorsUnlocked reports whether every door is unlocked (the rescue
+// outcome the case study checks).
+func (v *Vehicle) AllDoorsUnlocked() bool {
+	for _, d := range v.Doors {
+		if d.State() != DoorUnlocked {
+			return false
+		}
+	}
+	return true
+}
+
+// AllDoorsLocked reports whether every door is locked.
+func (v *Vehicle) AllDoorsLocked() bool {
+	for _, d := range v.Doors {
+		if d.State() != DoorLocked {
+			return false
+		}
+	}
+	return true
+}

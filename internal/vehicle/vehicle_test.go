@@ -1,0 +1,236 @@
+package vehicle
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/kernel"
+	"repro/internal/sys"
+	"repro/internal/vfs"
+)
+
+func TestBusBroadcastAndLog(t *testing.T) {
+	bus := NewBus(4)
+	var got []Frame
+	bus.Subscribe(func(f Frame) { got = append(got, f) })
+	for i := 0; i < 6; i++ {
+		bus.Send(Frame{ID: uint32(i), Len: 1, Data: [8]byte{byte(i)}})
+	}
+	if len(got) != 6 {
+		t.Fatalf("subscriber saw %d frames", len(got))
+	}
+	if len(bus.Log()) != 4 {
+		t.Fatalf("log retains %d, want cap 4", len(bus.Log()))
+	}
+	if bus.Log()[0].ID != 2 {
+		t.Error("wrong retention window")
+	}
+	bus.ClearLog()
+	if len(bus.Log()) != 0 {
+		t.Error("clear failed")
+	}
+}
+
+func TestFrameString(t *testing.T) {
+	f := Frame{ID: 0x120, Len: 2, Data: [8]byte{0x01, 0xAB}}
+	if got := f.String(); got != "120#01AB" {
+		t.Errorf("String = %q", got)
+	}
+}
+
+func TestDoorLifecycle(t *testing.T) {
+	bus := NewBus(0)
+	d := NewDoor(1, bus)
+	if d.State() != DoorLocked {
+		t.Fatal("doors start locked")
+	}
+	if _, err := d.Ioctl(nil, IoctlDoorUnlock, 0); err != nil {
+		t.Fatal(err)
+	}
+	if d.State() != DoorUnlocked {
+		t.Fatal("unlock failed")
+	}
+	st, err := d.Ioctl(nil, IoctlDoorStatus, 0)
+	if err != nil || DoorState(st) != DoorUnlocked {
+		t.Fatalf("status = %d, %v", st, err)
+	}
+	if _, err := d.Ioctl(nil, 0xdead, 0); !sys.IsErrno(err, sys.ENOTTY) {
+		t.Errorf("unknown ioctl: %v", err)
+	}
+	frames := bus.FramesWithID(CANIDDoor)
+	if len(frames) != 1 || frames[0].Data[0] != 1 || DoorState(frames[0].Data[1]) != DoorUnlocked {
+		t.Fatalf("CAN frames = %v", frames)
+	}
+}
+
+func TestDoorTextInterface(t *testing.T) {
+	d := NewDoor(0, nil)
+	if _, err := d.WriteAt(nil, []byte("unlock\n"), 0); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 16)
+	n, _ := d.ReadAt(nil, buf, 0)
+	if string(buf[:n]) != "unlocked\n" {
+		t.Errorf("read = %q", buf[:n])
+	}
+	if _, err := d.WriteAt(nil, []byte("explode"), 0); !sys.IsErrno(err, sys.EINVAL) {
+		t.Errorf("bad command: %v", err)
+	}
+}
+
+func TestWindowPositions(t *testing.T) {
+	w := NewWindow(0, nil)
+	if w.Position() != 0 {
+		t.Fatal("windows start closed")
+	}
+	w.Ioctl(nil, IoctlWindowSet, 55)
+	if w.Position() != 55 {
+		t.Errorf("set = %d", w.Position())
+	}
+	w.Ioctl(nil, IoctlWindowSet, 500)
+	if w.Position() != 100 {
+		t.Errorf("clamp high = %d", w.Position())
+	}
+	w.Ioctl(nil, IoctlWindowUp, 0)
+	if w.Position() != 0 {
+		t.Errorf("up = %d", w.Position())
+	}
+	w.Ioctl(nil, IoctlWindowDown, 0)
+	if w.Position() != 100 {
+		t.Errorf("down = %d", w.Position())
+	}
+	got, _ := w.Ioctl(nil, IoctlWindowGet, 0)
+	if got != 100 {
+		t.Errorf("get = %d", got)
+	}
+	if _, err := w.WriteAt(nil, []byte("33"), 0); err != nil {
+		t.Fatal(err)
+	}
+	if w.Position() != 33 {
+		t.Errorf("text write = %d", w.Position())
+	}
+}
+
+func TestAudioVolume(t *testing.T) {
+	a := NewAudio(nil)
+	if a.Volume() != 30 {
+		t.Fatalf("default volume = %d", a.Volume())
+	}
+	a.Ioctl(nil, IoctlAudioSetVolume, 100)
+	if a.Volume() != 100 {
+		t.Error("set failed")
+	}
+	a.Ioctl(nil, IoctlAudioMute, 0)
+	if a.Volume() != 0 {
+		t.Error("mute failed")
+	}
+	got, _ := a.Ioctl(nil, IoctlAudioGetVolume, 0)
+	if got != 0 {
+		t.Errorf("get = %d", got)
+	}
+}
+
+func TestEngineReadout(t *testing.T) {
+	dyn := &Dynamics{}
+	dyn.SetSpeed(88.5)
+	e := NewEngine(dyn)
+	buf := make([]byte, 16)
+	n, _ := e.ReadAt(nil, buf, 0)
+	if !strings.HasPrefix(string(buf[:n]), "88.5") {
+		t.Errorf("readout = %q", buf[:n])
+	}
+	if _, err := e.WriteAt(nil, []byte("1"), 0); !sys.IsErrno(err, sys.EACCES) {
+		t.Errorf("engine write: %v", err)
+	}
+	speed, _ := e.Ioctl(nil, IoctlEngineGetSpeed, 0)
+	if speed != 88 {
+		t.Errorf("ioctl speed = %d", speed)
+	}
+}
+
+func TestDynamics(t *testing.T) {
+	d := &Dynamics{}
+	d.SetSpeed(-5)
+	if d.Speed() != 0 {
+		t.Error("negative speed not clamped")
+	}
+	d.SetAccelG(2.5)
+	d.SetDriverPresent(true)
+	d.SetIgnition(true)
+	d.SetPosition(39.99, 116.31)
+	if d.AccelG() != 2.5 || !d.DriverPresent() || !d.IgnitionOn() {
+		t.Error("dynamics setters wrong")
+	}
+	lat, lon := d.Position()
+	if lat != 39.99 || lon != 116.31 {
+		t.Error("position wrong")
+	}
+}
+
+func TestVehicleAssemblyAndRegistration(t *testing.T) {
+	v := New(2, 3)
+	if len(v.Doors) != 2 || len(v.Windows) != 3 || v.Audio == nil || v.Engine == nil {
+		t.Fatal("assembly wrong")
+	}
+	if !v.AllDoorsLocked() || v.AllDoorsUnlocked() {
+		t.Fatal("initial door state wrong")
+	}
+	k := kernel.New()
+	if err := v.RegisterDevices(k); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []string{
+		"/dev/vehicle/door0", "/dev/vehicle/door1",
+		"/dev/vehicle/window0", "/dev/vehicle/window2",
+		"/dev/vehicle/audio0", "/dev/vehicle/engine0",
+	} {
+		node, err := k.FS.Lookup(p)
+		if err != nil || !node.Mode().IsDevice() {
+			t.Errorf("device %s: %v", p, err)
+		}
+	}
+
+	// Drive a door through the full syscall path.
+	task := k.Init()
+	fd, err := task.Open("/dev/vehicle/door1", vfs.ORdwr, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := task.Ioctl(fd, IoctlDoorUnlock, 0); err != nil {
+		t.Fatal(err)
+	}
+	if v.Doors[1].State() != DoorUnlocked {
+		t.Fatal("syscall path did not reach actuator")
+	}
+	v.Doors[0].Ioctl(nil, IoctlDoorUnlock, 0)
+	if !v.AllDoorsUnlocked() {
+		t.Fatal("AllDoorsUnlocked wrong")
+	}
+}
+
+func TestConcurrentActuation(t *testing.T) {
+	v := New(4, 0)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			d := v.Doors[g%4]
+			for i := 0; i < 100; i++ {
+				if i%2 == 0 {
+					d.Ioctl(nil, IoctlDoorUnlock, 0)
+				} else {
+					d.Ioctl(nil, IoctlDoorLock, 0)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	// No assertion beyond absence of races; state is one of the two.
+	for _, d := range v.Doors {
+		if s := d.State(); s != DoorLocked && s != DoorUnlocked {
+			t.Errorf("invalid state %v", s)
+		}
+	}
+}

@@ -1,0 +1,58 @@
+package vfs
+
+import (
+	"strings"
+
+	"repro/internal/sys"
+)
+
+// MaxNameLen bounds a single path component, matching NAME_MAX.
+const MaxNameLen = 255
+
+// SplitPath normalises an absolute path into its components. It rejects
+// relative paths, empty components are dropped, and "." / ".." are not
+// supported (the simulated kernel only deals in canonical absolute paths).
+func SplitPath(path string) ([]string, error) {
+	if path == "" || path[0] != '/' {
+		return nil, sys.EINVAL
+	}
+	raw := strings.Split(path, "/")
+	parts := raw[:0]
+	for _, p := range raw {
+		switch p {
+		case "", ".":
+			continue
+		case "..":
+			return nil, sys.EINVAL
+		}
+		if len(p) > MaxNameLen {
+			return nil, sys.ENAMETOOLONG
+		}
+		parts = append(parts, p)
+	}
+	return parts, nil
+}
+
+// Clean canonicalises an absolute path (collapses duplicate slashes,
+// strips trailing slash). Returns "/" for the root.
+func Clean(path string) string {
+	parts, err := SplitPath(path)
+	if err != nil || len(parts) == 0 {
+		return "/"
+	}
+	return "/" + strings.Join(parts, "/")
+}
+
+// SplitDir separates a cleaned absolute path into parent directory and
+// final component. SplitDir("/a/b/c") = ("/a/b", "c").
+func SplitDir(path string) (dir, name string) {
+	path = Clean(path)
+	if path == "/" {
+		return "/", ""
+	}
+	i := strings.LastIndexByte(path, '/')
+	if i == 0 {
+		return "/", path[1:]
+	}
+	return path[:i], path[i+1:]
+}

@@ -1,0 +1,65 @@
+package policies
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/policy"
+)
+
+func TestPackHasTenPolicies(t *testing.T) {
+	names := Names()
+	if len(names) != 10 {
+		t.Fatalf("pack has %d policies: %v", len(names), names)
+	}
+}
+
+// TestEveryPolicyCompilesCleanly is part of the Q3 experiment: all ten
+// must parse, validate without errors or warnings, and compile.
+func TestEveryPolicyCompilesCleanly(t *testing.T) {
+	for _, name := range Names() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			src := MustLoad(name)
+			c, vr, err := policy.Load(src)
+			if err != nil {
+				t.Fatalf("%v", err)
+			}
+			for _, w := range vr.Warnings() {
+				t.Errorf("warning: %s", w)
+			}
+			if len(c.States) < 2 {
+				t.Errorf("only %d states", len(c.States))
+			}
+			if len(c.Transitions) < 2 {
+				t.Errorf("only %d transitions", len(c.Transitions))
+			}
+			if c.Coverage.NumPatterns() == 0 {
+				t.Error("no coverage patterns")
+			}
+		})
+	}
+}
+
+func TestLoadVariants(t *testing.T) {
+	a, err := Load("valet-mode")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Load("valet-mode.sack")
+	if err != nil || a != b {
+		t.Fatal("suffix handling broken")
+	}
+	if _, err := Load("nonexistent"); err == nil || !strings.Contains(err.Error(), "unknown policy") {
+		t.Fatalf("unknown name: %v", err)
+	}
+}
+
+func TestMustLoadPanicsOnUnknown(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustLoad should panic on unknown name")
+		}
+	}()
+	MustLoad("nope")
+}

@@ -1,0 +1,264 @@
+// Package sack is the public API of the SACK reproduction: a
+// situation-aware access control framework for connected and autonomous
+// vehicles (CAVs) in the style of a Linux security module, running on a
+// simulated kernel substrate.
+//
+// The package assembles the full stack of the paper:
+//
+//   - a simulated Linux kernel (tasks, syscalls, VFS, securityfs) with an
+//     LSM hook chain at the same mediation points as the real kernel;
+//   - the SACK security module: situation states as a security context, a
+//     situation state machine (SSM) driven by situation events, and an
+//     adaptive policy enforcer implementing the paper's Algorithm 1;
+//   - an AppArmor-like path MAC module, usable standalone (baseline) or
+//     as the substrate SACK-enhanced mode rewrites;
+//   - a vehicle (CAN bus, door/window/audio devices), an IVI emulator
+//     with a bypassable user-space permission framework, and a situation
+//     detection service (SDS) feeding events through SACKfs.
+//
+// Quick start:
+//
+//	sys, err := sack.NewSystem(sack.Options{PolicyText: myPolicy})
+//	task := sys.Kernel.Init()
+//	sys.DeliverEvent("crash_detected")     // situation transition
+//	fd, err := task.Open("/dev/vehicle/door0", sack.ORdwr, 0)
+package sack
+
+import (
+	"fmt"
+
+	"repro/internal/apparmor"
+	"repro/internal/core"
+	"repro/internal/kernel"
+	"repro/internal/lsm"
+	"repro/internal/policy"
+	"repro/internal/sds"
+	"repro/internal/ssm"
+	"repro/internal/sys"
+	"repro/internal/vehicle"
+	"repro/internal/vfs"
+)
+
+// Re-exported types. These alias the internal implementation so the
+// whole system is reachable from one import.
+type (
+	// Kernel is the simulated Linux kernel.
+	Kernel = kernel.Kernel
+	// Task is a simulated process; all syscalls are methods on it.
+	Task = kernel.Task
+	// Module is the SACK security module.
+	Module = core.SACK
+	// AppArmor is the simulated AppArmor security module.
+	AppArmor = apparmor.AppArmor
+	// Profile is an AppArmor confinement profile.
+	Profile = apparmor.Profile
+	// Vehicle is the simulated CAV hardware.
+	Vehicle = vehicle.Vehicle
+	// State is a situation state.
+	State = ssm.State
+	// Event is a situation event name.
+	Event = ssm.Event
+	// CompiledPolicy is an enforcement-ready SACK policy.
+	CompiledPolicy = policy.Compiled
+	// ValidationResult carries policy-checker findings.
+	ValidationResult = policy.ValidationResult
+	// Cred is a task credential.
+	Cred = sys.Cred
+	// Errno is a simulated kernel error number.
+	Errno = sys.Errno
+	// OpenFlags are open(2) flags.
+	OpenFlags = vfs.OpenFlags
+	// FileMode carries type and permission bits.
+	FileMode = vfs.Mode
+	// AuditLog is the shared audit record ring.
+	AuditLog = lsm.AuditLog
+	// SDS is the user-space situation detection service.
+	SDS = sds.Service
+)
+
+// Deployment modes (the paper's two prototypes).
+const (
+	// Independent runs SACK with its own access control policies.
+	Independent = core.Independent
+	// EnhancedAppArmor has SACK rewrite AppArmor profiles on transitions.
+	EnhancedAppArmor = core.EnhancedAppArmor
+)
+
+// Re-exported open flags.
+const (
+	ORdonly = vfs.ORdonly
+	OWronly = vfs.OWronly
+	ORdwr   = vfs.ORdwr
+	OCreat  = vfs.OCreat
+	OExcl   = vfs.OExcl
+	OTrunc  = vfs.OTrunc
+	OAppend = vfs.OAppend
+)
+
+// Common errnos.
+const (
+	EACCES = sys.EACCES
+	EPERM  = sys.EPERM
+	ENOENT = sys.ENOENT
+)
+
+// EventsFile is the SACKfs pseudo-file situation events are written to.
+const EventsFile = core.EventsFile
+
+// IsErrno reports whether err is the given kernel error.
+func IsErrno(err error, e Errno) bool { return sys.IsErrno(err, e) }
+
+// ParsePolicy parses, validates, and compiles SACK policy text. The
+// validation result carries warnings even on success.
+func ParsePolicy(text string) (*CompiledPolicy, *ValidationResult, error) {
+	return policy.Load(text)
+}
+
+// CheckPolicy runs only the policy checker, returning all findings
+// without compiling.
+func CheckPolicy(text string) (*ValidationResult, error) {
+	f, err := policy.Parse(text)
+	if err != nil {
+		return nil, err
+	}
+	return policy.Validate(f), nil
+}
+
+// ParseProfiles parses AppArmor profile text.
+func ParseProfiles(text string) ([]*Profile, error) {
+	return apparmor.ParseProfiles(text)
+}
+
+// Options configures NewSystem.
+type Options struct {
+	// Mode selects the deployment prototype (default Independent).
+	Mode core.Mode
+	// PolicyText is the SACK policy source (required).
+	PolicyText string
+	// AppArmorProfiles optionally loads baseline AppArmor profiles. When
+	// Mode is EnhancedAppArmor an AppArmor module is created regardless.
+	AppArmorProfiles string
+	// Doors and Windows size the simulated vehicle (defaults 4 and 4).
+	Doors, Windows int
+	// DisableVehicle skips creating the vehicle and its device nodes.
+	DisableVehicle bool
+	// DisableAudit turns off audit recording (benchmark configurations).
+	DisableAudit bool
+}
+
+// System is a fully assembled SACK deployment: kernel, modules, vehicle.
+type System struct {
+	Kernel   *Kernel
+	SACK     *Module
+	AppArmor *AppArmor // nil unless enhanced mode or profiles given
+	Vehicle  *Vehicle  // nil when DisableVehicle
+	Audit    *AuditLog
+}
+
+// NewSystem boots the complete stack: kernel, LSM registration in the
+// paper's CONFIG_LSM order (SACK first, then AppArmor if present, then
+// capability), SACKfs, and the vehicle devices.
+func NewSystem(opts Options) (*System, error) {
+	if opts.PolicyText == "" {
+		return nil, fmt.Errorf("sack: Options.PolicyText is required")
+	}
+	compiled, vr, err := policy.Load(opts.PolicyText)
+	if err != nil {
+		return nil, err
+	}
+	if !vr.OK() {
+		return nil, vr.Err()
+	}
+
+	k := kernel.New()
+	var audit *lsm.AuditLog
+	if !opts.DisableAudit {
+		audit = k.Audit
+	}
+
+	var aa *apparmor.AppArmor
+	if opts.Mode == core.EnhancedAppArmor || opts.AppArmorProfiles != "" {
+		aa = apparmor.New(audit)
+		if opts.AppArmorProfiles != "" {
+			profiles, err := apparmor.ParseProfiles(opts.AppArmorProfiles)
+			if err != nil {
+				return nil, err
+			}
+			if err := aa.LoadProfiles(profiles); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	s, err := core.New(core.Config{
+		Mode:     opts.Mode,
+		Policy:   compiled,
+		Source:   opts.PolicyText,
+		Audit:    audit,
+		AppArmor: aa,
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	if err := k.RegisterLSM(s); err != nil {
+		return nil, err
+	}
+	if aa != nil {
+		if err := k.RegisterLSM(aa); err != nil {
+			return nil, err
+		}
+	}
+	if err := k.RegisterLSM(lsm.NewCapability()); err != nil {
+		return nil, err
+	}
+	if err := s.RegisterSecurityFS(k.SecFS); err != nil {
+		return nil, err
+	}
+	if aa != nil {
+		if err := aa.RegisterSecurityFS(k.SecFS); err != nil {
+			return nil, err
+		}
+	}
+
+	out := &System{Kernel: k, SACK: s, AppArmor: aa, Audit: k.Audit}
+	if !opts.DisableVehicle {
+		doors, windows := opts.Doors, opts.Windows
+		if doors <= 0 {
+			doors = 4
+		}
+		if windows <= 0 {
+			windows = 4
+		}
+		v := vehicle.New(doors, windows)
+		if err := v.RegisterDevices(k); err != nil {
+			return nil, err
+		}
+		out.Vehicle = v
+	}
+	return out, nil
+}
+
+// DeliverEvent injects a situation event directly into the SSM (the
+// programmatic path; production events arrive via the SACKfs file).
+func (s *System) DeliverEvent(ev Event) (transitioned bool, from, to State) {
+	return s.SACK.DeliverEvent(ev)
+}
+
+// CurrentState returns the current situation state.
+func (s *System) CurrentState() State { return s.SACK.CurrentState() }
+
+// NewSDS wires a situation detection service over the system's vehicle:
+// the standard sensor suite, the given detectors, and a transmitter that
+// writes the SACKfs events file as the (privileged) task.
+func (s *System) NewSDS(task *Task, clock sds.Clock, detectors ...sds.Detector) (*SDS, error) {
+	if s.Vehicle == nil {
+		return nil, fmt.Errorf("sack: system has no vehicle")
+	}
+	tx, err := sds.NewKernelTransmitter(task)
+	if err != nil {
+		return nil, err
+	}
+	sensors := sds.VehicleSensors(s.Vehicle.Dynamics)
+	return sds.NewService(clock, sensors, detectors, tx), nil
+}
