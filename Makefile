@@ -1,0 +1,31 @@
+# Developer entry points. `make check` is the PR gate: vet, build,
+# full test suite under the race detector.
+
+GO ?= go
+
+.PHONY: all check vet build test race bench bench-avc
+
+all: check
+
+check: vet build race
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# Full benchmark sweep (paper tables/figures + ablations).
+bench:
+	$(GO) test -run '^$$' -bench . -benchmem .
+
+# AVC comparison: cached covered-path check vs cache-ablated check vs raw
+# rule-set Decide. The cached line should be orders of magnitude faster.
+bench-avc:
+	$(GO) test -run '^$$' -bench 'BenchmarkAVC' -benchmem .

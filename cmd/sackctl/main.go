@@ -8,6 +8,8 @@
 //	sackctl compile <policy-file>  show states, rule sets, transitions
 //	sackctl fmt    <policy-file>   print canonical formatting
 //	sackctl simulate <policy-file> <event>...  dry-run the SSM over events
+//	sackctl metrics <policy-file> [event...]  boot, drive events + a probe
+//	                               workload, print hook/AVC metrics
 //	sackctl diff <old-file> <new-file>  show what a policy reload changes
 //	sackctl pack [name]            list or print the embedded policy pack
 //	sackctl example                print a commented example policy
@@ -20,6 +22,7 @@ import (
 	"sort"
 	"strings"
 
+	sack "repro"
 	"repro/internal/policy"
 	"repro/internal/ssm"
 	"repro/policies"
@@ -102,6 +105,17 @@ func run(args []string, stdout, stderr io.Writer, readFile func(string) ([]byte,
 			return 1
 		}
 		return simulate(string(data), args[2:], stdout, stderr)
+	case "metrics":
+		if len(args) < 2 {
+			usage(stderr)
+			return 2
+		}
+		data, err := readFile(args[1])
+		if err != nil {
+			fmt.Fprintf(stderr, "sackctl: reading policy: %v\n", err)
+			return 1
+		}
+		return metrics(string(data), args[2:], stdout, stderr)
 	case "diff":
 		if len(args) != 3 {
 			usage(stderr)
@@ -140,9 +154,52 @@ func run(args []string, stdout, stderr io.Writer, readFile func(string) ([]byte,
 func usage(w io.Writer) {
 	fmt.Fprintln(w, "usage: sackctl {check|compile|fmt} <policy-file>")
 	fmt.Fprintln(w, "       sackctl simulate <policy-file> <event>...")
+	fmt.Fprintln(w, "       sackctl metrics <policy-file> [event...]")
 	fmt.Fprintln(w, "       sackctl diff <old-file> <new-file>")
 	fmt.Fprintln(w, "       sackctl pack [name]")
 	fmt.Fprintln(w, "       sackctl example")
+}
+
+// metrics boots an independent SACK system on the policy, runs a device
+// probe workload in the initial state and after each given event, then
+// prints the kernel's hook-latency and AVC-counter view — a quick
+// performance profile of a policy without writing a benchmark.
+func metrics(src string, events []string, stdout, stderr io.Writer) int {
+	system, err := sack.New(src)
+	if err != nil {
+		fmt.Fprintf(stderr, "sackctl: %v\n", err)
+		return 1
+	}
+	task := system.Kernel.Init()
+	probe := func() {
+		buf := make([]byte, 8)
+		for _, dev := range []string{"door0", "door1", "window0", "window1"} {
+			fd, err := task.Open("/dev/vehicle/"+dev, sack.ORdonly, 0)
+			if err != nil {
+				continue // denied in this state: the denial is the data point
+			}
+			task.Read(fd, buf)
+			task.Ioctl(fd, 1, 0)
+			task.Close(fd)
+		}
+	}
+	probe()
+	for _, ev := range events {
+		transitioned, from, to := system.DeliverEvent(sack.Event(ev))
+		if transitioned {
+			fmt.Fprintf(stdout, "event %q: %s -> %s\n", ev, from.Name, to.Name)
+		} else {
+			fmt.Fprintf(stdout, "event %q: ignored in state %s\n", ev, from.Name)
+		}
+		probe()
+	}
+	out, err := task.ReadFileAll(sack.MetricsFile)
+	if err != nil {
+		fmt.Fprintf(stderr, "sackctl: reading metrics: %v\n", err)
+		return 1
+	}
+	fmt.Fprintf(stdout, "-- %s --\n%s", sack.MetricsFile, out)
+	return 0
 }
 
 // diff compiles both policies and prints what a reload would change.

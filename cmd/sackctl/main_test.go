@@ -192,3 +192,33 @@ func TestPackVerb(t *testing.T) {
 		t.Error("unknown pack name should fail")
 	}
 }
+
+func TestMetricsBootsAndReports(t *testing.T) {
+	files := map[string]string{"p": examplePolicy}
+	code, out, errOut := runCtl(t, files, "metrics", "p", "crash_detected", "all_clear")
+	if code != 0 {
+		t.Fatalf("code=%d out=%s err=%s", code, out, errOut)
+	}
+	for _, frag := range []string{
+		`event "crash_detected": normal -> emergency`,
+		`event "all_clear": emergency -> normal`,
+		"/sys/kernel/security/sack/metrics",
+		"hook file_open",
+		"avc sack",
+	} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("metrics output missing %q:\n%s", frag, out)
+		}
+	}
+}
+
+func TestMetricsUsageAndErrors(t *testing.T) {
+	code, _, _ := runCtl(t, nil, "metrics")
+	if code != 2 {
+		t.Errorf("missing args exit = %d", code)
+	}
+	code, _, _ = runCtl(t, map[string]string{"p": "states {"}, "metrics", "p")
+	if code != 1 {
+		t.Errorf("bad policy exit = %d", code)
+	}
+}

@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	sackmon [-trace city-crash|highway|park] [-policy <file>]
+//	sackmon [-trace city-crash|highway|park] [-policy <file>] [-metrics]
 package main
 
 import (
@@ -65,12 +65,13 @@ transitions {
 func main() {
 	traceName := flag.String("trace", "city-crash", "drive trace: city-crash, highway, or park")
 	policyPath := flag.String("policy", "", "SACK policy file (default: built-in 4-state policy)")
+	showMetrics := flag.Bool("metrics", false, "print the kernel hook/AVC metrics view after the run")
 	flag.Parse()
-	os.Exit(run(*traceName, *policyPath, os.Stdout, os.ReadFile))
+	os.Exit(run(*traceName, *policyPath, *showMetrics, os.Stdout, os.ReadFile))
 }
 
 // run is the testable entry point; it returns the process exit code.
-func run(traceName, policyPath string, stdout io.Writer, readFile func(string) ([]byte, error)) int {
+func run(traceName, policyPath string, showMetrics bool, stdout io.Writer, readFile func(string) ([]byte, error)) int {
 	policyText := defaultPolicy
 	if policyPath != "" {
 		data, err := readFile(policyPath)
@@ -94,7 +95,7 @@ func run(traceName, policyPath string, stdout io.Writer, readFile func(string) (
 		return 2
 	}
 
-	sys, err := sack.NewSystem(sack.Options{Mode: sack.Independent, PolicyText: policyText})
+	sys, err := sack.New(policyText, sack.WithMode(sack.Independent))
 	if err != nil {
 		log.Printf("sackmon: %v", err)
 		return 1
@@ -140,6 +141,15 @@ func run(traceName, policyPath string, stdout io.Writer, readFile func(string) (
 	transitions, ignored := sys.SACK.Machine().Stats()
 	fmt.Fprintf(stdout, "\nSSM: %d transitions, %d ignored events, %d polls\n",
 		transitions, ignored, service.Polls())
+
+	if showMetrics {
+		out, err := root.ReadFileAll(sack.MetricsFile)
+		if err != nil {
+			log.Printf("sackmon: metrics read: %v", err)
+			return 1
+		}
+		fmt.Fprintf(stdout, "\n-- %s --\n%s", sack.MetricsFile, out)
+	}
 	return 0
 }
 

@@ -9,7 +9,7 @@ import (
 
 func TestRunCityCrashTrace(t *testing.T) {
 	var out bytes.Buffer
-	if code := run("city-crash", "", &out, nil); code != 0 {
+	if code := run("city-crash", "", false, &out, nil); code != 0 {
 		t.Fatalf("exit %d", code)
 	}
 	text := out.String()
@@ -28,7 +28,7 @@ func TestRunCityCrashTrace(t *testing.T) {
 
 func TestRunParkTrace(t *testing.T) {
 	var out bytes.Buffer
-	if code := run("park", "", &out, nil); code != 0 {
+	if code := run("park", "", false, &out, nil); code != 0 {
 		t.Fatalf("exit %d", code)
 	}
 	if !strings.Contains(out.String(), "parking_without_driver") {
@@ -38,15 +38,32 @@ func TestRunParkTrace(t *testing.T) {
 
 func TestRunErrors(t *testing.T) {
 	var out bytes.Buffer
-	if code := run("no-such-trace", "", &out, nil); code != 2 {
+	if code := run("no-such-trace", "", false, &out, nil); code != 2 {
 		t.Errorf("unknown trace exit = %d", code)
 	}
 	readFail := func(string) ([]byte, error) { return nil, errors.New("nope") }
-	if code := run("park", "/missing", &out, readFail); code != 1 {
+	if code := run("park", "/missing", false, &out, readFail); code != 1 {
 		t.Errorf("unreadable policy exit = %d", code)
 	}
 	badPolicy := func(string) ([]byte, error) { return []byte("states {"), nil }
-	if code := run("park", "/bad", &out, badPolicy); code != 1 {
+	if code := run("park", "/bad", false, &out, badPolicy); code != 1 {
 		t.Errorf("bad policy exit = %d", code)
+	}
+}
+
+func TestRunMetricsView(t *testing.T) {
+	var out bytes.Buffer
+	if code := run("city-crash", "", true, &out, nil); code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	text := out.String()
+	for _, frag := range []string{
+		"/sys/kernel/security/sack/metrics",
+		"hook inode_permission",
+		"avc sack",
+	} {
+		if !strings.Contains(text, frag) {
+			t.Errorf("metrics output missing %q:\n%s", frag, text)
+		}
 	}
 }

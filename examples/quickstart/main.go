@@ -46,10 +46,7 @@ transitions {
 `
 
 func main() {
-	sys, err := sack.NewSystem(sack.Options{
-		Mode:       sack.Independent,
-		PolicyText: policyText,
-	})
+	sys, err := sack.New(policyText, sack.WithMode(sack.Independent))
 	if err != nil {
 		log.Fatalf("boot: %v", err)
 	}
@@ -96,4 +93,11 @@ func main() {
 		log.Fatalf("read stats: %v", err)
 	}
 	fmt.Printf("\n-- /sys/kernel/security/SACK/stats --\n%s", stats)
+
+	// 6. Hook latency and cache metrics, kernel-wide.
+	metrics, err := task.ReadFileAll(sack.MetricsFile)
+	if err != nil {
+		log.Fatalf("read metrics: %v", err)
+	}
+	fmt.Printf("\n-- %s --\n%s", sack.MetricsFile, metrics)
 }

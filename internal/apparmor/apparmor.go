@@ -6,6 +6,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"repro/internal/avc"
 	"repro/internal/lsm"
 	"repro/internal/sys"
 	"repro/internal/vfs"
@@ -20,14 +21,20 @@ const Unconfined = "unconfined"
 // AppArmor is the security module. The profile table is an immutable
 // snapshot swapped atomically on load/replace, so permission checks are
 // lock-free — the property that keeps Table III flat and lets the SACK
-// enhanced mode rewrite profiles without stalling the fast path.
+// enhanced mode rewrite profiles without stalling the fast path. An
+// access vector cache fronts profile evaluation: every profile-table
+// swap bumps the cache epoch (after the swap), so SACK-enhanced
+// transitions revoke cached decisions exactly like native SACK ones.
+// It implements the lsm capability interfaces for exec labelling and
+// inode/file mediation only.
 type AppArmor struct {
-	lsm.Base
-
 	audit *lsm.AuditLog
 
 	mu       sync.Mutex // serialises writers (load/replace/remove)
 	profiles atomic.Pointer[profileSet]
+
+	// cache memoises clean allow decisions per (label, path, mask).
+	cache *avc.Cache
 
 	allowed atomic.Uint64
 	denied  atomic.Uint64
@@ -36,7 +43,7 @@ type AppArmor struct {
 // New creates an AppArmor module with an empty profile table. audit may
 // be nil to disable audit records.
 func New(audit *lsm.AuditLog) *AppArmor {
-	a := &AppArmor{audit: audit}
+	a := &AppArmor{audit: audit, cache: avc.New(0)}
 	a.profiles.Store(newProfileSet(map[string]*Profile{}))
 	return a
 }
@@ -58,6 +65,7 @@ func (a *AppArmor) LoadProfile(p *Profile) error {
 	}
 	next[p.Name] = p
 	a.profiles.Store(newProfileSet(next))
+	a.cache.Invalidate()
 	return nil
 }
 
@@ -77,6 +85,7 @@ func (a *AppArmor) LoadProfiles(ps []*Profile) error {
 		next[p.Name] = p
 	}
 	a.profiles.Store(newProfileSet(next))
+	a.cache.Invalidate()
 	return nil
 }
 
@@ -95,6 +104,7 @@ func (a *AppArmor) RemoveProfile(name string) error {
 		}
 	}
 	a.profiles.Store(newProfileSet(next))
+	a.cache.Invalidate()
 	return nil
 }
 
@@ -117,6 +127,9 @@ func (a *AppArmor) ProfileNames() []string {
 func (a *AppArmor) Stats() (allowed, denied uint64) {
 	return a.allowed.Load(), a.denied.Load()
 }
+
+// AVCStats snapshots the access vector cache counters.
+func (a *AppArmor) AVCStats() avc.Stats { return a.cache.Stats() }
 
 // LabelFor returns the confinement label on a credential.
 func LabelFor(cred *sys.Cred) string {
@@ -181,10 +194,20 @@ func (a *AppArmor) MmapFile(cred *sys.Cred, f *vfs.File, prot sys.Access) error 
 	return a.check(cred, "mmap_file", f.Path, sys.MayMmap)
 }
 
-// check is the decision fast path shared by all hooks.
+// check is the decision fast path shared by all hooks. The AVC is
+// consulted before the profile table; the token is obtained before the
+// table snapshot is loaded, so a cached decision can never outlive the
+// profile swap that revoked it. Only clean allows are cached — denials
+// (and complain-mode passes) always run the full path so audit records
+// and counters keep exact per-event semantics.
 func (a *AppArmor) check(cred *sys.Cred, op, path string, mask sys.Access) error {
 	label, _ := cred.Blob(ModuleName).(string)
 	if label == "" || label == Unconfined {
+		return nil
+	}
+	cachedAllow, ok, tok := a.cache.Lookup(label, path, mask)
+	if ok && cachedAllow {
+		a.allowed.Add(1)
 		return nil
 	}
 	ps := a.profiles.Load()
@@ -194,6 +217,7 @@ func (a *AppArmor) check(cred *sys.Cred, op, path string, mask sys.Access) error
 	}
 	allowed, matched := p.Evaluate(path, mask)
 	if allowed {
+		a.cache.Insert(tok, label, path, mask, true)
 		a.allowed.Add(1)
 		return nil
 	}

@@ -1,0 +1,201 @@
+// Package avc implements an access vector cache for LSM decisions, in
+// the tradition of SELinux's AVC: the result of a full policy evaluation
+// for a (subject, path, access-mask) triple is memoised so the hook fast
+// path degenerates to one hash probe.
+//
+// SACK decisions additionally depend on the *situation state*, which
+// changes at runtime, so cache coherence is the hard part: a cached
+// decision must never be served across a situation transition or policy
+// reload (the revocation property the paper's Fig. 3(b) experiment
+// depends on). The cache guarantees this with a global epoch:
+//
+//   - every entry is stamped with the epoch observed *before* the
+//     decision inputs (active rule set, profile table) were read;
+//   - Lookup only returns entries whose stamp equals the current epoch;
+//   - every state transition and policy reload calls Invalidate, which
+//     bumps the epoch — after the writer has installed the new policy
+//     state.
+//
+// The coherence argument (see DESIGN.md for the full proof sketch): the
+// writer orders "install new rule set" before "bump epoch", both with
+// sequentially-consistent atomics. A reader that observes epoch E at
+// Lookup time therefore either (a) ran entirely before the bump to E+1,
+// in which case the served entry was computed from the rule set current
+// at E, or (b) cannot observe an entry stamped E+1 computed from the old
+// rule set, because any reader that obtained token E+1 must — by the
+// store ordering — also observe the new rule set. Entries stamped with a
+// stale token are dead weight until overwritten; they are never served.
+//
+// The table is a fixed-size, direct-mapped array of atomic entry
+// pointers. Both Lookup and Insert are lock-free and allocation-free on
+// the probe; an insert that loses a race simply overwrites (the cache is
+// advisory — a lost entry costs one re-evaluation, never correctness).
+// Only allow decisions are cached: denials take the slow path so audit
+// records and denial counters keep their exact per-event semantics.
+package avc
+
+import (
+	"sync/atomic"
+
+	"repro/internal/sys"
+)
+
+// DefaultSize is the slot count used when New is given n <= 0.
+const DefaultSize = 4096
+
+// Token is the epoch observed at Lookup time. It must be obtained
+// *before* reading the policy state a decision derives from, and handed
+// back to Insert, so an entry can never be stamped with an epoch newer
+// than its inputs.
+type Token uint64
+
+// entry is one immutable cached decision. Entries are only ever swapped
+// whole through an atomic pointer, never mutated.
+type entry struct {
+	epoch   uint64
+	subject string
+	path    string
+	mask    sys.Access
+	allowed bool
+}
+
+// Stats is a point-in-time snapshot of the cache counters.
+type Stats struct {
+	Hits          uint64 // lookups served from the cache
+	Misses        uint64 // lookups that fell through to full evaluation
+	Inserts       uint64 // decisions written into the table
+	Invalidations uint64 // epoch bumps (transitions + policy reloads)
+	Epoch         uint64 // current epoch value
+	Size          int    // slot count
+}
+
+// HitRate returns hits/(hits+misses), or 0 before any lookup.
+func (s Stats) HitRate() float64 {
+	total := s.Hits + s.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(total)
+}
+
+// Cache is the access vector cache. The zero value is not usable; create
+// one with New.
+type Cache struct {
+	epoch atomic.Uint64
+	slots []atomic.Pointer[entry]
+	mask  uint64 // len(slots)-1, slots is a power of two
+
+	hits          atomic.Uint64
+	misses        atomic.Uint64
+	inserts       atomic.Uint64
+	invalidations atomic.Uint64
+}
+
+// New creates a cache with at least n slots, rounded up to a power of
+// two. n <= 0 selects DefaultSize.
+func New(n int) *Cache {
+	if n <= 0 {
+		n = DefaultSize
+	}
+	size := 1
+	for size < n {
+		size <<= 1
+	}
+	return &Cache{
+		slots: make([]atomic.Pointer[entry], size),
+		mask:  uint64(size - 1),
+	}
+}
+
+// index hashes the key with FNV-1a into a slot. Direct-mapped: colliding
+// keys evict each other, which bounds memory and keeps probes O(1).
+func (c *Cache) index(subject, path string, mask sys.Access) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(subject); i++ {
+		h ^= uint64(subject[i])
+		h *= prime64
+	}
+	h ^= 0xff // separator so ("ab","c") and ("a","bc") differ
+	h *= prime64
+	for i := 0; i < len(path); i++ {
+		h ^= uint64(path[i])
+		h *= prime64
+	}
+	h ^= uint64(mask)
+	h *= prime64
+	return h & c.mask
+}
+
+// Lookup probes the cache. It loads the current epoch *first* and
+// returns it as the token for a subsequent Insert; callers must read the
+// policy state they evaluate against only after calling Lookup. On a hit
+// the cached allowed verdict is returned with ok=true.
+func (c *Cache) Lookup(subject, path string, mask sys.Access) (allowed, ok bool, tok Token) {
+	tok = Token(c.epoch.Load())
+	e := c.slots[c.index(subject, path, mask)].Load()
+	if e != nil && e.epoch == uint64(tok) && e.mask == mask &&
+		e.path == path && e.subject == subject {
+		c.hits.Add(1)
+		return e.allowed, true, tok
+	}
+	c.misses.Add(1)
+	return false, false, tok
+}
+
+// Insert stores a decision computed under the given token. If the epoch
+// has already moved on the insert is dropped: the decision's inputs may
+// be stale, and a dead entry would only waste the slot.
+func (c *Cache) Insert(tok Token, subject, path string, mask sys.Access, allowed bool) {
+	if uint64(tok) != c.epoch.Load() {
+		return
+	}
+	c.slots[c.index(subject, path, mask)].Store(&entry{
+		epoch:   uint64(tok),
+		subject: subject,
+		path:    path,
+		mask:    mask,
+		allowed: allowed,
+	})
+	c.inserts.Add(1)
+}
+
+// Invalidate bumps the epoch, atomically orphaning every cached entry.
+// Callers must install the new policy state (rule-set pointer, profile
+// table, ...) *before* calling Invalidate — that ordering is what makes
+// a stale hit impossible.
+func (c *Cache) Invalidate() {
+	c.epoch.Add(1)
+	c.invalidations.Add(1)
+}
+
+// Epoch returns the current epoch value (introspection and tests).
+func (c *Cache) Epoch() uint64 { return c.epoch.Load() }
+
+// Live counts the entries that would still be served at the current
+// epoch — an O(size) scan for tests and metrics, not for the hot path.
+func (c *Cache) Live() int {
+	cur := c.epoch.Load()
+	n := 0
+	for i := range c.slots {
+		if e := c.slots[i].Load(); e != nil && e.epoch == cur {
+			n++
+		}
+	}
+	return n
+}
+
+// Stats snapshots the counters.
+func (c *Cache) Stats() Stats {
+	return Stats{
+		Hits:          c.hits.Load(),
+		Misses:        c.misses.Load(),
+		Inserts:       c.inserts.Load(),
+		Invalidations: c.invalidations.Load(),
+		Epoch:         c.epoch.Load(),
+		Size:          len(c.slots),
+	}
+}

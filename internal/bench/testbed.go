@@ -170,6 +170,16 @@ func BootSACKEnhanced(policyText string) (*Testbed, error) {
 // BootIndependentSACK boots CONFIG_LSM="SACK,capability" with SACK
 // enforcing its own policies.
 func BootIndependentSACK(policyText string) (*Testbed, error) {
+	return bootIndependent(policyText, false)
+}
+
+// BootIndependentSACKNoAVC boots the same configuration with the access
+// vector cache disabled — the ablation point for the AVC benchmarks.
+func BootIndependentSACKNoAVC(policyText string) (*Testbed, error) {
+	return bootIndependent(policyText, true)
+}
+
+func bootIndependent(policyText string, disableAVC bool) (*Testbed, error) {
 	k := kernel.New()
 	compiled, vr, err := policy.Load(policyText)
 	if err != nil {
@@ -178,7 +188,10 @@ func BootIndependentSACK(policyText string) (*Testbed, error) {
 	if !vr.OK() {
 		return nil, fmt.Errorf("bench: SACK policy invalid: %v", vr.Errors())
 	}
-	s, err := core.New(core.Config{Mode: core.Independent, Policy: compiled, Source: policyText})
+	s, err := core.New(core.Config{
+		Mode: core.Independent, Policy: compiled, Source: policyText,
+		DisableAVC: disableAVC,
+	})
 	if err != nil {
 		return nil, err
 	}
@@ -191,7 +204,11 @@ func BootIndependentSACK(policyText string) (*Testbed, error) {
 	if err := s.RegisterSecurityFS(k.SecFS); err != nil {
 		return nil, err
 	}
-	return &Testbed{Name: "Independent SACK", Kernel: k, SACK: s}, nil
+	name := "Independent SACK"
+	if disableAVC {
+		name = "Independent SACK (no AVC)"
+	}
+	return &Testbed{Name: name, Kernel: k, SACK: s}, nil
 }
 
 // BootAppArmorWithSACKRules boots the Table III configuration: AppArmor

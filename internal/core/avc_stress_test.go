@@ -1,0 +1,100 @@
+package core_test
+
+// avc_stress_test hammers the AVC-backed decision fast path with checks
+// racing situation transitions. Run with -race: the test asserts the
+// cache's one correctness property — a cached allow never survives the
+// epoch bump of the transition that revoked it — while the race detector
+// watches the lock-free table.
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/sys"
+)
+
+// TestAVCConcurrentRevocation drives the Fig. 3(b) revocation property
+// under contention: checker goroutines hit the same (subject, path, mask)
+// keys continuously while the main goroutine flips the situation state.
+// Immediately after every DeliverEvent returns, a synchronous check must
+// reflect the *new* state — a stale cached allow here would be exactly
+// the coherence bug the epoch protocol exists to prevent.
+func TestAVCConcurrentRevocation(t *testing.T) {
+	_, s := bootIndependent(t, casePolicy)
+	const path = "/dev/vehicle/door0"
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			cred := sys.NewCred(0, 0)
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				// Keep both verdict classes flowing through the cache.
+				s.InodePermission(cred, path, nil, sys.MayRead)
+				s.InodePermission(cred, path, nil, sys.MayWrite)
+			}
+		}()
+	}
+
+	cred := sys.NewCred(0, 0)
+	for i := 0; i < 200; i++ {
+		if i%2 == 0 {
+			if transitioned, _, _ := s.DeliverEvent("crash_detected"); !transitioned {
+				t.Fatalf("iteration %d: crash_detected ignored", i)
+			}
+			if err := s.InodePermission(cred, path, nil, sys.MayWrite); err != nil {
+				t.Fatalf("iteration %d: write denied in emergency: %v", i, err)
+			}
+			// Same key, same epoch: only this goroutine invalidates, so
+			// the repeat is a guaranteed cache hit.
+			if err := s.InodePermission(cred, path, nil, sys.MayWrite); err != nil {
+				t.Fatalf("iteration %d: repeat write denied in emergency: %v", i, err)
+			}
+		} else {
+			if transitioned, _, _ := s.DeliverEvent("all_clear"); !transitioned {
+				t.Fatalf("iteration %d: all_clear ignored", i)
+			}
+			if err := s.InodePermission(cred, path, nil, sys.MayWrite); err == nil {
+				t.Fatalf("iteration %d: stale cached allow served after revocation", i)
+			}
+		}
+	}
+	close(stop)
+	wg.Wait()
+
+	st := s.AVCStats()
+	if st.Invalidations < 200 {
+		t.Errorf("expected >= 200 invalidations (one per transition), got %d", st.Invalidations)
+	}
+	if st.Hits == 0 {
+		t.Error("cache never hit — the stress test exercised nothing")
+	}
+}
+
+// TestAVCDisabledStillEnforces runs the same revocation sequence with the
+// cache ablated, pinning that DisableAVC changes performance only.
+func TestAVCDisabledStillEnforces(t *testing.T) {
+	_, s := bootIndependentNoAVC(t, casePolicy)
+	const path = "/dev/vehicle/door0"
+	cred := sys.NewCred(0, 0)
+	for i := 0; i < 10; i++ {
+		s.DeliverEvent("crash_detected")
+		if err := s.InodePermission(cred, path, nil, sys.MayWrite); err != nil {
+			t.Fatalf("write denied in emergency: %v", err)
+		}
+		s.DeliverEvent("all_clear")
+		if err := s.InodePermission(cred, path, nil, sys.MayWrite); err == nil {
+			t.Fatal("write allowed in normal state")
+		}
+	}
+	if st := s.AVCStats(); st.Size != 0 || st.Hits != 0 || st.Misses != 0 {
+		t.Errorf("disabled cache reported activity: %+v", st)
+	}
+}

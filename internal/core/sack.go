@@ -22,6 +22,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/apparmor"
+	"repro/internal/avc"
 	"repro/internal/lsm"
 	"repro/internal/policy"
 	"repro/internal/ssm"
@@ -61,15 +62,29 @@ type Config struct {
 	// AppArmor is the enforcement substrate for EnhancedAppArmor mode;
 	// required there, ignored for Independent.
 	AppArmor *apparmor.AppArmor
+
+	// DisableAVC turns off the access vector cache (ablation
+	// benchmarks); every check then runs the full Decide path.
+	DisableAVC bool
+
+	// AVCSize overrides the cache slot count (0 = avc.DefaultSize).
+	AVCSize int
 }
 
-// SACK is the security module.
+// SACK is the security module. It implements the lsm capability
+// interfaces for the hooks it mediates (exec labelling, inode and file
+// access); task, capability, getattr, open, and socket hooks are
+// deliberately absent so the stack never consults SACK there.
 type SACK struct {
-	lsm.Base
-
 	mode  Mode
 	audit *lsm.AuditLog
 	aa    *apparmor.AppArmor
+
+	// cache memoises Decide results per (subject, path, mask); nil when
+	// Config.DisableAVC. Every situation transition and policy reload
+	// bumps its epoch, after the new rule set is installed, so a stale
+	// decision can never be served across a state change.
+	cache *avc.Cache
 
 	// mu serialises policy replacement and managed-profile changes.
 	mu      sync.Mutex
@@ -87,7 +102,8 @@ type SACK struct {
 	managedMu sync.Mutex
 	managed   map[string]*apparmor.Profile
 
-	checks    atomic.Uint64
+	covered   atomic.Uint64 // checks on policy-covered objects
+	uncovered atomic.Uint64 // checks passed through (coverage miss)
 	denials   atomic.Uint64
 	eventsIn  atomic.Uint64 // events received through SACKfs
 	eventsHit atomic.Uint64 // events that caused a transition
@@ -120,6 +136,9 @@ func New(cfg Config) (*SACK, error) {
 		aa:      cfg.AppArmor,
 		managed: make(map[string]*apparmor.Profile),
 	}
+	if !cfg.DisableAVC {
+		s.cache = avc.New(cfg.AVCSize)
+	}
 	if err := s.installPolicy(cfg.Policy, cfg.Source); err != nil {
 		return nil, err
 	}
@@ -145,9 +164,27 @@ func (s *SACK) CurrentState() ssm.State { return s.machine.Load().Current() }
 func (s *SACK) ActiveRules() *policy.RuleSet { return s.active.Load() }
 
 // Stats reports (permission checks, denials, events received, events
-// that transitioned the SSM).
+// that transitioned the SSM). checks counts every hook decision SACK
+// made, covered and uncovered alike — the denominator AVC hit-rate math
+// needs.
 func (s *SACK) Stats() (checks, denials, eventsIn, eventsHit uint64) {
-	return s.checks.Load(), s.denials.Load(), s.eventsIn.Load(), s.eventsHit.Load()
+	checks = s.covered.Load() + s.uncovered.Load()
+	return checks, s.denials.Load(), s.eventsIn.Load(), s.eventsHit.Load()
+}
+
+// CheckStats splits the check counter into policy-covered decisions and
+// uncovered passthroughs.
+func (s *SACK) CheckStats() (covered, uncovered uint64) {
+	return s.covered.Load(), s.uncovered.Load()
+}
+
+// AVCStats snapshots the access vector cache counters. The zero Stats
+// is returned when the cache is disabled.
+func (s *SACK) AVCStats() avc.Stats {
+	if s.cache == nil {
+		return avc.Stats{}
+	}
+	return s.cache.Stats()
 }
 
 // installPolicy builds a fresh SSM for the compiled policy and swaps both
@@ -216,7 +253,9 @@ func (s *SACK) onTransition(from, to ssm.State, ev ssm.Event) {
 
 // applyState installs the enforcement artifacts of a state: the atomic
 // rule-set pointer (independent) or rewritten AppArmor profiles
-// (enhanced).
+// (enhanced). The AVC epoch bump comes last — only after the new rule
+// set is observable may cached decisions from the old state be retired,
+// otherwise a checker could stamp a stale decision with the new epoch.
 func (s *SACK) applyState(st ssm.State) {
 	c := s.pol.Load().compiled
 	rs := c.StateSets[st.Name]
@@ -226,6 +265,9 @@ func (s *SACK) applyState(st ssm.State) {
 	s.active.Store(rs)
 	if s.mode == EnhancedAppArmor {
 		s.regenerateProfiles(st)
+	}
+	if s.cache != nil {
+		s.cache.Invalidate()
 	}
 }
 
@@ -251,18 +293,35 @@ func (s *SACK) BprmCheck(cred *sys.Cred, path string, _ *vfs.Inode) error {
 
 // check is the decision fast path: objects not covered by the policy pass
 // through to the next LSM; covered objects must be allowed by MR_current.
+// Covered decisions consult the AVC first; on a miss the full Decide
+// result is cached — allows only, so denials always reach the audit
+// path. The AVC token is obtained before the active rule set is loaded,
+// which (with applyState's install-then-invalidate ordering) guarantees
+// a cached decision is never served across a situation transition.
 func (s *SACK) check(cred *sys.Cred, op, path string, mask sys.Access) error {
 	if s.mode == EnhancedAppArmor {
 		return nil // enforcement happens in AppArmor
 	}
 	pol := s.pol.Load().compiled
 	if !pol.Coverage.Covers(path) {
+		s.uncovered.Add(1)
 		return nil
 	}
-	s.checks.Add(1)
+	s.covered.Add(1)
+	subject := subjectOf(cred)
+	var tok avc.Token
+	if s.cache != nil {
+		var allowed, ok bool
+		if allowed, ok, tok = s.cache.Lookup(subject, path, mask); ok && allowed {
+			return nil
+		}
+	}
 	rs := s.active.Load()
-	allowed, matched := rs.Decide(subjectOf(cred), path, mask)
+	allowed, matched := rs.Decide(subject, path, mask)
 	if allowed {
+		if s.cache != nil {
+			s.cache.Insert(tok, subject, path, mask, true)
+		}
 		return nil
 	}
 	s.denials.Add(1)
@@ -273,7 +332,7 @@ func (s *SACK) check(cred *sys.Cred, op, path string, mask sys.Access) error {
 		}
 		s.audit.Append(lsm.AuditRecord{
 			Module: ModuleName, Op: op,
-			Subject: subjectOf(cred), Object: path, Action: "DENIED",
+			Subject: subject, Object: path, Action: "DENIED",
 			Detail: fmt.Sprintf("mask=%s %s", mask, detail),
 		})
 	}

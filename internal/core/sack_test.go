@@ -63,6 +63,18 @@ func (nullDevice) Ioctl(*sys.Cred, uint64, uint64) (uint64, error) { return 0, n
 // capability module, the paper's CONFIG_LSM="SACK,..." order.
 func bootIndependent(t *testing.T, policyText string) (*kernel.Kernel, *core.SACK) {
 	t.Helper()
+	return bootIndependentCfg(t, policyText, false)
+}
+
+// bootIndependentNoAVC is bootIndependent with the access vector cache
+// ablated.
+func bootIndependentNoAVC(t *testing.T, policyText string) (*kernel.Kernel, *core.SACK) {
+	t.Helper()
+	return bootIndependentCfg(t, policyText, true)
+}
+
+func bootIndependentCfg(t *testing.T, policyText string, disableAVC bool) (*kernel.Kernel, *core.SACK) {
+	t.Helper()
 	k := kernel.New()
 	compiled, vr, err := policy.Load(policyText)
 	if err != nil {
@@ -71,7 +83,10 @@ func bootIndependent(t *testing.T, policyText string) (*kernel.Kernel, *core.SAC
 	if !vr.OK() {
 		t.Fatalf("policy has errors: %v", vr.Errors())
 	}
-	s, err := core.New(core.Config{Mode: core.Independent, Policy: compiled, Source: policyText, Audit: k.Audit})
+	s, err := core.New(core.Config{
+		Mode: core.Independent, Policy: compiled, Source: policyText,
+		Audit: k.Audit, DisableAVC: disableAVC,
+	})
 	if err != nil {
 		t.Fatalf("core.New: %v", err)
 	}

@@ -139,12 +139,20 @@ func (s *SACK) RegisterSecurityFS(secfs *securityfs.FS) error {
 		{"stats", 0o444, &securityfs.FuncFile{
 			OnRead: func(*sys.Cred) ([]byte, error) {
 				checks, denials, eventsIn, eventsHit := s.Stats()
+				covered, uncovered := s.CheckStats()
 				transitions, ignored := s.machine.Load().Stats()
 				var b strings.Builder
 				fmt.Fprintf(&b, "mode: %s\n", s.mode)
 				fmt.Fprintf(&b, "current_state: %s\n", s.machine.Load().Current().Name)
 				fmt.Fprintf(&b, "checks: %d\n", checks)
+				fmt.Fprintf(&b, "checks_covered: %d\n", covered)
+				fmt.Fprintf(&b, "checks_uncovered: %d\n", uncovered)
 				fmt.Fprintf(&b, "denials: %d\n", denials)
+				if avcStats := s.AVCStats(); avcStats.Size > 0 {
+					fmt.Fprintf(&b, "avc_hits: %d\n", avcStats.Hits)
+					fmt.Fprintf(&b, "avc_misses: %d\n", avcStats.Misses)
+					fmt.Fprintf(&b, "avc_invalidations: %d\n", avcStats.Invalidations)
+				}
 				fmt.Fprintf(&b, "events_received: %d\n", eventsIn)
 				fmt.Fprintf(&b, "events_transitioned: %d\n", eventsHit)
 				fmt.Fprintf(&b, "ssm_transitions: %d\n", transitions)

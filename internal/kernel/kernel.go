@@ -6,14 +6,19 @@ package kernel
 
 import (
 	"fmt"
+	"strings"
 	"sync"
 	"sync/atomic"
 
+	"repro/internal/avc"
 	"repro/internal/lsm"
 	"repro/internal/securityfs"
 	"repro/internal/sys"
 	"repro/internal/vfs"
 )
+
+// MetricsFile is the securityfs path of the hook metrics view.
+const MetricsFile = securityfs.MountPoint + "/sack/metrics"
 
 // Kernel owns the global simulated-kernel state. Create one with New,
 // register security modules (boot-time CONFIG_LSM order), then obtain the
@@ -57,7 +62,47 @@ func New() *Kernel {
 	}
 	k.SecFS = secfs
 	k.registerAuditFS()
+	k.registerMetricsFS()
 	return k
+}
+
+// registerMetricsFS exposes per-hook call/denial counters and latency
+// quantiles, plus each module's access vector cache counters, at
+// /sys/kernel/security/sack/metrics (world-readable: the view carries no
+// policy content, only performance data).
+func (k *Kernel) registerMetricsFS() {
+	if _, err := k.SecFS.CreateDir("sack"); err != nil {
+		panic(fmt.Sprintf("kernel: metrics securityfs: %v", err))
+	}
+	_, err := k.SecFS.CreateFile("sack", "metrics", 0o444, &securityfs.FuncFile{
+		OnRead: func(*sys.Cred) ([]byte, error) {
+			return []byte(k.RenderMetrics()), nil
+		},
+	})
+	if err != nil {
+		panic(fmt.Sprintf("kernel: metrics securityfs: %v", err))
+	}
+}
+
+// RenderMetrics formats the hook metrics and per-module AVC counters in
+// the flat key=value style of the other securityfs stats files. It backs
+// the metrics pseudo-file and the sackctl/sackmon metrics views.
+func (k *Kernel) RenderMetrics() string {
+	var b strings.Builder
+	b.WriteString(k.LSM.Metrics().Render())
+	for _, m := range k.LSM.ModuleList() {
+		r, ok := m.(interface{ AVCStats() avc.Stats })
+		if !ok {
+			continue
+		}
+		st := r.AVCStats()
+		if st.Size == 0 {
+			continue // cache disabled
+		}
+		fmt.Fprintf(&b, "avc %-16s hits=%d misses=%d inserts=%d invalidations=%d epoch=%d hit_rate=%.2f\n",
+			m.Name(), st.Hits, st.Misses, st.Inserts, st.Invalidations, st.Epoch, st.HitRate())
+	}
+	return b.String()
 }
 
 // registerAuditFS exposes the kernel audit ring at

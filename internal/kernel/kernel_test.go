@@ -3,6 +3,7 @@ package kernel
 import (
 	"bytes"
 	"fmt"
+	"strings"
 	"sync"
 	"testing"
 
@@ -822,5 +823,31 @@ func TestListenerCloseUnblocksAccept(t *testing.T) {
 	cfd, _ := task.Socket(AFUnix, SockStream)
 	if err := task.Connect(cfd, "unix:/closing"); !sys.IsErrno(err, sys.ECONNREFUSED) {
 		t.Fatalf("connect to closed: %v", err)
+	}
+}
+
+func TestMetricsFileReadableInSimulation(t *testing.T) {
+	k := New()
+	if err := k.WriteFile("/tmp/m.dat", 0o644, []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	task := k.Init()
+	// Generate some hook traffic first.
+	for i := 0; i < 5; i++ {
+		fd, err := task.Open("/tmp/m.dat", vfs.ORdonly, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		task.Close(fd)
+	}
+	out, err := task.ReadFileAll(MetricsFile)
+	if err != nil {
+		t.Fatalf("reading %s: %v", MetricsFile, err)
+	}
+	text := string(out)
+	for _, frag := range []string{"hook inode_permission", "hook file_open", "calls=", "avg_ns=", "p99_ns<="} {
+		if !strings.Contains(text, frag) {
+			t.Errorf("metrics file missing %q:\n%s", frag, text)
+		}
 	}
 }

@@ -6,10 +6,10 @@ import (
 
 // Capability is the always-present minor LSM that implements POSIX
 // capability checking, like the kernel's security/commoncap.c. It is
-// registered last in the stack so that MAC modules run first.
-type Capability struct {
-	Base
-}
+// registered last in the stack so that MAC modules run first. It
+// implements only the CapableChecker capability, so the stack never
+// consults it on file or socket hooks.
+type Capability struct{}
 
 // NewCapability returns the capability module.
 func NewCapability() *Capability { return &Capability{} }

@@ -1,10 +1,27 @@
 // Package lsm implements the simulated Linux Security Module framework:
-// the hook interface security modules implement, and the ordered stack
+// the hook interfaces security modules implement, and the ordered stack
 // that consults them. Semantics follow the kernel's whitelist stacking
 // model used by the paper (CONFIG_LSM="SACK,AppArmor,..."): modules are
 // called in registration order and the first non-nil error denies the
 // operation, so a later module is only consulted when every earlier one
 // allowed the access.
+//
+// # Hook interface layout
+//
+// A module declares itself with the one-method Module interface (Name)
+// and then opts into exactly the hooks it mediates by implementing the
+// per-hook capability interfaces below (FileChecker, InodeChecker,
+// SocketChecker, ...). Register type-asserts each interface once and
+// files the module into per-hook dispatch slices, mirroring how kernel
+// LSMs attach a sparse security_hook_list to security_hook_heads. The
+// hot loop therefore only ever calls modules that really implement a
+// hook — there are no dead no-op stub calls.
+//
+// Base remains as an embeddable allow-everything stub for tests and
+// prototypes. Note that embedding Base makes the module satisfy *every*
+// hook interface, so it is registered in every dispatch slice;
+// production modules should instead implement just the interfaces they
+// need.
 package lsm
 
 import (
@@ -12,58 +29,91 @@ import (
 	"repro/internal/vfs"
 )
 
-// Module is the full hook surface a security module may implement. Embed
-// Base to get allow-everything defaults and override only the hooks the
-// module cares about, mirroring how kernel LSMs register a sparse
-// security_hook_list.
+// Module is the minimal registration surface: every security module has
+// a name ("capability", "apparmor", "sack"); everything else is opt-in
+// through the per-hook capability interfaces.
 type Module interface {
-	// Name identifies the module ("capability", "apparmor", "sack").
 	Name() string
+}
 
-	// --- task hooks ---
+// --- task hooks ---
 
-	// TaskAlloc runs at fork; the module may install a blob on child.
+// TaskAllocator runs at fork; the module may install a blob on child.
+type TaskAllocator interface {
 	TaskAlloc(parent, child *sys.Cred) error
-	// BprmCheck runs at exec time, before the program image replaces the
-	// task. Path is the executable path; node its inode.
+}
+
+// BprmChecker runs at exec time, before the program image replaces the
+// task. Path is the executable path; node its inode.
+type BprmChecker interface {
 	BprmCheck(cred *sys.Cred, path string, node *vfs.Inode) error
-	// Capable gates capability use (security_capable).
+}
+
+// CapableChecker gates capability use (security_capable).
+type CapableChecker interface {
 	Capable(cred *sys.Cred, c sys.Cap) error
+}
 
-	// --- inode hooks ---
+// --- inode hooks ---
 
-	// InodePermission checks a path-based access request.
+// InodeChecker checks a path-based access request (inode_permission).
+type InodeChecker interface {
 	InodePermission(cred *sys.Cred, path string, node *vfs.Inode, mask sys.Access) error
-	// InodeCreate gates creating a new object named path inside dir.
+}
+
+// InodeCreateChecker gates creating a new object named path inside dir.
+type InodeCreateChecker interface {
 	InodeCreate(cred *sys.Cred, dir *vfs.Inode, path string, mode vfs.Mode) error
-	// InodeUnlink gates removing the object at path.
+}
+
+// InodeUnlinkChecker gates removing the object at path.
+type InodeUnlinkChecker interface {
 	InodeUnlink(cred *sys.Cred, dir *vfs.Inode, path string, node *vfs.Inode) error
-	// InodeGetattr gates stat(2) on the object at path.
+}
+
+// InodeGetattrChecker gates stat(2) on the object at path.
+type InodeGetattrChecker interface {
 	InodeGetattr(cred *sys.Cred, path string, node *vfs.Inode) error
+}
 
-	// --- file hooks ---
+// --- file hooks ---
 
-	// FileOpen runs once per successful path resolution at open time.
+// FileOpenChecker runs once per successful path resolution at open time.
+type FileOpenChecker interface {
 	FileOpen(cred *sys.Cred, f *vfs.File) error
-	// FilePermission runs on every read/write through an open file.
+}
+
+// FileChecker runs on every read/write through an open file
+// (file_permission) — the hook revalidation-on-transition depends on.
+type FileChecker interface {
 	FilePermission(cred *sys.Cred, f *vfs.File, mask sys.Access) error
-	// FileIoctl gates device-control calls.
+}
+
+// FileIoctlChecker gates device-control calls.
+type FileIoctlChecker interface {
 	FileIoctl(cred *sys.Cred, f *vfs.File, cmd uint64) error
-	// MmapFile gates memory-mapping a file with the given protections.
+}
+
+// MmapChecker gates memory-mapping a file with the given protections.
+type MmapChecker interface {
 	MmapFile(cred *sys.Cred, f *vfs.File, prot sys.Access) error
+}
 
-	// --- IPC / network hooks ---
+// --- IPC / network hooks ---
 
-	// SocketCreate gates socket(2).
+// SocketChecker mediates socket activity: socket(2) creation, connect,
+// and each send on a connected socket. The three hooks come as one
+// capability because a network-mediating module wants all of them.
+type SocketChecker interface {
 	SocketCreate(cred *sys.Cred, family, typ int) error
-	// SocketConnect gates connect(2) to addr.
 	SocketConnect(cred *sys.Cred, addr string) error
-	// SocketSendmsg gates each send on a connected socket.
 	SocketSendmsg(cred *sys.Cred, addr string, n int) error
 }
 
-// Base provides allow-everything defaults for every hook. Security
-// modules embed it and override selectively.
+// Base provides allow-everything defaults for every hook. Embedding it
+// satisfies every capability interface, which registers the module in
+// every dispatch slice — convenient for tests, wasteful for production
+// modules (implement only the interfaces you need instead).
 type Base struct{}
 
 // TaskAlloc allows by default.

@@ -1,0 +1,178 @@
+package lsm
+
+import (
+	"fmt"
+	"math/bits"
+	"strings"
+	"sync/atomic"
+	"time"
+)
+
+// HookID identifies one LSM hook for metrics attribution.
+type HookID int
+
+// Hook identifiers, in the order the Module interface used to declare
+// them. NumHooks bounds the metrics arrays.
+const (
+	HookTaskAlloc HookID = iota
+	HookBprmCheck
+	HookCapable
+	HookInodePermission
+	HookInodeCreate
+	HookInodeUnlink
+	HookInodeGetattr
+	HookFileOpen
+	HookFilePermission
+	HookFileIoctl
+	HookMmapFile
+	HookSocketCreate
+	HookSocketConnect
+	HookSocketSendmsg
+	NumHooks
+)
+
+var hookNames = [NumHooks]string{
+	"task_alloc",
+	"bprm_check",
+	"capable",
+	"inode_permission",
+	"inode_create",
+	"inode_unlink",
+	"inode_getattr",
+	"file_open",
+	"file_permission",
+	"file_ioctl",
+	"mmap_file",
+	"socket_create",
+	"socket_connect",
+	"socket_sendmsg",
+}
+
+// String names the hook like the kernel's security_* entry points.
+func (h HookID) String() string {
+	if h < 0 || h >= NumHooks {
+		return fmt.Sprintf("hook(%d)", int(h))
+	}
+	return hookNames[h]
+}
+
+// latencyBuckets is the histogram resolution: bucket i counts samples
+// with latency < 2^i ns, the last bucket absorbing everything slower
+// (2^27 ns ≈ 134 ms, far beyond any simulated hook).
+const latencyBuckets = 28
+
+// hookMetrics holds one hook's counters. All fields are atomics so the
+// hot path never takes a lock.
+type hookMetrics struct {
+	calls   atomic.Uint64
+	denials atomic.Uint64
+	totalNs atomic.Uint64
+	buckets [latencyBuckets]atomic.Uint64
+}
+
+// Metrics aggregates per-hook call counts, denial counts, and latency
+// histograms for one Stack — the observability layer behind
+// /sys/kernel/security/sack/metrics.
+type Metrics struct {
+	hooks [NumHooks]hookMetrics
+}
+
+// NewMetrics returns an empty metrics sink.
+func NewMetrics() *Metrics { return &Metrics{} }
+
+// bucketFor maps a latency to its histogram bucket: index of the highest
+// set bit, clamped to the last bucket.
+func bucketFor(ns int64) int {
+	if ns < 0 {
+		ns = 0
+	}
+	b := bits.Len64(uint64(ns))
+	if b >= latencyBuckets {
+		b = latencyBuckets - 1
+	}
+	return b
+}
+
+// Observe records one completed hook invocation.
+func (m *Metrics) Observe(h HookID, d time.Duration, denied bool) {
+	hm := &m.hooks[h]
+	hm.calls.Add(1)
+	if denied {
+		hm.denials.Add(1)
+	}
+	ns := d.Nanoseconds()
+	hm.totalNs.Add(uint64(ns))
+	hm.buckets[bucketFor(ns)].Add(1)
+}
+
+// HookStat is a point-in-time snapshot of one hook's metrics.
+type HookStat struct {
+	Hook    HookID
+	Calls   uint64
+	Denials uint64
+	TotalNs uint64
+	Buckets [latencyBuckets]uint64
+}
+
+// AvgNs is the mean hook latency in nanoseconds.
+func (s HookStat) AvgNs() uint64 {
+	if s.Calls == 0 {
+		return 0
+	}
+	return s.TotalNs / s.Calls
+}
+
+// Quantile returns an upper bound (the bucket ceiling) for the q-th
+// latency quantile, q in [0,1].
+func (s HookStat) Quantile(q float64) uint64 {
+	if s.Calls == 0 {
+		return 0
+	}
+	target := uint64(q * float64(s.Calls))
+	if target == 0 {
+		target = 1
+	}
+	var seen uint64
+	for i, n := range s.Buckets {
+		seen += n
+		if seen >= target {
+			return uint64(1) << uint(i) // bucket i holds samples < 2^i ns
+		}
+	}
+	return uint64(1) << (latencyBuckets - 1)
+}
+
+// Snapshot returns the stats of every hook that has been called at least
+// once, in hook order.
+func (m *Metrics) Snapshot() []HookStat {
+	var out []HookStat
+	for h := HookID(0); h < NumHooks; h++ {
+		hm := &m.hooks[h]
+		calls := hm.calls.Load()
+		if calls == 0 {
+			continue
+		}
+		st := HookStat{
+			Hook:    h,
+			Calls:   calls,
+			Denials: hm.denials.Load(),
+			TotalNs: hm.totalNs.Load(),
+		}
+		for i := range st.Buckets {
+			st.Buckets[i] = hm.buckets[i].Load()
+		}
+		out = append(out, st)
+	}
+	return out
+}
+
+// Render formats the snapshot in the flat key=value style of the other
+// securityfs stats files, one hook per line.
+func (m *Metrics) Render() string {
+	var b strings.Builder
+	for _, st := range m.Snapshot() {
+		fmt.Fprintf(&b, "hook %-16s calls=%d denials=%d avg_ns=%d p50_ns<=%d p99_ns<=%d\n",
+			st.Hook, st.Calls, st.Denials, st.AvgNs(), st.Quantile(0.50), st.Quantile(0.99))
+	}
+	return b.String()
+}

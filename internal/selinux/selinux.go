@@ -58,10 +58,10 @@ type policyDB struct {
 	av       map[avKey]sys.Access
 }
 
-// SELinux is the security module.
+// SELinux is the security module. It implements the lsm capability
+// interfaces for exec domain entry and inode/file mediation only, so the
+// stack never consults it on task, capability, or socket hooks.
 type SELinux struct {
-	lsm.Base
-
 	audit *lsm.AuditLog
 
 	mu sync.Mutex

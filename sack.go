@@ -18,10 +18,18 @@
 //
 // Quick start:
 //
-//	sys, err := sack.NewSystem(sack.Options{PolicyText: myPolicy})
+//	sys, err := sack.New(myPolicy)
 //	task := sys.Kernel.Init()
 //	sys.DeliverEvent("crash_detected")     // situation transition
 //	fd, err := task.Open("/dev/vehicle/door0", sack.ORdwr, 0)
+//
+// Deployments that need more than the defaults compose options:
+//
+//	sys, err := sack.New(myPolicy,
+//	    sack.WithMode(sack.EnhancedAppArmor),
+//	    sack.WithAppArmorProfiles(myProfiles),
+//	    sack.WithVehicle(2, 2),
+//	)
 package sack
 
 import (
@@ -105,6 +113,10 @@ const (
 // EventsFile is the SACKfs pseudo-file situation events are written to.
 const EventsFile = core.EventsFile
 
+// MetricsFile is the securityfs pseudo-file exposing per-hook latency
+// metrics and access vector cache counters.
+const MetricsFile = kernel.MetricsFile
+
 // IsErrno reports whether err is the given kernel error.
 func IsErrno(err error, e Errno) bool { return sys.IsErrno(err, e) }
 
@@ -130,6 +142,9 @@ func ParseProfiles(text string) ([]*Profile, error) {
 }
 
 // Options configures NewSystem.
+//
+// Deprecated: prefer New with functional options; this struct remains so
+// existing callers keep compiling.
 type Options struct {
 	// Mode selects the deployment prototype (default Independent).
 	Mode core.Mode
@@ -144,6 +159,58 @@ type Options struct {
 	DisableVehicle bool
 	// DisableAudit turns off audit recording (benchmark configurations).
 	DisableAudit bool
+	// DisableAVC turns off SACK's access vector cache (ablation runs).
+	DisableAVC bool
+	// AVCSize overrides the AVC slot count; 0 selects the default.
+	AVCSize int
+}
+
+// Option configures New. Options apply in order over the defaults
+// (Independent mode, a 4-door 4-window vehicle, audit and AVC enabled).
+type Option func(*Options)
+
+// WithMode selects the deployment prototype (Independent or
+// EnhancedAppArmor).
+func WithMode(m core.Mode) Option {
+	return func(o *Options) { o.Mode = m }
+}
+
+// WithAppArmorProfiles loads baseline AppArmor profiles from source text.
+// An AppArmor module is registered whenever profiles are given or the
+// mode is EnhancedAppArmor.
+func WithAppArmorProfiles(text string) Option {
+	return func(o *Options) { o.AppArmorProfiles = text }
+}
+
+// WithVehicle sizes the simulated vehicle. Non-positive counts keep the
+// defaults (4 doors, 4 windows).
+func WithVehicle(doors, windows int) Option {
+	return func(o *Options) {
+		o.DisableVehicle = false
+		o.Doors, o.Windows = doors, windows
+	}
+}
+
+// WithoutVehicle skips creating the vehicle and its device nodes.
+func WithoutVehicle() Option {
+	return func(o *Options) { o.DisableVehicle = true }
+}
+
+// WithoutAudit turns off audit recording (benchmark configurations).
+func WithoutAudit() Option {
+	return func(o *Options) { o.DisableAudit = true }
+}
+
+// WithoutAVC disables SACK's access vector cache, forcing every covered
+// check through full rule evaluation (cache ablation runs).
+func WithoutAVC() Option {
+	return func(o *Options) { o.DisableAVC = true }
+}
+
+// WithAVCSize overrides the access vector cache slot count (rounded up
+// to a power of two; n <= 0 selects the default).
+func WithAVCSize(n int) Option {
+	return func(o *Options) { o.AVCSize = n }
 }
 
 // System is a fully assembled SACK deployment: kernel, modules, vehicle.
@@ -155,10 +222,25 @@ type System struct {
 	Audit    *AuditLog
 }
 
-// NewSystem boots the complete stack: kernel, LSM registration in the
-// paper's CONFIG_LSM order (SACK first, then AppArmor if present, then
-// capability), SACKfs, and the vehicle devices.
-func NewSystem(opts Options) (*System, error) {
+// New boots the complete stack: kernel, LSM registration in the paper's
+// CONFIG_LSM order (SACK first, then AppArmor if present, then
+// capability), SACKfs, and the vehicle devices. The policy text is
+// required; everything else defaults sensibly and is tuned with options.
+func New(policyText string, opts ...Option) (*System, error) {
+	o := Options{PolicyText: policyText}
+	for _, opt := range opts {
+		opt(&o)
+	}
+	return boot(o)
+}
+
+// NewSystem boots the complete stack from an Options struct.
+//
+// Deprecated: use New with functional options. This wrapper remains so
+// existing callers keep compiling and behaves identically.
+func NewSystem(opts Options) (*System, error) { return boot(opts) }
+
+func boot(opts Options) (*System, error) {
 	if opts.PolicyText == "" {
 		return nil, fmt.Errorf("sack: Options.PolicyText is required")
 	}
@@ -191,11 +273,13 @@ func NewSystem(opts Options) (*System, error) {
 	}
 
 	s, err := core.New(core.Config{
-		Mode:     opts.Mode,
-		Policy:   compiled,
-		Source:   opts.PolicyText,
-		Audit:    audit,
-		AppArmor: aa,
+		Mode:       opts.Mode,
+		Policy:     compiled,
+		Source:     opts.PolicyText,
+		Audit:      audit,
+		AppArmor:   aa,
+		DisableAVC: opts.DisableAVC,
+		AVCSize:    opts.AVCSize,
 	})
 	if err != nil {
 		return nil, err
