@@ -3,11 +3,11 @@
 
 GO ?= go
 
-.PHONY: all check vet build test race bench bench-avc
+.PHONY: all check vet build test race bench bench-avc chaos
 
 all: check
 
-check: vet build race
+check: vet build race chaos
 
 vet:
 	$(GO) vet ./...
@@ -20,6 +20,14 @@ test:
 
 race:
 	$(GO) test -race ./...
+
+# Chaos suite: random fault plans (fixed seeds, deterministic replay)
+# through sensors, SDS queue, transmitter, and CAN bus under the race
+# detector, plus the resilience unit tests and the no-fault zero-alloc
+# guard.
+chaos:
+	$(GO) test -race -count=1 -run 'TestChaos|AllocFree' .
+	$(GO) test -race -count=1 ./internal/faults ./internal/sds ./internal/vehicle
 
 # Full benchmark sweep (paper tables/figures + ablations).
 bench:

@@ -12,6 +12,8 @@
 //	                               workload, print hook/AVC metrics
 //	sackctl diff <old-file> <new-file>  show what a policy reload changes
 //	sackctl pack [name]            list or print the embedded policy pack
+//	sackctl chaos <policy-file> <fault-spec> [event...]  drive events under
+//	                               fault injection, print pipeline health
 //	sackctl example                print a commented example policy
 package main
 
@@ -21,9 +23,11 @@ import (
 	"os"
 	"sort"
 	"strings"
+	"time"
 
 	sack "repro"
 	"repro/internal/policy"
+	"repro/internal/sds"
 	"repro/internal/ssm"
 	"repro/policies"
 )
@@ -146,6 +150,17 @@ func run(args []string, stdout, stderr io.Writer, readFile func(string) ([]byte,
 		}
 		fmt.Fprint(stdout, src)
 		return 0
+	case "chaos":
+		if len(args) < 3 {
+			usage(stderr)
+			return 2
+		}
+		data, err := readFile(args[1])
+		if err != nil {
+			fmt.Fprintf(stderr, "sackctl: reading policy: %v\n", err)
+			return 1
+		}
+		return chaos(string(data), args[2], args[3:], stdout, stderr)
 	}
 	usage(stderr)
 	return 2
@@ -157,7 +172,69 @@ func usage(w io.Writer) {
 	fmt.Fprintln(w, "       sackctl metrics <policy-file> [event...]")
 	fmt.Fprintln(w, "       sackctl diff <old-file> <new-file>")
 	fmt.Fprintln(w, "       sackctl pack [name]")
+	fmt.Fprintln(w, "       sackctl chaos <policy-file> <fault-spec> [event...]")
 	fmt.Fprintln(w, "       sackctl example")
+}
+
+// chaos boots the policy with the given fault plan armed, drives the
+// events through a heartbeat-emitting SDS (one simulated second per
+// event, kernel watchdog ticking), and prints the pipeline health file
+// plus the injector's per-target fault tally — a policy's degradation
+// behaviour under sensor/transmitter failure, without writing a test.
+func chaos(src, spec string, events []string, stdout, stderr io.Writer) int {
+	plan, err := sack.ParseFaultSpec(spec, 1)
+	if err != nil {
+		fmt.Fprintf(stderr, "sackctl: %v\n", err)
+		return 2
+	}
+	if len(events) == 0 {
+		events = []string{"crash_detected", "all_clear"}
+	}
+	system, err := sack.New(src, sack.WithFaultPlan(plan))
+	if err != nil {
+		fmt.Fprintf(stderr, "sackctl: %v\n", err)
+		return 1
+	}
+	task := system.Kernel.Init()
+	clock := sds.NewVirtualClock(time.Unix(1_700_000_000, 0))
+	service, err := system.NewSDSWith(task, clock, nil, sds.WithHeartbeat(500*time.Millisecond))
+	if err != nil {
+		fmt.Fprintf(stderr, "sackctl: %v\n", err)
+		return 1
+	}
+	for _, ev := range events {
+		if err := service.DeliverEvent(sack.Event(ev)); err != nil {
+			fmt.Fprintf(stdout, "event %q: %v\n", ev, err)
+		}
+		clock.Advance(time.Second)
+		if err := service.Flush(); err != nil {
+			fmt.Fprintf(stdout, "flush: %v\n", err)
+		}
+		system.Pipeline().Check(clock.Now())
+		fmt.Fprintf(stdout, "event %q: state %s\n", ev, system.CurrentState().Name)
+	}
+	// Settle past the heartbeat window so a persistently stalled
+	// transmitter is seen to lapse (and a recovered one to beat again).
+	for end := clock.Now().Add(system.Pipeline().Window() + time.Second); clock.Now().Before(end); {
+		clock.Advance(time.Second)
+		_ = service.Flush()
+		system.Pipeline().Check(clock.Now())
+	}
+	fmt.Fprintf(stdout, "final state: %s\n", system.CurrentState().Name)
+	fmt.Fprintf(stdout, "\n-- %s --\n%s", sack.PipelineFile, mustRead(task, sack.PipelineFile, stderr))
+	fmt.Fprintf(stdout, "\n-- fault injector --\n%s", system.Faults.Render())
+	return 0
+}
+
+// mustRead reads a securityfs file for display, reporting (not
+// aborting) on error.
+func mustRead(task *sack.Task, path string, stderr io.Writer) string {
+	out, err := task.ReadFileAll(path)
+	if err != nil {
+		fmt.Fprintf(stderr, "sackctl: reading %s: %v\n", path, err)
+		return ""
+	}
+	return string(out)
 }
 
 // metrics boots an independent SACK system on the policy, runs a device

@@ -5,6 +5,8 @@ import (
 	"errors"
 	"strings"
 	"testing"
+
+	"repro/policies"
 )
 
 // fakeFS serves policy files from a map.
@@ -221,4 +223,56 @@ func TestMetricsUsageAndErrors(t *testing.T) {
 	if code != 1 {
 		t.Errorf("bad policy exit = %d", code)
 	}
+}
+
+func TestChaosStallDegradesToFailsafe(t *testing.T) {
+	files := map[string]string{"p": mustPack(t, "failsafe")}
+	code, out, errOut := runCtl(t, files,
+		"chaos", "p", "stall:transmitter:after=1", "driving_started", "crash_detected")
+	if code != 0 {
+		t.Fatalf("code=%d err=%s", code, errOut)
+	}
+	for _, frag := range []string{
+		"final state: safe_stop", // stalled transmitter pinned the failsafe state
+		"degraded: true",
+		"reason: heartbeat_lapse",
+		"-- fault injector --",
+	} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("chaos output missing %q:\n%s", frag, out)
+		}
+	}
+}
+
+func TestChaosCleanPipeDelivers(t *testing.T) {
+	files := map[string]string{"p": mustPack(t, "failsafe")}
+	code, out, errOut := runCtl(t, files, "chaos", "p", "", "driving_started")
+	if code != 0 {
+		t.Fatalf("code=%d err=%s", code, errOut)
+	}
+	if !strings.Contains(out, "state driving") || !strings.Contains(out, "degraded: false") {
+		t.Errorf("clean chaos run wrong:\n%s", out)
+	}
+}
+
+func TestChaosErrors(t *testing.T) {
+	if code, _, _ := runCtl(t, nil, "chaos", "p"); code != 2 {
+		t.Errorf("missing spec: code=%d", code)
+	}
+	files := map[string]string{"p": mustPack(t, "failsafe")}
+	if code, _, _ := runCtl(t, files, "chaos", "p", "explode:transmitter"); code != 2 {
+		t.Errorf("bad spec: code=%d", code)
+	}
+	if code, _, _ := runCtl(t, nil, "chaos", "missing", "drop:canbus"); code != 1 {
+		t.Errorf("missing policy: code=%d", code)
+	}
+}
+
+func mustPack(t *testing.T, name string) string {
+	t.Helper()
+	src, err := policies.Load(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return src
 }

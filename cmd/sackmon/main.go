@@ -6,6 +6,14 @@
 // Usage:
 //
 //	sackmon [-trace city-crash|highway|park] [-policy <file>] [-metrics]
+//	        [-pipeline] [-faults <spec>] [-fault-seed <n>]
+//	        [-failsafe <state>] [-heartbeat <dur>]
+//
+// -faults arms deterministic fault injection (see sack.ParseFaultSpec
+// for the spec grammar); -pipeline prints the kernel's pipeline health
+// file after the run; -heartbeat makes the SDS emit heartbeats and
+// ticks the kernel watchdog every trace point, so a stalled transmitter
+// degrades the SSM to the policy's (or -failsafe's) fail-safe state.
 package main
 
 import (
@@ -62,19 +70,42 @@ transitions {
 }
 `
 
+// runConfig carries the flag values into the testable entry point.
+type runConfig struct {
+	trace     string
+	policy    string // policy file path; "" selects the built-in policy
+	metrics   bool
+	pipeline  bool          // print the pipeline health file after the run
+	faults    string        // fault-plan spec; "" disables injection
+	faultSeed int64         // deterministic seed for the fault plan
+	failsafe  string        // fail-safe state override; "" keeps the policy's
+	heartbeat time.Duration // SDS heartbeat interval; 0 disables
+
+	stdout   io.Writer
+	readFile func(string) ([]byte, error)
+}
+
 func main() {
-	traceName := flag.String("trace", "city-crash", "drive trace: city-crash, highway, or park")
-	policyPath := flag.String("policy", "", "SACK policy file (default: built-in 4-state policy)")
-	showMetrics := flag.Bool("metrics", false, "print the kernel hook/AVC metrics view after the run")
+	var cfg runConfig
+	flag.StringVar(&cfg.trace, "trace", "city-crash", "drive trace: city-crash, highway, or park")
+	flag.StringVar(&cfg.policy, "policy", "", "SACK policy file (default: built-in 4-state policy)")
+	flag.BoolVar(&cfg.metrics, "metrics", false, "print the kernel hook/AVC metrics view after the run")
+	flag.BoolVar(&cfg.pipeline, "pipeline", false, "print the kernel pipeline health view after the run")
+	flag.StringVar(&cfg.faults, "faults", "", "fault-plan spec, e.g. stall:transmitter:after=10:for=5")
+	flag.Int64Var(&cfg.faultSeed, "fault-seed", 1, "deterministic seed for the fault plan")
+	flag.StringVar(&cfg.failsafe, "failsafe", "", "fail-safe state override (default: the policy's failsafe)")
+	flag.DurationVar(&cfg.heartbeat, "heartbeat", 0, "SDS heartbeat interval (0 disables; enables the kernel watchdog)")
 	flag.Parse()
-	os.Exit(run(*traceName, *policyPath, *showMetrics, os.Stdout, os.ReadFile))
+	cfg.stdout, cfg.readFile = os.Stdout, os.ReadFile
+	os.Exit(run(cfg))
 }
 
 // run is the testable entry point; it returns the process exit code.
-func run(traceName, policyPath string, showMetrics bool, stdout io.Writer, readFile func(string) ([]byte, error)) int {
+func run(cfg runConfig) int {
+	stdout := cfg.stdout
 	policyText := defaultPolicy
-	if policyPath != "" {
-		data, err := readFile(policyPath)
+	if cfg.policy != "" {
+		data, err := cfg.readFile(cfg.policy)
 		if err != nil {
 			log.Printf("sackmon: %v", err)
 			return 1
@@ -83,7 +114,7 @@ func run(traceName, policyPath string, showMetrics bool, stdout io.Writer, readF
 	}
 
 	var tr trace.Trace
-	switch traceName {
+	switch cfg.trace {
 	case "city-crash":
 		tr = trace.CityDriveWithCrash()
 	case "highway":
@@ -91,11 +122,23 @@ func run(traceName, policyPath string, showMetrics bool, stdout io.Writer, readF
 	case "park":
 		tr = trace.ParkAndLeave()
 	default:
-		log.Printf("sackmon: unknown trace %q", traceName)
+		log.Printf("sackmon: unknown trace %q", cfg.trace)
 		return 2
 	}
 
-	sys, err := sack.New(policyText, sack.WithMode(sack.Independent))
+	opts := []sack.Option{sack.WithMode(sack.Independent)}
+	if cfg.faults != "" {
+		plan, err := sack.ParseFaultSpec(cfg.faults, cfg.faultSeed)
+		if err != nil {
+			log.Printf("sackmon: %v", err)
+			return 2
+		}
+		opts = append(opts, sack.WithFaultPlan(plan))
+	}
+	if cfg.failsafe != "" {
+		opts = append(opts, sack.WithFailsafe(cfg.failsafe))
+	}
+	sys, err := sack.New(policyText, opts...)
 	if err != nil {
 		log.Printf("sackmon: %v", err)
 		return 1
@@ -103,13 +146,18 @@ func run(traceName, policyPath string, showMetrics bool, stdout io.Writer, readF
 	root := sys.Kernel.Init()
 
 	clock := sds.NewVirtualClock(time.Unix(1_700_000_000, 0))
-	service, err := sys.NewSDS(root, clock,
+	detectors := []sds.Detector{
 		sds.DrivingDetector(),
 		sds.CrashDetector(8.0),
 		sds.AllClearDetector(8.0),
 		sds.ParkingDetector(),
 		sds.SpeedBandDetector(100),
-	)
+	}
+	var sdsOpts []sack.SDSOption
+	if cfg.heartbeat > 0 {
+		sdsOpts = append(sdsOpts, sds.WithHeartbeat(cfg.heartbeat))
+	}
+	service, err := sys.NewSDSWith(root, clock, detectors, sdsOpts...)
 	if err != nil {
 		log.Printf("sackmon: %v", err)
 		return 1
@@ -125,10 +173,16 @@ func run(traceName, policyPath string, showMetrics bool, stdout io.Writer, readF
 		}
 		trace.Apply(p, sys.Vehicle.Dynamics)
 		events, err := service.Poll()
-		if err != nil {
+		if err != nil && cfg.faults == "" {
 			log.Printf("sackmon: poll: %v", err)
 			return 1
 		}
+		if err != nil {
+			// Injected faults make delivery fail transiently; the SDS
+			// retries with backoff, so report and keep driving.
+			fmt.Fprintf(stdout, "!! poll: %v\n", err)
+		}
+		sys.Pipeline().Check(clock.Now())
 		di := fmt.Sprintf("%v/%v", b2i(p.Driver), b2i(p.Ignition))
 		stateLine, err := root.ReadFileAll("/sys/kernel/security/SACK/state")
 		if err != nil {
@@ -142,13 +196,21 @@ func run(traceName, policyPath string, showMetrics bool, stdout io.Writer, readF
 	fmt.Fprintf(stdout, "\nSSM: %d transitions, %d ignored events, %d polls\n",
 		transitions, ignored, service.Polls())
 
-	if showMetrics {
+	if cfg.metrics {
 		out, err := root.ReadFileAll(sack.MetricsFile)
 		if err != nil {
 			log.Printf("sackmon: metrics read: %v", err)
 			return 1
 		}
 		fmt.Fprintf(stdout, "\n-- %s --\n%s", sack.MetricsFile, out)
+	}
+	if cfg.pipeline {
+		out, err := root.ReadFileAll(sack.PipelineFile)
+		if err != nil {
+			log.Printf("sackmon: pipeline read: %v", err)
+			return 1
+		}
+		fmt.Fprintf(stdout, "\n-- %s --\n%s", sack.PipelineFile, out)
 	}
 	return 0
 }

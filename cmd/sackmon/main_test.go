@@ -5,11 +5,21 @@ import (
 	"errors"
 	"strings"
 	"testing"
+	"time"
 )
+
+// runWith builds a runConfig over the given output buffer.
+func runWith(out *bytes.Buffer, mutate func(*runConfig)) int {
+	cfg := runConfig{trace: "city-crash", stdout: out}
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	return run(cfg)
+}
 
 func TestRunCityCrashTrace(t *testing.T) {
 	var out bytes.Buffer
-	if code := run("city-crash", "", false, &out, nil); code != 0 {
+	if code := runWith(&out, nil); code != 0 {
 		t.Fatalf("exit %d", code)
 	}
 	text := out.String()
@@ -28,7 +38,7 @@ func TestRunCityCrashTrace(t *testing.T) {
 
 func TestRunParkTrace(t *testing.T) {
 	var out bytes.Buffer
-	if code := run("park", "", false, &out, nil); code != 0 {
+	if code := runWith(&out, func(c *runConfig) { c.trace = "park" }); code != 0 {
 		t.Fatalf("exit %d", code)
 	}
 	if !strings.Contains(out.String(), "parking_without_driver") {
@@ -38,22 +48,32 @@ func TestRunParkTrace(t *testing.T) {
 
 func TestRunErrors(t *testing.T) {
 	var out bytes.Buffer
-	if code := run("no-such-trace", "", false, &out, nil); code != 2 {
+	if code := runWith(&out, func(c *runConfig) { c.trace = "no-such-trace" }); code != 2 {
 		t.Errorf("unknown trace exit = %d", code)
 	}
-	readFail := func(string) ([]byte, error) { return nil, errors.New("nope") }
-	if code := run("park", "/missing", false, &out, readFail); code != 1 {
+	if code := runWith(&out, func(c *runConfig) {
+		c.trace, c.policy = "park", "/missing"
+		c.readFile = func(string) ([]byte, error) { return nil, errors.New("nope") }
+	}); code != 1 {
 		t.Errorf("unreadable policy exit = %d", code)
 	}
-	badPolicy := func(string) ([]byte, error) { return []byte("states {"), nil }
-	if code := run("park", "/bad", false, &out, badPolicy); code != 1 {
+	if code := runWith(&out, func(c *runConfig) {
+		c.trace, c.policy = "park", "/bad"
+		c.readFile = func(string) ([]byte, error) { return []byte("states {"), nil }
+	}); code != 1 {
 		t.Errorf("bad policy exit = %d", code)
+	}
+	if code := runWith(&out, func(c *runConfig) { c.faults = "explode:transmitter" }); code != 2 {
+		t.Errorf("bad fault spec exit = %d", code)
+	}
+	if code := runWith(&out, func(c *runConfig) { c.failsafe = "no_such_state" }); code != 1 {
+		t.Errorf("undeclared failsafe exit = %d", code)
 	}
 }
 
 func TestRunMetricsView(t *testing.T) {
 	var out bytes.Buffer
-	if code := run("city-crash", "", true, &out, nil); code != 0 {
+	if code := runWith(&out, func(c *runConfig) { c.metrics = true }); code != 0 {
 		t.Fatalf("exit %d", code)
 	}
 	text := out.String()
@@ -64,6 +84,50 @@ func TestRunMetricsView(t *testing.T) {
 	} {
 		if !strings.Contains(text, frag) {
 			t.Errorf("metrics output missing %q:\n%s", frag, text)
+		}
+	}
+}
+
+func TestRunPipelineView(t *testing.T) {
+	var out bytes.Buffer
+	if code := runWith(&out, func(c *runConfig) {
+		c.pipeline = true
+		c.heartbeat = 2 * time.Second
+	}); code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	text := out.String()
+	for _, frag := range []string{
+		"/sys/kernel/security/sack/pipeline",
+		"degraded: false",
+		"heartbeat_armed: true",
+	} {
+		if !strings.Contains(text, frag) {
+			t.Errorf("pipeline output missing %q:\n%s", frag, text)
+		}
+	}
+}
+
+func TestRunStalledTransmitterDegrades(t *testing.T) {
+	var out bytes.Buffer
+	if code := runWith(&out, func(c *runConfig) {
+		c.pipeline = true
+		c.heartbeat = time.Second
+		c.failsafe = "emergency"
+		c.faults = "stall:transmitter:after=3"
+		c.faultSeed = 7
+	}); code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	text := out.String()
+	for _, frag := range []string{
+		"!! poll:",
+		"degraded: true",
+		"reason: heartbeat_lapse",
+		"failsafe_state: emergency",
+	} {
+		if !strings.Contains(text, frag) {
+			t.Errorf("degraded run missing %q:\n%s", frag, text)
 		}
 	}
 }

@@ -20,6 +20,7 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/apparmor"
 	"repro/internal/avc"
@@ -69,6 +70,14 @@ type Config struct {
 
 	// AVCSize overrides the cache slot count (0 = avc.DefaultSize).
 	AVCSize int
+
+	// Failsafe overrides the policy's declared failsafe state for the
+	// event-pipeline watchdog ("" = use the policy's declaration).
+	Failsafe string
+
+	// HeartbeatWindow is how stale the SDS heartbeat may grow before the
+	// pipeline degrades (0 = DefaultHeartbeatWindow).
+	HeartbeatWindow time.Duration
 }
 
 // SACK is the security module. It implements the lsm capability
@@ -112,6 +121,10 @@ type SACK struct {
 	breakGlassSeq atomic.Uint64
 	breakGlassMu  sync.Mutex
 	breakGlassLog []BreakGlassRecord
+
+	// pipe watches the SDS heartbeat and fails the SSM safe when the
+	// event pipeline dies (see pipeline.go).
+	pipe *Pipeline
 }
 
 // policyState bundles the compiled policy with its source text so both
@@ -139,8 +152,18 @@ func New(cfg Config) (*SACK, error) {
 	if !cfg.DisableAVC {
 		s.cache = avc.New(cfg.AVCSize)
 	}
+	window := cfg.HeartbeatWindow
+	if window == 0 {
+		window = DefaultHeartbeatWindow
+	}
+	s.pipe = &Pipeline{s: s, window: window, failsafeOverride: cfg.Failsafe}
 	if err := s.installPolicy(cfg.Policy, cfg.Source); err != nil {
 		return nil, err
+	}
+	if fs := s.pipe.Failsafe(); fs != "" {
+		if _, ok := cfg.Policy.StateSets[fs]; !ok {
+			return nil, fmt.Errorf("sack: failsafe state %q not declared by policy", fs)
+		}
 	}
 	return s, nil
 }
@@ -227,9 +250,48 @@ func (s *SACK) ReplacePolicy(c *policy.Compiled, source string) error {
 	return s.installPolicy(c, source)
 }
 
+// Pipeline exposes the event-pipeline resilience monitor.
+func (s *SACK) Pipeline() *Pipeline { return s.pipe }
+
+// Deliver feeds a situation event to the SSM through the typed event
+// path — the canonical sack.EventSink entry point. While the pipeline is
+// pinned (degraded with a declared failsafe state) the event is rejected
+// with ErrDegraded before it touches the accounting counters: an event
+// arriving while detection is dead is stale or forged, and the SSM is
+// held in the failsafe state until the heartbeat recovers. An event
+// no transition rule reacts to is still delivered (and counted ignored,
+// keeping eventsIn == transitions + ignored exact) but reported as
+// ErrUnknownEvent so producers can catch typos.
+func (s *SACK) Deliver(ev ssm.Event) error {
+	if s.pipe.Pinned() {
+		s.pipe.rejectedDegraded.Add(1)
+		return ErrDegraded
+	}
+	m := s.machine.Load()
+	known := m.KnowsEvent(ev)
+	s.eventsIn.Add(1)
+	if transitioned, _, _ := m.Deliver(ev); transitioned {
+		s.eventsHit.Add(1)
+	}
+	if !known {
+		s.pipe.unknownEvents.Add(1)
+		return fmt.Errorf("%w: %q", ErrUnknownEvent, ev)
+	}
+	return nil
+}
+
 // DeliverEvent feeds a situation event to the SSM. It is the programmatic
 // equivalent of writing to /sys/kernel/security/SACK/events.
+//
+// Deprecated: use Deliver, which reports typed errors and respects
+// pipeline degradation. DeliverEvent is kept as a thin wrapper for the
+// pre-resilience call sites; while degraded it reports no transition.
 func (s *SACK) DeliverEvent(ev ssm.Event) (transitioned bool, from, to ssm.State) {
+	if s.pipe.Pinned() {
+		s.pipe.rejectedDegraded.Add(1)
+		cur := s.machine.Load().Current()
+		return false, cur, cur
+	}
 	s.eventsIn.Add(1)
 	transitioned, from, to = s.machine.Load().Deliver(ev)
 	if transitioned {

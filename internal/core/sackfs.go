@@ -61,6 +61,16 @@ func (s *SACK) RegisterSecurityFS(secfs *securityfs.FS) error {
 					if ev == "" {
 						continue
 					}
+					// Control lines ("!..." — heartbeats and future SDS
+					// health reports) share the event channel so that a
+					// stalled transmitter silences both; they are routed
+					// to the pipeline monitor, not the SSM.
+					if strings.HasPrefix(ev, "!") {
+						if err := s.pipe.handleControl(ev); err != nil {
+							return err
+						}
+						continue
+					}
 					s.DeliverEvent(ssm.Event(ev))
 				}
 				return nil
@@ -166,5 +176,22 @@ func (s *SACK) RegisterSecurityFS(secfs *securityfs.FS) error {
 			return err
 		}
 	}
-	return nil
+	return s.registerPipelineFS(secfs)
+}
+
+// registerPipelineFS exposes the event-pipeline health view beside the
+// kernel's hook metrics file (the lowercase "sack" directory): like
+// metrics it carries operational health rather than policy content, so
+// it is world-readable. The directory already exists when the kernel
+// registered its metrics file first; that is not an error.
+func (s *SACK) registerPipelineFS(secfs *securityfs.FS) error {
+	if _, err := secfs.CreateDir("sack"); err != nil && err != sys.EEXIST {
+		return err
+	}
+	_, err := secfs.CreateFile("sack", "pipeline", 0o444, &securityfs.FuncFile{
+		OnRead: func(*sys.Cred) ([]byte, error) {
+			return []byte(s.pipe.Render()), nil
+		},
+	})
+	return err
 }

@@ -1,0 +1,365 @@
+// Package faults is a deterministic, seedable fault-injection harness
+// for the situation-event pipeline. A Plan declares which faults strike
+// which pipeline stages (sensors, the SACKfs transmitter, CAN-bus frame
+// delivery) and when; an Injector executes the plan, answering one
+// Decide call per operation with the fault to apply. Given the same
+// plan (seed included) and the same sequence of Decide calls, the
+// decisions are identical — chaos-test failures replay exactly from
+// the seed, including under the race detector, because no wall-clock
+// time or global randomness is consulted.
+//
+// The taxonomy covers the failure classes automotive event channels
+// exhibit:
+//
+//	Drop       the operation's payload vanishes silently
+//	Delay      the payload is held back for N operations, then released
+//	Duplicate  the payload is delivered twice (at-least-once channels)
+//	Reorder    the payload is held and re-delivered after its successors
+//	Corrupt    the payload is mangled (bit flips, garbled event names)
+//	Stall      the operation fails outright (channel down, write error)
+//
+// The engine is payload-agnostic: wrappers in internal/sds and
+// internal/vehicle translate decisions into sensor readings, event
+// batches, and CAN frames.
+package faults
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// Well-known injection targets. Wrappers pass these to Decide; plans
+// reference them in rules. Sensor targets are "sensor:<name>".
+// TargetTransmitter scopes whole-batch faults (stall, delay) while
+// TargetTransmitterEvent scopes per-event-line faults (drop, duplicate,
+// corrupt, reorder).
+const (
+	TargetTransmitter      = "transmitter"
+	TargetTransmitterEvent = "transmitter:event"
+	TargetCANBus           = "canbus"
+	sensorPrefix           = "sensor:"
+)
+
+// ErrStall is the error an injected whole-batch stall surfaces as — the
+// simulated "SACKfs write hangs/fails" condition upstream retry logic
+// reacts to.
+var ErrStall = errors.New("faults: injected transmitter stall")
+
+// SensorTarget names the injection point for one sensor.
+func SensorTarget(name string) string { return sensorPrefix + name }
+
+// Kind is one fault class.
+type Kind uint8
+
+// Fault kinds. None means the operation proceeds untouched.
+const (
+	None Kind = iota
+	Drop
+	Delay
+	Duplicate
+	Reorder
+	Corrupt
+	Stall
+	numKinds
+)
+
+var kindNames = [numKinds]string{"none", "drop", "delay", "duplicate", "reorder", "corrupt", "stall"}
+
+// String names the kind in the spec grammar's vocabulary.
+func (k Kind) String() string {
+	if k >= numKinds {
+		return fmt.Sprintf("kind(%d)", uint8(k))
+	}
+	return kindNames[k]
+}
+
+// ParseKind inverts String.
+func ParseKind(s string) (Kind, error) {
+	for k, name := range kindNames {
+		if s == name && Kind(k) != None {
+			return Kind(k), nil
+		}
+	}
+	return None, fmt.Errorf("faults: unknown fault kind %q (want drop, delay, duplicate, reorder, corrupt, or stall)", s)
+}
+
+// Rule schedules one fault against one target. Operations on a target
+// are counted from zero; a rule is live for operations in [After,
+// After+For) — For of 0 means "forever". Within the live window the
+// fault strikes each operation with probability Prob (Prob of 0 means
+// always, so a plain {Target, Kind} rule reads naturally).
+type Rule struct {
+	Target string
+	Kind   Kind
+	Prob   float64 // 0 => every operation in the window
+	After  int     // first operation index the rule applies to
+	For    int     // number of operations the rule stays live; 0 = unbounded
+	Ops    int     // Delay: operations to hold the payload (default 1)
+	Mag    float64 // Corrupt (sensors): value perturbation magnitude (default 1)
+}
+
+// live reports whether the rule window covers operation op.
+func (r Rule) live(op int) bool {
+	if op < r.After {
+		return false
+	}
+	return r.For == 0 || op < r.After+r.For
+}
+
+// String renders the rule in the spec grammar.
+func (r Rule) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s:%s", r.Kind, r.Target)
+	if r.Prob > 0 {
+		fmt.Fprintf(&b, ":p=%g", r.Prob)
+	}
+	if r.After > 0 {
+		fmt.Fprintf(&b, ":after=%d", r.After)
+	}
+	if r.For > 0 {
+		fmt.Fprintf(&b, ":for=%d", r.For)
+	}
+	if r.Ops > 0 {
+		fmt.Fprintf(&b, ":ops=%d", r.Ops)
+	}
+	if r.Mag != 0 {
+		fmt.Fprintf(&b, ":mag=%g", r.Mag)
+	}
+	return b.String()
+}
+
+// Plan is a complete fault schedule: a seed and the rules to execute.
+// The zero Plan injects nothing.
+type Plan struct {
+	Seed  int64
+	Rules []Rule
+}
+
+// Add appends a rule and returns the plan for chaining.
+func (p *Plan) Add(r Rule) *Plan {
+	p.Rules = append(p.Rules, r)
+	return p
+}
+
+// String renders the plan as a parseable spec.
+func (p *Plan) String() string {
+	parts := make([]string, len(p.Rules))
+	for i, r := range p.Rules {
+		parts[i] = r.String()
+	}
+	return strings.Join(parts, ",")
+}
+
+// ParseSpec parses the compact fault-plan grammar used by the CLIs:
+//
+//	spec  = rule *("," rule)
+//	rule  = kind ":" target *(":" opt)
+//	opt   = ("p" | "after" | "for" | "ops" | "mag") "=" value
+//
+// Example: "stall:transmitter:after=10:for=5,drop:sensor:accel_g:p=0.2"
+// — note sensor targets themselves contain a colon, so any segment
+// without "=" extends the target.
+func ParseSpec(spec string, seed int64) (*Plan, error) {
+	plan := &Plan{Seed: seed}
+	if strings.TrimSpace(spec) == "" {
+		return plan, nil
+	}
+	for _, part := range strings.Split(spec, ",") {
+		segs := strings.Split(strings.TrimSpace(part), ":")
+		if len(segs) < 2 {
+			return nil, fmt.Errorf("faults: rule %q needs kind:target", part)
+		}
+		kind, err := ParseKind(segs[0])
+		if err != nil {
+			return nil, err
+		}
+		r := Rule{Kind: kind}
+		i := 1
+		// Target may itself contain colons (sensor:accel_g): consume
+		// segments until one looks like an option.
+		for ; i < len(segs) && !strings.Contains(segs[i], "="); i++ {
+			if r.Target != "" {
+				r.Target += ":"
+			}
+			r.Target += segs[i]
+		}
+		for ; i < len(segs); i++ {
+			key, val, _ := strings.Cut(segs[i], "=")
+			switch key {
+			case "p":
+				if r.Prob, err = strconv.ParseFloat(val, 64); err != nil {
+					return nil, fmt.Errorf("faults: rule %q: bad probability %q", part, val)
+				}
+			case "after":
+				if r.After, err = strconv.Atoi(val); err != nil {
+					return nil, fmt.Errorf("faults: rule %q: bad after %q", part, val)
+				}
+			case "for":
+				if r.For, err = strconv.Atoi(val); err != nil {
+					return nil, fmt.Errorf("faults: rule %q: bad for %q", part, val)
+				}
+			case "ops":
+				if r.Ops, err = strconv.Atoi(val); err != nil {
+					return nil, fmt.Errorf("faults: rule %q: bad ops %q", part, val)
+				}
+			case "mag":
+				if r.Mag, err = strconv.ParseFloat(val, 64); err != nil {
+					return nil, fmt.Errorf("faults: rule %q: bad mag %q", part, val)
+				}
+			default:
+				return nil, fmt.Errorf("faults: rule %q: unknown option %q", part, key)
+			}
+		}
+		if r.Target == "" {
+			return nil, fmt.Errorf("faults: rule %q has no target", part)
+		}
+		plan.Rules = append(plan.Rules, r)
+	}
+	return plan, nil
+}
+
+// Action is the injector's verdict for one operation.
+type Action struct {
+	Kind Kind
+	Ops  int     // Delay: hold for this many operations
+	Mag  float64 // Corrupt: perturbation magnitude
+}
+
+// Stats counts decisions per fault kind for one target.
+type Stats struct {
+	Ops        int // total Decide calls
+	Drops      int
+	Delays     int
+	Duplicates int
+	Reorders   int
+	Corrupts   int
+	Stalls     int
+}
+
+func (s *Stats) count(k Kind) {
+	switch k {
+	case Drop:
+		s.Drops++
+	case Delay:
+		s.Delays++
+	case Duplicate:
+		s.Duplicates++
+	case Reorder:
+		s.Reorders++
+	case Corrupt:
+		s.Corrupts++
+	case Stall:
+		s.Stalls++
+	}
+}
+
+// Injected reports how many operations were faulted.
+func (s Stats) Injected() int {
+	return s.Drops + s.Delays + s.Duplicates + s.Reorders + s.Corrupts + s.Stalls
+}
+
+// Injector executes a Plan. Safe for concurrent use; decisions are a
+// pure function of the plan and the per-target operation sequence.
+type Injector struct {
+	mu    sync.Mutex
+	rules []Rule
+	rng   *rand.Rand
+	ops   map[string]int
+	stats map[string]*Stats
+}
+
+// New builds an injector for the plan. A nil plan injects nothing.
+func New(plan *Plan) *Injector {
+	in := &Injector{
+		ops:   make(map[string]int),
+		stats: make(map[string]*Stats),
+	}
+	var seed int64
+	if plan != nil {
+		in.rules = append(in.rules, plan.Rules...)
+		seed = plan.Seed
+	}
+	in.rng = rand.New(rand.NewSource(seed))
+	return in
+}
+
+// Decide consumes one operation on target and returns the fault to
+// apply, if any. The first live matching rule wins; its probability is
+// drawn from the plan's seeded stream, so identical call sequences give
+// identical fault schedules.
+func (in *Injector) Decide(target string) Action {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	op := in.ops[target]
+	in.ops[target] = op + 1
+	st := in.stats[target]
+	if st == nil {
+		st = &Stats{}
+		in.stats[target] = st
+	}
+	st.Ops++
+	for _, r := range in.rules {
+		if r.Target != target && r.Target != "*" {
+			continue
+		}
+		if !r.live(op) {
+			continue
+		}
+		if r.Prob > 0 && in.rng.Float64() >= r.Prob {
+			continue
+		}
+		st.count(r.Kind)
+		a := Action{Kind: r.Kind, Ops: r.Ops, Mag: r.Mag}
+		if a.Kind == Delay && a.Ops <= 0 {
+			a.Ops = 1
+		}
+		if a.Kind == Corrupt && a.Mag == 0 {
+			a.Mag = 1
+		}
+		return a
+	}
+	return Action{}
+}
+
+// Stats snapshots the per-target decision counters.
+func (in *Injector) Stats() map[string]Stats {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	out := make(map[string]Stats, len(in.stats))
+	for t, s := range in.stats {
+		out[t] = *s
+	}
+	return out
+}
+
+// TotalInjected sums injected faults across every target.
+func (in *Injector) TotalInjected() int {
+	n := 0
+	for _, s := range in.Stats() {
+		n += s.Injected()
+	}
+	return n
+}
+
+// Render formats the per-target counters, one line per target, sorted —
+// the view surfaced by sackctl chaos and the example scenarios.
+func (in *Injector) Render() string {
+	stats := in.Stats()
+	targets := make([]string, 0, len(stats))
+	for t := range stats {
+		targets = append(targets, t)
+	}
+	sort.Strings(targets)
+	var b strings.Builder
+	for _, t := range targets {
+		s := stats[t]
+		fmt.Fprintf(&b, "fault %-20s ops=%d drops=%d delays=%d dups=%d reorders=%d corrupts=%d stalls=%d\n",
+			t, s.Ops, s.Drops, s.Delays, s.Duplicates, s.Reorders, s.Corrupts, s.Stalls)
+	}
+	return b.String()
+}

@@ -1,0 +1,154 @@
+package faults
+
+import (
+	"testing"
+)
+
+func TestZeroPlanInjectsNothing(t *testing.T) {
+	in := New(nil)
+	for i := 0; i < 100; i++ {
+		if a := in.Decide(TargetTransmitter); a.Kind != None {
+			t.Fatalf("op %d: nil plan injected %v", i, a.Kind)
+		}
+	}
+	if in.TotalInjected() != 0 {
+		t.Fatalf("injected = %d", in.TotalInjected())
+	}
+	if got := in.Stats()[TargetTransmitter].Ops; got != 100 {
+		t.Fatalf("ops = %d", got)
+	}
+}
+
+func TestWindowedStall(t *testing.T) {
+	plan := (&Plan{}).Add(Rule{Target: TargetTransmitter, Kind: Stall, After: 3, For: 4})
+	in := New(plan)
+	for i := 0; i < 10; i++ {
+		a := in.Decide(TargetTransmitter)
+		want := None
+		if i >= 3 && i < 7 {
+			want = Stall
+		}
+		if a.Kind != want {
+			t.Fatalf("op %d: got %v want %v", i, a.Kind, want)
+		}
+	}
+	if st := in.Stats()[TargetTransmitter]; st.Stalls != 4 {
+		t.Fatalf("stalls = %d", st.Stalls)
+	}
+}
+
+func TestSeedDeterminism(t *testing.T) {
+	plan := &Plan{Seed: 42, Rules: []Rule{
+		{Target: TargetTransmitter, Kind: Drop, Prob: 0.3},
+		{Target: SensorTarget("accel_g"), Kind: Corrupt, Prob: 0.5, Mag: 2},
+	}}
+	run := func() []Kind {
+		in := New(plan)
+		var out []Kind
+		for i := 0; i < 200; i++ {
+			out = append(out, in.Decide(TargetTransmitter).Kind)
+			out = append(out, in.Decide(SensorTarget("accel_g")).Kind)
+		}
+		return out
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("decision %d diverged: %v vs %v", i, a[i], b[i])
+		}
+	}
+	// A different seed must (with these probabilities) diverge somewhere.
+	other := New(&Plan{Seed: 43, Rules: plan.Rules})
+	diverged := false
+	in := New(plan)
+	for i := 0; i < 200; i++ {
+		if in.Decide(TargetTransmitter).Kind != other.Decide(TargetTransmitter).Kind {
+			diverged = true
+			break
+		}
+	}
+	if !diverged {
+		t.Fatal("seeds 42 and 43 produced identical schedules")
+	}
+}
+
+func TestRuleDefaults(t *testing.T) {
+	in := New((&Plan{}).
+		Add(Rule{Target: "a", Kind: Delay}).
+		Add(Rule{Target: "b", Kind: Corrupt}))
+	if a := in.Decide("a"); a.Kind != Delay || a.Ops != 1 {
+		t.Fatalf("delay defaults: %+v", a)
+	}
+	if a := in.Decide("b"); a.Kind != Corrupt || a.Mag != 1 {
+		t.Fatalf("corrupt defaults: %+v", a)
+	}
+}
+
+func TestWildcardTarget(t *testing.T) {
+	in := New((&Plan{}).Add(Rule{Target: "*", Kind: Drop}))
+	if a := in.Decide("anything"); a.Kind != Drop {
+		t.Fatalf("wildcard miss: %+v", a)
+	}
+}
+
+func TestParseSpecRoundTrip(t *testing.T) {
+	spec := "stall:transmitter:after=10:for=5,drop:sensor:accel_g:p=0.2,corrupt:canbus:p=0.1:mag=3,delay:transmitter:ops=2"
+	plan, err := ParseSpec(spec, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Seed != 7 || len(plan.Rules) != 4 {
+		t.Fatalf("plan = %+v", plan)
+	}
+	r := plan.Rules[0]
+	if r.Kind != Stall || r.Target != TargetTransmitter || r.After != 10 || r.For != 5 {
+		t.Fatalf("rule 0 = %+v", r)
+	}
+	if got := plan.Rules[1].Target; got != "sensor:accel_g" {
+		t.Fatalf("sensor target = %q", got)
+	}
+	if plan.Rules[2].Mag != 3 || plan.Rules[2].Prob != 0.1 {
+		t.Fatalf("rule 2 = %+v", plan.Rules[2])
+	}
+	// Rendering parses back to the same rules.
+	again, err := ParseSpec(plan.String(), 7)
+	if err != nil {
+		t.Fatalf("re-parse %q: %v", plan.String(), err)
+	}
+	for i := range plan.Rules {
+		if plan.Rules[i] != again.Rules[i] {
+			t.Fatalf("round trip rule %d: %+v vs %+v", i, plan.Rules[i], again.Rules[i])
+		}
+	}
+}
+
+func TestParseSpecErrors(t *testing.T) {
+	for _, bad := range []string{
+		"explode:transmitter",
+		"drop",
+		"drop:transmitter:p=abc",
+		"drop:transmitter:bogus=1",
+		"drop::p=0.5",
+	} {
+		if _, err := ParseSpec(bad, 0); err == nil {
+			t.Errorf("spec %q parsed", bad)
+		}
+	}
+	plan, err := ParseSpec("  ", 0)
+	if err != nil || len(plan.Rules) != 0 {
+		t.Fatalf("blank spec: %v %+v", err, plan)
+	}
+}
+
+func TestProbabilityRoughlyRespected(t *testing.T) {
+	in := New(&Plan{Seed: 1, Rules: []Rule{{Target: "t", Kind: Drop, Prob: 0.25}}})
+	hits := 0
+	for i := 0; i < 4000; i++ {
+		if in.Decide("t").Kind == Drop {
+			hits++
+		}
+	}
+	if hits < 800 || hits > 1200 {
+		t.Fatalf("p=0.25 over 4000 ops hit %d times", hits)
+	}
+}

@@ -6,6 +6,8 @@ type File struct {
 	States      []StateDecl
 	Initial     string
 	InitialPos  Pos
+	Failsafe    string // state the SSM degrades to when detection dies
+	FailsafePos Pos
 	Permissions []PermDecl
 	Events      []EventDecl
 	StatePer    []StatePerDecl

@@ -236,6 +236,7 @@ type CompiledTransition struct {
 type Compiled struct {
 	States      []StateInfo
 	Initial     string
+	Failsafe    string // "" when the policy declares no failsafe state
 	Permissions []string
 	StatePerms  map[string][]string       // f: SS_i -> P_i
 	PermRules   map[string][]CompiledRule // g: P_i -> MR_i
@@ -285,6 +286,7 @@ func Compile(f *File) (*Compiled, *ValidationResult, error) {
 	if c.Initial == "" {
 		c.Initial = f.States[0].Name
 	}
+	c.Failsafe = f.Failsafe
 	c.Permissions = f.PermissionNames()
 
 	for _, sp := range f.StatePer {

@@ -8,7 +8,7 @@ import (
 
 // Change is one difference between two compiled policies.
 type Change struct {
-	Kind   string // "state", "permission", "rule", "transition", "initial"
+	Kind   string // "state", "permission", "rule", "transition", "initial", "failsafe"
 	Action string // "added", "removed", "changed"
 	Detail string
 }
@@ -29,6 +29,19 @@ func Diff(old, new *Compiled) []Change {
 	if old.Initial != new.Initial {
 		out = append(out, Change{Kind: "initial", Action: "changed",
 			Detail: fmt.Sprintf("%s -> %s", old.Initial, new.Initial)})
+	}
+
+	// Failsafe state.
+	if old.Failsafe != new.Failsafe {
+		from, to := old.Failsafe, new.Failsafe
+		if from == "" {
+			from = "(none)"
+		}
+		if to == "" {
+			to = "(none)"
+		}
+		out = append(out, Change{Kind: "failsafe", Action: "changed",
+			Detail: fmt.Sprintf("%s -> %s", from, to)})
 	}
 
 	// States (by name; encodings compared for survivors).

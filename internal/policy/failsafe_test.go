@@ -1,0 +1,106 @@
+package policy
+
+import (
+	"strings"
+	"testing"
+)
+
+const failsafeSrc = `
+states { normal = 0, emergency = 1, lockdown = 2 }
+initial normal
+failsafe lockdown
+
+permissions { P }
+state_per {
+  normal:    P
+  emergency: P
+  lockdown:  P
+}
+per_rules {
+  P { allow read /dev/vehicle/** }
+}
+transitions {
+  normal -> emergency on crash_detected
+  emergency -> normal on all_clear
+  lockdown -> normal on all_clear
+}
+`
+
+func TestFailsafeParsesAndCompiles(t *testing.T) {
+	c, vr, err := Load(failsafeSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !vr.OK() {
+		t.Fatalf("validation: %v", vr.Err())
+	}
+	if c.Failsafe != "lockdown" {
+		t.Fatalf("failsafe = %q", c.Failsafe)
+	}
+}
+
+func TestFailsafeUndeclaredStateIsError(t *testing.T) {
+	src := strings.Replace(failsafeSrc, "failsafe lockdown", "failsafe warp_core", 1)
+	_, vr, err := Load(src)
+	if err == nil {
+		t.Fatal("undeclared failsafe state compiled")
+	}
+	found := false
+	for _, issue := range vr.Errors() {
+		if strings.Contains(issue.Message, "failsafe state") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("no failsafe finding in %v", vr.Issues)
+	}
+}
+
+func TestFailsafeDuplicateIsParseError(t *testing.T) {
+	src := strings.Replace(failsafeSrc, "failsafe lockdown", "failsafe lockdown\nfailsafe normal", 1)
+	if _, err := Parse(src); err == nil || !strings.Contains(err.Error(), "duplicate 'failsafe'") {
+		t.Fatalf("duplicate failsafe: %v", err)
+	}
+}
+
+func TestFailsafeFormatRoundTrip(t *testing.T) {
+	f, err := Parse(failsafeSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := Format(f)
+	if !strings.Contains(text, "failsafe lockdown\n") {
+		t.Fatalf("format lost failsafe:\n%s", text)
+	}
+	again, err := Parse(text)
+	if err != nil {
+		t.Fatalf("re-parsing formatted text: %v", err)
+	}
+	if again.Failsafe != "lockdown" {
+		t.Fatalf("round trip failsafe = %q", again.Failsafe)
+	}
+}
+
+func TestFailsafeDiff(t *testing.T) {
+	withFS, _, err := Load(failsafeSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	withoutFS, _, err := Load(strings.Replace(failsafeSrc, "failsafe lockdown\n", "", 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	changes := Diff(withoutFS, withFS)
+	found := false
+	for _, c := range changes {
+		if c.Kind == "failsafe" && strings.Contains(c.Detail, "(none) -> lockdown") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("failsafe change missing from diff: %v", changes)
+	}
+	if n := len(Diff(withFS, withFS)); n != 0 {
+		t.Fatalf("self-diff has %d changes", n)
+	}
+}

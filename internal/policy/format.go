@@ -27,6 +27,10 @@ func Format(f *File) string {
 		fmt.Fprintf(&b, "initial %s\n\n", f.Initial)
 	}
 
+	if f.Failsafe != "" {
+		fmt.Fprintf(&b, "failsafe %s\n\n", f.Failsafe)
+	}
+
 	if len(f.Events) > 0 {
 		b.WriteString("events {\n")
 		for _, e := range f.Events {

@@ -26,6 +26,10 @@ func Parse(src string) (*File, error) {
 			if err := p.parseInitial(f); err != nil {
 				return nil, err
 			}
+		case "failsafe":
+			if err := p.parseFailsafe(f); err != nil {
+				return nil, err
+			}
 		case "permissions":
 			if err := p.parsePermissions(f); err != nil {
 				return nil, err
@@ -47,7 +51,7 @@ func Parse(src string) (*File, error) {
 				return nil, err
 			}
 		default:
-			return nil, p.errf("unknown section %s (want states, initial, permissions, events, state_per, per_rules, or transitions)", quoteIdent(p.tok.Text))
+			return nil, p.errf("unknown section %s (want states, initial, failsafe, permissions, events, state_per, per_rules, or transitions)", quoteIdent(p.tok.Text))
 		}
 	}
 	return f, nil
@@ -135,6 +139,25 @@ func (p *parser) parseInitial(f *File) error {
 	}
 	f.Initial = name.Text
 	f.InitialPos = pos
+	return nil
+}
+
+// parseFailsafe handles: failsafe name — the state the SSM degrades to
+// when the event pipeline loses its heartbeat or a sensor goes dark.
+func (p *parser) parseFailsafe(f *File) error {
+	pos := p.tok.Pos
+	if err := p.next(); err != nil {
+		return err
+	}
+	name, err := p.expect(TokIdent)
+	if err != nil {
+		return err
+	}
+	if f.Failsafe != "" {
+		return fmt.Errorf("policy: %s: duplicate 'failsafe' declaration", pos)
+	}
+	f.Failsafe = name.Text
+	f.FailsafePos = pos
 	return nil
 }
 

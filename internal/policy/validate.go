@@ -127,6 +127,13 @@ func Validate(f *File) *ValidationResult {
 		}
 	}
 
+	// --- failsafe state ---
+	if f.Failsafe != "" {
+		if _, ok := states[f.Failsafe]; !ok {
+			r.errorf(f.FailsafePos, "failsafe state %s is not declared", quoteIdent(f.Failsafe))
+		}
+	}
+
 	// --- permissions ---
 	perms := make(map[string]PermDecl, len(f.Permissions))
 	for _, p := range f.Permissions {
@@ -234,6 +241,12 @@ func Validate(f *File) *ValidationResult {
 	if initial != "" && len(f.Transitions) > 0 {
 		reachable := map[string]bool{initial: true}
 		queue := []string{initial}
+		// The failsafe state is entered out-of-band (pipeline
+		// degradation forces it), so it is a reachability root too.
+		if f.Failsafe != "" && !reachable[f.Failsafe] {
+			reachable[f.Failsafe] = true
+			queue = append(queue, f.Failsafe)
+		}
 		for len(queue) > 0 {
 			cur := queue[0]
 			queue = queue[1:]

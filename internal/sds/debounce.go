@@ -1,5 +1,7 @@
 package sds
 
+import "time"
+
 // Debounce wraps a detector so its events only fire after the underlying
 // detector's output has been confirmed. Automotive sensors glitch —
 // a single-sample accelerometer spike must not flip the vehicle into an
@@ -21,6 +23,15 @@ type Debounce struct {
 	seen      int
 	quiet     int
 	window    int
+
+	// Clock-based expiry: when windowDur is set and snapshots carry
+	// timestamps (they do whenever readings come from Service.Poll, whose
+	// clock is injectable), the candidate expires after windowDur of
+	// quiet instead of a poll count. This keeps debounce behavior
+	// deterministic when fault injection delays or drops polls — the
+	// poll *rate* changes but the virtual clock does not lie.
+	windowDur time.Duration
+	lastSeen  time.Time
 }
 
 // NewDebounce wraps inner; the candidate event fires once it has been
@@ -33,6 +44,14 @@ func NewDebounce(inner Detector, confirm int) *Debounce {
 	return &Debounce{inner: inner, confirm: confirm, window: confirm * 4}
 }
 
+// WithWindow switches the candidate-expiry rule from quiet-poll counting
+// to a wall-of-the-injected-clock duration (see the windowDur field).
+// Snapshots without timestamps keep the poll-count fallback.
+func (d *Debounce) WithWindow(dur time.Duration) *Debounce {
+	d.windowDur = dur
+	return d
+}
+
 // Name implements Detector.
 func (d *Debounce) Name() string { return d.inner.Name() + "-debounced" }
 
@@ -42,9 +61,18 @@ func (d *Debounce) Detect(s Snapshot) []string {
 	if d.confirm == 1 {
 		return events
 	}
+	now := s.At()
 	var out []string
 	if len(events) == 0 {
 		if d.candidate != "" {
+			if d.windowDur > 0 && !now.IsZero() && !d.lastSeen.IsZero() {
+				if now.Sub(d.lastSeen) >= d.windowDur {
+					d.candidate = ""
+					d.seen = 0
+					d.quiet = 0
+				}
+				return nil
+			}
 			d.quiet++
 			if d.quiet >= d.window {
 				d.candidate = ""
@@ -69,6 +97,7 @@ func (d *Debounce) Detect(s Snapshot) []string {
 			d.seen = 1
 			d.quiet = 0
 		}
+		d.lastSeen = now
 		if d.seen >= d.confirm {
 			out = append(out, d.candidate)
 			d.candidate = ""

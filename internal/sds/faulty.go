@@ -1,0 +1,206 @@
+package sds
+
+import (
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/faults"
+)
+
+// This file adapts the deterministic fault-injection harness
+// (internal/faults) to the two SDS boundaries it can break: sensor
+// sampling and event transmission. Both wrappers are transparent when
+// the injector decides None, so a nil-plan run is bit-identical to an
+// unwrapped one.
+
+// FaultySensor wraps a sensor with injected sampling faults:
+//
+//	drop/stall  no fresh sample — the last known value is returned with
+//	            Reading.Stale set, which feeds the dropout tracker
+//	delay       the previous sample is returned (one-poll sensor lag)
+//	corrupt     the value is replaced with a wild outlier (Mag × 1e6)
+//
+// Duplicate and reorder have no meaning for polled sensors and pass
+// through.
+type FaultySensor struct {
+	inner Sensor
+	inj   *faults.Injector
+
+	mu      sync.Mutex
+	last    Reading // most recent fresh sample (drop fallback, delay lag)
+	hasLast bool
+}
+
+// NewFaultySensor wraps inner; a nil injector returns inner unchanged.
+func NewFaultySensor(inner Sensor, inj *faults.Injector) Sensor {
+	if inj == nil {
+		return inner
+	}
+	return &FaultySensor{inner: inner, inj: inj}
+}
+
+// Name implements Sensor.
+func (f *FaultySensor) Name() string { return f.inner.Name() }
+
+// Read implements Sensor.
+func (f *FaultySensor) Read(at time.Time) Reading {
+	act := f.inj.Decide(faults.SensorTarget(f.inner.Name()))
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	switch act.Kind {
+	case faults.Drop, faults.Stall:
+		r := f.last
+		r.Sensor = f.inner.Name()
+		r.At = at
+		r.Stale = true
+		return r
+	case faults.Delay:
+		cur := f.inner.Read(at)
+		out := f.last
+		if !f.hasLast {
+			out = cur
+		}
+		f.last, f.hasLast = cur, true
+		out.Sensor = f.inner.Name()
+		return out
+	case faults.Corrupt:
+		r := f.inner.Read(at)
+		f.last, f.hasLast = r, true
+		r.Value += act.Mag * 1e6
+		return r
+	default:
+		r := f.inner.Read(at)
+		f.last, f.hasLast = r, true
+		return r
+	}
+}
+
+// CorruptSuffix marks an event line mangled by a transmitter corrupt
+// fault. No policy event ever carries it, so a corrupted event reaches
+// the kernel as an unknown event (counted, ignored) instead of silently
+// impersonating a real one.
+const CorruptSuffix = "~corrupt"
+
+// TransmitterStats are the committed per-fault counters of a
+// FaultyTransmitter. Counters commit only when the inner transmitter
+// accepts the batch, so they reconcile exactly against the kernel's
+// events_received: Forwarded event lines == lines the kernel saw.
+type TransmitterStats struct {
+	Forwarded  uint64 // event lines delivered (incl. duplicates, corrupted)
+	Dropped    uint64
+	Duplicated uint64
+	Corrupted  uint64
+	Reordered  uint64
+	Held       uint64 // event lines currently held by a delay fault
+	Stalls     uint64 // whole-batch stall failures
+}
+
+// FaultyTransmitter wraps a Transmitter with injected channel faults.
+// Faults come in two scopes, addressed by distinct targets:
+//
+//	faults.TargetTransmitter       whole-batch: stall (the batch fails —
+//	                               all-or-nothing, so upstream retry can
+//	                               never double-deliver a partial batch)
+//	                               and delay (event lines held for the
+//	                               next batch; stale control lines are
+//	                               discarded, a heartbeat lapse is the
+//	                               honest signal)
+//	faults.TargetTransmitterEvent  per event line: drop, duplicate,
+//	                               corrupt, reorder (moved to batch end)
+//
+// Control lines ("!...") are exempt from per-event faults: the channel
+// either works or it doesn't, and batch-scope faults already take the
+// heartbeat down with the events.
+type FaultyTransmitter struct {
+	inner Transmitter
+	inj   *faults.Injector
+
+	mu    sync.Mutex
+	held  []string
+	stats TransmitterStats
+}
+
+// NewFaultyTransmitter wraps inner; a nil injector returns inner
+// unchanged.
+func NewFaultyTransmitter(inner Transmitter, inj *faults.Injector) Transmitter {
+	if inj == nil {
+		return inner
+	}
+	return &FaultyTransmitter{inner: inner, inj: inj}
+}
+
+// Transmit implements Transmitter.
+func (t *FaultyTransmitter) Transmit(batch []string) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+
+	switch act := t.inj.Decide(faults.TargetTransmitter); act.Kind {
+	case faults.Stall:
+		t.stats.Stalls++
+		return faults.ErrStall
+	case faults.Delay:
+		for _, line := range batch {
+			if !strings.HasPrefix(line, "!") {
+				t.held = append(t.held, line)
+				t.stats.Held++
+			}
+		}
+		return nil
+	}
+
+	out := make([]string, 0, len(t.held)+len(batch)+1)
+	out = append(out, t.held...)
+	var tail []string // reordered lines
+	var delta TransmitterStats
+	delta.Forwarded = uint64(len(t.held))
+	for _, line := range batch {
+		if strings.HasPrefix(line, "!") {
+			out = append(out, line)
+			continue
+		}
+		switch act := t.inj.Decide(faults.TargetTransmitterEvent); act.Kind {
+		case faults.Drop:
+			delta.Dropped++
+		case faults.Duplicate:
+			out = append(out, line, line)
+			delta.Duplicated++
+			delta.Forwarded += 2
+		case faults.Corrupt:
+			out = append(out, line+CorruptSuffix)
+			delta.Corrupted++
+			delta.Forwarded++
+		case faults.Reorder:
+			tail = append(tail, line)
+			delta.Reordered++
+			delta.Forwarded++
+		default:
+			out = append(out, line)
+			delta.Forwarded++
+		}
+	}
+	out = append(out, tail...)
+	if err := t.inner.Transmit(out); err != nil {
+		// Nothing was delivered; keep the held lines held and the
+		// counters untouched so the ledger only reflects committed
+		// deliveries. The upstream retry replays the whole batch.
+		return err
+	}
+	t.held = nil
+	t.stats.Forwarded += delta.Forwarded
+	t.stats.Dropped += delta.Dropped
+	t.stats.Duplicated += delta.Duplicated
+	t.stats.Corrupted += delta.Corrupted
+	t.stats.Reordered += delta.Reordered
+	t.stats.Held = uint64(len(t.held))
+	return nil
+}
+
+// Stats snapshots the committed fault counters.
+func (t *FaultyTransmitter) Stats() TransmitterStats {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	st := t.stats
+	st.Held = uint64(len(t.held))
+	return st
+}

@@ -6,11 +6,15 @@ import (
 	"repro/internal/vehicle"
 )
 
-// Reading is one sensor sample.
+// Reading is one sensor sample. Stale marks a sample that is not fresh:
+// the sensor produced no new data this poll (dropout, injected fault)
+// and the value is the last known one. Consecutive stale readings are
+// what the service's dropout detector counts.
 type Reading struct {
 	Sensor string
 	Value  float64
 	At     time.Time
+	Stale  bool
 }
 
 // Sensor produces readings on demand (the SDS polls).
@@ -30,6 +34,19 @@ func (s Snapshot) Value(sensor string) float64 {
 // Bool interprets a sensor value as a boolean (non-zero = true).
 func (s Snapshot) Bool(sensor string) bool {
 	return s[sensor].Value != 0
+}
+
+// At returns the newest timestamp among the readings — the snapshot's
+// notion of "now", which flows from the service's injectable clock. Zero
+// when the snapshot carries no timestamps (hand-built test fixtures).
+func (s Snapshot) At() time.Time {
+	var at time.Time
+	for _, r := range s {
+		if r.At.After(at) {
+			at = r.At
+		}
+	}
+	return at
 }
 
 // Canonical sensor names.

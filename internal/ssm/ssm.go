@@ -47,14 +47,16 @@ type transKey struct {
 type Machine struct {
 	states map[string]State
 	rules  map[transKey]string
+	events map[Event]bool // every event any rule reacts to
 
 	mu        sync.Mutex
 	listeners []Listener
 
 	current atomic.Pointer[State]
 
-	transitions atomic.Uint64 // committed transitions
+	transitions atomic.Uint64 // committed transitions (event-driven + forced)
 	ignored     atomic.Uint64 // events with no matching rule
+	forced      atomic.Uint64 // ForceState transitions (break-glass, failsafe)
 }
 
 // Config assembles a Machine.
@@ -74,6 +76,7 @@ func New(cfg Config) (*Machine, error) {
 	m := &Machine{
 		states: make(map[string]State, len(cfg.States)),
 		rules:  make(map[transKey]string, len(cfg.Transitions)),
+		events: make(map[Event]bool, len(cfg.Transitions)),
 	}
 	encodings := make(map[uint32]string)
 	for _, s := range cfg.States {
@@ -102,10 +105,15 @@ func New(cfg Config) (*Machine, error) {
 			return nil, fmt.Errorf("ssm: nondeterministic transition from %q on %q", t.From, t.Event)
 		}
 		m.rules[key] = t.To
+		m.events[t.Event] = true
 	}
 	m.current.Store(&initial)
 	return m, nil
 }
+
+// KnowsEvent reports whether any transition rule (from any state) reacts
+// to ev — the membership test behind the pipeline's ErrUnknownEvent.
+func (m *Machine) KnowsEvent(ev Event) bool { return m.events[ev] }
 
 // Current returns the current situation state (lock-free).
 func (m *Machine) Current() State { return *m.current.Load() }
@@ -167,6 +175,7 @@ func (m *Machine) ForceState(name string) error {
 	cur := *m.current.Load()
 	m.current.Store(&next)
 	m.transitions.Add(1)
+	m.forced.Add(1)
 	for _, l := range m.listeners {
 		l(cur, next, Event("force_state"))
 	}
@@ -183,19 +192,21 @@ func (m *Machine) CanHandle(ev Event) bool {
 
 // Events returns the sorted set of events any rule reacts to.
 func (m *Machine) Events() []Event {
-	set := make(map[Event]bool)
-	for k := range m.rules {
-		set[k.event] = true
-	}
-	out := make([]Event, 0, len(set))
-	for e := range set {
+	out := make([]Event, 0, len(m.events))
+	for e := range m.events {
 		out = append(out, e)
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out
 }
 
-// Stats reports (committed transitions, ignored events).
+// Stats reports (committed transitions, ignored events). Transitions
+// include forced ones; Forced separates them so event accounting stays
+// exact: delivered event hits == transitions - Forced().
 func (m *Machine) Stats() (transitions, ignored uint64) {
 	return m.transitions.Load(), m.ignored.Load()
 }
+
+// Forced reports how many transitions were ForceState calls rather than
+// delivered events.
+func (m *Machine) Forced() uint64 { return m.forced.Load() }

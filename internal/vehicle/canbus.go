@@ -45,12 +45,15 @@ func (f Frame) String() string {
 }
 
 // Bus is a broadcast CAN bus: every sent frame is delivered synchronously
-// to all subscribers in subscription order.
+// to all subscribers in subscription order. An optional tap sits between
+// Send and the wire (fault injection, filtering); only the frames the
+// tap returns are logged and delivered.
 type Bus struct {
 	mu   sync.RWMutex
 	subs []func(Frame)
 	log  []Frame
 	max  int
+	tap  func(Frame) []Frame
 }
 
 // NewBus creates a bus retaining the last max frames (default 1024).
@@ -68,8 +71,32 @@ func (b *Bus) Subscribe(fn func(Frame)) {
 	b.subs = append(b.subs, fn)
 }
 
-// Send broadcasts a frame.
+// SetTap installs (or, with nil, removes) the wire tap. The tap maps
+// each sent frame to the frames that actually hit the wire: nil drops
+// it, one frame passes or rewrites it, several inject extras (duplicate
+// faults, delayed frames released later).
+func (b *Bus) SetTap(tap func(Frame) []Frame) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.tap = tap
+}
+
+// Send broadcasts a frame (through the tap, when installed).
 func (b *Bus) Send(f Frame) {
+	b.mu.RLock()
+	tap := b.tap
+	b.mu.RUnlock()
+	frames := []Frame{f}
+	if tap != nil {
+		frames = tap(f)
+	}
+	for _, fr := range frames {
+		b.deliver(fr)
+	}
+}
+
+// deliver logs one on-the-wire frame and fans it out to subscribers.
+func (b *Bus) deliver(f Frame) {
 	b.mu.Lock()
 	b.log = append(b.log, f)
 	if len(b.log) > b.max {

@@ -1,0 +1,54 @@
+package vehicle
+
+import (
+	"sync"
+
+	"repro/internal/faults"
+)
+
+// FaultTap adapts the deterministic fault injector to a Bus wire tap
+// (Bus.SetTap), target faults.TargetCANBus:
+//
+//	drop/stall  the frame never hits the wire
+//	delay       the frame is held and released in front of the next
+//	            healthy send (time-shifted, order preserved)
+//	reorder     the frame is held and released behind the next healthy
+//	            send (order swapped)
+//	duplicate   the frame hits the wire twice
+//	corrupt     the first payload byte is bit-flipped
+//
+// Decisions are per sent frame, so identical send sequences replay
+// identically under a fixed plan seed.
+func FaultTap(inj *faults.Injector) func(Frame) []Frame {
+	var mu sync.Mutex
+	var front, back []Frame // held frames: released before / after the next send
+	release := func(f ...Frame) []Frame {
+		out := append(append(front, f...), back...)
+		front, back = nil, nil
+		return out
+	}
+	return func(f Frame) []Frame {
+		mu.Lock()
+		defer mu.Unlock()
+		switch act := inj.Decide(faults.TargetCANBus); act.Kind {
+		case faults.Drop, faults.Stall:
+			return nil
+		case faults.Delay:
+			front = append(front, f)
+			return nil
+		case faults.Reorder:
+			back = append(back, f)
+			return nil
+		case faults.Duplicate:
+			return release(f, f)
+		case faults.Corrupt:
+			if f.Len == 0 {
+				f.Len = 1
+			}
+			f.Data[0] ^= 0xFF
+			return release(f)
+		default:
+			return release(f)
+		}
+	}
+}

@@ -1,0 +1,73 @@
+package vehicle
+
+import (
+	"testing"
+
+	"repro/internal/faults"
+)
+
+func frame(id uint32, data byte) Frame {
+	return Frame{ID: id, Len: 1, Data: [8]byte{data}}
+}
+
+func TestBusTapPassThroughWithZeroPlan(t *testing.T) {
+	bus := NewBus(0)
+	var seen []Frame
+	bus.Subscribe(func(f Frame) { seen = append(seen, f) })
+	bus.SetTap(FaultTap(faults.New(&faults.Plan{})))
+	bus.Send(frame(0x120, 1))
+	bus.Send(frame(0x120, 2))
+	if len(seen) != 2 || seen[0].Data[0] != 1 || seen[1].Data[0] != 2 {
+		t.Fatalf("seen = %v", seen)
+	}
+	if got := len(bus.Log()); got != 2 {
+		t.Fatalf("log = %d frames", got)
+	}
+}
+
+func TestBusTapFaults(t *testing.T) {
+	// op 0 dropped, op 1 reordered (held), op 2 duplicated (releases the
+	// held frame behind it), op 3 corrupted, rest pass.
+	plan := &faults.Plan{Seed: 3}
+	plan.Add(faults.Rule{Target: faults.TargetCANBus, Kind: faults.Drop, For: 1})
+	plan.Add(faults.Rule{Target: faults.TargetCANBus, Kind: faults.Reorder, After: 1, For: 1})
+	plan.Add(faults.Rule{Target: faults.TargetCANBus, Kind: faults.Duplicate, After: 2, For: 1})
+	plan.Add(faults.Rule{Target: faults.TargetCANBus, Kind: faults.Corrupt, After: 3, For: 1})
+
+	bus := NewBus(0)
+	var seen []Frame
+	bus.Subscribe(func(f Frame) { seen = append(seen, f) })
+	bus.SetTap(FaultTap(faults.New(plan)))
+
+	for i := byte(0); i < 5; i++ {
+		bus.Send(frame(0x100, i))
+	}
+	// Frame 0 dropped; frame 2 duplicated with frame 1 released behind
+	// it; frame 3 corrupted (first byte flipped); frame 4 clean.
+	want := []byte{2, 2, 1, 3 ^ 0xFF, 4}
+	if len(seen) != len(want) {
+		t.Fatalf("wire = %v", seen)
+	}
+	for i, w := range want {
+		if seen[i].Data[0] != w {
+			t.Fatalf("wire[%d] = %02X, want %02X (%v)", i, seen[i].Data[0], w, seen)
+		}
+	}
+}
+
+func TestBusTapDelayPreservesOrder(t *testing.T) {
+	plan := &faults.Plan{Seed: 3}
+	plan.Add(faults.Rule{Target: faults.TargetCANBus, Kind: faults.Delay, For: 1})
+	bus := NewBus(0)
+	var seen []Frame
+	bus.Subscribe(func(f Frame) { seen = append(seen, f) })
+	bus.SetTap(FaultTap(faults.New(plan)))
+	bus.Send(frame(0x100, 1)) // held
+	if len(seen) != 0 {
+		t.Fatalf("delayed frame leaked: %v", seen)
+	}
+	bus.Send(frame(0x100, 2)) // releases the held frame first
+	if len(seen) != 2 || seen[0].Data[0] != 1 || seen[1].Data[0] != 2 {
+		t.Fatalf("order = %v", seen)
+	}
+}

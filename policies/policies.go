@@ -1,5 +1,6 @@
-// Package policies ships the sample SACK policy pack: ten real-world
-// vehicle scenarios (the §IV-D compatibility experiment deploys this set)
+// Package policies ships the sample SACK policy pack: eleven real-world
+// vehicle scenarios (the §IV-D compatibility experiment deploys the
+// original ten; failsafe exercises the pipeline degradation path)
 // embedded into the binary so tools and tests can load them by name.
 package policies
 

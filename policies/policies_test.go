@@ -7,9 +7,9 @@ import (
 	"repro/internal/policy"
 )
 
-func TestPackHasTenPolicies(t *testing.T) {
+func TestPackHasElevenPolicies(t *testing.T) {
 	names := Names()
-	if len(names) != 10 {
+	if len(names) != 11 {
 		t.Fatalf("pack has %d policies: %v", len(names), names)
 	}
 }

@@ -34,9 +34,11 @@ package sack
 
 import (
 	"fmt"
+	"time"
 
 	"repro/internal/apparmor"
 	"repro/internal/core"
+	"repro/internal/faults"
 	"repro/internal/kernel"
 	"repro/internal/lsm"
 	"repro/internal/policy"
@@ -82,6 +84,24 @@ type (
 	AuditLog = lsm.AuditLog
 	// SDS is the user-space situation detection service.
 	SDS = sds.Service
+	// Detector is an SDS situation detector.
+	Detector = sds.Detector
+	// SDSOption tunes the SDS resilience features (queue capacity,
+	// backoff, heartbeat, dark threshold).
+	SDSOption = sds.ServiceOption
+	// FaultPlan is a deterministic fault-injection schedule.
+	FaultPlan = faults.Plan
+	// FaultRule schedules one fault against one injection target.
+	FaultRule = faults.Rule
+	// FaultInjector executes a FaultPlan; wrappers consult it at each
+	// injection point.
+	FaultInjector = faults.Injector
+	// CANFrame is one CAN 2.0 data frame on the vehicle bus.
+	CANFrame = vehicle.Frame
+	// PipelineStats is a snapshot of the event-pipeline health monitor.
+	PipelineStats = core.PipelineStats
+	// Heartbeat is one SDS health report as seen on the event channel.
+	Heartbeat = core.Heartbeat
 )
 
 // Deployment modes (the paper's two prototypes).
@@ -116,6 +136,33 @@ const EventsFile = core.EventsFile
 // MetricsFile is the securityfs pseudo-file exposing per-hook latency
 // metrics and access vector cache counters.
 const MetricsFile = kernel.MetricsFile
+
+// PipelineFile is the securityfs pseudo-file exposing event-pipeline
+// health: degradation status, heartbeat age, SDS queue depth, and dark
+// sensors.
+const PipelineFile = core.PipelineFile
+
+// Typed event-delivery errors. Every EventSink returns these (possibly
+// wrapped); match with errors.Is.
+var (
+	// ErrUnknownEvent reports an event no transition listens for.
+	ErrUnknownEvent = core.ErrUnknownEvent
+	// ErrQueueFull reports SDS backpressure: the bounded event queue is
+	// at capacity and the event was dropped.
+	ErrQueueFull = core.ErrQueueFull
+	// ErrDegraded reports that the pipeline is pinned to its fail-safe
+	// state and rejecting situation transitions.
+	ErrDegraded = core.ErrDegraded
+)
+
+// EventSink is the unified event-delivery surface. All three entry
+// paths implement it: System.Events() (direct kernel delivery), the
+// SDS service (queued user-space delivery with retry), and the SACKfs
+// events file (via Task.WriteFileAll). Errors are errors.Is-matchable
+// against ErrUnknownEvent, ErrQueueFull, and ErrDegraded.
+type EventSink interface {
+	DeliverEvent(Event) error
+}
 
 // IsErrno reports whether err is the given kernel error.
 func IsErrno(err error, e Errno) bool { return sys.IsErrno(err, e) }
@@ -163,6 +210,15 @@ type Options struct {
 	DisableAVC bool
 	// AVCSize overrides the AVC slot count; 0 selects the default.
 	AVCSize int
+	// Failsafe overrides the policy's declared fail-safe state. The
+	// state must exist in the policy.
+	Failsafe string
+	// HeartbeatWindow overrides how stale the SDS heartbeat may grow
+	// before the kernel degrades; 0 selects the default.
+	HeartbeatWindow time.Duration
+	// FaultPlan, when non-nil, arms deterministic fault injection on
+	// the CAN bus and (via NewSDS) the sensors and transmitter.
+	FaultPlan *faults.Plan
 }
 
 // Option configures New. Options apply in order over the defaults
@@ -213,6 +269,39 @@ func WithAVCSize(n int) Option {
 	return func(o *Options) { o.AVCSize = n }
 }
 
+// WithFailsafe names the state the SSM pins to when the pipeline
+// degrades (heartbeat lapse, dark sensors), overriding any `failsafe`
+// declaration in the policy. The state must be declared by the policy.
+func WithFailsafe(state string) Option {
+	return func(o *Options) { o.Failsafe = state }
+}
+
+// WithHeartbeatWindow sets how stale the SDS heartbeat may grow before
+// the kernel-side watchdog degrades the pipeline (d <= 0 selects the
+// default).
+func WithHeartbeatWindow(d time.Duration) Option {
+	return func(o *Options) {
+		if d < 0 {
+			d = 0
+		}
+		o.HeartbeatWindow = d
+	}
+}
+
+// WithFaultPlan arms deterministic fault injection: the plan's rules
+// fire on the CAN bus tap immediately, and NewSDS wraps its sensors and
+// transmitter with the same injector. A nil plan disables injection.
+func WithFaultPlan(p *faults.Plan) Option {
+	return func(o *Options) { o.FaultPlan = p }
+}
+
+// ParseFaultSpec parses a compact fault-plan spec (comma-separated
+// `kind:target[:key=val...]` rules, e.g. "stall:transmitter:after=10")
+// with the given deterministic seed.
+func ParseFaultSpec(spec string, seed int64) (*FaultPlan, error) {
+	return faults.ParseSpec(spec, seed)
+}
+
 // System is a fully assembled SACK deployment: kernel, modules, vehicle.
 type System struct {
 	Kernel   *Kernel
@@ -220,7 +309,17 @@ type System struct {
 	AppArmor *AppArmor // nil unless enhanced mode or profiles given
 	Vehicle  *Vehicle  // nil when DisableVehicle
 	Audit    *AuditLog
+	// Faults executes the configured FaultPlan; nil when no plan was
+	// given. Shared by the CAN-bus tap and any SDS built via NewSDS.
+	Faults *FaultInjector
+
+	sink kernelSink // pre-built Events() adapter (no per-call alloc)
 }
+
+// kernelSink adapts the SACK module's direct delivery path to EventSink.
+type kernelSink struct{ s *core.SACK }
+
+func (k kernelSink) DeliverEvent(ev Event) error { return k.s.Deliver(ev) }
 
 // New boots the complete stack: kernel, LSM registration in the paper's
 // CONFIG_LSM order (SACK first, then AppArmor if present, then
@@ -273,13 +372,15 @@ func boot(opts Options) (*System, error) {
 	}
 
 	s, err := core.New(core.Config{
-		Mode:       opts.Mode,
-		Policy:     compiled,
-		Source:     opts.PolicyText,
-		Audit:      audit,
-		AppArmor:   aa,
-		DisableAVC: opts.DisableAVC,
-		AVCSize:    opts.AVCSize,
+		Mode:            opts.Mode,
+		Policy:          compiled,
+		Source:          opts.PolicyText,
+		Audit:           audit,
+		AppArmor:        aa,
+		DisableAVC:      opts.DisableAVC,
+		AVCSize:         opts.AVCSize,
+		Failsafe:        opts.Failsafe,
+		HeartbeatWindow: opts.HeartbeatWindow,
 	})
 	if err != nil {
 		return nil, err
@@ -306,6 +407,10 @@ func boot(opts Options) (*System, error) {
 	}
 
 	out := &System{Kernel: k, SACK: s, AppArmor: aa, Audit: k.Audit}
+	out.sink = kernelSink{s: s}
+	if opts.FaultPlan != nil {
+		out.Faults = faults.New(opts.FaultPlan)
+	}
 	if !opts.DisableVehicle {
 		doors, windows := opts.Doors, opts.Windows
 		if doors <= 0 {
@@ -318,13 +423,31 @@ func boot(opts Options) (*System, error) {
 		if err := v.RegisterDevices(k); err != nil {
 			return nil, err
 		}
+		if out.Faults != nil {
+			v.Bus.SetTap(vehicle.FaultTap(out.Faults))
+		}
 		out.Vehicle = v
 	}
 	return out, nil
 }
 
+// Events returns the direct kernel-delivery sink: each DeliverEvent
+// hands the event straight to the SSM, returning ErrDegraded while the
+// pipeline is pinned to its fail-safe state and ErrUnknownEvent for
+// events no transition listens for. The sink is pre-built at boot; the
+// call allocates nothing.
+func (s *System) Events() EventSink { return s.sink }
+
+// Pipeline exposes the event-pipeline health monitor (degradation
+// state, heartbeat watchdog, counters behind PipelineFile).
+func (s *System) Pipeline() *core.Pipeline { return s.SACK.Pipeline() }
+
 // DeliverEvent injects a situation event directly into the SSM (the
 // programmatic path; production events arrive via the SACKfs file).
+//
+// Deprecated: use Events().DeliverEvent, which reports queue-full,
+// degraded, and unknown-event conditions as typed errors instead of
+// silently folding them into transitioned == false.
 func (s *System) DeliverEvent(ev Event) (transitioned bool, from, to State) {
 	return s.SACK.DeliverEvent(ev)
 }
@@ -334,8 +457,16 @@ func (s *System) CurrentState() State { return s.SACK.CurrentState() }
 
 // NewSDS wires a situation detection service over the system's vehicle:
 // the standard sensor suite, the given detectors, and a transmitter that
-// writes the SACKfs events file as the (privileged) task.
+// writes the SACKfs events file as the (privileged) task. When the
+// system was booted with a fault plan, the sensors and the transmitter
+// are wrapped with the system's injector.
 func (s *System) NewSDS(task *Task, clock sds.Clock, detectors ...sds.Detector) (*SDS, error) {
+	return s.NewSDSWith(task, clock, detectors)
+}
+
+// NewSDSWith is NewSDS plus resilience options (queue capacity, retry
+// backoff, heartbeat emission, dark-sensor threshold).
+func (s *System) NewSDSWith(task *Task, clock sds.Clock, detectors []sds.Detector, opts ...sds.ServiceOption) (*SDS, error) {
 	if s.Vehicle == nil {
 		return nil, fmt.Errorf("sack: system has no vehicle")
 	}
@@ -343,6 +474,15 @@ func (s *System) NewSDS(task *Task, clock sds.Clock, detectors ...sds.Detector) 
 	if err != nil {
 		return nil, err
 	}
+	var transmitter sds.Transmitter = tx
 	sensors := sds.VehicleSensors(s.Vehicle.Dynamics)
-	return sds.NewService(clock, sensors, detectors, tx), nil
+	if s.Faults != nil {
+		wrapped := make([]sds.Sensor, len(sensors))
+		for i, sn := range sensors {
+			wrapped[i] = sds.NewFaultySensor(sn, s.Faults)
+		}
+		sensors = wrapped
+		transmitter = sds.NewFaultyTransmitter(tx, s.Faults)
+	}
+	return sds.NewService(clock, sensors, detectors, transmitter, opts...), nil
 }
