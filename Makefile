@@ -3,11 +3,11 @@
 
 GO ?= go
 
-.PHONY: all check vet build test race bench bench-avc chaos
+.PHONY: all check vet build test race bench bench-avc chaos reload-stress
 
 all: check
 
-check: vet build race chaos
+check: vet build race chaos reload-stress
 
 vet:
 	$(GO) vet ./...
@@ -28,6 +28,14 @@ race:
 chaos:
 	$(GO) test -race -count=1 -run 'TestChaos|AllocFree' .
 	$(GO) test -race -count=1 ./internal/faults ./internal/sds ./internal/vehicle
+
+# Reload×chaos suite: random policy reloads interleaved with random
+# fault plans, heartbeat lapses, and event deliveries — the shadow-model
+# property tests plus the concurrent reload/delivery/watchdog hammer —
+# all under the race detector.
+reload-stress:
+	$(GO) test -race -count=1 -run 'TestReload' .
+	$(GO) test -race -count=1 -run 'TestReload|TestRecoverRemap|TestDegradeUnforceable' ./internal/core
 
 # Full benchmark sweep (paper tables/figures + ablations).
 bench:

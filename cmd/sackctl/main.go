@@ -11,6 +11,9 @@
 //	sackctl metrics <policy-file> [event...]  boot, drive events + a probe
 //	                               workload, print hook/AVC metrics
 //	sackctl diff <old-file> <new-file>  show what a policy reload changes
+//	sackctl reload <old-file> <new-file> [event...]  boot the old policy,
+//	                               drive events, commit the new policy and
+//	                               print the diff the kernel applied
 //	sackctl pack [name]            list or print the embedded policy pack
 //	sackctl chaos <policy-file> <fault-spec> [event...]  drive events under
 //	                               fault injection, print pipeline health
@@ -120,8 +123,8 @@ func run(args []string, stdout, stderr io.Writer, readFile func(string) ([]byte,
 			return 1
 		}
 		return metrics(string(data), args[2:], stdout, stderr)
-	case "diff":
-		if len(args) != 3 {
+	case "diff", "reload":
+		if len(args) < 3 || (args[0] == "diff" && len(args) != 3) {
 			usage(stderr)
 			return 2
 		}
@@ -134,6 +137,9 @@ func run(args []string, stdout, stderr io.Writer, readFile func(string) ([]byte,
 		if err != nil {
 			fmt.Fprintf(stderr, "sackctl: reading new policy: %v\n", err)
 			return 1
+		}
+		if args[0] == "reload" {
+			return reload(string(oldData), string(newData), args[3:], stdout, stderr)
 		}
 		return diff(string(oldData), string(newData), stdout, stderr)
 	case "pack":
@@ -171,9 +177,43 @@ func usage(w io.Writer) {
 	fmt.Fprintln(w, "       sackctl simulate <policy-file> <event>...")
 	fmt.Fprintln(w, "       sackctl metrics <policy-file> [event...]")
 	fmt.Fprintln(w, "       sackctl diff <old-file> <new-file>")
+	fmt.Fprintln(w, "       sackctl reload <old-file> <new-file> [event...]")
 	fmt.Fprintln(w, "       sackctl pack [name]")
 	fmt.Fprintln(w, "       sackctl chaos <policy-file> <fault-spec> [event...]")
 	fmt.Fprintln(w, "       sackctl example")
+}
+
+// reload boots a live system on the old policy, drives the given events
+// to move the SSM off its initial state, then commits the new policy
+// through the kernel's reload transaction — printing the diff the
+// kernel *actually applied* (not merely the requested one), the reload
+// status file, and the landing state. A dry run of exactly what a
+// production write to the SACKfs policy file would do.
+func reload(oldSrc, newSrc string, events []string, stdout, stderr io.Writer) int {
+	system, err := sack.New(oldSrc)
+	if err != nil {
+		fmt.Fprintf(stderr, "sackctl: old policy: %v\n", err)
+		return 1
+	}
+	for _, ev := range events {
+		if err := system.Events().DeliverEvent(sack.Event(ev)); err != nil {
+			fmt.Fprintf(stdout, "event %q: %v\n", ev, err)
+		}
+	}
+	fmt.Fprintf(stdout, "state before reload: %s\n", system.CurrentState().Name)
+	report, err := system.Reload(newSrc)
+	if err != nil {
+		fmt.Fprintf(stderr, "sackctl: reload rejected: %v\n", err)
+		return 1
+	}
+	fmt.Fprintf(stdout, "applied: %s\n", report.Summary())
+	if !report.Empty() {
+		fmt.Fprint(stdout, report.String())
+	}
+	fmt.Fprintf(stdout, "state after reload: %s\n", system.CurrentState().Name)
+	task := system.Kernel.Init()
+	fmt.Fprintf(stdout, "\n-- %s --\n%s", sack.ReloadFile, mustRead(task, sack.ReloadFile, stderr))
+	return 0
 }
 
 // chaos boots the policy with the given fault plan armed, drives the

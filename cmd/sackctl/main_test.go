@@ -176,6 +176,47 @@ func TestDiffVerb(t *testing.T) {
 	}
 }
 
+func TestReloadVerb(t *testing.T) {
+	old := `
+states { normal = 0 emergency = 1 }
+initial normal
+permissions { NORMAL }
+state_per { normal: NORMAL emergency: NORMAL }
+per_rules { NORMAL { allow read /etc/** } }
+transitions {
+  normal -> emergency on crash_detected
+  emergency -> normal on all_clear
+}
+`
+	new := strings.Replace(old, "allow read /etc/**", "allow read /etc/hostname", 1)
+	files := map[string]string{"old": old, "new": new}
+
+	// Events drive the booted system before the reload; the applied diff
+	// and the kernel's reload file are both printed.
+	code, out, errOut := runCtl(t, files, "reload", "old", "new", "crash_detected")
+	if code != 0 {
+		t.Fatalf("reload failed: %s%s", out, errOut)
+	}
+	for _, frag := range []string{
+		"state before reload: emergency",
+		"applied: 4 changes: 2 added, 2 removed",
+		"rule removed",
+		"rule added",
+		"state after reload: emergency",
+		"generation: 2",
+	} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("reload output missing %q:\n%s", frag, out)
+		}
+	}
+
+	// A rejected reload leaves a non-zero exit and reports why.
+	code, _, errOut = runCtl(t, map[string]string{"old": old, "new": "states { a a }"}, "reload", "old", "new")
+	if code != 1 || !strings.Contains(errOut, "reload rejected") {
+		t.Fatalf("bad reload: code=%d err=%q", code, errOut)
+	}
+}
+
 func TestPackVerb(t *testing.T) {
 	code, out, _ := runCtl(t, nil, "pack")
 	if code != 0 || !strings.Contains(out, "emergency-doors") {

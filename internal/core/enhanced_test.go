@@ -237,7 +237,7 @@ transitions {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := s.ReplacePolicy(compiled, strippedPolicy); err != nil {
+	if _, err := s.ReplacePolicy(compiled, strippedPolicy); err != nil {
 		t.Fatal(err)
 	}
 	// Current state (emergency) preserved; regenerated profile must no

@@ -137,6 +137,9 @@ type Pipeline struct {
 	degradedFlag atomic.Bool
 	pinnedFlag   atomic.Bool
 
+	// mu guards the monitor state. Lock ordering: SACK.mu is always
+	// taken before Pipeline.mu (the ReplacePolicy transaction holds
+	// both); nothing under p.mu ever takes SACK.mu.
 	mu               sync.Mutex
 	failsafeOverride string // Config.Failsafe; wins over the policy's
 	armed            bool
@@ -285,27 +288,37 @@ func (p *Pipeline) degradeLocked(reason string, now time.Time) {
 	p.degradedAt = now
 	p.prevState = p.s.machine.Load().Current().Name
 	failsafe := p.failsafeLocked()
+	// Pin only when the failsafe is actually enforced: a declared-but-
+	// unforceable failsafe (the state vanished out from under us) must
+	// leave event delivery flowing, or the SSM would be wedged in
+	// ErrDegraded with no failsafe rule set holding the fort.
+	enforced := failsafe != ""
 	if failsafe != "" && failsafe != p.prevState {
 		// ForceState runs the APE listeners, so the failsafe rule set is
 		// enforced before the degradation becomes observable.
 		if err := p.s.machine.Load().ForceState(failsafe); err != nil {
-			// Policy reload removed the state; record-only degradation.
+			// The state is missing; record-only degradation.
 			p.reason = reason + " (failsafe state missing: " + err.Error() + ")"
+			enforced = false
 		}
 	}
 	p.degradedFlag.Store(true)
-	p.pinnedFlag.Store(failsafe != "")
+	p.pinnedFlag.Store(enforced)
 	if p.s.audit != nil {
 		p.s.audit.Append(lsm.AuditRecord{
 			Module: ModuleName, Op: "pipeline_degraded",
-			Subject: reason, Object: p.failsafeLocked(), Action: "DENIED",
-			Detail: fmt.Sprintf("from=%s window=%s", p.prevState, p.window),
+			Subject: reason, Object: failsafe, Action: "DENIED",
+			Detail: fmt.Sprintf("from=%s window=%s pinned=%v", p.prevState, p.window, enforced),
 		})
 	}
 }
 
 // recoverLocked lifts the degradation and restores the pre-degradation
-// state. Caller holds p.mu.
+// state. Caller holds p.mu. When that state no longer exists (a reload
+// path that bypassed the remap, or a stale prevState), recovery lands
+// in the installed policy's initial state with a distinct
+// pipeline_recover_remap audit record — never silently in "whatever
+// state the machine happens to be in".
 func (p *Pipeline) recoverLocked(now time.Time) {
 	p.recoveries++
 	p.degradedFlag.Store(false)
@@ -313,7 +326,20 @@ func (p *Pipeline) recoverLocked(now time.Time) {
 	restored := p.prevState
 	if restored != "" {
 		if err := p.s.machine.Load().ForceState(restored); err != nil {
-			restored = p.s.machine.Load().Current().Name
+			initial := p.s.pol.Load().compiled.Initial
+			fallbackErr := p.s.machine.Load().ForceState(initial)
+			if fallbackErr == nil {
+				restored = initial
+			} else {
+				restored = p.s.machine.Load().Current().Name
+			}
+			if p.s.audit != nil {
+				p.s.audit.Append(lsm.AuditRecord{
+					Module: ModuleName, Op: "pipeline_recover_remap",
+					Subject: p.prevState, Object: restored, Action: "ALLOWED",
+					Detail: fmt.Sprintf("pre-degradation state missing (%v), falling back to initial", err),
+				})
+			}
 		}
 	}
 	if p.s.audit != nil {

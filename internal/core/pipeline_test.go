@@ -7,6 +7,8 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/kernel"
+	"repro/internal/policy"
 	"repro/internal/sys"
 )
 
@@ -267,6 +269,285 @@ func TestHeartbeatViaEventsFile(t *testing.T) {
 	// Unknown control verbs are ignored for forward compatibility.
 	if err := task.WriteFileAll(core.EventsFile, []byte("!future_verb x=1\n"), 0); err != nil {
 		t.Fatalf("unknown control verb: %v", err)
+	}
+}
+
+// noFailsafePolicy is failsafePolicy with the failsafe declaration
+// removed: same states, same transitions.
+const noFailsafePolicy = `
+states {
+  normal = 0
+  emergency = 1
+  lockdown = 2
+}
+
+initial normal
+
+permissions {
+  NORMAL
+  LOCKED
+}
+
+state_per {
+  normal:    NORMAL
+  emergency: NORMAL
+  lockdown:  LOCKED
+}
+
+per_rules {
+  NORMAL {
+    allow read /etc/**
+  }
+  LOCKED {
+    allow read /etc/hostname
+  }
+}
+
+transitions {
+  normal -> emergency on crash_detected
+  emergency -> normal on all_clear
+  lockdown -> normal on all_clear
+}
+`
+
+// droppedStatePolicy removes the emergency state entirely (and keeps
+// the lockdown failsafe), so a reload while the vehicle is logically in
+// emergency must remap to the new initial state.
+const droppedStatePolicy = `
+states {
+  normal = 0
+  lockdown = 2
+}
+
+initial normal
+failsafe lockdown
+
+permissions {
+  NORMAL
+  LOCKED
+}
+
+state_per {
+  normal:   NORMAL
+  lockdown: LOCKED
+}
+
+per_rules {
+  NORMAL {
+    allow read /etc/**
+  }
+  LOCKED {
+    allow read /etc/hostname
+  }
+}
+
+transitions {
+  normal -> lockdown on threat_detected
+  lockdown -> normal on all_clear
+}
+`
+
+// reloadSrc loads and applies a policy through the transaction,
+// failing the test on any rejection.
+func reloadSrc(t *testing.T, s *core.SACK, src string) {
+	t.Helper()
+	compiled, vr, err := policy.Load(src)
+	if err != nil {
+		t.Fatalf("policy.Load: %v", err)
+	}
+	if !vr.OK() {
+		t.Fatalf("policy errors: %v", vr.Errors())
+	}
+	if _, err := s.ReplacePolicy(compiled, src); err != nil {
+		t.Fatalf("ReplacePolicy: %v", err)
+	}
+}
+
+// auditOps collects the Op fields of all audit records.
+func auditOps(k *kernel.Kernel) map[string]int {
+	out := map[string]int{}
+	for _, r := range k.Audit.Records() {
+		out[r.Op]++
+	}
+	return out
+}
+
+func TestReloadWhilePinnedPreservesLogicalState(t *testing.T) {
+	// Bug (1): a reload while pinned must carry the *pre-degradation*
+	// state across the swap, not the failsafe the machine is parked in —
+	// otherwise recovery restores the failsafe and the vehicle is stuck
+	// there forever.
+	_, s := bootIndependent(t, failsafePolicy)
+	p := s.Pipeline()
+	t0 := time.Unix(5000, 0)
+
+	if err := s.Deliver("crash_detected"); err != nil {
+		t.Fatalf("Deliver: %v", err)
+	}
+	p.Observe(beat(1, t0))
+	p.Check(t0.Add(p.Window() + time.Second))
+	if !p.Pinned() || s.CurrentState().Name != "lockdown" {
+		t.Fatalf("setup: pinned=%v state=%s", p.Pinned(), s.CurrentState().Name)
+	}
+
+	// Reload the same policy text mid-pin.
+	reloadSrc(t, s, failsafePolicy)
+	if !p.Pinned() {
+		t.Fatal("reload dropped the pin with the failsafe still declared")
+	}
+	if st := s.CurrentState().Name; st != "lockdown" {
+		t.Fatalf("pinned state after reload = %s", st)
+	}
+
+	// Recovery must land back in emergency, never stay in lockdown.
+	p.Observe(beat(2, t0.Add(3*p.Window())))
+	if p.Degraded() || p.Pinned() {
+		t.Fatal("clean heartbeat did not recover")
+	}
+	if st := s.CurrentState().Name; st != "emergency" {
+		t.Fatalf("recovered state = %s, want emergency (wedged in failsafe?)", st)
+	}
+	if err := s.Deliver("all_clear"); err != nil {
+		t.Fatalf("Deliver after recovery: %v", err)
+	}
+	if st := s.CurrentState().Name; st != "normal" {
+		t.Fatalf("state = %s", st)
+	}
+}
+
+func TestReloadAddsFailsafeMidDegradationPins(t *testing.T) {
+	// Bug (2a): degradation that started without a failsafe is
+	// observational; a reload that *adds* a failsafe must pin there and
+	// then, while detection is still dead, stop event delivery.
+	_, s := bootIndependent(t, noFailsafePolicy)
+	p := s.Pipeline()
+	t0 := time.Unix(6000, 0)
+
+	if err := s.Deliver("crash_detected"); err != nil {
+		t.Fatalf("Deliver: %v", err)
+	}
+	p.Observe(beat(1, t0))
+	p.Check(t0.Add(p.Window() + time.Second))
+	if !p.Degraded() || p.Pinned() {
+		t.Fatalf("setup: degraded=%v pinned=%v", p.Degraded(), p.Pinned())
+	}
+
+	reloadSrc(t, s, failsafePolicy)
+	if !p.Pinned() {
+		t.Fatal("failsafe added mid-degradation did not pin")
+	}
+	if st := s.CurrentState().Name; st != "lockdown" {
+		t.Fatalf("state after pinning reload = %s", st)
+	}
+	if err := s.Deliver("all_clear"); !errors.Is(err, core.ErrDegraded) {
+		t.Fatalf("delivery while newly pinned: %v", err)
+	}
+
+	// Recovery restores the state captured at pin time.
+	p.Observe(beat(2, t0.Add(3*p.Window())))
+	if st := s.CurrentState().Name; st != "emergency" {
+		t.Fatalf("recovered state = %s", st)
+	}
+}
+
+func TestReloadRemovesFailsafeMidPinUnpins(t *testing.T) {
+	// Bug (2b): a reload that removes the failsafe mid-pin must unpin,
+	// resume the logical state, and leave an audit trail.
+	k, s := bootIndependent(t, failsafePolicy)
+	p := s.Pipeline()
+	t0 := time.Unix(7000, 0)
+
+	if err := s.Deliver("crash_detected"); err != nil {
+		t.Fatalf("Deliver: %v", err)
+	}
+	p.Observe(beat(1, t0))
+	p.Check(t0.Add(p.Window() + time.Second))
+	if !p.Pinned() {
+		t.Fatal("setup: not pinned")
+	}
+
+	reloadSrc(t, s, noFailsafePolicy)
+	if p.Pinned() {
+		t.Fatal("failsafe removed mid-pin did not unpin")
+	}
+	if !p.Degraded() {
+		t.Fatal("unpinning must not fake a recovery")
+	}
+	if st := s.CurrentState().Name; st != "emergency" {
+		t.Fatalf("state after unpinning reload = %s, want logical state resumed", st)
+	}
+	// Events flow again (observational degradation only).
+	if err := s.Deliver("all_clear"); err != nil {
+		t.Fatalf("delivery after unpin: %v", err)
+	}
+	if st := s.CurrentState().Name; st != "normal" {
+		t.Fatalf("state = %s", st)
+	}
+	if ops := auditOps(k); ops["policy_reload_unpin"] != 1 || ops["policy_reload"] != 1 {
+		t.Fatalf("audit ops = %v", ops)
+	}
+}
+
+func TestReloadDropsPrevStateRecoversToNewInitial(t *testing.T) {
+	// A reload that removes the pre-degradation state remaps prevState
+	// to the new initial, audits it, and recovery lands there.
+	k, s := bootIndependent(t, failsafePolicy)
+	p := s.Pipeline()
+	t0 := time.Unix(8000, 0)
+
+	if err := s.Deliver("crash_detected"); err != nil {
+		t.Fatalf("Deliver: %v", err)
+	}
+	p.Observe(beat(1, t0))
+	p.Check(t0.Add(p.Window() + time.Second))
+	if !p.Pinned() || s.CurrentState().Name != "lockdown" {
+		t.Fatalf("setup: pinned=%v state=%s", p.Pinned(), s.CurrentState().Name)
+	}
+
+	reloadSrc(t, s, droppedStatePolicy) // emergency no longer exists
+	if !p.Pinned() || s.CurrentState().Name != "lockdown" {
+		t.Fatalf("after reload: pinned=%v state=%s", p.Pinned(), s.CurrentState().Name)
+	}
+	if ops := auditOps(k); ops["policy_reload_remap"] != 1 {
+		t.Fatalf("audit ops = %v", ops)
+	}
+
+	p.Observe(beat(2, t0.Add(3*p.Window())))
+	if p.Degraded() {
+		t.Fatal("did not recover")
+	}
+	if st := s.CurrentState().Name; st != "normal" {
+		t.Fatalf("recovered state = %s, want new initial", st)
+	}
+	st := s.ReloadStatus()
+	if st.Generation != 2 || len(st.Remaps) == 0 {
+		t.Fatalf("reload status = %+v", st)
+	}
+}
+
+func TestReloadRejectedWhenOverrideFailsafeDropped(t *testing.T) {
+	// A Config.Failsafe override names a state the new policy dropped:
+	// the transaction must reject and leave everything untouched.
+	compiled, _, err := policy.Load(failsafePolicy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := core.New(core.Config{Policy: compiled, Source: failsafePolicy, Failsafe: "emergency"})
+	if err != nil {
+		t.Fatalf("core.New: %v", err)
+	}
+	newC, _, err := policy.Load(droppedStatePolicy) // no emergency state
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.ReplacePolicy(newC, droppedStatePolicy); err == nil {
+		t.Fatal("reload with dropped override failsafe accepted")
+	}
+	if got := s.Policy(); got != compiled {
+		t.Fatal("rejected reload mutated the installed policy")
+	}
+	if st := s.ReloadStatus(); st.Generation != 1 {
+		t.Fatalf("rejected reload bumped generation to %d", st.Generation)
 	}
 }
 

@@ -125,6 +125,13 @@ type SACK struct {
 	// pipe watches the SDS heartbeat and fails the SSM safe when the
 	// event pipeline dies (see pipeline.go).
 	pipe *Pipeline
+
+	// reload transaction status (see reload.go). reloadGen counts
+	// successful policy installs; reloadLast is the last committed
+	// status, guarded by reloadMu so ReloadFile reads never take mu.
+	reloadGen  atomic.Uint64
+	reloadMu   sync.Mutex
+	reloadLast ReloadStatus
 }
 
 // policyState bundles the compiled policy with its source text so both
@@ -210,8 +217,10 @@ func (s *SACK) AVCStats() avc.Stats {
 	return s.cache.Stats()
 }
 
-// installPolicy builds a fresh SSM for the compiled policy and swaps both
-// in. Used at construction and by SACKfs policy reload.
+// installPolicy builds the boot-time SSM for the compiled policy and
+// installs it. Construction only — replacement goes through the
+// ReplacePolicy transaction (reload.go), which coordinates with the
+// pipeline watchdog.
 func (s *SACK) installPolicy(c *policy.Compiled, source string) error {
 	states := make([]ssm.State, len(c.States))
 	for i, st := range c.States {
@@ -225,29 +234,37 @@ func (s *SACK) installPolicy(c *policy.Compiled, source string) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 
-	// Keep the current state across reloads when it still exists.
-	initial := c.Initial
-	if old := s.machine.Load(); old != nil {
-		if _, ok := c.StateSets[old.Current().Name]; ok {
-			initial = old.Current().Name
-		}
-	}
-	machine, err := ssm.New(ssm.Config{States: states, Initial: initial, Transitions: transitions})
+	machine, err := ssm.New(ssm.Config{States: states, Initial: c.Initial, Transitions: transitions})
 	if err != nil {
 		return fmt.Errorf("sack: building SSM: %w", err)
 	}
-	machine.Subscribe(s.onTransition)
+	s.subscribeAPE(machine)
 
 	s.pol.Store(&policyState{compiled: c, source: source})
 	s.machine.Store(machine)
 	s.applyState(machine.Current())
+
+	s.reloadGen.Store(1)
+	s.setReloadStatus(ReloadStatus{
+		Generation: 1,
+		SourceHash: sourceHash(source),
+		Summary:    "initial policy",
+	})
 	return nil
 }
 
-// ReplacePolicy atomically installs a new compiled policy (SACKfs write
-// path; requires CAP_MAC_ADMIN, checked by the caller).
-func (s *SACK) ReplacePolicy(c *policy.Compiled, source string) error {
-	return s.installPolicy(c, source)
+// subscribeAPE attaches the adaptive policy enforcer to a machine,
+// guarded against reload races: a transition committed on a machine
+// that a concurrent ReplacePolicy has already swapped out must not
+// install rule sets derived from the outgoing policy's state names over
+// the freshly committed ones.
+func (s *SACK) subscribeAPE(machine *ssm.Machine) {
+	machine.Subscribe(func(from, to ssm.State, ev ssm.Event) {
+		if s.machine.Load() != machine {
+			return
+		}
+		s.onTransition(from, to, ev)
+	})
 }
 
 // Pipeline exposes the event-pipeline resilience monitor.

@@ -305,8 +305,12 @@ func TestPolicyReloadKeepsCurrentState(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := s.ReplacePolicy(compiled, casePolicy); err != nil {
+	report, err := s.ReplacePolicy(compiled, casePolicy)
+	if err != nil {
 		t.Fatalf("ReplacePolicy: %v", err)
+	}
+	if !report.Empty() {
+		t.Fatalf("identical policy diff = %v", report.Changes)
 	}
 	if got := s.CurrentState().Name; got != "emergency" {
 		t.Fatalf("state after reload = %q, want emergency preserved", got)

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"strings"
 
+	"repro/internal/lsm"
 	"repro/internal/policy"
 	"repro/internal/securityfs"
 	"repro/internal/ssm"
@@ -87,11 +88,24 @@ func (s *SACK) RegisterSecurityFS(secfs *securityfs.FS) error {
 				if !cred.HasCap(sys.CapMacAdmin) {
 					return sys.EPERM
 				}
-				compiled, _, err := policy.Load(string(data))
+				src := string(data)
+				// The write interface can only report an errno; the
+				// *reason* a reload was rejected (parse position, checker
+				// finding) and any non-fatal warnings go to the audit
+				// log, where sackctl users can retrieve them.
+				compiled, vr, err := policy.Load(src)
 				if err != nil {
+					s.auditReloadReject("policy rejected: " + err.Error())
 					return sys.EINVAL
 				}
-				return s.ReplacePolicy(compiled, string(data))
+				for _, w := range vr.Warnings() {
+					s.auditReloadWarning(w.String())
+				}
+				if _, err := s.ReplacePolicy(compiled, src); err != nil {
+					s.auditReloadReject(err.Error())
+					return sys.EINVAL
+				}
+				return nil
 			},
 		}},
 		{"state", 0o644, &securityfs.FuncFile{
@@ -179,18 +193,56 @@ func (s *SACK) RegisterSecurityFS(secfs *securityfs.FS) error {
 	return s.registerPipelineFS(secfs)
 }
 
-// registerPipelineFS exposes the event-pipeline health view beside the
-// kernel's hook metrics file (the lowercase "sack" directory): like
-// metrics it carries operational health rather than policy content, so
-// it is world-readable. The directory already exists when the kernel
+// auditReloadReject records why a policy write was rejected; the write
+// path itself can only return a bare errno.
+func (s *SACK) auditReloadReject(detail string) {
+	if s.audit == nil {
+		return
+	}
+	s.audit.Append(lsm.AuditRecord{
+		Module: ModuleName, Op: "policy_reload",
+		Subject: "policy_write", Object: PolicyFile, Action: "DENIED",
+		Detail: detail,
+	})
+}
+
+// auditReloadWarning records a non-fatal policy-checker finding raised
+// by an accepted policy write.
+func (s *SACK) auditReloadWarning(detail string) {
+	if s.audit == nil {
+		return
+	}
+	s.audit.Append(lsm.AuditRecord{
+		Module: ModuleName, Op: "policy_reload_warning",
+		Subject: "policy_write", Object: PolicyFile, Action: "ALLOWED",
+		Detail: detail,
+	})
+}
+
+// registerPipelineFS exposes the event-pipeline health and reload
+// status views beside the kernel's hook metrics file (the lowercase
+// "sack" directory). The pipeline view carries operational health
+// rather than policy content, so it is world-readable; the reload view
+// reproduces policy diff lines and requires CAP_MAC_ADMIN like the
+// policy file itself. The directory already exists when the kernel
 // registered its metrics file first; that is not an error.
 func (s *SACK) registerPipelineFS(secfs *securityfs.FS) error {
 	if _, err := secfs.CreateDir("sack"); err != nil && err != sys.EEXIST {
 		return err
 	}
-	_, err := secfs.CreateFile("sack", "pipeline", 0o444, &securityfs.FuncFile{
+	if _, err := secfs.CreateFile("sack", "pipeline", 0o444, &securityfs.FuncFile{
 		OnRead: func(*sys.Cred) ([]byte, error) {
 			return []byte(s.pipe.Render()), nil
+		},
+	}); err != nil {
+		return err
+	}
+	_, err := secfs.CreateFile("sack", "reload", 0o600, &securityfs.FuncFile{
+		OnRead: func(cred *sys.Cred) ([]byte, error) {
+			if !cred.HasCap(sys.CapMacAdmin) {
+				return nil, sys.EPERM
+			}
+			return []byte(s.ReloadStatus().Render()), nil
 		},
 	})
 	return err

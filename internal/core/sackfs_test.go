@@ -101,6 +101,107 @@ func TestEventsWriteMultipleLines(t *testing.T) {
 	}
 }
 
+func TestPolicyWriteRejectionIsAudited(t *testing.T) {
+	k, s := bootIndependent(t, casePolicy)
+	root := k.Init()
+	if err := root.WriteFileAll(core.PolicyFile, []byte("states { }"), 0); !sys.IsErrno(err, sys.EINVAL) {
+		t.Fatalf("garbage policy write: %v", err)
+	}
+	var found bool
+	for _, r := range k.Audit.Records() {
+		if r.Op == "policy_reload" && r.Action == "DENIED" {
+			found = true
+			if !strings.Contains(r.Detail, "policy rejected") || len(r.Detail) < 20 {
+				t.Fatalf("rejection audit carries no detail: %q", r.Detail)
+			}
+		}
+	}
+	if !found {
+		t.Fatal("rejected policy write left no audit record")
+	}
+	if got := s.CurrentState().Name; got != "normal" {
+		t.Fatalf("state disturbed by rejected write: %s", got)
+	}
+	if st := s.ReloadStatus(); st.Generation != 1 {
+		t.Fatalf("rejected write bumped generation to %d", st.Generation)
+	}
+}
+
+func TestPolicyWriteWarningsAreAudited(t *testing.T) {
+	// An accepted policy whose checker raises warnings (an unreachable
+	// state) must surface them in the audit log — the write interface
+	// itself can only say EINVAL-or-ok.
+	const warnPolicy = `
+states { normal = 0 busy = 1 orphan = 2 }
+initial normal
+permissions { NORMAL }
+state_per { normal: NORMAL }
+per_rules { NORMAL { allow read /etc/** } }
+transitions {
+  normal -> busy on work_started
+  busy -> normal on work_done
+}
+`
+	k, s := bootIndependent(t, casePolicy)
+	root := k.Init()
+	if err := root.WriteFileAll(core.PolicyFile, []byte(warnPolicy), 0); err != nil {
+		t.Fatalf("policy write with warnings: %v", err)
+	}
+	var warned bool
+	for _, r := range k.Audit.Records() {
+		if r.Op == "policy_reload_warning" && strings.Contains(r.Detail, "orphan") {
+			warned = true
+		}
+	}
+	if !warned {
+		t.Fatalf("checker warning not audited; records: %v", k.Audit.Records())
+	}
+	if st := s.ReloadStatus(); st.Generation != 2 {
+		t.Fatalf("generation after accepted write = %d", st.Generation)
+	}
+}
+
+func TestReloadFileReportsTransaction(t *testing.T) {
+	k, s := bootIndependent(t, casePolicy)
+	root := k.Init()
+
+	data, err := root.ReadFileAll(core.ReloadFile)
+	if err != nil {
+		t.Fatalf("read %s: %v", core.ReloadFile, err)
+	}
+	for _, want := range []string{"generation: 1", "summary: initial policy", "source_hash: "} {
+		if !strings.Contains(string(data), want) {
+			t.Fatalf("reload file missing %q:\n%s", want, data)
+		}
+	}
+
+	// Apply a reload through the SACKfs write path; the file must show
+	// the bumped generation and the applied diff.
+	newSrc := strings.Replace(casePolicy, "allow read /etc/**", "allow read /etc/hostname", 1)
+	if err := root.WriteFileAll(core.PolicyFile, []byte(newSrc), 0); err != nil {
+		t.Fatalf("policy write: %v", err)
+	}
+	data, err = root.ReadFileAll(core.ReloadFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"generation: 2", "diff: rule removed", "diff: rule added"} {
+		if !strings.Contains(string(data), want) {
+			t.Fatalf("reload file missing %q:\n%s", want, data)
+		}
+	}
+	if st := s.ReloadStatus(); st.Generation != 2 || st.Summary == "no changes" {
+		t.Fatalf("reload status = %+v", st)
+	}
+
+	// Diff lines reproduce policy content: unprivileged reads denied.
+	unpriv, _ := root.Fork()
+	unpriv.SetUID(1000, 1000)
+	if _, err := unpriv.ReadFileAll(core.ReloadFile); err == nil {
+		t.Fatal("unprivileged reload-file read succeeded")
+	}
+}
+
 func TestStatsFileMentionsEverything(t *testing.T) {
 	k, s := bootIndependent(t, casePolicy)
 	root := k.Init()

@@ -123,6 +123,52 @@ func Diff(old, new *Compiled) []Change {
 	return out
 }
 
+// DiffReport packages the changes of one policy replacement, as applied
+// by a reload commit: the caller gets back the exact delta the kernel
+// installed, not merely the delta it requested.
+type DiffReport struct {
+	Changes []Change
+}
+
+// Report wraps a change list in a DiffReport.
+func Report(changes []Change) DiffReport { return DiffReport{Changes: changes} }
+
+// Empty reports whether the two policies were equivalent.
+func (r DiffReport) Empty() bool { return len(r.Changes) == 0 }
+
+// Summary condenses the report into one line ("no changes" or e.g.
+// "5 changes: 2 added, 2 removed, 1 changed").
+func (r DiffReport) Summary() string {
+	if r.Empty() {
+		return "no changes"
+	}
+	var added, removed, changed int
+	for _, c := range r.Changes {
+		switch c.Action {
+		case "added":
+			added++
+		case "removed":
+			removed++
+		case "changed":
+			changed++
+		}
+	}
+	parts := make([]string, 0, 3)
+	if added > 0 {
+		parts = append(parts, fmt.Sprintf("%d added", added))
+	}
+	if removed > 0 {
+		parts = append(parts, fmt.Sprintf("%d removed", removed))
+	}
+	if changed > 0 {
+		parts = append(parts, fmt.Sprintf("%d changed", changed))
+	}
+	return fmt.Sprintf("%d changes: %s", len(r.Changes), strings.Join(parts, ", "))
+}
+
+// String renders the full change list, one per line.
+func (r DiffReport) String() string { return FormatDiff(r.Changes) }
+
 // FormatDiff renders changes one per line (empty string for none).
 func FormatDiff(changes []Change) string {
 	if len(changes) == 0 {

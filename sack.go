@@ -72,6 +72,11 @@ type (
 	CompiledPolicy = policy.Compiled
 	// ValidationResult carries policy-checker findings.
 	ValidationResult = policy.ValidationResult
+	// DiffReport is the change list a policy reload applied.
+	DiffReport = policy.DiffReport
+	// ReloadStatus is a snapshot of the policy reload transaction state
+	// (generation, source hash, applied diff, remap events).
+	ReloadStatus = core.ReloadStatus
 	// Cred is a task credential.
 	Cred = sys.Cred
 	// Errno is a simulated kernel error number.
@@ -141,6 +146,11 @@ const MetricsFile = kernel.MetricsFile
 // health: degradation status, heartbeat age, SDS queue depth, and dark
 // sensors.
 const PipelineFile = core.PipelineFile
+
+// ReloadFile is the securityfs pseudo-file exposing the policy reload
+// transaction status: generation counter, installed source hash, the
+// last applied diff, and any state remaps the commit performed.
+const ReloadFile = core.ReloadFile
 
 // Typed event-delivery errors. Every EventSink returns these (possibly
 // wrapped); match with errors.Is.
@@ -454,6 +464,23 @@ func (s *System) DeliverEvent(ev Event) (transitioned bool, from, to State) {
 
 // CurrentState returns the current situation state.
 func (s *System) CurrentState() State { return s.SACK.CurrentState() }
+
+// Reload parses, validates, and transactionally installs a new policy
+// from source text — the programmatic equivalent of writing the SACKfs
+// policy file. The replacement is coherent with the event pipeline: the
+// logical current state (the pre-degradation state while pinned) is
+// carried across the swap, states the new policy drops fall back to its
+// initial state with a policy_reload_remap audit record, degradation
+// pinning is re-evaluated against the new failsafe declaration, and the
+// AVC epoch bumps exactly once. It returns the diff that was actually
+// applied; on error nothing changes and the running policy stays live.
+func (s *System) Reload(src string) (DiffReport, error) {
+	compiled, _, err := policy.Load(src)
+	if err != nil {
+		return DiffReport{}, err
+	}
+	return s.SACK.ReplacePolicy(compiled, src)
+}
 
 // NewSDS wires a situation detection service over the system's vehicle:
 // the standard sensor suite, the given detectors, and a transmitter that
