@@ -3,11 +3,11 @@
 
 GO ?= go
 
-.PHONY: all check vet build test race bench bench-avc chaos reload-stress
+.PHONY: all check vet build test race bench bench-avc chaos reload-stress fleet-stress
 
 all: check
 
-check: vet build race chaos reload-stress
+check: vet build race chaos reload-stress fleet-stress
 
 vet:
 	$(GO) vet ./...
@@ -36,6 +36,16 @@ chaos:
 reload-stress:
 	$(GO) test -race -count=1 -run 'TestReload' .
 	$(GO) test -race -count=1 -run 'TestReload|TestRecoverRemap|TestDegradeUnforceable' ./internal/core
+
+# Fleet convergence property suite: 1000 vehicles behind random
+# per-vehicle transport fault plans (drops, stalls, duplicates,
+# corruption) must converge to every pushed bundle generation with a
+# ledger-exact decision-log account — degraded (failsafe-pinned)
+# vehicles included — plus the fleet unit tests, all under the race
+# detector.
+fleet-stress:
+	$(GO) test -race -count=1 -run 'TestFleet' .
+	$(GO) test -race -count=1 ./internal/fleet ./cmd/fleetd
 
 # Full benchmark sweep (paper tables/figures + ablations).
 bench:

@@ -1,0 +1,96 @@
+// fleetd is the fleet control-plane daemon: it serves the policy-bundle
+// registry and the decision-log ingestion endpoint over loopback HTTP
+// for a fleet of SACK vehicles.
+//
+// Usage:
+//
+//	fleetd [-addr 127.0.0.1:7443] [-log-capacity N] [-group g -policy file]...
+//
+// Each -group/-policy pair seeds the registry with generation 1 for
+// that group. Further generations are published at runtime with
+// `sackctl bundle push` (POST /v1/bundle/{group}); vehicles download
+// with ETag long-poll (GET /v1/bundle/{group}), report status (POST
+// /v1/status), and ship decision logs (POST /v1/logs/{vehicle}).
+// `sackctl fleet status` and `sackmon -fleet` read GET /v1/fleet.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+
+	"repro/internal/fleet"
+)
+
+// pairList collects repeated -group/-policy flag pairs in order.
+type pairList struct {
+	vals *[]string
+}
+
+func (p pairList) String() string { return "" }
+func (p pairList) Set(v string) error {
+	*p.vals = append(*p.vals, v)
+	return nil
+}
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is the process entry point; it returns the exit code.
+func run(args []string, stdout, stderr io.Writer) int {
+	srv, addr, code := newServer(args, stdout, stderr)
+	if srv == nil {
+		return code
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		fmt.Fprintf(stderr, "fleetd: listen: %v\n", err)
+		return 1
+	}
+	fmt.Fprintf(stdout, "fleetd: serving on http://%s\n", ln.Addr())
+	if err := http.Serve(ln, fleet.Handler(srv)); err != nil {
+		fmt.Fprintf(stderr, "fleetd: serve: %v\n", err)
+		return 1
+	}
+	return 0
+}
+
+// newServer parses flags and builds the seeded registry — the testable
+// part of startup, separated from the blocking accept loop.
+func newServer(args []string, stdout, stderr io.Writer) (*fleet.Server, string, int) {
+	fs := flag.NewFlagSet("fleetd", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	addr := fs.String("addr", "127.0.0.1:7443", "listen address (loopback)")
+	logCap := fs.Int("log-capacity", fleet.DefaultLogCapacity, "decision-log ingestion buffer capacity (records)")
+	shards := fs.Int("shards", fleet.DefaultShards, "vehicle-state shard count")
+	var groups, policies []string
+	fs.Var(pairList{&groups}, "group", "vehicle group to seed (repeatable, paired with -policy)")
+	fs.Var(pairList{&policies}, "policy", "policy file seeding the matching -group")
+	if err := fs.Parse(args); err != nil {
+		return nil, "", 2
+	}
+	if len(groups) != len(policies) {
+		fmt.Fprintf(stderr, "fleetd: %d -group flags but %d -policy flags; they pair up\n", len(groups), len(policies))
+		return nil, "", 2
+	}
+
+	srv := fleet.NewServer(fleet.WithLogCapacity(*logCap), fleet.WithShards(*shards))
+	for i, g := range groups {
+		src, err := os.ReadFile(policies[i])
+		if err != nil {
+			fmt.Fprintf(stderr, "fleetd: reading policy for group %s: %v\n", g, err)
+			return nil, "", 1
+		}
+		b, err := srv.Publish(g, string(src))
+		if err != nil {
+			fmt.Fprintf(stderr, "fleetd: seeding group %s: %v\n", g, err)
+			return nil, "", 1
+		}
+		fmt.Fprintf(stdout, "fleetd: group %s seeded at generation %d (%s)\n", g, b.Generation, b.ETag())
+	}
+	return srv, *addr, 0
+}

@@ -1,0 +1,101 @@
+package main
+
+import (
+	"bytes"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/fleet"
+)
+
+const seedPolicy = `
+states {
+  normal = 0
+  lockdown = 1
+}
+
+initial normal
+failsafe lockdown
+
+permissions {
+  NORMAL
+  LOCKED
+}
+
+state_per {
+  normal:   NORMAL
+  lockdown: LOCKED
+}
+
+per_rules {
+  NORMAL {
+    allow read /etc/**
+  }
+  LOCKED {
+    allow read /etc/hostname
+  }
+}
+
+transitions {
+  normal -> lockdown on crash_detected
+  lockdown -> normal on all_clear
+}
+`
+
+func writePolicy(t *testing.T) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "policy.sack")
+	if err := os.WriteFile(path, []byte(seedPolicy), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestNewServerSeedsGroups(t *testing.T) {
+	var out, errb bytes.Buffer
+	srv, addr, code := newServer(
+		[]string{"-addr", "127.0.0.1:0", "-group", "default", "-policy", writePolicy(t)},
+		&out, &errb)
+	if srv == nil || code != 0 {
+		t.Fatalf("newServer failed: code=%d stderr=%s", code, errb.String())
+	}
+	if addr != "127.0.0.1:0" {
+		t.Fatalf("addr = %q", addr)
+	}
+	if !strings.Contains(out.String(), "group default seeded at generation 1") {
+		t.Fatalf("seed output: %q", out.String())
+	}
+	if b, err := srv.Bundle("default"); err != nil || b.Generation != 1 {
+		t.Fatalf("seeded bundle: %+v err=%v", b, err)
+	}
+
+	// The seeded server serves the wire protocol end to end.
+	hs := httptest.NewServer(fleet.Handler(srv))
+	defer hs.Close()
+	c := fleet.NewClient(hs.URL)
+	b, modified, err := c.FetchBundle("default", "", time.Millisecond)
+	if err != nil || !modified || b.Generation != 1 {
+		t.Fatalf("fetch from seeded fleetd: %+v modified=%v err=%v", b, modified, err)
+	}
+}
+
+func TestNewServerRejectsBadArgs(t *testing.T) {
+	var out, errb bytes.Buffer
+	if _, _, code := newServer([]string{"-group", "g"}, &out, &errb); code != 2 {
+		t.Fatalf("unpaired -group: code = %d", code)
+	}
+	if _, _, code := newServer([]string{"-group", "g", "-policy", "/does/not/exist"}, &out, &errb); code != 1 {
+		t.Fatalf("missing policy file: code = %d", code)
+	}
+	bad := filepath.Join(t.TempDir(), "bad.sack")
+	if err := os.WriteFile(bad, []byte("not a policy"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, code := newServer([]string{"-group", "g", "-policy", bad}, &out, &errb); code != 1 {
+		t.Fatalf("invalid policy: code = %d", code)
+	}
+}

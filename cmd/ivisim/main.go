@@ -5,8 +5,14 @@
 //
 // Usage:
 //
-//	ivisim            run with SACK protection (independent mode)
-//	ivisim -nosack    run the unprotected baseline
+//	ivisim                   run with SACK protection (independent mode)
+//	ivisim -nosack           run the unprotected baseline
+//	ivisim -faults <spec>    arm deterministic fault injection; CAN-bus
+//	                         rules (e.g. "drop:canbus:p=0.3") strike the
+//	                         vehicle bus tap, sensor/transmitter rules
+//	                         strike the SDS; the per-target tally prints
+//	                         after the run
+//	ivisim -fault-seed <n>   deterministic seed for -faults (default 1)
 package main
 
 import (
@@ -66,19 +72,30 @@ transitions {
 
 func main() {
 	nosack := flag.Bool("nosack", false, "run without SACK (vulnerable baseline)")
+	faultSpec := flag.String("faults", "", "fault-plan spec, e.g. drop:canbus:p=0.3 (see sackctl chaos)")
+	faultSeed := flag.Int64("fault-seed", 1, "deterministic seed for -faults")
 	flag.Parse()
-	if err := run(*nosack, os.Stdout); err != nil {
+	if err := run(*nosack, *faultSpec, *faultSeed, os.Stdout); err != nil {
 		log.Fatal(err)
 	}
 }
 
 // run is the testable entry point.
-func run(nosack bool, stdout io.Writer) error {
+func run(nosack bool, faultSpec string, faultSeed int64, stdout io.Writer) error {
 	var (
 		k   *kernel.Kernel
 		v   *vehicle.Vehicle
 		sys *sack.System
+		inj *sack.FaultInjector
 	)
+	var plan *sack.FaultPlan
+	if faultSpec != "" {
+		var err error
+		plan, err = sack.ParseFaultSpec(faultSpec, faultSeed)
+		if err != nil {
+			return err
+		}
+	}
 	if nosack {
 		k = kernel.New()
 		if err := k.RegisterLSM(lsm.NewCapability()); err != nil {
@@ -88,14 +105,24 @@ func run(nosack bool, stdout io.Writer) error {
 		if err := v.RegisterDevices(k); err != nil {
 			return err
 		}
+		if plan != nil {
+			// No SACK boot to arm the tap for us: wire the injector onto
+			// the bus directly so the baseline sees the same CAN chaos.
+			inj = sack.NewFaultInjector(plan)
+			v.Bus.SetTap(vehicle.FaultTap(inj))
+		}
 		fmt.Fprintln(stdout, "== ivisim (UNPROTECTED baseline) ==")
 	} else {
 		var err error
-		sys, err = sack.NewSystem(sack.Options{Mode: sack.Independent, PolicyText: policyText})
+		opts := []sack.Option{sack.WithMode(sack.Independent)}
+		if plan != nil {
+			opts = append(opts, sack.WithFaultPlan(plan))
+		}
+		sys, err = sack.New(policyText, opts...)
 		if err != nil {
 			return err
 		}
-		k, v = sys.Kernel, sys.Vehicle
+		k, v, inj = sys.Kernel, sys.Vehicle, sys.Faults
 		fmt.Fprintln(stdout, "== ivisim (SACK protected) ==")
 	}
 	fmt.Fprintf(stdout, "LSM stack: %s\n\n", k.LSM)
@@ -143,7 +170,12 @@ func run(nosack bool, stdout io.Writer) error {
 		trace.Apply(p, v.Dynamics)
 		events, err := service.Poll()
 		if err != nil {
-			return err
+			if plan == nil {
+				return err
+			}
+			// Injected faults make delivery fail transiently; the SDS
+			// retries with backoff, so report and keep driving.
+			fmt.Fprintf(stdout, "!! poll: %v\n", err)
 		}
 		res := attack.Inject("/dev/vehicle/door0", vehicle.IoctlDoorUnlock, 0)
 		fmt.Fprintf(stdout, "%-10s %-24v %-12s %s\n", p.T, events, stateName(), res)
@@ -165,5 +197,8 @@ func run(nosack bool, stdout io.Writer) error {
 	}
 	fmt.Fprintln(stdout)
 	fmt.Fprint(stdout, dash.Render())
+	if inj != nil {
+		fmt.Fprintf(stdout, "\n-- fault injector --\n%s", inj.Render())
+	}
 	return nil
 }

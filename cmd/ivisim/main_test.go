@@ -8,7 +8,7 @@ import (
 
 func TestRunProtected(t *testing.T) {
 	var out bytes.Buffer
-	if err := run(false, &out); err != nil {
+	if err := run(false, "", 1, &out); err != nil {
 		t.Fatal(err)
 	}
 	text := out.String()
@@ -33,7 +33,7 @@ func TestRunProtected(t *testing.T) {
 
 func TestRunUnprotected(t *testing.T) {
 	var out bytes.Buffer
-	if err := run(true, &out); err != nil {
+	if err := run(true, "", 1, &out); err != nil {
 		t.Fatal(err)
 	}
 	text := out.String()
@@ -45,5 +45,46 @@ func TestRunUnprotected(t *testing.T) {
 	}
 	if !strings.Contains(text, "(no SACK)") {
 		t.Errorf("dashboard should show no SACK:\n%s", text)
+	}
+}
+
+// TestRunWithCANFaults smoke-tests the -faults flag: a plan dropping
+// every CAN frame reaches the vehicle bus tap (the tally shows canbus
+// drops) and the run still completes.
+func TestRunWithCANFaults(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(false, "drop:canbus", 1, &out); err != nil {
+		t.Fatal(err)
+	}
+	text := out.String()
+	if !strings.Contains(text, "-- fault injector --") {
+		t.Fatalf("fault tally missing:\n%s", text)
+	}
+	tally := text[strings.Index(text, "-- fault injector --"):]
+	if !strings.Contains(tally, "canbus") || !strings.Contains(tally, "drops=") {
+		t.Fatalf("canbus drops not tallied:\n%s", tally)
+	}
+	// Every bus op was faulted: drops must equal ops for the target.
+	for _, line := range strings.Split(tally, "\n") {
+		if !strings.Contains(line, "fault canbus") {
+			continue
+		}
+		if strings.Contains(line, "drops=0 ") {
+			t.Fatalf("canbus rule never fired: %s", line)
+		}
+	}
+
+	// The baseline wires the tap by hand; same tally expected.
+	out.Reset()
+	if err := run(true, "drop:canbus", 1, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "fault canbus") {
+		t.Fatalf("baseline canbus tally missing:\n%s", out.String())
+	}
+
+	// A malformed spec is a startup error, not a silent no-op.
+	if err := run(false, "explode:canbus", 1, &out); err == nil {
+		t.Fatal("bad fault spec accepted")
 	}
 }

@@ -1,0 +1,98 @@
+package main
+
+import (
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/fleet"
+)
+
+const fleetTestPolicy = `
+states {
+  normal = 0
+  lockdown = 1
+}
+
+initial normal
+failsafe lockdown
+
+permissions {
+  NORMAL
+  LOCKED
+}
+
+state_per {
+  normal:   NORMAL
+  lockdown: LOCKED
+}
+
+per_rules {
+  NORMAL {
+    allow read /etc/**
+  }
+  LOCKED {
+    allow read /etc/hostname
+  }
+}
+
+transitions {
+  normal -> lockdown on crash_detected
+  lockdown -> normal on all_clear
+}
+`
+
+func TestBundlePushAndFleetStatus(t *testing.T) {
+	srv := fleet.NewServer()
+	hs := httptest.NewServer(fleet.Handler(srv))
+	defer hs.Close()
+
+	files := map[string]string{"p": fleetTestPolicy}
+	code, out, errOut := runCtl(t, files, "bundle", "push", hs.URL, "default", "p")
+	if code != 0 {
+		t.Fatalf("bundle push: code=%d stderr=%s", code, errOut)
+	}
+	if !strings.Contains(out, "pushed group default generation 1") {
+		t.Fatalf("push output: %q", out)
+	}
+	if b, err := srv.Bundle("default"); err != nil || b.Generation != 1 {
+		t.Fatalf("server bundle after push: %+v err=%v", b, err)
+	}
+
+	// A second push bumps the generation.
+	code, out, _ = runCtl(t, files, "bundle", "push", hs.URL, "default", "p")
+	if code != 0 || !strings.Contains(out, "generation 2") {
+		t.Fatalf("second push: code=%d out=%q", code, out)
+	}
+
+	// Invalid policy is rejected locally, before it reaches the server.
+	code, _, errOut = runCtl(t, map[string]string{"bad": "states { a a }"}, "bundle", "push", hs.URL, "default", "bad")
+	if code != 1 || errOut == "" {
+		t.Fatalf("invalid push: code=%d stderr=%q", code, errOut)
+	}
+	if b, _ := srv.Bundle("default"); b.Generation != 2 {
+		t.Fatalf("invalid push changed the registry: %+v", b)
+	}
+
+	if err := srv.ReportStatus(fleet.VehicleStatus{Vehicle: "v1", Group: "default", AppliedGeneration: 2}); err != nil {
+		t.Fatal(err)
+	}
+	code, out, errOut = runCtl(t, nil, "fleet", "status", hs.URL)
+	if code != 0 {
+		t.Fatalf("fleet status: code=%d stderr=%s", code, errOut)
+	}
+	for _, want := range []string{"vehicles: 1", "group default:", "generation=2", "converged=1"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("fleet status missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFleetSubcommandUsage(t *testing.T) {
+	if code, _, _ := runCtl(t, nil, "bundle", "pull", "u", "g", "p"); code != 2 {
+		t.Fatalf("bundle pull accepted: %d", code)
+	}
+	if code, _, _ := runCtl(t, nil, "fleet"); code != 2 {
+		t.Fatalf("bare fleet accepted: %d", code)
+	}
+}

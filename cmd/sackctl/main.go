@@ -17,6 +17,10 @@
 //	sackctl pack [name]            list or print the embedded policy pack
 //	sackctl chaos <policy-file> <fault-spec> [event...]  drive events under
 //	                               fault injection, print pipeline health
+//	sackctl bundle push <url> <group> <policy-file>  validate and publish
+//	                               the policy as the group's next bundle
+//	                               generation on a fleetd at <url>
+//	sackctl fleet status <url>     print a fleetd's aggregate fleet view
 //	sackctl example                print a commented example policy
 package main
 
@@ -29,6 +33,7 @@ import (
 	"time"
 
 	sack "repro"
+	"repro/internal/fleet"
 	"repro/internal/policy"
 	"repro/internal/sds"
 	"repro/internal/ssm"
@@ -167,6 +172,23 @@ func run(args []string, stdout, stderr io.Writer, readFile func(string) ([]byte,
 			return 1
 		}
 		return chaos(string(data), args[2], args[3:], stdout, stderr)
+	case "bundle":
+		if len(args) != 5 || args[1] != "push" {
+			usage(stderr)
+			return 2
+		}
+		data, err := readFile(args[4])
+		if err != nil {
+			fmt.Fprintf(stderr, "sackctl: reading policy: %v\n", err)
+			return 1
+		}
+		return bundlePush(args[2], args[3], string(data), stdout, stderr)
+	case "fleet":
+		if len(args) != 3 || args[1] != "status" {
+			usage(stderr)
+			return 2
+		}
+		return fleetStatus(args[2], stdout, stderr)
 	}
 	usage(stderr)
 	return 2
@@ -180,6 +202,8 @@ func usage(w io.Writer) {
 	fmt.Fprintln(w, "       sackctl reload <old-file> <new-file> [event...]")
 	fmt.Fprintln(w, "       sackctl pack [name]")
 	fmt.Fprintln(w, "       sackctl chaos <policy-file> <fault-spec> [event...]")
+	fmt.Fprintln(w, "       sackctl bundle push <url> <group> <policy-file>")
+	fmt.Fprintln(w, "       sackctl fleet status <url>")
 	fmt.Fprintln(w, "       sackctl example")
 }
 
@@ -263,6 +287,40 @@ func chaos(src, spec string, events []string, stdout, stderr io.Writer) int {
 	fmt.Fprintf(stdout, "final state: %s\n", system.CurrentState().Name)
 	fmt.Fprintf(stdout, "\n-- %s --\n%s", sack.PipelineFile, mustRead(task, sack.PipelineFile, stderr))
 	fmt.Fprintf(stdout, "\n-- fault injector --\n%s", system.Faults.Render())
+	return 0
+}
+
+// bundlePush validates the policy locally (fast feedback, same checker
+// the server runs) and publishes it as the group's next bundle
+// generation on a fleetd.
+func bundlePush(url, group, src string, stdout, stderr io.Writer) int {
+	if vr, err := sack.CheckPolicy(src); err != nil {
+		fmt.Fprintf(stderr, "sackctl: %v\n", err)
+		return 1
+	} else if !vr.OK() {
+		for _, issue := range vr.Issues {
+			fmt.Fprintln(stderr, issue)
+		}
+		return 1
+	}
+	b, err := fleet.NewClient(url).Push(group, src)
+	if err != nil {
+		fmt.Fprintf(stderr, "sackctl: push: %v\n", err)
+		return 1
+	}
+	fmt.Fprintf(stdout, "pushed group %s generation %d (%s)\n", b.Group, b.Generation, b.ETag())
+	return 0
+}
+
+// fleetStatus prints a fleetd's aggregate view: per-group generation
+// and convergence, plus the decision-log ingestion counters.
+func fleetStatus(url string, stdout, stderr io.Writer) int {
+	st, err := fleet.NewClient(url).FleetStatus()
+	if err != nil {
+		fmt.Fprintf(stderr, "sackctl: fleet status: %v\n", err)
+		return 1
+	}
+	fmt.Fprint(stdout, st.Render())
 	return 0
 }
 

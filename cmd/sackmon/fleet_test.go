@@ -1,0 +1,63 @@
+package main
+
+import (
+	"bytes"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/fleet"
+)
+
+// TestRunFleetView drives the city-crash trace as a fleet member: the
+// vehicle pulls its policy from a fleetd (replacing the built-in one),
+// ships status and audit records after the run, and the fleet view
+// shows it converged.
+func TestRunFleetView(t *testing.T) {
+	srv := fleet.NewServer()
+	if _, err := srv.Publish("city", defaultPolicy); err != nil {
+		t.Fatalf("publish: %v", err)
+	}
+	hs := httptest.NewServer(fleet.Handler(srv))
+	defer hs.Close()
+
+	var out bytes.Buffer
+	code := runWith(&out, func(c *runConfig) {
+		c.fleetURL = hs.URL
+		c.fleetGroup = "city"
+		c.fleetVehicle = "veh-mon"
+	})
+	if code != 0 {
+		t.Fatalf("exit %d:\n%s", code, out.String())
+	}
+	text := out.String()
+	for _, frag := range []string{
+		"fleet: veh-mon joined group city at generation 1",
+		"emergency (3)", // the trace still drives the pulled policy
+		"-- fleet " + hs.URL + " --",
+		"group city: generation=1",
+		"converged=1",
+	} {
+		if !strings.Contains(text, frag) {
+			t.Errorf("output missing %q:\n%s", frag, text)
+		}
+	}
+
+	v, ok := srv.Vehicle("veh-mon")
+	if !ok {
+		t.Fatal("vehicle never reported status")
+	}
+	if v.AppliedGeneration != 1 {
+		t.Fatalf("vehicle state: %+v", v)
+	}
+	if v.Uploaded+v.Dropped != v.Emitted {
+		t.Fatalf("ledger not exact: %+v", v)
+	}
+}
+
+func TestFleetGroupRequiresFleetURL(t *testing.T) {
+	var out bytes.Buffer
+	if code := runWith(&out, func(c *runConfig) { c.fleetGroup = "city" }); code != 2 {
+		t.Fatalf("exit %d, want 2", code)
+	}
+}

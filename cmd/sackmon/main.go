@@ -8,12 +8,20 @@
 //	sackmon [-trace city-crash|highway|park] [-policy <file>] [-metrics]
 //	        [-pipeline] [-faults <spec>] [-fault-seed <n>]
 //	        [-failsafe <state>] [-heartbeat <dur>]
+//	        [-fleet <url>] [-fleet-group <g>] [-fleet-vehicle <id>]
 //
 // -faults arms deterministic fault injection (see sack.ParseFaultSpec
 // for the spec grammar); -pipeline prints the kernel's pipeline health
 // file after the run; -heartbeat makes the SDS emit heartbeats and
 // ticks the kernel watchdog every trace point, so a stalled transmitter
 // degrades the SSM to the policy's (or -failsafe's) fail-safe state.
+//
+// -fleet points at a fleetd and prints its aggregate fleet view after
+// the run. With -fleet-group the monitored vehicle additionally joins
+// the fleet as an agent: it pulls the group's current bundle before the
+// trace (the bundle replaces -policy / the built-in policy through the
+// reload transaction) and ships its status and audit records upstream
+// after the trace, so it appears in the printed view.
 package main
 
 import (
@@ -81,6 +89,10 @@ type runConfig struct {
 	failsafe  string        // fail-safe state override; "" keeps the policy's
 	heartbeat time.Duration // SDS heartbeat interval; 0 disables
 
+	fleetURL     string // fleetd base URL; "" disables the fleet view
+	fleetGroup   string // with fleetURL: join this group as an agent
+	fleetVehicle string // agent vehicle id (default "sackmon")
+
 	stdout   io.Writer
 	readFile func(string) ([]byte, error)
 }
@@ -95,6 +107,9 @@ func main() {
 	flag.Int64Var(&cfg.faultSeed, "fault-seed", 1, "deterministic seed for the fault plan")
 	flag.StringVar(&cfg.failsafe, "failsafe", "", "fail-safe state override (default: the policy's failsafe)")
 	flag.DurationVar(&cfg.heartbeat, "heartbeat", 0, "SDS heartbeat interval (0 disables; enables the kernel watchdog)")
+	flag.StringVar(&cfg.fleetURL, "fleet", "", "fleetd base URL; print its fleet view after the run")
+	flag.StringVar(&cfg.fleetGroup, "fleet-group", "", "join this fleet group as an agent (requires -fleet)")
+	flag.StringVar(&cfg.fleetVehicle, "fleet-vehicle", "sackmon", "vehicle id to join the fleet as")
 	flag.Parse()
 	cfg.stdout, cfg.readFile = os.Stdout, os.ReadFile
 	os.Exit(run(cfg))
@@ -138,12 +153,39 @@ func run(cfg runConfig) int {
 	if cfg.failsafe != "" {
 		opts = append(opts, sack.WithFailsafe(cfg.failsafe))
 	}
+	if cfg.fleetGroup != "" {
+		if cfg.fleetURL == "" {
+			log.Printf("sackmon: -fleet-group requires -fleet")
+			return 2
+		}
+		vehicleID := cfg.fleetVehicle
+		if vehicleID == "" {
+			vehicleID = "sackmon"
+		}
+		opts = append(opts, sack.WithFleet(sack.FleetAgentConfig{
+			Vehicle:   vehicleID,
+			Group:     cfg.fleetGroup,
+			Transport: sack.NewFleetClient(cfg.fleetURL),
+			PollWait:  time.Millisecond,
+		}))
+	}
 	sys, err := sack.New(policyText, opts...)
 	if err != nil {
 		log.Printf("sackmon: %v", err)
 		return 1
 	}
 	root := sys.Kernel.Init()
+
+	if sys.Fleet != nil {
+		// Converge on the group's bundle before driving: the download
+		// replaces the boot policy through the reload transaction.
+		if err := sys.Fleet.SyncOnce(); err != nil {
+			log.Printf("sackmon: fleet sync: %v", err)
+			return 1
+		}
+		fmt.Fprintf(stdout, "fleet: %s joined group %s at generation %d\n",
+			cfg.fleetVehicle, cfg.fleetGroup, sys.Fleet.AppliedGeneration())
+	}
 
 	clock := sds.NewVirtualClock(time.Unix(1_700_000_000, 0))
 	detectors := []sds.Detector{
@@ -211,6 +253,21 @@ func run(cfg runConfig) int {
 			return 1
 		}
 		fmt.Fprintf(stdout, "\n-- %s --\n%s", sack.PipelineFile, out)
+	}
+	if cfg.fleetURL != "" {
+		if sys.Fleet != nil {
+			// Ship the run's audit records and final status upstream so
+			// the view below includes this vehicle.
+			if err := sys.Fleet.SyncOnce(); err != nil {
+				fmt.Fprintf(stdout, "!! fleet sync: %v\n", err)
+			}
+		}
+		st, err := sack.NewFleetClient(cfg.fleetURL).FleetStatus()
+		if err != nil {
+			log.Printf("sackmon: fleet status: %v", err)
+			return 1
+		}
+		fmt.Fprintf(stdout, "\n-- fleet %s --\n%s", cfg.fleetURL, st.Render())
 	}
 	return 0
 }

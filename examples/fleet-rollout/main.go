@@ -1,0 +1,155 @@
+// Fleet rollout — the control-plane loop at demo scale: a fleetd-style
+// HTTP server distributes versioned policy bundles to a small fleet,
+// each vehicle applies them through the kernel's transactional reload,
+// and decision logs flow back upstream with exact accounting. The same
+// loop runs at 1000 vehicles under random transport faults in
+// TestFleetConvergence (`make fleet-stress`).
+package main
+
+import (
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"time"
+
+	sack "repro"
+	"repro/internal/fleet"
+)
+
+const policyV1 = `
+states {
+  normal = 0
+  emergency = 1
+}
+initial normal
+permissions {
+  DEVICE_READ
+  CONTROL_CAR_DOORS
+}
+state_per {
+  normal:    DEVICE_READ
+  emergency: DEVICE_READ, CONTROL_CAR_DOORS
+}
+per_rules {
+  DEVICE_READ {
+    allow read /dev/vehicle/**
+  }
+  CONTROL_CAR_DOORS {
+    allow read,write,ioctl /dev/vehicle/door*
+  }
+}
+transitions {
+  normal -> emergency on crash_detected
+  emergency -> normal on all_clear
+}
+`
+
+// v2 grants door control in the normal state too — say, a recall fix
+// for a fleet of delivery vans that need curbside door actuation.
+const policyV2 = `
+states {
+  normal = 0
+  emergency = 1
+}
+initial normal
+permissions {
+  DEVICE_READ
+  CONTROL_CAR_DOORS
+}
+state_per {
+  normal:    DEVICE_READ, CONTROL_CAR_DOORS
+  emergency: DEVICE_READ, CONTROL_CAR_DOORS
+}
+per_rules {
+  DEVICE_READ {
+    allow read /dev/vehicle/**
+  }
+  CONTROL_CAR_DOORS {
+    allow read,write,ioctl /dev/vehicle/door*
+  }
+}
+transitions {
+  normal -> emergency on crash_detected
+  emergency -> normal on all_clear
+}
+`
+
+func main() {
+	// Control plane: the same registry fleetd serves, on a loopback port.
+	server := fleet.NewServer()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	go http.Serve(ln, fleet.Handler(server))
+	base := "http://" + ln.Addr().String()
+	fmt.Printf("== Fleet rollout ==\ncontrol plane at %s\n\n", base)
+
+	client := sack.NewFleetClient(base)
+	b, err := client.Push("vans", policyV1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("pushed generation %d (%s) to group vans\n\n", b.Generation, b.ETag())
+
+	// Three vehicles join the group. Each runs a full SACK stack; the
+	// fleet agent rides on top and applies bundles via System.Reload.
+	var fleetSystems []*sack.System
+	for i := 1; i <= 3; i++ {
+		sys, err := sack.New(policyV1, sack.WithFleet(sack.FleetAgentConfig{
+			Vehicle:   fmt.Sprintf("van-%d", i),
+			Group:     "vans",
+			Transport: client,
+			PollWait:  50 * time.Millisecond,
+		}))
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := sys.Fleet.SyncOnce(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("van-%d joined at generation %d\n", i, sys.Fleet.AppliedGeneration())
+		fleetSystems = append(fleetSystems, sys)
+	}
+
+	// Under v1 the doors are locked in the normal state: the attempt is
+	// denied by the kernel and lands in the audit ring, which the agent
+	// ships upstream on its next sync.
+	van1 := fleetSystems[0]
+	task := van1.Kernel.Init()
+	if _, err := task.Open("/dev/vehicle/door0", sack.OWronly, 0); err != nil {
+		fmt.Printf("\nvan-1 door open under v1: %v\n", err)
+	}
+
+	// Roll out v2. Each vehicle pulls, verifies the checksum, and
+	// applies it as one reload transaction; the next denied attempt
+	// becomes an allow.
+	if b, err = client.Push("vans", policyV2); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\npushed generation %d — rolling out\n", b.Generation)
+	for i, sys := range fleetSystems {
+		if err := sys.Fleet.SyncOnce(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("van-%d now at generation %d\n", i+1, sys.Fleet.AppliedGeneration())
+	}
+	if fd, err := task.Open("/dev/vehicle/door0", sack.OWronly, 0); err == nil {
+		task.Close(fd)
+		fmt.Println("van-1 door open under v2: allowed")
+	}
+
+	// One more sync ships the remaining logs and status, then the
+	// server-side view shows the converged fleet and the log ledger.
+	for _, sys := range fleetSystems {
+		if err := sys.Fleet.SyncOnce(); err != nil {
+			log.Fatal(err)
+		}
+	}
+	stats, err := client.FleetStatus()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\n-- fleet status --\n%s", stats.Render())
+}

@@ -1,0 +1,82 @@
+package sack_test
+
+// fleet_bench_test.go measures the fleet control plane's fan-out cost:
+// how long it takes a freshly published bundle to reach every vehicle
+// of a 100- or 1000-strong fleet over the in-process transport, with
+// each vehicle applying it through the full kernel reload transaction
+// and reporting back. This is the distribution half of §IV scaled from
+// one vehicle to a fleet; the per-vehicle cost should stay flat as the
+// fleet grows (vehicles pull independently — no fan-out coordination).
+//
+// Run: go test -bench BenchmarkFleetFanout -benchmem .
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	sack "repro"
+	"repro/internal/fleet"
+)
+
+func benchFleet(b *testing.B, nVehicles int) {
+	server := fleet.NewServer()
+	if _, err := server.Publish("bench", fleetPolicyV1); err != nil {
+		b.Fatal(err)
+	}
+	systems := make([]*sack.System, nVehicles)
+	for i := range systems {
+		sys, err := sack.New(fleetPolicyV1,
+			sack.WithoutVehicle(),
+			sack.WithFleet(sack.FleetAgentConfig{
+				Vehicle:   fmt.Sprintf("bench-%04d", i),
+				Group:     "bench",
+				Transport: server,
+				PollWait:  time.Millisecond,
+			}),
+		)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := sys.Fleet.SyncOnce(); err != nil {
+			b.Fatal(err)
+		}
+		systems[i] = sys
+	}
+
+	// Each iteration publishes a distinct revision (the comment line
+	// changes the checksum, the body alternates so the reload applies a
+	// real diff) and fans it out to every vehicle.
+	sources := [2]string{fleetPolicyV1, fleetPolicyV2}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		src := fmt.Sprintf("# rev %d\n%s", i, sources[i%2])
+		bundle, err := server.Publish("bench", src)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var wg sync.WaitGroup
+		for _, sys := range systems {
+			wg.Add(1)
+			go func(a *sack.FleetAgent) {
+				defer wg.Done()
+				for a.AppliedGeneration() < bundle.Generation {
+					if err := a.SyncOnce(); err != nil {
+						b.Error(err)
+						return
+					}
+				}
+			}(sys.Fleet)
+		}
+		wg.Wait()
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/float64(nVehicles), "ns/vehicle")
+}
+
+func BenchmarkFleetFanout(b *testing.B) {
+	for _, n := range []int{100, 1000} {
+		b.Run(fmt.Sprintf("vehicles=%d", n), func(b *testing.B) { benchFleet(b, n) })
+	}
+}

@@ -1,6 +1,9 @@
 package core
 
 import (
+	"crypto/hmac"
+	"crypto/sha256"
+	"encoding/hex"
 	"errors"
 	"fmt"
 	"strconv"
@@ -56,10 +59,24 @@ type Heartbeat struct {
 	Retries uint64    // cumulative transmit retries
 	Drops   uint64    // cumulative queue-full drops
 	Dark    []string  // sensors currently considered dark
+	MAC     string    // hex HMAC-SHA256 over the other fields ("" = unsigned)
 }
 
-// String renders the heartbeat as an events-file control line.
+// String renders the heartbeat as an events-file control line. The MAC
+// field, when present, renders last so the signed payload is exactly
+// the line without it.
 func (h Heartbeat) String() string {
+	b := h.payload()
+	if h.MAC != "" {
+		return b + " mac=" + h.MAC
+	}
+	return b
+}
+
+// payload renders every field except the MAC — the byte string the
+// HMAC covers. The SDS sequence number is inside, so a captured line
+// cannot be replayed once a later beat has been accepted.
+func (h Heartbeat) payload() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "%s seq=%d t=%d queue=%d/%d retries=%d drops=%d",
 		HeartbeatPrefix, h.Seq, h.At.UnixNano(), h.Queue, h.Cap, h.Retries, h.Drops)
@@ -67,6 +84,27 @@ func (h Heartbeat) String() string {
 		fmt.Fprintf(&b, " dark=%s", strings.Join(h.Dark, "|"))
 	}
 	return b.String()
+}
+
+// Sign computes the heartbeat's MAC with the shared secret and returns
+// the heartbeat with the MAC field filled in.
+func (h Heartbeat) Sign(secret []byte) Heartbeat {
+	mac := hmac.New(sha256.New, secret)
+	mac.Write([]byte(h.payload()))
+	h.MAC = hex.EncodeToString(mac.Sum(nil))
+	return h
+}
+
+// VerifyMAC reports whether the heartbeat's MAC is a valid signature
+// of its payload under the shared secret (constant-time comparison).
+func (h Heartbeat) VerifyMAC(secret []byte) bool {
+	want, err := hex.DecodeString(h.MAC)
+	if err != nil || h.MAC == "" {
+		return false
+	}
+	mac := hmac.New(sha256.New, secret)
+	mac.Write([]byte(h.payload()))
+	return hmac.Equal(mac.Sum(nil), want)
 }
 
 // ParseHeartbeat inverts Heartbeat.String.
@@ -103,6 +141,8 @@ func ParseHeartbeat(line string) (Heartbeat, error) {
 			h.Drops, err = strconv.ParseUint(val, 10, 64)
 		case "dark":
 			h.Dark = strings.Split(val, "|")
+		case "mac":
+			h.MAC = val
 		default:
 			return Heartbeat{}, fmt.Errorf("core: unknown heartbeat field %q", key)
 		}
@@ -137,6 +177,10 @@ type Pipeline struct {
 	degradedFlag atomic.Bool
 	pinnedFlag   atomic.Bool
 
+	// hbSecret, when non-empty, demands every heartbeat control line be
+	// HMAC-signed with it. Set once at construction, read-only after.
+	hbSecret []byte
+
 	// mu guards the monitor state. Lock ordering: SACK.mu is always
 	// taken before Pipeline.mu (the ReplacePolicy transaction holds
 	// both); nothing under p.mu ever takes SACK.mu.
@@ -148,6 +192,7 @@ type Pipeline struct {
 	reason           string
 	degradedAt       time.Time
 	prevState        string
+	lastAuthSeq      uint64 // highest authenticated heartbeat sequence
 
 	beats        uint64
 	degradations uint64
@@ -155,6 +200,7 @@ type Pipeline struct {
 
 	unknownEvents    atomic.Uint64
 	rejectedDegraded atomic.Uint64
+	forgedHeartbeats atomic.Uint64
 }
 
 // Window reports the configured heartbeat window.
@@ -214,6 +260,8 @@ type PipelineStats struct {
 	Recoveries       uint64
 	UnknownEvents    uint64
 	RejectedDegraded uint64
+	ForgedHeartbeats uint64
+	Authenticated    bool // a heartbeat secret is configured
 }
 
 // Stats snapshots the pipeline state.
@@ -238,6 +286,8 @@ func (p *Pipeline) Stats() PipelineStats {
 		Recoveries:       p.recoveries,
 		UnknownEvents:    p.unknownEvents.Load(),
 		RejectedDegraded: p.rejectedDegraded.Load(),
+		ForgedHeartbeats: p.forgedHeartbeats.Load(),
+		Authenticated:    len(p.hbSecret) > 0,
 	}
 	if !st.Degraded {
 		st.Reason = ""
@@ -356,7 +406,12 @@ func (p *Pipeline) recoverLocked(now time.Time) {
 // handleControl routes one "!"-prefixed events-file line. Unknown
 // control lines are ignored (forward compatibility with newer SDS
 // builds), but malformed heartbeats are rejected so a corrupted
-// heartbeat cannot masquerade as a healthy one.
+// heartbeat cannot masquerade as a healthy one. When a heartbeat
+// secret is configured, unsigned, mis-signed, and replayed (sequence
+// not advancing past the last authenticated one) heartbeats are
+// rejected with EPERM and audited — a compromised writer with the
+// events-file capability but not the secret cannot keep a dead
+// pipeline looking alive.
 func (p *Pipeline) handleControl(line string) error {
 	if !strings.HasPrefix(line, HeartbeatPrefix) {
 		return nil
@@ -365,8 +420,36 @@ func (p *Pipeline) handleControl(line string) error {
 	if err != nil {
 		return sys.EINVAL
 	}
+	if len(p.hbSecret) > 0 {
+		if !h.VerifyMAC(p.hbSecret) {
+			p.rejectHeartbeat(h, "bad or missing mac")
+			return sys.EPERM
+		}
+		p.mu.Lock()
+		replay := h.Seq <= p.lastAuthSeq
+		if !replay {
+			p.lastAuthSeq = h.Seq
+		}
+		p.mu.Unlock()
+		if replay {
+			p.rejectHeartbeat(h, "sequence replay")
+			return sys.EPERM
+		}
+	}
 	p.Observe(h)
 	return nil
+}
+
+// rejectHeartbeat counts and audits one forged heartbeat.
+func (p *Pipeline) rejectHeartbeat(h Heartbeat, why string) {
+	p.forgedHeartbeats.Add(1)
+	if p.s.audit != nil {
+		p.s.audit.Append(lsm.AuditRecord{
+			Module: ModuleName, Op: "heartbeat_forged",
+			Subject: "events_write", Object: EventsFile, Action: "DENIED",
+			Detail: fmt.Sprintf("%s (seq=%d)", why, h.Seq),
+		})
+	}
 }
 
 // Render formats the pipeline view in the flat key: value style of the
@@ -402,5 +485,7 @@ func (p *Pipeline) Render() string {
 	fmt.Fprintf(&b, "recoveries: %d\n", st.Recoveries)
 	fmt.Fprintf(&b, "unknown_events: %d\n", st.UnknownEvents)
 	fmt.Fprintf(&b, "rejected_degraded: %d\n", st.RejectedDegraded)
+	fmt.Fprintf(&b, "heartbeat_auth: %v\n", st.Authenticated)
+	fmt.Fprintf(&b, "forged_heartbeats: %d\n", st.ForgedHeartbeats)
 	return b.String()
 }

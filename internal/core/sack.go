@@ -78,6 +78,12 @@ type Config struct {
 	// HeartbeatWindow is how stale the SDS heartbeat may grow before the
 	// pipeline degrades (0 = DefaultHeartbeatWindow).
 	HeartbeatWindow time.Duration
+
+	// HeartbeatSecret, when non-empty, requires every heartbeat control
+	// line to carry a valid HMAC under this shared secret with a
+	// strictly increasing sequence; forged or replayed heartbeats are
+	// rejected and audited.
+	HeartbeatSecret []byte
 }
 
 // SACK is the security module. It implements the lsm capability
@@ -163,7 +169,8 @@ func New(cfg Config) (*SACK, error) {
 	if window == 0 {
 		window = DefaultHeartbeatWindow
 	}
-	s.pipe = &Pipeline{s: s, window: window, failsafeOverride: cfg.Failsafe}
+	s.pipe = &Pipeline{s: s, window: window, failsafeOverride: cfg.Failsafe,
+		hbSecret: append([]byte(nil), cfg.HeartbeatSecret...)}
 	if err := s.installPolicy(cfg.Policy, cfg.Source); err != nil {
 		return nil, err
 	}

@@ -1,0 +1,289 @@
+package fleet
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/lsm"
+	"repro/internal/policy"
+)
+
+// Applier is the vehicle-side apply primitive: PR 3's transactional
+// reload. *sack.System satisfies it; tests use fakes. A reload that
+// fails validation or commit returns an error and leaves the running
+// policy untouched — the agent reports the failure and stays on its
+// current generation.
+type Applier interface {
+	Reload(src string) (policy.DiffReport, error)
+}
+
+// Agent defaults.
+const (
+	DefaultPollWait    = 5 * time.Second
+	DefaultInterval    = time.Second
+	DefaultBackoffBase = 100 * time.Millisecond
+	DefaultBackoffMax  = 5 * time.Second
+	DefaultBatchSize   = 256
+)
+
+// AgentConfig wires one vehicle's agent.
+type AgentConfig struct {
+	Vehicle   string
+	Group     string
+	Transport Transport
+	Applier   Applier
+	// Audit is the vehicle's kernel audit ring; the agent exports it
+	// incrementally through the cursor API. Optional: without it the
+	// agent only distributes bundles.
+	Audit *lsm.AuditLog
+	// Pipeline, when set, lets status reports carry the vehicle's
+	// degraded/failsafe-pinned health.
+	Pipeline *core.Pipeline
+
+	PollWait    time.Duration // long-poll hold time for FetchBundle
+	Interval    time.Duration // pause between successful sync rounds
+	BackoffBase time.Duration // first retry delay after a failed round
+	BackoffMax  time.Duration // retry delay ceiling
+	BatchSize   int           // max records per UploadLogs call
+	JitterSeed  int64         // seeds backoff jitter (0 = derive from vehicle ID)
+}
+
+// Agent is the vehicle-side fleet client: it polls the control plane
+// for policy bundles, applies them through the kernel's transactional
+// reload, reports status, and ships the audit ring upstream in batches.
+type Agent struct {
+	cfg AgentConfig
+	rng *rand.Rand
+
+	mu      sync.Mutex
+	etag    string
+	applied policy.Bundle
+	diff    string
+	cursor  uint64 // audit-ring cursor: highest Seq exported or written off
+	ledger  struct {
+		uploaded uint64
+		dropped  uint64
+	}
+	pending   []LogRecord // exported from the ring, not yet accepted upstream
+	syncs     uint64
+	syncFails uint64
+	lastErr   string
+}
+
+// NewAgent validates the config and builds an agent.
+func NewAgent(cfg AgentConfig) (*Agent, error) {
+	if cfg.Vehicle == "" || cfg.Group == "" {
+		return nil, fmt.Errorf("fleet: agent needs a vehicle id and group")
+	}
+	if cfg.Transport == nil || cfg.Applier == nil {
+		return nil, fmt.Errorf("fleet: agent needs a transport and an applier")
+	}
+	if cfg.PollWait <= 0 {
+		cfg.PollWait = DefaultPollWait
+	}
+	if cfg.Interval <= 0 {
+		cfg.Interval = DefaultInterval
+	}
+	if cfg.BackoffBase <= 0 {
+		cfg.BackoffBase = DefaultBackoffBase
+	}
+	if cfg.BackoffMax <= 0 {
+		cfg.BackoffMax = DefaultBackoffMax
+	}
+	if cfg.BatchSize <= 0 {
+		cfg.BatchSize = DefaultBatchSize
+	}
+	seed := cfg.JitterSeed
+	if seed == 0 {
+		for _, c := range cfg.Vehicle {
+			seed = seed*131 + int64(c)
+		}
+	}
+	return &Agent{cfg: cfg, rng: rand.New(rand.NewSource(seed))}, nil
+}
+
+// SyncOnce runs one full agent round: fetch (long-poll) → verify →
+// apply → export logs → report status. It returns the first transport
+// or apply error; partial progress (an applied bundle, uploaded
+// batches) is kept and the next round resumes from it.
+func (a *Agent) SyncOnce() error {
+	err := a.syncBundle()
+	if uerr := a.shipLogs(); err == nil {
+		err = uerr
+	}
+	if rerr := a.cfg.Transport.ReportStatus(a.Status()); err == nil {
+		err = rerr
+	}
+	a.mu.Lock()
+	a.syncs++
+	if err != nil {
+		a.syncFails++
+		a.lastErr = err.Error()
+	} else {
+		a.lastErr = ""
+	}
+	a.mu.Unlock()
+	return err
+}
+
+func (a *Agent) syncBundle() error {
+	a.mu.Lock()
+	etag := a.etag
+	a.mu.Unlock()
+
+	b, modified, err := a.cfg.Transport.FetchBundle(a.cfg.Group, etag, a.cfg.PollWait)
+	if err != nil {
+		return fmt.Errorf("fetch bundle: %w", err)
+	}
+	if !modified {
+		return nil
+	}
+	// End-to-end integrity: recompute the checksum over the received
+	// source before it reaches the reload path. A corrupted transport
+	// surfaces here and the agent retries rather than applying garbage.
+	if got := policy.ChecksumSource(b.Source); got != b.Checksum {
+		return fmt.Errorf("fleet: bundle %s checksum mismatch (got %s)", b.ETag(), got)
+	}
+	diff, err := a.cfg.Applier.Reload(b.Source)
+	if err != nil {
+		return fmt.Errorf("apply bundle %s: %w", b.ETag(), err)
+	}
+	a.mu.Lock()
+	a.etag = b.ETag()
+	a.applied = b
+	a.diff = diff.Summary()
+	a.mu.Unlock()
+	return nil
+}
+
+// shipLogs drains the audit ring through its cursor into bounded
+// batches. Ring overwrites that outran the cursor are written off as
+// dropped immediately — the cursor then points past the gap, so a
+// retry never double-counts the same loss. Batches that fail to upload
+// stay pending and are retried (at least once delivery); the server
+// deduplicates by sequence number.
+func (a *Agent) shipLogs() error {
+	if a.cfg.Audit == nil {
+		return nil
+	}
+	recs, next, missed := a.cfg.Audit.Since(a.cursorSnapshot())
+	a.mu.Lock()
+	if missed > 0 {
+		a.ledger.dropped += missed
+	}
+	a.cursor = next
+	for _, r := range recs {
+		a.pending = append(a.pending, FromAudit(r))
+	}
+	pending := a.pending
+	a.mu.Unlock()
+
+	for len(pending) > 0 {
+		n := len(pending)
+		if n > a.cfg.BatchSize {
+			n = a.cfg.BatchSize
+		}
+		accepted, err := a.cfg.Transport.UploadLogs(a.cfg.Vehicle, pending[:n])
+		// Count whatever the server newly took even when the call also
+		// errored (a duplicated upload whose second leg failed): the
+		// retry will be deduplicated, so this is the only time these
+		// records count.
+		if accepted > 0 {
+			a.mu.Lock()
+			a.ledger.uploaded += uint64(accepted)
+			a.mu.Unlock()
+		}
+		if err != nil {
+			// Keep the unshipped batch pending for the next round; the
+			// server dedupes by sequence, so re-sending is safe.
+			a.mu.Lock()
+			a.pending = pending
+			a.mu.Unlock()
+			return fmt.Errorf("upload logs: %w", err)
+		}
+		pending = pending[n:]
+	}
+	a.mu.Lock()
+	a.pending = nil
+	a.mu.Unlock()
+	return nil
+}
+
+func (a *Agent) cursorSnapshot() uint64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.cursor
+}
+
+// Status snapshots the agent's view for a ReportStatus upload.
+func (a *Agent) Status() VehicleStatus {
+	a.mu.Lock()
+	st := VehicleStatus{
+		Vehicle:           a.cfg.Vehicle,
+		Group:             a.cfg.Group,
+		AppliedGeneration: a.applied.Generation,
+		Checksum:          a.applied.Checksum,
+		DiffSummary:       a.diff,
+		Uploaded:          a.ledger.uploaded,
+		Dropped:           a.ledger.dropped,
+	}
+	a.mu.Unlock()
+	if a.cfg.Audit != nil {
+		st.Emitted = a.cfg.Audit.Emitted()
+	}
+	if a.cfg.Pipeline != nil {
+		st.Degraded = a.cfg.Pipeline.Degraded()
+		st.Pinned = a.cfg.Pipeline.Pinned()
+	}
+	return st
+}
+
+// AppliedGeneration returns the bundle generation the vehicle runs.
+func (a *Agent) AppliedGeneration() uint64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.applied.Generation
+}
+
+// LastError returns the most recent sync error ("" after a clean
+// round).
+func (a *Agent) LastError() string {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.lastErr
+}
+
+// Run loops SyncOnce until the context ends. Successful rounds pause
+// Interval; failures back off exponentially from BackoffBase to
+// BackoffMax with full jitter, so a fleet knocked loose by a server
+// restart does not stampede back in lockstep.
+func (a *Agent) Run(ctx context.Context) {
+	backoff := a.cfg.BackoffBase
+	for {
+		err := a.SyncOnce()
+		var pause time.Duration
+		if err != nil {
+			a.mu.Lock()
+			pause = time.Duration(a.rng.Int63n(int64(backoff) + 1))
+			a.mu.Unlock()
+			backoff *= 2
+			if backoff > a.cfg.BackoffMax {
+				backoff = a.cfg.BackoffMax
+			}
+		} else {
+			backoff = a.cfg.BackoffBase
+			pause = a.cfg.Interval
+		}
+		t := time.NewTimer(pause)
+		select {
+		case <-ctx.Done():
+			t.Stop()
+			return
+		case <-t.C:
+		}
+	}
+}

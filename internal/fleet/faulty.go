@@ -1,0 +1,132 @@
+package fleet
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/faults"
+	"repro/internal/policy"
+)
+
+// Fleet transport injection targets, one per RPC, so a plan can stall
+// bundle downloads while leaving log uploads healthy (or vice versa).
+const (
+	TargetBundle = "fleet:bundle"
+	TargetStatus = "fleet:status"
+	TargetLogs   = "fleet:logs"
+)
+
+// FaultyTransport subjects any Transport to the internal/faults
+// taxonomy, mapping fault kinds onto RPC semantics:
+//
+//	Drop, Stall    the call fails without reaching the server
+//	Delay, Reorder the call is held back Ops×DelayUnit, then proceeds
+//	Duplicate      the call is issued twice (at-least-once delivery;
+//	               exercises the server's sequence dedupe)
+//	Corrupt        bundle downloads: the policy source is mangled in
+//	               flight (the agent's checksum verification catches
+//	               it); status/log uploads: treated as a drop, since a
+//	               mangled upload would be rejected at decode
+//
+// Drops strike before the server sees the call, so a dropped upload
+// takes nothing server-side and the agent's retry keeps the ledger
+// exact.
+type FaultyTransport struct {
+	Inner Transport
+	Inj   *faults.Injector
+	// DelayUnit scales Delay/Reorder holds (default 1ms).
+	DelayUnit time.Duration
+}
+
+// NewFaultyTransport wraps inner with an injector executing plan.
+func NewFaultyTransport(inner Transport, plan *faults.Plan) *FaultyTransport {
+	return &FaultyTransport{Inner: inner, Inj: faults.New(plan)}
+}
+
+// pre applies the decided fault's call-level effects. It reports
+// whether the call should proceed and whether it should be doubled.
+func (f *FaultyTransport) pre(target string) (proceed, double bool, corrupt bool, err error) {
+	a := f.Inj.Decide(target)
+	switch a.Kind {
+	case faults.Drop:
+		return false, false, false, fmt.Errorf("%w (%s)", ErrDropped, target)
+	case faults.Stall:
+		return false, false, false, fmt.Errorf("%s: %w", target, faults.ErrStall)
+	case faults.Delay, faults.Reorder:
+		unit := f.DelayUnit
+		if unit <= 0 {
+			unit = time.Millisecond
+		}
+		ops := a.Ops
+		if ops <= 0 {
+			ops = 1
+		}
+		time.Sleep(time.Duration(ops) * unit)
+		return true, false, false, nil
+	case faults.Duplicate:
+		return true, true, false, nil
+	case faults.Corrupt:
+		return true, false, true, nil
+	}
+	return true, false, false, nil
+}
+
+// FetchBundle implements Transport.
+func (f *FaultyTransport) FetchBundle(group, etag string, wait time.Duration) (policy.Bundle, bool, error) {
+	proceed, double, corrupt, err := f.pre(TargetBundle)
+	if !proceed {
+		return policy.Bundle{}, false, err
+	}
+	if double {
+		// A duplicated download is harmless; issue and discard one.
+		f.Inner.FetchBundle(group, etag, 0)
+	}
+	b, modified, err := f.Inner.FetchBundle(group, etag, wait)
+	if corrupt && modified {
+		// Mangle the payload after the checksum header was written, as
+		// in-flight corruption would.
+		b.Source += "\x00corrupted"
+	}
+	return b, modified, err
+}
+
+// ReportStatus implements Transport.
+func (f *FaultyTransport) ReportStatus(st VehicleStatus) error {
+	proceed, double, corrupt, err := f.pre(TargetStatus)
+	if !proceed {
+		return err
+	}
+	if corrupt {
+		return fmt.Errorf("%w (%s: corrupted in flight)", ErrDropped, TargetStatus)
+	}
+	if double {
+		f.Inner.ReportStatus(st)
+	}
+	return f.Inner.ReportStatus(st)
+}
+
+// UploadLogs implements Transport.
+func (f *FaultyTransport) UploadLogs(vehicle string, recs []LogRecord) (int, error) {
+	proceed, double, corrupt, err := f.pre(TargetLogs)
+	if !proceed {
+		return 0, err
+	}
+	if corrupt {
+		return 0, fmt.Errorf("%w (%s: corrupted in flight)", ErrDropped, TargetLogs)
+	}
+	accepted := 0
+	if double {
+		// At-least-once delivery: the server sees the batch twice and
+		// must deduplicate. Count whatever each call newly accepted.
+		n, err := f.Inner.UploadLogs(vehicle, recs)
+		if err != nil {
+			return 0, err
+		}
+		accepted += n
+	}
+	n, err := f.Inner.UploadLogs(vehicle, recs)
+	if err != nil {
+		return accepted, err
+	}
+	return accepted + n, nil
+}

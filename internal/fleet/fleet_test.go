@@ -1,0 +1,455 @@
+package fleet
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/faults"
+	"repro/internal/lsm"
+	"repro/internal/policy"
+)
+
+const testPolicy = `
+states {
+  normal = 0
+  lockdown = 1
+}
+
+initial normal
+failsafe lockdown
+
+permissions {
+  NORMAL
+  LOCKED
+}
+
+state_per {
+  normal:   NORMAL
+  lockdown: LOCKED
+}
+
+per_rules {
+  NORMAL {
+    allow read /etc/**
+  }
+  LOCKED {
+    allow read /etc/hostname
+  }
+}
+
+transitions {
+  normal -> lockdown on crash_detected
+  lockdown -> normal on all_clear
+}
+`
+
+const testPolicyV2 = `
+states {
+  normal = 0
+  lockdown = 1
+}
+
+initial normal
+failsafe lockdown
+
+permissions {
+  NORMAL
+  LOCKED
+}
+
+state_per {
+  normal:   NORMAL
+  lockdown: LOCKED
+}
+
+per_rules {
+  NORMAL {
+    allow read /etc/**
+    allow read /dev/vehicle/**
+  }
+  LOCKED {
+    allow read /etc/hostname
+  }
+}
+
+transitions {
+  normal -> lockdown on crash_detected
+  lockdown -> normal on all_clear
+}
+`
+
+// fakeApplier records reloads; tests drive it instead of a full kernel.
+type fakeApplier struct {
+	mu      sync.Mutex
+	applied []string
+	fail    error
+}
+
+func (f *fakeApplier) Reload(src string) (policy.DiffReport, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.fail != nil {
+		return policy.DiffReport{}, f.fail
+	}
+	f.applied = append(f.applied, src)
+	return policy.DiffReport{}, nil
+}
+
+func (f *fakeApplier) count() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return len(f.applied)
+}
+
+func TestServerPublishAndFetch(t *testing.T) {
+	s := NewServer()
+
+	if _, _, err := s.FetchBundle("default", "", 0); !errors.Is(err, ErrUnknownGroup) {
+		t.Fatalf("fetch before publish: err = %v, want ErrUnknownGroup", err)
+	}
+	if _, err := s.Publish("default", "not a policy"); err == nil {
+		t.Fatal("invalid policy published")
+	}
+
+	b1, err := s.Publish("default", testPolicy)
+	if err != nil {
+		t.Fatalf("publish: %v", err)
+	}
+	if b1.Generation != 1 {
+		t.Fatalf("generation = %d, want 1", b1.Generation)
+	}
+
+	got, modified, err := s.FetchBundle("default", "", 0)
+	if err != nil || !modified {
+		t.Fatalf("fetch: modified=%v err=%v", modified, err)
+	}
+	if got.ETag() != b1.ETag() || got.Source != testPolicy {
+		t.Fatalf("fetched %+v, want %+v", got, b1)
+	}
+
+	// Same ETag, no wait: not modified.
+	if _, modified, err = s.FetchBundle("default", b1.ETag(), 0); err != nil || modified {
+		t.Fatalf("conditional fetch: modified=%v err=%v", modified, err)
+	}
+
+	// Generations are monotonic per group and independent across groups.
+	b2, err := s.Publish("default", testPolicyV2)
+	if err != nil {
+		t.Fatalf("publish v2: %v", err)
+	}
+	if b2.Generation != 2 {
+		t.Fatalf("generation = %d, want 2", b2.Generation)
+	}
+	bOther, err := s.Publish("trucks", testPolicy)
+	if err != nil || bOther.Generation != 1 {
+		t.Fatalf("other group: gen=%d err=%v", bOther.Generation, err)
+	}
+}
+
+func TestServerLongPollWakesOnPublish(t *testing.T) {
+	s := NewServer()
+	b1, err := s.Publish("default", testPolicy)
+	if err != nil {
+		t.Fatalf("publish: %v", err)
+	}
+
+	done := make(chan policy.Bundle, 1)
+	go func() {
+		b, modified, err := s.FetchBundle("default", b1.ETag(), 10*time.Second)
+		if err != nil || !modified {
+			done <- policy.Bundle{}
+			return
+		}
+		done <- b
+	}()
+
+	// Give the poller time to park, then publish.
+	time.Sleep(20 * time.Millisecond)
+	b2, err := s.Publish("default", testPolicyV2)
+	if err != nil {
+		t.Fatalf("publish v2: %v", err)
+	}
+	select {
+	case got := <-done:
+		if got.ETag() != b2.ETag() {
+			t.Fatalf("long-poll returned %q, want %q", got.ETag(), b2.ETag())
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("long-poll did not wake on publish")
+	}
+
+	// A stale poller with an expired wait just times out.
+	if _, modified, err := s.FetchBundle("default", b2.ETag(), 10*time.Millisecond); err != nil || modified {
+		t.Fatalf("timed-out poll: modified=%v err=%v", modified, err)
+	}
+}
+
+func TestServerLogIngestion(t *testing.T) {
+	s := NewServer(WithLogCapacity(5))
+
+	recs := func(seqs ...uint64) []LogRecord {
+		out := make([]LogRecord, len(seqs))
+		for i, q := range seqs {
+			out[i] = LogRecord{Seq: q, Op: "op", Action: "DENIED"}
+		}
+		return out
+	}
+
+	if n, err := s.UploadLogs("v1", recs(1, 2, 3)); err != nil || n != 3 {
+		t.Fatalf("upload: n=%d err=%v", n, err)
+	}
+	// Retry of the same batch: all duplicates, nothing re-ingested.
+	if n, err := s.UploadLogs("v1", recs(1, 2, 3)); err != nil || n != 0 {
+		t.Fatalf("duplicate upload: n=%d err=%v", n, err)
+	}
+	// Overlapping batch: only the new suffix is taken.
+	if n, err := s.UploadLogs("v1", recs(2, 3, 4)); err != nil || n != 1 {
+		t.Fatalf("overlap upload: n=%d err=%v", n, err)
+	}
+
+	// Buffer holds 4 of 5; a 2-record batch must be rejected whole.
+	if n, err := s.UploadLogs("v2", recs(1, 2)); !errors.Is(err, ErrBackpressure) || n != 0 {
+		t.Fatalf("over-capacity upload: n=%d err=%v", n, err)
+	}
+	// ... and nothing from the rejected batch was taken: v2 retries
+	// after a drain and every record lands.
+	if got := s.Drain(0); len(got) != 4 {
+		t.Fatalf("drained %d records, want 4", len(got))
+	}
+	if n, err := s.UploadLogs("v2", recs(1, 2)); err != nil || n != 2 {
+		t.Fatalf("post-drain retry: n=%d err=%v", n, err)
+	}
+
+	st := s.Stats()
+	if st.Logs.Accepted != 6 || st.Logs.Duplicates != 5 || st.Logs.BatchesRejected != 1 {
+		t.Fatalf("log stats: %+v", st.Logs)
+	}
+	v, ok := s.Vehicle("v1")
+	if !ok || v.Accepted != 4 || v.LastLogSeq != 4 {
+		t.Fatalf("vehicle state: %+v", v)
+	}
+}
+
+func TestAgentSyncAppliesAndReports(t *testing.T) {
+	s := NewServer()
+	if _, err := s.Publish("default", testPolicy); err != nil {
+		t.Fatalf("publish: %v", err)
+	}
+
+	audit := lsm.NewAuditLog(16)
+	app := &fakeApplier{}
+	a, err := NewAgent(AgentConfig{
+		Vehicle: "veh-1", Group: "default",
+		Transport: s, Applier: app, Audit: audit,
+		PollWait: time.Millisecond,
+	})
+	if err != nil {
+		t.Fatalf("NewAgent: %v", err)
+	}
+
+	audit.Append(lsm.AuditRecord{Op: "open", Action: "DENIED"})
+	audit.Append(lsm.AuditRecord{Op: "read", Action: "GRANTED"})
+
+	if err := a.SyncOnce(); err != nil {
+		t.Fatalf("SyncOnce: %v", err)
+	}
+	if app.count() != 1 || a.AppliedGeneration() != 1 {
+		t.Fatalf("applied %d bundles, generation %d", app.count(), a.AppliedGeneration())
+	}
+
+	v, ok := s.Vehicle("veh-1")
+	if !ok {
+		t.Fatal("no server-side vehicle state")
+	}
+	if v.AppliedGeneration != 1 || v.Group != "default" {
+		t.Fatalf("vehicle state: %+v", v)
+	}
+	if v.Emitted != 2 || v.Uploaded != 2 || v.Dropped != 0 || v.Accepted != 2 {
+		t.Fatalf("ledger: %+v", v)
+	}
+
+	// No new bundle, no new logs: a second round is a no-op.
+	if err := a.SyncOnce(); err != nil {
+		t.Fatalf("idle SyncOnce: %v", err)
+	}
+	if app.count() != 1 {
+		t.Fatal("idle round re-applied the bundle")
+	}
+
+	// New publish: next round converges.
+	if _, err := s.Publish("default", testPolicyV2); err != nil {
+		t.Fatalf("publish v2: %v", err)
+	}
+	if err := a.SyncOnce(); err != nil {
+		t.Fatalf("SyncOnce v2: %v", err)
+	}
+	if a.AppliedGeneration() != 2 || app.count() != 2 {
+		t.Fatalf("generation %d after v2, applied %d", a.AppliedGeneration(), app.count())
+	}
+}
+
+func TestAgentWritesOffRingOverflow(t *testing.T) {
+	s := NewServer()
+	if _, err := s.Publish("default", testPolicy); err != nil {
+		t.Fatalf("publish: %v", err)
+	}
+	audit := lsm.NewAuditLog(4)
+	a, err := NewAgent(AgentConfig{
+		Vehicle: "veh-1", Group: "default",
+		Transport: s, Applier: &fakeApplier{}, Audit: audit,
+		PollWait: time.Millisecond,
+	})
+	if err != nil {
+		t.Fatalf("NewAgent: %v", err)
+	}
+
+	// Emit 10 into a 4-slot ring: 6 lost before export.
+	for i := 0; i < 10; i++ {
+		audit.Append(lsm.AuditRecord{Op: fmt.Sprintf("op%d", i), Action: "DENIED"})
+	}
+	if err := a.SyncOnce(); err != nil {
+		t.Fatalf("SyncOnce: %v", err)
+	}
+	v, _ := s.Vehicle("veh-1")
+	if v.Emitted != 10 || v.Uploaded != 4 || v.Dropped != 6 {
+		t.Fatalf("ledger after overflow: %+v", v)
+	}
+	if v.Uploaded+v.Dropped != v.Emitted {
+		t.Fatalf("ledger not exact: %+v", v)
+	}
+
+	// The write-off is not double-counted on the next round.
+	if err := a.SyncOnce(); err != nil {
+		t.Fatalf("second SyncOnce: %v", err)
+	}
+	v, _ = s.Vehicle("veh-1")
+	if v.Dropped != 6 || v.Uploaded != 4 {
+		t.Fatalf("write-off double-counted: %+v", v)
+	}
+}
+
+func TestAgentRejectsCorruptBundle(t *testing.T) {
+	s := NewServer()
+	if _, err := s.Publish("default", testPolicy); err != nil {
+		t.Fatalf("publish: %v", err)
+	}
+	// Corrupt every bundle download.
+	plan := (&faults.Plan{Seed: 1}).Add(faults.Rule{Target: TargetBundle, Kind: faults.Corrupt})
+	ft := NewFaultyTransport(s, plan)
+	app := &fakeApplier{}
+	a, err := NewAgent(AgentConfig{
+		Vehicle: "veh-1", Group: "default",
+		Transport: ft, Applier: app, PollWait: time.Millisecond,
+	})
+	if err != nil {
+		t.Fatalf("NewAgent: %v", err)
+	}
+	if err := a.SyncOnce(); err == nil || !strings.Contains(err.Error(), "checksum") {
+		t.Fatalf("corrupt bundle sync: err = %v, want checksum failure", err)
+	}
+	if app.count() != 0 {
+		t.Fatal("corrupt bundle reached the applier")
+	}
+}
+
+func TestAgentFailedApplyKeepsGeneration(t *testing.T) {
+	s := NewServer()
+	if _, err := s.Publish("default", testPolicy); err != nil {
+		t.Fatalf("publish: %v", err)
+	}
+	app := &fakeApplier{fail: errors.New("commit refused")}
+	a, err := NewAgent(AgentConfig{
+		Vehicle: "veh-1", Group: "default",
+		Transport: s, Applier: app, PollWait: time.Millisecond,
+	})
+	if err != nil {
+		t.Fatalf("NewAgent: %v", err)
+	}
+	if err := a.SyncOnce(); err == nil {
+		t.Fatal("failed apply reported success")
+	}
+	if a.AppliedGeneration() != 0 {
+		t.Fatalf("generation advanced past a failed apply: %d", a.AppliedGeneration())
+	}
+	// The server still saw a status report: generation 0, last error set.
+	if v, ok := s.Vehicle("veh-1"); !ok || v.AppliedGeneration != 0 {
+		t.Fatalf("vehicle state: %+v, %v", v, ok)
+	}
+	// Apply recovers: the same bundle is retried next round.
+	app.fail = nil
+	if err := a.SyncOnce(); err != nil {
+		t.Fatalf("recovery sync: %v", err)
+	}
+	if a.AppliedGeneration() != 1 {
+		t.Fatalf("generation after recovery = %d, want 1", a.AppliedGeneration())
+	}
+}
+
+func TestFaultyTransportDropAndStall(t *testing.T) {
+	s := NewServer()
+	if _, err := s.Publish("default", testPolicy); err != nil {
+		t.Fatalf("publish: %v", err)
+	}
+	plan := (&faults.Plan{Seed: 1}).
+		Add(faults.Rule{Target: TargetBundle, Kind: faults.Drop, For: 1}).
+		Add(faults.Rule{Target: TargetLogs, Kind: faults.Stall, For: 1})
+	ft := NewFaultyTransport(s, plan)
+
+	if _, _, err := ft.FetchBundle("default", "", 0); !errors.Is(err, ErrDropped) {
+		t.Fatalf("dropped fetch: err = %v", err)
+	}
+	if _, err := ft.UploadLogs("v", []LogRecord{{Seq: 1}}); !errors.Is(err, faults.ErrStall) {
+		t.Fatalf("stalled upload: err = %v", err)
+	}
+	// Windows expired: both go through.
+	if _, modified, err := ft.FetchBundle("default", "", 0); err != nil || !modified {
+		t.Fatalf("post-window fetch: modified=%v err=%v", modified, err)
+	}
+	if n, err := ft.UploadLogs("v", []LogRecord{{Seq: 1}}); err != nil || n != 1 {
+		t.Fatalf("post-window upload: n=%d err=%v", n, err)
+	}
+}
+
+func TestFaultyTransportDuplicateIsDeduplicated(t *testing.T) {
+	s := NewServer()
+	plan := (&faults.Plan{Seed: 1}).Add(faults.Rule{Target: TargetLogs, Kind: faults.Duplicate})
+	ft := NewFaultyTransport(s, plan)
+
+	n, err := ft.UploadLogs("v", []LogRecord{{Seq: 1}, {Seq: 2}})
+	if err != nil {
+		t.Fatalf("duplicated upload: %v", err)
+	}
+	if n != 2 {
+		t.Fatalf("accepted %d, want 2 (duplicate call deduplicated)", n)
+	}
+	if st := s.Stats(); st.Logs.Accepted != 2 || st.Logs.Duplicates != 2 {
+		t.Fatalf("log stats after duplicate: %+v", st.Logs)
+	}
+}
+
+func TestFleetStatsRender(t *testing.T) {
+	s := NewServer()
+	if _, err := s.Publish("default", testPolicy); err != nil {
+		t.Fatalf("publish: %v", err)
+	}
+	if err := s.ReportStatus(VehicleStatus{Vehicle: "v1", Group: "default", AppliedGeneration: 1}); err != nil {
+		t.Fatalf("report: %v", err)
+	}
+	if err := s.ReportStatus(VehicleStatus{Vehicle: "v2", Group: "default"}); err != nil {
+		t.Fatalf("report: %v", err)
+	}
+	st := s.Stats()
+	if len(st.Groups) != 1 || st.Groups[0].Vehicles != 2 || st.Groups[0].Converged != 1 {
+		t.Fatalf("stats: %+v", st)
+	}
+	out := st.Render()
+	for _, want := range []string{"vehicles: 2", "group default:", "generation=1", "converged=1", "logs_depth: 0/"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q:\n%s", want, out)
+		}
+	}
+}

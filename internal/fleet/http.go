@@ -1,0 +1,261 @@
+package fleet
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"repro/internal/policy"
+)
+
+// Handler exposes a Server over HTTP — the wire protocol cmd/fleetd
+// serves and Client speaks:
+//
+//	GET  /v1/bundle/{group}   download the group's bundle (wire format);
+//	                          If-None-Match + ?wait= give ETag long-poll
+//	POST /v1/bundle/{group}   publish policy source as the next generation
+//	POST /v1/status           report one VehicleStatus (JSON)
+//	POST /v1/logs/{vehicle}   upload a decision-log batch (JSON array);
+//	                          429 = backpressure, nothing taken
+//	GET  /v1/fleet            aggregate FleetStats (JSON)
+//	GET  /v1/fleet/render     aggregate FleetStats (text, Render format)
+func Handler(s *Server) http.Handler {
+	mux := http.NewServeMux()
+
+	mux.HandleFunc("GET /v1/bundle/{group}", func(w http.ResponseWriter, r *http.Request) {
+		group := r.PathValue("group")
+		var wait time.Duration
+		if ws := r.URL.Query().Get("wait"); ws != "" {
+			d, err := time.ParseDuration(ws)
+			if err != nil {
+				http.Error(w, "bad wait duration", http.StatusBadRequest)
+				return
+			}
+			wait = d
+		}
+		b, modified, err := s.FetchBundle(group, r.Header.Get("If-None-Match"), wait)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusNotFound)
+			return
+		}
+		if !modified {
+			w.WriteHeader(http.StatusNotModified)
+			return
+		}
+		w.Header().Set("ETag", b.ETag())
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		w.Write(b.Encode())
+	})
+
+	mux.HandleFunc("POST /v1/bundle/{group}", func(w http.ResponseWriter, r *http.Request) {
+		src, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 1<<20))
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		b, err := s.Publish(r.PathValue("group"), string(src))
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusUnprocessableEntity)
+			return
+		}
+		w.Header().Set("ETag", b.ETag())
+		writeJSON(w, map[string]any{
+			"group": b.Group, "generation": b.Generation, "checksum": b.Checksum, "etag": b.ETag(),
+		})
+	})
+
+	mux.HandleFunc("POST /v1/status", func(w http.ResponseWriter, r *http.Request) {
+		var st VehicleStatus
+		if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20)).Decode(&st); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		if err := s.ReportStatus(st); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		w.WriteHeader(http.StatusNoContent)
+	})
+
+	mux.HandleFunc("POST /v1/logs/{vehicle}", func(w http.ResponseWriter, r *http.Request) {
+		var recs []LogRecord
+		if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 8<<20)).Decode(&recs); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		accepted, err := s.UploadLogs(r.PathValue("vehicle"), recs)
+		if err != nil {
+			status := http.StatusBadRequest
+			if errors.Is(err, ErrBackpressure) {
+				status = http.StatusTooManyRequests
+			}
+			http.Error(w, err.Error(), status)
+			return
+		}
+		writeJSON(w, map[string]int{"accepted": accepted})
+	})
+
+	mux.HandleFunc("GET /v1/fleet", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, s.Stats())
+	})
+
+	mux.HandleFunc("GET /v1/fleet/render", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		io.WriteString(w, s.Stats().Render())
+	})
+
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(v)
+}
+
+// Client speaks the Handler protocol; it implements Transport, so an
+// Agent works identically over loopback HTTP and in-process.
+type Client struct {
+	Base string // e.g. "http://127.0.0.1:7443"
+	HTTP *http.Client
+}
+
+// NewClient builds a client for a fleetd base URL.
+func NewClient(base string) *Client {
+	return &Client{Base: base, HTTP: &http.Client{}}
+}
+
+func (c *Client) httpClient() *http.Client {
+	if c.HTTP != nil {
+		return c.HTTP
+	}
+	return http.DefaultClient
+}
+
+// FetchBundle implements Transport over HTTP.
+func (c *Client) FetchBundle(group, etag string, wait time.Duration) (policy.Bundle, bool, error) {
+	url := fmt.Sprintf("%s/v1/bundle/%s", c.Base, group)
+	if wait > 0 {
+		url += "?wait=" + wait.String()
+	}
+	req, err := http.NewRequest(http.MethodGet, url, nil)
+	if err != nil {
+		return policy.Bundle{}, false, err
+	}
+	if etag != "" {
+		req.Header.Set("If-None-Match", etag)
+	}
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return policy.Bundle{}, false, err
+	}
+	defer resp.Body.Close()
+	switch resp.StatusCode {
+	case http.StatusNotModified:
+		return policy.Bundle{}, false, nil
+	case http.StatusNotFound:
+		return policy.Bundle{}, false, fmt.Errorf("%w: %q", ErrUnknownGroup, group)
+	case http.StatusOK:
+		data, err := io.ReadAll(resp.Body)
+		if err != nil {
+			return policy.Bundle{}, false, err
+		}
+		b, err := policy.DecodeBundle(data)
+		if err != nil {
+			return policy.Bundle{}, false, err
+		}
+		return b, true, nil
+	default:
+		return policy.Bundle{}, false, httpError(resp)
+	}
+}
+
+// ReportStatus implements Transport over HTTP.
+func (c *Client) ReportStatus(st VehicleStatus) error {
+	body, err := json.Marshal(st)
+	if err != nil {
+		return err
+	}
+	resp, err := c.httpClient().Post(c.Base+"/v1/status", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusNoContent {
+		return httpError(resp)
+	}
+	return nil
+}
+
+// UploadLogs implements Transport over HTTP. A 429 maps back onto
+// ErrBackpressure so agent retry logic is transport-agnostic.
+func (c *Client) UploadLogs(vehicle string, recs []LogRecord) (int, error) {
+	body, err := json.Marshal(recs)
+	if err != nil {
+		return 0, err
+	}
+	resp, err := c.httpClient().Post(c.Base+"/v1/logs/"+vehicle, "application/json", bytes.NewReader(body))
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusTooManyRequests {
+		return 0, fmt.Errorf("%w (http 429)", ErrBackpressure)
+	}
+	if resp.StatusCode != http.StatusOK {
+		return 0, httpError(resp)
+	}
+	var out struct {
+		Accepted int `json:"accepted"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return 0, err
+	}
+	return out.Accepted, nil
+}
+
+// Push publishes policy source as the group's next bundle generation.
+func (c *Client) Push(group, src string) (policy.Bundle, error) {
+	resp, err := c.httpClient().Post(c.Base+"/v1/bundle/"+group, "text/plain", bytes.NewReader([]byte(src)))
+	if err != nil {
+		return policy.Bundle{}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return policy.Bundle{}, httpError(resp)
+	}
+	var out struct {
+		Group      string `json:"group"`
+		Generation uint64 `json:"generation"`
+		Checksum   string `json:"checksum"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return policy.Bundle{}, err
+	}
+	return policy.Bundle{Group: out.Group, Generation: out.Generation, Checksum: out.Checksum, Source: src}, nil
+}
+
+// FleetStatus fetches the server's aggregate view.
+func (c *Client) FleetStatus() (FleetStats, error) {
+	resp, err := c.httpClient().Get(c.Base + "/v1/fleet")
+	if err != nil {
+		return FleetStats{}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return FleetStats{}, httpError(resp)
+	}
+	var st FleetStats
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		return FleetStats{}, err
+	}
+	return st, nil
+}
+
+func httpError(resp *http.Response) error {
+	msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+	return fmt.Errorf("fleet: http %d: %s", resp.StatusCode, bytes.TrimSpace(msg))
+}

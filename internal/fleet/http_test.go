@@ -1,0 +1,125 @@
+package fleet
+
+import (
+	"errors"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"repro/internal/lsm"
+)
+
+// TestHTTPTransportRoundTrip drives a full agent round over loopback
+// HTTP: push via Client.Push, sync via the Client transport, then read
+// the aggregate view back — the same path cmd/fleetd serves.
+func TestHTTPTransportRoundTrip(t *testing.T) {
+	s := NewServer()
+	srv := httptest.NewServer(Handler(s))
+	defer srv.Close()
+	c := NewClient(srv.URL)
+
+	if _, _, err := c.FetchBundle("default", "", 0); !errors.Is(err, ErrUnknownGroup) {
+		t.Fatalf("fetch before publish: err = %v, want ErrUnknownGroup", err)
+	}
+	if _, err := c.Push("default", "not a policy"); err == nil {
+		t.Fatal("invalid policy pushed over http")
+	}
+	b, err := c.Push("default", testPolicy)
+	if err != nil {
+		t.Fatalf("push: %v", err)
+	}
+	if b.Generation != 1 {
+		t.Fatalf("generation = %d, want 1", b.Generation)
+	}
+
+	audit := lsm.NewAuditLog(16)
+	audit.Append(lsm.AuditRecord{Op: "open", Action: "DENIED", Object: "/etc/shadow"})
+	app := &fakeApplier{}
+	a, err := NewAgent(AgentConfig{
+		Vehicle: "veh-http", Group: "default",
+		Transport: c, Applier: app, Audit: audit,
+		PollWait: time.Millisecond,
+	})
+	if err != nil {
+		t.Fatalf("NewAgent: %v", err)
+	}
+	if err := a.SyncOnce(); err != nil {
+		t.Fatalf("SyncOnce over http: %v", err)
+	}
+	if app.count() != 1 {
+		t.Fatal("bundle not applied over http")
+	}
+
+	// Conditional re-fetch: 304 maps to modified=false.
+	if _, modified, err := c.FetchBundle("default", b.ETag(), 0); err != nil || modified {
+		t.Fatalf("conditional fetch: modified=%v err=%v", modified, err)
+	}
+
+	st, err := c.FleetStatus()
+	if err != nil {
+		t.Fatalf("FleetStatus: %v", err)
+	}
+	if st.Vehicles != 1 || len(st.Groups) != 1 || st.Groups[0].Converged != 1 {
+		t.Fatalf("fleet stats over http: %+v", st)
+	}
+	v, ok := s.Vehicle("veh-http")
+	if !ok || v.Uploaded != 1 || v.Emitted != 1 || v.Accepted != 1 {
+		t.Fatalf("vehicle ledger over http: %+v (ok=%v)", v, ok)
+	}
+
+	// Duplicate upload over HTTP is deduplicated server-side.
+	if n, err := c.UploadLogs("veh-http", []LogRecord{{Seq: 1, Op: "open", Action: "DENIED"}}); err != nil || n != 0 {
+		t.Fatalf("duplicate upload over http: n=%d err=%v", n, err)
+	}
+}
+
+// TestHTTPBackpressureMapsTo429 checks the ErrBackpressure mapping
+// both directions through the wire.
+func TestHTTPBackpressureMapsTo429(t *testing.T) {
+	s := NewServer(WithLogCapacity(1))
+	srv := httptest.NewServer(Handler(s))
+	defer srv.Close()
+	c := NewClient(srv.URL)
+
+	if n, err := c.UploadLogs("v", []LogRecord{{Seq: 1}, {Seq: 2}}); !errors.Is(err, ErrBackpressure) || n != 0 {
+		t.Fatalf("over-capacity upload: n=%d err=%v, want ErrBackpressure", n, err)
+	}
+	if n, err := c.UploadLogs("v", []LogRecord{{Seq: 1}}); err != nil || n != 1 {
+		t.Fatalf("fitting upload: n=%d err=%v", n, err)
+	}
+}
+
+// TestHTTPLongPoll parks a client poll on the wire and wakes it with a
+// publish.
+func TestHTTPLongPoll(t *testing.T) {
+	s := NewServer()
+	srv := httptest.NewServer(Handler(s))
+	defer srv.Close()
+	c := NewClient(srv.URL)
+
+	b1, err := c.Push("default", testPolicy)
+	if err != nil {
+		t.Fatalf("push: %v", err)
+	}
+	done := make(chan uint64, 1)
+	go func() {
+		b, modified, err := c.FetchBundle("default", "g1-"+b1.Checksum[:12], 10*time.Second)
+		if err != nil || !modified {
+			done <- 0
+			return
+		}
+		done <- b.Generation
+	}()
+	time.Sleep(20 * time.Millisecond)
+	if _, err := c.Push("default", testPolicyV2); err != nil {
+		t.Fatalf("push v2: %v", err)
+	}
+	select {
+	case gen := <-done:
+		if gen != 2 {
+			t.Fatalf("long-poll over http returned generation %d, want 2", gen)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("http long-poll did not wake on publish")
+	}
+}

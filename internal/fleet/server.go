@@ -1,0 +1,437 @@
+package fleet
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/policy"
+)
+
+// Server defaults.
+const (
+	DefaultLogCapacity = 65536
+	DefaultShards      = 64
+	// MaxLongPoll caps how long one FetchBundle call may be held.
+	MaxLongPoll = 30 * time.Second
+)
+
+// Server is the fleet control plane: a policy-bundle registry keyed by
+// vehicle group, sharded per-vehicle state, and a bounded decision-log
+// ingestion buffer. All methods are safe for concurrent use by
+// thousands of agent goroutines; the hot read path (FetchBundle with a
+// current ETag) touches only the registry lock briefly before parking
+// on a notification channel.
+type Server struct {
+	// registry: group name → current bundle + publish notification.
+	regMu  sync.Mutex
+	groups map[string]*groupEntry
+
+	// per-vehicle state, sharded by FNV hash of the vehicle ID so
+	// status reports and log uploads from different vehicles never
+	// contend on one lock.
+	shards []serverShard
+
+	// decision-log ingestion buffer (bounded ring of accepted records
+	// awaiting Drain) plus ingestion counters.
+	logMu           sync.Mutex
+	logBuf          []IngestedRecord
+	logCap          int
+	logAccepted     uint64
+	logDuplicates   uint64
+	logDrained      uint64
+	batchesAccepted uint64
+	batchesRejected uint64
+}
+
+type groupEntry struct {
+	bundle policy.Bundle
+	notify chan struct{} // closed and replaced on every publish
+}
+
+type serverShard struct {
+	mu sync.Mutex
+	m  map[string]*VehicleState
+}
+
+// VehicleState is the server's record of one vehicle: the last status
+// report, the ingestion ledger, and bookkeeping for deduplication.
+type VehicleState struct {
+	Vehicle           string    `json:"vehicle"`
+	Group             string    `json:"group"`
+	AppliedGeneration uint64    `json:"applied_generation"`
+	Checksum          string    `json:"checksum,omitempty"`
+	DiffSummary       string    `json:"diff_summary,omitempty"`
+	Degraded          bool      `json:"degraded,omitempty"`
+	Pinned            bool      `json:"pinned,omitempty"`
+	Emitted           uint64    `json:"emitted"`  // agent-reported
+	Uploaded          uint64    `json:"uploaded"` // agent-reported
+	Dropped           uint64    `json:"dropped"`  // agent-reported
+	Accepted          uint64    `json:"accepted"` // server-side: unique records taken
+	LastLogSeq        uint64    `json:"last_log_seq"`
+	Reports           uint64    `json:"reports"`
+	LastSeen          time.Time `json:"last_seen"`
+}
+
+// IngestedRecord is one accepted decision-log record tagged with its
+// origin vehicle, as handed to Drain.
+type IngestedRecord struct {
+	Vehicle string    `json:"vehicle"`
+	Record  LogRecord `json:"record"`
+}
+
+// ServerOption tunes a Server.
+type ServerOption func(*Server)
+
+// WithLogCapacity bounds the decision-log ingestion buffer (records,
+// not batches). A batch that does not fit is rejected whole with
+// ErrBackpressure.
+func WithLogCapacity(n int) ServerOption {
+	return func(s *Server) {
+		if n > 0 {
+			s.logCap = n
+		}
+	}
+}
+
+// WithShards overrides the vehicle-state shard count.
+func WithShards(n int) ServerOption {
+	return func(s *Server) {
+		if n > 0 {
+			s.shards = make([]serverShard, n)
+		}
+	}
+}
+
+// NewServer builds an empty control plane.
+func NewServer(opts ...ServerOption) *Server {
+	s := &Server{
+		groups: make(map[string]*groupEntry),
+		shards: make([]serverShard, DefaultShards),
+		logCap: DefaultLogCapacity,
+	}
+	for _, o := range opts {
+		o(s)
+	}
+	for i := range s.shards {
+		s.shards[i].m = make(map[string]*VehicleState)
+	}
+	return s
+}
+
+func (s *Server) shardFor(vehicle string) *serverShard {
+	h := fnv.New32a()
+	h.Write([]byte(vehicle))
+	return &s.shards[h.Sum32()%uint32(len(s.shards))]
+}
+
+// Publish validates the policy source, assigns the group's next
+// generation, installs the bundle as the group's current revision, and
+// wakes every long-polling vehicle of the group. Validation failures
+// publish nothing.
+func (s *Server) Publish(group, src string) (policy.Bundle, error) {
+	if group == "" {
+		return policy.Bundle{}, fmt.Errorf("fleet: empty group name")
+	}
+	if _, vr, err := policy.Load(src); err != nil {
+		return policy.Bundle{}, fmt.Errorf("fleet: bundle rejected: %w", err)
+	} else if !vr.OK() {
+		return policy.Bundle{}, fmt.Errorf("fleet: bundle rejected: %w", vr.Err())
+	}
+	s.regMu.Lock()
+	defer s.regMu.Unlock()
+	e := s.groups[group]
+	if e == nil {
+		e = &groupEntry{notify: make(chan struct{})}
+		s.groups[group] = e
+	}
+	b := policy.NewBundle(group, e.bundle.Generation+1, src)
+	e.bundle = b
+	close(e.notify)
+	e.notify = make(chan struct{})
+	return b, nil
+}
+
+// Bundle returns the group's current bundle.
+func (s *Server) Bundle(group string) (policy.Bundle, error) {
+	s.regMu.Lock()
+	defer s.regMu.Unlock()
+	e := s.groups[group]
+	if e == nil || e.bundle.Generation == 0 {
+		return policy.Bundle{}, fmt.Errorf("%w: %q", ErrUnknownGroup, group)
+	}
+	return e.bundle, nil
+}
+
+// FetchBundle implements Transport in-process: the ETag/long-poll
+// download path. A vehicle already on the current revision parks on
+// the group's notification channel up to wait; Publish wakes all
+// parked vehicles at once.
+func (s *Server) FetchBundle(group, etag string, wait time.Duration) (policy.Bundle, bool, error) {
+	if wait > MaxLongPoll {
+		wait = MaxLongPoll
+	}
+	deadline := time.Now().Add(wait)
+	for {
+		s.regMu.Lock()
+		e := s.groups[group]
+		var (
+			b      policy.Bundle
+			notify chan struct{}
+		)
+		if e != nil {
+			b, notify = e.bundle, e.notify
+		}
+		s.regMu.Unlock()
+		if e == nil {
+			return policy.Bundle{}, false, fmt.Errorf("%w: %q", ErrUnknownGroup, group)
+		}
+		if b.Generation > 0 && b.ETag() != etag {
+			return b, true, nil
+		}
+		remaining := time.Until(deadline)
+		if remaining <= 0 {
+			return policy.Bundle{}, false, nil
+		}
+		t := time.NewTimer(remaining)
+		select {
+		case <-notify:
+			t.Stop()
+		case <-t.C:
+			return policy.Bundle{}, false, nil
+		}
+	}
+}
+
+// ReportStatus implements Transport: it folds one vehicle status
+// report into the sharded per-vehicle state.
+func (s *Server) ReportStatus(st VehicleStatus) error {
+	if st.Vehicle == "" {
+		return fmt.Errorf("fleet: status report without vehicle id")
+	}
+	sh := s.shardFor(st.Vehicle)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	v := sh.m[st.Vehicle]
+	if v == nil {
+		v = &VehicleState{Vehicle: st.Vehicle}
+		sh.m[st.Vehicle] = v
+	}
+	v.Group = st.Group
+	v.AppliedGeneration = st.AppliedGeneration
+	v.Checksum = st.Checksum
+	v.DiffSummary = st.DiffSummary
+	v.Degraded = st.Degraded
+	v.Pinned = st.Pinned
+	v.Emitted = st.Emitted
+	v.Uploaded = st.Uploaded
+	v.Dropped = st.Dropped
+	v.Reports++
+	v.LastSeen = time.Now()
+	return nil
+}
+
+// UploadLogs implements Transport: the decision-log ingestion
+// endpoint. The whole batch is admitted or rejected — a batch that
+// does not fit the bounded buffer returns ErrBackpressure and takes
+// nothing, so the agent's cursor (and therefore the ledger) never
+// splits across a partial accept. Records at or below the vehicle's
+// high-water sequence are duplicates from at-least-once retries and
+// are counted, not re-ingested.
+func (s *Server) UploadLogs(vehicle string, recs []LogRecord) (int, error) {
+	if vehicle == "" {
+		return 0, fmt.Errorf("fleet: log upload without vehicle id")
+	}
+	if len(recs) == 0 {
+		return 0, nil
+	}
+	sh := s.shardFor(vehicle)
+	sh.mu.Lock()
+	v := sh.m[vehicle]
+	if v == nil {
+		v = &VehicleState{Vehicle: vehicle}
+		sh.m[vehicle] = v
+	}
+	fresh := make([]IngestedRecord, 0, len(recs))
+	dups := 0
+	for _, r := range recs {
+		if r.Seq <= v.LastLogSeq {
+			dups++
+			continue
+		}
+		fresh = append(fresh, IngestedRecord{Vehicle: vehicle, Record: r})
+	}
+	sh.mu.Unlock()
+
+	s.logMu.Lock()
+	if depth := len(s.logBuf); depth+len(fresh) > s.logCap {
+		s.batchesRejected++
+		s.logMu.Unlock()
+		return 0, fmt.Errorf("%w: %d queued, capacity %d", ErrBackpressure, depth, s.logCap)
+	}
+	s.logBuf = append(s.logBuf, fresh...)
+	s.logAccepted += uint64(len(fresh))
+	s.logDuplicates += uint64(dups)
+	s.batchesAccepted++
+	s.logMu.Unlock()
+
+	if len(fresh) > 0 {
+		sh.mu.Lock()
+		if last := fresh[len(fresh)-1].Record.Seq; last > v.LastLogSeq {
+			v.LastLogSeq = last
+		}
+		v.Accepted += uint64(len(fresh))
+		sh.mu.Unlock()
+	}
+	return len(fresh), nil
+}
+
+// Drain pops up to max accepted records from the ingestion buffer (the
+// downstream consumer: an analytics pipeline, fleetd's retention file,
+// a test's ledger check). max <= 0 drains everything.
+func (s *Server) Drain(max int) []IngestedRecord {
+	s.logMu.Lock()
+	defer s.logMu.Unlock()
+	n := len(s.logBuf)
+	if max > 0 && max < n {
+		n = max
+	}
+	out := make([]IngestedRecord, n)
+	copy(out, s.logBuf[:n])
+	s.logBuf = append(s.logBuf[:0], s.logBuf[n:]...)
+	s.logDrained += uint64(n)
+	return out
+}
+
+// Vehicle returns the server's state for one vehicle.
+func (s *Server) Vehicle(id string) (VehicleState, bool) {
+	sh := s.shardFor(id)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	v := sh.m[id]
+	if v == nil {
+		return VehicleState{}, false
+	}
+	return *v, true
+}
+
+// Vehicles snapshots every vehicle's state, sorted by ID.
+func (s *Server) Vehicles() []VehicleState {
+	var out []VehicleState
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		for _, v := range sh.m {
+			out = append(out, *v)
+		}
+		sh.mu.Unlock()
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Vehicle < out[j].Vehicle })
+	return out
+}
+
+// GroupStats summarises one vehicle group.
+type GroupStats struct {
+	Group      string `json:"group"`
+	Generation uint64 `json:"generation"`
+	ETag       string `json:"etag"`
+	Vehicles   int    `json:"vehicles"`
+	Converged  int    `json:"converged"` // vehicles on the current generation
+}
+
+// LogStats summarises the decision-log ingestion side.
+type LogStats struct {
+	Depth           int    `json:"depth"`
+	Capacity        int    `json:"capacity"`
+	Accepted        uint64 `json:"accepted"`
+	Duplicates      uint64 `json:"duplicates"`
+	Drained         uint64 `json:"drained"`
+	BatchesAccepted uint64 `json:"batches_accepted"`
+	BatchesRejected uint64 `json:"batches_rejected"`
+}
+
+// FleetStats is the server's aggregate view.
+type FleetStats struct {
+	Groups   []GroupStats `json:"groups"`
+	Vehicles int          `json:"vehicles"`
+	Logs     LogStats     `json:"logs"`
+}
+
+// Stats computes the aggregate fleet view.
+func (s *Server) Stats() FleetStats {
+	type genInfo struct {
+		gen  uint64
+		etag string
+	}
+	s.regMu.Lock()
+	gens := make(map[string]genInfo, len(s.groups))
+	for name, e := range s.groups {
+		gens[name] = genInfo{e.bundle.Generation, e.bundle.ETag()}
+	}
+	s.regMu.Unlock()
+
+	counts := make(map[string]*GroupStats)
+	total := 0
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		for _, v := range sh.m {
+			total++
+			g := counts[v.Group]
+			if g == nil {
+				g = &GroupStats{Group: v.Group}
+				counts[v.Group] = g
+			}
+			g.Vehicles++
+			if gi, ok := gens[v.Group]; ok && v.AppliedGeneration == gi.gen {
+				g.Converged++
+			}
+		}
+		sh.mu.Unlock()
+	}
+	// Groups with a published bundle but no vehicles yet still appear.
+	for name := range gens {
+		if counts[name] == nil {
+			counts[name] = &GroupStats{Group: name}
+		}
+	}
+	st := FleetStats{Vehicles: total}
+	for name, g := range counts {
+		if gi, ok := gens[name]; ok {
+			g.Generation, g.ETag = gi.gen, gi.etag
+		}
+		st.Groups = append(st.Groups, *g)
+	}
+	sort.Slice(st.Groups, func(i, j int) bool { return st.Groups[i].Group < st.Groups[j].Group })
+
+	s.logMu.Lock()
+	st.Logs = LogStats{
+		Depth: len(s.logBuf), Capacity: s.logCap,
+		Accepted: s.logAccepted, Duplicates: s.logDuplicates, Drained: s.logDrained,
+		BatchesAccepted: s.batchesAccepted, BatchesRejected: s.batchesRejected,
+	}
+	s.logMu.Unlock()
+	return st
+}
+
+// Render formats the fleet view in the flat style of the securityfs
+// stats files — the text surfaced by `sackctl fleet status` and
+// `sackmon -fleet`.
+func (st FleetStats) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "vehicles: %d\n", st.Vehicles)
+	for _, g := range st.Groups {
+		fmt.Fprintf(&b, "group %s: generation=%d etag=%s vehicles=%d converged=%d\n",
+			g.Group, g.Generation, g.ETag, g.Vehicles, g.Converged)
+	}
+	fmt.Fprintf(&b, "logs_depth: %d/%d\n", st.Logs.Depth, st.Logs.Capacity)
+	fmt.Fprintf(&b, "logs_accepted: %d\n", st.Logs.Accepted)
+	fmt.Fprintf(&b, "logs_duplicates: %d\n", st.Logs.Duplicates)
+	fmt.Fprintf(&b, "logs_drained: %d\n", st.Logs.Drained)
+	fmt.Fprintf(&b, "log_batches_accepted: %d\n", st.Logs.BatchesAccepted)
+	fmt.Fprintf(&b, "log_batches_rejected: %d\n", st.Logs.BatchesRejected)
+	return b.String()
+}

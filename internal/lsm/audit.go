@@ -27,11 +27,20 @@ func (r AuditRecord) String() string {
 		r.When.Format(time.RFC3339Nano))
 }
 
-// AuditLog is a bounded in-memory ring of audit records.
+// AuditLog is a bounded in-memory ring of audit records with a
+// monotonic cursor for incremental export. The sequence number assigned
+// at Append time is the cursor space: Seq of the newest record ==
+// total records ever emitted, so `uploaded + dropped == emitted` stays
+// an exact ledger for any exporter that drains through Since. Appends
+// are O(1): once the ring is full the oldest record is overwritten in
+// place and counted dropped, never shifted.
 type AuditLog struct {
 	mu      sync.Mutex
-	seq     uint64
-	records []AuditRecord
+	seq     uint64        // last assigned sequence == records ever emitted
+	buf     []AuditRecord // ring storage; grows to max then wraps
+	start   int           // index of the oldest retained record
+	n       int           // retained record count
+	dropped uint64        // records lost before export (overwrite or Clear)
 	max     int
 }
 
@@ -44,7 +53,9 @@ func NewAuditLog(max int) *AuditLog {
 	return &AuditLog{max: max}
 }
 
-// Append records an event, trimming the oldest entries beyond the cap.
+// Append records an event. When the ring is full the oldest record is
+// overwritten and the dropped counter advances — growth is bounded no
+// matter how long a chaos run appends.
 func (l *AuditLog) Append(r AuditRecord) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
@@ -53,19 +64,88 @@ func (l *AuditLog) Append(r AuditRecord) {
 	if r.When.IsZero() {
 		r.When = time.Now()
 	}
-	l.records = append(l.records, r)
-	if len(l.records) > l.max {
-		l.records = l.records[len(l.records)-l.max:]
+	if len(l.buf) < l.max {
+		l.buf = append(l.buf, r)
+		l.n++
+		return
 	}
+	if l.n < l.max {
+		l.buf[(l.start+l.n)%l.max] = r
+		l.n++
+		return
+	}
+	l.buf[l.start] = r
+	l.start = (l.start + 1) % l.max
+	l.dropped++
 }
 
 // Records returns a copy of the retained records, oldest first.
 func (l *AuditLog) Records() []AuditRecord {
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	out := make([]AuditRecord, len(l.records))
-	copy(out, l.records)
+	return l.copyLocked()
+}
+
+func (l *AuditLog) copyLocked() []AuditRecord {
+	out := make([]AuditRecord, l.n)
+	for i := 0; i < l.n; i++ {
+		out[i] = l.buf[(l.start+i)%len(l.buf)]
+	}
 	return out
+}
+
+// Since returns the retained records with sequence numbers strictly
+// greater than cursor (oldest first), the new cursor to resume from,
+// and how many records after cursor were lost to the ring before they
+// could be read. It is the incremental export surface the fleet
+// agent's decision-log shipper drains: repeatedly calling Since with
+// the returned cursor observes every record exactly once, with losses
+// accounted instead of silent.
+func (l *AuditLog) Since(cursor uint64) (recs []AuditRecord, next uint64, missed uint64) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	next = l.seq
+	if cursor >= l.seq {
+		return nil, next, 0
+	}
+	oldest := l.seq - uint64(l.n) + 1 // seq of the oldest retained record
+	if l.n == 0 {
+		oldest = l.seq + 1
+	}
+	if cursor+1 < oldest {
+		missed = oldest - cursor - 1
+	}
+	for i := 0; i < l.n; i++ {
+		r := l.buf[(l.start+i)%len(l.buf)]
+		if r.Seq > cursor {
+			recs = append(recs, r)
+		}
+	}
+	return recs, next, missed
+}
+
+// Cursor returns the sequence number of the newest record (0 before the
+// first Append) — the position an exporter starting "from now" resumes
+// from.
+func (l *AuditLog) Cursor() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.seq
+}
+
+// Emitted reports how many records were ever appended.
+func (l *AuditLog) Emitted() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.seq
+}
+
+// Dropped reports how many records were lost before export — ring
+// overwrites plus explicit Clears.
+func (l *AuditLog) Dropped() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.dropped
 }
 
 // Denials returns only the DENIED records.
@@ -83,12 +163,16 @@ func (l *AuditLog) Denials() []AuditRecord {
 func (l *AuditLog) Len() int {
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	return len(l.records)
+	return l.n
 }
 
-// Clear discards all retained records (the sequence counter keeps going).
+// Clear discards all retained records (the sequence counter keeps
+// going, and the discarded records count as dropped so export ledgers
+// stay exact).
 func (l *AuditLog) Clear() {
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	l.records = nil
+	l.dropped += uint64(l.n)
+	l.buf = nil
+	l.start, l.n = 0, 0
 }

@@ -239,3 +239,60 @@ func TestAuditRecordString(t *testing.T) {
 		}
 	}
 }
+
+func TestAuditLogSinceCursor(t *testing.T) {
+	l := NewAuditLog(4)
+	if recs, next, missed := l.Since(0); recs != nil || next != 0 || missed != 0 {
+		t.Fatalf("empty log Since = %v %d %d", recs, next, missed)
+	}
+	for i := 1; i <= 3; i++ {
+		l.Append(AuditRecord{Module: "m", Op: fmt.Sprintf("op%d", i)})
+	}
+	recs, next, missed := l.Since(0)
+	if len(recs) != 3 || missed != 0 || next != 3 {
+		t.Fatalf("Since(0) = %d recs, next=%d, missed=%d", len(recs), next, missed)
+	}
+	if recs[0].Seq != 1 || recs[2].Seq != 3 {
+		t.Fatalf("wrong seq window: %v", recs)
+	}
+	// Resume from the returned cursor: nothing new.
+	if recs, _, _ := l.Since(next); len(recs) != 0 {
+		t.Fatalf("resumed cursor returned %d records", len(recs))
+	}
+	// Overflow the ring: seqs 4..9, ring keeps 6..9, export from 3
+	// misses 4 and 5.
+	for i := 4; i <= 9; i++ {
+		l.Append(AuditRecord{Module: "m", Op: fmt.Sprintf("op%d", i)})
+	}
+	recs, next, missed = l.Since(3)
+	if len(recs) != 4 || next != 9 || missed != 2 {
+		t.Fatalf("post-overflow Since(3) = %d recs, next=%d, missed=%d", len(recs), next, missed)
+	}
+	if recs[0].Seq != 6 || recs[3].Seq != 9 {
+		t.Fatalf("wrong post-overflow window: %v", recs)
+	}
+	if l.Dropped() != 5 || l.Emitted() != 9 {
+		t.Fatalf("dropped=%d emitted=%d, want 5, 9", l.Dropped(), l.Emitted())
+	}
+	// Ledger invariant: every record is either retained-or-exported or
+	// counted dropped.
+	if uint64(l.Len())+l.Dropped() != l.Emitted() {
+		t.Fatalf("ledger broken: len=%d dropped=%d emitted=%d", l.Len(), l.Dropped(), l.Emitted())
+	}
+}
+
+func TestAuditLogClearCountsDropped(t *testing.T) {
+	l := NewAuditLog(8)
+	for i := 0; i < 5; i++ {
+		l.Append(AuditRecord{Module: "m"})
+	}
+	l.Clear()
+	if l.Dropped() != 5 {
+		t.Fatalf("dropped after clear = %d, want 5", l.Dropped())
+	}
+	l.Append(AuditRecord{Module: "m"})
+	recs, _, missed := l.Since(0)
+	if len(recs) != 1 || recs[0].Seq != 6 || missed != 5 {
+		t.Fatalf("post-clear Since(0) = %v missed=%d", recs, missed)
+	}
+}

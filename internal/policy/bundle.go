@@ -1,0 +1,109 @@
+package policy
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Bundle is one versioned, checksummed policy revision as distributed
+// by the fleet control plane. The generation is assigned by the fleet
+// server's registry (monotonic per vehicle group); the checksum covers
+// the policy source so a vehicle can verify a download end-to-end
+// before handing it to the reload transaction.
+type Bundle struct {
+	Group      string // vehicle group the bundle is assigned to
+	Generation uint64 // monotonic per group, assigned at publish time
+	Checksum   string // hex SHA-256 of Source
+	Source     string // SACK policy text
+}
+
+// bundleMagic heads the wire encoding; the version suffix lets the
+// format evolve without breaking deployed agents.
+const bundleMagic = "SACK-BUNDLE/1"
+
+// Checksum fingerprints policy source for bundle integrity checks.
+func ChecksumSource(src string) string {
+	sum := sha256.Sum256([]byte(src))
+	return hex.EncodeToString(sum[:])
+}
+
+// NewBundle builds a bundle for a policy revision, computing its
+// checksum. It does not validate the policy text — the registry does
+// that at publish time, and the vehicle again at apply time.
+func NewBundle(group string, generation uint64, src string) Bundle {
+	return Bundle{Group: group, Generation: generation, Checksum: ChecksumSource(src), Source: src}
+}
+
+// ETag is the HTTP-style entity tag of the bundle revision —
+// generation plus a checksum prefix, so both a rollback (same
+// generation, different content would be a registry bug) and a
+// republish are visible as a tag change.
+func (b Bundle) ETag() string {
+	ck := b.Checksum
+	if len(ck) > 12 {
+		ck = ck[:12]
+	}
+	return fmt.Sprintf("g%d-%s", b.Generation, ck)
+}
+
+// Encode renders the bundle in its wire format: a fixed header
+// (magic, group, generation, checksum), a separator line, and the raw
+// policy source.
+func (b Bundle) Encode() []byte {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s\n", bundleMagic)
+	fmt.Fprintf(&sb, "group: %s\n", b.Group)
+	fmt.Fprintf(&sb, "generation: %d\n", b.Generation)
+	fmt.Fprintf(&sb, "checksum: %s\n", b.Checksum)
+	sb.WriteString("---\n")
+	sb.WriteString(b.Source)
+	return []byte(sb.String())
+}
+
+// DecodeBundle parses the wire format and verifies the checksum
+// against the carried source, so transport corruption or a tampered
+// body is caught before the policy ever reaches a vehicle's reload
+// path.
+func DecodeBundle(data []byte) (Bundle, error) {
+	text := string(data)
+	header, source, found := strings.Cut(text, "\n---\n")
+	if !found {
+		return Bundle{}, fmt.Errorf("policy: bundle missing header separator")
+	}
+	lines := strings.Split(header, "\n")
+	if len(lines) == 0 || lines[0] != bundleMagic {
+		return Bundle{}, fmt.Errorf("policy: not a %s bundle", bundleMagic)
+	}
+	b := Bundle{Source: source}
+	for _, line := range lines[1:] {
+		key, val, ok := strings.Cut(line, ":")
+		if !ok {
+			return Bundle{}, fmt.Errorf("policy: bad bundle header line %q", line)
+		}
+		val = strings.TrimSpace(val)
+		switch key {
+		case "group":
+			b.Group = val
+		case "generation":
+			gen, err := strconv.ParseUint(val, 10, 64)
+			if err != nil {
+				return Bundle{}, fmt.Errorf("policy: bad bundle generation %q", val)
+			}
+			b.Generation = gen
+		case "checksum":
+			b.Checksum = val
+		default:
+			// Unknown headers are ignored for forward compatibility.
+		}
+	}
+	if b.Checksum == "" {
+		return Bundle{}, fmt.Errorf("policy: bundle missing checksum")
+	}
+	if got := ChecksumSource(b.Source); got != b.Checksum {
+		return Bundle{}, fmt.Errorf("policy: bundle checksum mismatch: header %s, body %s", b.Checksum, got)
+	}
+	return b, nil
+}

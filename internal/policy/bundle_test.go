@@ -1,0 +1,50 @@
+package policy
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestBundleRoundTrip(t *testing.T) {
+	src := "states { a = 0 }\ninitial a\n"
+	b := NewBundle("default", 7, src)
+	if b.Checksum != ChecksumSource(src) {
+		t.Fatal("NewBundle checksum mismatch")
+	}
+	got, err := DecodeBundle(b.Encode())
+	if err != nil {
+		t.Fatalf("DecodeBundle: %v", err)
+	}
+	if got != b {
+		t.Fatalf("round trip: %+v != %+v", got, b)
+	}
+	if !strings.HasPrefix(b.ETag(), "g7-") {
+		t.Fatalf("etag = %q", b.ETag())
+	}
+	if NewBundle("default", 7, src+"\n").ETag() == b.ETag() {
+		t.Fatal("etag ignores content changes")
+	}
+}
+
+func TestBundleDecodeRejectsCorruption(t *testing.T) {
+	b := NewBundle("default", 1, "states { a = 0 }\ninitial a\n")
+	wire := b.Encode()
+
+	// Flip a byte in the body: checksum mismatch.
+	tampered := append([]byte(nil), wire...)
+	tampered[len(tampered)-3] ^= 0x20
+	if _, err := DecodeBundle(tampered); err == nil || !strings.Contains(err.Error(), "checksum") {
+		t.Fatalf("tampered body: err = %v", err)
+	}
+
+	if _, err := DecodeBundle([]byte("garbage")); err == nil {
+		t.Fatal("garbage decoded")
+	}
+	if _, err := DecodeBundle([]byte("WRONG-MAGIC\ngeneration: 1\n---\nx")); err == nil {
+		t.Fatal("wrong magic decoded")
+	}
+	noCk := "SACK-BUNDLE/1\ngroup: g\ngeneration: 1\n---\nx"
+	if _, err := DecodeBundle([]byte(noCk)); err == nil || !strings.Contains(err.Error(), "checksum") {
+		t.Fatalf("missing checksum: err = %v", err)
+	}
+}

@@ -92,6 +92,7 @@ type Service struct {
 	baseBackoff time.Duration
 	maxBackoff  time.Duration
 	hbInterval  time.Duration // 0 = heartbeat disabled
+	hbSecret    []byte        // non-empty = sign heartbeats (HMAC)
 	darkAfter   int
 
 	mu      sync.Mutex
@@ -142,6 +143,13 @@ func WithBackoff(base, max time.Duration) ServiceOption {
 // silences it — which is what arms the kernel watchdog.
 func WithHeartbeat(interval time.Duration) ServiceOption {
 	return func(s *Service) { s.hbInterval = interval }
+}
+
+// WithHeartbeatSecret makes the service HMAC-sign every heartbeat with
+// the shared secret, matching a kernel booted with the same secret. The
+// sequence number under the MAC makes captured lines unreplayable.
+func WithHeartbeatSecret(secret []byte) ServiceOption {
+	return func(s *Service) { s.hbSecret = append([]byte(nil), secret...) }
 }
 
 // WithDarkThreshold sets how many consecutive stale readings mark a
@@ -297,12 +305,16 @@ func (s *Service) backoffLocked() time.Duration {
 }
 
 func (s *Service) heartbeatLocked(now time.Time) core.Heartbeat {
-	return core.Heartbeat{
+	h := core.Heartbeat{
 		Seq: s.hbSeq, At: now,
 		Queue: len(s.queue), Cap: s.queueCap,
 		Retries: s.retries, Drops: s.drops,
 		Dark: s.darkLocked(),
 	}
+	if len(s.hbSecret) > 0 {
+		h = h.Sign(s.hbSecret)
+	}
+	return h
 }
 
 func (s *Service) observeHealthLocked(snap Snapshot) {

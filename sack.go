@@ -39,6 +39,7 @@ import (
 	"repro/internal/apparmor"
 	"repro/internal/core"
 	"repro/internal/faults"
+	"repro/internal/fleet"
 	"repro/internal/kernel"
 	"repro/internal/lsm"
 	"repro/internal/policy"
@@ -107,6 +108,25 @@ type (
 	PipelineStats = core.PipelineStats
 	// Heartbeat is one SDS health report as seen on the event channel.
 	Heartbeat = core.Heartbeat
+	// Bundle is one versioned, checksummed fleet policy revision.
+	Bundle = policy.Bundle
+	// FleetServer is the fleet control plane: bundle registry, vehicle
+	// state, decision-log ingestion. It implements FleetTransport
+	// directly (the in-process transport).
+	FleetServer = fleet.Server
+	// FleetAgent is the vehicle-side fleet client.
+	FleetAgent = fleet.Agent
+	// FleetAgentConfig wires a FleetAgent (vehicle id, group, transport).
+	FleetAgentConfig = fleet.AgentConfig
+	// FleetTransport is the agent's view of the control plane (in-process
+	// server, HTTP client, or fault-injecting wrapper).
+	FleetTransport = fleet.Transport
+	// FleetClient speaks the fleetd HTTP protocol; implements FleetTransport.
+	FleetClient = fleet.Client
+	// FleetStats is the server's aggregate fleet view.
+	FleetStats = fleet.FleetStats
+	// FleetVehicleStatus is one agent → server status report.
+	FleetVehicleStatus = fleet.VehicleStatus
 )
 
 // Deployment modes (the paper's two prototypes).
@@ -226,9 +246,19 @@ type Options struct {
 	// HeartbeatWindow overrides how stale the SDS heartbeat may grow
 	// before the kernel degrades; 0 selects the default.
 	HeartbeatWindow time.Duration
+	// HeartbeatSecret, when non-empty, makes the kernel demand an HMAC
+	// over every heartbeat control line with this shared secret
+	// (forged and replayed heartbeats are rejected and audited), and
+	// makes NewSDS sign its heartbeats with the same secret.
+	HeartbeatSecret []byte
 	// FaultPlan, when non-nil, arms deterministic fault injection on
 	// the CAN bus and (via NewSDS) the sensors and transmitter.
 	FaultPlan *faults.Plan
+	// Fleet, when non-nil, attaches a fleet agent to the system: the
+	// vehicle polls the configured transport for policy bundles, applies
+	// them through the reload transaction, and ships the audit ring
+	// upstream. Applier, Audit, and Pipeline default to this system's.
+	Fleet *fleet.AgentConfig
 }
 
 // Option configures New. Options apply in order over the defaults
@@ -298,11 +328,37 @@ func WithHeartbeatWindow(d time.Duration) Option {
 	}
 }
 
+// WithHeartbeatSecret arms heartbeat authentication: the kernel rejects
+// (and audits) any heartbeat control line that is not HMAC-signed with
+// the shared secret or that replays an already-authenticated sequence
+// number, and SDS instances built via NewSDS sign with the same secret.
+// A compromised events-file writer without the secret can no longer
+// keep a dead pipeline looking alive.
+func WithHeartbeatSecret(secret []byte) Option {
+	return func(o *Options) { o.HeartbeatSecret = append([]byte(nil), secret...) }
+}
+
 // WithFaultPlan arms deterministic fault injection: the plan's rules
 // fire on the CAN bus tap immediately, and NewSDS wraps its sensors and
 // transmitter with the same injector. A nil plan disables injection.
 func WithFaultPlan(p *faults.Plan) Option {
 	return func(o *Options) { o.FaultPlan = p }
+}
+
+// NewFleetClient builds a FleetTransport speaking the fleetd HTTP
+// protocol at the given base URL (e.g. "http://127.0.0.1:7443").
+func NewFleetClient(base string) *FleetClient { return fleet.NewClient(base) }
+
+// WithFleet attaches a fleet agent to the system. The config names the
+// vehicle, its group, and the transport (an in-process *FleetServer, a
+// FleetClient against fleetd, or a fault-injecting wrapper); the apply
+// path, audit ring, and pipeline-health source default to the booted
+// system's own, so a bundle push from the control plane lands in this
+// kernel's reload transaction and this kernel's denials ship upstream.
+// The agent is not started — drive it with System.Fleet.SyncOnce or
+// System.Fleet.Run.
+func WithFleet(cfg FleetAgentConfig) Option {
+	return func(o *Options) { o.Fleet = &cfg }
 }
 
 // ParseFaultSpec parses a compact fault-plan spec (comma-separated
@@ -311,6 +367,11 @@ func WithFaultPlan(p *faults.Plan) Option {
 func ParseFaultSpec(spec string, seed int64) (*FaultPlan, error) {
 	return faults.ParseSpec(spec, seed)
 }
+
+// NewFaultInjector builds an injector executing the plan, for callers
+// wiring injection points by hand (systems booted via New get one
+// automatically through WithFaultPlan). A nil plan injects nothing.
+func NewFaultInjector(p *FaultPlan) *FaultInjector { return faults.New(p) }
 
 // System is a fully assembled SACK deployment: kernel, modules, vehicle.
 type System struct {
@@ -322,8 +383,12 @@ type System struct {
 	// Faults executes the configured FaultPlan; nil when no plan was
 	// given. Shared by the CAN-bus tap and any SDS built via NewSDS.
 	Faults *FaultInjector
+	// Fleet is the vehicle's fleet agent; nil unless WithFleet was
+	// given. Drive it with Fleet.SyncOnce (one round) or Fleet.Run.
+	Fleet *FleetAgent
 
-	sink kernelSink // pre-built Events() adapter (no per-call alloc)
+	sink     kernelSink // pre-built Events() adapter (no per-call alloc)
+	hbSecret []byte     // shared heartbeat secret, forwarded to NewSDS
 }
 
 // kernelSink adapts the SACK module's direct delivery path to EventSink.
@@ -391,6 +456,7 @@ func boot(opts Options) (*System, error) {
 		AVCSize:         opts.AVCSize,
 		Failsafe:        opts.Failsafe,
 		HeartbeatWindow: opts.HeartbeatWindow,
+		HeartbeatSecret: opts.HeartbeatSecret,
 	})
 	if err != nil {
 		return nil, err
@@ -418,6 +484,7 @@ func boot(opts Options) (*System, error) {
 
 	out := &System{Kernel: k, SACK: s, AppArmor: aa, Audit: k.Audit}
 	out.sink = kernelSink{s: s}
+	out.hbSecret = opts.HeartbeatSecret
 	if opts.FaultPlan != nil {
 		out.Faults = faults.New(opts.FaultPlan)
 	}
@@ -437,6 +504,23 @@ func boot(opts Options) (*System, error) {
 			v.Bus.SetTap(vehicle.FaultTap(out.Faults))
 		}
 		out.Vehicle = v
+	}
+	if opts.Fleet != nil {
+		cfg := *opts.Fleet
+		if cfg.Applier == nil {
+			cfg.Applier = out
+		}
+		if cfg.Audit == nil {
+			cfg.Audit = k.Audit
+		}
+		if cfg.Pipeline == nil {
+			cfg.Pipeline = s.Pipeline()
+		}
+		agent, err := fleet.NewAgent(cfg)
+		if err != nil {
+			return nil, err
+		}
+		out.Fleet = agent
 	}
 	return out, nil
 }
@@ -500,6 +584,9 @@ func (s *System) NewSDSWith(task *Task, clock sds.Clock, detectors []sds.Detecto
 	tx, err := sds.NewKernelTransmitter(task)
 	if err != nil {
 		return nil, err
+	}
+	if len(s.hbSecret) > 0 {
+		opts = append([]sds.ServiceOption{sds.WithHeartbeatSecret(s.hbSecret)}, opts...)
 	}
 	var transmitter sds.Transmitter = tx
 	sensors := sds.VehicleSensors(s.Vehicle.Dynamics)
