@@ -3,11 +3,11 @@
 
 GO ?= go
 
-.PHONY: all check vet build test race bench bench-avc chaos reload-stress fleet-stress
+.PHONY: all check vet build test race bench bench-avc bench-smoke chaos reload-stress fleet-stress parallel-stress profile
 
 all: check
 
-check: vet build race chaos reload-stress fleet-stress
+check: vet build race chaos reload-stress fleet-stress parallel-stress bench-smoke
 
 vet:
 	$(GO) vet ./...
@@ -55,3 +55,27 @@ bench:
 # rule-set Decide. The cached line should be orders of magnitude faster.
 bench-avc:
 	$(GO) test -run '^$$' -bench 'BenchmarkAVC' -benchmem .
+
+# Parallel decision stress: checker goroutines hammering the lock-free
+# fast path while events, reloads, break-glass, and pipeline
+# degradation fire concurrently — the cached==uncached trace property
+# under parallelism, with the race detector watching the snapshots.
+parallel-stress:
+	$(GO) test -race -count=1 -run 'TestParallelDecisionStress' .
+
+# Benchmark smoke: one iteration of the scalability sweep so the scale
+# path compiles and runs on every PR without benchmark-length runtimes.
+bench-smoke:
+	$(GO) test -run '^$$' -bench 'BenchmarkParallelDecision/sack-covered/goroutines=(1|16)$$' -benchtime 1x .
+
+# Parallel benchmark under the mutex/block/CPU profilers. Artifacts land
+# in bench/; EXPERIMENTS.md ("Multi-core scalability") explains how to
+# read them. The mutex profile is the acceptance gate: the covered-path
+# allow fast path must show zero mutex contention.
+profile:
+	mkdir -p bench
+	$(GO) test -run '^$$' -bench 'BenchmarkParallelDecision/sack-covered/goroutines=16$$' \
+		-benchtime 200000x -mutexprofile bench/mutex.out -blockprofile bench/block.out \
+		-cpuprofile bench/cpu.out -o bench/sack.test .
+	$(GO) tool pprof -top -nodecount 15 bench/sack.test bench/mutex.out
+	$(GO) tool pprof -top -nodecount 15 bench/sack.test bench/cpu.out

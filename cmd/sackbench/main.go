@@ -8,6 +8,7 @@
 //	sackbench -fig 3a           Fig. 3(a) (overhead vs. #situation states)
 //	sackbench -fig 3b           Fig. 3(b) (overhead vs. transition period)
 //	sackbench -latency          §IV-B situation awareness latency
+//	sackbench -scale            decision throughput vs. goroutine count
 //	sackbench -all              everything
 //	sackbench -quick            reduce iteration counts (CI-sized run)
 package main
@@ -26,6 +27,7 @@ func main() {
 	fig := flag.String("fig", "", "regenerate a figure (3a or 3b)")
 	latency := flag.Bool("latency", false, "measure situation awareness latency")
 	riscv := flag.Bool("riscv", false, "no-LSM vs independent SACK file read/write comparison")
+	scale := flag.Bool("scale", false, "decision throughput vs. goroutine count (lock-free read side)")
 	all := flag.Bool("all", false, "run every experiment")
 	quick := flag.Bool("quick", false, "smaller iteration counts")
 	repeats := flag.Int("repeats", 1, "median-of-N repetitions for tables")
@@ -106,6 +108,19 @@ func main() {
 		fmt.Println("No-LSM baseline vs independent SACK (the paper's VisionFive2 experiment):")
 		fmt.Printf("  file read:  %.6f ms -> %.6f ms (%+.2f%%)\n", res.BaseReadMs, res.SACKReadMs, res.ReadOverheadPct)
 		fmt.Printf("  file write: %.6f ms -> %.6f ms (%+.2f%%)\n", res.BaseWriteMs, res.SACKWriteMs, res.WriteOverheadPct)
+	}
+	if *all || *scale {
+		ran = true
+		so := bench.ScaleOptions{}
+		if *quick {
+			so.Goroutines = []int{1, 4, 16}
+			so.OpsPerG = 20000
+		}
+		res, err := bench.RunScale(so)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(res.Format())
 	}
 	if !ran {
 		flag.Usage()

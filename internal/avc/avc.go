@@ -9,22 +9,31 @@
 // reload (the revocation property the paper's Fig. 3(b) experiment
 // depends on). The cache guarantees this with a global epoch:
 //
-//   - every entry is stamped with the epoch observed *before* the
-//     decision inputs (active rule set, profile table) were read;
-//   - Lookup only returns entries whose stamp equals the current epoch;
-//   - every state transition and policy reload calls Invalidate, which
-//     bumps the epoch — after the writer has installed the new policy
-//     state.
+//   - every entry is stamped with the epoch its decision inputs were
+//     read under;
+//   - a probe only returns entries whose stamp equals the prober's
+//     epoch;
+//   - every state transition and policy reload advances the epoch as
+//     part of publishing the new policy state.
 //
-// The coherence argument (see DESIGN.md for the full proof sketch): the
-// writer orders "install new rule set" before "bump epoch", both with
-// sequentially-consistent atomics. A reader that observes epoch E at
-// Lookup time therefore either (a) ran entirely before the bump to E+1,
-// in which case the served entry was computed from the rule set current
-// at E, or (b) cannot observe an entry stamped E+1 computed from the old
-// rule set, because any reader that obtained token E+1 must — by the
-// store ordering — also observe the new rule set. Entries stamped with a
-// stale token are dead weight until overwritten; they are never served.
+// Two probe protocols are supported:
+//
+//   - Lookup loads the current epoch itself and returns it as the token
+//     for a later Insert; callers must read the policy state they
+//     evaluate against only *after* calling Lookup (the PR 1 protocol).
+//   - LookupAt takes the token from the caller. The enforcement fast
+//     path uses this with the epoch carried *inside* the immutable
+//     decision snapshot (see core's snapshot type): the writer obtains
+//     a fresh epoch with Advance and stores it in the snapshot it
+//     publishes, so a reader's rule set and epoch always come from one
+//     atomic load and can never be mismatched. A reader still holding
+//     the previous snapshot keeps hitting entries stamped with that
+//     snapshot's epoch — decisions consistent with the rule set it is
+//     actually using — and its late Inserts are dropped because the
+//     global epoch has moved on. See DESIGN.md §9.
+//
+// Entries stamped with a stale token are dead weight until overwritten;
+// they are never served.
 //
 // The table is a fixed-size, direct-mapped array of atomic entry
 // pointers. Both Lookup and Insert are lock-free and allocation-free on
@@ -37,6 +46,7 @@ package avc
 import (
 	"sync/atomic"
 
+	"repro/internal/shard"
 	"repro/internal/sys"
 )
 
@@ -85,9 +95,9 @@ type Cache struct {
 	slots []atomic.Pointer[entry]
 	mask  uint64 // len(slots)-1, slots is a power of two
 
-	hits          atomic.Uint64
-	misses        atomic.Uint64
-	inserts       atomic.Uint64
+	hits          shard.Counter
+	misses        shard.Counter
+	inserts       shard.Counter
 	invalidations atomic.Uint64
 }
 
@@ -102,8 +112,11 @@ func New(n int) *Cache {
 		size <<= 1
 	}
 	return &Cache{
-		slots: make([]atomic.Pointer[entry], size),
-		mask:  uint64(size - 1),
+		slots:   make([]atomic.Pointer[entry], size),
+		mask:    uint64(size - 1),
+		hits:    shard.NewCounter(),
+		misses:  shard.NewCounter(),
+		inserts: shard.NewCounter(),
 	}
 }
 
@@ -136,14 +149,23 @@ func (c *Cache) index(subject, path string, mask sys.Access) uint64 {
 // the cached allowed verdict is returned with ok=true.
 func (c *Cache) Lookup(subject, path string, mask sys.Access) (allowed, ok bool, tok Token) {
 	tok = Token(c.epoch.Load())
+	allowed, ok = c.LookupAt(tok, subject, path, mask)
+	return allowed, ok, tok
+}
+
+// LookupAt probes the cache under a caller-provided token — the fast
+// path passes the epoch embedded in the decision snapshot it loaded, so
+// the rule set and the cache generation it probes are guaranteed to
+// describe the same published policy state.
+func (c *Cache) LookupAt(tok Token, subject, path string, mask sys.Access) (allowed, ok bool) {
 	e := c.slots[c.index(subject, path, mask)].Load()
 	if e != nil && e.epoch == uint64(tok) && e.mask == mask &&
 		e.path == path && e.subject == subject {
 		c.hits.Add(1)
-		return e.allowed, true, tok
+		return e.allowed, true
 	}
 	c.misses.Add(1)
-	return false, false, tok
+	return false, false
 }
 
 // Insert stores a decision computed under the given token. If the epoch
@@ -167,9 +189,18 @@ func (c *Cache) Insert(tok Token, subject, path string, mask sys.Access, allowed
 // Callers must install the new policy state (rule-set pointer, profile
 // table, ...) *before* calling Invalidate — that ordering is what makes
 // a stale hit impossible.
-func (c *Cache) Invalidate() {
-	c.epoch.Add(1)
+func (c *Cache) Invalidate() { c.Advance() }
+
+// Advance bumps the epoch and returns the new value. Writers publishing
+// a decision snapshot call Advance first and embed the returned token in
+// the snapshot, making the epoch bump and the snapshot swap one
+// publication point: any reader that loads the new snapshot probes under
+// the new epoch, and any reader still on the old snapshot cannot pollute
+// the new generation (its Inserts carry the old token and are dropped).
+func (c *Cache) Advance() Token {
+	tok := Token(c.epoch.Add(1))
 	c.invalidations.Add(1)
+	return tok
 }
 
 // Epoch returns the current epoch value (introspection and tests).

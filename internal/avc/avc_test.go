@@ -167,3 +167,40 @@ func TestConcurrentLookupInsertInvalidate(t *testing.T) {
 		t.Fatalf("invalidations = %d, want 200", got)
 	}
 }
+
+// TestAdvanceReturnsNewEpoch pins the snapshot-embedding contract: the
+// token Advance returns is the epoch readers of the new snapshot will
+// probe under.
+func TestAdvanceReturnsNewEpoch(t *testing.T) {
+	c := New(16)
+	before := c.Epoch()
+	tok := c.Advance()
+	if uint64(tok) != before+1 || c.Epoch() != uint64(tok) {
+		t.Fatalf("Advance() = %d after epoch %d, current %d", tok, before, c.Epoch())
+	}
+}
+
+// TestLookupAtSnapshotProtocol simulates the fast path: a writer
+// advances the epoch and "publishes" the token; readers holding the new
+// token hit entries inserted under it, while a reader still holding the
+// old token misses (its generation is dead) and its late insert is
+// dropped.
+func TestLookupAtSnapshotProtocol(t *testing.T) {
+	c := New(16)
+	oldTok := Token(c.Epoch())
+	newTok := c.Advance()
+
+	c.Insert(newTok, "app", "/dev/vehicle/door0", sys.MayRead, true)
+	if allowed, ok := c.LookupAt(newTok, "app", "/dev/vehicle/door0", sys.MayRead); !ok || !allowed {
+		t.Fatalf("LookupAt(new) = (%v,%v), want hit allow", allowed, ok)
+	}
+	// A reader on the previous snapshot must not see the new entry.
+	if _, ok := c.LookupAt(oldTok, "app", "/dev/vehicle/door0", sys.MayRead); ok {
+		t.Fatal("LookupAt(old) hit an entry from the new generation")
+	}
+	// Its late insert carries the old token and is dropped.
+	c.Insert(oldTok, "app", "/dev/vehicle/win0", sys.MayWrite, true)
+	if _, ok := c.LookupAt(newTok, "app", "/dev/vehicle/win0", sys.MayWrite); ok {
+		t.Fatal("stale-token insert became visible in the new generation")
+	}
+}

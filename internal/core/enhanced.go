@@ -28,7 +28,7 @@ func (s *SACK) ManageProfile(base *apparmor.Profile) error {
 	s.managedMu.Lock()
 	s.managed[base.Name] = base.Clone()
 	s.managedMu.Unlock()
-	s.regenerateProfiles(s.machine.Load().Current())
+	s.regenerateProfiles(s.snap.Load().compiled, s.machine.Load().Current())
 	return nil
 }
 
@@ -57,15 +57,17 @@ func (s *SACK) ManagedProfiles() []string {
 	return out
 }
 
-// regenerateProfiles recomputes every managed profile for the given state
-// and swaps them into AppArmor in a single snapshot. Deny rules from the
-// policy are appended after the granted rules; AppArmor's deny-wins
-// evaluation preserves their meaning.
-func (s *SACK) regenerateProfiles(st ssm.State) {
+// regenerateProfiles recomputes every managed profile for the given
+// policy and state and swaps them into AppArmor in a single snapshot.
+// The compiled policy is a parameter (not read from s.snap) because
+// publish regenerates profiles *before* storing the snapshot that
+// carries the new policy. Deny rules from the policy are appended after
+// the granted rules; AppArmor's deny-wins evaluation preserves their
+// meaning.
+func (s *SACK) regenerateProfiles(c *policy.Compiled, st ssm.State) {
 	if s.aa == nil {
 		return
 	}
-	c := s.pol.Load().compiled
 	rs := c.StateSets[st.Name]
 
 	s.managedMu.Lock()

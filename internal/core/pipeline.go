@@ -237,7 +237,7 @@ func (p *Pipeline) failsafeLocked() string {
 	if p.failsafeOverride != "" {
 		return p.failsafeOverride
 	}
-	return p.s.pol.Load().compiled.Failsafe
+	return p.s.snap.Load().compiled.Failsafe
 }
 
 // Stats is a point-in-time snapshot of the pipeline counters.
@@ -376,7 +376,7 @@ func (p *Pipeline) recoverLocked(now time.Time) {
 	restored := p.prevState
 	if restored != "" {
 		if err := p.s.machine.Load().ForceState(restored); err != nil {
-			initial := p.s.pol.Load().compiled.Initial
+			initial := p.s.snap.Load().compiled.Initial
 			fallbackErr := p.s.machine.Load().ForceState(initial)
 			if fallbackErr == nil {
 				restored = initial

@@ -112,7 +112,7 @@ func (s *SACK) ReplacePolicy(c *policy.Compiled, source string) (policy.DiffRepo
 	p.mu.Lock()
 	defer p.mu.Unlock()
 
-	old := s.pol.Load()
+	old := s.snap.Load()
 	report := policy.Report(policy.Diff(old.compiled, c))
 
 	// Validate the failsafe the new policy will run under before
@@ -186,11 +186,11 @@ func (s *SACK) ReplacePolicy(c *policy.Compiled, source string) (policy.DiffRepo
 	}
 	s.subscribeAPE(machine)
 
-	// Commit point: swap policy and machine, install the landing
-	// state's enforcement artifacts, bump the AVC epoch once.
-	s.pol.Store(&policyState{compiled: c, source: source})
+	// Commit point: swap the machine, then publish one snapshot carrying
+	// the new policy, the landing state's rule set, and a fresh AVC
+	// epoch — checks flip from the old policy to the new in one load.
 	s.machine.Store(machine)
-	s.applyState(machine.Current())
+	s.publish(c, source, machine.Current())
 
 	p.prevState = prevAfter
 	if pinnedAfter != pinned {

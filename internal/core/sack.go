@@ -26,6 +26,7 @@ import (
 	"repro/internal/avc"
 	"repro/internal/lsm"
 	"repro/internal/policy"
+	"repro/internal/shard"
 	"repro/internal/ssm"
 	"repro/internal/sys"
 	"repro/internal/vfs"
@@ -96,19 +97,22 @@ type SACK struct {
 	aa    *apparmor.AppArmor
 
 	// cache memoises Decide results per (subject, path, mask); nil when
-	// Config.DisableAVC. Every situation transition and policy reload
-	// bumps its epoch, after the new rule set is installed, so a stale
-	// decision can never be served across a state change.
+	// Config.DisableAVC. Its epoch advances inside publish, as part of
+	// swapping in a new snapshot, so a stale decision can never be
+	// served across a state change.
 	cache *avc.Cache
 
 	// mu serialises policy replacement and managed-profile changes.
 	mu      sync.Mutex
 	machine atomic.Pointer[ssm.Machine]
-	pol     atomic.Pointer[policyState]
 
-	// active is MR_current: the compiled rule set of the current state
-	// (independent mode fast path).
-	active atomic.Pointer[policy.RuleSet]
+	// snap is the RCU-style decision snapshot: everything the check fast
+	// path needs — compiled policy (coverage), MR_current, the situation
+	// state it was derived from, and the AVC epoch it was published
+	// under — behind one atomic pointer. Writers build a fresh snapshot
+	// and swap it in publish (the single publication point); readers do
+	// one load and never observe a half-updated policy. See DESIGN.md §9.
+	snap atomic.Pointer[snapshot]
 
 	// managed maps AppArmor profile names to their base (state-independent)
 	// profiles for EnhancedAppArmor mode; guarded by managedMu (separate
@@ -117,9 +121,13 @@ type SACK struct {
 	managedMu sync.Mutex
 	managed   map[string]*apparmor.Profile
 
-	covered   atomic.Uint64 // checks on policy-covered objects
-	uncovered atomic.Uint64 // checks passed through (coverage miss)
-	denials   atomic.Uint64
+	// Check-path counters are sharded (per-CPU-slot cells folded on
+	// read) so concurrent checkers stop bouncing a shared cache line;
+	// the event-path counters stay plain atomics — events are rare and
+	// serialised by the SSM anyway.
+	covered   shard.Counter // checks on policy-covered objects
+	uncovered shard.Counter // checks passed through (coverage miss)
+	denials   shard.Counter
 	eventsIn  atomic.Uint64 // events received through SACKfs
 	eventsHit atomic.Uint64 // events that caused a transition
 
@@ -140,11 +148,14 @@ type SACK struct {
 	reloadLast ReloadStatus
 }
 
-// policyState bundles the compiled policy with its source text so both
-// swap together.
-type policyState struct {
+// snapshot is one immutable published policy state. Fields are never
+// mutated after the snapshot is stored; writers replace the whole thing.
+type snapshot struct {
 	compiled *policy.Compiled
-	source   string
+	source   string          // original policy text, echoed through SACKfs
+	rules    *policy.RuleSet // MR_current for the state below
+	state    ssm.State       // situation state the rules were derived from
+	epoch    avc.Token       // AVC generation this snapshot was published under
 }
 
 // New builds the module, constructs the SSM from the policy's states and
@@ -157,10 +168,13 @@ func New(cfg Config) (*SACK, error) {
 		return nil, fmt.Errorf("sack: EnhancedAppArmor mode needs an AppArmor module")
 	}
 	s := &SACK{
-		mode:    cfg.Mode,
-		audit:   cfg.Audit,
-		aa:      cfg.AppArmor,
-		managed: make(map[string]*apparmor.Profile),
+		mode:      cfg.Mode,
+		audit:     cfg.Audit,
+		aa:        cfg.AppArmor,
+		managed:   make(map[string]*apparmor.Profile),
+		covered:   shard.NewCounter(),
+		uncovered: shard.NewCounter(),
+		denials:   shard.NewCounter(),
 	}
 	if !cfg.DisableAVC {
 		s.cache = avc.New(cfg.AVCSize)
@@ -192,13 +206,13 @@ func (s *SACK) Mode() Mode { return s.mode }
 func (s *SACK) Machine() *ssm.Machine { return s.machine.Load() }
 
 // Policy returns the compiled policy currently installed.
-func (s *SACK) Policy() *policy.Compiled { return s.pol.Load().compiled }
+func (s *SACK) Policy() *policy.Compiled { return s.snap.Load().compiled }
 
 // CurrentState returns the current situation state.
 func (s *SACK) CurrentState() ssm.State { return s.machine.Load().Current() }
 
 // ActiveRules returns MR_current (independent mode introspection).
-func (s *SACK) ActiveRules() *policy.RuleSet { return s.active.Load() }
+func (s *SACK) ActiveRules() *policy.RuleSet { return s.snap.Load().rules }
 
 // Stats reports (permission checks, denials, events received, events
 // that transitioned the SSM). checks counts every hook decision SACK
@@ -247,9 +261,8 @@ func (s *SACK) installPolicy(c *policy.Compiled, source string) error {
 	}
 	s.subscribeAPE(machine)
 
-	s.pol.Store(&policyState{compiled: c, source: source})
 	s.machine.Store(machine)
-	s.applyState(machine.Current())
+	s.publish(c, source, machine.Current())
 
 	s.reloadGen.Store(1)
 	s.setReloadStatus(ReloadStatus{
@@ -337,24 +350,35 @@ func (s *SACK) onTransition(from, to ssm.State, ev ssm.Event) {
 	}
 }
 
-// applyState installs the enforcement artifacts of a state: the atomic
-// rule-set pointer (independent) or rewritten AppArmor profiles
-// (enhanced). The AVC epoch bump comes last — only after the new rule
-// set is observable may cached decisions from the old state be retired,
-// otherwise a checker could stamp a stale decision with the new epoch.
+// applyState re-publishes the current policy under a new situation
+// state — the APE's g(P) step on a transition.
 func (s *SACK) applyState(st ssm.State) {
-	c := s.pol.Load().compiled
+	cur := s.snap.Load()
+	s.publish(cur.compiled, cur.source, st)
+}
+
+// publish is the single publication point for policy state: it advances
+// the AVC epoch, builds an immutable snapshot carrying that epoch, and
+// swaps it in with one atomic store. The epoch bump and the snapshot
+// swap therefore cannot be observed separately: a reader that loads the
+// new snapshot probes the cache under the new generation, and a reader
+// still holding the old snapshot keeps a self-consistent (rules, epoch)
+// pair whose late inserts the cache drops. Writers (transitions,
+// ReplacePolicy, failsafe forcing) serialise via s.mu or the SSM's own
+// transition lock before reaching here.
+func (s *SACK) publish(c *policy.Compiled, source string, st ssm.State) {
 	rs := c.StateSets[st.Name]
 	if rs == nil {
 		rs = policy.NewRuleSet(st.Name, nil)
 	}
-	s.active.Store(rs)
 	if s.mode == EnhancedAppArmor {
-		s.regenerateProfiles(st)
+		s.regenerateProfiles(c, st)
 	}
+	var epoch avc.Token
 	if s.cache != nil {
-		s.cache.Invalidate()
+		epoch = s.cache.Advance()
 	}
+	s.snap.Store(&snapshot{compiled: c, source: source, rules: rs, state: st, epoch: epoch})
 }
 
 // --- independent-mode enforcement hooks ---
@@ -379,34 +403,33 @@ func (s *SACK) BprmCheck(cred *sys.Cred, path string, _ *vfs.Inode) error {
 
 // check is the decision fast path: objects not covered by the policy pass
 // through to the next LSM; covered objects must be allowed by MR_current.
-// Covered decisions consult the AVC first; on a miss the full Decide
-// result is cached — allows only, so denials always reach the audit
-// path. The AVC token is obtained before the active rule set is loaded,
-// which (with applyState's install-then-invalidate ordering) guarantees
-// a cached decision is never served across a situation transition.
+// One atomic snapshot load supplies the coverage map, the rule set, and
+// the AVC epoch together, so everything the decision reads describes the
+// same published policy state — no lock, and no window where a checker
+// could pair an old rule set with a new cache generation. Covered
+// decisions consult the AVC first; on a miss the full Decide result is
+// cached — allows only, so denials always reach the audit path.
 func (s *SACK) check(cred *sys.Cred, op, path string, mask sys.Access) error {
 	if s.mode == EnhancedAppArmor {
 		return nil // enforcement happens in AppArmor
 	}
-	pol := s.pol.Load().compiled
-	if !pol.Coverage.Covers(path) {
+	snap := s.snap.Load()
+	if !snap.compiled.Coverage.Covers(path) {
 		s.uncovered.Add(1)
 		return nil
 	}
 	s.covered.Add(1)
 	subject := subjectOf(cred)
-	var tok avc.Token
 	if s.cache != nil {
-		var allowed, ok bool
-		if allowed, ok, tok = s.cache.Lookup(subject, path, mask); ok && allowed {
+		if allowed, ok := s.cache.LookupAt(snap.epoch, subject, path, mask); ok && allowed {
 			return nil
 		}
 	}
-	rs := s.active.Load()
+	rs := snap.rules
 	allowed, matched := rs.Decide(subject, path, mask)
 	if allowed {
 		if s.cache != nil {
-			s.cache.Insert(tok, subject, path, mask, true)
+			s.cache.Insert(snap.epoch, subject, path, mask, true)
 		}
 		return nil
 	}

@@ -82,7 +82,7 @@ func (s *SACK) RegisterSecurityFS(secfs *securityfs.FS) error {
 				if !cred.HasCap(sys.CapMacAdmin) {
 					return nil, sys.EPERM
 				}
-				return []byte(s.pol.Load().source), nil
+				return []byte(s.snap.Load().source), nil
 			},
 			OnWrite: func(cred *sys.Cred, data []byte) error {
 				if !cred.HasCap(sys.CapMacAdmin) {

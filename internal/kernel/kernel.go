@@ -146,8 +146,8 @@ func (k *Kernel) Init() *Task {
 			PID:  int(k.nextPID.Add(1)),
 			Comm: "/sbin/init",
 			Cred: sys.NewCred(0, 0),
-			fds:  make(map[int]*vfs.File),
 		}
+		t.fdt.Store(emptyFDTable)
 		k.tasks[t.PID] = t
 		k.initT = t
 	}

@@ -2,6 +2,7 @@ package kernel
 
 import (
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/sys"
 	"repro/internal/vfs"
@@ -9,6 +10,45 @@ import (
 
 // MaxFDs bounds a task's descriptor table (RLIMIT_NOFILE analogue).
 const MaxFDs = 1024
+
+// fdTable is an immutable descriptor-table snapshot: index == fd, nil ==
+// closed. Writers (open, close, fork, exit) build a new table under the
+// task mutex; the read side — every Read/Write/Ioctl/Mmap syscall
+// resolving an fd before LSM dispatch — is one atomic load plus an
+// index, so fd resolution never holds a lock across permission checks.
+type fdTable struct {
+	files []*vfs.File
+	open  int // count of non-nil entries
+}
+
+// lookup resolves fd in this snapshot.
+func (tab *fdTable) lookup(fd int) *vfs.File {
+	if fd < 0 || fd >= len(tab.files) {
+		return nil
+	}
+	return tab.files[fd]
+}
+
+// withFD returns a copy with fd set to f (f == nil closes it).
+func (tab *fdTable) withFD(fd int, f *vfs.File) *fdTable {
+	n := &fdTable{open: tab.open}
+	size := len(tab.files)
+	if fd >= size {
+		size = fd + 1
+	}
+	n.files = make([]*vfs.File, size)
+	copy(n.files, tab.files)
+	if n.files[fd] != nil {
+		n.open--
+	}
+	n.files[fd] = f
+	if f != nil {
+		n.open++
+	}
+	return n
+}
+
+var emptyFDTable = &fdTable{}
 
 // Task is a simulated process: identity, credentials, and a descriptor
 // table. All syscalls are methods on Task so the calling context is
@@ -21,8 +61,8 @@ type Task struct {
 
 	Cred *sys.Cred
 
-	mu     sync.Mutex
-	fds    map[int]*vfs.File
+	mu     sync.Mutex // serialises descriptor-table writers and exit
+	fdt    atomic.Pointer[fdTable]
 	nextFD int
 	exited bool
 }
@@ -40,41 +80,39 @@ func (t *Task) installFD(f *vfs.File) (int, error) {
 	if t.exited {
 		return -1, sys.ESRCH
 	}
-	if len(t.fds) >= MaxFDs {
+	tab := t.fdt.Load()
+	if tab.open >= MaxFDs {
 		return -1, sys.EMFILE
 	}
 	fd := t.nextFD
-	for {
-		if _, used := t.fds[fd]; !used {
-			break
-		}
+	for tab.lookup(fd) != nil {
 		fd++
 	}
-	t.fds[fd] = f
+	t.fdt.Store(tab.withFD(fd, f))
 	t.nextFD = fd + 1
 	return fd, nil
 }
 
-// file resolves a descriptor to its open-file description.
+// file resolves a descriptor to its open-file description. Lock-free:
+// reads the current table snapshot, so the hot I/O path never contends
+// with opens and closes on other goroutines.
 func (t *Task) file(fd int) (*vfs.File, error) {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	f, ok := t.fds[fd]
-	if !ok {
-		return nil, sys.EBADF
+	if f := t.fdt.Load().lookup(fd); f != nil {
+		return f, nil
 	}
-	return f, nil
+	return nil, sys.EBADF
 }
 
 // Close releases a descriptor.
 func (t *Task) Close(fd int) error {
 	t.mu.Lock()
-	f, ok := t.fds[fd]
-	if !ok {
+	tab := t.fdt.Load()
+	f := tab.lookup(fd)
+	if f == nil {
 		t.mu.Unlock()
 		return sys.EBADF
 	}
-	delete(t.fds, fd)
+	t.fdt.Store(tab.withFD(fd, nil))
 	if fd < t.nextFD {
 		t.nextFD = fd
 	}
@@ -85,9 +123,7 @@ func (t *Task) Close(fd int) error {
 
 // NumFDs reports how many descriptors are open.
 func (t *Task) NumFDs() int {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	return len(t.fds)
+	return t.fdt.Load().open
 }
 
 // Fork creates a child task: cloned credentials, copied descriptor table
@@ -104,13 +140,16 @@ func (t *Task) Fork() (*Task, error) {
 		PPID: t.PID,
 		Comm: t.Comm,
 		Cred: childCred,
-		fds:  make(map[int]*vfs.File),
 	}
 	t.mu.Lock()
-	for fd, f := range t.fds {
-		child.fds[fd] = f
-		retainEndpoint(f)
+	tab := t.fdt.Load()
+	childTab := &fdTable{files: append([]*vfs.File(nil), tab.files...), open: tab.open}
+	for _, f := range childTab.files {
+		if f != nil {
+			retainEndpoint(f)
+		}
 	}
+	child.fdt.Store(childTab)
 	child.nextFD = t.nextFD
 	t.mu.Unlock()
 	t.k.addTask(child)
@@ -150,11 +189,13 @@ func (t *Task) Exit() {
 		return
 	}
 	t.exited = true
-	fds := t.fds
-	t.fds = make(map[int]*vfs.File)
+	tab := t.fdt.Load()
+	t.fdt.Store(emptyFDTable)
 	t.mu.Unlock()
-	for _, f := range fds {
-		releaseEndpoint(f)
+	for _, f := range tab.files {
+		if f != nil {
+			releaseEndpoint(f)
+		}
 	}
 	t.k.removeTask(t.PID)
 }

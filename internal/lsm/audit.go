@@ -2,8 +2,12 @@ package lsm
 
 import (
 	"fmt"
+	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
+
+	"repro/internal/shard"
 )
 
 // AuditRecord is one security-relevant event, in the spirit of the
@@ -27,16 +31,62 @@ func (r AuditRecord) String() string {
 		r.When.Format(time.RFC3339Nano))
 }
 
-// AuditLog is a bounded in-memory ring of audit records with a
-// monotonic cursor for incremental export. The sequence number assigned
-// at Append time is the cursor space: Seq of the newest record ==
-// total records ever emitted, so `uploaded + dropped == emitted` stays
-// an exact ledger for any exporter that drains through Since. Appends
-// are O(1): once the ring is full the oldest record is overwritten in
-// place and counted dropped, never shifted.
-type AuditLog struct {
+// shardCap bounds one pending buffer. A hook that fills its shard
+// triggers an inline flush — emission is asynchronous on the happy path
+// but can never lose a record, so `uploaded + dropped == emitted` stays
+// exact for the fleet agent and chaos suites.
+const shardCap = 64
+
+// pendingRec is a captured-but-not-yet-inserted record. The order token
+// is a global atomic counter stamped at capture time; the flusher sorts
+// by it so per-goroutine causal order survives into the ring even when
+// consecutive records from one goroutine land in different shards.
+type pendingRec struct {
+	order uint64
+	rec   AuditRecord
+}
+
+// auditShard is one slot's pending buffer. Hooks on different slots
+// append under different mutexes, so audit emission no longer serialises
+// every concurrent hook on one ring lock.
+type auditShard struct {
 	mu      sync.Mutex
-	seq     uint64        // last assigned sequence == records ever emitted
+	pending []pendingRec
+	_       [32]byte // keep neighbouring shard mutexes off one cache line
+}
+
+// AuditLog is a bounded in-memory ring of audit records with a
+// monotonic cursor for incremental export.
+//
+// Emission is two-stage: Append captures the record into a per-slot
+// pending buffer (cheap, contention-free across slots) and Flush drains
+// every buffer into the ring, where the monotonic Seq is assigned — at
+// ring insertion, not at hook time. That placement is what keeps
+// dedupe-by-sequence correct for the fleet uploader: Seq of the newest
+// record == total records ever inserted, so `uploaded + dropped ==
+// emitted` is an exact ledger for any exporter draining through Since.
+//
+// Every read API flushes first, so single-threaded callers observe the
+// synchronous semantics the rest of the test suite was written against.
+// A background drain is available via StartFlusher; a shard that fills
+// up flushes inline, so records are delayed but never lost.
+//
+// Flush takes an atomic cut: it locks all shards before reading any.
+// If record B (appended after A by the same goroutine) is in the cut,
+// A's Append had already completed — and since landing in a shard needs
+// that shard's lock, A is in the cut too. Sorting the cut by capture
+// order then yields per-goroutine causal order in the ring.
+//
+// Appends to the ring are O(1): once full, the oldest record is
+// overwritten in place and counted dropped, never shifted.
+type AuditLog struct {
+	capture atomic.Uint64 // capture-order tokens, stamped at Append
+	shards  []auditShard
+
+	flushMu sync.Mutex // serialises drains; lock order: flushMu > shard.mu > mu
+
+	mu      sync.Mutex
+	seq     uint64        // last assigned sequence == records ever inserted
 	buf     []AuditRecord // ring storage; grows to max then wraps
 	start   int           // index of the oldest retained record
 	n       int           // retained record count
@@ -50,20 +100,66 @@ func NewAuditLog(max int) *AuditLog {
 	if max <= 0 {
 		max = 4096
 	}
-	return &AuditLog{max: max}
+	return &AuditLog{max: max, shards: make([]auditShard, shard.Slots())}
 }
 
-// Append records an event. When the ring is full the oldest record is
-// overwritten and the dropped counter advances — growth is bounded no
-// matter how long a chaos run appends.
+// Append captures an event into the calling slot's pending buffer. The
+// record's Seq is NOT assigned here — sequence numbers are minted at
+// ring insertion (see Flush) so they are monotonic in insertion order
+// even when concurrent hooks capture out of order. When is stamped now,
+// preserving the event's wall-clock time across the async hand-off.
 func (l *AuditLog) Append(r AuditRecord) {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	l.seq++
-	r.Seq = l.seq
 	if r.When.IsZero() {
 		r.When = time.Now()
 	}
+	p := pendingRec{order: l.capture.Add(1), rec: r}
+	s := &l.shards[shard.Slot()]
+	s.mu.Lock()
+	s.pending = append(s.pending, p)
+	full := len(s.pending) >= shardCap
+	s.mu.Unlock()
+	if full {
+		l.Flush()
+	}
+}
+
+// Flush drains every pending buffer into the ring, assigning sequence
+// numbers in capture order. Safe to call concurrently with Appends and
+// other Flushes; see the AuditLog doc comment for the ordering argument.
+func (l *AuditLog) Flush() {
+	l.flushMu.Lock()
+	defer l.flushMu.Unlock()
+
+	// Atomic cut: hold every shard lock while collecting.
+	var batch []pendingRec
+	for i := range l.shards {
+		l.shards[i].mu.Lock()
+	}
+	for i := range l.shards {
+		s := &l.shards[i]
+		batch = append(batch, s.pending...)
+		s.pending = s.pending[:0]
+	}
+	for i := range l.shards {
+		l.shards[i].mu.Unlock()
+	}
+	if len(batch) == 0 {
+		return
+	}
+	sort.Slice(batch, func(i, j int) bool { return batch[i].order < batch[j].order })
+
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for i := range batch {
+		l.insertLocked(batch[i].rec)
+	}
+}
+
+// insertLocked assigns the next sequence number and places the record in
+// the ring. Caller holds l.mu.
+func (l *AuditLog) insertLocked(r AuditRecord) {
+	l.seq++
+	r.Seq = l.seq
 	if len(l.buf) < l.max {
 		l.buf = append(l.buf, r)
 		l.n++
@@ -79,8 +175,44 @@ func (l *AuditLog) Append(r AuditRecord) {
 	l.dropped++
 }
 
+// StartFlusher launches a background goroutine draining the pending
+// buffers every interval (0 means 5ms). The returned stop function
+// halts the goroutine and performs a final drain. Optional: reads flush
+// on demand and full shards flush inline, so the flusher only bounds
+// staleness, never correctness.
+func (l *AuditLog) StartFlusher(interval time.Duration) (stop func()) {
+	if interval <= 0 {
+		interval = 5 * time.Millisecond
+	}
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-done:
+				return
+			case <-t.C:
+				l.Flush()
+			}
+		}
+	}()
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			close(done)
+			wg.Wait()
+			l.Flush()
+		})
+	}
+}
+
 // Records returns a copy of the retained records, oldest first.
 func (l *AuditLog) Records() []AuditRecord {
+	l.Flush()
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	return l.copyLocked()
@@ -102,6 +234,7 @@ func (l *AuditLog) copyLocked() []AuditRecord {
 // the returned cursor observes every record exactly once, with losses
 // accounted instead of silent.
 func (l *AuditLog) Since(cursor uint64) (recs []AuditRecord, next uint64, missed uint64) {
+	l.Flush()
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	next = l.seq
@@ -128,6 +261,7 @@ func (l *AuditLog) Since(cursor uint64) (recs []AuditRecord, next uint64, missed
 // first Append) — the position an exporter starting "from now" resumes
 // from.
 func (l *AuditLog) Cursor() uint64 {
+	l.Flush()
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	return l.seq
@@ -135,6 +269,7 @@ func (l *AuditLog) Cursor() uint64 {
 
 // Emitted reports how many records were ever appended.
 func (l *AuditLog) Emitted() uint64 {
+	l.Flush()
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	return l.seq
@@ -143,6 +278,7 @@ func (l *AuditLog) Emitted() uint64 {
 // Dropped reports how many records were lost before export — ring
 // overwrites plus explicit Clears.
 func (l *AuditLog) Dropped() uint64 {
+	l.Flush()
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	return l.dropped
@@ -161,15 +297,17 @@ func (l *AuditLog) Denials() []AuditRecord {
 
 // Len reports the number of retained records.
 func (l *AuditLog) Len() int {
+	l.Flush()
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	return l.n
 }
 
-// Clear discards all retained records (the sequence counter keeps
-// going, and the discarded records count as dropped so export ledgers
-// stay exact).
+// Clear discards all retained records, pending ones included (the
+// sequence counter keeps going, and the discarded records count as
+// dropped so export ledgers stay exact).
 func (l *AuditLog) Clear() {
+	l.Flush()
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	l.dropped += uint64(l.n)

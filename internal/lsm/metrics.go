@@ -6,6 +6,8 @@ import (
 	"strings"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/shard"
 )
 
 // HookID identifies one LSM hook for metrics attribution.
@@ -70,15 +72,26 @@ type hookMetrics struct {
 	buckets [latencyBuckets]atomic.Uint64
 }
 
+// metricsShard is one slot's private copy of every hook's counters.
+// Concurrent hooks on different slots update disjoint shards, so the
+// counter cache lines stop bouncing between CPUs; Snapshot folds the
+// shards, and because every Observe lands in exactly one shard the
+// folded totals are exact.
+type metricsShard struct {
+	hooks [NumHooks]hookMetrics
+}
+
 // Metrics aggregates per-hook call counts, denial counts, and latency
 // histograms for one Stack — the observability layer behind
 // /sys/kernel/security/sack/metrics.
 type Metrics struct {
-	hooks [NumHooks]hookMetrics
+	shards []metricsShard
 }
 
 // NewMetrics returns an empty metrics sink.
-func NewMetrics() *Metrics { return &Metrics{} }
+func NewMetrics() *Metrics {
+	return &Metrics{shards: make([]metricsShard, shard.Slots())}
+}
 
 // bucketFor maps a latency to its histogram bucket: index of the highest
 // set bit, clamped to the last bucket.
@@ -95,7 +108,7 @@ func bucketFor(ns int64) int {
 
 // Observe records one completed hook invocation.
 func (m *Metrics) Observe(h HookID, d time.Duration, denied bool) {
-	hm := &m.hooks[h]
+	hm := &m.shards[shard.Slot()].hooks[h]
 	hm.calls.Add(1)
 	if denied {
 		hm.denials.Add(1)
@@ -147,19 +160,18 @@ func (s HookStat) Quantile(q float64) uint64 {
 func (m *Metrics) Snapshot() []HookStat {
 	var out []HookStat
 	for h := HookID(0); h < NumHooks; h++ {
-		hm := &m.hooks[h]
-		calls := hm.calls.Load()
-		if calls == 0 {
+		st := HookStat{Hook: h}
+		for s := range m.shards {
+			hm := &m.shards[s].hooks[h]
+			st.Calls += hm.calls.Load()
+			st.Denials += hm.denials.Load()
+			st.TotalNs += hm.totalNs.Load()
+			for i := range st.Buckets {
+				st.Buckets[i] += hm.buckets[i].Load()
+			}
+		}
+		if st.Calls == 0 {
 			continue
-		}
-		st := HookStat{
-			Hook:    h,
-			Calls:   calls,
-			Denials: hm.denials.Load(),
-			TotalNs: hm.totalNs.Load(),
-		}
-		for i := range st.Buckets {
-			st.Buckets[i] = hm.buckets[i].Load()
 		}
 		out = append(out, st)
 	}

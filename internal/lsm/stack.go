@@ -1,6 +1,7 @@
 package lsm
 
 import (
+	"errors"
 	"fmt"
 	"strings"
 	"sync"
@@ -10,6 +11,11 @@ import (
 	"repro/internal/sys"
 	"repro/internal/vfs"
 )
+
+// ErrStackFrozen is returned by Register after Freeze: module
+// registration is a boot-time operation, and the frozen dispatch table
+// is what lets the hook fast path skip locking entirely.
+var ErrStackFrozen = errors.New("lsm: stack frozen, registration is boot-time only")
 
 // hookEntry pairs a module's hook implementation with its name, so a
 // denial can be attributed without calling back into the module.
@@ -109,8 +115,9 @@ func (t *hookTable) add(m Module) {
 // the hook fast path reads the dispatch table through an atomic pointer
 // so checks never contend on a lock.
 type Stack struct {
-	mu    sync.Mutex
-	table atomic.Pointer[hookTable]
+	mu     sync.Mutex
+	table  atomic.Pointer[hookTable]
+	frozen atomic.Bool
 
 	// metrics collects per-hook call counts and latency histograms.
 	metrics *Metrics
@@ -133,6 +140,9 @@ func NewStack() *Stack {
 func (s *Stack) Register(m Module) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if s.frozen.Load() {
+		return ErrStackFrozen
+	}
 	cur := s.table.Load()
 	for _, existing := range cur.modules {
 		if existing.Name() == m.Name() {
@@ -144,6 +154,16 @@ func (s *Stack) Register(m Module) error {
 	s.table.Store(next)
 	return nil
 }
+
+// Freeze seals the stack: subsequent Register calls fail with
+// ErrStackFrozen. The kernel calls this at the end of boot — the same
+// point where real LSM hook heads become __ro_after_init — which makes
+// "registration after boot isn't supported" an enforced contract rather
+// than a convention.
+func (s *Stack) Freeze() { s.frozen.Store(true) }
+
+// Frozen reports whether the stack has been sealed.
+func (s *Stack) Frozen() bool { return s.frozen.Load() }
 
 // Modules returns the registered module names in consultation order,
 // matching the format of /sys/kernel/security/lsm.

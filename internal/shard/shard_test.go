@@ -1,0 +1,64 @@
+package shard
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestSlotsPowerOfTwo(t *testing.T) {
+	n := Slots()
+	if n < 8 || n&(n-1) != 0 {
+		t.Fatalf("Slots() = %d, want a power of two >= 8", n)
+	}
+}
+
+func TestSlotInRange(t *testing.T) {
+	for i := 0; i < 1000; i++ {
+		if s := Slot(); s < 0 || s >= Slots() {
+			t.Fatalf("Slot() = %d, out of [0,%d)", s, Slots())
+		}
+	}
+}
+
+// TestCounterExactUnderContention is the folding-exactness property the
+// securityfs totals depend on: G goroutines adding N each must fold to
+// exactly G*N, no matter how the slot hash distributes them.
+func TestCounterExactUnderContention(t *testing.T) {
+	c := NewCounter()
+	const goroutines, perG = 32, 10000
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				c.Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Load(); got != goroutines*perG {
+		t.Fatalf("folded total = %d, want %d", got, goroutines*perG)
+	}
+}
+
+func TestCounterAddN(t *testing.T) {
+	c := NewCounter()
+	c.Add(3)
+	c.Add(4)
+	if got := c.Load(); got != 7 {
+		t.Fatalf("Load() = %d, want 7", got)
+	}
+}
+
+func BenchmarkCounterParallel(b *testing.B) {
+	c := NewCounter()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			c.Add(1)
+		}
+	})
+	if c.Load() == 0 {
+		b.Fatal("counter never incremented")
+	}
+}

@@ -3,24 +3,34 @@ package sys
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 )
 
 // Cred is a task credential: user/group identity, capability set, and the
 // per-LSM security blobs (the simulated equivalent of cred->security).
 // A Cred is owned by exactly one task; Fork copies it.
+//
+// Blob reads are on the permission-check fast path (SACK resolves its
+// subject label from the blob on every hook), so the blob map is
+// published copy-on-write through an atomic pointer: readers do one
+// atomic load and an immutable map index, never taking a lock. SetBlob
+// is rare (exec relabelling) and serialises on a small mutex while it
+// copies.
 type Cred struct {
 	UID  int
 	GID  int
 	Caps CapSet
 
-	mu    sync.RWMutex
-	blobs map[string]any // keyed by LSM name
+	setMu sync.Mutex                     // serialises SetBlob copy-and-swap
+	blobs atomic.Pointer[map[string]any] // immutable; replaced whole on write
 }
 
 // NewCred builds a credential for the given identity. UID 0 receives the
 // full capability set, matching Linux defaults.
 func NewCred(uid, gid int) *Cred {
-	c := &Cred{UID: uid, GID: gid, blobs: make(map[string]any)}
+	c := &Cred{UID: uid, GID: gid}
+	m := make(map[string]any)
+	c.blobs.Store(&m)
 	if uid == 0 {
 		c.Caps = FullCapSet()
 	}
@@ -31,27 +41,34 @@ func NewCred(uid, gid int) *Cred {
 // shallowly by value; LSMs that need copy-on-fork semantics implement the
 // TaskAlloc hook and replace their blob on the child.
 func (c *Cred) Clone() *Cred {
-	c.mu.RLock()
-	defer c.mu.RUnlock()
-	n := &Cred{UID: c.UID, GID: c.GID, Caps: c.Caps, blobs: make(map[string]any, len(c.blobs))}
-	for k, v := range c.blobs {
-		n.blobs[k] = v
+	cur := *c.blobs.Load()
+	n := &Cred{UID: c.UID, GID: c.GID, Caps: c.Caps}
+	m := make(map[string]any, len(cur))
+	for k, v := range cur {
+		m[k] = v
 	}
+	n.blobs.Store(&m)
 	return n
 }
 
 // Blob returns the security blob stored by the named LSM, or nil.
+// Lock-free: one atomic load of the current immutable map.
 func (c *Cred) Blob(lsm string) any {
-	c.mu.RLock()
-	defer c.mu.RUnlock()
-	return c.blobs[lsm]
+	return (*c.blobs.Load())[lsm]
 }
 
-// SetBlob stores the security blob for the named LSM.
+// SetBlob stores the security blob for the named LSM by publishing a new
+// map; concurrent Blob readers keep the version they loaded.
 func (c *Cred) SetBlob(lsm string, blob any) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	c.blobs[lsm] = blob
+	c.setMu.Lock()
+	defer c.setMu.Unlock()
+	cur := *c.blobs.Load()
+	m := make(map[string]any, len(cur)+1)
+	for k, v := range cur {
+		m[k] = v
+	}
+	m[lsm] = blob
+	c.blobs.Store(&m)
 }
 
 // HasCap reports whether the credential holds the capability.

@@ -481,6 +481,10 @@ func boot(opts Options) (*System, error) {
 			return nil, err
 		}
 	}
+	// End of boot: seal the stack, as the kernel marks the hook heads
+	// __ro_after_init. Late Register calls now fail loudly instead of
+	// racing the lock-free dispatch table.
+	k.LSM.Freeze()
 
 	out := &System{Kernel: k, SACK: s, AppArmor: aa, Audit: k.Audit}
 	out.sink = kernelSink{s: s}
