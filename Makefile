@@ -3,11 +3,11 @@
 
 GO ?= go
 
-.PHONY: all check vet build test race bench bench-avc bench-smoke chaos reload-stress fleet-stress parallel-stress profile
+.PHONY: all check vet build test race bench bench-avc bench-ablation bench-smoke chaos reload-stress fleet-stress parallel-stress matcher-diff profile
 
 all: check
 
-check: vet build race chaos reload-stress fleet-stress parallel-stress bench-smoke
+check: vet build race chaos reload-stress fleet-stress parallel-stress matcher-diff bench-smoke
 
 vet:
 	$(GO) vet ./...
@@ -56,6 +56,11 @@ bench:
 bench-avc:
 	$(GO) test -run '^$$' -bench 'BenchmarkAVC' -benchmem .
 
+# Matcher ablation: glob walk vs trie-compiled matcher, AVC off and on
+# (also: sackbench -ablation for the table form).
+bench-ablation:
+	$(GO) test -run '^$$' -bench 'BenchmarkMatcherAblation' -benchmem .
+
 # Parallel decision stress: checker goroutines hammering the lock-free
 # fast path while events, reloads, break-glass, and pipeline
 # degradation fire concurrently — the cached==uncached trace property
@@ -63,10 +68,21 @@ bench-avc:
 parallel-stress:
 	$(GO) test -race -count=1 -run 'TestParallelDecisionStress' .
 
+# Differential fuzz: random policies and access keys must draw identical
+# verdicts (and identical deciding rules) from the trie-compiled matcher
+# and the legacy glob walk, at the rule-set level and through the public
+# System API.
+matcher-diff:
+	$(GO) test -race -count=1 -run 'TestMatcherDifferential|TestMatcherOversizedFallback' ./internal/policy
+	$(GO) test -race -count=1 -run 'TestMatcherSystemDifferential|TestCachedEqualsUncachedTrace' .
+
 # Benchmark smoke: one iteration of the scalability sweep so the scale
-# path compiles and runs on every PR without benchmark-length runtimes.
+# path compiles and runs on every PR without benchmark-length runtimes,
+# plus the uncached-latency fence (trie must stay well ahead of the glob
+# walk and under its absolute budget).
 bench-smoke:
 	$(GO) test -run '^$$' -bench 'BenchmarkParallelDecision/sack-covered/goroutines=(1|16)$$' -benchtime 1x .
+	$(GO) test -count=1 -run 'TestUncachedLatencyGuard|TestMatcherZeroAllocUncached' -v .
 
 # Parallel benchmark under the mutex/block/CPU profilers. Artifacts land
 # in bench/; EXPERIMENTS.md ("Multi-core scalability") explains how to

@@ -479,6 +479,67 @@ func BenchmarkAVC(b *testing.B) {
 	})
 }
 
+// BenchmarkMatcherAblation spans the PR 6 grid: the glob-walk engine vs
+// the trie-compiled matcher, with the AVC off (the uncached verdict the
+// compile stage targets) and on (steady state, where the engines should
+// be indistinguishable). 500 rules sharing a first segment — the
+// worst case for the walk, the design case for the trie.
+func BenchmarkMatcherAblation(b *testing.B) {
+	polText := bench.GenRulesPolicy(500)
+	const path = "/srv/sack/area0/file0.dat"
+
+	checkLoop := func(b *testing.B, tb *bench.Testbed) {
+		cred := sys.NewCred(1000, 1000)
+		if err := tb.SACK.InodePermission(cred, path, nil, sys.MayRead); err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := tb.SACK.InodePermission(cred, path, nil, sys.MayRead); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+
+	for _, cell := range []struct {
+		name string
+		opts bench.IndependentOptions
+	}{
+		{"walk-uncached", bench.IndependentOptions{DisableAVC: true, DisableMatcher: true}},
+		{"trie-uncached", bench.IndependentOptions{DisableAVC: true}},
+		{"walk-cached", bench.IndependentOptions{DisableMatcher: true}},
+		{"trie-cached", bench.IndependentOptions{}},
+	} {
+		cell := cell
+		b.Run(cell.name, func(b *testing.B) {
+			tb, err := bench.BootIndependentSACKWith(polText, cell.opts)
+			if err != nil {
+				b.Fatal(err)
+			}
+			checkLoop(b, tb)
+		})
+	}
+
+	b.Run("decide-trie-raw", func(b *testing.B) {
+		compiled, _, err := policy.Load(polText)
+		if err != nil {
+			b.Fatal(err)
+		}
+		m := compiled.StateSets["normal"].Matcher()
+		if m == nil {
+			b.Fatal("rule set exceeds the matcher bound")
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if allowed, _ := m.Decide("", path, sys.MayRead); !allowed {
+				b.Fatal("unexpected denial")
+			}
+		}
+	})
+}
+
 // BenchmarkStackingDepth sweeps LSM stack depth 0..4 on the open/close
 // hot path: the marginal cost of one more module in the chain.
 func BenchmarkStackingDepth(b *testing.B) {

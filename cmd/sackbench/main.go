@@ -9,6 +9,8 @@
 //	sackbench -fig 3b           Fig. 3(b) (overhead vs. transition period)
 //	sackbench -latency          §IV-B situation awareness latency
 //	sackbench -scale            decision throughput vs. goroutine count
+//	sackbench -ablation         uncached verdict: glob walk vs trie × AVC
+//	sackbench -matcher walk     force the glob-walk engine in -scale
 //	sackbench -all              everything
 //	sackbench -quick            reduce iteration counts (CI-sized run)
 package main
@@ -28,10 +30,17 @@ func main() {
 	latency := flag.Bool("latency", false, "measure situation awareness latency")
 	riscv := flag.Bool("riscv", false, "no-LSM vs independent SACK file read/write comparison")
 	scale := flag.Bool("scale", false, "decision throughput vs. goroutine count (lock-free read side)")
+	ablation := flag.Bool("ablation", false, "uncached decision cost: glob walk vs trie matcher, AVC off/on")
+	matcher := flag.String("matcher", "trie", "decision engine for -scale: trie or walk")
 	all := flag.Bool("all", false, "run every experiment")
 	quick := flag.Bool("quick", false, "smaller iteration counts")
 	repeats := flag.Int("repeats", 1, "median-of-N repetitions for tables")
 	flag.Parse()
+
+	if *matcher != "trie" && *matcher != "walk" {
+		fmt.Fprintf(os.Stderr, "sackbench: -matcher must be trie or walk, got %q\n", *matcher)
+		os.Exit(2)
+	}
 
 	opts := bench.Options{Repeats: *repeats}
 	if *quick {
@@ -111,12 +120,25 @@ func main() {
 	}
 	if *all || *scale {
 		ran = true
-		so := bench.ScaleOptions{}
+		so := bench.ScaleOptions{DisableMatcher: *matcher == "walk"}
 		if *quick {
 			so.Goroutines = []int{1, 4, 16}
 			so.OpsPerG = 20000
 		}
 		res, err := bench.RunScale(so)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("decision engine: %s\n", *matcher)
+		fmt.Println(res.Format())
+	}
+	if *all || *ablation {
+		ran = true
+		ao := bench.MatcherAblationOptions{}
+		if *quick {
+			ao.Iterations = 2000
+		}
+		res, err := bench.RunMatcherAblation(ao)
 		if err != nil {
 			fail(err)
 		}

@@ -15,6 +15,10 @@
 //	                               drive events, commit the new policy and
 //	                               print the diff the kernel applied
 //	sackctl pack [name]            list or print the embedded policy pack
+//	sackctl decide <policy-file> <subject> <object> <ops> [event...]  boot,
+//	                               drive events, answer one access query
+//	                               ("-" subject = unconfined; ops comma-
+//	                               separated, e.g. read,write)
 //	sackctl chaos <policy-file> <fault-spec> [event...]  drive events under
 //	                               fault injection, print pipeline health
 //	sackctl bundle push <url> <group> <policy-file>  validate and publish
@@ -161,6 +165,17 @@ func run(args []string, stdout, stderr io.Writer, readFile func(string) ([]byte,
 		}
 		fmt.Fprint(stdout, src)
 		return 0
+	case "decide":
+		if len(args) < 5 {
+			usage(stderr)
+			return 2
+		}
+		data, err := readFile(args[1])
+		if err != nil {
+			fmt.Fprintf(stderr, "sackctl: reading policy: %v\n", err)
+			return 1
+		}
+		return decide(string(data), args[2], args[3], args[4], args[5:], stdout, stderr)
 	case "chaos":
 		if len(args) < 3 {
 			usage(stderr)
@@ -201,6 +216,7 @@ func usage(w io.Writer) {
 	fmt.Fprintln(w, "       sackctl diff <old-file> <new-file>")
 	fmt.Fprintln(w, "       sackctl reload <old-file> <new-file> [event...]")
 	fmt.Fprintln(w, "       sackctl pack [name]")
+	fmt.Fprintln(w, "       sackctl decide <policy-file> <subject> <object> <ops> [event...]")
 	fmt.Fprintln(w, "       sackctl chaos <policy-file> <fault-spec> [event...]")
 	fmt.Fprintln(w, "       sackctl bundle push <url> <group> <policy-file>")
 	fmt.Fprintln(w, "       sackctl fleet status <url>")
@@ -287,6 +303,53 @@ func chaos(src, spec string, events []string, stdout, stderr io.Writer) int {
 	fmt.Fprintf(stdout, "final state: %s\n", system.CurrentState().Name)
 	fmt.Fprintf(stdout, "\n-- %s --\n%s", sack.PipelineFile, mustRead(task, sack.PipelineFile, stderr))
 	fmt.Fprintf(stdout, "\n-- fault injector --\n%s", system.Faults.Render())
+	return 0
+}
+
+// decide boots an independent SACK system on the policy, drives the
+// given events to move the SSM, then answers one access-control query
+// through the typed decision API — the verdict, the deciding rule, and
+// the situation state, with no counter or audit side effects. Exit code
+// 0 for allowed, 3 for denied, so scripts can branch on the verdict.
+func decide(src, subject, object, ops string, events []string, stdout, stderr io.Writer) int {
+	mask, err := sack.ParseAccess(ops)
+	if err != nil {
+		fmt.Fprintf(stderr, "sackctl: %v\n", err)
+		return 2
+	}
+	if subject == "-" {
+		subject = ""
+	}
+	system, err := sack.New(src)
+	if err != nil {
+		fmt.Fprintf(stderr, "sackctl: %v\n", err)
+		return 1
+	}
+	for _, ev := range events {
+		transitioned, from, to := system.DeliverEvent(sack.Event(ev))
+		if transitioned {
+			fmt.Fprintf(stdout, "event %q: %s -> %s\n", ev, from.Name, to.Name)
+		} else {
+			fmt.Fprintf(stdout, "event %q: ignored in state %s\n", ev, from.Name)
+		}
+	}
+	d, err := system.Check(subject, object, mask)
+	if err != nil {
+		fmt.Fprintf(stderr, "sackctl: %v\n", err)
+		return 1
+	}
+	verdict := "denied"
+	if d.Allowed {
+		verdict = "allowed"
+	}
+	fmt.Fprintf(stdout, "%s: %s %s in state %s\n", verdict, ops, object, d.State)
+	if d.Rule != nil {
+		fmt.Fprintf(stdout, "  rule:   %s\n", d.Rule.String())
+	}
+	fmt.Fprintf(stdout, "  reason: %s\n", d.Reason)
+	if !d.Allowed {
+		return 3
+	}
 	return 0
 }
 

@@ -9,12 +9,10 @@ import (
 	"repro/policies"
 )
 
-// ExampleNewSystem boots the full stack and shows a situation transition
+// ExampleNew boots the full stack and shows a situation transition
 // flipping a kernel-enforced permission.
-func ExampleNewSystem() {
-	sys, err := sack.NewSystem(sack.Options{
-		PolicyText: policies.MustLoad("emergency-doors"),
-	})
+func ExampleNew() {
+	sys, err := sack.New(policies.MustLoad("emergency-doors"))
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -33,10 +31,10 @@ func ExampleNewSystem() {
 	// emergency state: <nil>
 }
 
-// ExampleParsePolicy shows the policy checker catching a conflict the
+// ExampleCompile shows the policy checker catching a conflict the
 // administrator should review.
-func ExampleParsePolicy() {
-	_, vr, err := sack.ParsePolicy(`
+func ExampleCompile() {
+	_, vr, err := sack.Compile(`
 states { s }
 initial s
 permissions { P }
@@ -64,10 +62,7 @@ per_rules {
 // ExampleSystem_DeliverEvent demonstrates the SACKfs pseudo-file route a
 // real situation detection service uses.
 func ExampleSystem_DeliverEvent() {
-	sys, err := sack.NewSystem(sack.Options{
-		PolicyText:     policies.MustLoad("speed-gate"),
-		DisableVehicle: true,
-	})
+	sys, err := sack.New(policies.MustLoad("speed-gate"), sack.WithoutVehicle())
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -80,4 +75,28 @@ func ExampleSystem_DeliverEvent() {
 
 	// Output:
 	// high_speed (1)
+}
+
+// ExampleSystem_Check interrogates a live system through the decision
+// query API: the verdict plus the deciding rule and situation state,
+// with no counter or audit side effects.
+func ExampleSystem_Check() {
+	sys, err := sack.New(policies.MustLoad("emergency-doors"))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	d, err := sys.Check("/usr/bin/ivi", "/dev/vehicle/door0", sack.MayIoctl)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("normal: allowed=%v covered=%v state=%s\n", d.Allowed, d.Covered, d.State)
+
+	sys.DeliverEvent("crash_detected")
+	d, _ = sys.Check("/usr/bin/ivi", "/dev/vehicle/door0", sack.MayIoctl)
+	fmt.Printf("emergency: allowed=%v rule=%q\n", d.Allowed, d.Rule.String())
+
+	// Output:
+	// normal: allowed=false covered=true state=normal
+	// emergency: allowed=true rule="allow write,read,ioctl /dev/vehicle/door*"
 }

@@ -43,7 +43,7 @@ transitions {
 `
 
 func main() {
-	sys, err := sack.NewSystem(sack.Options{PolicyText: policyText})
+	sys, err := sack.New(policyText)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -104,7 +104,7 @@ func main() {
 
 	// --- Scenario B: same IVI with independent SACK ---
 	fmt.Println("\n--- with SACK (CONFIG_LSM=\"sack,capability\") ---")
-	sysB, err := sack.NewSystem(sack.Options{Mode: sack.Independent, PolicyText: policyText})
+	sysB, err := sack.New(policyText)
 	if err != nil {
 		log.Fatal(err)
 	}

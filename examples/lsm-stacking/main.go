@@ -59,11 +59,7 @@ profile radio /usr/bin/radio {
 `
 
 func main() {
-	sys, err := sack.NewSystem(sack.Options{
-		Mode:             sack.Independent,
-		PolicyText:       policyText,
-		AppArmorProfiles: aaProfiles,
-	})
+	sys, err := sack.New(policyText, sack.WithAppArmorProfiles(aaProfiles))
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -67,10 +67,9 @@ func (nullDev) WriteAt(_ *sack.Cred, d []byte, _ int64) (int, error)  { return l
 func (nullDev) Ioctl(*sack.Cred, uint64, uint64) (uint64, error)      { return 0, nil }
 
 func main() {
-	sys, err := sack.NewSystem(sack.Options{
-		PolicyText:     policyText,
-		DisableVehicle: true, // it's a house, not a car
-	})
+	sys, err := sack.New(policyText,
+		sack.WithoutVehicle(), // it's a house, not a car
+	)
 	if err != nil {
 		log.Fatal(err)
 	}

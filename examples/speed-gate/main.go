@@ -48,7 +48,7 @@ transitions {
 `
 
 func main() {
-	sys, err := sack.NewSystem(sack.Options{Mode: sack.Independent, PolicyText: policyText})
+	sys, err := sack.New(policyText)
 	if err != nil {
 		log.Fatal(err)
 	}

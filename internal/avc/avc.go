@@ -168,6 +168,19 @@ func (c *Cache) LookupAt(tok Token, subject, path string, mask sys.Access) (allo
 	return false, false
 }
 
+// PeekAt answers the same question as LookupAt without touching the
+// hit/miss counters. Introspection queries (sack's Decision API) use it
+// so asking "would this be served from the cache?" never skews the
+// hit-rate statistics the experiments report.
+func (c *Cache) PeekAt(tok Token, subject, path string, mask sys.Access) (allowed, ok bool) {
+	e := c.slots[c.index(subject, path, mask)].Load()
+	if e != nil && e.epoch == uint64(tok) && e.mask == mask &&
+		e.path == path && e.subject == subject {
+		return e.allowed, true
+	}
+	return false, false
+}
+
 // Insert stores a decision computed under the given token. If the epoch
 // has already moved on the insert is dropped: the decision's inputs may
 // be stale, and a dead entry would only waste the slot.

@@ -21,6 +21,18 @@ type Applier interface {
 	Reload(src string) (policy.DiffReport, error)
 }
 
+// CompiledApplier is the compile-once fast path: an Applier that can
+// also install an already compiled artifact directly. *sack.System
+// satisfies it (ReloadCompiled). When a fetched bundle carries the
+// control plane's compiled policy — the in-process transport does — the
+// agent prefers this and skips the per-vehicle parse/validate/compile
+// pass entirely; bundles arriving over the wire (Compiled == nil after
+// decode) fall back to Reload.
+type CompiledApplier interface {
+	Applier
+	ReloadCompiled(compiled *policy.Compiled, source string) (policy.DiffReport, error)
+}
+
 // Agent defaults.
 const (
 	DefaultPollWait    = 5 * time.Second
@@ -148,7 +160,12 @@ func (a *Agent) syncBundle() error {
 	if got := policy.ChecksumSource(b.Source); got != b.Checksum {
 		return fmt.Errorf("fleet: bundle %s checksum mismatch (got %s)", b.ETag(), got)
 	}
-	diff, err := a.cfg.Applier.Reload(b.Source)
+	var diff policy.DiffReport
+	if ca, ok := a.cfg.Applier.(CompiledApplier); ok && b.Compiled != nil {
+		diff, err = ca.ReloadCompiled(b.Compiled, b.Source)
+	} else {
+		diff, err = a.cfg.Applier.Reload(b.Source)
+	}
 	if err != nil {
 		return fmt.Errorf("apply bundle %s: %w", b.ETag(), err)
 	}

@@ -1,0 +1,79 @@
+package fleet
+
+import (
+	"testing"
+
+	"repro/internal/policy"
+)
+
+// compiledApplier extends fakeApplier with the compile-once fast path,
+// recording which path the agent chose.
+type compiledApplier struct {
+	fakeApplier
+	compiledApplies int
+}
+
+func (c *compiledApplier) ReloadCompiled(compiled *policy.Compiled, source string) (policy.DiffReport, error) {
+	c.mu.Lock()
+	c.compiledApplies++
+	c.mu.Unlock()
+	return c.Reload(source)
+}
+
+// TestPublishCarriesCompiledArtifact: the registry compiles at publish
+// time and the in-process bundle carries the artifact, while the wire
+// encoding drops it (DecodeBundle yields Compiled == nil).
+func TestPublishCarriesCompiledArtifact(t *testing.T) {
+	s := NewServer()
+	b, err := s.Publish("default", testPolicy)
+	if err != nil {
+		t.Fatalf("publish: %v", err)
+	}
+	if b.Compiled == nil {
+		t.Fatal("published bundle carries no compiled artifact")
+	}
+	if _, ok := b.Compiled.StateSets["normal"]; !ok {
+		t.Fatal("compiled artifact missing state rule sets")
+	}
+
+	decoded, err := policy.DecodeBundle(b.Encode())
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if decoded.Compiled != nil {
+		t.Fatal("compiled artifact crossed the wire encoding")
+	}
+}
+
+// TestAgentPrefersCompiledApply: an applier that supports ReloadCompiled
+// gets the publish-time artifact instead of recompiling the source.
+func TestAgentPrefersCompiledApply(t *testing.T) {
+	s := NewServer()
+	if _, err := s.Publish("default", testPolicy); err != nil {
+		t.Fatalf("publish: %v", err)
+	}
+	app := &compiledApplier{}
+	a, err := NewAgent(AgentConfig{Vehicle: "veh-0", Group: "default", Transport: s, Applier: app})
+	if err != nil {
+		t.Fatalf("agent: %v", err)
+	}
+	if err := a.SyncOnce(); err != nil {
+		t.Fatalf("sync: %v", err)
+	}
+	if app.compiledApplies != 1 || app.count() != 1 {
+		t.Fatalf("compiledApplies=%d applies=%d, want 1/1", app.compiledApplies, app.count())
+	}
+
+	// A plain Applier keeps working: same bundle, legacy path.
+	plain := &fakeApplier{}
+	a2, err := NewAgent(AgentConfig{Vehicle: "veh-1", Group: "default", Transport: s, Applier: plain})
+	if err != nil {
+		t.Fatalf("agent: %v", err)
+	}
+	if err := a2.SyncOnce(); err != nil {
+		t.Fatalf("sync: %v", err)
+	}
+	if plain.count() != 1 {
+		t.Fatalf("plain applier applies=%d, want 1", plain.count())
+	}
+}

@@ -18,6 +18,14 @@ type Bundle struct {
 	Generation uint64 // monotonic per group, assigned at publish time
 	Checksum   string // hex SHA-256 of Source
 	Source     string // SACK policy text
+
+	// Compiled is the enforcement-ready artifact for Source, populated by
+	// the registry at publish time so in-process consumers (the fleet
+	// agent's apply path) skip re-validating and re-compiling per vehicle.
+	// It never crosses the wire: Encode omits it and DecodeBundle leaves
+	// it nil — the HTTP path compiles locally once after checksum
+	// verification. Consumers must treat it as immutable.
+	Compiled *Compiled
 }
 
 // bundleMagic heads the wire encoding; the version suffix lets the

@@ -60,9 +60,15 @@ type RuleSet struct {
 	rules    []CompiledRule
 	buckets  map[string][]int // first path segment -> rule indices
 	wildcard []int            // rules with non-literal first segment
+
+	// matcher is the trie-compiled decision engine over the same rules,
+	// built once here (compile/publish time) and exact with respect to
+	// Decide; nil when the set exceeds the matcher's rule bound.
+	matcher *Matcher
 }
 
-// NewRuleSet builds a rule set for a state.
+// NewRuleSet builds a rule set for a state, including its trie-compiled
+// matcher (the publish-time compilation step of DESIGN.md §10).
 func NewRuleSet(state string, rules []CompiledRule) *RuleSet {
 	rs := &RuleSet{State: state, rules: rules, buckets: make(map[string][]int)}
 	for i := range rules {
@@ -73,8 +79,13 @@ func NewRuleSet(state string, rules []CompiledRule) *RuleSet {
 			rs.wildcard = append(rs.wildcard, i)
 		}
 	}
+	rs.matcher = newMatcher(rs)
 	return rs
 }
+
+// Matcher returns the trie-compiled decision engine for this rule set,
+// or nil when the set is too large to index (callers then use Decide).
+func (rs *RuleSet) Matcher() *Matcher { return rs.matcher }
 
 // firstSegment extracts the first path component of a pattern and
 // whether it is metacharacter-free.
@@ -176,9 +187,11 @@ func (rs *RuleSet) DecideLinear(subject, path string, mask sys.Access) (allowed 
 type Coverage struct {
 	buckets  map[string][]*glob.Glob
 	wildcard []*glob.Glob
+	trie     *coverTrie
 }
 
-// NewCoverage indexes the patterns.
+// NewCoverage indexes the patterns, both in the first-segment buckets
+// the walk engine scans and in the segment trie the fast path probes.
 func NewCoverage(patterns []*glob.Glob) *Coverage {
 	c := &Coverage{buckets: make(map[string][]*glob.Glob)}
 	for _, g := range patterns {
@@ -189,11 +202,22 @@ func NewCoverage(patterns []*glob.Glob) *Coverage {
 			c.wildcard = append(c.wildcard, g)
 		}
 	}
+	c.trie = newCoverTrie(patterns)
 	return c
 }
 
-// Covers reports whether any policy pattern matches path.
+// Covers reports whether any policy pattern matches path — the trie
+// walk: O(path segments) with early exit, no glob-engine pass over the
+// pattern list.
 func (c *Coverage) Covers(path string) bool {
+	return c.trie.covers(path)
+}
+
+// CoversWalk answers the same question with the pre-trie bucket scan.
+// It exists for the matcher ablation benchmarks and the differential
+// suite that proves the two engines agree; enforcement uses Covers
+// unless the walk engine was selected for the whole decision path.
+func (c *Coverage) CoversWalk(path string) bool {
 	seg, _ := firstSegment(path)
 	for _, g := range c.buckets[seg] {
 		if g.Match(path) {

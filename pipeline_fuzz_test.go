@@ -59,7 +59,7 @@ func TestPipelineFuzzRandomTraces(t *testing.T) {
 	for seed := int64(0); seed < 25; seed++ {
 		seed := seed
 		t.Run(fmt.Sprintf("seed-%d", seed), func(t *testing.T) {
-			sys, err := sack.NewSystem(sack.Options{PolicyText: fuzzPolicy})
+			sys, err := sack.New(fuzzPolicy)
 			if err != nil {
 				t.Fatal(err)
 			}

@@ -34,6 +34,8 @@ package sack
 
 import (
 	"fmt"
+	"strings"
+	"sync"
 	"time"
 
 	"repro/internal/apparmor"
@@ -78,6 +80,13 @@ type (
 	// ReloadStatus is a snapshot of the policy reload transaction state
 	// (generation, source hash, applied diff, remap events).
 	ReloadStatus = core.ReloadStatus
+	// Decision is the fully explained result of one access query: the
+	// verdict plus coverage, cache, failsafe-pinning, the deciding rule,
+	// and the situation state it was evaluated under.
+	Decision = core.Decision
+	// Access is an access mask (the kernel's MAY_* bits); combine with
+	// bitwise or. Returned rules and decision queries speak this type.
+	Access = sys.Access
 	// Cred is a task credential.
 	Cred = sys.Cred
 	// Errno is a simulated kernel error number.
@@ -155,6 +164,43 @@ const (
 	ENOENT = sys.ENOENT
 )
 
+// Access bits for decision queries (System.Check). These mirror the
+// operation names policy rules use.
+const (
+	MayExec   = sys.MayExec
+	MayWrite  = sys.MayWrite
+	MayRead   = sys.MayRead
+	MayAppend = sys.MayAppend
+	MayIoctl  = sys.MayIoctl
+	MayMmap   = sys.MayMmap
+	MayCreate = sys.MayCreate
+	MayUnlink = sys.MayUnlink
+	MayLock   = sys.MayLock
+)
+
+// ParseAccess maps a comma-separated list of policy operation names
+// ("read", "write,ioctl", ...) to an access mask. Unknown names yield an
+// error rather than a silent zero mask.
+func ParseAccess(ops string) (Access, error) {
+	var mask Access
+	for _, op := range strings.Split(ops, ",") {
+		op = strings.TrimSpace(op)
+		if op == "" {
+			continue
+		}
+		bit := sys.ParseAccess(op)
+		if bit == 0 {
+			return 0, fmt.Errorf("sack: unknown access operation %q (known: %s)",
+				op, strings.Join(sys.AccessNames(), ","))
+		}
+		mask |= bit
+	}
+	if mask == 0 {
+		return 0, fmt.Errorf("sack: empty access mask")
+	}
+	return mask, nil
+}
+
 // EventsFile is the SACKfs pseudo-file situation events are written to.
 const EventsFile = core.EventsFile
 
@@ -197,20 +243,36 @@ type EventSink interface {
 // IsErrno reports whether err is the given kernel error.
 func IsErrno(err error, e Errno) bool { return sys.IsErrno(err, e) }
 
-// ParsePolicy parses, validates, and compiles SACK policy text. The
-// validation result carries warnings even on success.
-func ParsePolicy(text string) (*CompiledPolicy, *ValidationResult, error) {
+// Compile is the one compile entrypoint: parse, validate, and lower
+// SACK policy text into an enforcement-ready artifact, including each
+// state's trie-compiled matcher. The result is immutable and reusable —
+// boot any number of systems from it, hand it to ReloadCompiled, or
+// publish it to a whole fleet group, paying the compilation cost once at
+// publish time rather than once per vehicle. The validation result
+// carries warnings even on success; on validation failure it carries the
+// findings alongside the error (nil only when parsing itself failed).
+func Compile(text string) (*CompiledPolicy, *ValidationResult, error) {
 	return policy.Load(text)
 }
 
-// CheckPolicy runs only the policy checker, returning all findings
-// without compiling.
+// ParsePolicy parses, validates, and compiles SACK policy text.
+//
+// Deprecated: use Compile; ParsePolicy is the same call under the
+// pre-compile-API name.
+func ParsePolicy(text string) (*CompiledPolicy, *ValidationResult, error) {
+	return Compile(text)
+}
+
+// CheckPolicy runs the policy checker, returning all findings. It is a
+// thin wrapper over Compile that discards the artifact; the returned
+// error reports only parse failures — validation errors are delivered as
+// findings in the result.
 func CheckPolicy(text string) (*ValidationResult, error) {
-	f, err := policy.Parse(text)
-	if err != nil {
+	_, vr, err := Compile(text)
+	if vr == nil {
 		return nil, err
 	}
-	return policy.Validate(f), nil
+	return vr, nil
 }
 
 // ParseProfiles parses AppArmor profile text.
@@ -240,6 +302,13 @@ type Options struct {
 	DisableAVC bool
 	// AVCSize overrides the AVC slot count; 0 selects the default.
 	AVCSize int
+	// DisableMatcher selects the legacy glob-walk decision engine instead
+	// of the trie-compiled matcher (ablation runs; verdicts identical).
+	DisableMatcher bool
+	// AuditFlushInterval, when positive, starts a background audit
+	// flusher draining captured records into the ring at this period.
+	// Stop it with System.Close.
+	AuditFlushInterval time.Duration
 	// Failsafe overrides the policy's declared fail-safe state. The
 	// state must exist in the policy.
 	Failsafe string
@@ -307,6 +376,29 @@ func WithoutAVC() Option {
 // to a power of two; n <= 0 selects the default).
 func WithAVCSize(n int) Option {
 	return func(o *Options) { o.AVCSize = n }
+}
+
+// WithoutMatcher pins enforcement to the legacy glob-walk decision
+// engine instead of the trie-compiled matcher. Verdicts are identical
+// either way — the option exists for the matcher ablation benchmarks and
+// the differential suite that proves the equivalence.
+func WithoutMatcher() Option {
+	return func(o *Options) { o.DisableMatcher = true }
+}
+
+// WithAuditFlusher starts a background goroutine draining captured audit
+// records into the ring every interval, bounding how stale reads of the
+// ring can be without putting a flush on any hook path. Captures remain
+// lossless regardless — reads flush on demand and full shards flush
+// inline. Stop the goroutine with System.Close. A non-positive interval
+// selects the flusher's default period (5ms).
+func WithAuditFlusher(interval time.Duration) Option {
+	return func(o *Options) {
+		if interval <= 0 {
+			interval = 5 * time.Millisecond
+		}
+		o.AuditFlushInterval = interval
+	}
 }
 
 // WithFailsafe names the state the SSM pins to when the pipeline
@@ -389,6 +481,22 @@ type System struct {
 
 	sink     kernelSink // pre-built Events() adapter (no per-call alloc)
 	hbSecret []byte     // shared heartbeat secret, forwarded to NewSDS
+
+	closeOnce sync.Once
+	stopFlush func() // halts the audit flusher; nil when not started
+}
+
+// Close releases background resources the system owns — today the audit
+// flusher started by WithAuditFlusher (stopping it performs a final
+// drain). Systems booted without such options need no Close; calling it
+// is always safe and idempotent.
+func (s *System) Close() error {
+	s.closeOnce.Do(func() {
+		if s.stopFlush != nil {
+			s.stopFlush()
+		}
+	})
+	return nil
 }
 
 // kernelSink adapts the SACK module's direct delivery path to EventSink.
@@ -418,7 +526,7 @@ func boot(opts Options) (*System, error) {
 	if opts.PolicyText == "" {
 		return nil, fmt.Errorf("sack: Options.PolicyText is required")
 	}
-	compiled, vr, err := policy.Load(opts.PolicyText)
+	compiled, vr, err := Compile(opts.PolicyText)
 	if err != nil {
 		return nil, err
 	}
@@ -454,6 +562,7 @@ func boot(opts Options) (*System, error) {
 		AppArmor:        aa,
 		DisableAVC:      opts.DisableAVC,
 		AVCSize:         opts.AVCSize,
+		DisableMatcher:  opts.DisableMatcher,
 		Failsafe:        opts.Failsafe,
 		HeartbeatWindow: opts.HeartbeatWindow,
 		HeartbeatSecret: opts.HeartbeatSecret,
@@ -489,6 +598,9 @@ func boot(opts Options) (*System, error) {
 	out := &System{Kernel: k, SACK: s, AppArmor: aa, Audit: k.Audit}
 	out.sink = kernelSink{s: s}
 	out.hbSecret = opts.HeartbeatSecret
+	if opts.AuditFlushInterval > 0 {
+		out.stopFlush = k.Audit.StartFlusher(opts.AuditFlushInterval)
+	}
 	if opts.FaultPlan != nil {
 		out.Faults = faults.New(opts.FaultPlan)
 	}
@@ -563,11 +675,43 @@ func (s *System) CurrentState() State { return s.SACK.CurrentState() }
 // AVC epoch bumps exactly once. It returns the diff that was actually
 // applied; on error nothing changes and the running policy stays live.
 func (s *System) Reload(src string) (DiffReport, error) {
-	compiled, _, err := policy.Load(src)
+	compiled, _, err := Compile(src)
 	if err != nil {
 		return DiffReport{}, err
 	}
 	return s.SACK.ReplacePolicy(compiled, src)
+}
+
+// ReloadCompiled transactionally installs an already compiled policy
+// with the same coherence guarantees as Reload, skipping the parse,
+// validation, and compilation passes. The fleet agent uses this when a
+// bundle carries the control plane's compiled artifact, so a policy
+// published to a thousand-vehicle group is compiled once at publish
+// time, not a thousand times at apply time. source must be the policy
+// text the artifact was compiled from (it is echoed through SACKfs and
+// hashed into the reload status).
+func (s *System) ReloadCompiled(compiled *CompiledPolicy, source string) (DiffReport, error) {
+	if compiled == nil {
+		return DiffReport{}, fmt.Errorf("sack: ReloadCompiled needs a compiled policy")
+	}
+	return s.SACK.ReplacePolicy(compiled, source)
+}
+
+// Check asks what the enforcement fast path would decide for a
+// (subject, object, access) triple, with the full explanation — verdict,
+// coverage, AVC residency, failsafe pinning, the deciding rule, and the
+// situation state. The query has no side effects: counters, audit, and
+// the cache are untouched, so tools can interrogate a live system
+// without skewing its statistics.
+func (s *System) Check(subject, object string, mask Access) (Decision, error) {
+	return s.SACK.Check(subject, object, mask)
+}
+
+// CheckTask is Check with the subject taken from a task's credential,
+// exactly as the LSM hooks resolve it (the executable path recorded at
+// exec time).
+func (s *System) CheckTask(task *Task, object string, mask Access) (Decision, error) {
+	return s.SACK.CheckCred(task.Cred, object, mask)
 }
 
 // NewSDS wires a situation detection service over the system's vehicle:

@@ -42,15 +42,30 @@ transitions {
 }
 `
 
-func TestNewSystemValidation(t *testing.T) {
+func TestNewValidation(t *testing.T) {
+	if _, err := sack.New(""); err == nil {
+		t.Fatal("empty policy accepted")
+	}
+	if _, err := sack.New("states {"); err == nil {
+		t.Fatal("syntax error accepted")
+	}
+	if _, err := sack.New("states { a a }"); err == nil {
+		t.Fatal("validation error accepted")
+	}
+}
+
+// TestNewSystemShim keeps the deprecated struct-options constructor
+// working: it must behave exactly like New.
+func TestNewSystemShim(t *testing.T) {
 	if _, err := sack.NewSystem(sack.Options{}); err == nil {
 		t.Fatal("empty options accepted")
 	}
-	if _, err := sack.NewSystem(sack.Options{PolicyText: "states {"}); err == nil {
-		t.Fatal("syntax error accepted")
+	sys, err := sack.NewSystem(sack.Options{Mode: sack.Independent, PolicyText: basicPolicy})
+	if err != nil {
+		t.Fatal(err)
 	}
-	if _, err := sack.NewSystem(sack.Options{PolicyText: "states { a a }"}); err == nil {
-		t.Fatal("validation error accepted")
+	if sys.CurrentState().Name != "normal" {
+		t.Fatalf("state = %q", sys.CurrentState().Name)
 	}
 }
 
@@ -73,7 +88,7 @@ func TestPublicAPIPolicyHelpers(t *testing.T) {
 }
 
 func TestFullPipelineSDSToEnforcement(t *testing.T) {
-	sys, err := sack.NewSystem(sack.Options{Mode: sack.Independent, PolicyText: basicPolicy})
+	sys, err := sack.New(basicPolicy)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -157,12 +172,11 @@ transitions {
 				if mode.m == 1 {
 					m = sack.EnhancedAppArmor
 				}
-				sys, err := sack.NewSystem(sack.Options{
-					Mode:             m,
-					PolicyText:       makePolicy(i),
-					AppArmorProfiles: aaProfiles,
-					DisableVehicle:   true,
-				})
+				sys, err := sack.New(makePolicy(i),
+					sack.WithMode(m),
+					sack.WithAppArmorProfiles(aaProfiles),
+					sack.WithoutVehicle(),
+				)
 				if err != nil {
 					t.Fatalf("boot: %v", err)
 				}
@@ -239,7 +253,7 @@ transitions {
   s3 -> s0 on e3
 }
 `
-	sys, err := sack.NewSystem(sack.Options{PolicyText: policy, DisableVehicle: true})
+	sys, err := sack.New(policy, sack.WithoutVehicle())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -267,10 +281,7 @@ transitions {
 }
 
 func TestEnhancedModeThroughFacade(t *testing.T) {
-	sys, err := sack.NewSystem(sack.Options{
-		Mode:       sack.EnhancedAppArmor,
-		PolicyText: basicPolicy,
-	})
+	sys, err := sack.New(basicPolicy, sack.WithMode(sack.EnhancedAppArmor))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -323,7 +334,7 @@ profile rescued /usr/bin/rescued {
 }
 
 func TestAuditVisibleThroughFacade(t *testing.T) {
-	sys, err := sack.NewSystem(sack.Options{PolicyText: basicPolicy})
+	sys, err := sack.New(basicPolicy)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -344,7 +355,7 @@ func TestAuditVisibleThroughFacade(t *testing.T) {
 }
 
 func TestStateIntrospectionFiles(t *testing.T) {
-	sys, err := sack.NewSystem(sack.Options{PolicyText: basicPolicy, DisableVehicle: true})
+	sys, err := sack.New(basicPolicy, sack.WithoutVehicle())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -374,7 +385,7 @@ func TestStateIntrospectionFiles(t *testing.T) {
 }
 
 func TestPolicyReloadThroughSACKfs(t *testing.T) {
-	sys, err := sack.NewSystem(sack.Options{PolicyText: basicPolicy, DisableVehicle: true})
+	sys, err := sack.New(basicPolicy, sack.WithoutVehicle())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -416,9 +427,8 @@ profile guarded /usr/bin/guarded {
 				if label == "enhanced" {
 					m = sack.EnhancedAppArmor
 				}
-				sys, err := sack.NewSystem(sack.Options{
-					Mode: m, PolicyText: src, AppArmorProfiles: aaProfiles,
-				})
+				sys, err := sack.New(src,
+					sack.WithMode(m), sack.WithAppArmorProfiles(aaProfiles))
 				if err != nil {
 					t.Fatalf("boot: %v", err)
 				}

@@ -27,9 +27,7 @@ type scenarioRig struct {
 }
 
 func newScenarioRig(t *testing.T) *scenarioRig {
-	sys, err := sack.NewSystem(sack.Options{
-		PolicyText: policies.MustLoad("fig2-four-states"),
-	})
+	sys, err := sack.New(policies.MustLoad("fig2-four-states"))
 	if err != nil {
 		t.Fatal(err)
 	}
