@@ -3,11 +3,11 @@
 
 GO ?= go
 
-.PHONY: all check vet build test race bench bench-avc bench-ablation bench-smoke chaos reload-stress fleet-stress parallel-stress matcher-diff profile
+.PHONY: all check vet build test race bench bench-avc bench-ablation bench-smoke chaos reload-stress fleet-stress parallel-stress resilience-stress matcher-diff profile
 
 all: check
 
-check: vet build race chaos reload-stress fleet-stress parallel-stress matcher-diff bench-smoke
+check: vet build race chaos reload-stress fleet-stress parallel-stress resilience-stress matcher-diff bench-smoke
 
 vet:
 	$(GO) vet ./...
@@ -47,6 +47,15 @@ fleet-stress:
 	$(GO) test -race -count=1 -run 'TestFleet' .
 	$(GO) test -race -count=1 ./internal/fleet ./cmd/fleetd
 
+# Resilience×faults chaos suite: the policy-kit unit tests (virtual
+# clocks, no real sleeps) plus the system-scope crosses — a flapping
+# control plane must never block the decision loop, and a flooding
+# vehicle group must not move another group's convergence schedule —
+# all under the race detector.
+resilience-stress:
+	$(GO) test -race -count=1 ./internal/resilience
+	$(GO) test -race -count=1 -run 'TestChaosFlappingControlPlaneNeverBlocksDecisions|TestChaosFloodedGroupDoesNotStarveQuietGroup|TestResilience' .
+
 # Full benchmark sweep (paper tables/figures + ablations).
 bench:
 	$(GO) test -run '^$$' -bench . -benchmem .
@@ -83,6 +92,8 @@ matcher-diff:
 bench-smoke:
 	$(GO) test -run '^$$' -bench 'BenchmarkParallelDecision/sack-covered/goroutines=(1|16)$$' -benchtime 1x .
 	$(GO) test -count=1 -run 'TestUncachedLatencyGuard|TestMatcherZeroAllocUncached' -v .
+	$(GO) test -run '^$$' -bench 'BenchmarkResilienceOverhead' -benchtime 1000x ./internal/resilience
+	$(GO) test -count=1 -run 'TestStackHappyPathZeroAllocs|TestResilienceOverheadGuard' -v ./internal/resilience
 
 # Parallel benchmark under the mutex/block/CPU profilers. Artifacts land
 # in bench/; EXPERIMENTS.md ("Multi-core scalability") explains how to

@@ -4,7 +4,8 @@
 //
 // Usage:
 //
-//	fleetd [-addr 127.0.0.1:7443] [-log-capacity N] [-group g -policy file]...
+//	fleetd [-addr 127.0.0.1:7443] [-log-capacity N]
+//	       [-group-admissions N] [-group-queue N] [-group g -policy file]...
 //
 // Each -group/-policy pair seeds the registry with generation 1 for
 // that group. Further generations are published at runtime with
@@ -67,6 +68,8 @@ func newServer(args []string, stdout, stderr io.Writer) (*fleet.Server, string, 
 	addr := fs.String("addr", "127.0.0.1:7443", "listen address (loopback)")
 	logCap := fs.Int("log-capacity", fleet.DefaultLogCapacity, "decision-log ingestion buffer capacity (records)")
 	shards := fs.Int("shards", fleet.DefaultShards, "vehicle-state shard count")
+	groupAdmissions := fs.Int("group-admissions", fleet.DefaultGroupAdmissions, "concurrent log ingestions admitted per vehicle group (bulkhead)")
+	groupQueue := fs.Int("group-queue", fleet.DefaultGroupQueue, "ingestions queued per group beyond the admission limit; excess is shed with 429")
 	var groups, policies []string
 	fs.Var(pairList{&groups}, "group", "vehicle group to seed (repeatable, paired with -policy)")
 	fs.Var(pairList{&policies}, "policy", "policy file seeding the matching -group")
@@ -78,7 +81,8 @@ func newServer(args []string, stdout, stderr io.Writer) (*fleet.Server, string, 
 		return nil, "", 2
 	}
 
-	srv := fleet.NewServer(fleet.WithLogCapacity(*logCap), fleet.WithShards(*shards))
+	srv := fleet.NewServer(fleet.WithLogCapacity(*logCap), fleet.WithShards(*shards),
+		fleet.WithGroupBulkhead(*groupAdmissions, *groupQueue))
 	for i, g := range groups {
 		src, err := os.ReadFile(policies[i])
 		if err != nil {

@@ -33,6 +33,8 @@ import (
 	"time"
 
 	sack "repro"
+	"repro/internal/fleet"
+	"repro/internal/resilience"
 	"repro/internal/sds"
 	"repro/internal/trace"
 )
@@ -162,12 +164,15 @@ func run(cfg runConfig) int {
 		if vehicleID == "" {
 			vehicleID = "sackmon"
 		}
+		// The monitoring agent runs the full default stack (retry,
+		// breaker, timeout, cached-bundle fallback) so its policy
+		// stats below show real breaker state against a flaky fleetd.
 		opts = append(opts, sack.WithFleet(sack.FleetAgentConfig{
 			Vehicle:   vehicleID,
 			Group:     cfg.fleetGroup,
 			Transport: sack.NewFleetClient(cfg.fleetURL),
 			PollWait:  time.Millisecond,
-		}))
+		}, fleet.WithDefaultResilience()))
 	}
 	sys, err := sack.New(policyText, opts...)
 	if err != nil {
@@ -268,6 +273,10 @@ func run(cfg runConfig) int {
 			return 1
 		}
 		fmt.Fprintf(stdout, "\n-- fleet %s --\n%s", cfg.fleetURL, st.Render())
+		if sys.Fleet != nil {
+			fmt.Fprintf(stdout, "-- agent policy --\n%s",
+				resilience.Render(resilience.StatsOf(sys.Fleet.Policy())))
+		}
 	}
 	return 0
 }

@@ -2,14 +2,15 @@ package fleet
 
 import (
 	"context"
+	"errors"
 	"fmt"
-	"math/rand"
 	"sync"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/lsm"
 	"repro/internal/policy"
+	"repro/internal/resilience"
 )
 
 // Applier is the vehicle-side apply primitive: PR 3's transactional
@@ -56,20 +57,86 @@ type AgentConfig struct {
 	// degraded/failsafe-pinned health.
 	Pipeline *core.Pipeline
 
-	PollWait    time.Duration // long-poll hold time for FetchBundle
-	Interval    time.Duration // pause between successful sync rounds
-	BackoffBase time.Duration // first retry delay after a failed round
-	BackoffMax  time.Duration // retry delay ceiling
-	BatchSize   int           // max records per UploadLogs call
-	JitterSeed  int64         // seeds backoff jitter (0 = derive from vehicle ID)
+	PollWait  time.Duration // long-poll hold time for FetchBundle
+	Interval  time.Duration // pause between successful sync rounds
+	BatchSize int           // max records per UploadLogs call
+
+	// Deprecated: retry pacing now lives in a resilience.Policy passed
+	// via WithPolicy. When no policy option is given these three fields
+	// construct the equivalent stack — a resilience.Retry with the same
+	// full-jitter exponential backoff and the same seed derivation the
+	// agent's historical hand-rolled loop used — so existing configs
+	// behave identically (see TestAgentBackoffShimEquivalence).
+	BackoffBase time.Duration // Deprecated: first retry delay after a failed round
+	BackoffMax  time.Duration // Deprecated: retry delay ceiling
+	JitterSeed  int64         // Deprecated: seeds backoff jitter (0 = derive from vehicle ID)
+}
+
+// AgentOption customises an Agent beyond AgentConfig — the resilience
+// policy that guards its sync rounds, the clock that paces it, and the
+// cached-bundle fallback.
+type AgentOption func(*agentOptions)
+
+type agentOptions struct {
+	policy   resilience.Policy
+	clock    resilience.Clock
+	fallback bool
+	defaults bool
+}
+
+// WithPolicy installs the resilience policy that guards every sync
+// round: Run executes one round as policy.Do(ctx, round), so the
+// policy's retries, breaker, timeout, and sheds govern how the agent
+// rides out a flaky control plane. It replaces the deprecated
+// BackoffBase/BackoffMax/JitterSeed fields; when both are present the
+// policy wins.
+func WithPolicy(p resilience.Policy) AgentOption {
+	return func(o *agentOptions) { o.policy = p }
+}
+
+// WithAgentClock injects the clock that paces the agent's Run loop and
+// its default policies. Tests pass a resilience.VirtualClock to drive
+// the agent in virtual time.
+func WithAgentClock(c resilience.Clock) AgentOption {
+	return func(o *agentOptions) { o.clock = c }
+}
+
+// WithCachedBundleFallback wraps the agent's policy (given or default)
+// in a fallback that degrades a failed sync round to success whenever a
+// previously applied bundle is available: the vehicle keeps deciding on
+// the cached bundle instead of escalating, and the round is counted in
+// VehicleStatus.Fallbacks. Rounds before any bundle was applied still
+// fail normally.
+func WithCachedBundleFallback() AgentOption {
+	return func(o *agentOptions) { o.fallback = true }
+}
+
+// DefaultResilienceAttempts bounds one WithDefaultResilience sync
+// round: after this many failed attempts the round falls back to the
+// cached bundle (when one is applied) instead of retrying forever, so a
+// round's wall-clock cost is bounded and the vehicle's decision loop is
+// never starved by a dead control plane.
+const DefaultResilienceAttempts = 4
+
+// WithDefaultResilience installs the recommended control-plane stack:
+// cached-bundle fallback wrapping a bounded retry (full jitter, the
+// config's backoff envelope) wrapping a circuit breaker wrapping a
+// per-attempt timeout. A flapping or stalled fleetd trips the breaker,
+// attempts short-circuit fast, backoff paces the probes, and the
+// vehicle keeps running its cached bundle the whole time.
+func WithDefaultResilience() AgentOption {
+	return func(o *agentOptions) { o.defaults = true; o.fallback = true }
 }
 
 // Agent is the vehicle-side fleet client: it polls the control plane
 // for policy bundles, applies them through the kernel's transactional
 // reload, reports status, and ships the audit ring upstream in batches.
+// Sync rounds run under a resilience.Policy (WithPolicy, or a stack
+// equivalent to the deprecated backoff fields).
 type Agent struct {
-	cfg AgentConfig
-	rng *rand.Rand
+	cfg    AgentConfig
+	policy resilience.Policy
+	clock  resilience.Clock
 
 	mu      sync.Mutex
 	etag    string
@@ -83,11 +150,28 @@ type Agent struct {
 	pending   []LogRecord // exported from the ring, not yet accepted upstream
 	syncs     uint64
 	syncFails uint64
+	fallbacks uint64 // rounds degraded to the cached bundle
+	shedSeen  uint64 // rounds shed by a server-side bulkhead (429)
 	lastErr   string
 }
 
-// NewAgent validates the config and builds an agent.
-func NewAgent(cfg AgentConfig) (*Agent, error) {
+// DeriveJitterSeed is the agent's historical seed derivation: a small
+// polynomial hash of the vehicle ID, so every vehicle gets a distinct,
+// reproducible jitter stream without configuration.
+func DeriveJitterSeed(vehicle string) int64 {
+	var seed int64
+	for _, c := range vehicle {
+		seed = seed*131 + int64(c)
+	}
+	return seed
+}
+
+// NewAgent validates the config and builds an agent. Options customise
+// the resilience policy and clock; with no WithPolicy /
+// WithDefaultResilience option the deprecated backoff fields build the
+// equivalent retry stack, preserving the historical Run behaviour
+// exactly.
+func NewAgent(cfg AgentConfig, opts ...AgentOption) (*Agent, error) {
 	if cfg.Vehicle == "" || cfg.Group == "" {
 		return nil, fmt.Errorf("fleet: agent needs a vehicle id and group")
 	}
@@ -109,19 +193,74 @@ func NewAgent(cfg AgentConfig) (*Agent, error) {
 	if cfg.BatchSize <= 0 {
 		cfg.BatchSize = DefaultBatchSize
 	}
+	var o agentOptions
+	for _, opt := range opts {
+		opt(&o)
+	}
+	if o.clock == nil {
+		o.clock = resilience.RealClock{}
+	}
+	a := &Agent{cfg: cfg, clock: o.clock}
+
 	seed := cfg.JitterSeed
 	if seed == 0 {
-		for _, c := range cfg.Vehicle {
-			seed = seed*131 + int64(c)
-		}
+		seed = DeriveJitterSeed(cfg.Vehicle)
 	}
-	return &Agent{cfg: cfg, rng: rand.New(rand.NewSource(seed))}, nil
+	switch {
+	case o.policy != nil:
+		a.policy = o.policy
+	case o.defaults:
+		a.policy = resilience.Stack(
+			resilience.NewRetry(resilience.RetryConfig{
+				Attempts: DefaultResilienceAttempts,
+				Base:     cfg.BackoffBase, Max: cfg.BackoffMax, Seed: seed, Clock: o.clock,
+			}),
+			resilience.NewBreaker(resilience.BreakerConfig{Clock: o.clock}),
+			resilience.NewTimeout(resilience.TimeoutConfig{
+				Limit: cfg.PollWait + resilience.DefaultTimeout, Clock: o.clock,
+			}),
+		)
+	default:
+		// Deprecated-field shim: the historical hand-rolled backoff loop
+		// as a single retry policy — same formula, same seed, same
+		// schedule.
+		a.policy = resilience.NewRetry(resilience.RetryConfig{
+			Base: cfg.BackoffBase, Max: cfg.BackoffMax, Seed: seed, Clock: o.clock,
+		})
+	}
+	if o.fallback {
+		a.policy = resilience.Stack(a.cachedBundleFallback(), a.policy)
+	}
+	return a, nil
 }
 
-// SyncOnce runs one full agent round: fetch (long-poll) → verify →
-// apply → export logs → report status. It returns the first transport
-// or apply error; partial progress (an applied bundle, uploaded
-// batches) is kept and the next round resumes from it.
+// cachedBundleFallback rescues a failed round when a bundle is already
+// applied: the decision loop keeps running on the cached policy.
+func (a *Agent) cachedBundleFallback() resilience.Policy {
+	return resilience.NewFallback(
+		func(error) bool {
+			a.mu.Lock()
+			defer a.mu.Unlock()
+			return a.applied.Generation > 0
+		},
+		func(ctx context.Context, err error) error {
+			a.mu.Lock()
+			a.fallbacks++
+			a.mu.Unlock()
+			return nil
+		},
+	)
+}
+
+// Policy returns the resilience policy guarding the agent's sync
+// rounds (for introspection: resilience.StatsOf, resilience.BreakerOf).
+func (a *Agent) Policy() resilience.Policy { return a.policy }
+
+// SyncOnce runs one raw agent round with no policy involved: fetch
+// (long-poll) → verify → apply → export logs → report status. It
+// returns the first transport or apply error; partial progress (an
+// applied bundle, uploaded batches) is kept and the next round resumes
+// from it. Sync wraps this in the agent's resilience policy.
 func (a *Agent) SyncOnce() error {
 	err := a.syncBundle()
 	if uerr := a.shipLogs(); err == nil {
@@ -134,12 +273,32 @@ func (a *Agent) SyncOnce() error {
 	a.syncs++
 	if err != nil {
 		a.syncFails++
+		if errors.Is(err, resilience.ErrBulkheadFull) {
+			a.shedSeen++
+		}
 		a.lastErr = err.Error()
 	} else {
 		a.lastErr = ""
 	}
 	a.mu.Unlock()
 	return err
+}
+
+// Sync runs one policied round: the agent's resilience policy (with
+// its retries, breaker, timeout, and fallback) around SyncOnce. It
+// returns nil when a round eventually succeeded or the fallback served
+// the cached bundle; the error otherwise.
+func (a *Agent) Sync(ctx context.Context) error {
+	return a.policy.Do(ctx, a.round)
+}
+
+// round adapts SyncOnce to a resilience.Op, honouring cancellation
+// between attempts (the transports themselves predate contexts).
+func (a *Agent) round(ctx context.Context) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	return a.SyncOnce()
 }
 
 func (a *Agent) syncBundle() error {
@@ -236,7 +395,9 @@ func (a *Agent) cursorSnapshot() uint64 {
 	return a.cursor
 }
 
-// Status snapshots the agent's view for a ReportStatus upload.
+// Status snapshots the agent's view for a ReportStatus upload,
+// including the resilience surface: breaker position, rounds shed by
+// server-side bulkheads, rounds degraded to the cached bundle.
 func (a *Agent) Status() VehicleStatus {
 	a.mu.Lock()
 	st := VehicleStatus{
@@ -247,8 +408,13 @@ func (a *Agent) Status() VehicleStatus {
 		DiffSummary:       a.diff,
 		Uploaded:          a.ledger.uploaded,
 		Dropped:           a.ledger.dropped,
+		Fallbacks:         a.fallbacks,
+		Shed:              a.shedSeen,
 	}
 	a.mu.Unlock()
+	if b := resilience.BreakerOf(a.policy); b != nil {
+		st.Breaker = b.State().String()
+	}
 	if a.cfg.Audit != nil {
 		st.Emitted = a.cfg.Audit.Emitted()
 	}
@@ -266,6 +432,13 @@ func (a *Agent) AppliedGeneration() uint64 {
 	return a.applied.Generation
 }
 
+// Fallbacks returns how many rounds degraded to the cached bundle.
+func (a *Agent) Fallbacks() uint64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.fallbacks
+}
+
 // LastError returns the most recent sync error ("" after a clean
 // round).
 func (a *Agent) LastError() string {
@@ -274,33 +447,24 @@ func (a *Agent) LastError() string {
 	return a.lastErr
 }
 
-// Run loops SyncOnce until the context ends. Successful rounds pause
-// Interval; failures back off exponentially from BackoffBase to
-// BackoffMax with full jitter, so a fleet knocked loose by a server
-// restart does not stampede back in lockstep.
+// Run loops policied sync rounds until the context ends, pausing
+// Interval between them on the agent's clock. Failure pacing lives in
+// the policy: the deprecated-field shim reproduces the historical
+// exponential full-jitter backoff exactly; WithDefaultResilience adds
+// breaker, timeout, and cached-bundle fallback so a fleet knocked
+// loose by a server restart neither stampedes back in lockstep nor
+// blocks its decision loop.
 func (a *Agent) Run(ctx context.Context) {
-	backoff := a.cfg.BackoffBase
 	for {
-		err := a.SyncOnce()
-		var pause time.Duration
-		if err != nil {
-			a.mu.Lock()
-			pause = time.Duration(a.rng.Int63n(int64(backoff) + 1))
-			a.mu.Unlock()
-			backoff *= 2
-			if backoff > a.cfg.BackoffMax {
-				backoff = a.cfg.BackoffMax
-			}
-		} else {
-			backoff = a.cfg.BackoffBase
-			pause = a.cfg.Interval
-		}
-		t := time.NewTimer(pause)
-		select {
-		case <-ctx.Done():
-			t.Stop()
+		if ctx.Err() != nil {
 			return
-		case <-t.C:
+		}
+		a.Sync(ctx)
+		if ctx.Err() != nil {
+			return
+		}
+		if err := a.clock.Sleep(ctx, a.cfg.Interval); err != nil {
+			return
 		}
 	}
 }

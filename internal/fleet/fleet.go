@@ -82,6 +82,12 @@ type VehicleStatus struct {
 	Emitted  uint64 `json:"emitted"`
 	Uploaded uint64 `json:"uploaded"`
 	Dropped  uint64 `json:"dropped"`
+	// Resilience surface, agent side: the circuit breaker's position
+	// ("" when the agent's policy has no breaker), rounds shed by a
+	// server-side bulkhead, rounds degraded to the cached bundle.
+	Breaker   string `json:"breaker,omitempty"`
+	Shed      uint64 `json:"shed,omitempty"`
+	Fallbacks uint64 `json:"fallbacks,omitempty"`
 }
 
 // Transport is the agent's view of the control plane. The *Server

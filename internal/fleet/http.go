@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"repro/internal/policy"
+	"repro/internal/resilience"
 )
 
 // Handler exposes a Server over HTTP — the wire protocol cmd/fleetd
@@ -87,11 +88,23 @@ func Handler(s *Server) http.Handler {
 			http.Error(w, err.Error(), http.StatusBadRequest)
 			return
 		}
-		accepted, err := s.UploadLogs(r.PathValue("vehicle"), recs)
+		accepted, err := s.UploadLogsContext(r.Context(), r.PathValue("vehicle"), recs)
 		if err != nil {
+			// The typed resilience taxonomy maps to distinct statuses;
+			// both 429 causes are disambiguated by X-Fleet-Shed so the
+			// client can invert them into the right typed error.
 			status := http.StatusBadRequest
-			if errors.Is(err, ErrBackpressure) {
+			switch {
+			case errors.Is(err, ErrBackpressure):
 				status = http.StatusTooManyRequests
+				w.Header().Set("X-Fleet-Shed", "log-buffer")
+			case errors.Is(err, resilience.ErrBulkheadFull):
+				status = resilience.HTTPStatus(err) // 429
+				w.Header().Set("X-Fleet-Shed", "group-bulkhead")
+			case errors.Is(err, resilience.ErrCircuitOpen),
+				errors.Is(err, resilience.ErrTimeout),
+				errors.Is(err, resilience.ErrHedgeLost):
+				status = resilience.HTTPStatus(err)
 			}
 			http.Error(w, err.Error(), status)
 			return
@@ -190,8 +203,12 @@ func (c *Client) ReportStatus(st VehicleStatus) error {
 	return nil
 }
 
-// UploadLogs implements Transport over HTTP. A 429 maps back onto
-// ErrBackpressure so agent retry logic is transport-agnostic.
+// UploadLogs implements Transport over HTTP. Status codes map back
+// onto the typed error taxonomy so agent retry logic is
+// transport-agnostic: 429 is ErrBackpressure (full log buffer) or
+// resilience.ErrBulkheadFull (group compartment shed), told apart by
+// the X-Fleet-Shed header; 503 is resilience.ErrCircuitOpen; 504 is
+// resilience.ErrTimeout.
 func (c *Client) UploadLogs(vehicle string, recs []LogRecord) (int, error) {
 	body, err := json.Marshal(recs)
 	if err != nil {
@@ -202,8 +219,16 @@ func (c *Client) UploadLogs(vehicle string, recs []LogRecord) (int, error) {
 		return 0, err
 	}
 	defer resp.Body.Close()
-	if resp.StatusCode == http.StatusTooManyRequests {
+	switch resp.StatusCode {
+	case http.StatusTooManyRequests:
+		if resp.Header.Get("X-Fleet-Shed") == "group-bulkhead" {
+			return 0, fmt.Errorf("%w (http 429)", resilience.ErrBulkheadFull)
+		}
 		return 0, fmt.Errorf("%w (http 429)", ErrBackpressure)
+	case http.StatusServiceUnavailable:
+		return 0, fmt.Errorf("%w (http 503)", resilience.ErrCircuitOpen)
+	case http.StatusGatewayTimeout:
+		return 0, fmt.Errorf("%w (http 504)", resilience.ErrTimeout)
 	}
 	if resp.StatusCode != http.StatusOK {
 		return 0, httpError(resp)

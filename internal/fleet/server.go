@@ -1,6 +1,7 @@
 package fleet
 
 import (
+	"context"
 	"fmt"
 	"hash/fnv"
 	"sort"
@@ -9,6 +10,7 @@ import (
 	"time"
 
 	"repro/internal/policy"
+	"repro/internal/resilience"
 )
 
 // Server defaults.
@@ -17,6 +19,12 @@ const (
 	DefaultShards      = 64
 	// MaxLongPoll caps how long one FetchBundle call may be held.
 	MaxLongPoll = 30 * time.Second
+	// Per-vehicle-group ingestion bulkhead defaults: concurrent
+	// admissions and queued callers per group. Sized so a single group
+	// of ~1000 synchronous vehicles never sheds, while a group flooding
+	// far past that saturates only its own compartment.
+	DefaultGroupAdmissions = 128
+	DefaultGroupQueue      = 1024
 )
 
 // Server is the fleet control plane: a policy-bundle registry keyed by
@@ -34,6 +42,11 @@ type Server struct {
 	// status reports and log uploads from different vehicles never
 	// contend on one lock.
 	shards []serverShard
+
+	// per-vehicle-group ingestion bulkheads: one compartment per
+	// group, so a flooding group sheds with ErrBulkheadFull (429 over
+	// HTTP) while other groups' uploads are untouched.
+	gates *resilience.KeyedBulkheads
 
 	// decision-log ingestion buffer (bounded ring of accepted records
 	// awaiting Drain) plus ingestion counters.
@@ -70,6 +83,9 @@ type VehicleState struct {
 	Emitted           uint64    `json:"emitted"`  // agent-reported
 	Uploaded          uint64    `json:"uploaded"` // agent-reported
 	Dropped           uint64    `json:"dropped"`  // agent-reported
+	Breaker           string    `json:"breaker,omitempty"`   // agent-reported
+	Shed              uint64    `json:"shed,omitempty"`      // agent-reported
+	Fallbacks         uint64    `json:"fallbacks,omitempty"` // agent-reported
 	Accepted          uint64    `json:"accepted"` // server-side: unique records taken
 	LastLogSeq        uint64    `json:"last_log_seq"`
 	Reports           uint64    `json:"reports"`
@@ -97,6 +113,21 @@ func WithLogCapacity(n int) ServerOption {
 	}
 }
 
+// WithGroupBulkhead sizes the per-vehicle-group ingestion bulkheads:
+// admissions concurrent uploads and queue waiting callers per group.
+// Non-positive admissions keeps the default; a negative queue disables
+// queueing (admit or shed immediately).
+func WithGroupBulkhead(admissions, queue int) ServerOption {
+	return func(s *Server) {
+		if admissions <= 0 {
+			admissions = DefaultGroupAdmissions
+		}
+		s.gates = resilience.NewKeyedBulkheads(resilience.BulkheadConfig{
+			Capacity: admissions, Queue: queue,
+		})
+	}
+}
+
 // WithShards overrides the vehicle-state shard count.
 func WithShards(n int) ServerOption {
 	return func(s *Server) {
@@ -112,6 +143,9 @@ func NewServer(opts ...ServerOption) *Server {
 		groups: make(map[string]*groupEntry),
 		shards: make([]serverShard, DefaultShards),
 		logCap: DefaultLogCapacity,
+		gates: resilience.NewKeyedBulkheads(resilience.BulkheadConfig{
+			Capacity: DefaultGroupAdmissions, Queue: DefaultGroupQueue,
+		}),
 	}
 	for _, o := range opts {
 		o(s)
@@ -235,25 +269,59 @@ func (s *Server) ReportStatus(st VehicleStatus) error {
 	v.Emitted = st.Emitted
 	v.Uploaded = st.Uploaded
 	v.Dropped = st.Dropped
+	v.Breaker = st.Breaker
+	v.Shed = st.Shed
+	v.Fallbacks = st.Fallbacks
 	v.Reports++
 	v.LastSeen = time.Now()
 	return nil
 }
 
 // UploadLogs implements Transport: the decision-log ingestion
-// endpoint. The whole batch is admitted or rejected — a batch that
-// does not fit the bounded buffer returns ErrBackpressure and takes
-// nothing, so the agent's cursor (and therefore the ledger) never
-// splits across a partial accept. Records at or below the vehicle's
-// high-water sequence are duplicates from at-least-once retries and
-// are counted, not re-ingested.
+// endpoint. Equivalent to UploadLogsContext with a background context.
 func (s *Server) UploadLogs(vehicle string, recs []LogRecord) (int, error) {
+	return s.UploadLogsContext(context.Background(), vehicle, recs)
+}
+
+// UploadLogsContext is UploadLogs with the caller's context (the HTTP
+// handler passes the request context). The batch runs inside the
+// vehicle's group ingestion bulkhead: a group flooding the endpoint
+// saturates its own compartment and is shed with ErrBulkheadFull,
+// while other groups' uploads never queue behind it. The group comes
+// from the vehicle's last status report; vehicles that have never
+// reported share the "" compartment. Past the bulkhead, the whole
+// batch is admitted or rejected — a batch that does not fit the
+// bounded buffer returns ErrBackpressure and takes nothing, so the
+// agent's cursor (and therefore the ledger) never splits across a
+// partial accept. Records at or below the vehicle's high-water
+// sequence are duplicates from at-least-once retries and are counted,
+// not re-ingested.
+func (s *Server) UploadLogsContext(ctx context.Context, vehicle string, recs []LogRecord) (int, error) {
 	if vehicle == "" {
 		return 0, fmt.Errorf("fleet: log upload without vehicle id")
 	}
 	if len(recs) == 0 {
 		return 0, nil
 	}
+	var group string
+	sh := s.shardFor(vehicle)
+	sh.mu.Lock()
+	if v := sh.m[vehicle]; v != nil {
+		group = v.Group
+	}
+	sh.mu.Unlock()
+
+	accepted := 0
+	err := s.gates.Do(ctx, group, func(context.Context) error {
+		var ierr error
+		accepted, ierr = s.ingest(vehicle, recs)
+		return ierr
+	})
+	return accepted, err
+}
+
+// ingest is the admission body run inside the group bulkhead.
+func (s *Server) ingest(vehicle string, recs []LogRecord) (int, error) {
 	sh := s.shardFor(vehicle)
 	sh.mu.Lock()
 	v := sh.m[vehicle]
@@ -364,6 +432,12 @@ type FleetStats struct {
 	Groups   []GroupStats `json:"groups"`
 	Vehicles int          `json:"vehicles"`
 	Logs     LogStats     `json:"logs"`
+	// Resilience surface: per-group ingestion bulkhead snapshots and
+	// fleet-wide agent-reported counters.
+	Ingest       []resilience.KeyedStats `json:"ingest,omitempty"`
+	BreakersOpen int                     `json:"breakers_open"` // vehicles reporting a non-closed breaker
+	AgentSheds   uint64                  `json:"agent_sheds"`   // agent rounds shed by bulkheads
+	Fallbacks    uint64                  `json:"fallbacks"`     // agent rounds served from cached bundles
 }
 
 // Stats computes the aggregate fleet view.
@@ -381,6 +455,7 @@ func (s *Server) Stats() FleetStats {
 
 	counts := make(map[string]*GroupStats)
 	total := 0
+	st := FleetStats{}
 	for i := range s.shards {
 		sh := &s.shards[i]
 		sh.mu.Lock()
@@ -395,6 +470,11 @@ func (s *Server) Stats() FleetStats {
 			if gi, ok := gens[v.Group]; ok && v.AppliedGeneration == gi.gen {
 				g.Converged++
 			}
+			if v.Breaker != "" && v.Breaker != "closed" {
+				st.BreakersOpen++
+			}
+			st.AgentSheds += v.Shed
+			st.Fallbacks += v.Fallbacks
 		}
 		sh.mu.Unlock()
 	}
@@ -404,7 +484,7 @@ func (s *Server) Stats() FleetStats {
 			counts[name] = &GroupStats{Group: name}
 		}
 	}
-	st := FleetStats{Vehicles: total}
+	st.Vehicles = total
 	for name, g := range counts {
 		if gi, ok := gens[name]; ok {
 			g.Generation, g.ETag = gi.gen, gi.etag
@@ -412,6 +492,7 @@ func (s *Server) Stats() FleetStats {
 		st.Groups = append(st.Groups, *g)
 	}
 	sort.Slice(st.Groups, func(i, j int) bool { return st.Groups[i].Group < st.Groups[j].Group })
+	st.Ingest = s.gates.Stats()
 
 	s.logMu.Lock()
 	st.Logs = LogStats{
@@ -439,5 +520,16 @@ func (st FleetStats) Render() string {
 	fmt.Fprintf(&b, "logs_drained: %d\n", st.Logs.Drained)
 	fmt.Fprintf(&b, "log_batches_accepted: %d\n", st.Logs.BatchesAccepted)
 	fmt.Fprintf(&b, "log_batches_rejected: %d\n", st.Logs.BatchesRejected)
+	for _, in := range st.Ingest {
+		key := in.Key
+		if key == "" {
+			key = "(unreported)"
+		}
+		fmt.Fprintf(&b, "ingest %s: active=%d queued=%d admitted=%d shed=%d\n",
+			key, in.Active, in.Queued, in.Admitted, in.Shed)
+	}
+	fmt.Fprintf(&b, "breakers_open: %d\n", st.BreakersOpen)
+	fmt.Fprintf(&b, "agent_sheds: %d\n", st.AgentSheds)
+	fmt.Fprintf(&b, "fallbacks: %d\n", st.Fallbacks)
 	return b.String()
 }

@@ -31,11 +31,18 @@ func (r AuditRecord) String() string {
 		r.When.Format(time.RFC3339Nano))
 }
 
-// shardCap bounds one pending buffer. A hook that fills its shard
-// triggers an inline flush — emission is asynchronous on the happy path
-// but can never lose a record, so `uploaded + dropped == emitted` stays
-// exact for the fleet agent and chaos suites.
-const shardCap = 64
+// Pending-buffer capacity bounds. DefaultPendingCap bounds one per-slot
+// pending buffer: a hook that fills its shard triggers an inline flush —
+// emission is asynchronous on the happy path but can never lose a
+// record, so `uploaded + dropped == emitted` stays exact for the fleet
+// agent and chaos suites. SetPendingCap tunes it within
+// [MinPendingCap, MaxPendingCap]: smaller caps bound staleness and
+// per-shard memory, larger caps amortise flushes for bursty hooks.
+const (
+	DefaultPendingCap = 64
+	MinPendingCap     = 1
+	MaxPendingCap     = 1 << 16
+)
 
 // pendingRec is a captured-but-not-yet-inserted record. The order token
 // is a global atomic counter stamped at capture time; the flusher sorts
@@ -80,8 +87,9 @@ type auditShard struct {
 // Appends to the ring are O(1): once full, the oldest record is
 // overwritten in place and counted dropped, never shifted.
 type AuditLog struct {
-	capture atomic.Uint64 // capture-order tokens, stamped at Append
-	shards  []auditShard
+	capture    atomic.Uint64 // capture-order tokens, stamped at Append
+	pendingCap atomic.Int64  // per-shard pending-buffer bound (inline-flush trigger)
+	shards     []auditShard
 
 	flushMu sync.Mutex // serialises drains; lock order: flushMu > shard.mu > mu
 
@@ -100,8 +108,26 @@ func NewAuditLog(max int) *AuditLog {
 	if max <= 0 {
 		max = 4096
 	}
-	return &AuditLog{max: max, shards: make([]auditShard, shard.Slots())}
+	l := &AuditLog{max: max, shards: make([]auditShard, shard.Slots())}
+	l.pendingCap.Store(DefaultPendingCap)
+	return l
 }
+
+// SetPendingCap bounds each per-slot pending buffer at n records: an
+// Append that reaches the bound flushes inline. n outside
+// [MinPendingCap, MaxPendingCap] is rejected, leaving the current cap
+// in place. Safe to call concurrently with Appends; the new bound
+// applies from the next Append.
+func (l *AuditLog) SetPendingCap(n int) error {
+	if n < MinPendingCap || n > MaxPendingCap {
+		return fmt.Errorf("lsm: pending cap %d out of range [%d, %d]", n, MinPendingCap, MaxPendingCap)
+	}
+	l.pendingCap.Store(int64(n))
+	return nil
+}
+
+// PendingCap reports the per-slot pending-buffer bound.
+func (l *AuditLog) PendingCap() int { return int(l.pendingCap.Load()) }
 
 // Append captures an event into the calling slot's pending buffer. The
 // record's Seq is NOT assigned here — sequence numbers are minted at
@@ -116,7 +142,7 @@ func (l *AuditLog) Append(r AuditRecord) {
 	s := &l.shards[shard.Slot()]
 	s.mu.Lock()
 	s.pending = append(s.pending, p)
-	full := len(s.pending) >= shardCap
+	full := len(s.pending) >= int(l.pendingCap.Load())
 	s.mu.Unlock()
 	if full {
 		l.Flush()

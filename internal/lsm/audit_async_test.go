@@ -147,14 +147,14 @@ func TestDedupeBySequenceUnderAsync(t *testing.T) {
 // drain themselves.
 func TestShardOverflowFlushesInline(t *testing.T) {
 	l := NewAuditLog(100000)
-	const n = shardCap * 10
+	const n = DefaultPendingCap * 10
 	for i := 0; i < n; i++ {
 		l.Append(AuditRecord{Detail: "x"})
 	}
 	l.mu.Lock() // bypass flush-on-read: count what reached the ring unprompted
 	inRing := l.n
 	l.mu.Unlock()
-	if inRing < n-shardCap {
+	if inRing < n-DefaultPendingCap {
 		t.Fatalf("only %d of %d records reached the ring; overflow did not flush", inRing, n)
 	}
 }

@@ -1,0 +1,48 @@
+package lsm
+
+import "testing"
+
+// TestSetPendingCapBounds: the cap accepts exactly [MinPendingCap,
+// MaxPendingCap] and rejects everything else without disturbing the
+// current value.
+func TestSetPendingCapBounds(t *testing.T) {
+	l := NewAuditLog(0)
+	if got := l.PendingCap(); got != DefaultPendingCap {
+		t.Fatalf("default pending cap = %d, want %d", got, DefaultPendingCap)
+	}
+	for _, bad := range []int{0, -1, MinPendingCap - 1, MaxPendingCap + 1, 1 << 30} {
+		if err := l.SetPendingCap(bad); err == nil {
+			t.Fatalf("SetPendingCap(%d) accepted an out-of-range cap", bad)
+		}
+		if got := l.PendingCap(); got != DefaultPendingCap {
+			t.Fatalf("rejected SetPendingCap(%d) changed the cap to %d", bad, got)
+		}
+	}
+	for _, good := range []int{MinPendingCap, 8, DefaultPendingCap, MaxPendingCap} {
+		if err := l.SetPendingCap(good); err != nil {
+			t.Fatalf("SetPendingCap(%d): %v", good, err)
+		}
+		if got := l.PendingCap(); got != good {
+			t.Fatalf("pending cap = %d after SetPendingCap(%d)", got, good)
+		}
+	}
+}
+
+// TestSetPendingCapTriggersEarlierFlush: with the cap at its minimum,
+// every Append reaches the ring without any read or background flusher.
+func TestSetPendingCapTriggersEarlierFlush(t *testing.T) {
+	l := NewAuditLog(1000)
+	if err := l.SetPendingCap(MinPendingCap); err != nil {
+		t.Fatal(err)
+	}
+	const n = 50
+	for i := 0; i < n; i++ {
+		l.Append(AuditRecord{Detail: "z"})
+	}
+	l.mu.Lock() // bypass flush-on-read: count what reached the ring unprompted
+	inRing := l.n
+	l.mu.Unlock()
+	if inRing != n {
+		t.Fatalf("%d of %d records reached the ring; cap=1 should flush every append", inRing, n)
+	}
+}

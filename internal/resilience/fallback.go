@@ -1,0 +1,58 @@
+package resilience
+
+import (
+	"context"
+
+	"repro/internal/shard"
+)
+
+// FallbackFunc rescues a failed operation: it receives the failure and
+// returns nil to substitute a degraded success (serve a cached bundle,
+// a default answer) or an error — typically the original — to let the
+// failure stand.
+type FallbackFunc func(ctx context.Context, err error) error
+
+// Fallback turns selected failures into degraded successes. It sits
+// outermost in a stack so it also rescues breaker short-circuits and
+// bulkhead sheds — the fleet agent's fallback serves the last applied
+// bundle when the control plane is unreachable, keeping the vehicle
+// loop fed.
+type Fallback struct {
+	// Match, when set, restricts which errors the fallback handles;
+	// others pass through untouched. Caller-side aborts (context
+	// cancellation) always pass through.
+	match func(error) bool
+	fn    FallbackFunc
+
+	rescued shard.Counter
+}
+
+// NewFallback builds a fallback around fn. match may be nil (handle
+// every failure).
+func NewFallback(match func(error) bool, fn FallbackFunc) *Fallback {
+	return &Fallback{match: match, fn: fn, rescued: shard.NewCounter()}
+}
+
+// Do implements Policy.
+func (f *Fallback) Do(ctx context.Context, op Op) error {
+	err := op(ctx)
+	if err == nil || abortive(err) || (f.match != nil && !f.match(err)) {
+		return err
+	}
+	if ferr := f.fn(ctx, err); ferr != nil {
+		return ferr
+	}
+	f.rescued.Add(1)
+	return nil
+}
+
+// Rescued reports how many failures the fallback absorbed.
+func (f *Fallback) Rescued() uint64 { return f.rescued.Load() }
+
+// Stats implements Observable.
+func (f *Fallback) Stats() PolicyStats {
+	return PolicyStats{
+		Policy:   "fallback",
+		Counters: map[string]uint64{"rescued": f.rescued.Load()},
+	}
+}

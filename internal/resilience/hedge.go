@@ -1,0 +1,110 @@
+package resilience
+
+import (
+	"context"
+	"time"
+
+	"repro/internal/shard"
+)
+
+// DefaultHedgeThreshold is the latency after which a hedge launches.
+const DefaultHedgeThreshold = 100 * time.Millisecond
+
+// HedgeConfig tunes a hedge policy.
+type HedgeConfig struct {
+	// Threshold is how long the primary attempt may run before a
+	// secondary attempt is launched (default DefaultHedgeThreshold).
+	Threshold time.Duration
+	// Clock drives the threshold timer (default RealClock).
+	Clock Clock
+}
+
+// Hedge trades work for tail latency: if the primary attempt has not
+// finished within Threshold, a second identical attempt launches and
+// the first success wins. The loser's context is cancelled with cause
+// ErrHedgeLost; when both attempts fail, the primary's error is
+// returned. Operations must be idempotent (the fleet agent's fetch and
+// dedup-by-sequence upload both are).
+type Hedge struct {
+	cfg HedgeConfig
+
+	launches shard.Counter // hedges actually launched
+	wins     shard.Counter // hedges that beat the primary
+}
+
+// NewHedge builds a hedge policy.
+func NewHedge(cfg HedgeConfig) *Hedge {
+	if cfg.Threshold <= 0 {
+		cfg.Threshold = DefaultHedgeThreshold
+	}
+	if cfg.Clock == nil {
+		cfg.Clock = RealClock{}
+	}
+	return &Hedge{cfg: cfg, launches: shard.NewCounter(), wins: shard.NewCounter()}
+}
+
+// Do implements Policy.
+func (h *Hedge) Do(ctx context.Context, op Op) error {
+	primCtx, primCancel := context.WithCancelCause(ctx)
+	defer primCancel(nil) // no-op after a cause was set
+	prim := make(chan error, 1)
+	go func() { prim <- op(primCtx) }()
+
+	select {
+	case err := <-prim:
+		primCancel(nil)
+		return err
+	case <-h.cfg.Clock.After(h.cfg.Threshold):
+	case <-ctx.Done():
+		primCancel(context.Cause(ctx))
+		return context.Cause(ctx)
+	}
+
+	// Threshold lapsed with the primary still in flight: hedge.
+	h.launches.Add(1)
+	hedgeCtx, hedgeCancel := context.WithCancelCause(ctx)
+	defer hedgeCancel(nil) // no-op after a cause was set
+	hedge := make(chan error, 1)
+	go func() { hedge <- op(hedgeCtx) }()
+
+	// First success wins; a nil'd channel drops out of the select. When
+	// both fail, the primary's error stands.
+	var primErr error
+	for prim != nil || hedge != nil {
+		select {
+		case err := <-prim:
+			if err == nil {
+				hedgeCancel(ErrHedgeLost)
+				return nil
+			}
+			primErr, prim = err, nil
+		case err := <-hedge:
+			if err == nil {
+				primCancel(ErrHedgeLost)
+				h.wins.Add(1)
+				return nil
+			}
+			hedge = nil
+		case <-ctx.Done():
+			primCancel(context.Cause(ctx))
+			hedgeCancel(context.Cause(ctx))
+			return context.Cause(ctx)
+		}
+	}
+	return primErr
+}
+
+// Detaches implements Detaching: the losing attempt of a hedged pair
+// keeps running in its abandoned goroutine after Do returns.
+func (h *Hedge) Detaches() {}
+
+// Stats implements Observable.
+func (h *Hedge) Stats() PolicyStats {
+	return PolicyStats{
+		Policy: "hedge",
+		Counters: map[string]uint64{
+			"launches": h.launches.Load(),
+			"wins":     h.wins.Load(),
+		},
+	}
+}

@@ -1,0 +1,8 @@
+//go:build !race
+
+package resilience
+
+// raceEnabled reports whether the race detector is active.
+// sync.Pool deliberately discards items at random under -race, so the
+// zero-alloc guard is only meaningful without it.
+const raceEnabled = false

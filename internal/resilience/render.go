@@ -1,0 +1,30 @@
+package resilience
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Render formats policy stats in the flat key=value style of the
+// securityfs stats files, one line per policy, counters sorted — the
+// view `sackctl fleet status` and `sackmon -fleet` embed.
+func Render(stats []PolicyStats) string {
+	var b strings.Builder
+	for _, st := range stats {
+		fmt.Fprintf(&b, "policy %-9s", st.Policy)
+		if st.State != "" {
+			fmt.Fprintf(&b, " state=%s", st.State)
+		}
+		keys := make([]string, 0, len(st.Counters))
+		for k := range st.Counters {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			fmt.Fprintf(&b, " %s=%d", k, st.Counters[k])
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

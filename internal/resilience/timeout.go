@@ -1,0 +1,72 @@
+package resilience
+
+import (
+	"context"
+	"time"
+
+	"repro/internal/shard"
+)
+
+// DefaultTimeout bounds one guarded operation.
+const DefaultTimeout = 5 * time.Second
+
+// TimeoutConfig tunes a timeout policy.
+type TimeoutConfig struct {
+	// Limit is the per-operation budget (default DefaultTimeout).
+	Limit time.Duration
+	// Clock drives the deadline (default RealClock).
+	Clock Clock
+}
+
+// Timeout bounds one operation: when Limit elapses first, the
+// operation's context is cancelled with cause ErrTimeout and Do
+// returns ErrTimeout without waiting for the abandoned attempt (which
+// must honour its context). Unlike context.WithTimeout, the deadline
+// runs on the injected clock, so timeout tests advance virtual time
+// instead of sleeping.
+type Timeout struct {
+	cfg      TimeoutConfig
+	timeouts shard.Counter
+}
+
+// NewTimeout builds a timeout policy.
+func NewTimeout(cfg TimeoutConfig) *Timeout {
+	if cfg.Limit <= 0 {
+		cfg.Limit = DefaultTimeout
+	}
+	if cfg.Clock == nil {
+		cfg.Clock = RealClock{}
+	}
+	return &Timeout{cfg: cfg, timeouts: shard.NewCounter()}
+}
+
+// Do implements Policy.
+func (t *Timeout) Do(ctx context.Context, op Op) error {
+	opCtx, cancel := context.WithCancelCause(ctx)
+	done := make(chan error, 1)
+	go func() { done <- op(opCtx) }()
+	select {
+	case err := <-done:
+		cancel(nil)
+		return err
+	case <-t.cfg.Clock.After(t.cfg.Limit):
+		cancel(ErrTimeout)
+		t.timeouts.Add(1)
+		return ErrTimeout
+	case <-ctx.Done():
+		cancel(context.Cause(ctx))
+		return context.Cause(ctx)
+	}
+}
+
+// Detaches implements Detaching: a timed-out op keeps running in its
+// abandoned goroutine (cancelled via its context) after Do returns.
+func (t *Timeout) Detaches() {}
+
+// Stats implements Observable.
+func (t *Timeout) Stats() PolicyStats {
+	return PolicyStats{
+		Policy:   "timeout",
+		Counters: map[string]uint64{"timeouts": t.timeouts.Load()},
+	}
+}

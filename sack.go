@@ -45,6 +45,7 @@ import (
 	"repro/internal/kernel"
 	"repro/internal/lsm"
 	"repro/internal/policy"
+	"repro/internal/resilience"
 	"repro/internal/sds"
 	"repro/internal/ssm"
 	"repro/internal/sys"
@@ -136,6 +137,15 @@ type (
 	FleetStats = fleet.FleetStats
 	// FleetVehicleStatus is one agent → server status report.
 	FleetVehicleStatus = fleet.VehicleStatus
+	// FleetAgentOption customises the fleet agent beyond its config: the
+	// resilience policy guarding sync rounds (fleet.WithPolicy,
+	// fleet.WithDefaultResilience), its clock, and the cached-bundle
+	// fallback.
+	FleetAgentOption = fleet.AgentOption
+	// ResiliencePolicy is one composable control-plane resilience policy
+	// (circuit breaker, bulkhead, hedge, retry, timeout, fallback); build
+	// and stack them with the internal/resilience constructors.
+	ResiliencePolicy = resilience.Policy
 )
 
 // Deployment modes (the paper's two prototypes).
@@ -328,6 +338,12 @@ type Options struct {
 	// them through the reload transaction, and ships the audit ring
 	// upstream. Applier, Audit, and Pipeline default to this system's.
 	Fleet *fleet.AgentConfig
+	// FleetOpts customise the fleet agent (resilience policy, clock,
+	// cached-bundle fallback); see WithFleet.
+	FleetOpts []fleet.AgentOption
+	// AuditPendingCap, when positive, bounds each per-slot pending audit
+	// buffer (the inline-flush trigger); 0 keeps the default (64).
+	AuditPendingCap int
 }
 
 // Option configures New. Options apply in order over the defaults
@@ -447,10 +463,22 @@ func NewFleetClient(base string) *FleetClient { return fleet.NewClient(base) }
 // path, audit ring, and pipeline-health source default to the booted
 // system's own, so a bundle push from the control plane lands in this
 // kernel's reload transaction and this kernel's denials ship upstream.
-// The agent is not started — drive it with System.Fleet.SyncOnce or
-// System.Fleet.Run.
-func WithFleet(cfg FleetAgentConfig) Option {
-	return func(o *Options) { o.Fleet = &cfg }
+// Agent options customise the resilience policy guarding sync rounds —
+// fleet.WithPolicy for a custom stack, fleet.WithDefaultResilience for
+// the recommended breaker+retry+timeout+cached-bundle-fallback stack,
+// fleet.WithAgentClock for virtual-time tests. The agent is not
+// started — drive it with System.Fleet.SyncOnce or System.Fleet.Run.
+func WithFleet(cfg FleetAgentConfig, agentOpts ...FleetAgentOption) Option {
+	return func(o *Options) { o.Fleet = &cfg; o.FleetOpts = agentOpts }
+}
+
+// WithAuditPendingCap bounds each per-slot pending audit buffer at n
+// records (the inline-flush trigger, default 64): smaller caps bound
+// staleness and per-shard memory, larger caps amortise flushes for
+// bursty hook activity. n outside [lsm.MinPendingCap,
+// lsm.MaxPendingCap] fails the boot.
+func WithAuditPendingCap(n int) Option {
+	return func(o *Options) { o.AuditPendingCap = n }
 }
 
 // ParseFaultSpec parses a compact fault-plan spec (comma-separated
@@ -535,6 +563,11 @@ func boot(opts Options) (*System, error) {
 	}
 
 	k := kernel.New()
+	if opts.AuditPendingCap > 0 {
+		if err := k.Audit.SetPendingCap(opts.AuditPendingCap); err != nil {
+			return nil, err
+		}
+	}
 	var audit *lsm.AuditLog
 	if !opts.DisableAudit {
 		audit = k.Audit
@@ -632,7 +665,7 @@ func boot(opts Options) (*System, error) {
 		if cfg.Pipeline == nil {
 			cfg.Pipeline = s.Pipeline()
 		}
-		agent, err := fleet.NewAgent(cfg)
+		agent, err := fleet.NewAgent(cfg, opts.FleetOpts...)
 		if err != nil {
 			return nil, err
 		}
