@@ -3,11 +3,11 @@
 
 GO ?= go
 
-.PHONY: all check vet build test race bench bench-avc bench-ablation bench-smoke chaos reload-stress fleet-stress parallel-stress resilience-stress matcher-diff profile
+.PHONY: all check vet build test race bench bench-avc bench-ablation bench-smoke chaos reload-stress fleet-stress parallel-stress resilience-stress matcher-diff verify profile
 
 all: check
 
-check: vet build race chaos reload-stress fleet-stress parallel-stress resilience-stress matcher-diff bench-smoke
+check: vet build race chaos reload-stress fleet-stress parallel-stress resilience-stress matcher-diff verify bench-smoke
 
 vet:
 	$(GO) vet ./...
@@ -84,6 +84,19 @@ parallel-stress:
 matcher-diff:
 	$(GO) test -race -count=1 -run 'TestMatcherDifferential|TestMatcherOversizedFallback' ./internal/policy
 	$(GO) test -race -count=1 -run 'TestMatcherSystemDifferential|TestCachedEqualsUncachedTrace' .
+
+# Policy verification suite: the symbolic explorer's unit tests and
+# seed-corpus fuzz (every reported witness must replay on the live rule
+# set; a brute-force oracle over a concrete probe alphabet must find
+# nothing the explorer missed), the exact glob-intersection engine, the
+# pack-wide baseline gate (every shipped policy satisfies
+# policies/invariants/baseline.inv), the witness-replay differential
+# against a booted system, and the fleetd publish-time gate.
+verify:
+	$(GO) test -count=1 ./internal/verify ./internal/glob
+	$(GO) test -count=1 -run 'TestVerifyPackAgainstBaseline|TestVerifyWitnessReplaysAsLiveAllow' .
+	$(GO) test -count=1 -run 'TestPublishGate|TestPublishBundleEmbeddedInvariants' ./internal/fleet
+	$(GO) test -count=1 -run 'TestVerify|TestBundlePushWithInvariants' ./cmd/sackctl
 
 # Benchmark smoke: one iteration of the scalability sweep so the scale
 # path compiles and runs on every PR without benchmark-length runtimes,

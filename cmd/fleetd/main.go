@@ -6,9 +6,13 @@
 //
 //	fleetd [-addr 127.0.0.1:7443] [-log-capacity N]
 //	       [-group-admissions N] [-group-queue N] [-group g -policy file]...
+//	       [-invariants g=file]...
 //
 // Each -group/-policy pair seeds the registry with generation 1 for
-// that group. Further generations are published at runtime with
+// that group. Each -invariants g=file registers an invariant set for a
+// group before seeding: every publish into that group — the seed
+// included — is verified against the set and rejected with a witness
+// trace on violation. Further generations are published at runtime with
 // `sackctl bundle push` (POST /v1/bundle/{group}); vehicles download
 // with ETag long-poll (GET /v1/bundle/{group}), report status (POST
 // /v1/status), and ship decision logs (POST /v1/logs/{vehicle}).
@@ -22,6 +26,7 @@ import (
 	"net"
 	"net/http"
 	"os"
+	"strings"
 
 	"repro/internal/fleet"
 )
@@ -70,9 +75,10 @@ func newServer(args []string, stdout, stderr io.Writer) (*fleet.Server, string, 
 	shards := fs.Int("shards", fleet.DefaultShards, "vehicle-state shard count")
 	groupAdmissions := fs.Int("group-admissions", fleet.DefaultGroupAdmissions, "concurrent log ingestions admitted per vehicle group (bulkhead)")
 	groupQueue := fs.Int("group-queue", fleet.DefaultGroupQueue, "ingestions queued per group beyond the admission limit; excess is shed with 429")
-	var groups, policies []string
+	var groups, policies, invariants []string
 	fs.Var(pairList{&groups}, "group", "vehicle group to seed (repeatable, paired with -policy)")
 	fs.Var(pairList{&policies}, "policy", "policy file seeding the matching -group")
+	fs.Var(pairList{&invariants}, "invariants", "group=file invariant set gating publishes into the group (repeatable)")
 	if err := fs.Parse(args); err != nil {
 		return nil, "", 2
 	}
@@ -83,6 +89,23 @@ func newServer(args []string, stdout, stderr io.Writer) (*fleet.Server, string, 
 
 	srv := fleet.NewServer(fleet.WithLogCapacity(*logCap), fleet.WithShards(*shards),
 		fleet.WithGroupBulkhead(*groupAdmissions, *groupQueue))
+	for _, spec := range invariants {
+		g, file, ok := strings.Cut(spec, "=")
+		if !ok || g == "" || file == "" {
+			fmt.Fprintf(stderr, "fleetd: -invariants wants group=file, got %q\n", spec)
+			return nil, "", 2
+		}
+		src, err := os.ReadFile(file)
+		if err != nil {
+			fmt.Fprintf(stderr, "fleetd: reading invariants for group %s: %v\n", g, err)
+			return nil, "", 1
+		}
+		if err := srv.SetInvariants(g, string(src)); err != nil {
+			fmt.Fprintf(stderr, "fleetd: invariants for group %s: %v\n", g, err)
+			return nil, "", 1
+		}
+		fmt.Fprintf(stdout, "fleetd: group %s gated by invariants from %s\n", g, file)
+	}
 	for i, g := range groups {
 		src, err := os.ReadFile(policies[i])
 		if err != nil {

@@ -99,3 +99,58 @@ func TestNewServerRejectsBadArgs(t *testing.T) {
 		t.Fatalf("invalid policy: code = %d", code)
 	}
 }
+
+func TestNewServerInvariantsGate(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name, body string) string {
+		t.Helper()
+		path := filepath.Join(dir, name)
+		if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}
+	pol := write("policy.sack", seedPolicy)
+	// seedPolicy grants reads under /etc/** to every subject; this set
+	// forbids exactly that, so the seed itself must be refused.
+	inv := write("strict.inv", "never - read /etc/hostname\n")
+
+	var out, errb bytes.Buffer
+	if _, _, code := newServer(
+		[]string{"-invariants", "default=" + inv, "-group", "default", "-policy", pol},
+		&out, &errb); code != 1 {
+		t.Fatalf("violating seed accepted: code=%d stderr=%s", code, errb.String())
+	}
+	if !strings.Contains(errb.String(), "witness:") {
+		t.Fatalf("rejection lacks a witness trace: %s", errb.String())
+	}
+
+	// A compatible set lets the seed through and keeps gating the group.
+	ok := write("ok.inv", "never /usr/bin/ivi write /dev/can/actuator*\n")
+	out.Reset()
+	errb.Reset()
+	srv, _, code := newServer(
+		[]string{"-invariants", "default=" + ok, "-group", "default", "-policy", pol},
+		&out, &errb)
+	if srv == nil || code != 0 {
+		t.Fatalf("compatible seed failed: code=%d stderr=%s", code, errb.String())
+	}
+	if !strings.Contains(out.String(), "gated by invariants") {
+		t.Fatalf("no gate banner: %q", out.String())
+	}
+	if got := srv.GroupInvariants("default"); !strings.Contains(got, "/dev/can/actuator") {
+		t.Fatalf("group invariants not registered: %q", got)
+	}
+
+	// Malformed specs and sets are startup errors, not silent no-ops.
+	if _, _, code := newServer([]string{"-invariants", "nofile"}, &out, &errb); code != 2 {
+		t.Fatalf("bare -invariants spec: code=%d", code)
+	}
+	bad := write("bad.inv", "never - fly /x\n")
+	if _, _, code := newServer([]string{"-invariants", "g=" + bad}, &out, &errb); code != 1 {
+		t.Fatalf("bad invariant grammar: code=%d", code)
+	}
+	if _, _, code := newServer([]string{"-invariants", "g=/does/not/exist"}, &out, &errb); code != 1 {
+		t.Fatalf("missing invariants file: code=%d", code)
+	}
+}

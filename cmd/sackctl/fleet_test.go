@@ -96,3 +96,42 @@ func TestFleetSubcommandUsage(t *testing.T) {
 		t.Fatalf("bare fleet accepted: %d", code)
 	}
 }
+
+func TestBundlePushWithInvariants(t *testing.T) {
+	srv := fleet.NewServer()
+	hs := httptest.NewServer(fleet.Handler(srv))
+	defer hs.Close()
+
+	// Local verification stops a violating bundle before the network.
+	files := map[string]string{"p": verifyBadPolicy, "inv": verifyNever}
+	code, _, errOut := runCtl(t, files, "bundle", "push", hs.URL, "canbus", "p", "inv")
+	if code != 3 || !strings.Contains(errOut, "witness:") {
+		t.Fatalf("violating push: code=%d stderr=%q", code, errOut)
+	}
+	if _, err := srv.Bundle("canbus"); err == nil {
+		t.Fatal("violating bundle reached the registry")
+	}
+
+	// A compliant bundle publishes with its invariants embedded.
+	files = map[string]string{"p": fleetTestPolicy, "inv": verifyNever}
+	code, out, errOut := runCtl(t, files, "bundle", "push", hs.URL, "canbus", "p", "inv")
+	if code != 0 {
+		t.Fatalf("compliant push: code=%d stderr=%s", code, errOut)
+	}
+	if !strings.Contains(out, "generation 1") {
+		t.Fatalf("push output: %q", out)
+	}
+	if b, err := srv.Bundle("canbus"); err != nil || b.Invariants != verifyNever {
+		t.Fatalf("bundle invariants after push: %+v err=%v", b, err)
+	}
+
+	// A group set registered server-side rejects a push that carries no
+	// invariants of its own; the 422 witness surfaces in the error.
+	if err := srv.SetInvariants("locked", "never - read /etc/hostname"); err != nil {
+		t.Fatal(err)
+	}
+	code, _, errOut = runCtl(t, map[string]string{"p": fleetTestPolicy}, "bundle", "push", hs.URL, "locked", "p")
+	if code != 1 || !strings.Contains(errOut, "witness:") {
+		t.Fatalf("server-side gate: code=%d stderr=%q", code, errOut)
+	}
+}

@@ -21,8 +21,16 @@
 //	                               separated, e.g. read,write)
 //	sackctl chaos <policy-file> <fault-spec> [event...]  drive events under
 //	                               fault injection, print pipeline health
-//	sackctl bundle push <url> <group> <policy-file>  validate and publish
-//	                               the policy as the group's next bundle
+//	sackctl verify <policy-file> [-invariants <file>]  exhaustively check
+//	                               an invariant set against the policy's
+//	                               full situation product space; exit 0
+//	                               when every invariant holds, 3 with a
+//	                               witness trace per violation (defaults
+//	                               to the pack baseline set)
+//	sackctl bundle push <url> <group> <policy-file> [invariants-file]
+//	                               validate (and, with an invariants
+//	                               file, verify) the policy, then publish
+//	                               it as the group's next bundle
 //	                               generation on a fleetd at <url>
 //	sackctl fleet status <url>     print a fleetd's aggregate fleet view
 //	sackctl example                print a commented example policy
@@ -187,8 +195,33 @@ func run(args []string, stdout, stderr io.Writer, readFile func(string) ([]byte,
 			return 1
 		}
 		return chaos(string(data), args[2], args[3:], stdout, stderr)
+	case "verify":
+		var invFile string
+		switch {
+		case len(args) == 2:
+		case len(args) == 4 && args[2] == "-invariants":
+			invFile = args[3]
+		default:
+			usage(stderr)
+			return 2
+		}
+		data, err := readFile(args[1])
+		if err != nil {
+			fmt.Fprintf(stderr, "sackctl: reading policy: %v\n", err)
+			return 1
+		}
+		invSrc := policies.Baseline()
+		if invFile != "" {
+			inv, err := readFile(invFile)
+			if err != nil {
+				fmt.Fprintf(stderr, "sackctl: reading invariants: %v\n", err)
+				return 1
+			}
+			invSrc = string(inv)
+		}
+		return verifyPolicy(string(data), invSrc, stdout, stderr)
 	case "bundle":
-		if len(args) != 5 || args[1] != "push" {
+		if (len(args) != 5 && len(args) != 6) || args[1] != "push" {
 			usage(stderr)
 			return 2
 		}
@@ -197,7 +230,16 @@ func run(args []string, stdout, stderr io.Writer, readFile func(string) ([]byte,
 			fmt.Fprintf(stderr, "sackctl: reading policy: %v\n", err)
 			return 1
 		}
-		return bundlePush(args[2], args[3], string(data), stdout, stderr)
+		var invariants string
+		if len(args) == 6 {
+			inv, err := readFile(args[5])
+			if err != nil {
+				fmt.Fprintf(stderr, "sackctl: reading invariants: %v\n", err)
+				return 1
+			}
+			invariants = string(inv)
+		}
+		return bundlePush(args[2], args[3], string(data), invariants, stdout, stderr)
 	case "fleet":
 		if len(args) != 3 || args[1] != "status" {
 			usage(stderr)
@@ -218,7 +260,8 @@ func usage(w io.Writer) {
 	fmt.Fprintln(w, "       sackctl pack [name]")
 	fmt.Fprintln(w, "       sackctl decide <policy-file> <subject> <object> <ops> [event...]")
 	fmt.Fprintln(w, "       sackctl chaos <policy-file> <fault-spec> [event...]")
-	fmt.Fprintln(w, "       sackctl bundle push <url> <group> <policy-file>")
+	fmt.Fprintln(w, "       sackctl verify <policy-file> [-invariants <file>]")
+	fmt.Fprintln(w, "       sackctl bundle push <url> <group> <policy-file> [invariants-file]")
 	fmt.Fprintln(w, "       sackctl fleet status <url>")
 	fmt.Fprintln(w, "       sackctl example")
 }
@@ -353,10 +396,36 @@ func decide(src, subject, object, ops string, events []string, stdout, stderr io
 	return 0
 }
 
+// verifyPolicy runs the symbolic verifier: every invariant in the set
+// is checked against the policy's full situation product space (event
+// reachability, failsafe degradation, break-glass entries). Exit code 0
+// when every invariant holds, 3 when any is violated (each violation
+// printed with its witness trace), mirroring `decide`'s allowed/denied
+// convention so scripts can branch on the verdict.
+func verifyPolicy(src, invSrc string, stdout, stderr io.Writer) int {
+	set, err := sack.ParseInvariants(invSrc)
+	if err != nil {
+		fmt.Fprintf(stderr, "sackctl: %v\n", err)
+		return 2
+	}
+	rep, err := sack.VerifyPolicy(src, set)
+	if err != nil {
+		fmt.Fprintf(stderr, "sackctl: %v\n", err)
+		return 1
+	}
+	fmt.Fprint(stdout, rep.Render())
+	if !rep.OK() {
+		return 3
+	}
+	return 0
+}
+
 // bundlePush validates the policy locally (fast feedback, same checker
-// the server runs) and publishes it as the group's next bundle
-// generation on a fleetd.
-func bundlePush(url, group, src string, stdout, stderr io.Writer) int {
+// the server runs) — and, when an invariant set rides along, verifies
+// it locally too — then publishes it as the group's next bundle
+// generation on a fleetd. The server re-runs the verifier against both
+// the embedded set and any group-registered set before accepting.
+func bundlePush(url, group, src, invariants string, stdout, stderr io.Writer) int {
 	if vr, err := sack.CheckPolicy(src); err != nil {
 		fmt.Fprintf(stderr, "sackctl: %v\n", err)
 		return 1
@@ -366,7 +435,23 @@ func bundlePush(url, group, src string, stdout, stderr io.Writer) int {
 		}
 		return 1
 	}
-	b, err := fleet.NewClient(url).Push(group, src)
+	if invariants != "" {
+		set, err := sack.ParseInvariants(invariants)
+		if err != nil {
+			fmt.Fprintf(stderr, "sackctl: %v\n", err)
+			return 1
+		}
+		rep, err := sack.VerifyPolicy(src, set)
+		if err != nil {
+			fmt.Fprintf(stderr, "sackctl: %v\n", err)
+			return 1
+		}
+		if !rep.OK() {
+			fmt.Fprint(stderr, rep.Render())
+			return 3
+		}
+	}
+	b, err := fleet.NewClient(url).PushWithInvariants(group, src, invariants)
 	if err != nil {
 		fmt.Fprintf(stderr, "sackctl: push: %v\n", err)
 		return 1

@@ -1,0 +1,65 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// verifyBadPolicy hands the IVI unconditional actuator writes — the
+// access the baseline invariant set forbids in every state.
+const verifyBadPolicy = `
+states { workshop }
+initial workshop
+permissions { CAN }
+state_per { workshop: CAN }
+per_rules { CAN { allow write /dev/can/actuator* } }
+`
+
+const verifyNever = "never /usr/bin/ivi write /dev/can/actuator*\n"
+
+func TestVerifyDefaultsToBaseline(t *testing.T) {
+	code, out, errOut := runCtl(t, map[string]string{"p": fleetTestPolicy}, "verify", "p")
+	if code != 0 {
+		t.Fatalf("verify against baseline: code=%d stderr=%s", code, errOut)
+	}
+	if !strings.Contains(out, "all invariants hold") {
+		t.Fatalf("verify output: %q", out)
+	}
+}
+
+func TestVerifyViolationExitsThreeWithWitness(t *testing.T) {
+	files := map[string]string{"p": verifyBadPolicy, "inv": verifyNever}
+	code, out, _ := runCtl(t, files, "verify", "p", "-invariants", "inv")
+	if code != 3 {
+		t.Fatalf("violating verify: code=%d out=%s", code, out)
+	}
+	for _, frag := range []string{"violation", "witness:", "/usr/bin/ivi", "/dev/can/actuator", "trace:", "workshop", "rule:"} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("verify output lacks %q:\n%s", frag, out)
+		}
+	}
+	// The baseline default catches the same leak.
+	code, out, _ = runCtl(t, files, "verify", "p")
+	if code != 3 || !strings.Contains(out, "witness:") {
+		t.Fatalf("baseline default missed the violation: code=%d out=%s", code, out)
+	}
+}
+
+func TestVerifyErrors(t *testing.T) {
+	if code, _, _ := runCtl(t, nil, "verify"); code != 2 {
+		t.Fatalf("bare verify: code=%d", code)
+	}
+	if code, _, _ := runCtl(t, nil, "verify", "p", "-invariants"); code != 2 {
+		t.Fatalf("dangling -invariants: code=%d", code)
+	}
+	if code, _, _ := runCtl(t, map[string]string{"p": fleetTestPolicy}, "verify", "missing"); code != 1 {
+		t.Fatalf("missing policy file: code=%d", code)
+	}
+	files := map[string]string{"p": fleetTestPolicy, "inv": "never - fly /x"}
+	if code, _, errOut := runCtl(t, files, "verify", "p", "-invariants", "inv"); code != 2 || !strings.Contains(errOut, "unknown operation") {
+		t.Fatalf("bad invariant grammar: code=%d stderr=%q", code, errOut)
+	}
+	if code, _, _ := runCtl(t, map[string]string{"p": "states { a a }"}, "verify", "p"); code != 1 {
+		t.Fatalf("invalid policy: code=%d", code)
+	}
+}

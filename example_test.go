@@ -56,7 +56,7 @@ per_rules {
 
 	// Output:
 	// errors: 0
-	// warning: state 's' both allows and denies overlapping paths "/data/**" and "/data/*.txt" (deny wins at runtime)
+	// warning: state 's' both allows and denies overlapping paths "/data/**" and "/data/*.txt" (deny wins at runtime), e.g. "/data/.txt"
 }
 
 // ExampleSystem_DeliverEvent demonstrates the SACKfs pseudo-file route a

@@ -42,6 +42,10 @@ var (
 	ErrUnknownGroup = errors.New("fleet: unknown vehicle group")
 	// ErrDropped is what an injected transport drop surfaces as.
 	ErrDropped = errors.New("fleet: injected transport drop")
+	// ErrInvariantViolation: the publish-time verifier proved the bundle
+	// violates the group's (or its own embedded) invariant set; the
+	// wrapped message carries the witness trace. Nothing was published.
+	ErrInvariantViolation = errors.New("fleet: bundle violates invariants")
 )
 
 // LogRecord is one decision-log (audit) record in transit. It mirrors

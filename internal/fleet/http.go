@@ -18,7 +18,10 @@ import (
 //
 //	GET  /v1/bundle/{group}   download the group's bundle (wire format);
 //	                          If-None-Match + ?wait= give ETag long-poll
-//	POST /v1/bundle/{group}   publish policy source as the next generation
+//	POST /v1/bundle/{group}   publish policy source (optionally followed
+//	                          by "--- invariants ---" and an invariant
+//	                          set) as the next generation; 422 with the
+//	                          witness trace when the verifier refuses it
 //	POST /v1/status           report one VehicleStatus (JSON)
 //	POST /v1/logs/{vehicle}   upload a decision-log batch (JSON array);
 //	                          429 = backpressure, nothing taken
@@ -53,13 +56,21 @@ func Handler(s *Server) http.Handler {
 	})
 
 	mux.HandleFunc("POST /v1/bundle/{group}", func(w http.ResponseWriter, r *http.Request) {
-		src, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 1<<20))
+		body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 1<<20))
 		if err != nil {
 			http.Error(w, err.Error(), http.StatusBadRequest)
 			return
 		}
-		b, err := s.Publish(r.PathValue("group"), string(src))
+		// The body may carry an invariant set after the bundle section
+		// separator; both halves go through the publish gate.
+		src, inv := policy.SplitSourceInvariants(string(body))
+		b, err := s.PublishBundle(r.PathValue("group"), src, inv)
 		if err != nil {
+			if errors.Is(err, ErrInvariantViolation) {
+				// The witness trace rides in the 4xx body; the header lets
+				// the client invert the typed error without parsing text.
+				w.Header().Set("X-Fleet-Reject", "invariant-violation")
+			}
 			http.Error(w, err.Error(), http.StatusUnprocessableEntity)
 			return
 		}
@@ -244,11 +255,25 @@ func (c *Client) UploadLogs(vehicle string, recs []LogRecord) (int, error) {
 
 // Push publishes policy source as the group's next bundle generation.
 func (c *Client) Push(group, src string) (policy.Bundle, error) {
-	resp, err := c.httpClient().Post(c.Base+"/v1/bundle/"+group, "text/plain", bytes.NewReader([]byte(src)))
+	return c.PushWithInvariants(group, src, "")
+}
+
+// PushWithInvariants publishes policy source together with an invariant
+// set the server must prove before installing the bundle (and every
+// future bundle of the group keeps carrying). A verifier refusal comes
+// back as ErrInvariantViolation with the witness trace in the message.
+func (c *Client) PushWithInvariants(group, src, invariants string) (policy.Bundle, error) {
+	body := policy.JoinSourceInvariants(src, invariants)
+	resp, err := c.httpClient().Post(c.Base+"/v1/bundle/"+group, "text/plain", bytes.NewReader([]byte(body)))
 	if err != nil {
 		return policy.Bundle{}, err
 	}
 	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusUnprocessableEntity &&
+		resp.Header.Get("X-Fleet-Reject") == "invariant-violation" {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 8192))
+		return policy.Bundle{}, fmt.Errorf("%w: %s", ErrInvariantViolation, bytes.TrimSpace(msg))
+	}
 	if resp.StatusCode != http.StatusOK {
 		return policy.Bundle{}, httpError(resp)
 	}

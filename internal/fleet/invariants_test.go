@@ -1,0 +1,156 @@
+package fleet
+
+import (
+	"errors"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// actuatorPolicy grants every subject actuator writes — exactly what
+// the baseline `never` invariant forbids.
+const actuatorPolicy = `
+states { workshop }
+initial workshop
+permissions { CAN }
+state_per { workshop: CAN }
+per_rules { CAN { allow write /dev/can/actuator* } }
+`
+
+const actuatorNever = "never /usr/bin/ivi write /dev/can/actuator*\n"
+
+// safePolicy denies the IVI before the broad allow, so the invariant
+// holds.
+const safePolicy = `
+states { workshop }
+initial workshop
+permissions { CAN }
+state_per { workshop: CAN }
+per_rules {
+  CAN {
+    allow write /dev/can/actuator* subject /usr/bin/diagtool
+    deny write /dev/can/** subject /usr/bin/ivi
+  }
+}
+`
+
+func TestPublishGateRejectsViolation(t *testing.T) {
+	s := NewServer()
+	if err := s.SetInvariants("canbus", "never - fly /x"); err == nil {
+		t.Fatal("bad invariant grammar accepted")
+	}
+	if err := s.SetInvariants("canbus", actuatorNever); err != nil {
+		t.Fatalf("SetInvariants: %v", err)
+	}
+	if got := s.GroupInvariants("canbus"); got != actuatorNever {
+		t.Fatalf("GroupInvariants = %q", got)
+	}
+
+	_, err := s.Publish("canbus", actuatorPolicy)
+	if !errors.Is(err, ErrInvariantViolation) {
+		t.Fatalf("violating publish: err = %v, want ErrInvariantViolation", err)
+	}
+	for _, frag := range []string{"witness:", "/dev/can/actuator", "trace:", "workshop"} {
+		if !strings.Contains(err.Error(), frag) {
+			t.Errorf("rejection lacks %q: %v", frag, err)
+		}
+	}
+	if _, err := s.Bundle("canbus"); !errors.Is(err, ErrUnknownGroup) {
+		t.Fatal("rejected bundle reached the registry")
+	}
+
+	// The compliant revision publishes.
+	b, err := s.Publish("canbus", safePolicy)
+	if err != nil {
+		t.Fatalf("compliant publish: %v", err)
+	}
+	if b.Generation != 1 {
+		t.Fatalf("generation = %d, want 1 (rejection must not burn one)", b.Generation)
+	}
+
+	// Audit log saw both attempts; counters match.
+	log := s.PublishLog()
+	if len(log) != 2 {
+		t.Fatalf("publish log has %d records, want 2", len(log))
+	}
+	if log[0].Outcome != "invariant-violation" || !strings.Contains(log[0].Reason, "witness:") {
+		t.Fatalf("rejection audit record wrong: %+v", log[0])
+	}
+	if log[1].Outcome != "published" || log[1].Generation != 1 {
+		t.Fatalf("publish audit record wrong: %+v", log[1])
+	}
+	st := s.Stats()
+	if st.Published != 1 || st.PublishViolations != 1 || st.PublishRejects != 0 {
+		t.Fatalf("publish counters: %+v", st)
+	}
+	if !strings.Contains(st.Render(), "publish_violations: 1") {
+		t.Fatal("Render missing publish counters")
+	}
+}
+
+func TestPublishBundleEmbeddedInvariants(t *testing.T) {
+	s := NewServer()
+	// The bundle's own invariant set gates it even with no group set.
+	if _, err := s.PublishBundle("g", actuatorPolicy, actuatorNever); !errors.Is(err, ErrInvariantViolation) {
+		t.Fatalf("embedded set did not gate: %v", err)
+	}
+	// Bad embedded grammar is a plain rejection.
+	if _, err := s.PublishBundle("g", safePolicy, "garbage line"); err == nil || errors.Is(err, ErrInvariantViolation) {
+		t.Fatalf("bad embedded grammar: %v", err)
+	}
+	b, err := s.PublishBundle("g", safePolicy, actuatorNever)
+	if err != nil {
+		t.Fatalf("compliant publish: %v", err)
+	}
+	if b.Invariants != actuatorNever {
+		t.Fatalf("bundle does not carry invariants: %q", b.Invariants)
+	}
+	// The set survives the wire format to agents.
+	got, _, err := s.FetchBundle("g", "", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Invariants != actuatorNever {
+		t.Fatalf("fetched bundle invariants = %q", got.Invariants)
+	}
+}
+
+func TestPublishGateOverHTTP(t *testing.T) {
+	s := NewServer()
+	srv := httptest.NewServer(Handler(s))
+	defer srv.Close()
+	c := NewClient(srv.URL)
+
+	_, err := c.PushWithInvariants("canbus", actuatorPolicy, actuatorNever)
+	if !errors.Is(err, ErrInvariantViolation) {
+		t.Fatalf("push: err = %v, want ErrInvariantViolation", err)
+	}
+	if !strings.Contains(err.Error(), "witness:") || !strings.Contains(err.Error(), "/dev/can/actuator") {
+		t.Fatalf("422 body lost the witness: %v", err)
+	}
+
+	b, err := c.PushWithInvariants("canbus", safePolicy, actuatorNever)
+	if err != nil {
+		t.Fatalf("compliant push: %v", err)
+	}
+	if b.Generation != 1 {
+		t.Fatalf("generation = %d", b.Generation)
+	}
+	// The invariants round-trip to a polling client through the bundle
+	// wire encoding.
+	got, modified, err := c.FetchBundle("canbus", "", 0)
+	if err != nil || !modified {
+		t.Fatalf("fetch: modified=%v err=%v", modified, err)
+	}
+	if got.Invariants != actuatorNever {
+		t.Fatalf("fetched invariants = %q", got.Invariants)
+	}
+
+	// A group invariant registered server-side gates plain Push too.
+	if err := s.SetInvariants("other", actuatorNever); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Push("other", actuatorPolicy); !errors.Is(err, ErrInvariantViolation) {
+		t.Fatalf("group-set gate over http: %v", err)
+	}
+}

@@ -11,6 +11,7 @@ import (
 
 	"repro/internal/policy"
 	"repro/internal/resilience"
+	"repro/internal/verify"
 )
 
 // Server defaults.
@@ -38,6 +39,17 @@ type Server struct {
 	regMu  sync.Mutex
 	groups map[string]*groupEntry
 
+	// per-group invariant sets: the publish gate re-proves these against
+	// every candidate bundle before it can reach the registry.
+	invariants map[string]*invariantEntry
+
+	// publish audit log (bounded; newest kept) and counters.
+	pubMu        sync.Mutex
+	pubLog       []PublishRecord
+	published    uint64
+	pubRejected  uint64 // validation/compile failures
+	pubViolation uint64 // invariant-gate rejections
+
 	// per-vehicle state, sharded by FNV hash of the vehicle ID so
 	// status reports and log uploads from different vehicles never
 	// contend on one lock.
@@ -64,6 +76,27 @@ type groupEntry struct {
 	bundle policy.Bundle
 	notify chan struct{} // closed and replaced on every publish
 }
+
+type invariantEntry struct {
+	src string
+	set *verify.Set
+}
+
+// PublishRecord is one entry of the server's publish audit log: every
+// attempt to install a bundle, accepted or not, with the rejection
+// reason (including the verifier's witness) when refused.
+type PublishRecord struct {
+	When       time.Time `json:"when"`
+	Group      string    `json:"group"`
+	Generation uint64    `json:"generation,omitempty"` // 0 when rejected
+	Checksum   string    `json:"checksum"`
+	Outcome    string    `json:"outcome"` // "published" | "rejected" | "invariant-violation"
+	Reason     string    `json:"reason,omitempty"`
+}
+
+// publishLogCap bounds the publish audit log; publishes are rare
+// (human- or pipeline-driven), so a small window is plenty.
+const publishLogCap = 256
 
 type serverShard struct {
 	mu sync.Mutex
@@ -140,7 +173,8 @@ func WithShards(n int) ServerOption {
 // NewServer builds an empty control plane.
 func NewServer(opts ...ServerOption) *Server {
 	s := &Server{
-		groups: make(map[string]*groupEntry),
+		groups:     make(map[string]*groupEntry),
+		invariants: make(map[string]*invariantEntry),
 		shards: make([]serverShard, DefaultShards),
 		logCap: DefaultLogCapacity,
 		gates: resilience.NewKeyedBulkheads(resilience.BulkheadConfig{
@@ -170,16 +204,92 @@ func (s *Server) shardFor(vehicle string) *serverShard {
 // rather than once per vehicle at apply time. Validation failures
 // publish nothing.
 func (s *Server) Publish(group, src string) (policy.Bundle, error) {
+	return s.PublishBundle(group, src, "")
+}
+
+// SetInvariants registers (or, with empty src, clears) the group's
+// invariant set. Every subsequent publish to the group must prove the
+// set before the bundle is installed. The source is parsed here so a
+// syntax error surfaces to the operator, not at the next publish.
+func (s *Server) SetInvariants(group, src string) error {
+	if group == "" {
+		return fmt.Errorf("fleet: empty group name")
+	}
+	s.regMu.Lock()
+	defer s.regMu.Unlock()
+	if strings.TrimSpace(src) == "" {
+		delete(s.invariants, group)
+		return nil
+	}
+	set, err := verify.ParseSet(src)
+	if err != nil {
+		return fmt.Errorf("fleet: bad invariant set for group %q: %w", group, err)
+	}
+	s.invariants[group] = &invariantEntry{src: src, set: set}
+	return nil
+}
+
+// GroupInvariants returns the invariant source registered for a group
+// ("" when none).
+func (s *Server) GroupInvariants(group string) string {
+	s.regMu.Lock()
+	defer s.regMu.Unlock()
+	if e := s.invariants[group]; e != nil {
+		return e.src
+	}
+	return ""
+}
+
+// PublishBundle is Publish with an optional bundle-embedded invariant
+// set: the candidate policy must prove BOTH the group's registered
+// invariants and the ones it carries. On success the embedded set rides
+// in the bundle (versioned with the policy, distributed to agents); a
+// violation rejects the publish with ErrInvariantViolation and the
+// verifier's witness, and the attempt lands in the publish audit log.
+func (s *Server) PublishBundle(group, src, invariants string) (policy.Bundle, error) {
 	if group == "" {
 		return policy.Bundle{}, fmt.Errorf("fleet: empty group name")
 	}
+	reject := func(outcome string, err error) (policy.Bundle, error) {
+		s.auditPublish(PublishRecord{
+			When: time.Now(), Group: group, Checksum: policy.ChecksumSource(src),
+			Outcome: outcome, Reason: err.Error(),
+		})
+		return policy.Bundle{}, err
+	}
 	compiled, vr, err := policy.Load(src)
 	if err != nil {
-		return policy.Bundle{}, fmt.Errorf("fleet: bundle rejected: %w", err)
+		return reject("rejected", fmt.Errorf("fleet: bundle rejected: %w", err))
 	}
 	if !vr.OK() {
-		return policy.Bundle{}, fmt.Errorf("fleet: bundle rejected: %w", vr.Err())
+		return reject("rejected", fmt.Errorf("fleet: bundle rejected: %w", vr.Err()))
 	}
+	var embedded *verify.Set
+	if strings.TrimSpace(invariants) != "" {
+		if embedded, err = verify.ParseSet(invariants); err != nil {
+			return reject("rejected", fmt.Errorf("fleet: bundle rejected: %w", err))
+		}
+	}
+
+	s.regMu.Lock()
+	groupInv := s.invariants[group]
+	s.regMu.Unlock()
+	for _, gate := range []struct {
+		origin string
+		set    *verify.Set
+	}{
+		{"group", setOf(groupInv)},
+		{"bundle", embedded},
+	} {
+		if gate.set == nil {
+			continue
+		}
+		if rep := verify.Check(compiled, gate.set); !rep.OK() {
+			return reject("invariant-violation",
+				fmt.Errorf("%w (%s set):\n%s", ErrInvariantViolation, gate.origin, rep.Render()))
+		}
+	}
+
 	s.regMu.Lock()
 	defer s.regMu.Unlock()
 	e := s.groups[group]
@@ -187,12 +297,47 @@ func (s *Server) Publish(group, src string) (policy.Bundle, error) {
 		e = &groupEntry{notify: make(chan struct{})}
 		s.groups[group] = e
 	}
-	b := policy.NewBundle(group, e.bundle.Generation+1, src)
+	b := policy.NewBundle(group, e.bundle.Generation+1, src).WithInvariants(invariants)
 	b.Compiled = compiled
 	e.bundle = b
 	close(e.notify)
 	e.notify = make(chan struct{})
+	s.auditPublish(PublishRecord{
+		When: time.Now(), Group: group, Generation: b.Generation,
+		Checksum: b.Checksum, Outcome: "published",
+	})
 	return b, nil
+}
+
+func setOf(e *invariantEntry) *verify.Set {
+	if e == nil {
+		return nil
+	}
+	return e.set
+}
+
+func (s *Server) auditPublish(rec PublishRecord) {
+	s.pubMu.Lock()
+	defer s.pubMu.Unlock()
+	switch rec.Outcome {
+	case "published":
+		s.published++
+	case "invariant-violation":
+		s.pubViolation++
+	default:
+		s.pubRejected++
+	}
+	s.pubLog = append(s.pubLog, rec)
+	if len(s.pubLog) > publishLogCap {
+		s.pubLog = append(s.pubLog[:0], s.pubLog[len(s.pubLog)-publishLogCap:]...)
+	}
+}
+
+// PublishLog returns a copy of the publish audit log, oldest first.
+func (s *Server) PublishLog() []PublishRecord {
+	s.pubMu.Lock()
+	defer s.pubMu.Unlock()
+	return append([]PublishRecord(nil), s.pubLog...)
 }
 
 // Bundle returns the group's current bundle.
@@ -438,6 +583,10 @@ type FleetStats struct {
 	BreakersOpen int                     `json:"breakers_open"` // vehicles reporting a non-closed breaker
 	AgentSheds   uint64                  `json:"agent_sheds"`   // agent rounds shed by bulkheads
 	Fallbacks    uint64                  `json:"fallbacks"`     // agent rounds served from cached bundles
+	// Publish gate counters.
+	Published         uint64 `json:"published"`
+	PublishRejects    uint64 `json:"publish_rejects"`    // invalid bundles
+	PublishViolations uint64 `json:"publish_violations"` // invariant-gate rejections
 }
 
 // Stats computes the aggregate fleet view.
@@ -494,6 +643,10 @@ func (s *Server) Stats() FleetStats {
 	sort.Slice(st.Groups, func(i, j int) bool { return st.Groups[i].Group < st.Groups[j].Group })
 	st.Ingest = s.gates.Stats()
 
+	s.pubMu.Lock()
+	st.Published, st.PublishRejects, st.PublishViolations = s.published, s.pubRejected, s.pubViolation
+	s.pubMu.Unlock()
+
 	s.logMu.Lock()
 	st.Logs = LogStats{
 		Depth: len(s.logBuf), Capacity: s.logCap,
@@ -528,6 +681,9 @@ func (st FleetStats) Render() string {
 		fmt.Fprintf(&b, "ingest %s: active=%d queued=%d admitted=%d shed=%d\n",
 			key, in.Active, in.Queued, in.Admitted, in.Shed)
 	}
+	fmt.Fprintf(&b, "published: %d\n", st.Published)
+	fmt.Fprintf(&b, "publish_rejects: %d\n", st.PublishRejects)
+	fmt.Fprintf(&b, "publish_violations: %d\n", st.PublishViolations)
 	fmt.Fprintf(&b, "breakers_open: %d\n", st.BreakersOpen)
 	fmt.Fprintf(&b, "agent_sheds: %d\n", st.AgentSheds)
 	fmt.Fprintf(&b, "fallbacks: %d\n", st.Fallbacks)

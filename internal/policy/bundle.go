@@ -19,6 +19,12 @@ type Bundle struct {
 	Checksum   string // hex SHA-256 of Source
 	Source     string // SACK policy text
 
+	// Invariants optionally carries a verify-grammar invariant set
+	// versioned with the policy (see internal/verify): fleets publish the
+	// safety properties alongside the rules they constrain, and the
+	// registry re-proves them at every publish. Empty means none.
+	Invariants string
+
 	// Compiled is the enforcement-ready artifact for Source, populated by
 	// the registry at publish time so in-process consumers (the fleet
 	// agent's apply path) skip re-validating and re-compiling per vehicle.
@@ -32,6 +38,11 @@ type Bundle struct {
 // format evolve without breaking deployed agents.
 const bundleMagic = "SACK-BUNDLE/1"
 
+// invariantsSeparator splits the policy source from the optional
+// invariants section in the wire encoding. Bundles without invariants
+// encode exactly as before this section existed.
+const invariantsSeparator = "\n--- invariants ---\n"
+
 // Checksum fingerprints policy source for bundle integrity checks.
 func ChecksumSource(src string) string {
 	sum := sha256.Sum256([]byte(src))
@@ -43,6 +54,14 @@ func ChecksumSource(src string) string {
 // that at publish time, and the vehicle again at apply time.
 func NewBundle(group string, generation uint64, src string) Bundle {
 	return Bundle{Group: group, Generation: generation, Checksum: ChecksumSource(src), Source: src}
+}
+
+// WithInvariants returns a copy of the bundle carrying an invariant
+// set. The set rides inside the same wire envelope (its own section and
+// checksum), so policy and safety properties version together.
+func (b Bundle) WithInvariants(invariants string) Bundle {
+	b.Invariants = invariants
+	return b
 }
 
 // ETag is the HTTP-style entity tag of the bundle revision —
@@ -66,8 +85,15 @@ func (b Bundle) Encode() []byte {
 	fmt.Fprintf(&sb, "group: %s\n", b.Group)
 	fmt.Fprintf(&sb, "generation: %d\n", b.Generation)
 	fmt.Fprintf(&sb, "checksum: %s\n", b.Checksum)
+	if b.Invariants != "" {
+		fmt.Fprintf(&sb, "invariants-checksum: %s\n", ChecksumSource(b.Invariants))
+	}
 	sb.WriteString("---\n")
 	sb.WriteString(b.Source)
+	if b.Invariants != "" {
+		sb.WriteString(invariantsSeparator)
+		sb.WriteString(b.Invariants)
+	}
 	return []byte(sb.String())
 }
 
@@ -86,6 +112,10 @@ func DecodeBundle(data []byte) (Bundle, error) {
 		return Bundle{}, fmt.Errorf("policy: not a %s bundle", bundleMagic)
 	}
 	b := Bundle{Source: source}
+	var wantInvSum string
+	if src, inv, ok := strings.Cut(b.Source, invariantsSeparator); ok {
+		b.Source, b.Invariants = src, inv
+	}
 	for _, line := range lines[1:] {
 		key, val, ok := strings.Cut(line, ":")
 		if !ok {
@@ -103,6 +133,8 @@ func DecodeBundle(data []byte) (Bundle, error) {
 			b.Generation = gen
 		case "checksum":
 			b.Checksum = val
+		case "invariants-checksum":
+			wantInvSum = val
 		default:
 			// Unknown headers are ignored for forward compatibility.
 		}
@@ -113,5 +145,27 @@ func DecodeBundle(data []byte) (Bundle, error) {
 	if got := ChecksumSource(b.Source); got != b.Checksum {
 		return Bundle{}, fmt.Errorf("policy: bundle checksum mismatch: header %s, body %s", b.Checksum, got)
 	}
+	if wantInvSum != "" || b.Invariants != "" {
+		if got := ChecksumSource(b.Invariants); got != wantInvSum {
+			return Bundle{}, fmt.Errorf("policy: bundle invariants checksum mismatch: header %q, body %s", wantInvSum, got)
+		}
+	}
 	return b, nil
 }
+
+// JoinSourceInvariants packs policy source and an optional invariant
+// set into one body using the bundle section separator — the form the
+// fleetd publish endpoint accepts.
+func JoinSourceInvariants(src, invariants string) string {
+	if invariants == "" {
+		return src
+	}
+	return src + invariantsSeparator + invariants
+}
+
+// SplitSourceInvariants is the inverse of JoinSourceInvariants.
+func SplitSourceInvariants(body string) (src, invariants string) {
+	src, invariants, _ = strings.Cut(body, invariantsSeparator)
+	return src, invariants
+}
+

@@ -48,3 +48,31 @@ func TestBundleDecodeRejectsCorruption(t *testing.T) {
 		t.Fatalf("missing checksum: err = %v", err)
 	}
 }
+
+func TestBundleInvariantsRoundTrip(t *testing.T) {
+	inv := "never /usr/bin/ivi write /dev/can/actuator*\nreachable parked\n"
+	b := NewBundle("fleet-a", 3, "states { parked }\ninitial parked\n").WithInvariants(inv)
+	got, err := DecodeBundle(b.Encode())
+	if err != nil {
+		t.Fatalf("DecodeBundle: %v", err)
+	}
+	if got.Invariants != inv {
+		t.Fatalf("invariants round-trip: got %q, want %q", got.Invariants, inv)
+	}
+	if got.Source != b.Source || got.Checksum != b.Checksum {
+		t.Fatalf("policy fields damaged by invariants section: %+v", got)
+	}
+
+	// A bundle without invariants encodes byte-identically to the
+	// pre-invariants format.
+	plain := NewBundle("fleet-a", 3, b.Source)
+	if strings.Contains(string(plain.Encode()), "invariants") {
+		t.Fatal("empty invariants must not change the wire format")
+	}
+
+	// Tampering with the invariants section is caught.
+	tampered := strings.Replace(string(b.Encode()), "ivi", "IVI", 1)
+	if _, err := DecodeBundle([]byte(tampered)); err == nil || !strings.Contains(err.Error(), "invariants checksum") {
+		t.Fatalf("tampered invariants accepted: %v", err)
+	}
+}

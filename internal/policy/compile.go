@@ -332,12 +332,22 @@ func Compile(f *File) (*Compiled, *ValidationResult, error) {
 
 	// Pre-compose g(f(SS)) for every state: the rule set the APE installs
 	// on transition, so enforcement is one pointer swap (Algorithm 1).
+	statePos := make(map[string]Pos, len(f.States))
+	for _, s := range f.States {
+		statePos[s.Name] = s.Pos
+	}
 	for _, s := range c.States {
 		var rules []CompiledRule
 		for _, perm := range c.StatePerms[s.Name] {
 			rules = append(rules, c.PermRules[perm]...)
 		}
-		c.StateSets[s.Name] = NewRuleSet(s.Name, rules)
+		rs := NewRuleSet(s.Name, rules)
+		if rs.Matcher() == nil {
+			vr.warnf(statePos[s.Name],
+				"state %s composes %d rules, beyond the %d-rule matcher bound; decisions in this state use the slower walk engine",
+				quoteIdent(s.Name), rs.Len(), maxMatcherRules)
+		}
+		c.StateSets[s.Name] = rs
 	}
 
 	for _, t := range f.Transitions {

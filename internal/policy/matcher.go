@@ -25,27 +25,51 @@ import (
 // diverge. The differential fuzz suite (matcher_diff_test.go) holds the
 // two engines against each other over random policies and access keys.
 
-// maxMatcherRules bounds the per-state rule count the trie's fixed-size
-// match bitset can carry. States with more rules fall back to the walk
-// engine (Matcher() returns nil); the bound is far above any policy in
-// the corpus and keeps the hot-path scratch state stack-allocated.
-const maxMatcherRules = 1024
+// inlineMatcherWords sizes the match bitset's inline segment: rule sets
+// up to inlineMatcherWords*64 rules (the overwhelming case — every
+// policy in the corpus fits many times over) track matches entirely on
+// the caller's stack, so a decision allocates nothing. Larger sets
+// spill the remaining words into one per-decision slice — a single
+// allocation, still orders of magnitude cheaper than falling back to
+// the glob walk the old hard 1024-rule cutoff forced.
+const inlineMatcherWords = 16
 
-const matcherWords = maxMatcherRules / 64
+// maxMatcherRules is the residual safety bound on indexable rules per
+// state — a memory guard far past any plausible fleet policy, not a
+// performance cliff. A state exceeding it keeps the walk engine and
+// Compile emits a warning naming the cap (never a silent downgrade).
+// Variable, not constant, so tests can exercise the cap without
+// building a million rules.
+var maxMatcherRules = 1 << 20
 
-// matchBits is the per-decision scratch state: one bit per rule rank.
-// It lives on the caller's stack — the walk never retains a pointer to
-// it — so a decision allocates nothing.
+// matchBits is the per-decision scratch state: one bit per rule rank,
+// segmented into the inline stack-resident words plus an optional
+// spill block for states beyond the inline capacity. The walk never
+// retains a pointer to it.
 type matchBits struct {
-	words [matcherWords]uint64
+	inline [inlineMatcherWords]uint64
+	spill  []uint64 // words inlineMatcherWords.. for >1024-rule states
 }
 
-func (b *matchBits) set(rank int32) { b.words[rank>>6] |= 1 << uint(rank&63) }
+func (b *matchBits) set(rank int32) {
+	if w := int(rank >> 6); w < inlineMatcherWords {
+		b.inline[w] |= 1 << uint(rank&63)
+	} else {
+		b.spill[w-inlineMatcherWords] |= 1 << uint(rank&63)
+	}
+}
 
 func (b *matchBits) setAll(ranks []int32) {
 	for _, r := range ranks {
-		b.words[r>>6] |= 1 << uint(r&63)
+		b.set(r)
 	}
+}
+
+func (b *matchBits) word(w int) uint64 {
+	if w < inlineMatcherWords {
+		return b.inline[w]
+	}
+	return b.spill[w-inlineMatcherWords]
 }
 
 // mnode is one trie node; edges consume exactly one path segment.
@@ -120,8 +144,10 @@ type Matcher struct {
 	words        int // bitset words in use: ceil(len(byRank)/64)
 }
 
-// newMatcher compiles a rule set into a Matcher. It returns nil when the
-// set exceeds maxMatcherRules; callers fall back to the walk engine.
+// newMatcher compiles a rule set into a Matcher. It returns nil only
+// when the set exceeds the maxMatcherRules memory guard; callers fall
+// back to the walk engine, and Compile turns that fallback into a
+// visible validation warning.
 func newMatcher(rs *RuleSet) *Matcher {
 	if len(rs.rules) > maxMatcherRules {
 		return nil
@@ -192,6 +218,9 @@ func (m *Matcher) ComplexRules() int { return len(m.complex) }
 // rare complex rules — the original backtracking matcher run.
 func (m *Matcher) Decide(subject, path string, mask sys.Access) (allowed bool, matched *CompiledRule) {
 	var st matchBits
+	if m.words > inlineMatcherWords {
+		st.spill = make([]uint64, m.words-inlineMatcherWords)
+	}
 	if len(path) > 0 && path[0] == '/' {
 		m.walk(m.root, path, 1, &st)
 	}
@@ -208,7 +237,7 @@ func (m *Matcher) Decide(subject, path string, mask sys.Access) (allowed bool, m
 	var granted sys.Access
 	var lastAllow *CompiledRule
 	for w := 0; w < m.words; w++ {
-		word := st.words[w]
+		word := st.word(w)
 		for word != 0 {
 			rank := w<<6 + bits.TrailingZeros64(word)
 			word &= word - 1

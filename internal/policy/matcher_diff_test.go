@@ -175,9 +175,15 @@ func TestMatcherDifferentialLinear(t *testing.T) {
 	}
 }
 
-// TestMatcherOversizedFallback: a rule set beyond the matcher bound
-// builds no trie, signalling callers to stay on the walk engine.
+// TestMatcherOversizedFallback: a rule set beyond the residual memory
+// guard builds no trie, signalling callers to stay on the walk engine.
+// The guard is a variable so the test can lower it instead of building
+// a million rules.
 func TestMatcherOversizedFallback(t *testing.T) {
+	old := maxMatcherRules
+	maxMatcherRules = 8
+	defer func() { maxMatcherRules = old }()
+
 	pat := glob.MustCompile("/srv/**")
 	rules := make([]CompiledRule, maxMatcherRules+1)
 	for i := range rules {
@@ -188,5 +194,35 @@ func TestMatcherOversizedFallback(t *testing.T) {
 	}
 	if rs := NewRuleSet("fits", rules[:maxMatcherRules]); rs.Matcher() == nil {
 		t.Fatal("rule set at the bound should build a matcher")
+	}
+}
+
+// TestMatcherSpillDifferential exercises the segmented bitset's spill
+// block: >1024 rules used to silently skip trie compilation; now they
+// compile and must stay exact against the walk engine, including rules
+// whose ranks land deep in the spill words.
+func TestMatcherSpillDifferential(t *testing.T) {
+	r := rand.New(rand.NewSource(4242))
+	rules := genRules(t, r, inlineMatcherWords*64+300) // 1324 rules: inline + spill
+	rs := NewRuleSet("spill", rules)
+	m := rs.Matcher()
+	if m == nil {
+		t.Fatalf("matcher not built for %d rules", len(rules))
+	}
+	if m.words <= inlineMatcherWords {
+		t.Fatalf("rule set does not reach the spill block: %d words", m.words)
+	}
+	for trial := 0; trial < 2000; trial++ {
+		path := genPath(r)
+		subject := diffSubjects[r.Intn(len(diffSubjects))]
+		mask := sys.Access(r.Intn(8))
+		wantAllowed, wantRule := rs.Decide(subject, path, mask)
+		gotAllowed, gotRule := m.Decide(subject, path, mask)
+		if gotAllowed != wantAllowed || gotRule != wantRule {
+			t.Fatalf("trial %d: divergence on subject=%q path=%q mask=%s:\n"+
+				"  walk: allowed=%v rule=%v\n  trie: allowed=%v rule=%v",
+				trial, subject, path, mask,
+				wantAllowed, ruleStr(wantRule), gotAllowed, ruleStr(gotRule))
+		}
 	}
 }

@@ -238,28 +238,27 @@ func Validate(f *File) *ValidationResult {
 	}
 
 	// --- reachability ---
+	// Classification is shared with the symbolic verifier (reach.go), so
+	// the warning classes here and the verifier's reachable set can never
+	// disagree. Failsafe-only and break-glass-only states get distinct
+	// warnings: both are invisible to normal operation, but the former is
+	// entered by the watchdog while the latter needs a CAP_MAC_ADMIN
+	// break-glass force — dead policy unless that is the intent.
 	if initial != "" && len(f.Transitions) > 0 {
-		reachable := map[string]bool{initial: true}
-		queue := []string{initial}
-		// The failsafe state is entered out-of-band (pipeline
-		// degradation forces it), so it is a reachability root too.
-		if f.Failsafe != "" && !reachable[f.Failsafe] {
-			reachable[f.Failsafe] = true
-			queue = append(queue, f.Failsafe)
-		}
-		for len(queue) > 0 {
-			cur := queue[0]
-			queue = queue[1:]
-			for _, next := range adjacency[cur] {
-				if !reachable[next] {
-					reachable[next] = true
-					queue = append(queue, next)
-				}
-			}
-		}
+		names := make([]string, 0, len(f.States))
 		for _, s := range f.States {
-			if !reachable[s.Name] {
-				r.warnf(s.Pos, "state %s is unreachable from the initial state %s",
+			names = append(names, s.Name)
+		}
+		kinds := classifyReachability(names, initial, f.Failsafe, adjacency)
+		for _, s := range f.States {
+			switch kinds[s.Name] {
+			case EntryFailsafe:
+				if s.Name != f.Failsafe {
+					r.warnf(s.Pos, "state %s is only reachable after failsafe degradation pins %s (no normal event path from %s)",
+						quoteIdent(s.Name), quoteIdent(f.Failsafe), quoteIdent(initial))
+				}
+			case EntryBreakGlass:
+				r.warnf(s.Pos, "state %s is unreachable from the initial state %s (only break-glass can enter it)",
 					quoteIdent(s.Name), quoteIdent(initial))
 			}
 		}
@@ -327,9 +326,13 @@ func detectConflicts(r *ValidationResult, f *File) {
 				if isCarveOut(allow.Path, deny.Path) {
 					continue
 				}
-				if patternsOverlap(a.Path, b.Path) {
-					r.warnf(b.Pos, "state %s both allows and denies overlapping paths %q and %q (deny wins at runtime)",
+				if w, overlap := patternsOverlap(a.Path, b.Path); overlap {
+					msg := fmt.Sprintf("state %s both allows and denies overlapping paths %q and %q (deny wins at runtime)",
 						quoteIdent(sp.State), a.Path, b.Path)
+					if w != "" {
+						msg += fmt.Sprintf(", e.g. %q", w)
+					}
+					r.warnf(b.Pos, "%s", msg)
 				}
 			}
 		}
@@ -365,29 +368,36 @@ func isCarveOut(allowPath, denyPath string) bool {
 	return ga.Match(denyPath)
 }
 
-// patternsOverlap approximates glob-intersection: exact equality, or one
-// pattern (as a literal path) matching the other's glob. This catches the
-// conflicts administrators actually write; full glob intersection is
-// undecidable to render usefully and not attempted.
-func patternsOverlap(a, b string) bool {
+// patternsOverlap decides glob intersection exactly via the segment-wise
+// construction in internal/glob, returning a concrete witness path when
+// one exists so the warning shows the administrator a real conflicting
+// object. The earlier release approximated this with a literal-prefix
+// comparison — complete (LiteralPrefix is a required prefix of every
+// match, so intersecting patterns always have prefix-related prefixes)
+// but imprecise: disjoint pairs sharing a prefix, like /dev/can/a*/x vs
+// /dev/can/*/y, were flagged as conflicts. The prefix test survives only
+// as the conservative fallback for the rare pattern shapes the exact
+// construction cannot segment-index.
+func patternsOverlap(a, b string) (witness string, overlap bool) {
 	if a == b {
-		return true
+		return a, true
 	}
 	ga, errA := glob.Compile(a)
 	gb, errB := glob.Compile(b)
 	if errA != nil || errB != nil {
-		return false
+		return "", false
 	}
-	if ga.Literal() && gb.Match(a) {
-		return true
+	switch w, res := glob.Intersect(ga, gb); res {
+	case glob.IntersectFound:
+		return w, true
+	case glob.IntersectNone:
+		return "", false
 	}
-	if gb.Literal() && ga.Match(b) {
-		return true
-	}
-	// Both globs: compare literal prefixes up to the shorter one.
+	// Inconclusive (unsegmentable shapes): fall back to the complete
+	// prefix heuristic and warn without a witness.
 	pa, pb := ga.LiteralPrefix(), gb.LiteralPrefix()
 	if strings.HasPrefix(pa, pb) || strings.HasPrefix(pb, pa) {
-		return true
+		return "", true
 	}
-	return false
+	return "", false
 }

@@ -190,6 +190,24 @@ func (m *Machine) CanHandle(ev Event) bool {
 	return ok
 }
 
+// Transitions enumerates every transition rule the machine holds, in
+// deterministic (from, event) order — the enumeration surface the
+// symbolic verifier walks to explore the SSM product space without
+// reaching into the rule map.
+func (m *Machine) Transitions() []Transition {
+	out := make([]Transition, 0, len(m.rules))
+	for key, to := range m.rules {
+		out = append(out, Transition{From: key.from, Event: key.event, To: to})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].From != out[j].From {
+			return out[i].From < out[j].From
+		}
+		return out[i].Event < out[j].Event
+	})
+	return out
+}
+
 // Events returns the sorted set of events any rule reacts to.
 func (m *Machine) Events() []Event {
 	out := make([]Event, 0, len(m.events))

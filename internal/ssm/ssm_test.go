@@ -260,3 +260,33 @@ func BenchmarkDeliverTransition(b *testing.B) {
 		m.Deliver("flip")
 	}
 }
+
+func TestTransitionsEnumeration(t *testing.T) {
+	m := fig2Machine(t)
+	trs := m.Transitions()
+	if len(trs) != 6 {
+		t.Fatalf("Transitions() = %d rules, want 6", len(trs))
+	}
+	for i := 1; i < len(trs); i++ {
+		a, b := trs[i-1], trs[i]
+		if a.From > b.From || (a.From == b.From && a.Event >= b.Event) {
+			t.Fatalf("enumeration not ordered: %v before %v", a, b)
+		}
+	}
+	// Spot-check one rule and determinism across calls.
+	found := false
+	for _, tr := range trs {
+		if tr.From == "driving" && tr.Event == "crash_detected" && tr.To == "emergency" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("crash_detected rule missing from enumeration")
+	}
+	again := m.Transitions()
+	for i := range trs {
+		if trs[i] != again[i] {
+			t.Fatal("enumeration not deterministic")
+		}
+	}
+}

@@ -1,0 +1,245 @@
+package verify
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/policy"
+	"repro/internal/sys"
+)
+
+// testPolicy: four states exercising every entry class — normal ring
+// (parked, driving), emergency off driving, workshop reachable only
+// after failsafe degradation (limp -> workshop), and vault reachable by
+// nothing but break-glass.
+const testPolicy = `
+states { parked driving emergency limp workshop vault }
+initial parked
+failsafe limp
+permissions { BASE CAN DOORS SECRETS }
+state_per {
+  parked: BASE
+  driving: BASE, CAN
+  emergency: BASE, DOORS
+  limp: BASE
+  workshop: BASE, CAN
+  vault: SECRETS
+}
+per_rules {
+  BASE { allow read /etc/** }
+  CAN {
+    allow write /dev/can/actuator* subject /usr/bin/diagtool
+    deny write /dev/can/** subject /usr/bin/ivi
+  }
+  DOORS { allow write,ioctl /dev/vehicle/door* }
+  SECRETS { allow read /data/keys/** }
+}
+transitions {
+  parked -> driving on ignition_on
+  driving -> parked on ignition_off
+  driving -> emergency on crash_detected
+  emergency -> parked on all_clear
+  limp -> workshop on towed_in
+}
+`
+
+func compileTest(t *testing.T) *policy.Compiled {
+	t.Helper()
+	c, vr, err := policy.Load(testPolicy)
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if !vr.OK() {
+		t.Fatalf("validation: %v", vr.Errors())
+	}
+	return c
+}
+
+func check(t *testing.T, src string) *Report {
+	t.Helper()
+	set, err := ParseSet(src)
+	if err != nil {
+		t.Fatalf("ParseSet: %v", err)
+	}
+	return Check(compileTest(t), set)
+}
+
+func TestParseSetErrors(t *testing.T) {
+	cases := []struct{ src, frag string }{
+		{"frobnicate x", "unknown invariant form"},
+		{"reachable", "usage"},
+		{"always maybe x", "'in' or 'not'"},
+		{"never - fly /x", "unknown operation"},
+		{"never - read /x[", "bad object pattern"},
+		{"never - read /x in", "at least one state"},
+		{"in a allow - read /x", "usage"},
+		{"never -", "usage"},
+	}
+	for _, c := range cases {
+		if _, err := ParseSet(c.src); err == nil || !strings.Contains(err.Error(), c.frag) {
+			t.Errorf("ParseSet(%q) err = %v, want mention of %q", c.src, err, c.frag)
+		}
+	}
+}
+
+func TestParseSetForms(t *testing.T) {
+	src := `
+# baseline
+reachable driving
+always in parked, driving, emergency
+always not vault
+never - write,ioctl /dev/vehicle/odometer*
+never /usr/bin/ivi write /dev/can/** in driving, workshop
+in emergency => allow - write /dev/vehicle/door0
+`
+	set, err := ParseSet(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if set.Len() != 6 {
+		t.Fatalf("parsed %d invariants, want 6", set.Len())
+	}
+	nv := set.Invariants[3]
+	if nv.Kind != KindNever || nv.Subject != "" || nv.Access != sys.MayWrite|sys.MayIoctl {
+		t.Fatalf("never invariant parsed wrong: %+v", nv)
+	}
+	if got := set.Invariants[4].States; len(got) != 2 || got[0] != "driving" || got[1] != "workshop" {
+		t.Fatalf("scope list parsed wrong: %v", got)
+	}
+}
+
+func TestInvariantsHold(t *testing.T) {
+	rep := check(t, `
+reachable driving
+reachable workshop            # failsafe-only still counts as operational
+always in parked, driving, emergency, limp, workshop
+always not vault              # vault is break-glass-only
+never /usr/bin/ivi write /dev/can/actuator*   # deny rule shadows everywhere
+never - write /etc/**                          # only reads are granted
+in emergency => allow - write /dev/vehicle/door0
+in driving => allow /usr/bin/diagtool write /dev/can/actuator0
+`)
+	if !rep.OK() {
+		t.Fatalf("expected all invariants to hold:\n%s", rep.Render())
+	}
+	if rep.States != 6 || rep.Invariants != 8 {
+		t.Fatalf("report counts: %+v", rep)
+	}
+}
+
+func TestNeverViolationWitness(t *testing.T) {
+	rep := check(t, "never /usr/bin/diagtool write /dev/can/actuator*")
+	if rep.OK() {
+		t.Fatal("expected a violation: diagtool may write actuators in driving")
+	}
+	v := rep.Violations[0]
+	if v.Path == "" || !strings.HasPrefix(v.Path, "/dev/can/actuator") {
+		t.Fatalf("witness path %q does not hit the actuator", v.Path)
+	}
+	if v.Op != "write" || v.Subject != "/usr/bin/diagtool" {
+		t.Fatalf("witness subject/op wrong: %+v", v)
+	}
+	if v.Rule == "" || !strings.Contains(v.Rule, "allow") {
+		t.Fatalf("deciding rule missing: %+v", v)
+	}
+	if len(v.Trace) == 0 || v.Trace[0] != "start: parked" {
+		t.Fatalf("trace missing or unrooted: %v", v.Trace)
+	}
+	// Witness must replay on the live rule set of the named state.
+	c := compileTest(t)
+	if ok, _ := c.StateSets[v.State].Decide(v.Subject, v.Path, sys.MayWrite); !ok {
+		t.Fatalf("witness does not replay: state %s subject %s path %s", v.State, v.Subject, v.Path)
+	}
+}
+
+func TestNeverScopeRestriction(t *testing.T) {
+	// Restricted to states where the CAN permission is absent, the same
+	// property holds.
+	rep := check(t, "never /usr/bin/diagtool write /dev/can/actuator* in parked, emergency, limp")
+	if !rep.OK() {
+		t.Fatalf("scoped never should hold:\n%s", rep.Render())
+	}
+	// Undeclared scope states are vacuous.
+	rep = check(t, "never /usr/bin/diagtool write /dev/can/actuator* in no_such_state")
+	if !rep.OK() {
+		t.Fatalf("undeclared scope state should be vacuous:\n%s", rep.Render())
+	}
+}
+
+func TestNeverCoversBreakGlassStates(t *testing.T) {
+	// vault is enterable only by break-glass, but `never` spans the full
+	// product space — the key-material leak must be found, and the trace
+	// must say how the state is entered.
+	rep := check(t, "never - read /data/keys/**")
+	if rep.OK() {
+		t.Fatal("expected violation in break-glass-only state vault")
+	}
+	v := rep.Violations[0]
+	if v.State != "vault" {
+		t.Fatalf("violation in %q, want vault", v.State)
+	}
+	joined := strings.Join(v.Trace, " ")
+	if !strings.Contains(joined, "break-glass") {
+		t.Fatalf("trace does not explain break-glass entry: %v", v.Trace)
+	}
+}
+
+func TestFailsafeTrace(t *testing.T) {
+	// workshop grants diagtool actuator writes and is only reachable via
+	// degradation; the trace must route through the failsafe pseudo-step.
+	rep := check(t, "never /usr/bin/diagtool write /dev/can/** in workshop")
+	if rep.OK() {
+		t.Fatal("expected violation in workshop")
+	}
+	joined := strings.Join(rep.Violations[0].Trace, " ")
+	if !strings.Contains(joined, "pipeline degradation") || !strings.Contains(joined, "towed_in") {
+		t.Fatalf("trace does not route through degradation: %s", joined)
+	}
+}
+
+func TestAlwaysAndReachableViolations(t *testing.T) {
+	rep := check(t, `
+always in parked, driving   # emergency, limp, workshop escape the set
+reachable vault             # break-glass-only: not operational
+always not emergency        # reachable on crash_detected
+`)
+	if rep.OK() {
+		t.Fatal("expected violations")
+	}
+	var kinds []string
+	for _, v := range rep.Violations {
+		kinds = append(kinds, v.Kind.String()+":"+v.State)
+	}
+	joined := strings.Join(kinds, " ")
+	for _, want := range []string{"always-in:emergency", "always-in:limp", "always-in:workshop",
+		"reachable:vault", "always-not:emergency"} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("missing violation %s in %s", want, joined)
+		}
+	}
+}
+
+func TestImpliesAllowViolation(t *testing.T) {
+	rep := check(t, "in parked => allow - write /dev/vehicle/door0")
+	if rep.OK() {
+		t.Fatal("parked does not grant door writes; expected violation")
+	}
+	v := rep.Violations[0]
+	if v.Kind != KindImpliesAllow || v.State != "parked" || v.Path != "/dev/vehicle/door0" {
+		t.Fatalf("violation shape wrong: %+v", v)
+	}
+	// Undeclared state is vacuous (shared baselines across the pack).
+	if rep := check(t, "in cruise_control => allow - read /etc/hosts"); !rep.OK() {
+		t.Fatalf("undeclared implies state should be vacuous:\n%s", rep.Render())
+	}
+}
+
+func TestRenderMentionsWitness(t *testing.T) {
+	rep := check(t, "never /usr/bin/diagtool write /dev/can/actuator*")
+	out := rep.Render()
+	for _, frag := range []string{"violation", "witness:", "trace:", "rule:", "/dev/can/actuator"} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("Render missing %q:\n%s", frag, out)
+		}
+	}
+}

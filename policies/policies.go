@@ -15,6 +15,9 @@ import (
 //go:embed *.sack
 var files embed.FS
 
+//go:embed invariants/*.inv
+var invariantFiles embed.FS
+
 // Names lists the available policies (without the .sack extension),
 // sorted.
 func Names() []string {
@@ -51,3 +54,42 @@ func MustLoad(name string) string {
 	}
 	return src
 }
+
+// InvariantNames lists the shipped invariant sets (without the .inv
+// extension), sorted.
+func InvariantNames() []string {
+	entries, err := fs.ReadDir(invariantFiles, "invariants")
+	if err != nil {
+		panic(fmt.Sprintf("policies: embedded invariants FS: %v", err))
+	}
+	var out []string
+	for _, e := range entries {
+		if name, ok := strings.CutSuffix(e.Name(), ".inv"); ok {
+			out = append(out, name)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// LoadInvariants returns an invariant set's source by name (with or
+// without .inv).
+func LoadInvariants(name string) (string, error) {
+	name = strings.TrimSuffix(name, ".inv")
+	data, err := fs.ReadFile(invariantFiles, "invariants/"+name+".inv")
+	if err != nil {
+		return "", fmt.Errorf("policies: unknown invariant set %q (have %s)",
+			name, strings.Join(InvariantNames(), ", "))
+	}
+	return string(data), nil
+}
+
+// Baseline returns the pack-wide safety baseline invariant source.
+func Baseline() string {
+	src, err := LoadInvariants("baseline")
+	if err != nil {
+		panic(err)
+	}
+	return src
+}
+

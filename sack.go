@@ -50,6 +50,7 @@ import (
 	"repro/internal/ssm"
 	"repro/internal/sys"
 	"repro/internal/vehicle"
+	"repro/internal/verify"
 	"repro/internal/vfs"
 )
 
@@ -146,6 +147,16 @@ type (
 	// (circuit breaker, bulkhead, hedge, retry, timeout, fallback); build
 	// and stack them with the internal/resilience constructors.
 	ResiliencePolicy = resilience.Policy
+	// InvariantSet is a parsed set of policy invariants (see
+	// ParseInvariants for the grammar).
+	InvariantSet = verify.Set
+	// VerifyReport is the verifier's verdict over one policy: totals plus
+	// every violation with its witness trace.
+	VerifyReport = verify.Report
+	// VerifyViolation is one disproved invariant: the state, the event
+	// trace reaching it, the concrete access witness, and the deciding
+	// rule.
+	VerifyViolation = verify.Violation
 )
 
 // Deployment modes (the paper's two prototypes).
@@ -283,6 +294,41 @@ func CheckPolicy(text string) (*ValidationResult, error) {
 		return nil, err
 	}
 	return vr, nil
+}
+
+// ParseInvariants parses an invariant set: one invariant per line,
+// `#` comments, four forms —
+//
+//	reachable <state>
+//	always in <state>[, <state>...]   |   always not <state>
+//	never <subject|-> <ops> <object-glob> [in <state>[, <state>...]]
+//	in <state> => allow <subject|-> <ops> <object-path>
+//
+// `-` names the unconfined (empty) subject; ops is a comma-separated
+// access list (read, write,ioctl, ...). Invariants naming states a
+// policy does not declare are vacuously satisfied there, so one set can
+// span a heterogeneous policy pack.
+func ParseInvariants(text string) (*InvariantSet, error) {
+	return verify.ParseSet(text)
+}
+
+// VerifyPolicy compiles the policy and exhaustively checks the
+// invariant set against its full situation product space — every state
+// reachable by events, failsafe degradation, or break-glass entry,
+// against the same compiled rule sets the kernel enforces. Every
+// violation in the report carries a concrete witness: the event trace
+// entering the state, the (subject, op, path) access, and the deciding
+// rule. The error reports compile or validation failure only; a
+// violating policy returns a report with OK() == false and a nil error.
+func VerifyPolicy(policyText string, set *InvariantSet) (*VerifyReport, error) {
+	c, vr, err := Compile(policyText)
+	if err != nil {
+		return nil, err
+	}
+	if !vr.OK() {
+		return nil, vr.Err()
+	}
+	return verify.Check(c, set), nil
 }
 
 // ParseProfiles parses AppArmor profile text.
