@@ -3,11 +3,11 @@
 
 GO ?= go
 
-.PHONY: all check vet build test race bench bench-avc bench-ablation bench-smoke chaos reload-stress fleet-stress parallel-stress resilience-stress matcher-diff verify profile
+.PHONY: all check vet build test race bench bench-avc bench-ablation bench-smoke chaos reload-stress fleet-stress fleet-persist-stress fleet-scale parallel-stress resilience-stress matcher-diff verify profile
 
 all: check
 
-check: vet build race chaos reload-stress fleet-stress parallel-stress resilience-stress matcher-diff verify bench-smoke
+check: vet build race chaos reload-stress fleet-stress fleet-persist-stress parallel-stress resilience-stress matcher-diff verify bench-smoke
 
 vet:
 	$(GO) vet ./...
@@ -47,6 +47,25 @@ fleet-stress:
 	$(GO) test -race -count=1 -run 'TestFleet' .
 	$(GO) test -race -count=1 ./internal/fleet ./cmd/fleetd
 
+# Durable control-plane suite: the WAL+snapshot store's torn-tail and
+# compaction tests, bundle signing and keyring rotation, and the
+# kill ‑9/restart property tests — fleetd must replay to the exact
+# pre-crash registry, generation counters, and per-vehicle
+# accepted+dropped==emitted ledger, with staged rollouts and signatures
+# surviving the restart — all under the race detector.
+fleet-persist-stress:
+	$(GO) test -race -count=1 ./internal/store ./internal/sign
+	$(GO) test -race -count=1 -run 'TestPersist|TestRollout|TestAgentRejects|TestAgentKeyRotation|TestSigReject|TestSignedBundle|TestHTTPClientVerifies' ./internal/fleet
+	$(GO) test -race -count=1 -run 'TestNewServerDurableSignedRestart' ./cmd/fleetd
+
+# 100k-vehicle scale harness: goroutine-FSM vehicles against the
+# control plane — publish fan-out over parked long-polls and
+# decision-log ingestion throughput. Curves land in EXPERIMENTS.md
+# ("Fleet control plane at scale").
+fleet-scale:
+	$(GO) test -race -count=1 -run 'TestFleetScaleSmoke' ./internal/fleet
+	$(GO) test -run '^$$' -bench 'BenchmarkFleetScale' -benchtime 3x ./internal/fleet
+
 # Resilience×faults chaos suite: the policy-kit unit tests (virtual
 # clocks, no real sleeps) plus the system-scope crosses — a flapping
 # control plane must never block the decision loop, and a flooding
@@ -56,8 +75,9 @@ resilience-stress:
 	$(GO) test -race -count=1 ./internal/resilience
 	$(GO) test -race -count=1 -run 'TestChaosFlappingControlPlaneNeverBlocksDecisions|TestChaosFloodedGroupDoesNotStarveQuietGroup|TestResilience' .
 
-# Full benchmark sweep (paper tables/figures + ablations).
-bench:
+# Full benchmark sweep (paper tables/figures + ablations), plus the
+# 100k-vehicle control-plane scale curves.
+bench: fleet-scale
 	$(GO) test -run '^$$' -bench . -benchmem .
 
 # AVC comparison: cached covered-path check vs cache-ablated check vs raw

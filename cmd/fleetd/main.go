@@ -7,6 +7,8 @@
 //	fleetd [-addr 127.0.0.1:7443] [-log-capacity N]
 //	       [-group-admissions N] [-group-queue N] [-group g -policy file]...
 //	       [-invariants g=file]...
+//	       [-data-dir dir] [-snapshot-every N]
+//	       [-hmac-key id=hexsecret] [-rollout-tick dur]
 //
 // Each -group/-policy pair seeds the registry with generation 1 for
 // that group. Each -invariants g=file registers an invariant set for a
@@ -17,9 +19,27 @@
 // with ETag long-poll (GET /v1/bundle/{group}), report status (POST
 // /v1/status), and ship decision logs (POST /v1/logs/{vehicle}).
 // `sackctl fleet status` and `sackmon -fleet` read GET /v1/fleet.
+//
+// -data-dir makes the registry durable: publishes, rollouts, invariant
+// sets, vehicle statuses, and the decision-log ledger are written to a
+// WAL (+ periodic snapshots, every -snapshot-every records) in that
+// directory and replayed on the next boot, so a restarted — or
+// kill ‑9'd — fleetd resumes with exact generation counters and
+// per-vehicle accounting. Seed groups that already exist in the
+// replayed registry are left at their replayed generation rather than
+// republished.
+//
+// -hmac-key attaches a signing key (key id + hex secret): every bundle
+// fleetd publishes carries a detached HMAC-SHA256 signature that agents
+// configured with the key's verifier check before applying. -rollout-
+// tick drives staged rollouts from inside the daemon: every interval,
+// each in-flight rollout is judged against its plan's brakes (see
+// `sackctl bundle rollout`) and advanced, promoted, or halted.
 package main
 
 import (
+	"encoding/hex"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -27,8 +47,11 @@ import (
 	"net/http"
 	"os"
 	"strings"
+	"time"
 
 	"repro/internal/fleet"
+	"repro/internal/sign"
+	"repro/internal/store"
 )
 
 // pairList collects repeated -group/-policy flag pairs in order.
@@ -48,9 +71,12 @@ func main() {
 
 // run is the process entry point; it returns the exit code.
 func run(args []string, stdout, stderr io.Writer) int {
-	srv, addr, code := newServer(args, stdout, stderr)
+	srv, addr, tick, code := newServer(args, stdout, stderr)
 	if srv == nil {
 		return code
+	}
+	if tick > 0 {
+		go rolloutTicker(srv, tick, stdout)
 	}
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
@@ -65,9 +91,33 @@ func run(args []string, stdout, stderr io.Writer) int {
 	return 0
 }
 
+// rolloutTicker judges every in-flight staged rollout against its
+// plan's brakes once per interval — the daemon-side alternative to an
+// operator running `sackctl fleet rollout -tick` by hand.
+func rolloutTicker(srv *fleet.Server, every time.Duration, stdout io.Writer) {
+	t := time.NewTicker(every)
+	defer t.Stop()
+	reportedHalt := make(map[string]bool) // halted rollouts stay inspectable; log each halt once
+	for range t.C {
+		for _, g := range srv.Stats().Groups {
+			st, err := srv.RolloutTick(g.Group)
+			switch {
+			case err == nil && st.Stage >= st.Stages:
+				fmt.Fprintf(stdout, "fleetd: rollout promoted: group %s generation %d\n",
+					st.Group, st.CandidateGen)
+			case err == nil:
+				delete(reportedHalt, st.Group)
+			case errors.Is(err, fleet.ErrRolloutHalted) && !reportedHalt[st.Group]:
+				reportedHalt[st.Group] = true
+				fmt.Fprintf(stdout, "fleetd: rollout halted: group %s: %s\n", st.Group, st.HaltReason)
+			}
+		}
+	}
+}
+
 // newServer parses flags and builds the seeded registry — the testable
 // part of startup, separated from the blocking accept loop.
-func newServer(args []string, stdout, stderr io.Writer) (*fleet.Server, string, int) {
+func newServer(args []string, stdout, stderr io.Writer) (*fleet.Server, string, time.Duration, int) {
 	fs := flag.NewFlagSet("fleetd", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	addr := fs.String("addr", "127.0.0.1:7443", "listen address (loopback)")
@@ -75,49 +125,97 @@ func newServer(args []string, stdout, stderr io.Writer) (*fleet.Server, string, 
 	shards := fs.Int("shards", fleet.DefaultShards, "vehicle-state shard count")
 	groupAdmissions := fs.Int("group-admissions", fleet.DefaultGroupAdmissions, "concurrent log ingestions admitted per vehicle group (bulkhead)")
 	groupQueue := fs.Int("group-queue", fleet.DefaultGroupQueue, "ingestions queued per group beyond the admission limit; excess is shed with 429")
+	dataDir := fs.String("data-dir", "", "durable state directory (WAL + snapshots); empty = in-memory registry")
+	snapEvery := fs.Uint64("snapshot-every", 4096, "with -data-dir: checkpoint a snapshot every N WAL records")
+	hmacKey := fs.String("hmac-key", "", "id=hexsecret signing key; published bundles carry a detached HMAC-SHA256 signature")
+	rolloutTick := fs.Duration("rollout-tick", 0, "judge in-flight staged rollouts every interval (0 = operator-driven via sackctl)")
 	var groups, policies, invariants []string
 	fs.Var(pairList{&groups}, "group", "vehicle group to seed (repeatable, paired with -policy)")
 	fs.Var(pairList{&policies}, "policy", "policy file seeding the matching -group")
 	fs.Var(pairList{&invariants}, "invariants", "group=file invariant set gating publishes into the group (repeatable)")
 	if err := fs.Parse(args); err != nil {
-		return nil, "", 2
+		return nil, "", 0, 2
 	}
 	if len(groups) != len(policies) {
 		fmt.Fprintf(stderr, "fleetd: %d -group flags but %d -policy flags; they pair up\n", len(groups), len(policies))
-		return nil, "", 2
+		return nil, "", 0, 2
 	}
 
-	srv := fleet.NewServer(fleet.WithLogCapacity(*logCap), fleet.WithShards(*shards),
-		fleet.WithGroupBulkhead(*groupAdmissions, *groupQueue))
+	opts := []fleet.ServerOption{fleet.WithLogCapacity(*logCap), fleet.WithShards(*shards),
+		fleet.WithGroupBulkhead(*groupAdmissions, *groupQueue)}
+	if *hmacKey != "" {
+		id, hexSecret, ok := strings.Cut(*hmacKey, "=")
+		if !ok || id == "" || hexSecret == "" {
+			fmt.Fprintf(stderr, "fleetd: -hmac-key wants id=hexsecret, got %q\n", *hmacKey)
+			return nil, "", 0, 2
+		}
+		secret, err := hex.DecodeString(hexSecret)
+		if err != nil {
+			fmt.Fprintf(stderr, "fleetd: -hmac-key secret is not hex: %v\n", err)
+			return nil, "", 0, 2
+		}
+		signer, _ := sign.NewHMAC(id, secret)
+		opts = append(opts, fleet.WithBundleSigner(signer))
+		fmt.Fprintf(stdout, "fleetd: signing bundles with HMAC-SHA256 key %s\n", id)
+	}
+
+	var srv *fleet.Server
+	if *dataDir != "" {
+		st, err := store.Open(*dataDir)
+		if err != nil {
+			fmt.Fprintf(stderr, "fleetd: opening data dir: %v\n", err)
+			return nil, "", 0, 1
+		}
+		opts = append(opts, fleet.WithSnapshotEvery(*snapEvery))
+		srv, err = fleet.OpenServer(st, opts...)
+		if err != nil {
+			fmt.Fprintf(stderr, "fleetd: replaying %s: %v\n", *dataDir, err)
+			return nil, "", 0, 1
+		}
+		for _, g := range srv.Stats().Groups {
+			if g.Group != "" {
+				fmt.Fprintf(stdout, "fleetd: group %s replayed at generation %d (%s)\n", g.Group, g.Generation, g.ETag)
+			}
+		}
+	} else {
+		srv = fleet.NewServer(opts...)
+	}
+
 	for _, spec := range invariants {
 		g, file, ok := strings.Cut(spec, "=")
 		if !ok || g == "" || file == "" {
 			fmt.Fprintf(stderr, "fleetd: -invariants wants group=file, got %q\n", spec)
-			return nil, "", 2
+			return nil, "", 0, 2
 		}
 		src, err := os.ReadFile(file)
 		if err != nil {
 			fmt.Fprintf(stderr, "fleetd: reading invariants for group %s: %v\n", g, err)
-			return nil, "", 1
+			return nil, "", 0, 1
 		}
 		if err := srv.SetInvariants(g, string(src)); err != nil {
 			fmt.Fprintf(stderr, "fleetd: invariants for group %s: %v\n", g, err)
-			return nil, "", 1
+			return nil, "", 0, 1
 		}
 		fmt.Fprintf(stdout, "fleetd: group %s gated by invariants from %s\n", g, file)
 	}
 	for i, g := range groups {
+		if _, err := srv.Bundle(g); err == nil {
+			// Replayed from the WAL: the durable registry wins over the
+			// seed so restarts do not burn a generation.
+			fmt.Fprintf(stdout, "fleetd: group %s already in replayed registry; seed skipped\n", g)
+			continue
+		}
 		src, err := os.ReadFile(policies[i])
 		if err != nil {
 			fmt.Fprintf(stderr, "fleetd: reading policy for group %s: %v\n", g, err)
-			return nil, "", 1
+			return nil, "", 0, 1
 		}
 		b, err := srv.Publish(g, string(src))
 		if err != nil {
 			fmt.Fprintf(stderr, "fleetd: seeding group %s: %v\n", g, err)
-			return nil, "", 1
+			return nil, "", 0, 1
 		}
 		fmt.Fprintf(stdout, "fleetd: group %s seeded at generation %d (%s)\n", g, b.Generation, b.ETag())
 	}
-	return srv, *addr, 0
+	return srv, *addr, *rolloutTick, 0
 }

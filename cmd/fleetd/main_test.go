@@ -57,7 +57,7 @@ func writePolicy(t *testing.T) string {
 
 func TestNewServerSeedsGroups(t *testing.T) {
 	var out, errb bytes.Buffer
-	srv, addr, code := newServer(
+	srv, addr, _, code := newServer(
 		[]string{"-addr", "127.0.0.1:0", "-group", "default", "-policy", writePolicy(t)},
 		&out, &errb)
 	if srv == nil || code != 0 {
@@ -77,7 +77,7 @@ func TestNewServerSeedsGroups(t *testing.T) {
 	hs := httptest.NewServer(fleet.Handler(srv))
 	defer hs.Close()
 	c := fleet.NewClient(hs.URL)
-	b, modified, err := c.FetchBundle("default", "", time.Millisecond)
+	b, modified, err := c.FetchBundle("", "default", "", time.Millisecond)
 	if err != nil || !modified || b.Generation != 1 {
 		t.Fatalf("fetch from seeded fleetd: %+v modified=%v err=%v", b, modified, err)
 	}
@@ -85,17 +85,17 @@ func TestNewServerSeedsGroups(t *testing.T) {
 
 func TestNewServerRejectsBadArgs(t *testing.T) {
 	var out, errb bytes.Buffer
-	if _, _, code := newServer([]string{"-group", "g"}, &out, &errb); code != 2 {
+	if _, _, _, code := newServer([]string{"-group", "g"}, &out, &errb); code != 2 {
 		t.Fatalf("unpaired -group: code = %d", code)
 	}
-	if _, _, code := newServer([]string{"-group", "g", "-policy", "/does/not/exist"}, &out, &errb); code != 1 {
+	if _, _, _, code := newServer([]string{"-group", "g", "-policy", "/does/not/exist"}, &out, &errb); code != 1 {
 		t.Fatalf("missing policy file: code = %d", code)
 	}
 	bad := filepath.Join(t.TempDir(), "bad.sack")
 	if err := os.WriteFile(bad, []byte("not a policy"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if _, _, code := newServer([]string{"-group", "g", "-policy", bad}, &out, &errb); code != 1 {
+	if _, _, _, code := newServer([]string{"-group", "g", "-policy", bad}, &out, &errb); code != 1 {
 		t.Fatalf("invalid policy: code = %d", code)
 	}
 }
@@ -116,7 +116,7 @@ func TestNewServerInvariantsGate(t *testing.T) {
 	inv := write("strict.inv", "never - read /etc/hostname\n")
 
 	var out, errb bytes.Buffer
-	if _, _, code := newServer(
+	if _, _, _, code := newServer(
 		[]string{"-invariants", "default=" + inv, "-group", "default", "-policy", pol},
 		&out, &errb); code != 1 {
 		t.Fatalf("violating seed accepted: code=%d stderr=%s", code, errb.String())
@@ -129,7 +129,7 @@ func TestNewServerInvariantsGate(t *testing.T) {
 	ok := write("ok.inv", "never /usr/bin/ivi write /dev/can/actuator*\n")
 	out.Reset()
 	errb.Reset()
-	srv, _, code := newServer(
+	srv, _, _, code := newServer(
 		[]string{"-invariants", "default=" + ok, "-group", "default", "-policy", pol},
 		&out, &errb)
 	if srv == nil || code != 0 {
@@ -143,14 +143,71 @@ func TestNewServerInvariantsGate(t *testing.T) {
 	}
 
 	// Malformed specs and sets are startup errors, not silent no-ops.
-	if _, _, code := newServer([]string{"-invariants", "nofile"}, &out, &errb); code != 2 {
+	if _, _, _, code := newServer([]string{"-invariants", "nofile"}, &out, &errb); code != 2 {
 		t.Fatalf("bare -invariants spec: code=%d", code)
 	}
 	bad := write("bad.inv", "never - fly /x\n")
-	if _, _, code := newServer([]string{"-invariants", "g=" + bad}, &out, &errb); code != 1 {
+	if _, _, _, code := newServer([]string{"-invariants", "g=" + bad}, &out, &errb); code != 1 {
 		t.Fatalf("bad invariant grammar: code=%d", code)
 	}
-	if _, _, code := newServer([]string{"-invariants", "g=/does/not/exist"}, &out, &errb); code != 1 {
+	if _, _, _, code := newServer([]string{"-invariants", "g=/does/not/exist"}, &out, &errb); code != 1 {
 		t.Fatalf("missing invariants file: code=%d", code)
+	}
+}
+
+func TestNewServerDurableSignedRestart(t *testing.T) {
+	dir := t.TempDir()
+	pol := writePolicy(t)
+	args := []string{
+		"-data-dir", dir, "-snapshot-every", "8",
+		"-hmac-key", "fleet-2026=00112233445566778899aabbccddeeff",
+		"-rollout-tick", "50ms",
+		"-group", "default", "-policy", pol,
+	}
+
+	var out, errb bytes.Buffer
+	srv, _, tick, code := newServer(args, &out, &errb)
+	if srv == nil || code != 0 {
+		t.Fatalf("durable newServer failed: code=%d stderr=%s", code, errb.String())
+	}
+	if tick != 50*time.Millisecond {
+		t.Fatalf("rollout tick = %v", tick)
+	}
+	if !strings.Contains(out.String(), "signing bundles with HMAC-SHA256 key fleet-2026") {
+		t.Fatalf("no signing banner: %q", out.String())
+	}
+	b, err := srv.Bundle("default")
+	if err != nil || b.Generation != 1 {
+		t.Fatalf("seed: %+v err=%v", b, err)
+	}
+	if b.KeyID != "fleet-2026" || b.Signature == "" {
+		t.Fatalf("seeded bundle is unsigned: key=%q sig=%q", b.KeyID, b.Signature)
+	}
+	if err := srv.Store().Close(); err != nil {
+		t.Fatalf("closing store: %v", err)
+	}
+
+	// Same flags, same data dir: the replayed registry wins and the
+	// seed must not burn generation 2.
+	out.Reset()
+	errb.Reset()
+	srv2, _, _, code := newServer(args, &out, &errb)
+	if srv2 == nil || code != 0 {
+		t.Fatalf("restart failed: code=%d stderr=%s", code, errb.String())
+	}
+	if !strings.Contains(out.String(), "seed skipped") {
+		t.Fatalf("restart republished the seed: %q", out.String())
+	}
+	b2, err := srv2.Bundle("default")
+	if err != nil || b2.Generation != 1 || b2.Checksum != b.Checksum || b2.Signature != b.Signature {
+		t.Fatalf("replayed bundle diverges: %+v err=%v", b2, err)
+	}
+
+	// Bad -hmac-key shapes are usage errors.
+	if _, _, _, code := newServer([]string{"-hmac-key", "nosecret"}, &out, &errb); code != 2 {
+		t.Fatalf("bare -hmac-key: code=%d", code)
+	}
+	if _, _, _, code := newServer([]string{"-hmac-key", "k=zz"}, &out, &errb); code != 2 {
+		t.Fatalf("non-hex -hmac-key: code=%d", code)
 	}
 }

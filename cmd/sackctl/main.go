@@ -37,10 +37,13 @@
 package main
 
 import (
+	"errors"
+	"flag"
 	"fmt"
 	"io"
 	"os"
 	"sort"
+	"strconv"
 	"strings"
 	"time"
 
@@ -221,31 +224,37 @@ func run(args []string, stdout, stderr io.Writer, readFile func(string) ([]byte,
 		}
 		return verifyPolicy(string(data), invSrc, stdout, stderr)
 	case "bundle":
-		if (len(args) != 5 && len(args) != 6) || args[1] != "push" {
-			usage(stderr)
-			return 2
-		}
-		data, err := readFile(args[4])
-		if err != nil {
-			fmt.Fprintf(stderr, "sackctl: reading policy: %v\n", err)
-			return 1
-		}
-		var invariants string
-		if len(args) == 6 {
-			inv, err := readFile(args[5])
+		switch {
+		case (len(args) == 5 || len(args) == 6) && args[1] == "push":
+			data, err := readFile(args[4])
 			if err != nil {
-				fmt.Fprintf(stderr, "sackctl: reading invariants: %v\n", err)
+				fmt.Fprintf(stderr, "sackctl: reading policy: %v\n", err)
 				return 1
 			}
-			invariants = string(inv)
+			var invariants string
+			if len(args) == 6 {
+				inv, err := readFile(args[5])
+				if err != nil {
+					fmt.Fprintf(stderr, "sackctl: reading invariants: %v\n", err)
+					return 1
+				}
+				invariants = string(inv)
+			}
+			return bundlePush(args[2], args[3], string(data), invariants, stdout, stderr)
+		case len(args) >= 5 && args[1] == "rollout":
+			return bundleRollout(args[2], args[3], args[4], args[5:], stdout, stderr, readFile)
 		}
-		return bundlePush(args[2], args[3], string(data), invariants, stdout, stderr)
+		usage(stderr)
+		return 2
 	case "fleet":
-		if len(args) != 3 || args[1] != "status" {
-			usage(stderr)
-			return 2
+		switch {
+		case len(args) == 3 && args[1] == "status":
+			return fleetStatus(args[2], stdout, stderr)
+		case len(args) >= 4 && args[1] == "rollout":
+			return fleetRollout(args[2], args[3], args[4:], stdout, stderr)
 		}
-		return fleetStatus(args[2], stdout, stderr)
+		usage(stderr)
+		return 2
 	}
 	usage(stderr)
 	return 2
@@ -262,7 +271,11 @@ func usage(w io.Writer) {
 	fmt.Fprintln(w, "       sackctl chaos <policy-file> <fault-spec> [event...]")
 	fmt.Fprintln(w, "       sackctl verify <policy-file> [-invariants <file>]")
 	fmt.Fprintln(w, "       sackctl bundle push <url> <group> <policy-file> [invariants-file]")
+	fmt.Fprintln(w, "       sackctl bundle rollout <url> <group> <policy-file> [-stages 10,50,100]")
+	fmt.Fprintln(w, "              [-ring glob] [-min-samples n] [-max-denial-rate r]")
+	fmt.Fprintln(w, "              [-max-pinned-frac r] [-invariants file]")
 	fmt.Fprintln(w, "       sackctl fleet status <url>")
+	fmt.Fprintln(w, "       sackctl fleet rollout <url> <group> {status|tick|abort}")
 	fmt.Fprintln(w, "       sackctl example")
 }
 
@@ -458,6 +471,138 @@ func bundlePush(url, group, src, invariants string, stdout, stderr io.Writer) in
 	}
 	fmt.Fprintf(stdout, "pushed group %s generation %d (%s)\n", b.Group, b.Generation, b.ETag())
 	return 0
+}
+
+// bundleRollout stages a candidate bundle for the group instead of
+// publishing it outright: the plan's widening canary cohorts see it
+// first, and the control plane's regression brakes (denial rate,
+// failsafe pinning) judge each stage before it advances. The policy is
+// checked locally before anything leaves the machine, exactly like
+// `bundle push`.
+func bundleRollout(url, group, policyFile string, rest []string, stdout, stderr io.Writer, readFile func(string) ([]byte, error)) int {
+	fs := flag.NewFlagSet("bundle rollout", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	stages := fs.String("stages", "10,50,100", "comma-separated canary percentages, widening order")
+	ring := fs.String("ring", "", "vehicle-id glob added to the first stage's cohort")
+	minSamples := fs.Uint64("min-samples", 1, "canary decision-log records a stage needs before it is judged")
+	maxDenialRate := fs.Float64("max-denial-rate", 0, "halt when the canary denied fraction exceeds this (0 = any denial halts, negative disables)")
+	maxPinnedFrac := fs.Float64("max-pinned-frac", 0, "halt when the canary pinned/degraded fraction exceeds this (0 = any pin halts, negative disables)")
+	invFile := fs.String("invariants", "", "invariant set file the candidate is verified against before staging")
+	if err := fs.Parse(rest); err != nil {
+		return 2
+	}
+
+	var plan fleet.RolloutPlan
+	plan.MinSamples = *minSamples
+	plan.MaxDenialRate = *maxDenialRate
+	plan.MaxPinnedFrac = *maxPinnedFrac
+	for _, part := range strings.Split(*stages, ",") {
+		p, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil {
+			fmt.Fprintf(stderr, "sackctl: -stages wants percentages, got %q\n", part)
+			return 2
+		}
+		plan.Stages = append(plan.Stages, fleet.RolloutStage{Percent: p})
+	}
+	if *ring != "" && len(plan.Stages) > 0 {
+		plan.Stages[0].Ring = *ring
+	}
+
+	data, err := readFile(policyFile)
+	if err != nil {
+		fmt.Fprintf(stderr, "sackctl: reading policy: %v\n", err)
+		return 1
+	}
+	src := string(data)
+	if vr, err := sack.CheckPolicy(src); err != nil {
+		fmt.Fprintf(stderr, "sackctl: %v\n", err)
+		return 1
+	} else if !vr.OK() {
+		for _, issue := range vr.Issues {
+			fmt.Fprintln(stderr, issue)
+		}
+		return 1
+	}
+	var invariants string
+	if *invFile != "" {
+		inv, err := readFile(*invFile)
+		if err != nil {
+			fmt.Fprintf(stderr, "sackctl: reading invariants: %v\n", err)
+			return 1
+		}
+		invariants = string(inv)
+		set, err := sack.ParseInvariants(invariants)
+		if err != nil {
+			fmt.Fprintf(stderr, "sackctl: %v\n", err)
+			return 1
+		}
+		rep, err := sack.VerifyPolicy(src, set)
+		if err != nil {
+			fmt.Fprintf(stderr, "sackctl: %v\n", err)
+			return 1
+		}
+		if !rep.OK() {
+			fmt.Fprint(stderr, rep.Render())
+			return 3
+		}
+	}
+
+	st, err := fleet.NewClient(url).StartRollout(group, src, invariants, plan)
+	if err != nil {
+		fmt.Fprintf(stderr, "sackctl: rollout: %v\n", err)
+		return 1
+	}
+	fmt.Fprintf(stdout, "staged rollout of group %s: candidate generation %d\n", st.Group, st.CandidateGen)
+	fmt.Fprint(stdout, st.Render())
+	return 0
+}
+
+// fleetRollout inspects or drives an in-flight staged rollout:
+// `status` prints the operator view, `tick` judges the current stage
+// against the plan's brakes (advancing, promoting, or halting it), and
+// `abort` clears the rollout so the group accepts publishes again.
+func fleetRollout(url, group string, rest []string, stdout, stderr io.Writer) int {
+	verb := "status"
+	if len(rest) > 0 {
+		verb = rest[0]
+	}
+	c := fleet.NewClient(url)
+	switch verb {
+	case "status":
+		st, err := c.RolloutStatus(group)
+		if err != nil {
+			fmt.Fprintf(stderr, "sackctl: rollout status: %v\n", err)
+			return 1
+		}
+		fmt.Fprint(stdout, st.Render())
+		return 0
+	case "tick":
+		st, err := c.RolloutTick(group)
+		switch {
+		case errors.Is(err, fleet.ErrRolloutHalted):
+			// The brake fired (now or on an earlier tick): the fleet is
+			// pinned to the stable bundle. Report it, distinctly.
+			fmt.Fprintf(stdout, "rollout halted: %v\n", err)
+			return 3
+		case err != nil:
+			fmt.Fprintf(stderr, "sackctl: rollout tick: %v\n", err)
+			return 1
+		case st.Stage >= st.Stages:
+			fmt.Fprintf(stdout, "rollout promoted: group %s now at generation %d\n", st.Group, st.StableGen)
+			return 0
+		}
+		fmt.Fprint(stdout, st.Render())
+		return 0
+	case "abort":
+		if err := c.AbortRollout(group); err != nil {
+			fmt.Fprintf(stderr, "sackctl: rollout abort: %v\n", err)
+			return 1
+		}
+		fmt.Fprintf(stdout, "rollout aborted: group %s keeps its stable bundle\n", group)
+		return 0
+	}
+	usage(stderr)
+	return 2
 }
 
 // fleetStatus prints a fleetd's aggregate view: per-group generation

@@ -2,11 +2,13 @@ package main
 
 import (
 	"bytes"
+	"encoding/hex"
 	"net/http/httptest"
 	"strings"
 	"testing"
 
 	"repro/internal/fleet"
+	"repro/internal/sign"
 )
 
 // TestRunFleetView drives the city-crash trace as a fleet member: the
@@ -59,5 +61,55 @@ func TestFleetGroupRequiresFleetURL(t *testing.T) {
 	var out bytes.Buffer
 	if code := runWith(&out, func(c *runConfig) { c.fleetGroup = "city" }); code != 2 {
 		t.Fatalf("exit %d, want 2", code)
+	}
+}
+
+// TestRunFleetKey: with -fleet-key the agent only applies bundles that
+// verify against the key. Matching key → normal run; wrong key →
+// refusal before the reload, not a silent downgrade.
+func TestRunFleetKey(t *testing.T) {
+	signer, _ := sign.NewHMAC("k1", []byte("0123456789abcdef0123456789abcdef"))
+	srv := fleet.NewServer(fleet.WithBundleSigner(signer))
+	if _, err := srv.Publish("city", defaultPolicy); err != nil {
+		t.Fatalf("publish: %v", err)
+	}
+	hs := httptest.NewServer(fleet.Handler(srv))
+	defer hs.Close()
+
+	keyHex := hex.EncodeToString([]byte("0123456789abcdef0123456789abcdef"))
+	var out bytes.Buffer
+	code := runWith(&out, func(c *runConfig) {
+		c.fleetURL = hs.URL
+		c.fleetGroup = "city"
+		c.fleetVehicle = "veh-keyed"
+		c.fleetKey = "k1=" + keyHex
+	})
+	if code != 0 {
+		t.Fatalf("matching key: exit %d:\n%s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "joined group city at generation 1") {
+		t.Fatalf("keyed agent never converged:\n%s", out.String())
+	}
+
+	// Wrong secret: the bundle must be refused, and the run fail loudly.
+	out.Reset()
+	wrongHex := hex.EncodeToString([]byte("ffffffffffffffffffffffffffffffff"))
+	code = runWith(&out, func(c *runConfig) {
+		c.fleetURL = hs.URL
+		c.fleetGroup = "city"
+		c.fleetVehicle = "veh-badkey"
+		c.fleetKey = "k1=" + wrongHex
+	})
+	if code == 0 {
+		t.Fatalf("bad key applied the bundle:\n%s", out.String())
+	}
+
+	// Malformed flag shapes are usage errors.
+	if code := runWith(&out, func(c *runConfig) {
+		c.fleetURL = hs.URL
+		c.fleetGroup = "city"
+		c.fleetKey = "nosecret"
+	}); code != 2 {
+		t.Fatalf("bare -fleet-key: exit %d", code)
 	}
 }

@@ -9,6 +9,7 @@
 //	        [-pipeline] [-faults <spec>] [-fault-seed <n>]
 //	        [-failsafe <state>] [-heartbeat <dur>]
 //	        [-fleet <url>] [-fleet-group <g>] [-fleet-vehicle <id>]
+//	        [-fleet-key id=hexsecret]
 //
 // -faults arms deterministic fault injection (see sack.ParseFaultSpec
 // for the spec grammar); -pipeline prints the kernel's pipeline health
@@ -21,21 +22,27 @@
 // the fleet as an agent: it pulls the group's current bundle before the
 // trace (the bundle replaces -policy / the built-in policy through the
 // reload transaction) and ships its status and audit records upstream
-// after the trace, so it appears in the printed view.
+// after the trace, so it appears in the printed view. -fleet-key pins
+// the agent to a fleetd signing key: bundles whose detached signature
+// does not verify against it (unsigned ones included) are refused
+// before the reload and the agent keeps its running policy.
 package main
 
 import (
+	"encoding/hex"
 	"flag"
 	"fmt"
 	"io"
 	"log"
 	"os"
+	"strings"
 	"time"
 
 	sack "repro"
 	"repro/internal/fleet"
 	"repro/internal/resilience"
 	"repro/internal/sds"
+	"repro/internal/sign"
 	"repro/internal/trace"
 )
 
@@ -94,6 +101,7 @@ type runConfig struct {
 	fleetURL     string // fleetd base URL; "" disables the fleet view
 	fleetGroup   string // with fleetURL: join this group as an agent
 	fleetVehicle string // agent vehicle id (default "sackmon")
+	fleetKey     string // id=hexsecret: only apply bundles signed by this key
 
 	stdout   io.Writer
 	readFile func(string) ([]byte, error)
@@ -112,6 +120,7 @@ func main() {
 	flag.StringVar(&cfg.fleetURL, "fleet", "", "fleetd base URL; print its fleet view after the run")
 	flag.StringVar(&cfg.fleetGroup, "fleet-group", "", "join this fleet group as an agent (requires -fleet)")
 	flag.StringVar(&cfg.fleetVehicle, "fleet-vehicle", "sackmon", "vehicle id to join the fleet as")
+	flag.StringVar(&cfg.fleetKey, "fleet-key", "", "id=hexsecret HMAC key; refuse fleet bundles that do not verify against it")
 	flag.Parse()
 	cfg.stdout, cfg.readFile = os.Stdout, os.ReadFile
 	os.Exit(run(cfg))
@@ -164,6 +173,21 @@ func run(cfg runConfig) int {
 		if vehicleID == "" {
 			vehicleID = "sackmon"
 		}
+		var keyring *sign.Keyring
+		if cfg.fleetKey != "" {
+			id, hexSecret, ok := strings.Cut(cfg.fleetKey, "=")
+			if !ok || id == "" || hexSecret == "" {
+				log.Printf("sackmon: -fleet-key wants id=hexsecret, got %q", cfg.fleetKey)
+				return 2
+			}
+			secret, err := hex.DecodeString(hexSecret)
+			if err != nil {
+				log.Printf("sackmon: -fleet-key secret is not hex: %v", err)
+				return 2
+			}
+			_, verifier := sign.NewHMAC(id, secret)
+			keyring = sign.NewKeyring(verifier)
+		}
 		// The monitoring agent runs the full default stack (retry,
 		// breaker, timeout, cached-bundle fallback) so its policy
 		// stats below show real breaker state against a flaky fleetd.
@@ -172,6 +196,7 @@ func run(cfg runConfig) int {
 			Group:     cfg.fleetGroup,
 			Transport: sack.NewFleetClient(cfg.fleetURL),
 			PollWait:  time.Millisecond,
+			Keyring:   keyring,
 		}, fleet.WithDefaultResilience()))
 	}
 	sys, err := sack.New(policyText, opts...)

@@ -59,11 +59,11 @@ type flakyTransport struct {
 
 func (f *flakyTransport) err() error { return fmt.Errorf("dial fleetd: connection refused") }
 
-func (f *flakyTransport) FetchBundle(group, etag string, wait time.Duration) (sack.Bundle, bool, error) {
+func (f *flakyTransport) FetchBundle(vehicle, group, etag string, wait time.Duration) (sack.Bundle, bool, error) {
 	if f.down.Load() {
 		return sack.Bundle{}, false, f.err()
 	}
-	return f.inner.FetchBundle(group, etag, wait)
+	return f.inner.FetchBundle(vehicle, group, etag, wait)
 }
 
 func (f *flakyTransport) ReportStatus(st fleet.VehicleStatus) error {

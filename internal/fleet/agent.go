@@ -11,6 +11,7 @@ import (
 	"repro/internal/lsm"
 	"repro/internal/policy"
 	"repro/internal/resilience"
+	"repro/internal/sign"
 )
 
 // Applier is the vehicle-side apply primitive: PR 3's transactional
@@ -56,6 +57,14 @@ type AgentConfig struct {
 	// Pipeline, when set, lets status reports carry the vehicle's
 	// degraded/failsafe-pinned health.
 	Pipeline *core.Pipeline
+	// Keyring, when non-empty, makes bundle signatures mandatory: a
+	// fetched bundle whose detached signature fails verification —
+	// unsigned, unknown key-id, wrong algorithm, tampered payload — is
+	// refused before it reaches the reload path, counted in
+	// VehicleStatus.SigRejects, and the round fails (degrading to the
+	// cached bundle under the PR 7 fallback stack). Nil or empty keeps
+	// the legacy checksum-only behaviour.
+	Keyring *sign.Keyring
 
 	PollWait  time.Duration // long-poll hold time for FetchBundle
 	Interval  time.Duration // pause between successful sync rounds
@@ -148,11 +157,12 @@ type Agent struct {
 		dropped  uint64
 	}
 	pending   []LogRecord // exported from the ring, not yet accepted upstream
-	syncs     uint64
-	syncFails uint64
-	fallbacks uint64 // rounds degraded to the cached bundle
-	shedSeen  uint64 // rounds shed by a server-side bulkhead (429)
-	lastErr   string
+	syncs      uint64
+	syncFails  uint64
+	fallbacks  uint64 // rounds degraded to the cached bundle
+	shedSeen   uint64 // rounds shed by a server-side bulkhead (429)
+	sigRejects uint64 // bundles refused on signature verification
+	lastErr    string
 }
 
 // DeriveJitterSeed is the agent's historical seed derivation: a small
@@ -306,7 +316,7 @@ func (a *Agent) syncBundle() error {
 	etag := a.etag
 	a.mu.Unlock()
 
-	b, modified, err := a.cfg.Transport.FetchBundle(a.cfg.Group, etag, a.cfg.PollWait)
+	b, modified, err := a.cfg.Transport.FetchBundle(a.cfg.Vehicle, a.cfg.Group, etag, a.cfg.PollWait)
 	if err != nil {
 		return fmt.Errorf("fetch bundle: %w", err)
 	}
@@ -318,6 +328,19 @@ func (a *Agent) syncBundle() error {
 	// surfaces here and the agent retries rather than applying garbage.
 	if got := policy.ChecksumSource(b.Source); got != b.Checksum {
 		return fmt.Errorf("fleet: bundle %s checksum mismatch (got %s)", b.ETag(), got)
+	}
+	// End-to-end authenticity: with a keyring configured, the detached
+	// signature must verify over the canonical encoding (which binds
+	// group and generation, so a replayed or transplanted signature
+	// fails too). A rejected bundle never reaches the reload path; the
+	// vehicle keeps deciding on its cached bundle.
+	if !a.cfg.Keyring.Empty() {
+		if err := a.cfg.Keyring.Verify(b.KeyID, b.SigAlg, b.SignedPayload(), b.SignatureBytes()); err != nil {
+			a.mu.Lock()
+			a.sigRejects++
+			a.mu.Unlock()
+			return fmt.Errorf("fleet: bundle %s refused: %w", b.ETag(), err)
+		}
 	}
 	var diff policy.DiffReport
 	if ca, ok := a.cfg.Applier.(CompiledApplier); ok && b.Compiled != nil {
@@ -410,6 +433,7 @@ func (a *Agent) Status() VehicleStatus {
 		Dropped:           a.ledger.dropped,
 		Fallbacks:         a.fallbacks,
 		Shed:              a.shedSeen,
+		SigRejects:        a.sigRejects,
 	}
 	a.mu.Unlock()
 	if b := resilience.BreakerOf(a.policy); b != nil {
@@ -437,6 +461,14 @@ func (a *Agent) Fallbacks() uint64 {
 	a.mu.Lock()
 	defer a.mu.Unlock()
 	return a.fallbacks
+}
+
+// SigRejects returns how many bundles were refused on signature
+// verification.
+func (a *Agent) SigRejects() uint64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.sigRejects
 }
 
 // LastError returns the most recent sync error ("" after a clean

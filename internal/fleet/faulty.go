@@ -72,16 +72,16 @@ func (f *FaultyTransport) pre(target string) (proceed, double bool, corrupt bool
 }
 
 // FetchBundle implements Transport.
-func (f *FaultyTransport) FetchBundle(group, etag string, wait time.Duration) (policy.Bundle, bool, error) {
+func (f *FaultyTransport) FetchBundle(vehicle, group, etag string, wait time.Duration) (policy.Bundle, bool, error) {
 	proceed, double, corrupt, err := f.pre(TargetBundle)
 	if !proceed {
 		return policy.Bundle{}, false, err
 	}
 	if double {
 		// A duplicated download is harmless; issue and discard one.
-		f.Inner.FetchBundle(group, etag, 0)
+		f.Inner.FetchBundle(vehicle, group, etag, 0)
 	}
-	b, modified, err := f.Inner.FetchBundle(group, etag, wait)
+	b, modified, err := f.Inner.FetchBundle(vehicle, group, etag, wait)
 	if corrupt && modified {
 		// Mangle the payload after the checksum header was written, as
 		// in-flight corruption would.

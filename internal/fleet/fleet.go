@@ -46,6 +46,15 @@ var (
 	// violates the group's (or its own embedded) invariant set; the
 	// wrapped message carries the witness trace. Nothing was published.
 	ErrInvariantViolation = errors.New("fleet: bundle violates invariants")
+	// ErrRolloutActive: the group has a staged rollout in flight; direct
+	// publishes are refused until it completes, halts, or is aborted.
+	ErrRolloutActive = errors.New("fleet: staged rollout in flight for group")
+	// ErrNoRollout: a rollout operation named a group with none active.
+	ErrNoRollout = errors.New("fleet: no rollout in flight for group")
+	// ErrRolloutHalted: the rollout brake tripped — a canary cohort
+	// regressed on denial rate or failsafe pinning and every vehicle was
+	// pinned back to the stable bundle.
+	ErrRolloutHalted = errors.New("fleet: rollout halted on regression")
 )
 
 // LogRecord is one decision-log (audit) record in transit. It mirrors
@@ -92,6 +101,10 @@ type VehicleStatus struct {
 	Breaker   string `json:"breaker,omitempty"`
 	Shed      uint64 `json:"shed,omitempty"`
 	Fallbacks uint64 `json:"fallbacks,omitempty"`
+	// SigRejects counts bundles the agent refused to apply because their
+	// signature failed keyring verification (unsigned, unknown key,
+	// tampered payload).
+	SigRejects uint64 `json:"sig_rejects,omitempty"`
 }
 
 // Transport is the agent's view of the control plane. The *Server
@@ -101,8 +114,11 @@ type Transport interface {
 	// FetchBundle returns the current bundle for the group when its
 	// ETag differs from etag ("" = unconditional). With wait > 0 and no
 	// newer bundle available the call long-polls up to wait for one.
-	// modified reports whether a bundle is returned.
-	FetchBundle(group, etag string, wait time.Duration) (b policy.Bundle, modified bool, err error)
+	// modified reports whether a bundle is returned. The vehicle id
+	// identifies the caller so a staged rollout can split the group into
+	// canary cohorts; "" is a legitimate anonymous fetch and always sees
+	// the stable revision.
+	FetchBundle(vehicle, group, etag string, wait time.Duration) (b policy.Bundle, modified bool, err error)
 	// ReportStatus records a vehicle's applied generation, health, and
 	// decision-log ledger in the server's per-vehicle state.
 	ReportStatus(st VehicleStatus) error

@@ -108,7 +108,7 @@ func (f *fakeApplier) count() int {
 func TestServerPublishAndFetch(t *testing.T) {
 	s := NewServer()
 
-	if _, _, err := s.FetchBundle("default", "", 0); !errors.Is(err, ErrUnknownGroup) {
+	if _, _, err := s.FetchBundle("", "default", "", 0); !errors.Is(err, ErrUnknownGroup) {
 		t.Fatalf("fetch before publish: err = %v, want ErrUnknownGroup", err)
 	}
 	if _, err := s.Publish("default", "not a policy"); err == nil {
@@ -123,7 +123,7 @@ func TestServerPublishAndFetch(t *testing.T) {
 		t.Fatalf("generation = %d, want 1", b1.Generation)
 	}
 
-	got, modified, err := s.FetchBundle("default", "", 0)
+	got, modified, err := s.FetchBundle("", "default", "", 0)
 	if err != nil || !modified {
 		t.Fatalf("fetch: modified=%v err=%v", modified, err)
 	}
@@ -132,7 +132,7 @@ func TestServerPublishAndFetch(t *testing.T) {
 	}
 
 	// Same ETag, no wait: not modified.
-	if _, modified, err = s.FetchBundle("default", b1.ETag(), 0); err != nil || modified {
+	if _, modified, err = s.FetchBundle("", "default", b1.ETag(), 0); err != nil || modified {
 		t.Fatalf("conditional fetch: modified=%v err=%v", modified, err)
 	}
 
@@ -159,7 +159,7 @@ func TestServerLongPollWakesOnPublish(t *testing.T) {
 
 	done := make(chan policy.Bundle, 1)
 	go func() {
-		b, modified, err := s.FetchBundle("default", b1.ETag(), 10*time.Second)
+		b, modified, err := s.FetchBundle("", "default", b1.ETag(), 10*time.Second)
 		if err != nil || !modified {
 			done <- policy.Bundle{}
 			return
@@ -183,7 +183,7 @@ func TestServerLongPollWakesOnPublish(t *testing.T) {
 	}
 
 	// A stale poller with an expired wait just times out.
-	if _, modified, err := s.FetchBundle("default", b2.ETag(), 10*time.Millisecond); err != nil || modified {
+	if _, modified, err := s.FetchBundle("", "default", b2.ETag(), 10*time.Millisecond); err != nil || modified {
 		t.Fatalf("timed-out poll: modified=%v err=%v", modified, err)
 	}
 }
@@ -399,14 +399,14 @@ func TestFaultyTransportDropAndStall(t *testing.T) {
 		Add(faults.Rule{Target: TargetLogs, Kind: faults.Stall, For: 1})
 	ft := NewFaultyTransport(s, plan)
 
-	if _, _, err := ft.FetchBundle("default", "", 0); !errors.Is(err, ErrDropped) {
+	if _, _, err := ft.FetchBundle("", "default", "", 0); !errors.Is(err, ErrDropped) {
 		t.Fatalf("dropped fetch: err = %v", err)
 	}
 	if _, err := ft.UploadLogs("v", []LogRecord{{Seq: 1}}); !errors.Is(err, faults.ErrStall) {
 		t.Fatalf("stalled upload: err = %v", err)
 	}
 	// Windows expired: both go through.
-	if _, modified, err := ft.FetchBundle("default", "", 0); err != nil || !modified {
+	if _, modified, err := ft.FetchBundle("", "default", "", 0); err != nil || !modified {
 		t.Fatalf("post-window fetch: modified=%v err=%v", modified, err)
 	}
 	if n, err := ft.UploadLogs("v", []LogRecord{{Seq: 1}}); err != nil || n != 1 {

@@ -7,21 +7,32 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"net/url"
 	"time"
 
 	"repro/internal/policy"
 	"repro/internal/resilience"
+	"repro/internal/sign"
 )
 
 // Handler exposes a Server over HTTP — the wire protocol cmd/fleetd
 // serves and Client speaks:
 //
 //	GET  /v1/bundle/{group}   download the group's bundle (wire format);
-//	                          If-None-Match + ?wait= give ETag long-poll
+//	                          If-None-Match + ?wait= give ETag long-poll;
+//	                          ?vehicle= identifies the caller for staged
+//	                          rollout cohorting
 //	POST /v1/bundle/{group}   publish policy source (optionally followed
 //	                          by "--- invariants ---" and an invariant
 //	                          set) as the next generation; 422 with the
 //	                          witness trace when the verifier refuses it
+//	POST /v1/rollout/{group}  start a staged rollout: JSON {source,
+//	                          invariants, plan}; 409 when one is active
+//	POST /v1/rollout/{group}/tick   judge the active stage (advance /
+//	                          halt / promote); 409 + X-Fleet-Reject:
+//	                          rollout-halted when the brake trips
+//	DELETE /v1/rollout/{group}      abort the rollout
+//	GET  /v1/rollout/{group}  rollout status (JSON)
 //	POST /v1/status           report one VehicleStatus (JSON)
 //	POST /v1/logs/{vehicle}   upload a decision-log batch (JSON array);
 //	                          429 = backpressure, nothing taken
@@ -41,7 +52,7 @@ func Handler(s *Server) http.Handler {
 			}
 			wait = d
 		}
-		b, modified, err := s.FetchBundle(group, r.Header.Get("If-None-Match"), wait)
+		b, modified, err := s.FetchBundle(r.URL.Query().Get("vehicle"), group, r.Header.Get("If-None-Match"), wait)
 		if err != nil {
 			http.Error(w, err.Error(), http.StatusNotFound)
 			return
@@ -66,18 +77,94 @@ func Handler(s *Server) http.Handler {
 		src, inv := policy.SplitSourceInvariants(string(body))
 		b, err := s.PublishBundle(r.PathValue("group"), src, inv)
 		if err != nil {
+			status := http.StatusUnprocessableEntity
 			if errors.Is(err, ErrInvariantViolation) {
 				// The witness trace rides in the 4xx body; the header lets
 				// the client invert the typed error without parsing text.
 				w.Header().Set("X-Fleet-Reject", "invariant-violation")
 			}
-			http.Error(w, err.Error(), http.StatusUnprocessableEntity)
+			if errors.Is(err, ErrRolloutActive) {
+				w.Header().Set("X-Fleet-Reject", "rollout-active")
+				status = http.StatusConflict
+			}
+			http.Error(w, err.Error(), status)
 			return
 		}
 		w.Header().Set("ETag", b.ETag())
 		writeJSON(w, map[string]any{
 			"group": b.Group, "generation": b.Generation, "checksum": b.Checksum, "etag": b.ETag(),
 		})
+	})
+
+	mux.HandleFunc("POST /v1/rollout/{group}", func(w http.ResponseWriter, r *http.Request) {
+		var req struct {
+			Source     string      `json:"source"`
+			Invariants string      `json:"invariants,omitempty"`
+			Plan       RolloutPlan `json:"plan"`
+		}
+		if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 2<<20)).Decode(&req); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		st, err := s.StartRollout(r.PathValue("group"), req.Source, req.Invariants, req.Plan)
+		if err != nil {
+			status := http.StatusUnprocessableEntity
+			switch {
+			case errors.Is(err, ErrInvariantViolation):
+				w.Header().Set("X-Fleet-Reject", "invariant-violation")
+			case errors.Is(err, ErrRolloutActive):
+				w.Header().Set("X-Fleet-Reject", "rollout-active")
+				status = http.StatusConflict
+			case errors.Is(err, ErrUnknownGroup):
+				status = http.StatusNotFound
+			}
+			http.Error(w, err.Error(), status)
+			return
+		}
+		writeJSON(w, st)
+	})
+
+	mux.HandleFunc("POST /v1/rollout/{group}/tick", func(w http.ResponseWriter, r *http.Request) {
+		st, err := s.RolloutTick(r.PathValue("group"))
+		if err != nil {
+			switch {
+			case errors.Is(err, ErrRolloutHalted):
+				// The halt is a legitimate outcome, not a transport failure:
+				// the status (with the halt reason) rides in the body under a
+				// 409 the client inverts back into ErrRolloutHalted.
+				w.Header().Set("X-Fleet-Reject", "rollout-halted")
+				w.Header().Set("Content-Type", "application/json")
+				w.WriteHeader(http.StatusConflict)
+				json.NewEncoder(w).Encode(st)
+			case errors.Is(err, ErrNoRollout):
+				http.Error(w, err.Error(), http.StatusNotFound)
+			default:
+				http.Error(w, err.Error(), http.StatusInternalServerError)
+			}
+			return
+		}
+		writeJSON(w, st)
+	})
+
+	mux.HandleFunc("DELETE /v1/rollout/{group}", func(w http.ResponseWriter, r *http.Request) {
+		if err := s.AbortRollout(r.PathValue("group")); err != nil {
+			if errors.Is(err, ErrNoRollout) {
+				http.Error(w, err.Error(), http.StatusNotFound)
+				return
+			}
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.WriteHeader(http.StatusNoContent)
+	})
+
+	mux.HandleFunc("GET /v1/rollout/{group}", func(w http.ResponseWriter, r *http.Request) {
+		st, err := s.RolloutStatus(r.PathValue("group"))
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusNotFound)
+			return
+		}
+		writeJSON(w, st)
 	})
 
 	mux.HandleFunc("POST /v1/status", func(w http.ResponseWriter, r *http.Request) {
@@ -145,6 +232,11 @@ func writeJSON(w http.ResponseWriter, v any) {
 type Client struct {
 	Base string // e.g. "http://127.0.0.1:7443"
 	HTTP *http.Client
+	// Keyring, when non-empty, verifies every downloaded bundle's
+	// detached signature at the transport boundary (in addition to any
+	// agent-side keyring): a bundle failing verification surfaces the
+	// typed sign error and never reaches the caller.
+	Keyring *sign.Keyring
 }
 
 // NewClient builds a client for a fleetd base URL.
@@ -160,12 +252,19 @@ func (c *Client) httpClient() *http.Client {
 }
 
 // FetchBundle implements Transport over HTTP.
-func (c *Client) FetchBundle(group, etag string, wait time.Duration) (policy.Bundle, bool, error) {
-	url := fmt.Sprintf("%s/v1/bundle/%s", c.Base, group)
+func (c *Client) FetchBundle(vehicle, group, etag string, wait time.Duration) (policy.Bundle, bool, error) {
+	u := fmt.Sprintf("%s/v1/bundle/%s", c.Base, group)
+	q := url.Values{}
 	if wait > 0 {
-		url += "?wait=" + wait.String()
+		q.Set("wait", wait.String())
 	}
-	req, err := http.NewRequest(http.MethodGet, url, nil)
+	if vehicle != "" {
+		q.Set("vehicle", vehicle)
+	}
+	if enc := q.Encode(); enc != "" {
+		u += "?" + enc
+	}
+	req, err := http.NewRequest(http.MethodGet, u, nil)
 	if err != nil {
 		return policy.Bundle{}, false, err
 	}
@@ -190,6 +289,11 @@ func (c *Client) FetchBundle(group, etag string, wait time.Duration) (policy.Bun
 		b, err := policy.DecodeBundle(data)
 		if err != nil {
 			return policy.Bundle{}, false, err
+		}
+		if !c.Keyring.Empty() {
+			if err := c.Keyring.Verify(b.KeyID, b.SigAlg, b.SignedPayload(), b.SignatureBytes()); err != nil {
+				return policy.Bundle{}, false, fmt.Errorf("fleet: bundle %s refused: %w", b.ETag(), err)
+			}
 		}
 		return b, true, nil
 	default:
@@ -274,6 +378,10 @@ func (c *Client) PushWithInvariants(group, src, invariants string) (policy.Bundl
 		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 8192))
 		return policy.Bundle{}, fmt.Errorf("%w: %s", ErrInvariantViolation, bytes.TrimSpace(msg))
 	}
+	if resp.StatusCode == http.StatusConflict &&
+		resp.Header.Get("X-Fleet-Reject") == "rollout-active" {
+		return policy.Bundle{}, fmt.Errorf("%w: %q", ErrRolloutActive, group)
+	}
 	if resp.StatusCode != http.StatusOK {
 		return policy.Bundle{}, httpError(resp)
 	}
@@ -301,6 +409,113 @@ func (c *Client) FleetStatus() (FleetStats, error) {
 	var st FleetStats
 	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
 		return FleetStats{}, err
+	}
+	return st, nil
+}
+
+// StartRollout begins a staged canary rollout of new policy source for
+// the group. The server verify-gates the candidate exactly like a direct
+// publish; refusals invert into the same typed errors.
+func (c *Client) StartRollout(group, src, invariants string, plan RolloutPlan) (RolloutStatus, error) {
+	body, err := json.Marshal(struct {
+		Source     string      `json:"source"`
+		Invariants string      `json:"invariants,omitempty"`
+		Plan       RolloutPlan `json:"plan"`
+	}{src, invariants, plan})
+	if err != nil {
+		return RolloutStatus{}, err
+	}
+	resp, err := c.httpClient().Post(c.Base+"/v1/rollout/"+group, "application/json", bytes.NewReader(body))
+	if err != nil {
+		return RolloutStatus{}, err
+	}
+	defer resp.Body.Close()
+	switch {
+	case resp.StatusCode == http.StatusUnprocessableEntity &&
+		resp.Header.Get("X-Fleet-Reject") == "invariant-violation":
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 8192))
+		return RolloutStatus{}, fmt.Errorf("%w: %s", ErrInvariantViolation, bytes.TrimSpace(msg))
+	case resp.StatusCode == http.StatusConflict &&
+		resp.Header.Get("X-Fleet-Reject") == "rollout-active":
+		return RolloutStatus{}, fmt.Errorf("%w: %q", ErrRolloutActive, group)
+	case resp.StatusCode == http.StatusNotFound:
+		return RolloutStatus{}, fmt.Errorf("%w: %q", ErrUnknownGroup, group)
+	case resp.StatusCode != http.StatusOK:
+		return RolloutStatus{}, httpError(resp)
+	}
+	var st RolloutStatus
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		return RolloutStatus{}, err
+	}
+	return st, nil
+}
+
+// RolloutTick evaluates the canary window once: advance, halt, or
+// promote. A halt comes back as ErrRolloutHalted alongside the status
+// carrying the brake reason.
+func (c *Client) RolloutTick(group string) (RolloutStatus, error) {
+	resp, err := c.httpClient().Post(c.Base+"/v1/rollout/"+group+"/tick", "application/json", nil)
+	if err != nil {
+		return RolloutStatus{}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusConflict &&
+		resp.Header.Get("X-Fleet-Reject") == "rollout-halted" {
+		var st RolloutStatus
+		if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+			return RolloutStatus{}, err
+		}
+		return st, fmt.Errorf("%w: %s", ErrRolloutHalted, st.HaltReason)
+	}
+	if resp.StatusCode == http.StatusNotFound {
+		return RolloutStatus{}, fmt.Errorf("%w: %q", ErrNoRollout, group)
+	}
+	if resp.StatusCode != http.StatusOK {
+		return RolloutStatus{}, httpError(resp)
+	}
+	var st RolloutStatus
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		return RolloutStatus{}, err
+	}
+	return st, nil
+}
+
+// AbortRollout cancels the group's rollout and pins everyone to stable.
+func (c *Client) AbortRollout(group string) error {
+	req, err := http.NewRequest(http.MethodDelete, c.Base+"/v1/rollout/"+group, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusNotFound {
+		return fmt.Errorf("%w: %q", ErrNoRollout, group)
+	}
+	if resp.StatusCode != http.StatusNoContent {
+		return httpError(resp)
+	}
+	return nil
+}
+
+// RolloutStatus fetches the group's rollout state.
+func (c *Client) RolloutStatus(group string) (RolloutStatus, error) {
+	resp, err := c.httpClient().Get(c.Base + "/v1/rollout/" + group)
+	if err != nil {
+		return RolloutStatus{}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusNotFound {
+		return RolloutStatus{}, fmt.Errorf("%w: %q", ErrNoRollout, group)
+	}
+	if resp.StatusCode != http.StatusOK {
+		return RolloutStatus{}, httpError(resp)
+	}
+	var st RolloutStatus
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		return RolloutStatus{}, err
 	}
 	return st, nil
 }

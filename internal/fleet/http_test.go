@@ -18,7 +18,7 @@ func TestHTTPTransportRoundTrip(t *testing.T) {
 	defer srv.Close()
 	c := NewClient(srv.URL)
 
-	if _, _, err := c.FetchBundle("default", "", 0); !errors.Is(err, ErrUnknownGroup) {
+	if _, _, err := c.FetchBundle("", "default", "", 0); !errors.Is(err, ErrUnknownGroup) {
 		t.Fatalf("fetch before publish: err = %v, want ErrUnknownGroup", err)
 	}
 	if _, err := c.Push("default", "not a policy"); err == nil {
@@ -51,7 +51,7 @@ func TestHTTPTransportRoundTrip(t *testing.T) {
 	}
 
 	// Conditional re-fetch: 304 maps to modified=false.
-	if _, modified, err := c.FetchBundle("default", b.ETag(), 0); err != nil || modified {
+	if _, modified, err := c.FetchBundle("", "default", b.ETag(), 0); err != nil || modified {
 		t.Fatalf("conditional fetch: modified=%v err=%v", modified, err)
 	}
 
@@ -103,7 +103,7 @@ func TestHTTPLongPoll(t *testing.T) {
 	}
 	done := make(chan uint64, 1)
 	go func() {
-		b, modified, err := c.FetchBundle("default", "g1-"+b1.Checksum[:12], 10*time.Second)
+		b, modified, err := c.FetchBundle("", "default", "g1-"+b1.Checksum[:12], 10*time.Second)
 		if err != nil || !modified {
 			done <- 0
 			return

@@ -106,7 +106,7 @@ func TestPublishBundleEmbeddedInvariants(t *testing.T) {
 		t.Fatalf("bundle does not carry invariants: %q", b.Invariants)
 	}
 	// The set survives the wire format to agents.
-	got, _, err := s.FetchBundle("g", "", 0)
+	got, _, err := s.FetchBundle("", "g", "", 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -138,7 +138,7 @@ func TestPublishGateOverHTTP(t *testing.T) {
 	}
 	// The invariants round-trip to a polling client through the bundle
 	// wire encoding.
-	got, modified, err := c.FetchBundle("canbus", "", 0)
+	got, modified, err := c.FetchBundle("", "canbus", "", 0)
 	if err != nil || !modified {
 		t.Fatalf("fetch: modified=%v err=%v", modified, err)
 	}

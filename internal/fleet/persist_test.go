@@ -1,0 +1,426 @@
+package fleet
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/policy"
+	"repro/internal/store"
+)
+
+// openStoreAt opens (or reopens) a durability store in dir. Fsync is
+// disabled: Crash() abandons the user-space buffers either way, which
+// is the loss mode these tests exercise, and the suite stays fast.
+func openStoreAt(t *testing.T, dir string) *store.Store {
+	t.Helper()
+	st, err := store.Open(dir, store.WithNoFsync())
+	if err != nil {
+		t.Fatalf("store.Open: %v", err)
+	}
+	return st
+}
+
+func mustJSON(t *testing.T, v any) string {
+	t.Helper()
+	b, err := json.Marshal(v)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	return string(b)
+}
+
+func logBatch(from, n uint64) []LogRecord {
+	recs := make([]LogRecord, 0, n)
+	for i := uint64(0); i < n; i++ {
+		recs = append(recs, LogRecord{
+			Seq: from + i, When: time.Unix(int64(from+i), 0).UTC(),
+			Module: "vfs", Op: "read", Object: "/etc/hostname", Action: "ALLOWED",
+		})
+	}
+	return recs
+}
+
+// TestPersistRestartExactState kills the server (SIGKILL semantics: the
+// store abandons its file handles mid-flight) and reopens it over the
+// same directory. Every piece of durable state — registry, generation
+// counters, publish audit log, invariants, ingestion ledger — must come
+// back exactly.
+func TestPersistRestartExactState(t *testing.T) {
+	dir := t.TempDir()
+	st := openStoreAt(t, dir)
+	s, err := OpenServer(st)
+	if err != nil {
+		t.Fatalf("OpenServer: %v", err)
+	}
+
+	// A publish history with a rejection in the middle, two groups, and
+	// an invariant set that every future publish keeps carrying.
+	if _, err := s.Publish("sedan", testPolicy); err != nil {
+		t.Fatalf("publish: %v", err)
+	}
+	if _, err := s.Publish("sedan", testPolicyV2); err != nil {
+		t.Fatalf("publish v2: %v", err)
+	}
+	if _, err := s.Publish("sedan", "not a policy {"); err == nil {
+		t.Fatalf("bad publish accepted")
+	}
+	if _, err := s.Publish("truck", testPolicy); err != nil {
+		t.Fatalf("publish truck: %v", err)
+	}
+	if err := s.SetInvariants("truck", "never /usr/bin/ivi write /dev/can/actuator*\n"); err != nil {
+		t.Fatalf("set invariants: %v", err)
+	}
+
+	// Vehicle traffic: statuses, accepted batches, duplicate retries, a
+	// partial drain.
+	for i := 0; i < 4; i++ {
+		v := fmt.Sprintf("car-%02d", i)
+		if err := s.ReportStatus(VehicleStatus{Vehicle: v, Group: "sedan", AppliedGeneration: 2, Emitted: 30, Uploaded: 20}); err != nil {
+			t.Fatalf("status: %v", err)
+		}
+		if _, err := s.UploadLogs(v, logBatch(1, 10)); err != nil {
+			t.Fatalf("upload: %v", err)
+		}
+		if _, err := s.UploadLogs(v, logBatch(6, 10)); err != nil { // 5 dups, 5 fresh
+			t.Fatalf("upload retry: %v", err)
+		}
+	}
+	if got := len(s.Drain(7)); got != 7 {
+		t.Fatalf("drain: got %d records, want 7", got)
+	}
+
+	// Everything above the last fsynced record rides the group commit;
+	// flush it so the captured state is exactly the durable state.
+	if err := s.Store().Sync(); err != nil {
+		t.Fatalf("sync: %v", err)
+	}
+	// Bulkhead admission counters are runtime resilience telemetry, not
+	// durable ledger state; they restart at zero like breaker states do.
+	stripEphemeral := func(fs FleetStats) FleetStats { fs.Ingest = nil; return fs }
+	wantStats := mustJSON(t, stripEphemeral(s.Stats()))
+	wantVehicles := mustJSON(t, s.Vehicles())
+	wantAudit := mustJSON(t, s.PublishLog())
+	wantInv := s.GroupInvariants("truck")
+	wantBundles := map[string]string{}
+	for _, g := range []string{"sedan", "truck"} {
+		b, err := s.Bundle(g)
+		if err != nil {
+			t.Fatalf("bundle %s: %v", g, err)
+		}
+		wantBundles[g] = string(b.Encode())
+	}
+
+	st.Crash()
+
+	st2 := openStoreAt(t, dir)
+	defer st2.Close()
+	s2, err := OpenServer(st2)
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	if got := mustJSON(t, stripEphemeral(s2.Stats())); got != wantStats {
+		t.Errorf("stats diverged after restart:\n got %s\nwant %s", got, wantStats)
+	}
+	if got := mustJSON(t, s2.Vehicles()); got != wantVehicles {
+		t.Errorf("vehicle registry diverged:\n got %s\nwant %s", got, wantVehicles)
+	}
+	if got := mustJSON(t, s2.PublishLog()); got != wantAudit {
+		t.Errorf("publish audit log diverged:\n got %s\nwant %s", got, wantAudit)
+	}
+	if got := s2.GroupInvariants("truck"); got != wantInv {
+		t.Errorf("invariants diverged: got %q want %q", got, wantInv)
+	}
+	for g, want := range wantBundles {
+		b, err := s2.Bundle(g)
+		if err != nil {
+			t.Fatalf("bundle %s after restart: %v", g, err)
+		}
+		if string(b.Encode()) != want {
+			t.Errorf("bundle %s not byte-identical after restart", g)
+		}
+	}
+	// The restored bundle must be compiled, not just stored: a fetch
+	// returns it and a further publish advances, never reuses, the
+	// generation counter.
+	b, err := s2.Publish("sedan", testPolicy)
+	if err != nil {
+		t.Fatalf("publish after restart: %v", err)
+	}
+	if b.Generation != 3 {
+		t.Errorf("generation after restart = %d, want 3", b.Generation)
+	}
+}
+
+// TestPersistIngestAckDurable checks the ingest commit point: once
+// UploadLogs returns an accept, that batch survives an immediate kill-9
+// with no explicit sync anywhere — the agent advanced its cursor on the
+// server's word, so forgetting the batch would permanently corrupt the
+// accepted+dropped==emitted ledger.
+func TestPersistIngestAckDurable(t *testing.T) {
+	dir := t.TempDir()
+	st := openStoreAt(t, dir)
+	s, err := OpenServer(st)
+	if err != nil {
+		t.Fatalf("OpenServer: %v", err)
+	}
+	if _, err := s.Publish("g", testPolicy); err != nil {
+		t.Fatalf("publish: %v", err)
+	}
+	n, err := s.UploadLogs("car-1", logBatch(1, 25))
+	if err != nil || n != 25 {
+		t.Fatalf("upload: n=%d err=%v", n, err)
+	}
+	st.Crash() // no Sync: only the ingest's own commit protects it
+
+	st2 := openStoreAt(t, dir)
+	defer st2.Close()
+	s2, err := OpenServer(st2)
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	v, ok := s2.Vehicle("car-1")
+	if !ok {
+		t.Fatalf("vehicle lost across restart")
+	}
+	if v.Accepted != 25 || v.LastLogSeq != 25 {
+		t.Fatalf("ledger lost: accepted=%d lastSeq=%d, want 25/25", v.Accepted, v.LastLogSeq)
+	}
+	// The at-least-once retry of the same batch must dedupe exactly.
+	n, err = s2.UploadLogs("car-1", logBatch(1, 25))
+	if err != nil || n != 0 {
+		t.Fatalf("retry after restart: n=%d err=%v, want full dedupe", n, err)
+	}
+	if v, _ := s2.Vehicle("car-1"); v.Accepted != 25 {
+		t.Fatalf("accepted inflated by retry: %d", v.Accepted)
+	}
+}
+
+// TestPersistRestartEtagMonotonic is the regression test for the
+// distribution protocol across a WAL-replay restart: ETags are stable,
+// long-polls against the pre-crash ETag still block until a genuinely
+// newer generation, and generation numbers never regress or get reused.
+func TestPersistRestartEtagMonotonic(t *testing.T) {
+	dir := t.TempDir()
+	st := openStoreAt(t, dir)
+	s, err := OpenServer(st)
+	if err != nil {
+		t.Fatalf("OpenServer: %v", err)
+	}
+	if _, err := s.Publish("g", testPolicy); err != nil {
+		t.Fatalf("publish: %v", err)
+	}
+	b2, err := s.Publish("g", testPolicyV2)
+	if err != nil {
+		t.Fatalf("publish v2: %v", err)
+	}
+	if err := s.Store().Sync(); err != nil {
+		t.Fatalf("sync: %v", err)
+	}
+	st.Crash()
+
+	st2 := openStoreAt(t, dir)
+	defer st2.Close()
+	s2, err := OpenServer(st2)
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	// An agent that applied gen 2 before the crash polls the restarted
+	// server with its cached ETag: not modified, no spurious reload.
+	got, modified, err := s2.FetchBundle("car-1", "g", b2.ETag(), 0)
+	if err != nil {
+		t.Fatalf("fetch: %v", err)
+	}
+	if modified {
+		t.Fatalf("restart changed the bundle: agent on gen %d got gen %d (etag %s)",
+			b2.Generation, got.Generation, got.ETag())
+	}
+
+	// A long-poll parked on the pre-crash ETag wakes only for a newer
+	// generation, and that generation strictly advances past the
+	// replayed counter.
+	type fetched struct {
+		b        policy.Bundle
+		modified bool
+		err      error
+	}
+	done := make(chan fetched, 1)
+	go func() {
+		b, m, err := s2.FetchBundle("car-1", "g", b2.ETag(), 10*time.Second)
+		done <- fetched{b, m, err}
+	}()
+	time.Sleep(20 * time.Millisecond)
+	b3, err := s2.Publish("g", testPolicy)
+	if err != nil {
+		t.Fatalf("publish after restart: %v", err)
+	}
+	if b3.Generation != b2.Generation+1 {
+		t.Fatalf("generation reused or skipped: %d after %d", b3.Generation, b2.Generation)
+	}
+	select {
+	case f := <-done:
+		if f.err != nil || !f.modified {
+			t.Fatalf("long-poll after restart: modified=%v err=%v", f.modified, f.err)
+		}
+		if f.b.Generation != b3.Generation {
+			t.Fatalf("long-poll woke with gen %d, want %d", f.b.Generation, b3.Generation)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatalf("long-poll never woke after post-restart publish")
+	}
+}
+
+// vmodel is the test's own ledger for one simulated vehicle.
+type vmodel struct {
+	emitted uint64          // highest sequence the vehicle produced
+	dropped map[uint64]bool // sequences shed before upload (never sent)
+	cursor  uint64          // highest sequence the server ACKed
+}
+
+// batchFrom builds the at-least-once upload batch: every non-dropped
+// sequence in [from..emitted]. A stale `from` resends already-ACKed
+// records the server must count as duplicates, not re-ingest.
+func (m *vmodel) batchFrom(from uint64) []LogRecord {
+	var recs []LogRecord
+	for seq := from; seq <= m.emitted; seq++ {
+		if m.dropped[seq] {
+			continue
+		}
+		recs = append(recs, LogRecord{
+			Seq: seq, When: time.Unix(int64(seq), 0).UTC(),
+			Module: "vfs", Op: "read", Object: "/etc/hostname", Action: "ALLOWED",
+		})
+	}
+	return recs
+}
+
+// acceptedWant is the exact number of records the server should have
+// accepted for this vehicle: every non-dropped sequence up to the ACKed
+// cursor, each exactly once.
+func (m *vmodel) acceptedWant() uint64 {
+	var n uint64
+	for seq := uint64(1); seq <= m.cursor; seq++ {
+		if !m.dropped[seq] {
+			n++
+		}
+	}
+	return n
+}
+
+// TestPersistKill9Property drives a randomized op mix — publishes,
+// statuses, at-least-once uploads with duplicate retries, drains,
+// snapshots — through repeated kill-9/reopen cycles and checks the
+// exact-accounting invariant every time: for every vehicle the server's
+// accepted count equals emitted minus dropped over the ACKed range, so
+// accepted + dropped == emitted holds once the agent's cursor catches
+// up, across any number of crashes.
+func TestPersistKill9Property(t *testing.T) {
+	seeds := 8
+	if testing.Short() {
+		seeds = 2
+	}
+	for seed := 0; seed < seeds; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			t.Parallel()
+			rng := rand.New(rand.NewSource(int64(seed)*7919 + 13))
+			dir := t.TempDir()
+			st := openStoreAt(t, dir)
+			s, err := OpenServer(st, WithSnapshotEvery(32))
+			if err != nil {
+				t.Fatalf("OpenServer: %v", err)
+			}
+			if _, err := s.Publish("g", testPolicy); err != nil {
+				t.Fatalf("publish: %v", err)
+			}
+
+			const vehicles = 5
+			models := make([]*vmodel, vehicles)
+			for i := range models {
+				models[i] = &vmodel{dropped: map[uint64]bool{}}
+			}
+			gen := uint64(1)
+
+			for round := 0; round < 12; round++ {
+				for op := 0; op < 10; op++ {
+					vi := rng.Intn(vehicles)
+					m := models[vi]
+					vid := fmt.Sprintf("car-%d", vi)
+					switch rng.Intn(5) {
+					case 0: // publish a new generation
+						if _, err := s.Publish("g", testPolicy); err != nil {
+							t.Fatalf("publish: %v", err)
+						}
+						gen++
+					case 1: // status report (not fsynced; idempotent)
+						s.ReportStatus(VehicleStatus{Vehicle: vid, Group: "g", AppliedGeneration: gen})
+					case 2: // shed a few sequences before upload
+						for n := rng.Intn(3) + 1; n > 0; n-- {
+							m.emitted++
+							m.dropped[m.emitted] = true
+						}
+					case 3: // drain downstream
+						s.Drain(rng.Intn(20))
+					default: // emit + upload, sometimes resending a stale prefix
+						m.emitted += uint64(rng.Intn(6) + 1)
+						from := m.cursor + 1
+						if back := uint64(rng.Intn(4)); back < from {
+							from -= back
+						}
+						batch := m.batchFrom(from)
+						if len(batch) == 0 {
+							continue
+						}
+						if _, err := s.UploadLogs(vid, batch); err != nil {
+							if !errors.Is(err, ErrBackpressure) {
+								t.Fatalf("upload: %v", err)
+							}
+						} else {
+							m.cursor = batch[len(batch)-1].Seq
+						}
+					}
+				}
+				// Kill -9 and reopen. The accepted-ingest commit point means
+				// every ACKed cursor survives; statuses may not, which is
+				// fine — they are re-reported.
+				st.Crash()
+				st = openStoreAt(t, dir)
+				s, err = OpenServer(st, WithSnapshotEvery(32))
+				if err != nil {
+					t.Fatalf("reopen round %d: %v", round, err)
+				}
+				for vi, m := range models {
+					vid := fmt.Sprintf("car-%d", vi)
+					if m.cursor == 0 {
+						continue
+					}
+					v, ok := s.Vehicle(vid)
+					if !ok {
+						t.Fatalf("round %d: %s lost after kill-9", round, vid)
+					}
+					if v.LastLogSeq < m.cursor {
+						t.Fatalf("round %d: %s ACKed seq %d but server replayed to %d",
+							round, vid, m.cursor, v.LastLogSeq)
+					}
+					if want := m.acceptedWant(); v.Accepted != want {
+						t.Fatalf("round %d: %s accepted=%d want %d (exact accounting broken)",
+							round, vid, v.Accepted, want)
+					}
+				}
+				var gotGen uint64
+				for _, gs := range s.Stats().Groups {
+					if gs.Group == "g" {
+						gotGen = gs.Generation
+					}
+				}
+				if gotGen != gen {
+					t.Fatalf("round %d: generation %d after replay, want %d", round, gotGen, gen)
+				}
+			}
+			st.Close()
+		})
+	}
+}

@@ -33,11 +33,11 @@ func (f *failNTransport) failing() bool {
 	}
 }
 
-func (f *failNTransport) FetchBundle(group, etag string, wait time.Duration) (policy.Bundle, bool, error) {
+func (f *failNTransport) FetchBundle(vehicle, group, etag string, wait time.Duration) (policy.Bundle, bool, error) {
 	if f.failing() {
 		return policy.Bundle{}, false, fmt.Errorf("injected: %w", ErrDropped)
 	}
-	return f.inner.FetchBundle(group, etag, wait)
+	return f.inner.FetchBundle(vehicle, group, etag, wait)
 }
 
 func (f *failNTransport) ReportStatus(st VehicleStatus) error {

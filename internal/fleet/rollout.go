@@ -1,0 +1,620 @@
+package fleet
+
+import (
+	"fmt"
+	"hash/fnv"
+	"path"
+	"strings"
+	"time"
+
+	"repro/internal/policy"
+	"repro/internal/verify"
+)
+
+// Staged rollout controller. A rollout publishes a candidate bundle to
+// a widening canary cohort of the group — percentage splits (stable
+// FNV hash of the vehicle id into percentile buckets) and/or named
+// rings (vehicle-id glob) — while the rest of the group stays on the
+// stable revision. The ingestion path tracks the canary cohort's
+// decision-log denial rate, and RolloutTick compares it (plus the
+// cohort's failsafe-pinned/degraded fraction from status reports)
+// against the plan's brakes: a regression halts the rollout and pins
+// every vehicle back to the stable bundle — the canaries' next poll
+// sees the stable ETag and rolls back through the normal apply path.
+// Advancing past the final stage promotes the candidate to the group's
+// current bundle.
+
+// RolloutStage is one widening step of the plan.
+type RolloutStage struct {
+	// Percent of the group (0–100) in the canary cohort: vehicles whose
+	// stable hash percentile is below it.
+	Percent int `json:"percent"`
+	// Ring optionally names an explicit cohort by vehicle-id glob
+	// (path.Match syntax, e.g. "veh-00*" or "depot-?-*"). A vehicle is a
+	// canary when it matches EITHER the percentile split or the ring.
+	Ring string `json:"ring,omitempty"`
+}
+
+// RolloutPlan drives one staged rollout.
+type RolloutPlan struct {
+	Stages []RolloutStage `json:"stages"`
+	// MinSamples is how many canary decision-log records a stage must
+	// observe before RolloutTick will judge it (default 1).
+	MinSamples uint64 `json:"min_samples,omitempty"`
+	// MaxDenialRate halts the rollout when the canary cohort's denied
+	// fraction exceeds it. Zero means any denial halts; negative
+	// disables the brake.
+	MaxDenialRate float64 `json:"max_denial_rate"`
+	// MaxPinnedFrac halts when the fraction of reporting canary
+	// vehicles that are failsafe-pinned or degraded exceeds it. Zero
+	// means any pin halts; negative disables the brake.
+	MaxPinnedFrac float64 `json:"max_pinned_frac"`
+}
+
+func (p RolloutPlan) validate() error {
+	if len(p.Stages) == 0 {
+		return fmt.Errorf("fleet: rollout plan needs at least one stage")
+	}
+	for i, st := range p.Stages {
+		if st.Percent < 0 || st.Percent > 100 {
+			return fmt.Errorf("fleet: rollout stage %d: percent %d out of range", i, st.Percent)
+		}
+		if st.Percent == 0 && st.Ring == "" {
+			return fmt.Errorf("fleet: rollout stage %d selects no vehicles", i)
+		}
+		if st.Ring != "" {
+			if _, err := path.Match(st.Ring, "probe"); err != nil {
+				return fmt.Errorf("fleet: rollout stage %d: bad ring pattern %q: %v", i, st.Ring, err)
+			}
+		}
+	}
+	return nil
+}
+
+type rolloutState struct {
+	group     string
+	plan      RolloutPlan
+	candidate policy.Bundle // generation lastGen (reserved at start)
+	stable    policy.Bundle // what non-canaries keep fetching
+	stage     int
+	startedAt time.Time
+
+	// observation window for the current stage, fed by the ingestion
+	// path for vehicles in the canary cohort.
+	canarySamples uint64
+	canaryDenials uint64
+
+	halted     bool
+	haltReason string
+}
+
+// stageFor returns the active stage definition.
+func (r *rolloutState) stageFor() RolloutStage { return r.plan.Stages[r.stage] }
+
+// percentile buckets a vehicle id deterministically into [0,100).
+func vehiclePercentile(vehicle string) int {
+	h := fnv.New32a()
+	h.Write([]byte(vehicle))
+	return int(h.Sum32() % 100)
+}
+
+// inCanary reports whether a vehicle is in the rollout's current
+// cohort. Anonymous fetches (vehicle == "") never are.
+func (r *rolloutState) inCanary(vehicle string) bool {
+	if vehicle == "" || r.halted {
+		return false
+	}
+	st := r.stageFor()
+	if st.Percent > 0 && vehiclePercentile(vehicle) < st.Percent {
+		return true
+	}
+	if st.Ring != "" {
+		if ok, _ := path.Match(st.Ring, vehicle); ok {
+			return true
+		}
+	}
+	return false
+}
+
+// RolloutStatus is the operator's view of one rollout, rendered by
+// `sackctl fleet rollout status`.
+type RolloutStatus struct {
+	Group         string    `json:"group"`
+	Stage         int       `json:"stage"`  // 0-based index of the active stage
+	Stages        int       `json:"stages"` // total
+	Percent       int       `json:"percent"`
+	Ring          string    `json:"ring,omitempty"`
+	CandidateGen  uint64    `json:"candidate_generation"`
+	CandidateETag string    `json:"candidate_etag"`
+	StableGen     uint64    `json:"stable_generation"`
+	StableETag    string    `json:"stable_etag,omitempty"`
+	StartedAt     time.Time `json:"started_at"`
+	Samples       uint64    `json:"samples"`
+	Denials       uint64    `json:"denials"`
+	DenialRate    float64   `json:"denial_rate"`
+	MinSamples    uint64    `json:"min_samples"`
+	Canaries      int       `json:"canaries"`        // reporting vehicles in the cohort
+	CanariesOnNew int       `json:"canaries_on_new"` // of those, on the candidate generation
+	PinnedFrac    float64   `json:"pinned_frac"`
+	Halted        bool      `json:"halted,omitempty"`
+	HaltReason    string    `json:"halt_reason,omitempty"`
+}
+
+// Render formats the status in the flat securityfs style.
+func (rs RolloutStatus) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "group: %s\n", rs.Group)
+	fmt.Fprintf(&b, "stage: %d/%d (percent=%d ring=%q)\n", rs.Stage+1, rs.Stages, rs.Percent, rs.Ring)
+	fmt.Fprintf(&b, "candidate: generation=%d etag=%s\n", rs.CandidateGen, rs.CandidateETag)
+	fmt.Fprintf(&b, "stable: generation=%d etag=%s\n", rs.StableGen, rs.StableETag)
+	fmt.Fprintf(&b, "canaries: %d (on_candidate=%d pinned_frac=%.3f)\n", rs.Canaries, rs.CanariesOnNew, rs.PinnedFrac)
+	fmt.Fprintf(&b, "samples: %d (denials=%d rate=%.4f min_samples=%d)\n", rs.Samples, rs.Denials, rs.DenialRate, rs.MinSamples)
+	if rs.Halted {
+		fmt.Fprintf(&b, "halted: %s\n", rs.HaltReason)
+	}
+	return b.String()
+}
+
+// StartRollout validates, verifies, signs, and stages a candidate
+// bundle for the group under the plan, reserving the group's next
+// generation for it. Stage 0's cohort sees the candidate on their next
+// poll; everyone else keeps the stable bundle. A group with a rollout
+// already in flight (even a halted one — inspect it first, then abort)
+// refuses a second one, as does a group with no published stable
+// bundle (there is nothing to fall back to; use Publish).
+func (s *Server) StartRollout(group, src, invariants string, plan RolloutPlan) (RolloutStatus, error) {
+	if group == "" {
+		return RolloutStatus{}, fmt.Errorf("fleet: empty group name")
+	}
+	if err := plan.validate(); err != nil {
+		return RolloutStatus{}, err
+	}
+	if plan.MinSamples == 0 {
+		plan.MinSamples = 1
+	}
+	s.persistMu.RLock()
+	defer s.persistMu.RUnlock()
+
+	reject := func(outcome string, err error) (RolloutStatus, error) {
+		rec := PublishRecord{
+			When: time.Now(), Group: group, Checksum: policy.ChecksumSource(src),
+			Outcome: outcome, Reason: err.Error(),
+		}
+		s.auditPublish(rec)
+		s.persist(walRecord{Kind: "publish", Publish: &walPublish{Audit: rec}}, true)
+		return RolloutStatus{}, err
+	}
+
+	compiled, vr, err := policy.Load(src)
+	if err != nil {
+		return reject("rejected", fmt.Errorf("fleet: rollout candidate rejected: %w", err))
+	}
+	if !vr.OK() {
+		return reject("rejected", fmt.Errorf("fleet: rollout candidate rejected: %w", vr.Err()))
+	}
+	var embedded *verify.Set
+	if strings.TrimSpace(invariants) != "" {
+		if embedded, err = verify.ParseSet(invariants); err != nil {
+			return reject("rejected", fmt.Errorf("fleet: rollout candidate rejected: %w", err))
+		}
+	}
+	s.regMu.Lock()
+	groupInv := s.invariants[group]
+	s.regMu.Unlock()
+	for _, gate := range []struct {
+		origin string
+		set    *verify.Set
+	}{
+		{"group", setOf(groupInv)},
+		{"bundle", embedded},
+	} {
+		if gate.set == nil {
+			continue
+		}
+		if rep := verify.Check(compiled, gate.set); !rep.OK() {
+			return reject("invariant-violation",
+				fmt.Errorf("%w (%s set):\n%s", ErrInvariantViolation, gate.origin, rep.Render()))
+		}
+	}
+
+	s.rollMu.Lock()
+	if s.rollouts[group] != nil {
+		s.rollMu.Unlock()
+		return RolloutStatus{}, fmt.Errorf("%w: %q", ErrRolloutActive, group)
+	}
+	s.rollMu.Unlock()
+
+	s.regMu.Lock()
+	e := s.groups[group]
+	if e == nil || e.bundle.Generation == 0 {
+		s.regMu.Unlock()
+		return RolloutStatus{}, fmt.Errorf("%w: %q has no stable bundle to roll from", ErrUnknownGroup, group)
+	}
+	gen := e.lastGen + 1
+	e.lastGen = gen
+	stable := e.bundle
+	notify := e.notify
+	e.notify = make(chan struct{})
+	s.regMu.Unlock()
+
+	cand := policy.NewBundle(group, gen, src).WithInvariants(invariants)
+	if s.signer != nil {
+		cand = cand.Signed(s.signer)
+	}
+	cand.Compiled = compiled
+
+	r := &rolloutState{
+		group: group, plan: plan, candidate: cand, stable: stable,
+		startedAt: time.Now(),
+	}
+	s.rollMu.Lock()
+	s.rollouts[group] = r
+	status := s.rolloutStatusLocked(r)
+	s.rollMu.Unlock()
+
+	rec := PublishRecord{
+		When: time.Now(), Group: group, Generation: gen,
+		Checksum: cand.Checksum, Outcome: "rollout-started",
+	}
+	s.auditPublish(rec)
+	if err := s.persist(walRecord{Kind: "rollout", Rollout: &walRollout{
+		Op: "start", Group: group, When: r.startedAt, Plan: plan,
+		Source: src, Invariants: invariants,
+		KeyID: cand.KeyID, SigAlg: cand.SigAlg, Signature: cand.Signature,
+	}}, true); err != nil {
+		return RolloutStatus{}, err
+	}
+	// Wake parked pollers: stage-0 canaries should see the candidate now.
+	close(notify)
+	return status, nil
+}
+
+// RolloutTick judges the active stage against the plan's brakes and
+// either waits (not enough samples), halts (regression), advances to
+// the next stage, or — past the final stage — promotes the candidate
+// to the group's current bundle. Drive it from a timer (fleetd's
+// -rollout-tick) or an operator's `sackctl bundle rollout tick`.
+func (s *Server) RolloutTick(group string) (RolloutStatus, error) {
+	s.persistMu.RLock()
+	defer s.persistMu.RUnlock()
+
+	s.rollMu.Lock()
+	r := s.rollouts[group]
+	if r == nil {
+		s.rollMu.Unlock()
+		return RolloutStatus{}, fmt.Errorf("%w: %q", ErrNoRollout, group)
+	}
+	if r.halted {
+		status := s.rolloutStatusLocked(r)
+		s.rollMu.Unlock()
+		return status, ErrRolloutHalted
+	}
+	samples, denials := r.canarySamples, r.canaryDenials
+	plan := r.plan
+	s.rollMu.Unlock()
+
+	canaries, onNew, pinned := s.canaryCensus(r)
+
+	// Brake 1: canary denial rate.
+	if samples >= plan.MinSamples && plan.MaxDenialRate >= 0 {
+		rate := float64(denials) / float64(samples)
+		if (plan.MaxDenialRate == 0 && denials > 0) || (plan.MaxDenialRate > 0 && rate > plan.MaxDenialRate) {
+			return s.haltRollout(r, fmt.Sprintf("canary denial rate %.4f (%d/%d) exceeds %.4f",
+				rate, denials, samples, plan.MaxDenialRate))
+		}
+	}
+	// Brake 2: canary failsafe-pin/degradation fraction.
+	if canaries > 0 && plan.MaxPinnedFrac >= 0 {
+		frac := float64(pinned) / float64(canaries)
+		if (plan.MaxPinnedFrac == 0 && pinned > 0) || (plan.MaxPinnedFrac > 0 && frac > plan.MaxPinnedFrac) {
+			return s.haltRollout(r, fmt.Sprintf("canary pinned/degraded fraction %.3f (%d/%d) exceeds %.3f",
+				frac, pinned, canaries, plan.MaxPinnedFrac))
+		}
+	}
+	if samples < plan.MinSamples {
+		s.rollMu.Lock()
+		status := s.rolloutStatusLocked(r)
+		s.rollMu.Unlock()
+		status.Canaries, status.CanariesOnNew = canaries, onNew
+		return status, nil // waiting for evidence
+	}
+
+	// Stage passed. Advance or promote.
+	s.rollMu.Lock()
+	if r.stage+1 < len(r.plan.Stages) {
+		r.stage++
+		r.canarySamples, r.canaryDenials = 0, 0
+		status := s.rolloutStatusLocked(r)
+		stage := r.stage
+		s.rollMu.Unlock()
+		if err := s.persist(walRecord{Kind: "rollout", Rollout: &walRollout{
+			Op: "advance", Group: group, When: time.Now(), Stage: stage,
+		}}, true); err != nil {
+			return RolloutStatus{}, err
+		}
+		s.wakeGroup(group)
+		return status, nil
+	}
+	// Final stage passed: promote.
+	cand := r.candidate
+	delete(s.rollouts, group)
+	s.rollMu.Unlock()
+
+	s.installBundle(cand)
+	rec := PublishRecord{
+		When: time.Now(), Group: group, Generation: cand.Generation,
+		Checksum: cand.Checksum, Outcome: "published",
+	}
+	s.auditPublish(rec)
+	if err := s.persist(walRecord{Kind: "rollout", Rollout: &walRollout{
+		Op: "promote", Group: group, When: rec.When,
+	}}, true); err != nil {
+		return RolloutStatus{}, err
+	}
+	return RolloutStatus{
+		Group: group, Stage: len(plan.Stages), Stages: len(plan.Stages),
+		CandidateGen: cand.Generation, CandidateETag: cand.ETag(),
+		StableGen: cand.Generation, StableETag: cand.ETag(),
+	}, nil
+}
+
+// haltRollout trips the brake: the rollout is marked halted, every
+// vehicle is pinned back to the stable bundle (the registry still
+// serves it; waking the group makes canaries re-fetch it now), and the
+// halt is audited + persisted. The halted state stays inspectable until
+// AbortRollout clears it.
+func (s *Server) haltRollout(r *rolloutState, reason string) (RolloutStatus, error) {
+	s.rollMu.Lock()
+	r.halted = true
+	r.haltReason = reason
+	status := s.rolloutStatusLocked(r)
+	s.rollMu.Unlock()
+
+	rec := PublishRecord{
+		When: time.Now(), Group: r.group, Generation: r.candidate.Generation,
+		Checksum: r.candidate.Checksum, Outcome: "rollout-halted", Reason: reason,
+	}
+	s.auditPublish(rec)
+	if err := s.persist(walRecord{Kind: "rollout", Rollout: &walRollout{
+		Op: "halt", Group: r.group, When: rec.When, Reason: reason,
+	}}, true); err != nil {
+		return RolloutStatus{}, err
+	}
+	s.wakeGroup(r.group)
+	return status, ErrRolloutHalted
+}
+
+// AbortRollout cancels the group's rollout (halted or live): the
+// candidate is discarded, every canary rolls back to stable on its next
+// poll.
+func (s *Server) AbortRollout(group string) error {
+	s.persistMu.RLock()
+	defer s.persistMu.RUnlock()
+	s.rollMu.Lock()
+	r := s.rollouts[group]
+	if r == nil {
+		s.rollMu.Unlock()
+		return fmt.Errorf("%w: %q", ErrNoRollout, group)
+	}
+	delete(s.rollouts, group)
+	s.rollMu.Unlock()
+
+	rec := PublishRecord{
+		When: time.Now(), Group: group, Generation: r.candidate.Generation,
+		Checksum: r.candidate.Checksum, Outcome: "rollout-aborted",
+	}
+	s.auditPublish(rec)
+	if err := s.persist(walRecord{Kind: "rollout", Rollout: &walRollout{
+		Op: "abort", Group: group, When: rec.When,
+	}}, true); err != nil {
+		return err
+	}
+	s.wakeGroup(group)
+	return nil
+}
+
+// RolloutStatus reports the group's in-flight (or halted) rollout.
+func (s *Server) RolloutStatus(group string) (RolloutStatus, error) {
+	s.rollMu.Lock()
+	r := s.rollouts[group]
+	if r == nil {
+		s.rollMu.Unlock()
+		return RolloutStatus{}, fmt.Errorf("%w: %q", ErrNoRollout, group)
+	}
+	status := s.rolloutStatusLocked(r)
+	s.rollMu.Unlock()
+	canaries, onNew, pinned := s.canaryCensus(r)
+	status.Canaries, status.CanariesOnNew = canaries, onNew
+	if canaries > 0 {
+		status.PinnedFrac = float64(pinned) / float64(canaries)
+	}
+	return status, nil
+}
+
+// rolloutStatusLocked snapshots the cheap fields. Caller holds rollMu.
+func (s *Server) rolloutStatusLocked(r *rolloutState) RolloutStatus {
+	st := r.stageFor()
+	rs := RolloutStatus{
+		Group: r.group, Stage: r.stage, Stages: len(r.plan.Stages),
+		Percent: st.Percent, Ring: st.Ring,
+		CandidateGen: r.candidate.Generation, CandidateETag: r.candidate.ETag(),
+		StableGen: r.stable.Generation, StableETag: r.stable.ETag(),
+		StartedAt: r.startedAt,
+		Samples:   r.canarySamples, Denials: r.canaryDenials,
+		MinSamples: r.plan.MinSamples,
+		Halted:     r.halted, HaltReason: r.haltReason,
+	}
+	if r.canarySamples > 0 {
+		rs.DenialRate = float64(r.canaryDenials) / float64(r.canarySamples)
+	}
+	return rs
+}
+
+// canaryCensus walks the vehicle shards counting the rollout group's
+// reporting canary vehicles, how many run the candidate, and how many
+// are failsafe-pinned or degraded.
+func (s *Server) canaryCensus(r *rolloutState) (canaries, onCandidate, pinned int) {
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		for _, v := range sh.m {
+			if v.Group != r.group || !r.inCanary(v.Vehicle) {
+				continue
+			}
+			canaries++
+			if v.AppliedGeneration == r.candidate.Generation {
+				onCandidate++
+			}
+			if v.Pinned || v.Degraded {
+				pinned++
+			}
+		}
+		sh.mu.Unlock()
+	}
+	return canaries, onCandidate, pinned
+}
+
+// observeCanary feeds the rollout's stage window from the ingestion
+// path: every fresh decision-log record from a canary vehicle counts,
+// denials doubly so.
+func (s *Server) observeCanary(group, vehicle string, fresh []LogRecord) {
+	if len(fresh) == 0 {
+		return
+	}
+	s.rollMu.Lock()
+	defer s.rollMu.Unlock()
+	r := s.rollouts[group]
+	if r == nil || r.halted || !r.inCanary(vehicle) {
+		return
+	}
+	for _, rec := range fresh {
+		r.canarySamples++
+		if rec.Action == "DENIED" {
+			r.canaryDenials++
+		}
+	}
+}
+
+// rolloutPick substitutes the candidate bundle for canary vehicles of a
+// group with an active (non-halted) rollout.
+func (s *Server) rolloutPick(vehicle, group string, stable policy.Bundle) policy.Bundle {
+	s.rollMu.Lock()
+	defer s.rollMu.Unlock()
+	r := s.rollouts[group]
+	if r == nil || !r.inCanary(vehicle) {
+		return stable
+	}
+	return r.candidate
+}
+
+// wakeGroup closes and replaces the group's notify channel so parked
+// long-polls re-evaluate which bundle they should see.
+func (s *Server) wakeGroup(group string) {
+	s.regMu.Lock()
+	defer s.regMu.Unlock()
+	e := s.groups[group]
+	if e == nil {
+		return
+	}
+	close(e.notify)
+	e.notify = make(chan struct{})
+}
+
+// installBundle installs b as its group's current bundle and wakes the
+// group. Used by rollout promotion and WAL replay.
+func (s *Server) installBundle(b policy.Bundle) {
+	s.regMu.Lock()
+	defer s.regMu.Unlock()
+	e := s.groups[b.Group]
+	if e == nil {
+		e = &groupEntry{notify: make(chan struct{})}
+		s.groups[b.Group] = e
+	}
+	e.bundle = b
+	if e.lastGen < b.Generation {
+		e.lastGen = b.Generation
+	}
+	close(e.notify)
+	e.notify = make(chan struct{})
+}
+
+// applyRolloutWal replays one rollout transition.
+func (s *Server) applyRolloutWal(ro *walRollout) error {
+	switch ro.Op {
+	case "start":
+		cand, err := rebuildBundle(ro.Group, 0, ro.Source, ro.Invariants, ro.KeyID, ro.SigAlg, ro.Signature)
+		if err != nil {
+			return err
+		}
+		s.regMu.Lock()
+		e := s.groups[ro.Group]
+		if e == nil {
+			e = &groupEntry{notify: make(chan struct{})}
+			s.groups[ro.Group] = e
+		}
+		gen := e.lastGen + 1
+		e.lastGen = gen
+		stable := e.bundle
+		s.regMu.Unlock()
+		cand.Generation = gen
+		s.rollMu.Lock()
+		s.rollouts[ro.Group] = &rolloutState{
+			group: ro.Group, plan: ro.Plan, candidate: cand, stable: stable,
+			startedAt: ro.When,
+		}
+		s.rollMu.Unlock()
+		s.auditPublish(PublishRecord{
+			When: ro.When, Group: ro.Group, Generation: gen,
+			Checksum: cand.Checksum, Outcome: "rollout-started",
+		})
+	case "advance":
+		s.rollMu.Lock()
+		if r := s.rollouts[ro.Group]; r != nil && ro.Stage < len(r.plan.Stages) {
+			r.stage = ro.Stage
+			r.canarySamples, r.canaryDenials = 0, 0
+		}
+		s.rollMu.Unlock()
+	case "halt":
+		s.rollMu.Lock()
+		var cand policy.Bundle
+		if r := s.rollouts[ro.Group]; r != nil {
+			r.halted = true
+			r.haltReason = ro.Reason
+			cand = r.candidate
+		}
+		s.rollMu.Unlock()
+		s.auditPublish(PublishRecord{
+			When: ro.When, Group: ro.Group, Generation: cand.Generation,
+			Checksum: cand.Checksum, Outcome: "rollout-halted", Reason: ro.Reason,
+		})
+	case "abort":
+		s.rollMu.Lock()
+		var cand policy.Bundle
+		if r := s.rollouts[ro.Group]; r != nil {
+			cand = r.candidate
+			delete(s.rollouts, ro.Group)
+		}
+		s.rollMu.Unlock()
+		s.auditPublish(PublishRecord{
+			When: ro.When, Group: ro.Group, Generation: cand.Generation,
+			Checksum: cand.Checksum, Outcome: "rollout-aborted",
+		})
+	case "promote":
+		s.rollMu.Lock()
+		r := s.rollouts[ro.Group]
+		if r != nil {
+			delete(s.rollouts, ro.Group)
+		}
+		s.rollMu.Unlock()
+		if r != nil {
+			s.installBundle(r.candidate)
+			s.auditPublish(PublishRecord{
+				When: ro.When, Group: ro.Group, Generation: r.candidate.Generation,
+				Checksum: r.candidate.Checksum, Outcome: "published",
+			})
+		}
+	default:
+		return fmt.Errorf("fleet: unknown rollout wal op %q", ro.Op)
+	}
+	return nil
+}

@@ -1,0 +1,429 @@
+package fleet
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+)
+
+// canaryAndBystander picks two vehicle ids on opposite sides of the
+// percentile split so cohort tests are deterministic.
+func canaryAndBystander(t *testing.T, percent int) (canary, bystander string) {
+	t.Helper()
+	for i := 0; i < 10000 && (canary == "" || bystander == ""); i++ {
+		id := fmt.Sprintf("veh-%04d", i)
+		if vehiclePercentile(id) < percent {
+			if canary == "" {
+				canary = id
+			}
+		} else if bystander == "" {
+			bystander = id
+		}
+	}
+	if canary == "" || bystander == "" {
+		t.Fatalf("could not find vehicles on both sides of a %d%% split", percent)
+	}
+	return canary, bystander
+}
+
+func denialBatch(from uint64, denied, allowed int) []LogRecord {
+	var recs []LogRecord
+	seq := from
+	for i := 0; i < denied; i++ {
+		recs = append(recs, LogRecord{Seq: seq, Module: "vfs", Op: "write",
+			Object: "/dev/can/actuator0", Action: "DENIED"})
+		seq++
+	}
+	for i := 0; i < allowed; i++ {
+		recs = append(recs, LogRecord{Seq: seq, Module: "vfs", Op: "read",
+			Object: "/etc/hostname", Action: "ALLOWED"})
+		seq++
+	}
+	return recs
+}
+
+func TestRolloutCohortSplit(t *testing.T) {
+	s := NewServer()
+	stable, err := s.Publish("g", testPolicy)
+	if err != nil {
+		t.Fatalf("publish: %v", err)
+	}
+	canary, bystander := canaryAndBystander(t, 30)
+
+	st, err := s.StartRollout("g", testPolicyV2, "", RolloutPlan{
+		Stages: []RolloutStage{{Percent: 30}}, MaxDenialRate: -1, MaxPinnedFrac: -1,
+	})
+	if err != nil {
+		t.Fatalf("start rollout: %v", err)
+	}
+	if st.CandidateGen != stable.Generation+1 {
+		t.Fatalf("candidate generation %d, want %d", st.CandidateGen, stable.Generation+1)
+	}
+
+	got, _, err := s.FetchBundle(canary, "g", "", 0)
+	if err != nil || got.ETag() != st.CandidateETag {
+		t.Fatalf("canary fetch: etag %s err %v, want candidate %s", got.ETag(), err, st.CandidateETag)
+	}
+	got, _, err = s.FetchBundle(bystander, "g", "", 0)
+	if err != nil || got.ETag() != stable.ETag() {
+		t.Fatalf("bystander fetch: etag %s err %v, want stable %s", got.ETag(), err, stable.ETag())
+	}
+	// Anonymous fetches (no vehicle id) must never see the candidate.
+	got, _, err = s.FetchBundle("", "g", "", 0)
+	if err != nil || got.ETag() != stable.ETag() {
+		t.Fatalf("anonymous fetch: etag %s err %v, want stable %s", got.ETag(), err, stable.ETag())
+	}
+
+	// A ring glob pulls an explicit cohort in regardless of percentile.
+	if err := s.AbortRollout("g"); err != nil {
+		t.Fatalf("abort: %v", err)
+	}
+	st, err = s.StartRollout("g", testPolicyV2, "", RolloutPlan{
+		Stages: []RolloutStage{{Ring: "depot-*"}}, MaxDenialRate: -1, MaxPinnedFrac: -1,
+	})
+	if err != nil {
+		t.Fatalf("restart rollout: %v", err)
+	}
+	got, _, _ = s.FetchBundle("depot-7", "g", "", 0)
+	if got.ETag() != st.CandidateETag {
+		t.Fatalf("ring vehicle got %s, want candidate %s", got.ETag(), st.CandidateETag)
+	}
+	got, _, _ = s.FetchBundle(bystander, "g", "", 0)
+	if got.ETag() != stable.ETag() {
+		t.Fatalf("non-ring vehicle got %s, want stable %s", got.ETag(), stable.ETag())
+	}
+}
+
+// TestRolloutHaltsOnDenialRegression injects a denial-rate regression
+// into the canary cohort's decision logs and checks the brake: the
+// rollout halts, every canary rolls back to the stable bundle on its
+// next poll, and the halt is audited.
+func TestRolloutHaltsOnDenialRegression(t *testing.T) {
+	s := NewServer()
+	stable, err := s.Publish("g", testPolicy)
+	if err != nil {
+		t.Fatalf("publish: %v", err)
+	}
+	canary, bystander := canaryAndBystander(t, 40)
+
+	st, err := s.StartRollout("g", testPolicyV2, "", RolloutPlan{
+		Stages:     []RolloutStage{{Percent: 40}, {Percent: 100}},
+		MinSamples: 10, MaxDenialRate: 0.2, MaxPinnedFrac: -1,
+	})
+	if err != nil {
+		t.Fatalf("start rollout: %v", err)
+	}
+
+	// Both vehicles join the group and report; the canary applies the
+	// candidate.
+	if err := s.ReportStatus(VehicleStatus{Vehicle: canary, Group: "g", AppliedGeneration: st.CandidateGen}); err != nil {
+		t.Fatalf("status: %v", err)
+	}
+	if err := s.ReportStatus(VehicleStatus{Vehicle: bystander, Group: "g", AppliedGeneration: stable.Generation}); err != nil {
+		t.Fatalf("status: %v", err)
+	}
+
+	// The bystander's denials must NOT feed the canary window.
+	if _, err := s.UploadLogs(bystander, denialBatch(1, 20, 0)); err != nil {
+		t.Fatalf("bystander upload: %v", err)
+	}
+	if rs, err := s.RolloutTick("g"); err != nil {
+		t.Fatalf("tick with only bystander traffic: %v", err)
+	} else if rs.Samples != 0 {
+		t.Fatalf("bystander records leaked into canary window: %d samples", rs.Samples)
+	}
+
+	// 50% denied canary traffic over the sample floor trips the brake.
+	if _, err := s.UploadLogs(canary, denialBatch(1, 10, 10)); err != nil {
+		t.Fatalf("canary upload: %v", err)
+	}
+	rs, err := s.RolloutTick("g")
+	if !errors.Is(err, ErrRolloutHalted) {
+		t.Fatalf("tick = %+v, %v; want ErrRolloutHalted", rs, err)
+	}
+	if !rs.Halted || rs.HaltReason == "" {
+		t.Fatalf("halt status not populated: %+v", rs)
+	}
+
+	// Halted: the canary's next poll sees stable again (rollback), and
+	// its candidate ETag is treated as stale.
+	got, modified, err := s.FetchBundle(canary, "g", st.CandidateETag, 0)
+	if err != nil || !modified || got.ETag() != stable.ETag() {
+		t.Fatalf("canary rollback fetch: etag %s modified=%v err=%v, want stable %s",
+			got.ETag(), modified, err, stable.ETag())
+	}
+
+	// The halt is on the audit trail.
+	var halted bool
+	for _, rec := range s.PublishLog() {
+		if rec.Outcome == "rollout-halted" && rec.Group == "g" {
+			halted = true
+		}
+	}
+	if !halted {
+		t.Fatalf("rollout halt missing from publish audit log")
+	}
+
+	// A halted rollout still holds the group against a second rollout
+	// until it is inspected and aborted...
+	if _, err := s.StartRollout("g", testPolicy, "", RolloutPlan{
+		Stages: []RolloutStage{{Percent: 10}}, MaxDenialRate: -1, MaxPinnedFrac: -1,
+	}); !errors.Is(err, ErrRolloutActive) {
+		t.Fatalf("second rollout while halted: %v, want ErrRolloutActive", err)
+	}
+	// ...but a direct publish ships the fix and clears it, without ever
+	// reusing the candidate's reserved generation.
+	fixed, err := s.Publish("g", testPolicy)
+	if err != nil {
+		t.Fatalf("publish fix: %v", err)
+	}
+	if fixed.Generation != st.CandidateGen+1 {
+		t.Fatalf("fix got generation %d; candidate had %d reserved", fixed.Generation, st.CandidateGen)
+	}
+	if _, err := s.RolloutStatus("g"); !errors.Is(err, ErrNoRollout) {
+		t.Fatalf("halted rollout survived the fix publish: %v", err)
+	}
+}
+
+func TestRolloutHaltsOnPinnedRegression(t *testing.T) {
+	s := NewServer()
+	if _, err := s.Publish("g", testPolicy); err != nil {
+		t.Fatalf("publish: %v", err)
+	}
+	canary, _ := canaryAndBystander(t, 50)
+	st, err := s.StartRollout("g", testPolicyV2, "", RolloutPlan{
+		Stages: []RolloutStage{{Percent: 50}}, MaxDenialRate: -1, MaxPinnedFrac: 0,
+	})
+	if err != nil {
+		t.Fatalf("start rollout: %v", err)
+	}
+	// The canary applied the candidate and then fell back to failsafe.
+	if err := s.ReportStatus(VehicleStatus{
+		Vehicle: canary, Group: "g", AppliedGeneration: st.CandidateGen, Pinned: true,
+	}); err != nil {
+		t.Fatalf("status: %v", err)
+	}
+	if _, err := s.RolloutTick("g"); !errors.Is(err, ErrRolloutHalted) {
+		t.Fatalf("tick = %v, want ErrRolloutHalted on pinned canary", err)
+	}
+}
+
+func TestRolloutAdvanceAndPromote(t *testing.T) {
+	s := NewServer()
+	stable, err := s.Publish("g", testPolicy)
+	if err != nil {
+		t.Fatalf("publish: %v", err)
+	}
+	canary, bystander := canaryAndBystander(t, 10)
+	st, err := s.StartRollout("g", testPolicyV2, "", RolloutPlan{
+		Stages:     []RolloutStage{{Percent: 10}, {Percent: 100}},
+		MinSamples: 5, MaxDenialRate: 0.5, MaxPinnedFrac: -1,
+	})
+	if err != nil {
+		t.Fatalf("start rollout: %v", err)
+	}
+
+	// Not enough evidence yet: tick waits.
+	rs, err := s.RolloutTick("g")
+	if err != nil || rs.Stage != 0 {
+		t.Fatalf("tick before samples: stage %d err %v, want waiting at 0", rs.Stage, err)
+	}
+
+	// Healthy canary traffic advances to stage 1 with a fresh window.
+	if err := s.ReportStatus(VehicleStatus{Vehicle: canary, Group: "g", AppliedGeneration: st.CandidateGen}); err != nil {
+		t.Fatalf("status: %v", err)
+	}
+	if _, err := s.UploadLogs(canary, denialBatch(1, 0, 8)); err != nil {
+		t.Fatalf("upload: %v", err)
+	}
+	rs, err = s.RolloutTick("g")
+	if err != nil || rs.Stage != 1 {
+		t.Fatalf("tick after healthy canary: stage %d err %v, want 1", rs.Stage, err)
+	}
+	if rs.Samples != 0 {
+		t.Fatalf("stage window not reset on advance: %d samples", rs.Samples)
+	}
+	// Stage 1 is 100%: the bystander is a canary now.
+	got, _, _ := s.FetchBundle(bystander, "g", "", 0)
+	if got.ETag() != st.CandidateETag {
+		t.Fatalf("stage-1 vehicle got %s, want candidate %s", got.ETag(), st.CandidateETag)
+	}
+
+	// Healthy traffic at full width promotes.
+	if err := s.ReportStatus(VehicleStatus{Vehicle: bystander, Group: "g", AppliedGeneration: st.CandidateGen}); err != nil {
+		t.Fatalf("status: %v", err)
+	}
+	if _, err := s.UploadLogs(bystander, denialBatch(1, 0, 8)); err != nil {
+		t.Fatalf("upload: %v", err)
+	}
+	rs, err = s.RolloutTick("g")
+	if err != nil {
+		t.Fatalf("promote tick: %v", err)
+	}
+	if rs.StableGen != st.CandidateGen {
+		t.Fatalf("promotion status stable gen %d, want %d", rs.StableGen, st.CandidateGen)
+	}
+	b, err := s.Bundle("g")
+	if err != nil || b.Generation != st.CandidateGen {
+		t.Fatalf("group bundle after promote: gen %d err %v, want %d", b.Generation, err, st.CandidateGen)
+	}
+	if b.Generation != stable.Generation+1 {
+		t.Fatalf("promoted generation %d does not follow stable %d", b.Generation, stable.Generation)
+	}
+	if _, err := s.RolloutStatus("g"); !errors.Is(err, ErrNoRollout) {
+		t.Fatalf("rollout state survived promotion: %v", err)
+	}
+	// Everyone converges on the promoted bundle, including anonymous.
+	got, _, _ = s.FetchBundle("", "g", "", 0)
+	if got.ETag() != st.CandidateETag {
+		t.Fatalf("post-promote fetch got %s, want %s", got.ETag(), st.CandidateETag)
+	}
+}
+
+func TestRolloutBlocksPublishWhileActive(t *testing.T) {
+	s := NewServer()
+	if _, err := s.Publish("g", testPolicy); err != nil {
+		t.Fatalf("publish: %v", err)
+	}
+	if _, err := s.StartRollout("g", testPolicyV2, "", RolloutPlan{
+		Stages: []RolloutStage{{Percent: 50}}, MaxDenialRate: -1, MaxPinnedFrac: -1,
+	}); err != nil {
+		t.Fatalf("start rollout: %v", err)
+	}
+	if _, err := s.Publish("g", testPolicy); !errors.Is(err, ErrRolloutActive) {
+		t.Fatalf("publish during live rollout: %v, want ErrRolloutActive", err)
+	}
+	// Other groups are unaffected.
+	if _, err := s.Publish("other", testPolicy); err != nil {
+		t.Fatalf("publish to other group: %v", err)
+	}
+}
+
+// TestRolloutSurvivesRestart kills fleetd mid-rollout and checks the
+// controller comes back exactly: same stage, same reserved candidate
+// generation, and the brakes still fire on post-restart evidence.
+func TestRolloutSurvivesRestart(t *testing.T) {
+	dir := t.TempDir()
+	st := openStoreAt(t, dir)
+	s, err := OpenServer(st)
+	if err != nil {
+		t.Fatalf("OpenServer: %v", err)
+	}
+	if _, err := s.Publish("g", testPolicy); err != nil {
+		t.Fatalf("publish: %v", err)
+	}
+	canary, _ := canaryAndBystander(t, 40)
+	rs, err := s.StartRollout("g", testPolicyV2, "", RolloutPlan{
+		Stages:     []RolloutStage{{Percent: 40}, {Percent: 100}},
+		MinSamples: 10, MaxDenialRate: 0.2, MaxPinnedFrac: -1,
+	})
+	if err != nil {
+		t.Fatalf("start rollout: %v", err)
+	}
+	st.Crash()
+
+	st2 := openStoreAt(t, dir)
+	defer st2.Close()
+	s2, err := OpenServer(st2)
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	rs2, err := s2.RolloutStatus("g")
+	if err != nil {
+		t.Fatalf("rollout lost across restart: %v", err)
+	}
+	if rs2.CandidateGen != rs.CandidateGen || rs2.CandidateETag != rs.CandidateETag || rs2.Stage != 0 {
+		t.Fatalf("rollout state diverged: %+v vs %+v", rs2, rs)
+	}
+	// The canary still sees the candidate after replay.
+	got, _, err := s2.FetchBundle(canary, "g", "", 0)
+	if err != nil || got.ETag() != rs.CandidateETag {
+		t.Fatalf("canary fetch after restart: %s err %v, want %s", got.ETag(), err, rs.CandidateETag)
+	}
+	// Post-restart regression evidence still trips the brake.
+	if err := s2.ReportStatus(VehicleStatus{Vehicle: canary, Group: "g", AppliedGeneration: rs.CandidateGen}); err != nil {
+		t.Fatalf("status: %v", err)
+	}
+	if _, err := s2.UploadLogs(canary, denialBatch(1, 10, 5)); err != nil {
+		t.Fatalf("upload: %v", err)
+	}
+	if _, err := s2.RolloutTick("g"); !errors.Is(err, ErrRolloutHalted) {
+		t.Fatalf("tick after restart: %v, want ErrRolloutHalted", err)
+	}
+	// Abort, then verify the reserved generation is never reused.
+	if err := s2.AbortRollout("g"); err != nil {
+		t.Fatalf("abort: %v", err)
+	}
+	b, err := s2.Publish("g", testPolicy)
+	if err != nil {
+		t.Fatalf("publish after abort: %v", err)
+	}
+	if b.Generation != rs.CandidateGen+1 {
+		t.Fatalf("generation %d reuses or skips the aborted candidate's %d", b.Generation, rs.CandidateGen)
+	}
+}
+
+// TestRolloutLongPollWake checks that starting a rollout wakes a canary
+// parked on the stable ETag, and halting wakes canaries parked on the
+// candidate ETag (the rollback path).
+func TestRolloutLongPollWake(t *testing.T) {
+	s := NewServer()
+	stable, err := s.Publish("g", testPolicy)
+	if err != nil {
+		t.Fatalf("publish: %v", err)
+	}
+	canary, _ := canaryAndBystander(t, 40)
+
+	type fetchResult struct {
+		etag     string
+		modified bool
+		err      error
+	}
+	park := func(etag string) chan fetchResult {
+		ch := make(chan fetchResult, 1)
+		go func() {
+			b, m, err := s.FetchBundle(canary, "g", etag, 10*time.Second)
+			ch <- fetchResult{b.ETag(), m, err}
+		}()
+		return ch
+	}
+
+	parked := park(stable.ETag())
+	time.Sleep(20 * time.Millisecond)
+	rs, err := s.StartRollout("g", testPolicyV2, "", RolloutPlan{
+		Stages:     []RolloutStage{{Percent: 40}},
+		MinSamples: 1, MaxDenialRate: 0, MaxPinnedFrac: -1,
+	})
+	if err != nil {
+		t.Fatalf("start rollout: %v", err)
+	}
+	select {
+	case r := <-parked:
+		if r.err != nil || !r.modified || r.etag != rs.CandidateETag {
+			t.Fatalf("canary wake on start: %+v, want candidate %s", r, rs.CandidateETag)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatalf("rollout start did not wake the parked canary")
+	}
+
+	parked = park(rs.CandidateETag)
+	time.Sleep(20 * time.Millisecond)
+	if err := s.ReportStatus(VehicleStatus{Vehicle: canary, Group: "g", AppliedGeneration: rs.CandidateGen}); err != nil {
+		t.Fatalf("status: %v", err)
+	}
+	if _, err := s.UploadLogs(canary, denialBatch(1, 1, 0)); err != nil {
+		t.Fatalf("upload: %v", err)
+	}
+	if _, err := s.RolloutTick("g"); !errors.Is(err, ErrRolloutHalted) {
+		t.Fatalf("tick: %v, want halt", err)
+	}
+	select {
+	case r := <-parked:
+		if r.err != nil || !r.modified || r.etag != stable.ETag() {
+			t.Fatalf("canary rollback wake: %+v, want stable %s", r, stable.ETag())
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatalf("halt did not wake the parked canary for rollback")
+	}
+}

@@ -1,0 +1,230 @@
+package fleet
+
+// The 100k-vehicle scale harness (`make fleet-scale`). Vehicles here
+// are goroutine-sized finite state machines — fetch (ETag long-poll) →
+// apply (generation accounting) → report — not full sack.Systems: the
+// kernel side is benchmarked separately, and at this scale the question
+// is purely how the control plane behaves, i.e. how fast a publish fans
+// out over parked long-polls and how many decision-log records the
+// ingestion path absorbs per second. EXPERIMENTS.md ("Fleet control
+// plane at scale") records the curves.
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/store"
+)
+
+// scaleServer opens a WAL-backed server in a fresh directory. Scale
+// runs disable fsync (store.WithNoFsync) so the curves measure the
+// control plane, not the benchmark host's disk; the durability path
+// itself is covered by the crash-restart property suite
+// (`make fleet-persist-stress`).
+func scaleServer(tb testing.TB, opts ...ServerOption) *Server {
+	tb.Helper()
+	st, err := store.Open(tb.TempDir(), store.WithNoFsync())
+	if err != nil {
+		tb.Fatalf("store.Open: %v", err)
+	}
+	tb.Cleanup(func() { st.Close() })
+	srv, err := OpenServer(st, opts...)
+	if err != nil {
+		tb.Fatalf("OpenServer: %v", err)
+	}
+	return srv
+}
+
+// scaleFSM is one simulated vehicle: long-poll the group, apply
+// whatever generation arrives, report status, repeat until stopped.
+type scaleFSM struct {
+	id      string
+	group   string
+	srv     *Server
+	applied chan<- uint64 // receives each generation after apply+report
+	stop    <-chan struct{}
+}
+
+func (v *scaleFSM) run() {
+	etag := ""
+	var seq uint64
+	for {
+		select {
+		case <-v.stop:
+			return
+		default:
+		}
+		b, mod, err := v.srv.FetchBundle(v.id, v.group, etag, time.Second)
+		if err != nil || !mod {
+			continue
+		}
+		etag = b.ETag()
+		seq++ // a real agent would ReloadCompiled here; the FSM just accounts
+		if err := v.srv.ReportStatus(VehicleStatus{
+			Vehicle: v.id, Group: v.group, AppliedGeneration: b.Generation,
+			Checksum: b.Checksum, Emitted: seq, Uploaded: seq,
+		}); err != nil {
+			continue
+		}
+		v.applied <- b.Generation
+	}
+}
+
+// startScaleFleet launches n FSM vehicles against srv and waits for all
+// of them to converge on the first published generation, so benchmark
+// iterations start from a fully parked fleet.
+func startScaleFleet(tb testing.TB, srv *Server, n int) (applied chan uint64, stop chan struct{}) {
+	tb.Helper()
+	applied = make(chan uint64, n)
+	stop = make(chan struct{})
+	tb.Cleanup(func() { close(stop) })
+	for i := 0; i < n; i++ {
+		v := &scaleFSM{id: fmt.Sprintf("veh-%06d", i), group: "scale", srv: srv, applied: applied, stop: stop}
+		go v.run()
+	}
+	if _, err := srv.Publish("scale", testPolicy); err != nil {
+		tb.Fatalf("Publish: %v", err)
+	}
+	for i := 0; i < n; i++ {
+		<-applied
+	}
+	return applied, stop
+}
+
+// BenchmarkFleetScaleFanout: publish fan-out latency and throughput.
+// One iteration = publish a new generation, then wait until every
+// parked vehicle has fetched, applied, and reported it. The
+// vehicles/s metric is the end-to-end fan-out rate including the
+// status write-back.
+func BenchmarkFleetScaleFanout(b *testing.B) {
+	for _, n := range []int{1000, 10000, 100000} {
+		b.Run(fmt.Sprintf("vehicles=%d", n), func(b *testing.B) {
+			srv := scaleServer(b)
+			applied, _ := startScaleFleet(b, srv, n)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := srv.Publish("scale", testPolicy); err != nil {
+					b.Fatalf("Publish: %v", err)
+				}
+				for j := 0; j < n; j++ {
+					<-applied
+				}
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(n)*float64(b.N)/b.Elapsed().Seconds(), "vehicles/s")
+		})
+	}
+}
+
+// BenchmarkFleetScaleIngest: decision-log ingestion throughput. One
+// iteration = the fleet ships n batches of 64 records (one per
+// vehicle) through UploadLogs while a drainer empties the buffer, the
+// way sackmon does. The records/s metric counts accepted records.
+func BenchmarkFleetScaleIngest(b *testing.B) {
+	const batch = 64
+	for _, n := range []int{1000, 10000, 100000} {
+		b.Run(fmt.Sprintf("vehicles=%d", n), func(b *testing.B) {
+			srv := scaleServer(b, WithLogCapacity(1<<18))
+			if _, err := srv.Publish("scale", testPolicy); err != nil {
+				b.Fatalf("Publish: %v", err)
+			}
+
+			stop := make(chan struct{})
+			defer close(stop)
+			go func() { // drainer: keep the bounded buffer moving
+				for {
+					select {
+					case <-stop:
+						return
+					default:
+					}
+					if len(srv.Drain(8192)) == 0 {
+						time.Sleep(time.Millisecond)
+					}
+				}
+			}()
+
+			work := make(chan struct{})
+			var wg sync.WaitGroup
+			seqs := make([]uint64, n)
+			for i := 0; i < n; i++ {
+				i := i
+				id := fmt.Sprintf("veh-%06d", i)
+				go func() {
+					recs := make([]LogRecord, batch)
+					for range work {
+						for k := range recs {
+							seqs[i]++
+							recs[k] = LogRecord{Seq: seqs[i], Op: "read",
+								Subject: "/usr/bin/ivi", Object: "/dev/vehicle/speed", Action: "ALLOWED"}
+						}
+						for { // at-least-once under backpressure, like a real agent
+							if _, err := srv.UploadLogs(id, recs); err == nil {
+								break
+							}
+							time.Sleep(time.Millisecond)
+						}
+						wg.Done()
+					}
+				}()
+			}
+			defer close(work)
+
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				wg.Add(n)
+				for j := 0; j < n; j++ {
+					work <- struct{}{}
+				}
+				wg.Wait()
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(n)*batch*float64(b.N)/b.Elapsed().Seconds(), "records/s")
+		})
+	}
+}
+
+// TestFleetScaleSmoke keeps the harness honest on every `go test` run:
+// a 2000-vehicle fleet must converge on three consecutive generations
+// with exact registry accounting.
+func TestFleetScaleSmoke(t *testing.T) {
+	const n = 2000
+	srv := scaleServer(t)
+	applied, _ := startScaleFleet(t, srv, n)
+
+	var lastGen uint64 = 1
+	for round := 0; round < 2; round++ {
+		b, err := srv.Publish("scale", testPolicy)
+		if err != nil {
+			t.Fatalf("Publish: %v", err)
+		}
+		lastGen = b.Generation
+		deadline := time.After(30 * time.Second)
+		for i := 0; i < n; i++ {
+			select {
+			case g := <-applied:
+				if g != lastGen {
+					t.Fatalf("vehicle applied generation %d during rollout of %d", g, lastGen)
+				}
+			case <-deadline:
+				t.Fatalf("round %d: only %d/%d vehicles converged", round, i, n)
+			}
+		}
+	}
+
+	stats := srv.Stats()
+	got := 0
+	for _, v := range srv.Vehicles() {
+		if v.AppliedGeneration == lastGen {
+			got++
+		}
+	}
+	if got != n {
+		t.Fatalf("%d/%d vehicles report generation %d", got, n, lastGen)
+	}
+	if stats.Vehicles != n {
+		t.Fatalf("registry counts %d vehicles, want %d", stats.Vehicles, n)
+	}
+}

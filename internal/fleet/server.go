@@ -7,10 +7,13 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/policy"
 	"repro/internal/resilience"
+	"repro/internal/sign"
+	"repro/internal/store"
 	"repro/internal/verify"
 )
 
@@ -70,11 +73,33 @@ type Server struct {
 	logDrained      uint64
 	batchesAccepted uint64
 	batchesRejected uint64
+
+	// bundle signer (nil = unsigned bundles, the legacy wire format):
+	// every published or rolled-out bundle carries a detached signature
+	// over its canonical encoding.
+	signer *sign.Signer
+
+	// durability (nil store = in-memory server, the historical
+	// behaviour). Mutators hold persistMu.RLock across the in-memory
+	// change and its WAL append; Checkpoint takes the write half so a
+	// snapshot is a consistent cut.
+	persistMu sync.RWMutex
+	store     *store.Store
+	walCount  atomic.Uint64 // records since the last snapshot
+	snapEvery uint64        // auto-checkpoint threshold (0 = manual)
+
+	// staged rollouts: group → in-flight (or halted) rollout.
+	rollMu   sync.Mutex
+	rollouts map[string]*rolloutState
 }
 
 type groupEntry struct {
 	bundle policy.Bundle
 	notify chan struct{} // closed and replaced on every publish
+	// lastGen is the highest generation ever assigned in the group —
+	// ahead of bundle.Generation while a rollout candidate is in flight,
+	// so a halted rollout's generation is never reused.
+	lastGen uint64
 }
 
 type invariantEntry struct {
@@ -116,9 +141,10 @@ type VehicleState struct {
 	Emitted           uint64    `json:"emitted"`  // agent-reported
 	Uploaded          uint64    `json:"uploaded"` // agent-reported
 	Dropped           uint64    `json:"dropped"`  // agent-reported
-	Breaker           string    `json:"breaker,omitempty"`   // agent-reported
-	Shed              uint64    `json:"shed,omitempty"`      // agent-reported
-	Fallbacks         uint64    `json:"fallbacks,omitempty"` // agent-reported
+	Breaker           string    `json:"breaker,omitempty"`     // agent-reported
+	Shed              uint64    `json:"shed,omitempty"`        // agent-reported
+	Fallbacks         uint64    `json:"fallbacks,omitempty"`   // agent-reported
+	SigRejects        uint64    `json:"sig_rejects,omitempty"` // agent-reported
 	Accepted          uint64    `json:"accepted"` // server-side: unique records taken
 	LastLogSeq        uint64    `json:"last_log_seq"`
 	Reports           uint64    `json:"reports"`
@@ -170,11 +196,26 @@ func WithShards(n int) ServerOption {
 	}
 }
 
+// WithBundleSigner makes the server sign every bundle it publishes (or
+// stages for rollout) with a detached signature agents verify against
+// their keyring before apply.
+func WithBundleSigner(sg *sign.Signer) ServerOption {
+	return func(s *Server) { s.signer = sg }
+}
+
+// WithSnapshotEvery auto-checkpoints a durable server every n WAL
+// records, bounding replay time after a crash. 0 disables (snapshot via
+// Checkpoint only). No effect on in-memory servers.
+func WithSnapshotEvery(n uint64) ServerOption {
+	return func(s *Server) { s.snapEvery = n }
+}
+
 // NewServer builds an empty control plane.
 func NewServer(opts ...ServerOption) *Server {
 	s := &Server{
 		groups:     make(map[string]*groupEntry),
 		invariants: make(map[string]*invariantEntry),
+		rollouts:   make(map[string]*rolloutState),
 		shards: make([]serverShard, DefaultShards),
 		logCap: DefaultLogCapacity,
 		gates: resilience.NewKeyedBulkheads(resilience.BulkheadConfig{
@@ -215,8 +256,20 @@ func (s *Server) SetInvariants(group, src string) error {
 	if group == "" {
 		return fmt.Errorf("fleet: empty group name")
 	}
+	s.persistMu.RLock()
+	defer s.persistMu.RUnlock()
 	s.regMu.Lock()
-	defer s.regMu.Unlock()
+	err := s.setInvariantsLocked(group, src)
+	s.regMu.Unlock()
+	if err != nil {
+		return err
+	}
+	return s.persist(walRecord{Kind: "invariants", Invariants: &walInvariants{Group: group, Source: src}}, true)
+}
+
+// setInvariantsLocked parses and installs (or clears) a group invariant
+// set. Caller holds regMu.
+func (s *Server) setInvariantsLocked(group, src string) error {
 	if strings.TrimSpace(src) == "" {
 		delete(s.invariants, group)
 		return nil
@@ -250,11 +303,22 @@ func (s *Server) PublishBundle(group, src, invariants string) (policy.Bundle, er
 	if group == "" {
 		return policy.Bundle{}, fmt.Errorf("fleet: empty group name")
 	}
+	s.rollMu.Lock()
+	if r := s.rollouts[group]; r != nil && !r.halted {
+		s.rollMu.Unlock()
+		return policy.Bundle{}, fmt.Errorf("%w: %q (tick, abort, or wait)", ErrRolloutActive, group)
+	}
+	s.rollMu.Unlock()
+
+	s.persistMu.RLock()
+	defer s.persistMu.RUnlock()
 	reject := func(outcome string, err error) (policy.Bundle, error) {
-		s.auditPublish(PublishRecord{
+		rec := PublishRecord{
 			When: time.Now(), Group: group, Checksum: policy.ChecksumSource(src),
 			Outcome: outcome, Reason: err.Error(),
-		})
+		}
+		s.auditPublish(rec)
+		s.persist(walRecord{Kind: "publish", Publish: &walPublish{Audit: rec}}, true)
 		return policy.Bundle{}, err
 	}
 	compiled, vr, err := policy.Load(src)
@@ -290,22 +354,40 @@ func (s *Server) PublishBundle(group, src, invariants string) (policy.Bundle, er
 		}
 	}
 
+	// A halted rollout still holding the group is cleared by a direct
+	// publish: the operator is shipping the fix.
+	s.rollMu.Lock()
+	delete(s.rollouts, group)
+	s.rollMu.Unlock()
+
 	s.regMu.Lock()
-	defer s.regMu.Unlock()
 	e := s.groups[group]
 	if e == nil {
 		e = &groupEntry{notify: make(chan struct{})}
 		s.groups[group] = e
 	}
-	b := policy.NewBundle(group, e.bundle.Generation+1, src).WithInvariants(invariants)
+	b := policy.NewBundle(group, e.lastGen+1, src).WithInvariants(invariants)
+	if s.signer != nil {
+		b = b.Signed(s.signer)
+	}
 	b.Compiled = compiled
 	e.bundle = b
+	e.lastGen = b.Generation
 	close(e.notify)
 	e.notify = make(chan struct{})
-	s.auditPublish(PublishRecord{
+	s.regMu.Unlock()
+
+	rec := PublishRecord{
 		When: time.Now(), Group: group, Generation: b.Generation,
 		Checksum: b.Checksum, Outcome: "published",
-	})
+	}
+	s.auditPublish(rec)
+	if err := s.persist(walRecord{Kind: "publish", Publish: &walPublish{
+		Audit: rec, Source: src, Invariants: invariants,
+		KeyID: b.KeyID, SigAlg: b.SigAlg, Signature: b.Signature,
+	}}, true); err != nil {
+		return policy.Bundle{}, err
+	}
 	return b, nil
 }
 
@@ -353,9 +435,13 @@ func (s *Server) Bundle(group string) (policy.Bundle, error) {
 
 // FetchBundle implements Transport in-process: the ETag/long-poll
 // download path. A vehicle already on the current revision parks on
-// the group's notification channel up to wait; Publish wakes all
-// parked vehicles at once.
-func (s *Server) FetchBundle(group, etag string, wait time.Duration) (policy.Bundle, bool, error) {
+// the group's notification channel up to wait; Publish (and every
+// rollout transition) wakes all parked vehicles at once. During a
+// staged rollout, canary-cohort vehicles are served the candidate
+// bundle and everyone else the stable one — a halt flips the canaries'
+// visible ETag back to stable, rolling them back through this same
+// path.
+func (s *Server) FetchBundle(vehicle, group, etag string, wait time.Duration) (policy.Bundle, bool, error) {
 	if wait > MaxLongPoll {
 		wait = MaxLongPoll
 	}
@@ -374,6 +460,7 @@ func (s *Server) FetchBundle(group, etag string, wait time.Duration) (policy.Bun
 		if e == nil {
 			return policy.Bundle{}, false, fmt.Errorf("%w: %q", ErrUnknownGroup, group)
 		}
+		b = s.rolloutPick(vehicle, group, b)
 		if b.Generation > 0 && b.ETag() != etag {
 			return b, true, nil
 		}
@@ -392,34 +479,20 @@ func (s *Server) FetchBundle(group, etag string, wait time.Duration) (policy.Bun
 }
 
 // ReportStatus implements Transport: it folds one vehicle status
-// report into the sharded per-vehicle state.
+// report into the sharded per-vehicle state. Reports are WAL-appended
+// without an explicit fsync — a lost tail is re-reported on the
+// vehicle's next round — and ride to disk on the next commit.
 func (s *Server) ReportStatus(st VehicleStatus) error {
 	if st.Vehicle == "" {
 		return fmt.Errorf("fleet: status report without vehicle id")
 	}
-	sh := s.shardFor(st.Vehicle)
-	sh.mu.Lock()
-	defer sh.mu.Unlock()
-	v := sh.m[st.Vehicle]
-	if v == nil {
-		v = &VehicleState{Vehicle: st.Vehicle}
-		sh.m[st.Vehicle] = v
-	}
-	v.Group = st.Group
-	v.AppliedGeneration = st.AppliedGeneration
-	v.Checksum = st.Checksum
-	v.DiffSummary = st.DiffSummary
-	v.Degraded = st.Degraded
-	v.Pinned = st.Pinned
-	v.Emitted = st.Emitted
-	v.Uploaded = st.Uploaded
-	v.Dropped = st.Dropped
-	v.Breaker = st.Breaker
-	v.Shed = st.Shed
-	v.Fallbacks = st.Fallbacks
-	v.Reports++
-	v.LastSeen = time.Now()
-	return nil
+	now := time.Now()
+	s.persistMu.RLock()
+	s.applyStatus(st, now)
+	err := s.persist(walRecord{Kind: "status", Status: &walStatus{Status: st, When: now}}, false)
+	s.persistMu.RUnlock()
+	s.maybeAutoSnapshot()
+	return err
 }
 
 // UploadLogs implements Transport: the decision-log ingestion
@@ -462,11 +535,19 @@ func (s *Server) UploadLogsContext(ctx context.Context, vehicle string, recs []L
 		accepted, ierr = s.ingest(vehicle, recs)
 		return ierr
 	})
+	s.maybeAutoSnapshot()
 	return accepted, err
 }
 
-// ingest is the admission body run inside the group bulkhead.
+// ingest is the admission body run inside the group bulkhead. An
+// accepted batch is WAL-committed (fsync) before the accept returns:
+// the agent advances its cursor on our word, so forgetting an accepted
+// batch across a crash would break the accepted+dropped==emitted
+// ledger permanently.
 func (s *Server) ingest(vehicle string, recs []LogRecord) (int, error) {
+	s.persistMu.RLock()
+	defer s.persistMu.RUnlock()
+
 	sh := s.shardFor(vehicle)
 	sh.mu.Lock()
 	v := sh.m[vehicle]
@@ -474,7 +555,9 @@ func (s *Server) ingest(vehicle string, recs []LogRecord) (int, error) {
 		v = &VehicleState{Vehicle: vehicle}
 		sh.m[vehicle] = v
 	}
+	group := v.Group
 	fresh := make([]IngestedRecord, 0, len(recs))
+	rawFresh := make([]LogRecord, 0, len(recs))
 	dups := 0
 	for _, r := range recs {
 		if r.Seq <= v.LastLogSeq {
@@ -482,6 +565,7 @@ func (s *Server) ingest(vehicle string, recs []LogRecord) (int, error) {
 			continue
 		}
 		fresh = append(fresh, IngestedRecord{Vehicle: vehicle, Record: r})
+		rawFresh = append(rawFresh, r)
 	}
 	sh.mu.Unlock()
 
@@ -489,6 +573,7 @@ func (s *Server) ingest(vehicle string, recs []LogRecord) (int, error) {
 	if depth := len(s.logBuf); depth+len(fresh) > s.logCap {
 		s.batchesRejected++
 		s.logMu.Unlock()
+		s.persist(walRecord{Kind: "ingest", Ingest: &walIngest{Vehicle: vehicle, Rejected: true}}, false)
 		return 0, fmt.Errorf("%w: %d queued, capacity %d", ErrBackpressure, depth, s.logCap)
 	}
 	s.logBuf = append(s.logBuf, fresh...)
@@ -505,6 +590,12 @@ func (s *Server) ingest(vehicle string, recs []LogRecord) (int, error) {
 		v.Accepted += uint64(len(fresh))
 		sh.mu.Unlock()
 	}
+	s.observeCanary(group, vehicle, rawFresh)
+	if err := s.persist(walRecord{Kind: "ingest", Ingest: &walIngest{
+		Vehicle: vehicle, Fresh: rawFresh, Dups: dups,
+	}}, true); err != nil {
+		return len(fresh), err
+	}
 	return len(fresh), nil
 }
 
@@ -512,8 +603,9 @@ func (s *Server) ingest(vehicle string, recs []LogRecord) (int, error) {
 // downstream consumer: an analytics pipeline, fleetd's retention file,
 // a test's ledger check). max <= 0 drains everything.
 func (s *Server) Drain(max int) []IngestedRecord {
+	s.persistMu.RLock()
+	defer s.persistMu.RUnlock()
 	s.logMu.Lock()
-	defer s.logMu.Unlock()
 	n := len(s.logBuf)
 	if max > 0 && max < n {
 		n = max
@@ -522,6 +614,10 @@ func (s *Server) Drain(max int) []IngestedRecord {
 	copy(out, s.logBuf[:n])
 	s.logBuf = append(s.logBuf[:0], s.logBuf[n:]...)
 	s.logDrained += uint64(n)
+	s.logMu.Unlock()
+	if n > 0 {
+		s.persist(walRecord{Kind: "drain", Drain: &walDrain{N: n}}, false)
+	}
 	return out
 }
 

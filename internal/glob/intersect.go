@@ -34,32 +34,72 @@ const (
 // IntersectFound the returned witness is one such path, verified
 // against both patterns before being returned.
 func Intersect(a, b *Glob) (witness string, res IntersectResult) {
+	ws, res := IntersectK(a, b, 1)
+	if res == IntersectFound {
+		return ws[0], res
+	}
+	return "", res
+}
+
+// IntersectK enumerates up to k distinct paths matching both patterns.
+// Enumeration is salted: each salt steers every free choice in the
+// construction (the filler segment under "**"-vs-"**", the byte picked
+// for an unconstrained '?', '*', or class position) toward a different
+// region of the path space, so the witnesses differ wherever the
+// pattern pair leaves room. Callers that must dodge a carve-out (the
+// verifier probing an allow rule whose first witness a deny rule
+// swallows) walk the list instead of giving up after one. Fewer than k
+// results means the construction ran out of distinguishable choices,
+// not that only that many common paths exist.
+func IntersectK(a, b *Glob, k int) ([]string, IntersectResult) {
+	if k < 1 {
+		k = 1
+	}
 	unknown := false
-	for _, pa := range a.branches {
-		for _, pb := range b.branches {
-			w, r := branchIntersect(pa, pb)
-			switch r {
-			case IntersectFound:
-				// Defense in depth: a constructed witness that does not
-				// actually match both branches signals a construction gap,
-				// not a proof — degrade to Unknown rather than mislead.
-				if matchGlob(pa, w) && matchGlob(pb, w) {
-					return w, IntersectFound
+	seen := make(map[string]bool, k)
+	var out []string
+	// A handful of salts per requested witness is plenty: each salt
+	// varies every free position at once, so collisions only happen
+	// when the patterns pin the path down.
+	for salt := 0; salt < 8*k && len(out) < k; salt++ {
+		for _, pa := range a.branches {
+			for _, pb := range b.branches {
+				w, r := branchIntersect(pa, pb, salt)
+				switch r {
+				case IntersectFound:
+					// Defense in depth: a constructed witness that does not
+					// actually match both branches signals a construction gap,
+					// not a proof — degrade to Unknown rather than mislead.
+					if matchGlob(pa, w) && matchGlob(pb, w) {
+						if !seen[w] {
+							seen[w] = true
+							out = append(out, w)
+						}
+					} else {
+						unknown = true
+					}
+				case IntersectUnknown:
+					unknown = true
 				}
-				unknown = true
-			case IntersectUnknown:
-				unknown = true
+				if len(out) >= k {
+					return out, IntersectFound
+				}
 			}
 		}
 	}
-	if unknown {
-		return "", IntersectUnknown
+	if len(out) > 0 {
+		return out, IntersectFound
 	}
-	return "", IntersectNone
+	if unknown {
+		return nil, IntersectUnknown
+	}
+	return nil, IntersectNone
 }
 
-// branchIntersect intersects two brace-free branches.
-func branchIntersect(pa, pb string) (string, IntersectResult) {
+// branchIntersect intersects two brace-free branches. The salt steers
+// free construction choices; salt 0 reproduces the historical minimal
+// witness.
+func branchIntersect(pa, pb string, salt int) (string, IntersectResult) {
 	segsA, okA := SplitSegments(pa)
 	segsB, okB := SplitSegments(pb)
 	if !okA || !okB {
@@ -73,7 +113,7 @@ func branchIntersect(pa, pb string) (string, IntersectResult) {
 		}
 		return "", IntersectUnknown
 	}
-	segs, ok := intersectSegLists(segsA, segsB)
+	segs, ok := intersectSegLists(segsA, segsB, salt)
 	if !ok {
 		return "", IntersectNone
 	}
@@ -84,7 +124,7 @@ func branchIntersect(pa, pb string) (string, IntersectResult) {
 // lists, handling "**" edges (consume one or more whole segments, empty
 // segments included). Failure memoisation keeps the branch-heavy "**"
 // cases polynomial.
-func intersectSegLists(a, b []Seg) ([]string, bool) {
+func intersectSegLists(a, b []Seg, salt int) ([]string, bool) {
 	type key struct{ i, j int }
 	dead := make(map[key]bool)
 	var rec func(i, j int) ([]string, bool)
@@ -110,14 +150,14 @@ func intersectSegLists(a, b []Seg) ([]string, bool) {
 			// be done with it.
 			for _, next := range [][2]int{{i + 1, j + 1}, {i + 1, j}, {i, j + 1}} {
 				if rest, ok := rec(next[0], next[1]); ok {
-					return append([]string{starFiller}, rest...), true
+					return append([]string{starFiller(salt)}, rest...), true
 				}
 			}
 			return fail()
 		case sa.Kind == SegDoubleStar:
 			// a's "**" eats one segment shaped by b's head; it may then
 			// keep eating or stop.
-			w, ok := segExemplar(sb)
+			w, ok := segExemplarSalted(sb, salt)
 			if !ok {
 				return fail()
 			}
@@ -128,7 +168,7 @@ func intersectSegLists(a, b []Seg) ([]string, bool) {
 			}
 			return fail()
 		case sb.Kind == SegDoubleStar:
-			w, ok := segExemplar(sa)
+			w, ok := segExemplarSalted(sa, salt)
 			if !ok {
 				return fail()
 			}
@@ -139,7 +179,7 @@ func intersectSegLists(a, b []Seg) ([]string, bool) {
 			}
 			return fail()
 		default:
-			w, ok := intersectOneSeg(sa, sb)
+			w, ok := intersectOneSeg(sa, sb, salt)
 			if !ok {
 				return fail()
 			}
@@ -154,11 +194,17 @@ func intersectSegLists(a, b []Seg) ([]string, bool) {
 }
 
 // starFiller is the segment emitted where both patterns leave the
-// content free ("**" against "**").
-const starFiller = "x"
+// content free ("**" against "**"): the historical "x" at salt 0,
+// rotated through the exemplar alphabet otherwise.
+func starFiller(salt int) string {
+	if salt == 0 {
+		return "x"
+	}
+	return string(exemplarBytes[(salt-1)%len(exemplarBytes)]) + "x"
+}
 
 // intersectOneSeg intersects two single-segment matchers.
-func intersectOneSeg(a, b Seg) (string, bool) {
+func intersectOneSeg(a, b Seg, salt int) (string, bool) {
 	if a.Kind == SegLiteral && b.Kind == SegLiteral {
 		if a.Text == b.Text {
 			return a.Text, true
@@ -177,7 +223,7 @@ func intersectOneSeg(a, b Seg) (string, bool) {
 		}
 		return "", false
 	}
-	return intersectSegPatterns(a.Text, b.Text)
+	return intersectSegPatterns(a.Text, b.Text, salt)
 }
 
 // segAtom is one element of an in-segment pattern: a star, or a
@@ -223,6 +269,14 @@ func parseSegAtoms(p string) []segAtom {
 
 // charFor picks one byte satisfying both single-character atoms.
 func charFor(a, b segAtom) (byte, bool) {
+	return charForSalted(a, b, 0)
+}
+
+// charForSalted is charFor with the free-choice scan rotated by salt,
+// so different salts land on different satisfying bytes when the atoms
+// leave the choice open. Constrained picks (a literal on either side)
+// ignore the salt.
+func charForSalted(a, b segAtom, salt int) (byte, bool) {
 	if a.kind == atomLit {
 		if atomAccepts(b, a.lit) {
 			return a.lit, true
@@ -235,7 +289,9 @@ func charFor(a, b segAtom) (byte, bool) {
 		}
 		return 0, false
 	}
-	for _, c := range exemplarBytes {
+	n := len(exemplarBytes)
+	for i := 0; i < n; i++ {
+		c := exemplarBytes[(i+salt)%n]
 		if atomAccepts(a, c) && atomAccepts(b, c) {
 			return c, true
 		}
@@ -279,7 +335,7 @@ var exemplarBytes = func() []byte {
 // intersectSegPatterns intersects two in-segment patterns atom by atom,
 // building a witness segment. Memoised on the atom-index pair, so the
 // star branching stays quadratic.
-func intersectSegPatterns(pa, pb string) (string, bool) {
+func intersectSegPatterns(pa, pb string, salt int) (string, bool) {
 	a, b := parseSegAtoms(pa), parseSegAtoms(pb)
 	type key struct{ i, j int }
 	dead := make(map[key]bool)
@@ -327,7 +383,7 @@ func intersectSegPatterns(pa, pb string) (string, bool) {
 			if w, ok := rec(i+1, j); ok {
 				return w, true
 			}
-			if c, ok := charFor(ab, ab); ok {
+			if c, ok := charForSalted(ab, ab, salt); ok {
 				if w, ok := rec(i, j+1); ok {
 					return string(c) + w, true
 				}
@@ -337,14 +393,14 @@ func intersectSegPatterns(pa, pb string) (string, bool) {
 			if w, ok := rec(i, j+1); ok {
 				return w, true
 			}
-			if c, ok := charFor(aa, aa); ok {
+			if c, ok := charForSalted(aa, aa, salt); ok {
 				if w, ok := rec(i+1, j); ok {
 					return string(c) + w, true
 				}
 			}
 			return fail()
 		default:
-			c, ok := charFor(aa, ab)
+			c, ok := charForSalted(aa, ab, salt)
 			if !ok {
 				return fail()
 			}
@@ -360,6 +416,11 @@ func intersectSegPatterns(pa, pb string) (string, bool) {
 
 // segExemplar produces one concrete segment matched by seg.
 func segExemplar(seg Seg) (string, bool) {
+	return segExemplarSalted(seg, 0)
+}
+
+// segExemplarSalted is segExemplar with salted free choices.
+func segExemplarSalted(seg Seg, salt int) (string, bool) {
 	if seg.Kind == SegLiteral {
 		return seg.Text, true
 	}
@@ -367,9 +428,15 @@ func segExemplar(seg Seg) (string, bool) {
 	for _, at := range parseSegAtoms(seg.Text) {
 		switch at.kind {
 		case atomStar:
-			// empty
+			// Stars collapse to empty at salt 0 (the minimal witness);
+			// other salts expand them over rotated filler bytes so the
+			// enumeration visits new segments. The MatchSegment check
+			// below rejects expansions an adjacent atom cannot absorb.
+			for r := 0; r < salt%3; r++ {
+				sb.WriteByte(exemplarBytes[(salt+r)%len(exemplarBytes)])
+			}
 		default:
-			c, ok := charFor(at, at)
+			c, ok := charForSalted(at, at, salt)
 			if !ok {
 				return "", false
 			}

@@ -140,3 +140,74 @@ func TestIntersectDifferential(t *testing.T) {
 		})
 	}
 }
+
+// TestIntersectKEnumerates: IntersectK must produce several distinct
+// members of the intersection language, all sound. This is what lets
+// the verifier escape deny carve-outs — if the first witness is denied,
+// later ones come from different regions of the language.
+func TestIntersectKEnumerates(t *testing.T) {
+	cases := []struct {
+		a, b string
+		min  int // distinct witnesses we expect at k=8
+	}{
+		{"/data/**", "/data/**", 2},
+		{"/dev/can/**", "/dev/can/actuator*", 2},
+		{"/srv/*", "/srv/**", 2},
+		{"/d/[a-z]x", "/d/*", 2},
+	}
+	for _, c := range cases {
+		t.Run(c.a+"|"+c.b, func(t *testing.T) {
+			ga, gb := MustCompile(c.a), MustCompile(c.b)
+			ws, res := IntersectK(ga, gb, 8)
+			if res != IntersectFound {
+				t.Fatalf("IntersectK(%q, %q, 8) = %v, want Found", c.a, c.b, res)
+			}
+			seen := make(map[string]bool)
+			for _, w := range ws {
+				if !ga.Match(w) || !gb.Match(w) {
+					t.Fatalf("witness %q fails %q or %q", w, c.a, c.b)
+				}
+				if seen[w] {
+					t.Fatalf("duplicate witness %q in %v", w, ws)
+				}
+				seen[w] = true
+			}
+			if len(ws) < c.min {
+				t.Fatalf("IntersectK(%q, %q, 8) = %v: want at least %d distinct witnesses", c.a, c.b, ws, c.min)
+			}
+		})
+	}
+}
+
+// TestIntersectKSingleton: a literal-only intersection has exactly one
+// member; IntersectK must not fabricate more or loop trying.
+func TestIntersectKSingleton(t *testing.T) {
+	ws, res := IntersectK(MustCompile("/a/b"), MustCompile("/a/*"), 8)
+	if res != IntersectFound || len(ws) != 1 || ws[0] != "/a/b" {
+		t.Fatalf("IntersectK literal = %v, %v; want [/a/b], Found", ws, res)
+	}
+	if _, res := IntersectK(MustCompile("/a/b"), MustCompile("/a/c"), 8); res != IntersectNone {
+		t.Fatalf("disjoint pair reported %v, want None", res)
+	}
+}
+
+// TestIntersectKMatchesIntersect: k=1 must behave exactly like the
+// single-witness API (Intersect delegates to it).
+func TestIntersectKMatchesIntersect(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 200; trial++ {
+		ga, errA := Compile(genIntersectPattern(r))
+		gb, errB := Compile(genIntersectPattern(r))
+		if errA != nil || errB != nil {
+			continue
+		}
+		w, res := Intersect(ga, gb)
+		ws, resK := IntersectK(ga, gb, 1)
+		if res != resK {
+			t.Fatalf("Intersect(%q, %q) = %v but IntersectK k=1 = %v", ga, gb, res, resK)
+		}
+		if res == IntersectFound && (len(ws) != 1 || ws[0] != w) {
+			t.Fatalf("k=1 witness %v differs from Intersect witness %q", ws, w)
+		}
+	}
+}

@@ -25,6 +25,16 @@ type Bundle struct {
 	// registry re-proves them at every publish. Empty means none.
 	Invariants string
 
+	// Detached signature section (see internal/sign). The control plane
+	// signs SignedPayload() — the canonical unsigned encoding, which
+	// includes the generation, so a replayed older bundle fails
+	// verification even with an intact signature. An unsigned bundle
+	// (all three empty) encodes byte-identically to the pre-signature
+	// wire format.
+	KeyID     string // names the signing key in the consumer's keyring
+	SigAlg    string // sign.AlgHMACSHA256 or sign.AlgEd25519
+	Signature string // hex detached signature over SignedPayload()
+
 	// Compiled is the enforcement-ready artifact for Source, populated by
 	// the registry at publish time so in-process consumers (the fleet
 	// agent's apply path) skip re-validating and re-compiling per vehicle.
@@ -88,6 +98,11 @@ func (b Bundle) Encode() []byte {
 	if b.Invariants != "" {
 		fmt.Fprintf(&sb, "invariants-checksum: %s\n", ChecksumSource(b.Invariants))
 	}
+	if b.Signature != "" {
+		fmt.Fprintf(&sb, "key-id: %s\n", b.KeyID)
+		fmt.Fprintf(&sb, "sig-alg: %s\n", b.SigAlg)
+		fmt.Fprintf(&sb, "signature: %s\n", b.Signature)
+	}
 	sb.WriteString("---\n")
 	sb.WriteString(b.Source)
 	if b.Invariants != "" {
@@ -135,6 +150,15 @@ func DecodeBundle(data []byte) (Bundle, error) {
 			b.Checksum = val
 		case "invariants-checksum":
 			wantInvSum = val
+		case "key-id":
+			b.KeyID = val
+		case "sig-alg":
+			b.SigAlg = val
+		case "signature":
+			if _, err := hex.DecodeString(val); err != nil {
+				return Bundle{}, fmt.Errorf("policy: bad bundle signature encoding: %v", err)
+			}
+			b.Signature = val
 		default:
 			// Unknown headers are ignored for forward compatibility.
 		}
@@ -151,6 +175,45 @@ func DecodeBundle(data []byte) (Bundle, error) {
 		}
 	}
 	return b, nil
+}
+
+// SignedPayload returns the canonical bytes a signature covers: the
+// bundle's wire encoding with the signature section stripped. Signing
+// the encoding (rather than just the source) binds group, generation,
+// and invariants, so a signature cannot be transplanted onto a
+// replayed generation or another group's bundle.
+func (b Bundle) SignedPayload() []byte {
+	b.KeyID, b.SigAlg, b.Signature = "", "", ""
+	return b.Encode()
+}
+
+// SignatureBytes decodes the hex signature header (nil when unsigned).
+func (b Bundle) SignatureBytes() []byte {
+	if b.Signature == "" {
+		return nil
+	}
+	sig, err := hex.DecodeString(b.Signature)
+	if err != nil {
+		return nil
+	}
+	return sig
+}
+
+// Signer is the subset of internal/sign.Signer the bundle layer needs;
+// declared here so policy does not import sign.
+type Signer interface {
+	KeyID() string
+	Algorithm() string
+	Sign(payload []byte) []byte
+}
+
+// Signed returns a copy of the bundle carrying a detached signature
+// from s over SignedPayload().
+func (b Bundle) Signed(s Signer) Bundle {
+	b.KeyID, b.SigAlg, b.Signature = "", "", ""
+	sig := s.Sign(b.Encode())
+	b.KeyID, b.SigAlg, b.Signature = s.KeyID(), s.Algorithm(), hex.EncodeToString(sig)
+	return b
 }
 
 // JoinSourceInvariants packs policy source and an optional invariant

@@ -49,6 +49,72 @@ func TestBundleDecodeRejectsCorruption(t *testing.T) {
 	}
 }
 
+// stubSigner implements Signer without pulling internal/sign into the
+// policy tests: the "signature" is a recognisable function of payload
+// length so tampering shows up.
+type stubSigner struct{ id string }
+
+func (s stubSigner) KeyID() string     { return s.id }
+func (s stubSigner) Algorithm() string { return "hmac-sha256" }
+func (s stubSigner) Sign(payload []byte) []byte {
+	return []byte{byte(len(payload)), byte(len(payload) >> 8), 0xAB}
+}
+
+func TestBundleSignatureRoundTrip(t *testing.T) {
+	src := "states { a = 0 }\ninitial a\n"
+	b := NewBundle("default", 9, src).Signed(stubSigner{id: "fleet-key-1"})
+	if b.KeyID != "fleet-key-1" || b.SigAlg != "hmac-sha256" || b.Signature == "" {
+		t.Fatalf("signed bundle fields: %+v", b)
+	}
+	got, err := DecodeBundle(b.Encode())
+	if err != nil {
+		t.Fatalf("DecodeBundle: %v", err)
+	}
+	if got != b {
+		t.Fatalf("signed round trip: %+v != %+v", got, b)
+	}
+	// SignedPayload is stable across signing: the payload the verifier
+	// recomputes from the decoded bundle equals what was signed.
+	unsigned := NewBundle("default", 9, src)
+	if string(got.SignedPayload()) != string(unsigned.Encode()) {
+		t.Fatal("SignedPayload differs from the unsigned encoding")
+	}
+	if len(got.SignatureBytes()) != 3 {
+		t.Fatalf("SignatureBytes = %x", got.SignatureBytes())
+	}
+
+	// An unsigned bundle encodes byte-identically to the legacy format:
+	// no signature headers appear.
+	wire := string(unsigned.Encode())
+	for _, h := range []string{"key-id", "sig-alg", "signature"} {
+		if strings.Contains(wire, h) {
+			t.Fatalf("unsigned bundle wire format contains %q", h)
+		}
+	}
+
+	// Malformed signature hex is rejected at decode.
+	bad := strings.Replace(string(b.Encode()), "signature: ", "signature: zz", 1)
+	if _, err := DecodeBundle([]byte(bad)); err == nil {
+		t.Fatal("bad signature hex decoded")
+	}
+}
+
+// The signed payload binds generation and group: re-encoding the same
+// source under a different generation yields a different payload, so a
+// replayed signature cannot cover it.
+func TestBundleSignedPayloadBindsGeneration(t *testing.T) {
+	src := "states { a = 0 }\ninitial a\n"
+	p1 := NewBundle("g", 1, src).SignedPayload()
+	p2 := NewBundle("g", 2, src).SignedPayload()
+	if string(p1) == string(p2) {
+		t.Fatal("payload does not bind generation")
+	}
+	q := NewBundle("other", 1, src).SignedPayload()
+	if string(p1) == string(q) {
+		t.Fatal("payload does not bind group")
+	}
+}
+
 func TestBundleInvariantsRoundTrip(t *testing.T) {
 	inv := "never /usr/bin/ivi write /dev/can/actuator*\nreachable parked\n"
 	b := NewBundle("fleet-a", 3, "states { parked }\ninitial parked\n").WithInvariants(inv)

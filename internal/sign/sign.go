@@ -1,0 +1,208 @@
+// Package sign provides detached signatures for policy bundles: the
+// control plane signs the canonical bundle bytes at publish time and
+// every consumer (fleet agent, HTTP client, CLI) verifies before the
+// bundle is allowed anywhere near ReloadCompiled.
+//
+// Two algorithms, both from the standard library:
+//
+//   - hmac-sha256 — a shared fleet secret; cheap, symmetric, fine when
+//     the control plane and vehicles share a trust domain.
+//   - ed25519 — asymmetric; vehicles hold only the public key, so a
+//     compromised vehicle cannot mint bundles.
+//
+// Keys are named by key-id so a Keyring can hold several generations at
+// once: rotation is "add the new key, re-sign, retire the old" with no
+// flag day. Verification failures are typed (ErrUnknownKey,
+// ErrBadSignature, ErrUnsigned) so transport layers can map them to
+// distinct statuses.
+package sign
+
+import (
+	"crypto/ed25519"
+	"crypto/hmac"
+	"crypto/rand"
+	"crypto/sha256"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Algorithm names as they appear in the bundle wire format.
+const (
+	AlgHMACSHA256 = "hmac-sha256"
+	AlgEd25519    = "ed25519"
+)
+
+// Typed verification failures. Transports map these to distinct HTTP
+// statuses; the agent maps them to a refused apply + cached-bundle
+// fallback.
+var (
+	// ErrUnknownKey: the bundle names a key-id the keyring doesn't hold.
+	ErrUnknownKey = errors.New("sign: unknown key id")
+	// ErrBadSignature: the signature does not verify over the payload.
+	ErrBadSignature = errors.New("sign: signature verification failed")
+	// ErrUnsigned: the verifier requires a signature and the bundle
+	// carries none.
+	ErrUnsigned = errors.New("sign: bundle is not signed")
+	// ErrAlgorithmMismatch: the bundle's sig-alg disagrees with the
+	// keyring entry for that key-id.
+	ErrAlgorithmMismatch = errors.New("sign: algorithm mismatch for key id")
+)
+
+// Signer produces detached signatures under one named key.
+type Signer struct {
+	keyID string
+	alg   string
+	sign  func(payload []byte) []byte
+}
+
+// KeyID returns the signer's key identifier.
+func (s *Signer) KeyID() string { return s.keyID }
+
+// Algorithm returns the signer's algorithm name.
+func (s *Signer) Algorithm() string { return s.alg }
+
+// Sign returns the detached signature over payload.
+func (s *Signer) Sign(payload []byte) []byte { return s.sign(payload) }
+
+// Verifier checks detached signatures under one named key.
+type Verifier struct {
+	keyID  string
+	alg    string
+	verify func(payload, sig []byte) bool
+}
+
+// KeyID returns the verifier's key identifier.
+func (v *Verifier) KeyID() string { return v.keyID }
+
+// Algorithm returns the verifier's algorithm name.
+func (v *Verifier) Algorithm() string { return v.alg }
+
+// Verify reports whether sig is a valid signature over payload.
+func (v *Verifier) Verify(payload, sig []byte) bool { return v.verify(payload, sig) }
+
+// NewHMAC returns a signer/verifier pair sharing an HMAC-SHA256 secret.
+func NewHMAC(keyID string, secret []byte) (*Signer, *Verifier) {
+	key := append([]byte(nil), secret...)
+	mac := func(payload []byte) []byte {
+		h := hmac.New(sha256.New, key)
+		h.Write(payload)
+		return h.Sum(nil)
+	}
+	s := &Signer{keyID: keyID, alg: AlgHMACSHA256, sign: mac}
+	v := &Verifier{keyID: keyID, alg: AlgHMACSHA256, verify: func(payload, sig []byte) bool {
+		return hmac.Equal(mac(payload), sig)
+	}}
+	return s, v
+}
+
+// NewEd25519Signer wraps an Ed25519 private key.
+func NewEd25519Signer(keyID string, priv ed25519.PrivateKey) *Signer {
+	key := append(ed25519.PrivateKey(nil), priv...)
+	return &Signer{keyID: keyID, alg: AlgEd25519, sign: func(payload []byte) []byte {
+		return ed25519.Sign(key, payload)
+	}}
+}
+
+// NewEd25519Verifier wraps an Ed25519 public key.
+func NewEd25519Verifier(keyID string, pub ed25519.PublicKey) *Verifier {
+	key := append(ed25519.PublicKey(nil), pub...)
+	return &Verifier{keyID: keyID, alg: AlgEd25519, verify: func(payload, sig []byte) bool {
+		if len(sig) != ed25519.SignatureSize {
+			return false
+		}
+		return ed25519.Verify(key, payload, sig)
+	}}
+}
+
+// GenerateEd25519 mints a fresh keypair as a signer/verifier pair.
+func GenerateEd25519(keyID string) (*Signer, *Verifier, error) {
+	pub, priv, err := ed25519.GenerateKey(rand.Reader)
+	if err != nil {
+		return nil, nil, fmt.Errorf("sign: generate: %w", err)
+	}
+	return NewEd25519Signer(keyID, priv), NewEd25519Verifier(keyID, pub), nil
+}
+
+// Keyring holds the verifiers a consumer trusts, by key-id. A non-empty
+// keyring means signatures are REQUIRED: an unsigned bundle fails with
+// ErrUnsigned. Safe for concurrent use; keys may be added while
+// verifications are in flight (rotation).
+type Keyring struct {
+	mu   sync.RWMutex
+	keys map[string]*Verifier
+}
+
+// NewKeyring builds a keyring from the given verifiers.
+func NewKeyring(verifiers ...*Verifier) *Keyring {
+	kr := &Keyring{keys: make(map[string]*Verifier, len(verifiers))}
+	for _, v := range verifiers {
+		kr.keys[v.KeyID()] = v
+	}
+	return kr
+}
+
+// Add installs (or replaces) a verifier. This is the rotation hook: add
+// the successor key before the control plane starts signing with it.
+func (kr *Keyring) Add(v *Verifier) {
+	kr.mu.Lock()
+	defer kr.mu.Unlock()
+	kr.keys[v.KeyID()] = v
+}
+
+// Remove retires a key-id.
+func (kr *Keyring) Remove(keyID string) {
+	kr.mu.Lock()
+	defer kr.mu.Unlock()
+	delete(kr.keys, keyID)
+}
+
+// KeyIDs lists held key-ids, sorted.
+func (kr *Keyring) KeyIDs() []string {
+	kr.mu.RLock()
+	defer kr.mu.RUnlock()
+	ids := make([]string, 0, len(kr.keys))
+	for id := range kr.keys {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// Empty reports whether the keyring holds no keys (signatures optional).
+func (kr *Keyring) Empty() bool {
+	if kr == nil {
+		return true
+	}
+	kr.mu.RLock()
+	defer kr.mu.RUnlock()
+	return len(kr.keys) == 0
+}
+
+// Verify checks a detached signature: keyID and alg come from the
+// bundle headers, sig is the detached signature over payload. An empty
+// keyID/sig means the bundle is unsigned — rejected with ErrUnsigned
+// whenever the keyring holds any key.
+func (kr *Keyring) Verify(keyID, alg string, payload, sig []byte) error {
+	if kr.Empty() {
+		return nil
+	}
+	if keyID == "" || len(sig) == 0 {
+		return ErrUnsigned
+	}
+	kr.mu.RLock()
+	v, ok := kr.keys[keyID]
+	kr.mu.RUnlock()
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrUnknownKey, keyID)
+	}
+	if alg != v.Algorithm() {
+		return fmt.Errorf("%w: %q signs with %s, bundle claims %s",
+			ErrAlgorithmMismatch, keyID, v.Algorithm(), alg)
+	}
+	if !v.Verify(payload, sig) {
+		return fmt.Errorf("%w (key %q)", ErrBadSignature, keyID)
+	}
+	return nil
+}

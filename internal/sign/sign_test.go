@@ -1,0 +1,112 @@
+package sign
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestHMACRoundtrip(t *testing.T) {
+	s, v := NewHMAC("fleet-2026", []byte("s3cret"))
+	payload := []byte("bundle bytes")
+	sig := s.Sign(payload)
+	if !v.Verify(payload, sig) {
+		t.Fatal("valid HMAC rejected")
+	}
+	if v.Verify([]byte("tampered"), sig) {
+		t.Fatal("tampered payload accepted")
+	}
+	sig[0] ^= 0xff
+	if v.Verify(payload, sig) {
+		t.Fatal("flipped signature accepted")
+	}
+}
+
+func TestHMACWrongSecret(t *testing.T) {
+	s, _ := NewHMAC("k", []byte("right"))
+	_, v := NewHMAC("k", []byte("wrong"))
+	if v.Verify([]byte("p"), s.Sign([]byte("p"))) {
+		t.Fatal("signature under a different secret accepted")
+	}
+}
+
+func TestEd25519Roundtrip(t *testing.T) {
+	s, v, err := GenerateEd25519("ota-root")
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := []byte("bundle bytes")
+	sig := s.Sign(payload)
+	if !v.Verify(payload, sig) {
+		t.Fatal("valid ed25519 signature rejected")
+	}
+	if v.Verify(append(payload, 'x'), sig) {
+		t.Fatal("tampered payload accepted")
+	}
+	if v.Verify(payload, sig[:10]) {
+		t.Fatal("truncated signature accepted")
+	}
+}
+
+func TestKeyringTypedErrors(t *testing.T) {
+	s, v := NewHMAC("k1", []byte("secret"))
+	kr := NewKeyring(v)
+	payload := []byte("payload")
+	sig := s.Sign(payload)
+
+	if err := kr.Verify("k1", AlgHMACSHA256, payload, sig); err != nil {
+		t.Fatalf("valid: %v", err)
+	}
+	if err := kr.Verify("", "", payload, nil); !errors.Is(err, ErrUnsigned) {
+		t.Fatalf("unsigned: %v, want ErrUnsigned", err)
+	}
+	if err := kr.Verify("k2", AlgHMACSHA256, payload, sig); !errors.Is(err, ErrUnknownKey) {
+		t.Fatalf("unknown key: %v, want ErrUnknownKey", err)
+	}
+	if err := kr.Verify("k1", AlgEd25519, payload, sig); !errors.Is(err, ErrAlgorithmMismatch) {
+		t.Fatalf("alg mismatch: %v, want ErrAlgorithmMismatch", err)
+	}
+	bad := append([]byte(nil), sig...)
+	bad[3] ^= 1
+	if err := kr.Verify("k1", AlgHMACSHA256, payload, bad); !errors.Is(err, ErrBadSignature) {
+		t.Fatalf("bad signature: %v, want ErrBadSignature", err)
+	}
+}
+
+func TestKeyringEmptyAcceptsUnsigned(t *testing.T) {
+	var nilRing *Keyring
+	if err := nilRing.Verify("", "", []byte("p"), nil); err != nil {
+		t.Fatalf("nil keyring must accept unsigned: %v", err)
+	}
+	kr := NewKeyring()
+	if err := kr.Verify("", "", []byte("p"), nil); err != nil {
+		t.Fatalf("empty keyring must accept unsigned: %v", err)
+	}
+}
+
+func TestKeyringRotation(t *testing.T) {
+	s1, v1 := NewHMAC("gen1", []byte("old"))
+	s2, v2 := NewHMAC("gen2", []byte("new"))
+	kr := NewKeyring(v1)
+	payload := []byte("payload")
+
+	// Successor key unknown until added.
+	if err := kr.Verify("gen2", AlgHMACSHA256, payload, s2.Sign(payload)); !errors.Is(err, ErrUnknownKey) {
+		t.Fatalf("pre-rotation: %v", err)
+	}
+	kr.Add(v2)
+	// Both generations verify during the overlap window.
+	if err := kr.Verify("gen1", AlgHMACSHA256, payload, s1.Sign(payload)); err != nil {
+		t.Fatalf("old key during overlap: %v", err)
+	}
+	if err := kr.Verify("gen2", AlgHMACSHA256, payload, s2.Sign(payload)); err != nil {
+		t.Fatalf("new key during overlap: %v", err)
+	}
+	// Retire the old generation.
+	kr.Remove("gen1")
+	if err := kr.Verify("gen1", AlgHMACSHA256, payload, s1.Sign(payload)); !errors.Is(err, ErrUnknownKey) {
+		t.Fatalf("retired key: %v", err)
+	}
+	if got := kr.KeyIDs(); len(got) != 1 || got[0] != "gen2" {
+		t.Fatalf("KeyIDs = %v", got)
+	}
+}

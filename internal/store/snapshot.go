@@ -1,0 +1,176 @@
+package store
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Snapshots are named snap-%016x.snap by the WAL index they cover and
+// framed like a single WAL record:
+//
+//	[4B length][4B CRC-32C over index+payload][8B index][payload]
+//
+// Writes go to a .tmp file, fsync, rename, then fsync the directory —
+// a crash leaves either the old snapshot set or the new one, never a
+// half-written file that loads.
+
+const (
+	snapPrefix = "snap-"
+	snapSuffix = ".snap"
+)
+
+func snapshotName(index uint64) string {
+	return fmt.Sprintf("%s%016x%s", snapPrefix, index, snapSuffix)
+}
+
+type snapInfo struct {
+	path  string
+	index uint64
+}
+
+func listSnapshots(dir string) ([]snapInfo, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	var snaps []snapInfo
+	for _, e := range entries {
+		name := e.Name()
+		if !strings.HasPrefix(name, snapPrefix) || !strings.HasSuffix(name, snapSuffix) {
+			continue
+		}
+		hexPart := strings.TrimSuffix(strings.TrimPrefix(name, snapPrefix), snapSuffix)
+		idx, perr := strconv.ParseUint(hexPart, 16, 64)
+		if perr != nil {
+			continue
+		}
+		snaps = append(snaps, snapInfo{path: filepath.Join(dir, name), index: idx})
+	}
+	sort.Slice(snaps, func(i, j int) bool { return snaps[i].index < snaps[j].index })
+	return snaps, nil
+}
+
+// loadNewestSnapshot returns the newest snapshot that passes its CRC.
+// A corrupt newest snapshot (torn rename window, bit rot) falls back to
+// the next older one; with none intact it returns index 0, nil.
+func loadNewestSnapshot(dir string) (uint64, []byte, error) {
+	snaps, err := listSnapshots(dir)
+	if err != nil {
+		return 0, nil, err
+	}
+	for i := len(snaps) - 1; i >= 0; i-- {
+		payload, rerr := readSnapshot(snaps[i].path, snaps[i].index)
+		if rerr == nil {
+			return snaps[i].index, payload, nil
+		}
+	}
+	return 0, nil, nil
+}
+
+func readSnapshot(path string, wantIndex uint64) ([]byte, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	br := bufio.NewReader(f)
+	var hdr [frameHeaderLen]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return nil, fmt.Errorf("store: snapshot %s: torn header", filepath.Base(path))
+	}
+	n := binary.BigEndian.Uint32(hdr[0:4])
+	if n > MaxRecordBytes {
+		return nil, fmt.Errorf("store: snapshot %s: implausible length %d", filepath.Base(path), n)
+	}
+	want := binary.BigEndian.Uint32(hdr[4:8])
+	idx := binary.BigEndian.Uint64(hdr[8:16])
+	if idx != wantIndex {
+		return nil, fmt.Errorf("store: snapshot %s: index %d does not match name", filepath.Base(path), idx)
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(br, payload); err != nil {
+		return nil, fmt.Errorf("store: snapshot %s: torn body", filepath.Base(path))
+	}
+	sum := crc32.Update(0, castagnoli, hdr[8:16])
+	sum = crc32.Update(sum, castagnoli, payload)
+	if sum != want {
+		return nil, fmt.Errorf("store: snapshot %s: crc mismatch", filepath.Base(path))
+	}
+	return payload, nil
+}
+
+func writeSnapshot(dir string, index uint64, payload []byte, noFsync bool) error {
+	tmp := filepath.Join(dir, snapshotName(index)+".tmp")
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return fmt.Errorf("store: snapshot: %w", err)
+	}
+	var hdr [frameHeaderLen]byte
+	binary.BigEndian.PutUint32(hdr[0:4], uint32(len(payload)))
+	binary.BigEndian.PutUint64(hdr[8:16], index)
+	sum := crc32.Update(0, castagnoli, hdr[8:16])
+	sum = crc32.Update(sum, castagnoli, payload)
+	binary.BigEndian.PutUint32(hdr[4:8], sum)
+	if _, err := f.Write(hdr[:]); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("store: snapshot: %w", err)
+	}
+	if _, err := f.Write(payload); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("store: snapshot: %w", err)
+	}
+	if !noFsync {
+		if err := f.Sync(); err != nil {
+			f.Close()
+			os.Remove(tmp)
+			return fmt.Errorf("store: snapshot: %w", err)
+		}
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("store: snapshot: %w", err)
+	}
+	final := filepath.Join(dir, snapshotName(index))
+	if err := os.Rename(tmp, final); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("store: snapshot: %w", err)
+	}
+	if !noFsync {
+		syncDir(dir)
+	}
+	return nil
+}
+
+// removeOldSnapshots deletes snapshots older than keepIndex.
+func removeOldSnapshots(dir string, keepIndex uint64) {
+	snaps, err := listSnapshots(dir)
+	if err != nil {
+		return
+	}
+	for _, sn := range snaps {
+		if sn.index < keepIndex {
+			os.Remove(sn.path)
+		}
+	}
+}
+
+// syncDir fsyncs a directory so renames within it are durable.
+// Best-effort: some filesystems refuse directory fsync.
+func syncDir(dir string) {
+	d, err := os.Open(dir)
+	if err != nil {
+		return
+	}
+	d.Sync()
+	d.Close()
+}

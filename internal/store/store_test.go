@@ -1,0 +1,342 @@
+package store
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func collect(t *testing.T, s *Store) []string {
+	t.Helper()
+	var got []string
+	if err := s.Replay(func(idx uint64, payload []byte) error {
+		got = append(got, string(payload))
+		return nil
+	}); err != nil {
+		t.Fatalf("replay: %v", err)
+	}
+	return got
+}
+
+func TestAppendReplayRoundtrip(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"alpha", "beta", "", "gamma with spaces", strings.Repeat("z", 100_000)}
+	for i, p := range want {
+		idx, err := s.Append([]byte(p))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if idx != uint64(i+1) {
+			t.Fatalf("index = %d, want %d", idx, i+1)
+		}
+	}
+	if err := s.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	got := collect(t, s2)
+	if len(got) != len(want) {
+		t.Fatalf("replayed %d records, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("record %d = %q, want %q", i, got[i], want[i])
+		}
+	}
+	if s2.LastIndex() != uint64(len(want)) {
+		t.Fatalf("LastIndex = %d, want %d", s2.LastIndex(), len(want))
+	}
+	// Appends continue with monotonic indices after reopen.
+	idx, err := s2.Append([]byte("post-reopen"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if idx != uint64(len(want)+1) {
+		t.Fatalf("post-reopen index = %d, want %d", idx, len(want)+1)
+	}
+}
+
+// A SyncTo-covered record must survive Crash(); records appended after
+// the last sync may be lost but replay must still be an exact prefix.
+func TestCrashLosesAtMostUnsyncedSuffix(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var syncedIdx uint64
+	for i := 0; i < 50; i++ {
+		idx, err := s.Append([]byte(fmt.Sprintf("rec-%03d", i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i == 29 {
+			if err := s.SyncTo(idx); err != nil {
+				t.Fatal(err)
+			}
+			syncedIdx = idx
+		}
+	}
+	s.Crash()
+
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	got := collect(t, s2)
+	if uint64(len(got)) < syncedIdx {
+		t.Fatalf("crash lost synced records: have %d, synced through %d", len(got), syncedIdx)
+	}
+	for i, p := range got {
+		if want := fmt.Sprintf("rec-%03d", i); p != want {
+			t.Fatalf("record %d = %q, want %q (prefix violated)", i, p, want)
+		}
+	}
+}
+
+// Power-loss model: truncate the WAL at a random byte offset. Replay
+// must yield an exact prefix of what was appended — never a corrupt or
+// reordered record — and a second truncation-free reopen must agree.
+func TestTornTailTruncationProperty(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(seed))
+			dir := t.TempDir()
+			s, err := Open(dir, WithSegmentBytes(2048))
+			if err != nil {
+				t.Fatal(err)
+			}
+			n := 40 + rng.Intn(120)
+			for i := 0; i < n; i++ {
+				payload := []byte(fmt.Sprintf("seed%02d-rec-%04d-%s", seed, i,
+					strings.Repeat("x", rng.Intn(200))))
+				if _, err := s.Append(payload); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if err := s.Sync(); err != nil {
+				t.Fatal(err)
+			}
+			s.Crash()
+
+			// Tear the final segment at a random offset.
+			segs, err := listSegments(dir)
+			if err != nil || len(segs) == 0 {
+				t.Fatalf("segments: %v (%d)", err, len(segs))
+			}
+			last := segs[len(segs)-1]
+			fi, err := os.Stat(last.path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if fi.Size() > 0 {
+				cut := rng.Int63n(fi.Size())
+				if err := os.Truncate(last.path, cut); err != nil {
+					t.Fatal(err)
+				}
+			}
+
+			s2, err := Open(dir, WithSegmentBytes(2048))
+			if err != nil {
+				t.Fatalf("reopen after tear: %v", err)
+			}
+			got := collect(t, s2)
+			for i, p := range got {
+				if !strings.HasPrefix(p, fmt.Sprintf("seed%02d-rec-%04d-", seed, i)) {
+					t.Fatalf("record %d = %q: not the expected prefix record", i, p)
+				}
+			}
+			if len(got) > n {
+				t.Fatalf("replayed %d records, appended only %d", len(got), n)
+			}
+			// Appending after recovery and reopening again must keep the
+			// sequence contiguous.
+			if _, err := s2.Append([]byte("after-recovery")); err != nil {
+				t.Fatal(err)
+			}
+			if err := s2.Sync(); err != nil {
+				t.Fatal(err)
+			}
+			s2.Close()
+			s3, err := Open(dir, WithSegmentBytes(2048))
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer s3.Close()
+			got3 := collect(t, s3)
+			if len(got3) != len(got)+1 {
+				t.Fatalf("after recovery append: %d records, want %d", len(got3), len(got)+1)
+			}
+			if got3[len(got3)-1] != "after-recovery" {
+				t.Fatalf("last record = %q", got3[len(got3)-1])
+			}
+		})
+	}
+}
+
+func TestSnapshotCompaction(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, WithSegmentBytes(512))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		if _, err := s.Append([]byte(fmt.Sprintf("pre-snap-%03d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.SaveSnapshot([]byte("state@100")); err != nil {
+		t.Fatal(err)
+	}
+	// Compaction must have dropped covered segments.
+	segs, err := listSegments(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(segs) > 1 {
+		t.Fatalf("compaction left %d segments", len(segs))
+	}
+	for i := 0; i < 10; i++ {
+		if _, err := s.Append([]byte(fmt.Sprintf("post-snap-%03d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+
+	s2, err := Open(dir, WithSegmentBytes(512))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	idx, payload, ok := s2.Snapshot()
+	if !ok || string(payload) != "state@100" || idx != 100 {
+		t.Fatalf("snapshot = (%d, %q, %v)", idx, payload, ok)
+	}
+	got := collect(t, s2)
+	if len(got) != 10 {
+		t.Fatalf("replayed %d post-snapshot records, want 10", len(got))
+	}
+	for i, p := range got {
+		if want := fmt.Sprintf("post-snap-%03d", i); p != want {
+			t.Fatalf("record %d = %q, want %q", i, p, want)
+		}
+	}
+	if s2.LastIndex() != 110 {
+		t.Fatalf("LastIndex = %d, want 110", s2.LastIndex())
+	}
+}
+
+// A corrupt newest snapshot must fall back to the older one, with the
+// WAL tail re-read from the older boundary.
+func TestCorruptSnapshotFallsBack(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		s.Append([]byte(fmt.Sprintf("a-%d", i)))
+	}
+	if err := s.SaveSnapshot([]byte("snap-A")); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		s.Append([]byte(fmt.Sprintf("b-%d", i)))
+	}
+	s.Sync()
+	s.Close()
+
+	// Forge a corrupt newer snapshot.
+	bad := filepath.Join(dir, snapshotName(10))
+	if err := os.WriteFile(bad, []byte("garbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	idx, payload, ok := s2.Snapshot()
+	if !ok || string(payload) != "snap-A" || idx != 5 {
+		t.Fatalf("fallback snapshot = (%d, %q, %v), want (5, snap-A, true)", idx, payload, ok)
+	}
+	got := collect(t, s2)
+	if len(got) != 5 || got[0] != "b-0" || got[4] != "b-4" {
+		t.Fatalf("tail after fallback = %v", got)
+	}
+}
+
+// Concurrent appenders with group-commit syncs: every committed index
+// must replay after a crash.
+func TestConcurrentGroupCommit(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, WithSegmentBytes(4096))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const workers, each = 8, 50
+	errs := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		go func(w int) {
+			for i := 0; i < each; i++ {
+				idx, err := s.Append([]byte(fmt.Sprintf("w%d-%d", w, i)))
+				if err == nil {
+					err = s.SyncTo(idx)
+				}
+				if err != nil {
+					errs <- err
+					return
+				}
+			}
+			errs <- nil
+		}(w)
+	}
+	for w := 0; w < workers; w++ {
+		if err := <-errs; err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.Crash()
+	s2, err := Open(dir, WithSegmentBytes(4096))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	got := collect(t, s2)
+	if len(got) != workers*each {
+		t.Fatalf("replayed %d records, want %d (every SyncTo had returned)", len(got), workers*each)
+	}
+}
+
+func TestOversizedRecordRejected(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if _, err := s.Append(make([]byte, MaxRecordBytes+1)); err == nil {
+		t.Fatal("oversized append accepted")
+	}
+}

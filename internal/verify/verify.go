@@ -151,10 +151,12 @@ func (e *explorer) operational(state string) bool {
 // Soundness: every reported access violation replays on the live
 // engine — the witness (subject, path, op) is re-decided through the
 // state's rule set before being reported, so a `never` violation is a
-// real reachable allow, never an artifact of the search. Completeness
-// of `never` is best-effort in one documented corner: when a deny rule
-// carves the synthesized witness out of an allow glob, a different
-// escaping path may exist that witness synthesis did not construct.
+// real reachable allow, never an artifact of the search. When a deny
+// rule carves the first synthesized witness out of an allow glob,
+// witness synthesis keeps going: salted intersection enumeration
+// (glob.IntersectK) proposes paths from different regions of the
+// patterns' common language until one escapes the carve-outs or the
+// enumeration budget is spent.
 func Check(c *policy.Compiled, set *Set) *Report {
 	e := newExplorer(c)
 	rep := &Report{Invariants: set.Len(), States: len(c.States), Transitions: len(c.Transitions)}
@@ -240,13 +242,22 @@ func (r *Report) add(inv Invariant, v Violation) {
 	r.Violations = append(r.Violations, v)
 }
 
+// neverWitnessBudget bounds how many distinct intersection witnesses
+// are proposed per (invariant, allow-rule) pair before conceding to a
+// deny carve-out. Each candidate costs one trie decision; the budget
+// only matters when deny rules swallow the early candidates.
+const neverWitnessBudget = 16
+
 // findNeverWitness searches state s for an object matching the
 // invariant glob that the state's rule set grants to the invariant's
 // subject. Witness candidates come from exact glob intersection between
 // the invariant pattern and each overlapping allow rule (plus an
 // exemplar probe of the invariant pattern itself); each candidate is
 // confirmed through RuleSet.Decide before being reported, so the
-// witness is live, not symbolic.
+// witness is live, not symbolic. Candidates a deny rule carves out of
+// the allow glob are not the end of the search: salted enumeration
+// proposes further paths from the intersection language until one
+// escapes the carve-outs or the budget is spent.
 func (e *explorer) findNeverWitness(s string, inv Invariant) (Violation, bool) {
 	rs := e.c.StateSets[s]
 	if rs == nil {
@@ -276,9 +287,11 @@ func (e *explorer) findNeverWitness(s string, inv Invariant) (Violation, bool) {
 		if r.Subject != nil && !r.Subject.Match(inv.Subject) {
 			continue
 		}
-		if w, res := glob.Intersect(inv.Glob, r.Pattern); res == glob.IntersectFound {
-			if v, found := confirm(w); found {
-				return v, true
+		if ws, res := glob.IntersectK(inv.Glob, r.Pattern, neverWitnessBudget); res == glob.IntersectFound {
+			for _, w := range ws {
+				if v, found := confirm(w); found {
+					return v, true
+				}
 			}
 		}
 	}

@@ -243,3 +243,70 @@ func TestRenderMentionsWitness(t *testing.T) {
 		}
 	}
 }
+
+// TestNeverEscapesDenyCarveOut is the regression test for the
+// documented witness-synthesis corner: a deny rule that swallows the
+// minimal synthesized witness (/data/x for /data/** against /data/**)
+// must not mask a real violation — enumeration has to surface a path
+// that escapes the carve-out.
+func TestNeverEscapesDenyCarveOut(t *testing.T) {
+	const src = `
+states { parked }
+initial parked
+permissions { DATA }
+state_per { parked: DATA }
+per_rules {
+  DATA {
+    allow read /data/**
+    deny read /data/x*
+  }
+}
+transitions { }
+`
+	c, vr, err := policy.Load(src)
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if !vr.OK() {
+		t.Fatalf("validation: %v", vr.Errors())
+	}
+	set, err := ParseSet("never - read /data/**")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := Check(c, set)
+	if rep.OK() {
+		t.Fatal("deny carve-out masked the violation: /data/** reads outside /data/x* are still granted")
+	}
+	v := rep.Violations[0]
+	if !strings.HasPrefix(v.Path, "/data/") || strings.HasPrefix(v.Path, "/data/x") {
+		t.Fatalf("witness %q does not escape the deny carve-out /data/x*", v.Path)
+	}
+	// The witness must replay as a live allow, not just dodge the deny.
+	if ok, _ := c.StateSets["parked"].Decide("", v.Path, sys.MayRead); !ok {
+		t.Fatalf("witness %q does not replay on the live rule set", v.Path)
+	}
+
+	// Flipping the deny to cover the whole allow really does discharge
+	// the invariant — the enumeration must not fabricate witnesses.
+	const covered = `
+states { parked }
+initial parked
+permissions { DATA }
+state_per { parked: DATA }
+per_rules {
+  DATA {
+    allow read /data/**
+    deny read /data/**
+  }
+}
+transitions { }
+`
+	c2, vr2, err := policy.Load(covered)
+	if err != nil || !vr2.OK() {
+		t.Fatalf("Load covered: %v %v", err, vr2.Errors())
+	}
+	if rep := Check(c2, set); !rep.OK() {
+		t.Fatalf("full deny coverage should hold:\n%s", rep.Render())
+	}
+}

@@ -35,11 +35,11 @@ func (d *downableTransport) err() error {
 	return fmt.Errorf("control plane down: %w", fleet.ErrDropped)
 }
 
-func (d *downableTransport) FetchBundle(group, etag string, wait time.Duration) (sack.Bundle, bool, error) {
+func (d *downableTransport) FetchBundle(vehicle, group, etag string, wait time.Duration) (sack.Bundle, bool, error) {
 	if d.down.Load() {
 		return sack.Bundle{}, false, d.err()
 	}
-	return d.inner.FetchBundle(group, etag, wait)
+	return d.inner.FetchBundle(vehicle, group, etag, wait)
 }
 
 func (d *downableTransport) ReportStatus(st fleet.VehicleStatus) error {
