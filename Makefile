@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all check vet build test race bench bench-avc bench-ablation bench-smoke chaos reload-stress fleet-stress fleet-persist-stress fleet-scale parallel-stress resilience-stress matcher-diff verify profile
+.PHONY: all check vet build test race bench bench-avc bench-ablation bench-smoke bench-json chaos reload-stress fleet-stress fleet-persist-stress fleet-scale parallel-stress resilience-stress matcher-diff verify profile
 
 all: check
 
@@ -121,12 +121,21 @@ verify:
 # Benchmark smoke: one iteration of the scalability sweep so the scale
 # path compiles and runs on every PR without benchmark-length runtimes,
 # plus the uncached-latency fence (trie must stay well ahead of the glob
-# walk and under its absolute budget).
+# walk and under its absolute budget) and the wire-codec fences
+# (bytes/record ≥5× under JSON, zero-alloc decode).
 bench-smoke:
 	$(GO) test -run '^$$' -bench 'BenchmarkParallelDecision/sack-covered/goroutines=(1|16)$$' -benchtime 1x .
 	$(GO) test -count=1 -run 'TestUncachedLatencyGuard|TestMatcherZeroAllocUncached' -v .
 	$(GO) test -run '^$$' -bench 'BenchmarkResilienceOverhead' -benchtime 1000x ./internal/resilience
 	$(GO) test -count=1 -run 'TestStackHappyPathZeroAllocs|TestResilienceOverheadGuard' -v ./internal/resilience
+	$(GO) test -count=1 -run 'TestBytesPerRecordGuard|TestDecodeAllocGuard' -v ./internal/fleet/wire
+
+# Machine-readable fleet perf snapshot: runs the compact 1k-vehicle
+# harness plus the wire-codec micro-measurements and writes
+# BENCH_fleet.json (fan-out vehicles/s, ingest records/s, bytes/record,
+# allocs/record) at the repo root, so future PRs can diff against it.
+bench-json:
+	BENCH_JSON_OUT=$(CURDIR)/BENCH_fleet.json $(GO) test -count=1 -run 'TestEmitBenchJSON' -v ./internal/fleet
 
 # Parallel benchmark under the mutex/block/CPU profilers. Artifacts land
 # in bench/; EXPERIMENTS.md ("Multi-core scalability") explains how to

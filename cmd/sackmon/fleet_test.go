@@ -39,6 +39,8 @@ func TestRunFleetView(t *testing.T) {
 		"-- fleet " + hs.URL + " --",
 		"group city: generation=1",
 		"converged=1",
+		"wire_ingest: json_batches=",
+		"wire_fanout: full_pulls=",
 	} {
 		if !strings.Contains(text, frag) {
 			t.Errorf("output missing %q:\n%s", frag, text)
@@ -54,6 +56,11 @@ func TestRunFleetView(t *testing.T) {
 	}
 	if v.Uploaded+v.Dropped != v.Emitted {
 		t.Fatalf("ledger not exact: %+v", v)
+	}
+	// The monitor speaks the binary log encoding by default and says so
+	// in its status report.
+	if v.WireEncoding != "binary" || (v.Uploaded > 0 && v.WireBytesOut == 0) {
+		t.Fatalf("wire accounting not reported: %+v", v)
 	}
 }
 

@@ -446,6 +446,15 @@ func (a *Agent) Status() VehicleStatus {
 		st.Degraded = a.cfg.Pipeline.Degraded()
 		st.Pinned = a.cfg.Pipeline.Pinned()
 	}
+	if ws, ok := a.cfg.Transport.(WireStatser); ok {
+		w := ws.WireStats()
+		st.WireEncoding = w.Encoding
+		st.WireBytesOut = w.BytesOut
+		st.WireRawBytesOut = w.RawBytesOut
+		st.WireBytesIn = w.BytesIn
+		st.DeltaPulls = w.DeltaPulls
+		st.FullPulls = w.FullPulls
+	}
 	return st
 }
 

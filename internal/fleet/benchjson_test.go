@@ -1,0 +1,161 @@
+package fleet
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/fleet/wire"
+)
+
+// TestEmitBenchJSON is the `make bench-json` entry point: it runs a
+// compact (1k-vehicle) version of the scale harness plus the wire-codec
+// micro-measurements and writes the machine-readable snapshot named by
+// BENCH_JSON_OUT, so future PRs can diff fan-out vehicles/s, ingest
+// records/s, bytes/record, and allocs/record against this one. Without
+// the env var it is a no-op, keeping plain `go test ./...` fast.
+func TestEmitBenchJSON(t *testing.T) {
+	out := os.Getenv("BENCH_JSON_OUT")
+	if out == "" {
+		t.Skip("BENCH_JSON_OUT not set; run via `make bench-json`")
+	}
+	const (
+		vehicles = 1000
+		batch    = 64
+		rounds   = 8
+	)
+
+	// --- ingest records/s: the BenchmarkFleetScaleIngest shape at 1k ---
+	srv := scaleServer(t, WithLogCapacity(1<<18))
+	if _, err := srv.Publish("scale", testPolicy); err != nil {
+		t.Fatalf("Publish: %v", err)
+	}
+	stop := make(chan struct{})
+	go func() {
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if len(srv.Drain(8192)) == 0 {
+				time.Sleep(time.Millisecond)
+			}
+		}
+	}()
+	work := make(chan struct{})
+	var wg sync.WaitGroup
+	seqs := make([]uint64, vehicles)
+	for i := 0; i < vehicles; i++ {
+		i := i
+		id := fmt.Sprintf("veh-%06d", i)
+		go func() {
+			recs := make([]LogRecord, batch)
+			for range work {
+				for k := range recs {
+					seqs[i]++
+					recs[k] = LogRecord{Seq: seqs[i], Op: "read",
+						Subject: "/usr/bin/ivi", Object: "/dev/vehicle/speed", Action: "ALLOWED"}
+				}
+				for {
+					if _, err := srv.UploadLogs(id, recs); err == nil {
+						break
+					}
+					time.Sleep(time.Millisecond)
+				}
+				wg.Done()
+			}
+		}()
+	}
+	start := time.Now()
+	for r := 0; r < rounds; r++ {
+		wg.Add(vehicles)
+		for j := 0; j < vehicles; j++ {
+			work <- struct{}{}
+		}
+		wg.Wait()
+	}
+	ingestRate := float64(vehicles*batch*rounds) / time.Since(start).Seconds()
+	close(work)
+	close(stop)
+
+	// --- fan-out vehicles/s: publish → full-fleet convergence at 1k ---
+	fsrv := scaleServer(t)
+	applied, _ := startScaleFleet(t, fsrv, vehicles)
+	start = time.Now()
+	for r := 0; r < 3; r++ {
+		if _, err := fsrv.Publish("scale", testPolicy); err != nil {
+			t.Fatalf("Publish: %v", err)
+		}
+		for j := 0; j < vehicles; j++ {
+			<-applied
+		}
+	}
+	fanoutRate := float64(vehicles*3) / time.Since(start).Seconds()
+
+	// --- wire codec: bytes/record and allocs/record, binary vs JSON ---
+	wrecs := make([]wire.Record, batch)
+	for i := range wrecs {
+		wrecs[i] = wire.Record{Seq: uint64(i + 1), When: time.Unix(1754600000, 123456789).UTC(),
+			Op: "read", Subject: "/usr/bin/ivi", Object: "/dev/vehicle/speed", Action: "ALLOWED"}
+	}
+	e := wire.GetEncoder()
+	frame := e.Encode(nil, wrecs, false)
+	binPerRec := float64(len(frame)) / batch
+	encAllocs := testing.AllocsPerRun(200, func() {
+		frame = e.Encode(frame[:0], wrecs, false)
+	}) / batch
+	d := wire.GetDecoder()
+	decAllocs := testing.AllocsPerRun(200, func() {
+		if _, err := d.Decode(frame); err != nil {
+			t.Fatalf("Decode: %v", err)
+		}
+	}) / batch
+	wire.PutDecoder(d)
+	wire.PutEncoder(e)
+	jrecs := make([]LogRecord, batch)
+	for i := range jrecs {
+		jrecs[i] = LogRecord{Seq: uint64(i + 1), When: time.Unix(1754600000, 123456789).UTC(),
+			Op: "read", Subject: "/usr/bin/ivi", Object: "/dev/vehicle/speed", Action: "ALLOWED"}
+	}
+	jbody, err := json.Marshal(jrecs)
+	if err != nil {
+		t.Fatalf("json.Marshal: %v", err)
+	}
+	jsonPerRec := float64(len(jbody)) / batch
+
+	snapshot := map[string]any{
+		"benchmark":      "fleet-wire",
+		"generated_unix": time.Now().Unix(),
+		"go":             runtime.Version(),
+		"gomaxprocs":     runtime.GOMAXPROCS(0),
+		"ingest": map[string]any{
+			"vehicles": vehicles, "batch": batch, "rounds": rounds,
+			"records_per_sec": ingestRate,
+		},
+		"fanout": map[string]any{
+			"vehicles": vehicles, "publishes": 3,
+			"vehicles_per_sec": fanoutRate,
+		},
+		"wire": map[string]any{
+			"bytes_per_record_binary":  binPerRec,
+			"bytes_per_record_json":    jsonPerRec,
+			"json_over_binary":         jsonPerRec / binPerRec,
+			"allocs_per_record_encode": encAllocs,
+			"allocs_per_record_decode": decAllocs,
+		},
+	}
+	buf, err := json.MarshalIndent(snapshot, "", "  ")
+	if err != nil {
+		t.Fatalf("marshal snapshot: %v", err)
+	}
+	if err := os.WriteFile(out, append(buf, '\n'), 0o644); err != nil {
+		t.Fatalf("write %s: %v", out, err)
+	}
+	t.Logf("ingest %.0f records/s, fanout %.0f vehicles/s, %.2f vs %.2f bytes/record → %s",
+		ingestRate, fanoutRate, binPerRec, jsonPerRec, out)
+}

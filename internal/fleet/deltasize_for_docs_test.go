@@ -1,0 +1,32 @@
+package fleet
+
+import (
+	"encoding/json"
+	"os"
+	"testing"
+)
+
+// TestDeltaSizeForDocs prints the full-bundle vs delta wire sizes the
+// EXPERIMENTS.md fan-out table quotes. Gated behind an env var; not
+// part of any suite.
+func TestDeltaSizeForDocs(t *testing.T) {
+	if os.Getenv("DOCS_SIZES") == "" {
+		t.Skip("DOCS_SIZES not set")
+	}
+	s := NewServer()
+	if _, err := s.Publish("g", testPolicy); err != nil {
+		t.Fatal(err)
+	}
+	b1, _ := s.Bundle("g")
+	if _, err := s.Publish("g", testPolicyV2); err != nil {
+		t.Fatal(err)
+	}
+	b2, _ := s.Bundle("g")
+	full, _ := json.Marshal(b2)
+	_, d, _, err := s.FetchBundleDelta("v", "g", b1.ETag(), 0)
+	if err != nil || d == nil {
+		t.Fatalf("delta: %v (nil=%v)", err, d == nil)
+	}
+	t.Logf("full JSON bundle: %d bytes; delta: %d bytes; source: %d bytes",
+		len(full), len(d.Encode()), len(b2.Source))
+}

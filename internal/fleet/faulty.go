@@ -43,6 +43,16 @@ func NewFaultyTransport(inner Transport, plan *faults.Plan) *FaultyTransport {
 	return &FaultyTransport{Inner: inner, Inj: faults.New(plan)}
 }
 
+// WireStats forwards the inner transport's wire accounting when it has
+// any (fault injection doesn't change what crossed the wire); a
+// wire-less inner transport reports the zero value.
+func (f *FaultyTransport) WireStats() AgentWireStats {
+	if ws, ok := f.Inner.(WireStatser); ok {
+		return ws.WireStats()
+	}
+	return AgentWireStats{}
+}
+
 // pre applies the decided fault's call-level effects. It reports
 // whether the call should proceed and whether it should be doubled.
 func (f *FaultyTransport) pre(target string) (proceed, double bool, corrupt bool, err error) {

@@ -8,12 +8,22 @@ import (
 	"io"
 	"net/http"
 	"net/url"
+	"strings"
+	"sync"
+	"sync/atomic"
 	"time"
 
+	"repro/internal/fleet/wire"
 	"repro/internal/policy"
 	"repro/internal/resilience"
 	"repro/internal/sign"
 )
+
+// logScratch pools the []LogRecord the binary upload handler converts
+// decoded wire records into; ingest does not retain the slice.
+type logScratch struct{ recs []LogRecord }
+
+var logScratchPool = sync.Pool{New: func() any { return new(logScratch) }}
 
 // Handler exposes a Server over HTTP — the wire protocol cmd/fleetd
 // serves and Client speaks:
@@ -52,7 +62,8 @@ func Handler(s *Server) http.Handler {
 			}
 			wait = d
 		}
-		b, modified, err := s.FetchBundle(r.URL.Query().Get("vehicle"), group, r.Header.Get("If-None-Match"), wait)
+		etag := r.Header.Get("If-None-Match")
+		b, delta, modified, err := s.FetchBundleDelta(r.URL.Query().Get("vehicle"), group, etag, wait)
 		if err != nil {
 			http.Error(w, err.Error(), http.StatusNotFound)
 			return
@@ -62,8 +73,26 @@ func Handler(s *Server) http.Handler {
 			return
 		}
 		w.Header().Set("ETag", b.ETag())
+		// Delta negotiation: the If-None-Match tag advertises the base
+		// revision the vehicle holds; when the Accept header also opts
+		// into deltas and the server's cached edit script applies to
+		// exactly that base, the response is the O(edit) script instead
+		// of the full body, discriminated by Content-Type. Legacy
+		// clients never send the Accept value and always get the full
+		// bundle, bit-for-bit as before.
+		if delta != nil && strings.Contains(r.Header.Get("Accept"), wire.ContentTypeDelta) {
+			body := delta.Encode()
+			s.wireOut.deltaPulls.Add(1)
+			s.wireOut.deltaBytes.Add(uint64(len(body)))
+			w.Header().Set("Content-Type", wire.ContentTypeDelta)
+			w.Write(body)
+			return
+		}
+		body := b.Encode()
+		s.wireOut.fullPulls.Add(1)
+		s.wireOut.fullBytes.Add(uint64(len(body)))
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-		w.Write(b.Encode())
+		w.Write(body)
 	})
 
 	mux.HandleFunc("POST /v1/bundle/{group}", func(w http.ResponseWriter, r *http.Request) {
@@ -182,9 +211,41 @@ func Handler(s *Server) http.Handler {
 
 	mux.HandleFunc("POST /v1/logs/{vehicle}", func(w http.ResponseWriter, r *http.Request) {
 		var recs []LogRecord
-		if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 8<<20)).Decode(&recs); err != nil {
-			http.Error(w, err.Error(), http.StatusBadRequest)
-			return
+		if strings.HasPrefix(r.Header.Get("Content-Type"), wire.ContentTypeLogs) {
+			// Binary batch frame: pooled zero-alloc decode, then hand the
+			// records (copied into a pooled scratch — ingest does not
+			// retain them) to the same admission path JSON takes.
+			body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 8<<20))
+			if err != nil {
+				http.Error(w, err.Error(), http.StatusBadRequest)
+				return
+			}
+			d := wire.GetDecoder()
+			wrecs, err := d.Decode(body)
+			if err != nil {
+				wire.PutDecoder(d)
+				http.Error(w, err.Error(), http.StatusBadRequest)
+				return
+			}
+			sc := logScratchPool.Get().(*logScratch)
+			recs = sc.recs[:0]
+			for _, wr := range wrecs {
+				recs = append(recs, LogRecord(wr))
+			}
+			sc.recs = recs
+			wire.PutDecoder(d)
+			defer logScratchPool.Put(sc)
+			s.wireIn.binBatches.Add(1)
+			s.wireIn.binBytes.Add(uint64(len(body)))
+		} else {
+			if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 8<<20)).Decode(&recs); err != nil {
+				http.Error(w, err.Error(), http.StatusBadRequest)
+				return
+			}
+			s.wireIn.jsonBatches.Add(1)
+			if r.ContentLength > 0 {
+				s.wireIn.jsonBytes.Add(uint64(r.ContentLength))
+			}
 		}
 		accepted, err := s.UploadLogsContext(r.Context(), r.PathValue("vehicle"), recs)
 		if err != nil {
@@ -229,6 +290,15 @@ func writeJSON(w http.ResponseWriter, v any) {
 
 // Client speaks the Handler protocol; it implements Transport, so an
 // Agent works identically over loopback HTTP and in-process.
+//
+// Log uploads default to the binary batch frame (wire.ContentTypeLogs)
+// and bundle fetches opt into delta responses whenever the client holds
+// the base revision the server's edit script applies to. Both degrade
+// automatically: a server that answers a binary upload with 415 or 400
+// latches the client into JSON for its lifetime (the batch is re-sent
+// as JSON inside the same call, so the agent's breaker never sees the
+// negotiation), and any delta that fails to decode or apply is retried
+// as a full-bundle fetch.
 type Client struct {
 	Base string // e.g. "http://127.0.0.1:7443"
 	HTTP *http.Client
@@ -237,6 +307,27 @@ type Client struct {
 	// agent-side keyring): a bundle failing verification surfaces the
 	// typed sign error and never reaches the caller.
 	Keyring *sign.Keyring
+	// LegacyJSON forces JSON log uploads and full-bundle fetches — the
+	// exact PR 9 wire behavior — for fleets that must stay on the old
+	// format.
+	LegacyJSON bool
+
+	// jsonOnly latches when the server rejects the binary content type;
+	// sticky for the client's lifetime so every later batch goes
+	// straight to JSON without re-probing.
+	jsonOnly atomic.Bool
+
+	// Wire accounting (WireStatser).
+	bytesOut    atomic.Uint64 // upload bytes on the wire
+	rawBytesOut atomic.Uint64 // same uploads before compression
+	bytesIn     atomic.Uint64 // bundle/delta bytes off the wire
+	deltaPulls  atomic.Uint64
+	fullPulls   atomic.Uint64
+
+	// Per-group base bundles for delta reconstruction: the last full
+	// (or reconstructed) bundle the client verified, keyed by group.
+	baseMu sync.Mutex
+	bases  map[string]policy.Bundle
 }
 
 // NewClient builds a client for a fleetd base URL.
@@ -251,8 +342,59 @@ func (c *Client) httpClient() *http.Client {
 	return http.DefaultClient
 }
 
-// FetchBundle implements Transport over HTTP.
+// FetchBundle implements Transport over HTTP. When the client holds
+// the base revision the etag names, it advertises delta acceptance; a
+// delta response is decoded, applied onto the cached base into a
+// byte-identical bundle, and then verified exactly like a full body
+// (checksum inside Apply, signature below). Any delta failure falls
+// back to one full-bundle fetch.
 func (c *Client) FetchBundle(vehicle, group, etag string, wait time.Duration) (policy.Bundle, bool, error) {
+	base, haveBase := c.baseFor(group, etag)
+	tryDelta := haveBase && !c.LegacyJSON
+	b, modified, err := c.fetchBundle(vehicle, group, etag, wait, tryDelta, base)
+	if err != nil && tryDelta && errors.Is(err, errDeltaApply) {
+		// The server's edit script didn't fit what we hold (stale base,
+		// corrupt transfer): drop the cache entry and refetch in full.
+		c.dropBase(group)
+		b, modified, err = c.fetchBundle(vehicle, group, etag, wait, false, policy.Bundle{})
+	}
+	return b, modified, err
+}
+
+// errDeltaApply marks a delta response that failed to decode or apply;
+// FetchBundle inverts it into a full-bundle retry.
+var errDeltaApply = errors.New("fleet: delta apply failed")
+
+func (c *Client) baseFor(group, etag string) (policy.Bundle, bool) {
+	if etag == "" {
+		return policy.Bundle{}, false
+	}
+	c.baseMu.Lock()
+	defer c.baseMu.Unlock()
+	b, ok := c.bases[group]
+	if !ok || b.ETag() != etag {
+		return policy.Bundle{}, false
+	}
+	return b, true
+}
+
+func (c *Client) storeBase(group string, b policy.Bundle) {
+	b.Compiled = nil // the cache is for byte-level reconstruction only
+	c.baseMu.Lock()
+	if c.bases == nil {
+		c.bases = make(map[string]policy.Bundle)
+	}
+	c.bases[group] = b
+	c.baseMu.Unlock()
+}
+
+func (c *Client) dropBase(group string) {
+	c.baseMu.Lock()
+	delete(c.bases, group)
+	c.baseMu.Unlock()
+}
+
+func (c *Client) fetchBundle(vehicle, group, etag string, wait time.Duration, tryDelta bool, base policy.Bundle) (policy.Bundle, bool, error) {
 	u := fmt.Sprintf("%s/v1/bundle/%s", c.Base, group)
 	q := url.Values{}
 	if wait > 0 {
@@ -271,6 +413,9 @@ func (c *Client) FetchBundle(vehicle, group, etag string, wait time.Duration) (p
 	if etag != "" {
 		req.Header.Set("If-None-Match", etag)
 	}
+	if tryDelta {
+		req.Header.Set("Accept", wire.ContentTypeDelta+", text/plain")
+	}
 	resp, err := c.httpClient().Do(req)
 	if err != nil {
 		return policy.Bundle{}, false, err
@@ -286,14 +431,32 @@ func (c *Client) FetchBundle(vehicle, group, etag string, wait time.Duration) (p
 		if err != nil {
 			return policy.Bundle{}, false, err
 		}
-		b, err := policy.DecodeBundle(data)
-		if err != nil {
-			return policy.Bundle{}, false, err
+		c.bytesIn.Add(uint64(len(data)))
+		var b policy.Bundle
+		if strings.HasPrefix(resp.Header.Get("Content-Type"), wire.ContentTypeDelta) {
+			d, derr := policy.DecodeBundleDelta(data)
+			if derr != nil {
+				return policy.Bundle{}, false, fmt.Errorf("%w: %v", errDeltaApply, derr)
+			}
+			b, derr = d.Apply(base)
+			if derr != nil {
+				return policy.Bundle{}, false, fmt.Errorf("%w: %v", errDeltaApply, derr)
+			}
+			c.deltaPulls.Add(1)
+		} else {
+			b, err = policy.DecodeBundle(data)
+			if err != nil {
+				return policy.Bundle{}, false, err
+			}
+			c.fullPulls.Add(1)
 		}
 		if !c.Keyring.Empty() {
 			if err := c.Keyring.Verify(b.KeyID, b.SigAlg, b.SignedPayload(), b.SignatureBytes()); err != nil {
 				return policy.Bundle{}, false, fmt.Errorf("fleet: bundle %s refused: %w", b.ETag(), err)
 			}
+		}
+		if !c.LegacyJSON {
+			c.storeBase(group, b)
 		}
 		return b, true, nil
 	default:
@@ -318,43 +481,104 @@ func (c *Client) ReportStatus(st VehicleStatus) error {
 	return nil
 }
 
-// UploadLogs implements Transport over HTTP. Status codes map back
-// onto the typed error taxonomy so agent retry logic is
-// transport-agnostic: 429 is ErrBackpressure (full log buffer) or
-// resilience.ErrBulkheadFull (group compartment shed), told apart by
-// the X-Fleet-Shed header; 503 is resilience.ErrCircuitOpen; 504 is
-// resilience.ErrTimeout.
+// UploadLogs implements Transport over HTTP. Batches go out as binary
+// wire frames unless LegacyJSON is set or the server has refused the
+// content type before; a 415/400 answer to a binary frame latches the
+// client to JSON and re-sends the same batch as JSON within this call,
+// so format negotiation never surfaces as an upload failure (and never
+// trips the agent's circuit breaker). Status codes map back onto the
+// typed error taxonomy so agent retry logic is transport-agnostic:
+// 429 is ErrBackpressure (full log buffer) or resilience.ErrBulkheadFull
+// (group compartment shed), told apart by the X-Fleet-Shed header; 503
+// is resilience.ErrCircuitOpen; 504 is resilience.ErrTimeout.
 func (c *Client) UploadLogs(vehicle string, recs []LogRecord) (int, error) {
+	if !c.LegacyJSON && !c.jsonOnly.Load() {
+		e := wire.GetEncoder()
+		wrecs := make([]wire.Record, len(recs))
+		for i, r := range recs {
+			wrecs[i] = wire.Record(r)
+		}
+		body := e.Encode(nil, wrecs, true)
+		raw := e.RawSize()
+		wire.PutEncoder(e)
+		accepted, retryJSON, err := c.postLogs(vehicle, wire.ContentTypeLogs, body)
+		if !retryJSON {
+			if err == nil {
+				c.bytesOut.Add(uint64(len(body)))
+				c.rawBytesOut.Add(uint64(raw))
+			}
+			return accepted, err
+		}
+		// The server doesn't speak the binary frame (JSON-only fleetd):
+		// latch and fall through to JSON for this and every later batch.
+		c.jsonOnly.Store(true)
+	}
 	body, err := json.Marshal(recs)
 	if err != nil {
 		return 0, err
 	}
-	resp, err := c.httpClient().Post(c.Base+"/v1/logs/"+vehicle, "application/json", bytes.NewReader(body))
+	accepted, _, err := c.postLogs(vehicle, "application/json", body)
+	if err == nil {
+		c.bytesOut.Add(uint64(len(body)))
+		c.rawBytesOut.Add(uint64(len(body)))
+	}
+	return accepted, err
+}
+
+// postLogs posts one encoded batch and inverts the response status into
+// the typed error taxonomy. retryJSON reports a rejection of the binary
+// content type itself (415, or a legacy 400 from a decoder that never
+// heard of the frame) — the caller re-sends as JSON.
+func (c *Client) postLogs(vehicle, contentType string, body []byte) (accepted int, retryJSON bool, err error) {
+	resp, err := c.httpClient().Post(c.Base+"/v1/logs/"+vehicle, contentType, bytes.NewReader(body))
 	if err != nil {
-		return 0, err
+		return 0, false, err
 	}
 	defer resp.Body.Close()
 	switch resp.StatusCode {
 	case http.StatusTooManyRequests:
 		if resp.Header.Get("X-Fleet-Shed") == "group-bulkhead" {
-			return 0, fmt.Errorf("%w (http 429)", resilience.ErrBulkheadFull)
+			return 0, false, fmt.Errorf("%w (http 429)", resilience.ErrBulkheadFull)
 		}
-		return 0, fmt.Errorf("%w (http 429)", ErrBackpressure)
+		return 0, false, fmt.Errorf("%w (http 429)", ErrBackpressure)
 	case http.StatusServiceUnavailable:
-		return 0, fmt.Errorf("%w (http 503)", resilience.ErrCircuitOpen)
+		return 0, false, fmt.Errorf("%w (http 503)", resilience.ErrCircuitOpen)
 	case http.StatusGatewayTimeout:
-		return 0, fmt.Errorf("%w (http 504)", resilience.ErrTimeout)
+		return 0, false, fmt.Errorf("%w (http 504)", resilience.ErrTimeout)
+	case http.StatusUnsupportedMediaType, http.StatusBadRequest:
+		if contentType == wire.ContentTypeLogs {
+			io.Copy(io.Discard, io.LimitReader(resp.Body, 512))
+			return 0, true, nil
+		}
+		return 0, false, httpError(resp)
 	}
 	if resp.StatusCode != http.StatusOK {
-		return 0, httpError(resp)
+		return 0, false, httpError(resp)
 	}
 	var out struct {
 		Accepted int `json:"accepted"`
 	}
 	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
-		return 0, err
+		return 0, false, err
 	}
-	return out.Accepted, nil
+	return out.Accepted, false, nil
+}
+
+// WireStats implements WireStatser: the client's cumulative wire
+// accounting, folded into VehicleStatus by the agent.
+func (c *Client) WireStats() AgentWireStats {
+	enc := "binary"
+	if c.LegacyJSON || c.jsonOnly.Load() {
+		enc = "json"
+	}
+	return AgentWireStats{
+		Encoding:    enc,
+		BytesOut:    c.bytesOut.Load(),
+		RawBytesOut: c.rawBytesOut.Load(),
+		BytesIn:     c.bytesIn.Load(),
+		DeltaPulls:  c.deltaPulls.Load(),
+		FullPulls:   c.fullPulls.Load(),
+	}
 }
 
 // Push publishes policy source as the group's next bundle generation.

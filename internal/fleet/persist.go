@@ -1,10 +1,12 @@
 package fleet
 
 import (
+	"encoding/binary"
 	"encoding/json"
 	"fmt"
 	"time"
 
+	"repro/internal/fleet/wire"
 	"repro/internal/policy"
 	"repro/internal/store"
 )
@@ -158,6 +160,14 @@ func OpenServer(st *store.Store, opts ...ServerOption) (*Server, error) {
 		}
 	}
 	if err := st.Replay(func(_ uint64, payload []byte) error {
+		if len(payload) > 0 && payload[0] == walFrameMagic {
+			ing, err := decodeIngestFrame(payload)
+			if err != nil {
+				return err
+			}
+			s.applyIngest(ing)
+			return nil
+		}
 		var rec walRecord
 		if err := json.Unmarshal(payload, &rec); err != nil {
 			return fmt.Errorf("fleet: corrupt wal record: %w", err)
@@ -184,7 +194,14 @@ func (s *Server) persist(rec walRecord, syncNow bool) error {
 	if err != nil {
 		return fmt.Errorf("fleet: encode wal record: %w", err)
 	}
-	idx, err := s.store.Append(buf)
+	return s.persistRaw(buf, syncNow)
+}
+
+// persistRaw appends an already encoded WAL payload (JSON envelope or
+// binary ingest frame). The store copies the payload before returning,
+// so callers may reuse their buffer.
+func (s *Server) persistRaw(payload []byte, syncNow bool) error {
+	idx, err := s.store.Append(payload)
 	if err != nil {
 		return fmt.Errorf("fleet: wal append: %w", err)
 	}
@@ -195,6 +212,76 @@ func (s *Server) persist(rec walRecord, syncNow bool) error {
 		}
 	}
 	return nil
+}
+
+// Binary WAL ingest frames. Ingest is the only WAL record kind on the
+// fleet's hot path — every accepted batch costs one append plus one
+// fsync — and encoding the post-dedupe Fresh slice as reflective JSON
+// dominated the whole ingest cost at scale. Accepted batches are
+// instead framed as [magic, version, uvarint vehicle, uvarint dups,
+// wire batch frame]; legacy JSON envelopes (first byte '{') and binary
+// frames (first byte 0xB1, not valid JSON and not the wire batch
+// magic) coexist in one WAL, so stores written by either version
+// replay in the other. Rejected batches and every other record kind
+// stay JSON — they are cold.
+const (
+	walFrameMagic   = 0xB1
+	walFrameVersion = 1
+)
+
+// persistIngest WAL-commits one accepted batch using the scratch
+// buffers pooled by the caller. fresh is the post-dedupe slice; the
+// frame reuses the wire codec, so replay accounting is ledger-exact by
+// construction (same records, same dedupe outcome).
+func (s *Server) persistIngest(sc *ingestScratch, vehicle string, fresh []LogRecord, dups int) error {
+	if s.store == nil {
+		return nil
+	}
+	sc.wrecs = sc.wrecs[:0]
+	for _, r := range fresh {
+		sc.wrecs = append(sc.wrecs, wire.Record(r))
+	}
+	buf := sc.buf[:0]
+	buf = append(buf, walFrameMagic, walFrameVersion)
+	buf = binary.AppendUvarint(buf, uint64(len(vehicle)))
+	buf = append(buf, vehicle...)
+	buf = binary.AppendUvarint(buf, uint64(dups))
+	e := wire.GetEncoder()
+	buf = e.Encode(buf, sc.wrecs, false)
+	wire.PutEncoder(e)
+	sc.buf = buf
+	return s.persistRaw(buf, true)
+}
+
+// decodeIngestFrame parses a binary WAL ingest frame back into the
+// walIngest shape replay applies. Cold path: replay only.
+func decodeIngestFrame(payload []byte) (*walIngest, error) {
+	if len(payload) < 2 || payload[0] != walFrameMagic {
+		return nil, fmt.Errorf("fleet: not a wal ingest frame")
+	}
+	if payload[1] != walFrameVersion {
+		return nil, fmt.Errorf("fleet: unsupported wal ingest frame version %d", payload[1])
+	}
+	body := payload[2:]
+	vlen, n := binary.Uvarint(body)
+	if n <= 0 || vlen > uint64(len(body)-n) {
+		return nil, fmt.Errorf("fleet: corrupt wal ingest frame: bad vehicle length")
+	}
+	vehicle := string(body[n : n+int(vlen)])
+	body = body[n+int(vlen):]
+	dups, n := binary.Uvarint(body)
+	if n <= 0 {
+		return nil, fmt.Errorf("fleet: corrupt wal ingest frame: bad dup count")
+	}
+	wrecs, err := wire.DecodeBatch(body[n:])
+	if err != nil {
+		return nil, fmt.Errorf("fleet: corrupt wal ingest frame: %w", err)
+	}
+	fresh := make([]LogRecord, len(wrecs))
+	for i, r := range wrecs {
+		fresh[i] = LogRecord(r)
+	}
+	return &walIngest{Vehicle: vehicle, Fresh: fresh, Dups: int(dups)}, nil
 }
 
 // maybeAutoSnapshot compacts when the WAL has grown past the configured
@@ -266,7 +353,7 @@ func (s *Server) captureSnapshot() *snapState {
 	}
 
 	s.logMu.Lock()
-	snap.LogBuf = append([]IngestedRecord(nil), s.logBuf...)
+	snap.LogBuf = append([]IngestedRecord(nil), s.logBuf[s.logHead:]...)
 	snap.LogAccepted, snap.LogDuplicates, snap.LogDrained = s.logAccepted, s.logDuplicates, s.logDrained
 	snap.BatchesAccepted, snap.BatchesRejected = s.batchesAccepted, s.batchesRejected
 	s.logMu.Unlock()
@@ -443,6 +530,12 @@ func (s *Server) applyStatus(st VehicleStatus, when time.Time) {
 	v.Shed = st.Shed
 	v.Fallbacks = st.Fallbacks
 	v.SigRejects = st.SigRejects
+	v.WireEncoding = st.WireEncoding
+	v.WireBytesOut = st.WireBytesOut
+	v.WireRawBytesOut = st.WireRawBytesOut
+	v.WireBytesIn = st.WireBytesIn
+	v.DeltaPulls = st.DeltaPulls
+	v.FullPulls = st.FullPulls
 	v.Reports++
 	v.LastSeen = when
 }
@@ -485,10 +578,10 @@ func (s *Server) applyIngest(ing *walIngest) {
 
 func (s *Server) applyDrain(n int) {
 	s.logMu.Lock()
-	if n > len(s.logBuf) {
-		n = len(s.logBuf)
+	if depth := len(s.logBuf) - s.logHead; n > depth {
+		n = depth
 	}
-	s.logBuf = append(s.logBuf[:0], s.logBuf[n:]...)
+	s.advanceLogHeadLocked(n)
 	s.logDrained += uint64(n)
 	s.logMu.Unlock()
 }

@@ -2,7 +2,6 @@ package fleet
 
 import (
 	"fmt"
-	"hash/fnv"
 	"path"
 	"strings"
 	"time"
@@ -92,10 +91,15 @@ type rolloutState struct {
 func (r *rolloutState) stageFor() RolloutStage { return r.plan.Stages[r.stage] }
 
 // percentile buckets a vehicle id deterministically into [0,100).
+// Inline FNV-1a: this runs inside rolloutPick on every bundle fetch of
+// a group with an active rollout, so it must not allocate.
 func vehiclePercentile(vehicle string) int {
-	h := fnv.New32a()
-	h.Write([]byte(vehicle))
-	return int(h.Sum32() % 100)
+	h := uint32(2166136261)
+	for i := 0; i < len(vehicle); i++ {
+		h ^= uint32(vehicle[i])
+		h *= 16777619
+	}
+	return int(h % 100)
 }
 
 // inCanary reports whether a vehicle is in the rollout's current
@@ -529,6 +533,23 @@ func (s *Server) installBundle(b policy.Bundle) {
 	if e == nil {
 		e = &groupEntry{notify: make(chan struct{})}
 		s.groups[b.Group] = e
+	}
+	setBundleLocked(e, b)
+}
+
+// setBundleLocked installs b as e's current revision and wakes the
+// group. It also computes the publish-time delta against the revision
+// being replaced — once per publish, here, so the fan-out path serves
+// a cached edit script instead of diffing per vehicle. The delta is
+// kept only when it actually beats the full body on the wire. Caller
+// holds regMu. Publish and WAL replay share this path, so a replayed
+// server caches the same delta the live one did.
+func setBundleLocked(e *groupEntry, b policy.Bundle) {
+	e.delta, e.deltaETag = nil, ""
+	if prev := e.bundle; prev.Generation > 0 && prev.ETag() != b.ETag() {
+		if d, err := policy.ComputeBundleDelta(prev, b); err == nil && d.EncodedSize() < len(b.Encode()) {
+			e.delta, e.deltaETag = &d, prev.ETag()
+		}
 	}
 	e.bundle = b
 	if e.lastGen < b.Generation {

@@ -3,13 +3,13 @@ package fleet
 import (
 	"context"
 	"fmt"
-	"hash/fnv"
 	"sort"
 	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"repro/internal/fleet/wire"
 	"repro/internal/policy"
 	"repro/internal/resilience"
 	"repro/internal/sign"
@@ -23,12 +23,23 @@ const (
 	DefaultShards      = 64
 	// MaxLongPoll caps how long one FetchBundle call may be held.
 	MaxLongPoll = 30 * time.Second
+	// DefaultAdmissionGrace is how long a full-buffer upload parks for
+	// drain space before ErrBackpressure (see Server.logFree).
+	DefaultAdmissionGrace = 50 * time.Millisecond
 	// Per-vehicle-group ingestion bulkhead defaults: concurrent
-	// admissions and queued callers per group. Sized so a single group
-	// of ~1000 synchronous vehicles never sheds, while a group flooding
-	// far past that saturates only its own compartment.
+	// admissions and queued callers per group. Cross-group isolation
+	// comes from the admission cap — a flooding group saturates only
+	// its own compartment's concurrency — so the queue is deep enough
+	// that a 100k-vehicle group's synchronized upload burst parks
+	// (timer-free, on the compartment semaphore) instead of shedding:
+	// with admission this cheap, mass ErrBulkheadFull sheds turn every
+	// agent's retry loop into a scheduler-saturating timer storm that
+	// starves the drain path — the shed is then causing the very
+	// overload it exists to protect against. Queued callers are
+	// goroutines that exist either way; the bound only protects
+	// against unbounded pile-up from a caller bug.
 	DefaultGroupAdmissions = 128
-	DefaultGroupQueue      = 1024
+	DefaultGroupQueue      = 1 << 17
 )
 
 // Server is the fleet control plane: a policy-bundle registry keyed by
@@ -63,16 +74,32 @@ type Server struct {
 	// HTTP) while other groups' uploads are untouched.
 	gates *resilience.KeyedBulkheads
 
-	// decision-log ingestion buffer (bounded ring of accepted records
-	// awaiting Drain) plus ingestion counters.
+	// decision-log ingestion buffer (bounded queue of accepted records
+	// awaiting Drain) plus ingestion counters. logBuf[logHead:] is the
+	// live queue: Drain advances logHead instead of shifting the slice,
+	// so a drain is O(records drained), not O(records still queued) —
+	// with the binary ingest path feeding the buffer at millions of
+	// records/s, a shifting drain was the scale bottleneck. The backing
+	// array is reclaimed when the queue empties and compacted (amortized
+	// O(1) per record) when the dead prefix outgrows the live tail.
 	logMu           sync.Mutex
 	logBuf          []IngestedRecord
+	logHead         int
 	logCap          int
 	logAccepted     uint64
 	logDuplicates   uint64
 	logDrained      uint64
 	batchesAccepted uint64
 	batchesRejected uint64
+	// logFree is closed and replaced each time a drain frees buffer
+	// space; full-buffer uploads park on it (up to logGrace) instead of
+	// failing instantly. With admission this cheap, an instant reject
+	// turns every agent's retry loop into a timer storm the moment the
+	// buffer fills — parking on the drain edge admits in drain order at
+	// drain speed, and ErrBackpressure is reserved for a consumer that
+	// is genuinely not keeping up.
+	logFree  chan struct{}
+	logGrace time.Duration
 
 	// bundle signer (nil = unsigned bundles, the legacy wire format):
 	// every published or rolled-out bundle carries a detached signature
@@ -91,6 +118,22 @@ type Server struct {
 	// staged rollouts: group → in-flight (or halted) rollout.
 	rollMu   sync.Mutex
 	rollouts map[string]*rolloutState
+
+	// binary data-plane counters, bumped by the HTTP layer (the
+	// in-process transport has no wire). Not durable: like bulkhead
+	// stats, they describe the current process's traffic.
+	wireIn  wireIngestCounters
+	wireOut wireFanoutCounters
+}
+
+type wireIngestCounters struct {
+	jsonBatches, jsonBytes atomic.Uint64
+	binBatches, binBytes   atomic.Uint64
+}
+
+type wireFanoutCounters struct {
+	fullPulls, fullBytes   atomic.Uint64
+	deltaPulls, deltaBytes atomic.Uint64
 }
 
 type groupEntry struct {
@@ -100,6 +143,13 @@ type groupEntry struct {
 	// ahead of bundle.Generation while a rollout candidate is in flight,
 	// so a halted rollout's generation is never reused.
 	lastGen uint64
+	// delta is the publish-time edit script from the revision bundle
+	// replaced (whose ETag is deltaETag) to bundle, cached once per
+	// publish and served to any vehicle whose If-None-Match names the
+	// base. nil when the group has no prior revision or the delta would
+	// not be smaller than the full body.
+	delta     *policy.BundleDelta
+	deltaETag string
 }
 
 type invariantEntry struct {
@@ -145,10 +195,18 @@ type VehicleState struct {
 	Shed              uint64    `json:"shed,omitempty"`        // agent-reported
 	Fallbacks         uint64    `json:"fallbacks,omitempty"`   // agent-reported
 	SigRejects        uint64    `json:"sig_rejects,omitempty"` // agent-reported
-	Accepted          uint64    `json:"accepted"` // server-side: unique records taken
-	LastLogSeq        uint64    `json:"last_log_seq"`
-	Reports           uint64    `json:"reports"`
-	LastSeen          time.Time `json:"last_seen"`
+	// Wire surface, agent-reported: upload encoding in use and the
+	// vehicle's own byte/pull accounting (see VehicleStatus).
+	WireEncoding    string    `json:"wire_encoding,omitempty"`
+	WireBytesOut    uint64    `json:"wire_bytes_out,omitempty"`
+	WireRawBytesOut uint64    `json:"wire_raw_bytes_out,omitempty"`
+	WireBytesIn     uint64    `json:"wire_bytes_in,omitempty"`
+	DeltaPulls      uint64    `json:"delta_pulls,omitempty"`
+	FullPulls       uint64    `json:"full_pulls,omitempty"`
+	Accepted        uint64    `json:"accepted"` // server-side: unique records taken
+	LastLogSeq      uint64    `json:"last_log_seq"`
+	Reports         uint64    `json:"reports"`
+	LastSeen        time.Time `json:"last_seen"`
 }
 
 // IngestedRecord is one accepted decision-log record tagged with its
@@ -168,6 +226,17 @@ func WithLogCapacity(n int) ServerOption {
 	return func(s *Server) {
 		if n > 0 {
 			s.logCap = n
+		}
+	}
+}
+
+// WithAdmissionGrace bounds how long a full-buffer upload parks
+// waiting for a drain to free space before it fails with
+// ErrBackpressure. 0 restores instant rejection.
+func WithAdmissionGrace(d time.Duration) ServerOption {
+	return func(s *Server) {
+		if d >= 0 {
+			s.logGrace = d
 		}
 	}
 }
@@ -221,6 +290,8 @@ func NewServer(opts ...ServerOption) *Server {
 		gates: resilience.NewKeyedBulkheads(resilience.BulkheadConfig{
 			Capacity: DefaultGroupAdmissions, Queue: DefaultGroupQueue,
 		}),
+		logFree:  make(chan struct{}),
+		logGrace: DefaultAdmissionGrace,
 	}
 	for _, o := range opts {
 		o(s)
@@ -231,10 +302,16 @@ func NewServer(opts ...ServerOption) *Server {
 	return s
 }
 
+// shardFor hashes the vehicle id inline (FNV-1a) — hash/fnv's
+// interface-based digest allocates on every call, and this sits on the
+// per-upload and per-status hot paths.
 func (s *Server) shardFor(vehicle string) *serverShard {
-	h := fnv.New32a()
-	h.Write([]byte(vehicle))
-	return &s.shards[h.Sum32()%uint32(len(s.shards))]
+	h := uint32(2166136261)
+	for i := 0; i < len(vehicle); i++ {
+		h ^= uint32(vehicle[i])
+		h *= 16777619
+	}
+	return &s.shards[h%uint32(len(s.shards))]
 }
 
 // Publish validates and compiles the policy source once, assigns the
@@ -371,10 +448,7 @@ func (s *Server) PublishBundle(group, src, invariants string) (policy.Bundle, er
 		b = b.Signed(s.signer)
 	}
 	b.Compiled = compiled
-	e.bundle = b
-	e.lastGen = b.Generation
-	close(e.notify)
-	e.notify = make(chan struct{})
+	setBundleLocked(e, b)
 	s.regMu.Unlock()
 
 	rec := PublishRecord{
@@ -442,6 +516,21 @@ func (s *Server) Bundle(group string) (policy.Bundle, error) {
 // visible ETag back to stable, rolling them back through this same
 // path.
 func (s *Server) FetchBundle(vehicle, group, etag string, wait time.Duration) (policy.Bundle, bool, error) {
+	b, _, modified, err := s.FetchBundleDelta(vehicle, group, etag, wait)
+	return b, modified, err
+}
+
+// FetchBundleDelta is FetchBundle for delta-capable callers: alongside
+// the full bundle it returns the group's cached publish-time delta
+// whenever the caller's etag names exactly the base revision that delta
+// applies to — i.e. the vehicle advertises (via If-None-Match over
+// HTTP) that it holds the previous stable generation. The caller then
+// ships O(edit) bytes instead of the whole bundle; anything else —
+// vehicle several generations behind, rollout candidate in play,
+// unknown base — degrades to the full bundle (delta == nil). The full
+// bundle is always returned too, so in-process consumers pay nothing
+// for the negotiation.
+func (s *Server) FetchBundleDelta(vehicle, group, etag string, wait time.Duration) (policy.Bundle, *policy.BundleDelta, bool, error) {
 	if wait > MaxLongPoll {
 		wait = MaxLongPoll
 	}
@@ -450,30 +539,39 @@ func (s *Server) FetchBundle(vehicle, group, etag string, wait time.Duration) (p
 		s.regMu.Lock()
 		e := s.groups[group]
 		var (
-			b      policy.Bundle
+			stable policy.Bundle
 			notify chan struct{}
+			delta  *policy.BundleDelta
 		)
 		if e != nil {
-			b, notify = e.bundle, e.notify
+			stable, notify = e.bundle, e.notify
+			if e.delta != nil && etag != "" && e.deltaETag == etag {
+				delta = e.delta
+			}
 		}
 		s.regMu.Unlock()
 		if e == nil {
-			return policy.Bundle{}, false, fmt.Errorf("%w: %q", ErrUnknownGroup, group)
+			return policy.Bundle{}, nil, false, fmt.Errorf("%w: %q", ErrUnknownGroup, group)
 		}
-		b = s.rolloutPick(vehicle, group, b)
+		b := s.rolloutPick(vehicle, group, stable)
 		if b.Generation > 0 && b.ETag() != etag {
-			return b, true, nil
+			// The cached delta reconstructs the stable revision only; a
+			// canary being served the rollout candidate gets the full body.
+			if b.ETag() != stable.ETag() {
+				delta = nil
+			}
+			return b, delta, true, nil
 		}
 		remaining := time.Until(deadline)
 		if remaining <= 0 {
-			return policy.Bundle{}, false, nil
+			return policy.Bundle{}, nil, false, nil
 		}
 		t := time.NewTimer(remaining)
 		select {
 		case <-notify:
 			t.Stop()
 		case <-t.C:
-			return policy.Bundle{}, false, nil
+			return policy.Bundle{}, nil, false, nil
 		}
 	}
 }
@@ -539,6 +637,20 @@ func (s *Server) UploadLogsContext(ctx context.Context, vehicle string, recs []L
 	return accepted, err
 }
 
+// ingestScratch pools the per-batch scratch of the hot ingest path:
+// the post-dedupe record slice, the wire-record conversion slice, and
+// the binary WAL frame buffer. Nothing in it escapes an ingest call —
+// logBuf appends copy the records, observeCanary does not retain its
+// slice, and store.Append copies the frame — so steady-state ingest
+// performs no per-batch allocations beyond logBuf's amortized growth.
+type ingestScratch struct {
+	fresh []LogRecord
+	wrecs []wire.Record
+	buf   []byte
+}
+
+var ingestScratchPool = sync.Pool{New: func() any { return new(ingestScratch) }}
+
 // ingest is the admission body run inside the group bulkhead. An
 // accepted batch is WAL-committed (fsync) before the accept returns:
 // the agent advances its cursor on our word, so forgetting an accepted
@@ -548,6 +660,10 @@ func (s *Server) ingest(vehicle string, recs []LogRecord) (int, error) {
 	s.persistMu.RLock()
 	defer s.persistMu.RUnlock()
 
+	sc := ingestScratchPool.Get().(*ingestScratch)
+	defer ingestScratchPool.Put(sc)
+	fresh := sc.fresh[:0]
+
 	sh := s.shardFor(vehicle)
 	sh.mu.Lock()
 	v := sh.m[vehicle]
@@ -556,27 +672,54 @@ func (s *Server) ingest(vehicle string, recs []LogRecord) (int, error) {
 		sh.m[vehicle] = v
 	}
 	group := v.Group
-	fresh := make([]IngestedRecord, 0, len(recs))
-	rawFresh := make([]LogRecord, 0, len(recs))
 	dups := 0
 	for _, r := range recs {
 		if r.Seq <= v.LastLogSeq {
 			dups++
 			continue
 		}
-		fresh = append(fresh, IngestedRecord{Vehicle: vehicle, Record: r})
-		rawFresh = append(rawFresh, r)
+		fresh = append(fresh, r)
 	}
 	sh.mu.Unlock()
+	sc.fresh = fresh // keep the grown capacity pooled
 
 	s.logMu.Lock()
-	if depth := len(s.logBuf); depth+len(fresh) > s.logCap {
-		s.batchesRejected++
+	var deadline time.Time
+	for {
+		depth := len(s.logBuf) - s.logHead
+		if depth+len(fresh) <= s.logCap {
+			break
+		}
+		// Full: park on the next drain edge, up to the admission grace,
+		// instead of bouncing the agent into a retry loop.
+		if deadline.IsZero() {
+			if s.logGrace <= 0 {
+				deadline = time.Now()
+			} else {
+				deadline = time.Now().Add(s.logGrace)
+			}
+		}
+		free := s.logFree
 		s.logMu.Unlock()
-		s.persist(walRecord{Kind: "ingest", Ingest: &walIngest{Vehicle: vehicle, Rejected: true}}, false)
-		return 0, fmt.Errorf("%w: %d queued, capacity %d", ErrBackpressure, depth, s.logCap)
+		wait := time.Until(deadline)
+		if wait <= 0 {
+			s.logMu.Lock()
+			s.batchesRejected++
+			s.logMu.Unlock()
+			s.persist(walRecord{Kind: "ingest", Ingest: &walIngest{Vehicle: vehicle, Rejected: true}}, false)
+			return 0, fmt.Errorf("%w: %d queued, capacity %d", ErrBackpressure, depth, s.logCap)
+		}
+		t := time.NewTimer(wait)
+		select {
+		case <-free:
+			t.Stop()
+		case <-t.C:
+		}
+		s.logMu.Lock()
 	}
-	s.logBuf = append(s.logBuf, fresh...)
+	for _, r := range fresh {
+		s.logBuf = append(s.logBuf, IngestedRecord{Vehicle: vehicle, Record: r})
+	}
 	s.logAccepted += uint64(len(fresh))
 	s.logDuplicates += uint64(dups)
 	s.batchesAccepted++
@@ -584,16 +727,14 @@ func (s *Server) ingest(vehicle string, recs []LogRecord) (int, error) {
 
 	if len(fresh) > 0 {
 		sh.mu.Lock()
-		if last := fresh[len(fresh)-1].Record.Seq; last > v.LastLogSeq {
+		if last := fresh[len(fresh)-1].Seq; last > v.LastLogSeq {
 			v.LastLogSeq = last
 		}
 		v.Accepted += uint64(len(fresh))
 		sh.mu.Unlock()
 	}
-	s.observeCanary(group, vehicle, rawFresh)
-	if err := s.persist(walRecord{Kind: "ingest", Ingest: &walIngest{
-		Vehicle: vehicle, Fresh: rawFresh, Dups: dups,
-	}}, true); err != nil {
+	s.observeCanary(group, vehicle, fresh)
+	if err := s.persistIngest(sc, vehicle, fresh, dups); err != nil {
 		return len(fresh), err
 	}
 	return len(fresh), nil
@@ -606,19 +747,40 @@ func (s *Server) Drain(max int) []IngestedRecord {
 	s.persistMu.RLock()
 	defer s.persistMu.RUnlock()
 	s.logMu.Lock()
-	n := len(s.logBuf)
+	n := len(s.logBuf) - s.logHead
 	if max > 0 && max < n {
 		n = max
 	}
 	out := make([]IngestedRecord, n)
-	copy(out, s.logBuf[:n])
-	s.logBuf = append(s.logBuf[:0], s.logBuf[n:]...)
+	copy(out, s.logBuf[s.logHead:s.logHead+n])
+	s.advanceLogHeadLocked(n)
 	s.logDrained += uint64(n)
 	s.logMu.Unlock()
 	if n > 0 {
 		s.persist(walRecord{Kind: "drain", Drain: &walDrain{N: n}}, false)
 	}
 	return out
+}
+
+// advanceLogHeadLocked consumes n queued records. The backing array is
+// released when the queue runs empty and compacted once the dead prefix
+// is at least as long as the live tail — each record is copied at most
+// once over its queue lifetime. Caller holds logMu.
+func (s *Server) advanceLogHeadLocked(n int) {
+	s.logHead += n
+	switch {
+	case s.logHead == len(s.logBuf):
+		s.logBuf = s.logBuf[:0]
+		s.logHead = 0
+	case s.logHead >= len(s.logBuf)-s.logHead:
+		s.logBuf = s.logBuf[:copy(s.logBuf, s.logBuf[s.logHead:])]
+		s.logHead = 0
+	}
+	if n > 0 {
+		// Wake every upload parked on a full buffer (admission grace).
+		close(s.logFree)
+		s.logFree = make(chan struct{})
+	}
 }
 
 // Vehicle returns the server's state for one vehicle.
@@ -668,11 +830,27 @@ type LogStats struct {
 	BatchesRejected uint64 `json:"batches_rejected"`
 }
 
+// WireStats summarises the binary data plane at the server's HTTP
+// boundary: how ingest batches arrive (legacy JSON vs binary frames)
+// and how bundles fan out (full bodies vs publish-time deltas). All
+// zero on an in-process transport, which has no wire.
+type WireStats struct {
+	JSONBatches   uint64 `json:"json_batches"`
+	JSONBytes     uint64 `json:"json_bytes"`
+	BinaryBatches uint64 `json:"binary_batches"`
+	BinaryBytes   uint64 `json:"binary_bytes"`
+	FullPulls     uint64 `json:"full_pulls"`
+	FullBytes     uint64 `json:"full_bytes"`
+	DeltaPulls    uint64 `json:"delta_pulls"`
+	DeltaBytes    uint64 `json:"delta_bytes"`
+}
+
 // FleetStats is the server's aggregate view.
 type FleetStats struct {
 	Groups   []GroupStats `json:"groups"`
 	Vehicles int          `json:"vehicles"`
 	Logs     LogStats     `json:"logs"`
+	Wire     WireStats    `json:"wire"`
 	// Resilience surface: per-group ingestion bulkhead snapshots and
 	// fleet-wide agent-reported counters.
 	Ingest       []resilience.KeyedStats `json:"ingest,omitempty"`
@@ -745,11 +923,18 @@ func (s *Server) Stats() FleetStats {
 
 	s.logMu.Lock()
 	st.Logs = LogStats{
-		Depth: len(s.logBuf), Capacity: s.logCap,
+		Depth: len(s.logBuf) - s.logHead, Capacity: s.logCap,
 		Accepted: s.logAccepted, Duplicates: s.logDuplicates, Drained: s.logDrained,
 		BatchesAccepted: s.batchesAccepted, BatchesRejected: s.batchesRejected,
 	}
 	s.logMu.Unlock()
+
+	st.Wire = WireStats{
+		JSONBatches: s.wireIn.jsonBatches.Load(), JSONBytes: s.wireIn.jsonBytes.Load(),
+		BinaryBatches: s.wireIn.binBatches.Load(), BinaryBytes: s.wireIn.binBytes.Load(),
+		FullPulls: s.wireOut.fullPulls.Load(), FullBytes: s.wireOut.fullBytes.Load(),
+		DeltaPulls: s.wireOut.deltaPulls.Load(), DeltaBytes: s.wireOut.deltaBytes.Load(),
+	}
 	return st
 }
 
@@ -777,6 +962,10 @@ func (st FleetStats) Render() string {
 		fmt.Fprintf(&b, "ingest %s: active=%d queued=%d admitted=%d shed=%d\n",
 			key, in.Active, in.Queued, in.Admitted, in.Shed)
 	}
+	fmt.Fprintf(&b, "wire_ingest: json_batches=%d json_bytes=%d binary_batches=%d binary_bytes=%d\n",
+		st.Wire.JSONBatches, st.Wire.JSONBytes, st.Wire.BinaryBatches, st.Wire.BinaryBytes)
+	fmt.Fprintf(&b, "wire_fanout: full_pulls=%d full_bytes=%d delta_pulls=%d delta_bytes=%d\n",
+		st.Wire.FullPulls, st.Wire.FullBytes, st.Wire.DeltaPulls, st.Wire.DeltaBytes)
 	fmt.Fprintf(&b, "published: %d\n", st.Published)
 	fmt.Fprintf(&b, "publish_rejects: %d\n", st.PublishRejects)
 	fmt.Fprintf(&b, "publish_violations: %d\n", st.PublishViolations)

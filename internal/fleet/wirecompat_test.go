@@ -1,0 +1,343 @@
+package fleet
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/lsm"
+)
+
+// TestMixedEncodingLedgerExact drives a binary client and a
+// legacy-JSON client against the same fleetd handler, with deliberate
+// duplicate deliveries on both, and checks the server ledger is exact
+// and encoding-independent: every unique record accepted once, dupes
+// dropped by Seq regardless of wire format, and the drained values
+// bit-identical to what each vehicle emitted.
+func TestMixedEncodingLedgerExact(t *testing.T) {
+	s := NewServer(WithLogCapacity(1 << 12))
+	srv := httptest.NewServer(Handler(s))
+	defer srv.Close()
+
+	bin := NewClient(srv.URL)
+	legacy := NewClient(srv.URL)
+	legacy.LegacyJSON = true
+
+	mkBatch := func(base uint64) []LogRecord {
+		recs := make([]LogRecord, 8)
+		for i := range recs {
+			recs[i] = LogRecord{
+				Seq:     base + uint64(i),
+				When:    time.Unix(1754600000+int64(base), 123456789).UTC(),
+				Module:  "sack",
+				Op:      "open",
+				Subject: "uid:1000",
+				Object:  fmt.Sprintf("/dev/can%d", i%2),
+				Action:  "DENIED",
+				Detail:  "state=lockdown",
+			}
+		}
+		return recs
+	}
+
+	want := map[string][]LogRecord{}
+	for _, c := range []struct {
+		name string
+		cl   *Client
+	}{{"veh-bin", bin}, {"veh-json", legacy}} {
+		for batch := 0; batch < 4; batch++ {
+			recs := mkBatch(uint64(batch*8 + 1))
+			n, err := c.cl.UploadLogs(c.name, recs)
+			if err != nil || n != len(recs) {
+				t.Fatalf("%s batch %d: n=%d err=%v", c.name, batch, n, err)
+			}
+			// At-least-once redelivery: the exact same batch again must
+			// accept zero new records on either encoding.
+			if n, err := c.cl.UploadLogs(c.name, recs); err != nil || n != 0 {
+				t.Fatalf("%s dup batch %d: n=%d err=%v, want 0 accepted", c.name, batch, n, err)
+			}
+			want[c.name] = append(want[c.name], recs...)
+		}
+	}
+
+	for _, name := range []string{"veh-bin", "veh-json"} {
+		v, ok := s.Vehicle(name)
+		if !ok || v.Accepted != 32 || v.LastLogSeq != 32 {
+			t.Fatalf("%s ledger: accepted=%d lastSeq=%d (ok=%v), want 32/32", name, v.Accepted, v.LastLogSeq, ok)
+		}
+	}
+
+	// Value fidelity: what the server drained is exactly what was sent,
+	// field for field, on both paths.
+	got := map[string][]LogRecord{}
+	for {
+		recs := s.Drain(64)
+		if len(recs) == 0 {
+			break
+		}
+		for _, r := range recs {
+			got[r.Vehicle] = append(got[r.Vehicle], r.Record)
+		}
+	}
+	for name, wrecs := range want {
+		grecs := got[name]
+		if len(grecs) != len(wrecs) {
+			t.Fatalf("%s drained %d records, want %d", name, len(grecs), len(wrecs))
+		}
+		for i := range wrecs {
+			w, g := wrecs[i], grecs[i]
+			if g.Seq != w.Seq || !g.When.Equal(w.When) || g.Module != w.Module ||
+				g.Op != w.Op || g.Subject != w.Subject || g.Object != w.Object ||
+				g.Action != w.Action || g.Detail != w.Detail {
+				t.Fatalf("%s record %d mismatch:\n got %+v\nwant %+v", name, i, g, w)
+			}
+		}
+	}
+
+	// Both encodings crossed the wire, and binary was materially smaller
+	// for the same record stream.
+	w := s.Stats().Wire
+	if w.BinaryBatches == 0 || w.JSONBatches == 0 {
+		t.Fatalf("server wire counters missed an encoding: %+v", w)
+	}
+	perBin := float64(w.BinaryBytes) / float64(w.BinaryBatches)
+	perJSON := float64(w.JSONBytes) / float64(w.JSONBatches)
+	if perBin*2 > perJSON {
+		t.Fatalf("binary batches not materially smaller: %.1f vs %.1f bytes/batch", perBin, perJSON)
+	}
+	if ws := bin.WireStats(); ws.Encoding != "binary" || ws.BytesOut == 0 {
+		t.Fatalf("binary client wire stats: %+v", ws)
+	}
+	if ws := legacy.WireStats(); ws.Encoding != "json" {
+		t.Fatalf("legacy client wire stats: %+v", ws)
+	}
+}
+
+// TestMixedAgentsConverge runs a full binary-transport agent and a full
+// legacy-JSON-transport agent against one fleetd: both must converge on
+// the same generation, keep exact ledgers, and report their wire
+// encoding through the status path so the server can tell them apart.
+func TestMixedAgentsConverge(t *testing.T) {
+	s := NewServer()
+	srv := httptest.NewServer(Handler(s))
+	defer srv.Close()
+
+	if _, err := NewClient(srv.URL).Push("default", testPolicy); err != nil {
+		t.Fatalf("push: %v", err)
+	}
+
+	run := func(vehicle string, legacy bool) {
+		c := NewClient(srv.URL)
+		c.LegacyJSON = legacy
+		audit := lsm.NewAuditLog(16)
+		for i := 0; i < 3; i++ {
+			audit.Append(lsm.AuditRecord{Op: "open", Action: "DENIED", Object: "/etc/shadow"})
+		}
+		a, err := NewAgent(AgentConfig{
+			Vehicle: vehicle, Group: "default",
+			Transport: c, Applier: &fakeApplier{}, Audit: audit,
+			PollWait: time.Millisecond,
+		})
+		if err != nil {
+			t.Fatalf("NewAgent %s: %v", vehicle, err)
+		}
+		if err := a.SyncOnce(); err != nil {
+			t.Fatalf("SyncOnce %s: %v", vehicle, err)
+		}
+	}
+	run("veh-bin", false)
+	run("veh-json", true)
+
+	st := s.Stats()
+	if st.Vehicles != 2 || len(st.Groups) != 1 || st.Groups[0].Converged != 2 {
+		t.Fatalf("mixed agents did not converge: %+v", st)
+	}
+	for name, wantEnc := range map[string]string{"veh-bin": "binary", "veh-json": "json"} {
+		v, ok := s.Vehicle(name)
+		if !ok || v.Accepted != 3 || v.Uploaded != 3 || v.Emitted != 3 || v.Dropped != 0 {
+			t.Fatalf("%s ledger: %+v (ok=%v)", name, v, ok)
+		}
+		if v.WireEncoding != wantEnc {
+			t.Fatalf("%s reported encoding %q, want %q", name, v.WireEncoding, wantEnc)
+		}
+	}
+}
+
+// TestBinaryClientAgainstJSONOnlyServer points a binary client at a
+// server that refuses the binary content type (an un-upgraded fleetd
+// behind a strict proxy): the client must degrade to JSON within the
+// same call — no error surfaces, no 415 retry loop — and stay on JSON
+// for subsequent uploads.
+func TestBinaryClientAgainstJSONOnlyServer(t *testing.T) {
+	s := NewServer()
+	inner := Handler(s)
+	var rejected, binaryPosts int
+	mw := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method == http.MethodPost && strings.HasPrefix(r.Header.Get("Content-Type"), "application/x-sack-logs") {
+			binaryPosts++
+			rejected++
+			http.Error(w, "unsupported media type", http.StatusUnsupportedMediaType)
+			return
+		}
+		inner.ServeHTTP(w, r)
+	})
+	srv := httptest.NewServer(mw)
+	defer srv.Close()
+
+	c := NewClient(srv.URL)
+	recs := []LogRecord{{Seq: 1, Op: "open", Action: "DENIED"}, {Seq: 2, Op: "exec", Action: "GRANTED"}}
+	if n, err := c.UploadLogs("veh-compat", recs); err != nil || n != 2 {
+		t.Fatalf("upload against JSON-only server: n=%d err=%v, want transparent JSON fallback", n, err)
+	}
+	if rejected != 1 {
+		t.Fatalf("server rejected %d binary posts, want exactly 1 probe", rejected)
+	}
+	if ws := c.WireStats(); ws.Encoding != "json" {
+		t.Fatalf("client did not latch JSON after 415: %+v", ws)
+	}
+	// The latch is sticky: the next upload must not probe binary again.
+	if n, err := c.UploadLogs("veh-compat", []LogRecord{{Seq: 3, Op: "open", Action: "DENIED"}}); err != nil || n != 1 {
+		t.Fatalf("post-latch upload: n=%d err=%v", n, err)
+	}
+	if binaryPosts != 1 {
+		t.Fatalf("client probed binary %d times, want 1 (sticky latch)", binaryPosts)
+	}
+	v, ok := s.Vehicle("veh-compat")
+	if !ok || v.Accepted != 3 {
+		t.Fatalf("ledger after fallback: %+v (ok=%v)", v, ok)
+	}
+}
+
+// TestDeltaPullEndToEnd exercises the O(edit) distribution path over
+// real HTTP: a vehicle holding generation N polls with its ETag and
+// must receive generation N+1 as a delta, reconstruct a byte-identical
+// bundle, and both sides must account the pull as a delta.
+func TestDeltaPullEndToEnd(t *testing.T) {
+	s := NewServer()
+	srv := httptest.NewServer(Handler(s))
+	defer srv.Close()
+	c := NewClient(srv.URL)
+
+	b1, err := c.Push("default", testPolicy)
+	if err != nil {
+		t.Fatalf("push v1: %v", err)
+	}
+	// Full pull seeds the client's delta base.
+	got1, modified, err := c.FetchBundle("veh-d", "default", "", 0)
+	if err != nil || !modified || got1.Generation != 1 {
+		t.Fatalf("full pull: gen=%d modified=%v err=%v", got1.Generation, modified, err)
+	}
+	if _, err := c.Push("default", testPolicyV2); err != nil {
+		t.Fatalf("push v2: %v", err)
+	}
+
+	got2, modified, err := c.FetchBundle("veh-d", "default", b1.ETag(), 0)
+	if err != nil || !modified {
+		t.Fatalf("delta pull: modified=%v err=%v", modified, err)
+	}
+	full, err := s.Bundle("default")
+	if err != nil {
+		t.Fatalf("server bundle: %v", err)
+	}
+	if got2.Source != full.Source || got2.Checksum != full.Checksum ||
+		got2.Generation != full.Generation || got2.ETag() != full.ETag() ||
+		got2.Invariants != full.Invariants {
+		t.Fatalf("delta reconstruction not byte-identical:\n got %+v\nwant %+v", got2, full)
+	}
+
+	if ws := c.WireStats(); ws.DeltaPulls != 1 || ws.FullPulls != 1 {
+		t.Fatalf("client pull accounting: %+v, want 1 delta + 1 full", ws)
+	}
+	w := s.Stats().Wire
+	if w.DeltaPulls != 1 || w.DeltaBytes == 0 {
+		t.Fatalf("server pull accounting: %+v, want 1 delta pull", w)
+	}
+	if w.DeltaBytes >= uint64(len(full.Source)) {
+		t.Fatalf("delta not O(edit): %d delta bytes vs %d full source bytes", w.DeltaBytes, len(full.Source))
+	}
+}
+
+// TestDeltaStaleBaseFallsBackToFull: a vehicle two generations behind
+// advertises a base the server no longer holds a delta for; the server
+// must serve the full bundle and the client must still converge.
+func TestDeltaStaleBaseFallsBackToFull(t *testing.T) {
+	s := NewServer()
+	srv := httptest.NewServer(Handler(s))
+	defer srv.Close()
+	c := NewClient(srv.URL)
+
+	b1, err := c.Push("default", testPolicy)
+	if err != nil {
+		t.Fatalf("push v1: %v", err)
+	}
+	if _, _, err := c.FetchBundle("veh-s", "default", "", 0); err != nil {
+		t.Fatalf("seed pull: %v", err)
+	}
+	if _, err := c.Push("default", testPolicyV2); err != nil {
+		t.Fatalf("push v2: %v", err)
+	}
+	if _, err := c.Push("default", testPolicy); err != nil {
+		t.Fatalf("push v3: %v", err)
+	}
+
+	// Client base is generation 1; the cached server delta is 2→3.
+	b, modified, err := c.FetchBundle("veh-s", "default", b1.ETag(), 0)
+	if err != nil || !modified || b.Generation != 3 {
+		t.Fatalf("stale-base pull: gen=%d modified=%v err=%v, want full gen 3", b.Generation, modified, err)
+	}
+	if ws := c.WireStats(); ws.DeltaPulls != 0 || ws.FullPulls != 2 {
+		t.Fatalf("stale base should degrade to full: %+v", ws)
+	}
+}
+
+// TestDeltaApplyFailureFallsBack corrupts the client's cached base out
+// from under it; the delta then cannot apply and the client must
+// silently refetch the full bundle instead of surfacing an error.
+func TestDeltaApplyFailureFallsBack(t *testing.T) {
+	s := NewServer()
+	srv := httptest.NewServer(Handler(s))
+	defer srv.Close()
+	c := NewClient(srv.URL)
+
+	b1, err := c.Push("default", testPolicy)
+	if err != nil {
+		t.Fatalf("push v1: %v", err)
+	}
+	if _, _, err := c.FetchBundle("veh-c", "default", "", 0); err != nil {
+		t.Fatalf("seed pull: %v", err)
+	}
+	if _, err := c.Push("default", testPolicyV2); err != nil {
+		t.Fatalf("push v2: %v", err)
+	}
+
+	// Rot the cached base: its checksum no longer matches its source,
+	// so BundleDelta.Apply must refuse it.
+	c.baseMu.Lock()
+	base := c.bases["default"]
+	base.Source += "\n# rotted\n"
+	c.bases["default"] = base
+	c.baseMu.Unlock()
+
+	b, modified, err := c.FetchBundle("veh-c", "default", b1.ETag(), 0)
+	if err != nil || !modified || b.Generation != 2 {
+		t.Fatalf("pull with rotten base: gen=%d modified=%v err=%v, want silent full fallback", b.Generation, modified, err)
+	}
+	full, err := s.Bundle("default")
+	if err != nil || b.Source != full.Source || b.Checksum != full.Checksum {
+		t.Fatalf("fallback bundle mismatch (err=%v)", err)
+	}
+	// The failed apply dropped the base; the fallback full pull reseeded
+	// it, so the *next* generation is delta-eligible again.
+	if _, err := c.Push("default", testPolicy); err != nil {
+		t.Fatalf("push v3: %v", err)
+	}
+	if _, _, err := c.FetchBundle("veh-c", "default", b.ETag(), 0); err != nil {
+		t.Fatalf("post-recovery pull: %v", err)
+	}
+	if ws := c.WireStats(); ws.DeltaPulls != 1 {
+		t.Fatalf("recovery pull should be a delta again: %+v", ws)
+	}
+}

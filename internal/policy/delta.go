@@ -1,0 +1,290 @@
+package policy
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// BundleDelta carries a policy revision as an edit script against a
+// base revision the vehicle already holds, instead of the full bundle
+// body. Policy bases evolve by localized rule edits, so the script is
+// usually a few lines where the full body is kilobytes.
+//
+// The delta is a pure transport optimization: applying it to the base
+// reconstructs the full bundle byte-identically, including the
+// signature headers, so the vehicle runs exactly the same checksum and
+// signature verification it runs on a full download. A delta is never
+// trusted on its own — a vehicle whose base does not match BaseChecksum
+// falls back to a full fetch.
+type BundleDelta struct {
+	Group          string // vehicle group both revisions belong to
+	FromGeneration uint64 // generation the script applies on top of
+	ToGeneration   uint64 // generation the script reconstructs
+
+	// BaseChecksum fingerprints the base body (source + invariants in
+	// wire form) the ops index into; a vehicle holding any other base
+	// must not attempt the apply.
+	BaseChecksum string
+
+	// Ops rebuild the target body (source + invariants in wire form)
+	// from the base. Result bytes must hash to the target bundle's
+	// checksums — Apply re-derives and verifies them.
+	Ops []DeltaOp
+
+	// Header fields of the target bundle, carried verbatim so Apply can
+	// reconstruct the complete signed Bundle. Checksum covers the
+	// reconstructed source; the signature is the full bundle's detached
+	// signature, unchanged.
+	Checksum  string
+	KeyID     string
+	SigAlg    string
+	Signature string
+}
+
+// DeltaOp is one edit-script step: either copy a run of base lines or
+// insert literal bytes. Lines are split inclusive of their '\n'
+// terminators, so concatenating copies and inserts is exact.
+type DeltaOp struct {
+	// Copy: Start/N index whole lines of the base body.
+	Start, N int
+	// Insert: literal bytes (only meaningful when N == 0).
+	Insert string
+}
+
+// splitLinesKeepEnds splits s into lines that keep their trailing
+// newline, so the concatenation of any subset round-trips exactly.
+// A final unterminated fragment is its own line.
+func splitLinesKeepEnds(s string) []string {
+	if s == "" {
+		return nil
+	}
+	var lines []string
+	for len(s) > 0 {
+		i := strings.IndexByte(s, '\n')
+		if i < 0 {
+			lines = append(lines, s)
+			break
+		}
+		lines = append(lines, s[:i+1])
+		s = s[i+1:]
+	}
+	return lines
+}
+
+// ComputeBundleDelta builds the edit script that turns base's body into
+// next's body. Both bundles must belong to the same group. The script
+// is a common-prefix/common-suffix line trim — exactly the shape of a
+// localized rule edit — with one insert op for the changed middle. When
+// the bodies are unrelated the "delta" degenerates to a single insert
+// of the whole target, and callers should compare EncodedSize against
+// the full bundle before serving it.
+func ComputeBundleDelta(base, next Bundle) (BundleDelta, error) {
+	if base.Group != next.Group {
+		return BundleDelta{}, fmt.Errorf("policy: delta across groups %q and %q", base.Group, next.Group)
+	}
+	baseBody := JoinSourceInvariants(base.Source, base.Invariants)
+	nextBody := JoinSourceInvariants(next.Source, next.Invariants)
+
+	from := splitLinesKeepEnds(baseBody)
+	to := splitLinesKeepEnds(nextBody)
+
+	// Trim matching prefix, then matching suffix of what remains.
+	prefix := 0
+	for prefix < len(from) && prefix < len(to) && from[prefix] == to[prefix] {
+		prefix++
+	}
+	suffix := 0
+	for suffix < len(from)-prefix && suffix < len(to)-prefix &&
+		from[len(from)-1-suffix] == to[len(to)-1-suffix] {
+		suffix++
+	}
+
+	var ops []DeltaOp
+	if prefix > 0 {
+		ops = append(ops, DeltaOp{Start: 0, N: prefix})
+	}
+	if mid := to[prefix : len(to)-suffix]; len(mid) > 0 {
+		ops = append(ops, DeltaOp{Insert: strings.Join(mid, "")})
+	}
+	if suffix > 0 {
+		ops = append(ops, DeltaOp{Start: len(from) - suffix, N: suffix})
+	}
+
+	return BundleDelta{
+		Group:          next.Group,
+		FromGeneration: base.Generation,
+		ToGeneration:   next.Generation,
+		BaseChecksum:   ChecksumSource(baseBody),
+		Ops:            ops,
+		Checksum:       next.Checksum,
+		KeyID:          next.KeyID,
+		SigAlg:         next.SigAlg,
+		Signature:      next.Signature,
+	}, nil
+}
+
+// Apply reconstructs the full target bundle from the base the vehicle
+// already holds. It verifies the base fingerprint before applying and
+// the reconstructed source checksum after, so a stale or corrupted
+// base can never produce a silently wrong policy. Signature
+// verification is the caller's job, exactly as for a full download —
+// the reconstructed bundle's SignedPayload is byte-identical to the
+// published one.
+func (d BundleDelta) Apply(base Bundle) (Bundle, error) {
+	if base.Group != d.Group {
+		return Bundle{}, fmt.Errorf("policy: delta for group %q applied to base of group %q", d.Group, base.Group)
+	}
+	if base.Generation != d.FromGeneration {
+		return Bundle{}, fmt.Errorf("policy: delta from generation %d applied to base generation %d", d.FromGeneration, base.Generation)
+	}
+	baseBody := JoinSourceInvariants(base.Source, base.Invariants)
+	if got := ChecksumSource(baseBody); got != d.BaseChecksum {
+		return Bundle{}, fmt.Errorf("policy: delta base checksum mismatch: want %s, have %s", d.BaseChecksum, got)
+	}
+	lines := splitLinesKeepEnds(baseBody)
+	var sb strings.Builder
+	for _, op := range d.Ops {
+		if op.N == 0 {
+			sb.WriteString(op.Insert)
+			continue
+		}
+		if op.Start < 0 || op.N < 0 || op.Start+op.N > len(lines) {
+			return Bundle{}, fmt.Errorf("policy: delta copy [%d,+%d) outside base of %d lines", op.Start, op.N, len(lines))
+		}
+		for _, ln := range lines[op.Start : op.Start+op.N] {
+			sb.WriteString(ln)
+		}
+	}
+	src, inv := SplitSourceInvariants(sb.String())
+	out := Bundle{
+		Group:      d.Group,
+		Generation: d.ToGeneration,
+		Checksum:   d.Checksum,
+		Source:     src,
+		Invariants: inv,
+		KeyID:      d.KeyID,
+		SigAlg:     d.SigAlg,
+		Signature:  d.Signature,
+	}
+	if got := ChecksumSource(out.Source); got != out.Checksum {
+		return Bundle{}, fmt.Errorf("policy: delta reconstruction checksum mismatch: header %s, body %s", out.Checksum, got)
+	}
+	return out, nil
+}
+
+// deltaMagic heads the delta wire encoding.
+const deltaMagic = "SACK-DELTA/1"
+
+// Encode renders the delta in a text wire format shaped like the
+// bundle's: a header block, a separator, then the op stream. Copy ops
+// are `c <start> <n>` lines; insert ops are `i <byteLen>` followed by
+// exactly that many literal bytes (no framing inside, so inserts may
+// contain anything).
+func (d BundleDelta) Encode() []byte {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s\n", deltaMagic)
+	fmt.Fprintf(&sb, "group: %s\n", d.Group)
+	fmt.Fprintf(&sb, "from-generation: %d\n", d.FromGeneration)
+	fmt.Fprintf(&sb, "to-generation: %d\n", d.ToGeneration)
+	fmt.Fprintf(&sb, "base-checksum: %s\n", d.BaseChecksum)
+	fmt.Fprintf(&sb, "checksum: %s\n", d.Checksum)
+	if d.Signature != "" {
+		fmt.Fprintf(&sb, "key-id: %s\n", d.KeyID)
+		fmt.Fprintf(&sb, "sig-alg: %s\n", d.SigAlg)
+		fmt.Fprintf(&sb, "signature: %s\n", d.Signature)
+	}
+	sb.WriteString("---\n")
+	for _, op := range d.Ops {
+		if op.N > 0 {
+			fmt.Fprintf(&sb, "c %d %d\n", op.Start, op.N)
+		} else {
+			fmt.Fprintf(&sb, "i %d\n", len(op.Insert))
+			sb.WriteString(op.Insert)
+		}
+	}
+	return []byte(sb.String())
+}
+
+// EncodedSize reports the wire size of the encoded delta without
+// materializing it, so the server can choose delta vs full per fetch.
+func (d BundleDelta) EncodedSize() int { return len(d.Encode()) }
+
+// DecodeBundleDelta parses the delta wire format.
+func DecodeBundleDelta(data []byte) (BundleDelta, error) {
+	text := string(data)
+	header, body, found := strings.Cut(text, "\n---\n")
+	if !found {
+		return BundleDelta{}, fmt.Errorf("policy: delta missing header separator")
+	}
+	lines := strings.Split(header, "\n")
+	if len(lines) == 0 || lines[0] != deltaMagic {
+		return BundleDelta{}, fmt.Errorf("policy: not a %s delta", deltaMagic)
+	}
+	var d BundleDelta
+	for _, line := range lines[1:] {
+		key, val, ok := strings.Cut(line, ":")
+		if !ok {
+			return BundleDelta{}, fmt.Errorf("policy: bad delta header line %q", line)
+		}
+		val = strings.TrimSpace(val)
+		switch key {
+		case "group":
+			d.Group = val
+		case "from-generation":
+			gen, err := strconv.ParseUint(val, 10, 64)
+			if err != nil {
+				return BundleDelta{}, fmt.Errorf("policy: bad delta from-generation %q", val)
+			}
+			d.FromGeneration = gen
+		case "to-generation":
+			gen, err := strconv.ParseUint(val, 10, 64)
+			if err != nil {
+				return BundleDelta{}, fmt.Errorf("policy: bad delta to-generation %q", val)
+			}
+			d.ToGeneration = gen
+		case "base-checksum":
+			d.BaseChecksum = val
+		case "checksum":
+			d.Checksum = val
+		case "key-id":
+			d.KeyID = val
+		case "sig-alg":
+			d.SigAlg = val
+		case "signature":
+			d.Signature = val
+		default:
+			// Unknown headers are ignored for forward compatibility.
+		}
+	}
+	if d.BaseChecksum == "" || d.Checksum == "" {
+		return BundleDelta{}, fmt.Errorf("policy: delta missing checksum headers")
+	}
+	for len(body) > 0 {
+		line, rest, ok := strings.Cut(body, "\n")
+		if !ok {
+			return BundleDelta{}, fmt.Errorf("policy: truncated delta op %q", line)
+		}
+		fields := strings.Fields(line)
+		switch {
+		case len(fields) == 3 && fields[0] == "c":
+			start, err1 := strconv.Atoi(fields[1])
+			n, err2 := strconv.Atoi(fields[2])
+			if err1 != nil || err2 != nil || start < 0 || n <= 0 {
+				return BundleDelta{}, fmt.Errorf("policy: bad delta copy op %q", line)
+			}
+			d.Ops = append(d.Ops, DeltaOp{Start: start, N: n})
+			body = rest
+		case len(fields) == 2 && fields[0] == "i":
+			n, err := strconv.Atoi(fields[1])
+			if err != nil || n < 0 || n > len(rest) {
+				return BundleDelta{}, fmt.Errorf("policy: bad delta insert op %q", line)
+			}
+			d.Ops = append(d.Ops, DeltaOp{Insert: rest[:n]})
+			body = rest[n:]
+		default:
+			return BundleDelta{}, fmt.Errorf("policy: bad delta op line %q", line)
+		}
+	}
+	return d, nil
+}

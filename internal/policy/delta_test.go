@@ -1,0 +1,185 @@
+package policy
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// testSigner is a stand-in for internal/sign.Signer (policy cannot
+// import sign); the signature is deterministic in the payload so the
+// test can verify the reconstructed bundle signs identically.
+type testSigner struct{}
+
+func (testSigner) KeyID() string     { return "delta-test" }
+func (testSigner) Algorithm() string { return "hmac-sha256" }
+func (testSigner) Sign(payload []byte) []byte {
+	sum := []byte(ChecksumSource("sig:" + string(payload)))
+	return sum[:16]
+}
+
+func policyLines(rng *rand.Rand, n int) []string {
+	states := []string{"parked", "driving", "charging", "valet"}
+	objs := []string{"/dev/vehicle/door0", "/dev/vehicle/speed", "/etc/vehicle/ota.conf", "/dev/ecu/*"}
+	lines := make([]string, n)
+	for i := range lines {
+		lines[i] = fmt.Sprintf("    allow %s read %s", states[rng.Intn(len(states))], objs[rng.Intn(len(objs))])
+	}
+	return lines
+}
+
+func mutateLines(rng *rand.Rand, lines []string) []string {
+	out := append([]string(nil), lines...)
+	edits := 1 + rng.Intn(3)
+	for e := 0; e < edits; e++ {
+		switch op := rng.Intn(3); {
+		case op == 0 && len(out) > 0: // delete a line
+			i := rng.Intn(len(out))
+			out = append(out[:i], out[i+1:]...)
+		case op == 1: // insert a line
+			i := rng.Intn(len(out) + 1)
+			out = append(out[:i], append([]string{fmt.Sprintf("    allow parked ioctl /dev/vehicle/new%d", rng.Intn(100))}, out[i:]...)...)
+		case len(out) > 0: // replace a line
+			out[rng.Intn(len(out))] = fmt.Sprintf("    deny driving write /dev/vehicle/mut%d", rng.Intn(100))
+		}
+	}
+	return out
+}
+
+func TestBundleDeltaApplyByteIdentical(t *testing.T) {
+	base := NewBundle("fleet-a", 7, "state parked {\n    allow read /dev/vehicle/door0\n}\n").
+		WithInvariants("invariant door-stays\n").Signed(testSigner{})
+	next := NewBundle("fleet-a", 8, "state parked {\n    allow read /dev/vehicle/door0\n    allow ioctl /dev/vehicle/door1\n}\n").
+		WithInvariants("invariant door-stays\n").Signed(testSigner{})
+
+	d, err := ComputeBundleDelta(base, next)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := d.Apply(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got.Encode(), next.Encode()) {
+		t.Fatalf("reconstructed bundle differs from published:\n got %q\nwant %q", got.Encode(), next.Encode())
+	}
+	// The reconstructed bundle must verify like the full download: the
+	// signature over the published SignedPayload must match a fresh
+	// signature over the reconstructed SignedPayload.
+	if !bytes.Equal(testSigner{}.Sign(got.SignedPayload()), got.SignatureBytes()) {
+		t.Fatal("signature does not verify over the reconstructed bundle")
+	}
+	if d.EncodedSize() >= len(next.Encode()) {
+		t.Fatalf("delta (%d bytes) not smaller than full bundle (%d bytes) for a one-line edit",
+			d.EncodedSize(), len(next.Encode()))
+	}
+}
+
+// TestBundleDeltaFuzz is the delta half of the differential fuzz
+// satellite: random base policies with random localized edits must
+// round-trip compute → encode → decode → apply into the exact bytes of
+// the published bundle, with checksum and signature intact.
+func TestBundleDeltaFuzz(t *testing.T) {
+	for seed := int64(0); seed < 200; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		baseLines := policyLines(rng, 5+rng.Intn(60))
+		baseSrc := "state all {\n" + strings.Join(baseLines, "\n") + "\n}\n"
+		nextSrc := "state all {\n" + strings.Join(mutateLines(rng, baseLines), "\n") + "\n}\n"
+		inv := ""
+		if rng.Intn(2) == 0 {
+			inv = "invariant baseline\n"
+		}
+		base := NewBundle("g", uint64(seed+1), baseSrc).WithInvariants(inv).Signed(testSigner{})
+		next := NewBundle("g", uint64(seed+2), nextSrc).WithInvariants(inv).Signed(testSigner{})
+
+		d, err := ComputeBundleDelta(base, next)
+		if err != nil {
+			t.Fatalf("seed %d: compute: %v", seed, err)
+		}
+		decoded, err := DecodeBundleDelta(d.Encode())
+		if err != nil {
+			t.Fatalf("seed %d: decode: %v", seed, err)
+		}
+		got, err := decoded.Apply(base)
+		if err != nil {
+			t.Fatalf("seed %d: apply: %v", seed, err)
+		}
+		if !bytes.Equal(got.Encode(), next.Encode()) {
+			t.Fatalf("seed %d: reconstruction differs from published bundle", seed)
+		}
+		if !bytes.Equal(testSigner{}.Sign(got.SignedPayload()), got.SignatureBytes()) {
+			t.Fatalf("seed %d: signature does not verify on reconstruction", seed)
+		}
+	}
+}
+
+func TestBundleDeltaRejectsWrongBase(t *testing.T) {
+	base := NewBundle("g", 1, "state a {\n    allow read /x\n}\n")
+	next := NewBundle("g", 2, "state a {\n    allow read /y\n}\n")
+	other := NewBundle("g", 1, "state a {\n    allow read /z\n}\n")
+	stale := NewBundle("g", 3, next.Source)
+
+	d, err := ComputeBundleDelta(base, next)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Apply(other); err == nil {
+		t.Fatal("apply over a different base body must fail the base checksum")
+	}
+	if _, err := d.Apply(stale); err == nil {
+		t.Fatal("apply over a different base generation must fail")
+	}
+	wrongGroup := base
+	wrongGroup.Group = "h"
+	if _, err := d.Apply(wrongGroup); err == nil {
+		t.Fatal("apply over a different group must fail")
+	}
+
+	// A tampered target checksum must be caught after reconstruction.
+	bad := d
+	bad.Checksum = ChecksumSource("something else")
+	if _, err := bad.Apply(base); err == nil {
+		t.Fatal("apply with tampered target checksum must fail")
+	}
+}
+
+func TestDecodeBundleDeltaRejectsGarbage(t *testing.T) {
+	base := NewBundle("g", 1, "state a {\n    allow read /x\n}\n")
+	next := NewBundle("g", 2, "state a {\n    allow read /y\n}\n")
+	d, _ := ComputeBundleDelta(base, next)
+	good := d.Encode()
+
+	cases := [][]byte{
+		nil,
+		[]byte("not a delta"),
+		[]byte("SACK-DELTA/1\ngroup: g\n---\nz 1 2\n"),  // unknown op
+		[]byte("SACK-DELTA/1\ngroup: g\n---\ni 999\nx"), // insert longer than body
+		good[:len(good)-1], // truncated final insert
+	}
+	for i, c := range cases {
+		if _, err := DecodeBundleDelta(c); err == nil {
+			t.Fatalf("case %d: malformed delta decoded without error", i)
+		}
+	}
+	if _, err := DecodeBundleDelta(good); err != nil {
+		t.Fatalf("control: valid delta failed to decode: %v", err)
+	}
+}
+
+func TestBundleDeltaUnrelatedBodiesStillCorrect(t *testing.T) {
+	base := NewBundle("g", 1, "state a {\n    allow read /x\n}\n")
+	next := NewBundle("g", 2, "state totally {\n    deny write /different\n}\n")
+	d, err := ComputeBundleDelta(base, next)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := d.Apply(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got.Encode(), next.Encode()) {
+		t.Fatal("unrelated-body delta must still reconstruct exactly")
+	}
+}
